@@ -1,0 +1,60 @@
+"""Ablation A1: the agent's correction/reboot budgets (I_C^max, I_R^max).
+
+The paper fixes I_C^max = 3 and I_R^max = 10 without a sweep; this
+ablation fills that gap.  Expectation: pass ratio grows monotonically-ish
+with the reboot budget and saturates, while corrections trade tokens for
+rescued tasks.
+"""
+
+from repro.core import CorrectBenchWorkflow
+from repro.eval import EvalLevel, evaluate
+from repro.llm import GPT_4O, MeteredClient, UsageMeter
+from repro.llm.synthetic import SyntheticLLM
+from repro.problems import get_task
+
+from ._config import FULL, bench_seeds, bench_tasks, emit
+
+BUDGETS = ((0, 0), (0, 3), (3, 0), (1, 3), (3, 3), (3, 10))
+
+
+def _run_budget_sweep():
+    tasks = bench_tasks()
+    if not FULL:
+        tasks = tasks[::2]
+    seeds = bench_seeds()
+    rows = {}
+    for ic_max, ir_max in BUDGETS:
+        passed = total = tokens = 0
+        for seed in seeds:
+            for task_id in tasks:
+                client = MeteredClient(SyntheticLLM(GPT_4O, seed=seed),
+                                       UsageMeter())
+                workflow = CorrectBenchWorkflow(
+                    client, get_task(task_id), ic_max=ic_max,
+                    ir_max=ir_max)
+                result = workflow.run()
+                level = evaluate(result.final_tb).level
+                passed += level >= EvalLevel.EVAL2
+                tokens += client.meter.total.total_tokens
+                total += 1
+        rows[(ic_max, ir_max)] = (passed / total, tokens / total)
+    return rows
+
+
+def test_ablation_agent_budgets(benchmark):
+    rows = benchmark.pedantic(_run_budget_sweep, rounds=1, iterations=1)
+    lines = ["ABLATION A1 — AGENT BUDGET SWEEP (I_C^max, I_R^max)", "",
+             f"{'I_C':>4}{'I_R':>5}{'Eval2':>9}{'tok/task':>10}"]
+    for (ic_max, ir_max), (ratio, tokens) in rows.items():
+        lines.append(f"{ic_max:>4}{ir_max:>5}{ratio:>9.1%}{tokens:>10.0f}")
+    emit("ablation_budgets", "\n".join(lines))
+
+    # No self-checking at all (0,0) is the floor.
+    floor = rows[(0, 0)][0]
+    assert rows[(3, 10)][0] >= floor
+    assert rows[(0, 3)][0] >= floor
+    # The paper's configuration is at (or near) the top of the sweep.
+    best = max(ratio for ratio, _ in rows.values())
+    assert rows[(3, 10)][0] >= best - 0.03
+    # Bigger budgets cost more tokens.
+    assert rows[(3, 10)][1] >= rows[(0, 0)][1]

@@ -1,0 +1,62 @@
+"""Ablation A2: validator internals — the green-row override and N_R.
+
+Two design choices the paper fixes without a sweep:
+
+- the 25% fully-green-row override attached to the 70% criterion,
+- the judge-group size N_R = 20.
+
+Measured on the Fig. 6a labelled corpus protocol.
+"""
+
+from repro.core.validator import Criterion
+from repro.eval.validator_study import run_study
+
+from ._config import FULL, JOBS, bench_tasks, emit
+
+SAMPLES = 6 if FULL else 3
+
+
+def _accuracy_with(criteria: dict, group_size: int):
+    """Run the study with a custom criterion set / group size."""
+    study = run_study(bench_tasks()[::2], samples_per_task=SAMPLES,
+                      group_size=group_size, n_jobs=JOBS,
+                      criteria=criteria)
+    return {name: study.accuracy(name) for name in criteria}
+
+
+def _run_ablation():
+    with_row = Criterion("70%+row", 0.70, 0.25)
+    without_row = Criterion("70%-norow", 0.70, None)
+    row_rule = _accuracy_with({c.name: c for c in (with_row,
+                                                   without_row)}, 20)
+    base = Criterion("70%+row", 0.70, 0.25)
+    group_sizes = {}
+    for n_r in (5, 10, 20):
+        group_sizes[n_r] = _accuracy_with({base.name: base},
+                                          n_r)[base.name]
+    return row_rule, group_sizes
+
+
+def test_ablation_validator_design(benchmark):
+    row_rule, group_sizes = benchmark.pedantic(_run_ablation, rounds=1,
+                                               iterations=1)
+    lines = ["ABLATION A2 — VALIDATOR DESIGN CHOICES", "",
+             "Green-row override (70% column threshold):",
+             f"{'variant':<12}{'total':>8}{'correct':>9}{'wrong':>8}"]
+    for name, acc in row_rule.items():
+        lines.append(f"{name:<12}{acc['total']:>8.1%}"
+                     f"{acc['correct']:>9.1%}{acc['wrong']:>8.1%}")
+    lines += ["", "Judge-group size N_R (70%-wrong with row rule):",
+              f"{'N_R':<6}{'total':>8}{'correct':>9}{'wrong':>8}"]
+    for n_r, acc in group_sizes.items():
+        lines.append(f"{n_r:<6}{acc['total']:>8.1%}"
+                     f"{acc['correct']:>9.1%}{acc['wrong']:>8.1%}")
+    emit("ablation_validator", "\n".join(lines))
+
+    # The row override exists to protect correct TBs: with it, accuracy
+    # on correct testbenches must not be worse.
+    assert (row_rule["70%+row"]["correct"]
+            >= row_rule["70%-norow"]["correct"] - 0.01)
+    # More judges never hurt much: N_R=20 within noise of the best.
+    best_total = max(acc["total"] for acc in group_sizes.values())
+    assert group_sizes[20]["total"] >= best_total - 0.05

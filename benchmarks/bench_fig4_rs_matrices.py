@@ -1,0 +1,68 @@
+"""Fig. 4: example RS matrices for correct and wrong testbenches.
+
+Renders the RTL-Scenario matrices of a validated-correct testbench and of
+a misconception-carrying one, and checks the visual structure the figure
+shows: wrong testbenches produce (nearly) solid red columns, correct ones
+are green-dominated.
+"""
+
+from repro.codegen import render_checker_core, render_driver
+from repro.core import CRITERION_70, HybridTestbench, ScenarioValidator
+from repro.llm import GPT_4O, MeteredClient, UsageMeter
+from repro.llm.faults import FaultModel
+from repro.llm.synthetic import SyntheticLLM
+from repro.problems import get_task
+
+from ._config import emit
+
+TASK_ID = "cmb_dec3to8"
+
+
+def _matrices():
+    task = get_task(TASK_ID)
+    plan = task.canonical_scenarios()
+    client = MeteredClient(SyntheticLLM(GPT_4O, seed=0), UsageMeter())
+    validator = ScenarioValidator(client, task, CRITERION_70)
+
+    def tb(checker_src):
+        return HybridTestbench(
+            task_id=task.task_id,
+            driver_src=render_driver(task, plan),
+            checker_src=checker_src,
+            scenarios=tuple((s.index, s.description) for s in plan))
+
+    correct_report = validator.validate(tb(render_checker_core(task)))
+
+    sticky = FaultModel(GPT_4O, seed=0).sticky_misconception(task)
+    wrong_variant = next(v for v in task.variants if v.vid != sticky.vid)
+    wrong_report = validator.validate(
+        tb(render_checker_core(task, task.variant_params(wrong_variant))))
+    return correct_report, wrong_report
+
+
+def test_fig4_rs_matrices(benchmark):
+    correct_report, wrong_report = benchmark.pedantic(_matrices,
+                                                      rounds=1,
+                                                      iterations=1)
+    text = "\n".join([
+        "FIG. 4 — EXAMPLE RS MATRICES ('#' correct / 'X' wrong)",
+        "",
+        f"Correct testbench (verdict: {correct_report.verdict}):",
+        correct_report.matrix.render_ascii(),
+        "",
+        f"Wrong testbench (verdict: {wrong_report.verdict}, "
+        f"wrong scenarios: {list(wrong_report.wrong)}):",
+        wrong_report.matrix.render_ascii(),
+    ])
+    emit("fig4_rs_matrices", text)
+
+    assert correct_report.verdict is True
+    assert wrong_report.verdict is False
+    # The wrong TB shows the figure's signature: at least one column is
+    # >= 70% red.
+    fractions = [wrong_report.matrix.column_wrong_fraction(s)
+                 for s in wrong_report.matrix.scenario_indexes]
+    assert any(f is not None and f >= 0.70 for f in fractions)
+    # The correct TB's matrix is green-dominated.
+    green = correct_report.matrix.fully_green_row_fraction()
+    assert green >= 0.5

@@ -1,0 +1,44 @@
+"""Fig. 6a: validation accuracy of the 100%/70%/50%-wrong criteria.
+
+Follows the paper's protocol: generate a labelled corpus of AutoBench
+testbenches (label = Eval2 outcome), validate each with every criterion
+using one fixed judge group per task, and report accuracy over all /
+correct / wrong testbenches.  Shape assertions encode the published
+trends: stricter thresholds get better on wrong TBs and worse on correct
+ones, and 70%-wrong wins globally (paper: 88.85%).
+"""
+
+from repro.eval import render_fig6a, run_study
+
+from ._config import FULL, JOBS, bench_tasks, emit
+
+SAMPLES_PER_TASK = 10 if FULL else 4
+
+
+def _study():
+    return run_study(bench_tasks(), samples_per_task=SAMPLES_PER_TASK,
+                     n_jobs=JOBS)
+
+
+def test_fig6a_validator_accuracy(benchmark):
+    study = benchmark.pedantic(_study, rounds=1, iterations=1)
+    accuracies = study.accuracies()
+    text = (render_fig6a(accuracies)
+            + f"\n\ncorpus: {len(study.records)} testbenches, "
+              f"{study.n_correct} labelled correct")
+    emit("fig6a_validator_accuracy", text)
+
+    acc100 = accuracies["100%-wrong"]
+    acc70 = accuracies["70%-wrong"]
+    acc50 = accuracies["50%-wrong"]
+
+    # Monotone trade-off along the threshold axis (paper Fig. 6a):
+    # stricter criteria catch more wrong TBs...
+    assert acc50["wrong"] >= acc70["wrong"] >= acc100["wrong"]
+    # ...at the price of rejecting more correct TBs.
+    assert acc100["correct"] >= acc70["correct"] >= acc50["correct"]
+    # 70%-wrong is the best (or tied-best) global criterion.
+    best = max(accuracies.values(), key=lambda a: a["total"])
+    assert acc70["total"] >= best["total"] - 0.02
+    # Global accuracy in the paper's neighbourhood (88.85%).
+    assert 0.75 <= acc70["total"] <= 0.99

@@ -1,0 +1,49 @@
+"""Fig. 6b: end-to-end CorrectBench performance and token cost per
+validation criterion.
+
+Runs the whole framework under each criterion and reports the Eval2 pass
+ratio plus input/output tokens per task.  Shape assertions: 70%-wrong
+performs best (paper's choice), and stricter criteria cost more tokens
+(more "wrong" reports trigger more corrections and reboots).
+"""
+
+from repro.eval import (EvalLevel, default_config, render_fig6b,
+                        run_campaign)
+from repro.eval.campaign import METHOD_CORRECTBENCH
+from repro.eval.metrics import level_stat, mean_usage
+
+from ._config import JOBS, bench_seeds, bench_tasks, emit
+
+CRITERIA_ORDER = ("100%-wrong", "70%-wrong", "50%-wrong")
+
+
+def _run_all():
+    rows = {}
+    for criterion in CRITERIA_ORDER:
+        config = default_config(
+            task_ids=bench_tasks(), seeds=bench_seeds(),
+            methods=(METHOD_CORRECTBENCH,), criterion_name=criterion,
+            n_jobs=JOBS)
+        result = run_campaign(config)
+        input_tokens, output_tokens = mean_usage(result,
+                                                 METHOD_CORRECTBENCH)
+        rows[criterion] = {
+            "eval2": level_stat(result, METHOD_CORRECTBENCH, "Total",
+                                EvalLevel.EVAL2).ratio,
+            "input_tokens": input_tokens,
+            "output_tokens": output_tokens,
+        }
+    return rows
+
+
+def test_fig6b_criteria_performance(benchmark):
+    rows = benchmark.pedantic(_run_all, rounds=1, iterations=1)
+    emit("fig6b_criteria_performance", render_fig6b(rows))
+
+    # The paper's chosen criterion performs best end to end.
+    assert rows["70%-wrong"]["eval2"] >= rows["100%-wrong"]["eval2"] - 0.02
+    assert rows["70%-wrong"]["eval2"] >= rows["50%-wrong"]["eval2"] - 0.02
+    # Token cost rises as the validator gets stricter (more wrong
+    # verdicts -> more corrections/reboots), Fig. 6b's bar trend.
+    assert (rows["50%-wrong"]["input_tokens"]
+            >= rows["100%-wrong"]["input_tokens"])

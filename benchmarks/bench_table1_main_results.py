@@ -1,0 +1,43 @@
+"""Table I: main results — CorrectBench vs AutoBench vs Baseline.
+
+Regenerates the paper's headline table: Eval0/1/2 pass ratios and mean
+pass counts per task group.  Shape assertions encode the paper's
+qualitative claims: method ordering at Eval2, the SEQ gap, and the
+near-perfect Eval0 of the checked pipeline.
+"""
+
+from repro.eval import (EvalLevel, default_config, render_table1,
+                        run_campaign)
+from repro.eval.campaign import (METHOD_AUTOBENCH, METHOD_BASELINE,
+                                 METHOD_CORRECTBENCH)
+from repro.eval.metrics import level_stat
+
+from ._config import JOBS, bench_seeds, bench_tasks, emit
+
+
+def _run_main_campaign():
+    config = default_config(task_ids=bench_tasks(), seeds=bench_seeds(),
+                            n_jobs=JOBS)
+    return run_campaign(config)
+
+
+def test_table1_main_results(benchmark):
+    result = benchmark.pedantic(_run_main_campaign, rounds=1,
+                                iterations=1)
+    emit("table1_main_results", render_table1(result))
+
+    def ratio(method, group="Total", level=EvalLevel.EVAL2):
+        return level_stat(result, method, group, level).ratio
+
+    # Paper shape: CorrectBench > AutoBench > Baseline at Eval2.
+    assert (ratio(METHOD_CORRECTBENCH) > ratio(METHOD_AUTOBENCH)
+            > ratio(METHOD_BASELINE))
+    # Sequential tasks are the hard class for every method.
+    for method in (METHOD_CORRECTBENCH, METHOD_AUTOBENCH,
+                   METHOD_BASELINE):
+        assert ratio(method, "CMB") > ratio(method, "SEQ")
+    # The checked pipeline nearly eliminates syntax failures (Eval0).
+    assert ratio(METHOD_CORRECTBENCH, "Total", EvalLevel.EVAL0) > 0.95
+    # The paper's headline: CorrectBench gains roughly a third over
+    # AutoBench and at least ~1.7x over the baseline.
+    assert ratio(METHOD_CORRECTBENCH) / ratio(METHOD_BASELINE) > 1.5

@@ -1,0 +1,66 @@
+"""Table II: the AutoEval criteria — definitions and nesting semantics.
+
+Table II is definitional, so this bench verifies the semantics it states:
+the criteria are *nested* (Eval2 implies Eval1 implies Eval0) and each
+level is separating — artifacts exist at every terminal band.
+"""
+
+from repro.codegen import render_checker_core, render_driver
+from repro.core import HybridTestbench
+from repro.eval import EvalLevel, evaluate, render_table2
+from repro.mutation import inject_verilog_syntax_fault
+from repro.problems import get_task
+
+from ._config import emit
+
+
+def _tb(task, driver, checker):
+    plan = task.canonical_scenarios()
+    return HybridTestbench(
+        task_id=task.task_id, driver_src=driver, checker_src=checker,
+        scenarios=tuple((s.index, s.description) for s in plan))
+
+
+def _band_exemplars():
+    """Build one testbench per terminal band for a fixed task."""
+    task = get_task("cmb_kmap4_a")
+    plan = task.canonical_scenarios()
+    golden_driver = render_driver(task, plan)
+    golden_checker = render_checker_core(task)
+
+    failed = _tb(task, inject_verilog_syntax_fault(golden_driver, 1),
+                 golden_checker)
+    eval0 = _tb(task, golden_driver,
+                render_checker_core(task,
+                                    task.variant_params(task.variants[0])))
+    thin_plan = tuple(type(plan[0])(s.index, s.name, s.description,
+                                    s.vectors[:1]) for s in plan[:1])
+    eval1 = HybridTestbench(
+        task_id=task.task_id,
+        driver_src=render_driver(task, thin_plan),
+        checker_src=golden_checker,
+        scenarios=tuple((s.index, s.description) for s in thin_plan))
+    eval2 = _tb(task, golden_driver, golden_checker)
+    return {EvalLevel.FAILED: failed, EvalLevel.EVAL0: eval0,
+            EvalLevel.EVAL1: eval1, EvalLevel.EVAL2: eval2}
+
+
+def test_table2_autoeval_criteria(benchmark):
+    exemplars = _band_exemplars()
+    results = benchmark.pedantic(
+        lambda: {band: evaluate(tb) for band, tb in exemplars.items()},
+        rounds=1, iterations=1)
+
+    lines = [render_table2(), "", "Band exemplars (one TB per band):"]
+    for band, result in sorted(results.items()):
+        lines.append(f"  expected {band.label:<7} -> measured "
+                     f"{result.level.label:<7} {result.detail}")
+    emit("table2_autoeval_criteria", "\n".join(lines))
+
+    # Every terminal band is reachable, and grading hits it exactly.
+    for band, result in results.items():
+        assert result.level == band, (band, result.detail)
+    # Nesting: a level passing Eval2 passes everything below.
+    top = results[EvalLevel.EVAL2]
+    for lower in (EvalLevel.EVAL0, EvalLevel.EVAL1, EvalLevel.EVAL2):
+        assert top.passes(lower)

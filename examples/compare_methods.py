@@ -1,0 +1,45 @@
+#!/usr/bin/env python3
+"""Head-to-head: baseline vs AutoBench vs CorrectBench on a task slice.
+
+Runs the three testbench-generation methods of the paper on a balanced
+slice of the benchmark and prints a miniature Table I.
+
+Run:  python examples/compare_methods.py          (12 tasks, 1 seed)
+      python examples/compare_methods.py --full   (all 156 tasks)
+"""
+
+import sys
+
+from repro.eval import default_config, render_table1, run_campaign
+from repro.eval.campaign import campaign_jobs_from_env
+from repro.problems import dataset_slice, load_dataset
+
+
+def main() -> None:
+    full = "--full" in sys.argv
+    if full:
+        task_ids = [task.task_id for task in load_dataset()]
+    else:
+        task_ids = [task.task_id for task in dataset_slice(6, 6,
+                                                           stride=7)]
+    config = default_config(
+        task_ids=task_ids, seeds=(0,),
+        n_jobs=campaign_jobs_from_env(default=4))
+    print(f"running 3 methods x {len(task_ids)} tasks "
+          f"(jobs={config.n_jobs}) ...")
+
+    done = {"n": 0}
+
+    def progress(index, total, run):
+        done["n"] = index
+        if index % 10 == 0 or index == total:
+            print(f"  {index}/{total} ({run.method} {run.task_id}: "
+                  f"{run.level.label})")
+
+    result = run_campaign(config, progress=progress)
+    print()
+    print(render_table1(result))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""Watch the two-stage corrector at work (the paper's Fig. 5 demo).
+
+Builds a testbench whose checker carries a known misconception, validates
+it to obtain the bug information, then runs the corrector conversation
+and prints the stage-1 reasoning and the stage-2 rewrite, followed by the
+re-validation verdict.
+
+Run:  python examples/corrector_session.py
+"""
+
+from repro.codegen import render_checker_core, render_driver
+from repro.core import (CRITERION_70, Corrector, HybridTestbench,
+                        ScenarioValidator)
+from repro.llm import MeteredClient, UsageMeter, get_profile
+from repro.llm.faults import FaultModel
+from repro.llm.synthetic import SyntheticLLM
+from repro.problems import get_task
+
+TASK_ID = "seq_ashift8"  # the arithmetic shifter, as in the paper's demo
+
+
+def main() -> None:
+    task = get_task(TASK_ID)
+    profile = get_profile("gpt-4o")
+    llm = SyntheticLLM(profile, seed=11)
+    client = MeteredClient(llm, UsageMeter())
+
+    # A testbench whose checker believes a wrong variant of the spec
+    # (not the model's sticky one, so the judge group can expose it).
+    sticky = FaultModel(profile, seed=11).sticky_misconception(task)
+    variant = next(v for v in task.variants if v.vid != sticky.vid)
+    plan = task.canonical_scenarios()
+    testbench = HybridTestbench(
+        task_id=task.task_id,
+        driver_src=render_driver(task, plan),
+        checker_src=render_checker_core(task,
+                                        task.variant_params(variant)),
+        scenarios=tuple((s.index, s.description) for s in plan))
+    print(f"Task: {task.title}")
+    print(f"Injected checker bug: {variant.description}")
+    print()
+
+    validator = ScenarioValidator(client, task, CRITERION_70)
+    report = validator.validate(testbench)
+    print(f"validator verdict: {'correct' if report.verdict else 'wrong'}")
+    print(f"bug info: wrong={list(report.wrong)} "
+          f"correct={list(report.correct)} "
+          f"uncertain={list(report.uncertain)}")
+    print()
+
+    corrections = 0
+    while not report.verdict and corrections < 3:
+        corrections += 1
+        outcome = Corrector(client).correct(task, testbench, report,
+                                            corrections)
+        print(f"=== correction {corrections}: stage 1 reasoning ===")
+        print(outcome.reasoning)
+        print()
+        testbench = outcome.testbench
+        report = validator.validate(testbench)
+        print(f"re-validation: "
+              f"{'correct' if report.verdict else 'still wrong'}")
+        print()
+
+    print("=== final checker core ===")
+    print(testbench.checker_src)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,55 @@
+#!/usr/bin/env python3
+"""Quickstart: run CorrectBench end-to-end on one task.
+
+Generates a hybrid testbench for an 8-bit enabled counter from its
+natural-language spec alone, self-validates it against a group of
+imperfect RTLs, self-corrects / reboots as needed (Algorithm 1), and
+finally grades the accepted testbench with AutoEval.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.core import CorrectBenchWorkflow
+from repro.eval import evaluate
+from repro.llm import MeteredClient, UsageMeter, get_profile
+from repro.llm.synthetic import SyntheticLLM
+from repro.problems import get_task
+
+TASK_ID = "seq_count8_en"
+
+
+def main() -> None:
+    task = get_task(TASK_ID)
+    print(f"Task: {task.task_id} — {task.title}")
+    print("-" * 60)
+    print(task.spec_text)
+    print("-" * 60)
+
+    client = MeteredClient(SyntheticLLM(get_profile("gpt-4o"), seed=7),
+                           UsageMeter())
+    workflow = CorrectBenchWorkflow(client, task)
+    result = workflow.run()
+
+    print(f"validator accepted: {result.validated}")
+    print(f"reboots: {result.reboots}   corrections: {result.corrections}")
+    print("action history:",
+          " -> ".join(event.action for event in result.history))
+    print()
+
+    grade = evaluate(result.final_tb)
+    print(f"AutoEval grade: {grade.level.label}"
+          + (f" ({grade.detail})" if grade.detail else ""))
+    usage = client.meter.total
+    print(f"token cost: {usage.input_tokens} in / "
+          f"{usage.output_tokens} out")
+    print()
+    print("=== final driver (head) ===")
+    print("\n".join(result.final_tb.driver_src.splitlines()[:16]))
+    print("...")
+    print()
+    print("=== final checker core ===")
+    print(result.final_tb.checker_src)
+
+
+if __name__ == "__main__":
+    main()

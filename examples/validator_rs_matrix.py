@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""Inspect the scenario-based validator: RS matrices for a correct and a
+deliberately wrong testbench (the paper's Fig. 4 view).
+
+The wrong testbench carries a behavioural misconception in its Python
+checker.  Against the 20 imperfect judge RTLs, its affected scenarios
+show up as (near-)solid red columns, and the validator hands those
+indexes to the corrector as bug information.
+
+Run:  python examples/validator_rs_matrix.py
+"""
+
+from repro.codegen import render_checker_core, render_driver
+from repro.core import CRITERION_70, HybridTestbench, ScenarioValidator
+from repro.llm import MeteredClient, UsageMeter, get_profile
+from repro.llm.faults import FaultModel
+from repro.llm.synthetic import SyntheticLLM
+from repro.problems import get_task
+
+TASK_ID = "cmb_mux4to1_4b"
+
+
+def build_tb(task, checker_src):
+    plan = task.canonical_scenarios()
+    return HybridTestbench(
+        task_id=task.task_id,
+        driver_src=render_driver(task, plan),
+        checker_src=checker_src,
+        scenarios=tuple((s.index, s.description) for s in plan))
+
+
+def main() -> None:
+    task = get_task(TASK_ID)
+    profile = get_profile("gpt-4o")
+    client = MeteredClient(SyntheticLLM(profile, seed=0), UsageMeter())
+    validator = ScenarioValidator(client, task, CRITERION_70)
+
+    print(f"Task: {task.title} — scenarios:")
+    for scenario in task.canonical_scenarios():
+        print(f"  {scenario.index}. {scenario.description}")
+    print()
+
+    correct_tb = build_tb(task, render_checker_core(task))
+    report = validator.validate(correct_tb)
+    print("=== correct testbench ===")
+    print(report.matrix.render_ascii())
+    print(f"verdict: {'correct' if report.verdict else 'wrong'}"
+          + (f" ({report.note})" if report.note else ""))
+    print()
+
+    # Sabotage the checker with a variant the judge group doesn't share.
+    sticky = FaultModel(profile, seed=0).sticky_misconception(task)
+    variant = next(v for v in task.variants if v.vid != sticky.vid)
+    wrong_tb = build_tb(task, render_checker_core(
+        task, task.variant_params(variant)))
+    report = validator.validate(wrong_tb)
+    print(f"=== wrong testbench (checker {variant.description}) ===")
+    print(report.matrix.render_ascii())
+    print(f"verdict: {'correct' if report.verdict else 'wrong'}")
+    print(f"bug information for the corrector: wrong={list(report.wrong)}"
+          f" correct={list(report.correct)}"
+          f" uncertain={list(report.uncertain)}")
+
+
+if __name__ == "__main__":
+    main()

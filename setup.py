@@ -1,0 +1,11 @@
+"""Setup shim.
+
+The sandboxed environment has no ``wheel`` package, so ``pip install -e .``
+cannot build a PEP 660 editable wheel.  This shim lets the classic
+``python setup.py develop`` editable install work offline; with network
+access a plain ``pip install -e .`` works too.
+"""
+
+from setuptools import setup
+
+setup()

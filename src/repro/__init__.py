@@ -1,0 +1,50 @@
+"""CorrectBench reproduction — automatic testbench generation with
+functional self-validation and self-correction for HDL design.
+
+Reproduces Qiu et al., *CorrectBench: Automatic Testbench Generation with
+Functional Self-Correction using LLMs for HDL Design* (DATE 2025,
+arXiv:2411.08510), as a self-contained Python library:
+
+- :mod:`repro.hdl` — a Verilog subset front end + 4-state event-driven
+  simulator (replaces Icarus Verilog),
+- :mod:`repro.llm` — the LLM substrate: client protocol, model
+  reliability profiles, and the deterministic synthetic LLM,
+- :mod:`repro.problems` — the 156-task benchmark population (81
+  combinational + 75 sequential),
+- :mod:`repro.mutation` — RTL mutants and fault injection,
+- :mod:`repro.codegen` — driver / checker / testbench renderers,
+- :mod:`repro.core` — AutoBench generator, baseline, RS-matrix
+  validator, two-stage corrector and the Algorithm-1 agent,
+- :mod:`repro.eval` — AutoEval (Eval0/1/2), campaigns, metrics and the
+  paper's table/figure renderers.
+
+Quickstart::
+
+    from repro import quick_run
+    result, level = quick_run("seq_count4_up")
+    print(level.label, result.reboots, result.corrections)
+"""
+
+from .version import __version__
+
+
+def quick_run(task_id: str, model: str = "gpt-4o", seed: int = 0):
+    """Run CorrectBench end-to-end on one task and grade the result.
+
+    Returns ``(WorkflowResult, EvalLevel)``.
+    """
+    from .core import CorrectBenchWorkflow
+    from .eval import evaluate
+    from .llm import MeteredClient, UsageMeter, get_profile
+    from .llm.synthetic import SyntheticLLM
+    from .problems import get_task
+
+    task = get_task(task_id)
+    client = MeteredClient(SyntheticLLM(get_profile(model), seed=seed),
+                           UsageMeter())
+    result = CorrectBenchWorkflow(client, task).run()
+    level = evaluate(result.final_tb).level
+    return result, level
+
+
+__all__ = ["__version__", "quick_run"]

@@ -1,0 +1,161 @@
+"""``correctbench`` command-line interface.
+
+Subcommands:
+
+- ``dataset``  — list the benchmark tasks or show one task's artifacts;
+- ``run``      — run one method on one task and grade it with AutoEval;
+- ``validate`` — generate a testbench and show its RS matrix + verdict;
+- ``campaign`` — run a methods x tasks x seeds campaign, print Table I/III.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .core import (CRITERIA, AutoBenchGenerator, CorrectBenchWorkflow,
+                   DEFAULT_CRITERION, DirectBaseline, ScenarioValidator)
+from .eval import (default_config, evaluate, render_table1, render_table3,
+                   render_usage_summary, run_campaign)
+from .llm import MeteredClient, UsageMeter, get_profile
+from .llm.synthetic import SyntheticLLM
+from .problems import load_dataset, get_task
+
+
+def _client(model: str, seed: int) -> MeteredClient:
+    return MeteredClient(SyntheticLLM(get_profile(model), seed=seed),
+                         UsageMeter())
+
+
+# ----------------------------------------------------------------------
+def cmd_dataset(args) -> int:
+    if args.task:
+        task = get_task(args.task)
+        print(f"# {task.task_id} [{task.kind}] {task.title}")
+        print(f"# family={task.family} difficulty={task.difficulty}")
+        print()
+        print(task.spec_text)
+        if args.show_rtl:
+            print("--- golden RTL ---")
+            print(task.golden_rtl())
+        if args.show_checker:
+            print("--- golden checker core ---")
+            print(task.golden_model_source())
+        return 0
+    tasks = load_dataset()
+    print(f"{len(tasks)} tasks "
+          f"({sum(1 for t in tasks if t.kind == 'CMB')} CMB, "
+          f"{sum(1 for t in tasks if t.kind == 'SEQ')} SEQ)")
+    for task in tasks:
+        print(f"  {task.task_id:<24} [{task.kind}] {task.title}")
+    return 0
+
+
+def cmd_run(args) -> int:
+    task = get_task(args.task)
+    client = _client(args.model, args.seed)
+    if args.method == "baseline":
+        testbench = DirectBaseline(client, task).generate()
+    elif args.method == "autobench":
+        testbench = AutoBenchGenerator(client, task).generate()
+    else:
+        result = CorrectBenchWorkflow(
+            client, task, CRITERIA[args.criterion]).run()
+        testbench = result.final_tb
+        print(f"validated={result.validated} reboots={result.reboots} "
+              f"corrections={result.corrections}")
+    grade = evaluate(testbench)
+    usage = client.meter.total
+    print(f"AutoEval: {grade.level.label}"
+          + (f" ({grade.detail})" if grade.detail else ""))
+    print(f"tokens: in={usage.input_tokens} out={usage.output_tokens}")
+    return 0
+
+
+def cmd_validate(args) -> int:
+    task = get_task(args.task)
+    client = _client(args.model, args.seed)
+    testbench = AutoBenchGenerator(client, task).generate()
+    validator = ScenarioValidator(client, task, CRITERIA[args.criterion])
+    report = validator.validate(testbench)
+    print(report.matrix.render_ascii())
+    print()
+    print(f"verdict: {'correct' if report.verdict else 'wrong'}"
+          + (f"  ({report.note})" if report.note else ""))
+    print(f"wrong={list(report.wrong)} correct={list(report.correct)} "
+          f"uncertain={list(report.uncertain)}")
+    grade = evaluate(testbench)
+    print(f"AutoEval ground truth: {grade.level.label}")
+    return 0
+
+
+def cmd_campaign(args) -> int:
+    task_ids = None
+    if args.tasks:
+        task_ids = [t.strip() for t in args.tasks.split(",")]
+    elif args.limit:
+        tasks = load_dataset()
+        cmb = [t.task_id for t in tasks if t.kind == "CMB"]
+        seq = [t.task_id for t in tasks if t.kind == "SEQ"]
+        task_ids = cmb[:args.limit // 2] + seq[:args.limit - args.limit // 2]
+    config = default_config(
+        task_ids=task_ids, seeds=tuple(range(args.seeds)),
+        profile_name=args.model, criterion_name=args.criterion,
+        n_jobs=args.jobs)
+    result = run_campaign(config)
+    print(render_table1(result))
+    print(render_table3(result))
+    print()
+    print(render_usage_summary(result))
+    return 0
+
+
+# ----------------------------------------------------------------------
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="correctbench",
+        description="CorrectBench reproduction (DATE 2025)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_dataset = sub.add_parser("dataset", help="list / show tasks")
+    p_dataset.add_argument("--task", help="show one task")
+    p_dataset.add_argument("--show-rtl", action="store_true")
+    p_dataset.add_argument("--show-checker", action="store_true")
+    p_dataset.set_defaults(func=cmd_dataset)
+
+    common = argparse.ArgumentParser(add_help=False)
+    common.add_argument("--model", default="gpt-4o")
+    common.add_argument("--seed", type=int, default=0)
+    common.add_argument("--criterion", default=DEFAULT_CRITERION.name,
+                        choices=sorted(CRITERIA))
+
+    p_run = sub.add_parser("run", parents=[common],
+                           help="run one method on one task")
+    p_run.add_argument("task")
+    p_run.add_argument("--method", default="correctbench",
+                       choices=("correctbench", "autobench", "baseline"))
+    p_run.set_defaults(func=cmd_run)
+
+    p_val = sub.add_parser("validate", parents=[common],
+                           help="validate a generated TB (RS matrix)")
+    p_val.add_argument("task")
+    p_val.set_defaults(func=cmd_validate)
+
+    p_camp = sub.add_parser("campaign", parents=[common],
+                            help="run a methods x tasks x seeds campaign")
+    p_camp.add_argument("--tasks", help="comma-separated task ids")
+    p_camp.add_argument("--limit", type=int, default=0,
+                        help="balanced slice size (0 = full dataset)")
+    p_camp.add_argument("--seeds", type=int, default=1)
+    p_camp.add_argument("--jobs", type=int, default=1)
+    p_camp.set_defaults(func=cmd_campaign)
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

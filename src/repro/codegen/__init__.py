@@ -1,0 +1,26 @@
+"""``repro.codegen`` — artifact renderers.
+
+These functions turn a task + scenario plan into the concrete source
+artifacts of the pipeline: the Verilog driver, the Python checker core, the
+scenario listing text, and the baseline's monolithic self-checking
+testbench.  Both the synthetic LLM (which emits them with injected faults)
+and the golden-reference builder (which emits them pristine) render
+through this module, so golden and generated artifacts share one source of
+truth.
+"""
+
+from .baseline import BaselineFaults, render_baseline_tb
+from .checker import render_checker_core
+from .driver import (DriverFaults, parse_driver_scenarios, render_driver)
+from .scenarios import (parse_scenario_listing, render_scenario_listing)
+
+__all__ = [
+    "BaselineFaults",
+    "DriverFaults",
+    "parse_driver_scenarios",
+    "parse_scenario_listing",
+    "render_baseline_tb",
+    "render_checker_core",
+    "render_driver",
+    "render_scenario_listing",
+]

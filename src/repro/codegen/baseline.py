@@ -1,0 +1,126 @@
+"""Monolithic self-checking testbench renderer (the direct baseline).
+
+The paper's baseline asks the LLM for a complete testbench in one shot.
+Such testbenches hard-code the expected output values as literals — which
+is exactly where hallucinated reference values end up.  The renderer
+computes the expected values by *executing the provided checker-model
+source* (golden or misconception-perturbed), so a faulty belief produces a
+plausibly wrong but internally consistent testbench.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..problems.model import Scenario, TaskSpec, load_ref_model
+
+
+@dataclass(frozen=True)
+class BaselineFaults:
+    """Generation-quality knobs of the one-shot baseline testbench."""
+
+    thin: bool = False            # keep only a couple of check-points
+    missing_clock_init: bool = False
+
+    @property
+    def any(self) -> bool:
+        return self.thin or self.missing_clock_init
+
+
+def _vconst(width: int, value: int) -> str:
+    return f"{width}'d{value & ((1 << width) - 1)}"
+
+
+def render_baseline_tb(task: TaskSpec, plan: Sequence[Scenario],
+                       model_source: str,
+                       faults: BaselineFaults = BaselineFaults()) -> str:
+    """Render a self-checking Verilog testbench with hard-coded expects.
+
+    ``model_source`` is the checker-core the (synthetic) LLM believes in;
+    its outputs become the literal expected values.
+    """
+    model = load_ref_model(model_source)
+    driven = task.driven_ports
+    outputs = task.output_ports
+    clock = task.clock_port
+
+    check_points: list[tuple[dict, dict]] = []
+    for scenario in plan:
+        for vector in scenario.vectors:
+            expected = model.step(dict(vector))
+            check_points.append(
+                (dict(vector),
+                 {p.name: int(expected[p.name]) & p.mask for p in outputs}))
+
+    if faults.thin and len(check_points) > 3:
+        stride = max(1, len(check_points) // 3)
+        check_points = check_points[::stride][:3]
+
+    lines = [f"// Self-checking testbench for: {task.title}",
+             "module tb();"]
+    if clock is not None:
+        lines.append(f"    reg {clock.name};")
+    for port in driven:
+        rng = f" [{port.width - 1}:0]" if port.width > 1 else ""
+        lines.append(f"    reg{rng} {port.name};")
+    for port in outputs:
+        rng = f" [{port.width - 1}:0]" if port.width > 1 else ""
+        lines.append(f"    wire{rng} {port.name};")
+    lines.append("    integer errors;")
+    lines.append("")
+    conns = ", ".join(f".{p.name}({p.name})" for p in task.ports)
+    lines.append(f"    top_module dut({conns});")
+    if clock is not None:
+        lines.append(f"    always #5 {clock.name} = ~{clock.name};")
+    lines.append("")
+    lines.append("    initial begin")
+    lines.append("        errors = 0;")
+    if clock is not None and not faults.missing_clock_init:
+        lines.append(f"        {clock.name} = 1'b0;")
+
+    for index, (vector, expected) in enumerate(check_points, start=1):
+        lines.append("")
+        lines.append(f"        // Check {index}")
+        for port in driven:
+            lines.append(f"        {port.name} = "
+                         f"{_vconst(port.width, vector[port.name])};")
+        if clock is None:
+            lines.append("        #10;")
+        else:
+            lines.append(f"        @(posedge {clock.name});")
+            lines.append("        #1;")
+        for port in outputs:
+            want = _vconst(port.width, expected[port.name])
+            lines.append(
+                f"        if ({port.name} !== {want}) begin")
+            lines.append("            errors = errors + 1;")
+            lines.append(
+                f'            $display("MISMATCH check {index}: '
+                f'{port.name} = %d (expected %d)", {port.name}, {want});')
+            lines.append("        end")
+
+    lines.append("")
+    lines.append("        if (errors == 0) begin")
+    lines.append('            $display("ALL_TESTS_PASSED");')
+    lines.append("        end else begin")
+    lines.append('            $display("TESTS_FAILED: %d", errors);')
+    lines.append("        end")
+    lines.append("        $finish;")
+    lines.append("    end")
+    lines.append("endmodule")
+    return "\n".join(lines) + "\n"
+
+
+def baseline_verdict(stdout_lines: Sequence[str]) -> bool | None:
+    """Parse the baseline TB's stdout into a pass verdict.
+
+    Returns True/False, or None when the testbench produced no verdict
+    (e.g. the clock never ran).
+    """
+    for line in stdout_lines:
+        if "ALL_TESTS_PASSED" in line:
+            return True
+        if "TESTS_FAILED" in line:
+            return False
+    return None

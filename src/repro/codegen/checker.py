@@ -1,0 +1,38 @@
+"""Python checker-core renderer.
+
+The checker core is the "core code" of the paper's Python checker: a
+``RefModel`` class that regenerates the reference output signals.  The
+fixed interface around it — dump parsing, stepping, comparison, the
+per-scenario report — is completed by the pipeline (the paper's code
+standardisation stage does exactly this: "Only the core code needs to be
+generated; the other codes, such as the fixed code interface, will be
+completed by a Python script"), and lives in
+:mod:`repro.core.checker_runtime`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping
+
+from ..problems.model import TaskSpec
+
+_HEADER_STYLES = (
+    '"""Reference checker core for: {title}."""\n\n',
+    "# Python checker core (auto-generated)\n# Task: {title}\n\n",
+    "# --- checker model for {title} ---\n\n",
+)
+
+
+def render_checker_core(task: TaskSpec,
+                        params: Mapping[str, Any] | None = None,
+                        style_seed: int = 0) -> str:
+    """Render the checker core from the task's (possibly perturbed) params.
+
+    ``params=None`` renders the golden core.  Passing a behavioural
+    variant's parameter set renders a checker with that misconception —
+    byte-for-byte plausible code whose reference outputs are wrong.
+    """
+    header = _HEADER_STYLES[style_seed % len(_HEADER_STYLES)]
+    body = task.model_renderer(params if params is not None
+                               else task.params)
+    return header.format(title=task.title) + body

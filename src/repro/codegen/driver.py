@@ -1,0 +1,149 @@
+"""Verilog driver renderer.
+
+The driver is the front half of the hybrid testbench (Fig. 3 of the
+paper): it drives the DUT through the test scenarios and ``$fdisplay``-s
+every check-point — the driven inputs followed by the DUT outputs — to a
+dump file the Python checker consumes.
+
+Fault injection: the synthetic LLM may request the realistic driver
+mistakes observed in LLM-generated testbenches — sampling in the same
+delta as the clock edge (a classic race), dropping a scenario, a stuck
+input, or a forgotten clock initialisation.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..problems.model import Scenario, TaskSpec
+
+DUMP_FILE = "results.txt"
+
+_HEADER_STYLES = (
+    "// Testbench generated for: {title}\n",
+    "// Automatically generated testbench.\n// Task: {title}\n",
+    "// === {title} : simulation driver ===\n",
+    "/* Testbench driver for {title} */\n",
+)
+
+
+@dataclass(frozen=True)
+class DriverFaults:
+    """Functional faults the generator may inject into a driver."""
+
+    late_sample: bool = False        # sample without settling (#1) delay
+    drop_last_scenario: bool = False
+    stuck_input: str | None = None   # this input is never re-assigned
+    missing_clock_init: bool = False  # forget `clk = 0` (SEQ only)
+
+    @property
+    def any(self) -> bool:
+        return (self.late_sample or self.drop_last_scenario
+                or self.stuck_input is not None or self.missing_clock_init)
+
+
+def _decl(kind: str, width: int, name: str) -> str:
+    if width > 1:
+        return f"    {kind} [{width - 1}:0] {name};"
+    return f"    {kind} {name};"
+
+
+def _vconst(width: int, value: int) -> str:
+    return f"{width}'d{value & ((1 << width) - 1)}"
+
+
+def render_driver(task: TaskSpec, plan: Sequence[Scenario],
+                  faults: DriverFaults = DriverFaults(),
+                  style_seed: int = 0) -> str:
+    """Render the driver module ``tb`` for ``task`` over ``plan``."""
+    driven = task.driven_ports
+    outputs = task.output_ports
+    clock = task.clock_port
+
+    lines: list[str] = []
+    header = _HEADER_STYLES[style_seed % len(_HEADER_STYLES)]
+    lines.append(header.format(title=task.title).rstrip())
+    lines.append("module tb();")
+    if clock is not None:
+        lines.append(_decl("reg", 1, clock.name))
+    for port in driven:
+        lines.append(_decl("reg", port.width, port.name))
+    for port in outputs:
+        lines.append(_decl("wire", port.width, port.name))
+    lines.append("    integer file;")
+    lines.append("    integer scenario;")
+    lines.append("")
+    conns = ", ".join(f".{p.name}({p.name})" for p in task.ports)
+    lines.append(f"    top_module dut({conns});")
+    lines.append("")
+    if clock is not None:
+        lines.append(f"    always #5 {clock.name} = ~{clock.name};")
+        lines.append("")
+    lines.append("    initial begin")
+    lines.append(f'        file = $fopen("{DUMP_FILE}");')
+    if clock is not None and not faults.missing_clock_init:
+        lines.append(f"        {clock.name} = 1'b0;")
+
+    fmt_parts = ["scenario: %d"]
+    arg_parts = ["scenario"]
+    for port in list(driven) + list(outputs):
+        fmt_parts.append(f"{port.name} = %d")
+        arg_parts.append(port.name)
+    fmt = ", ".join(fmt_parts)
+    args = ", ".join(arg_parts)
+
+    effective = list(plan)
+    if faults.drop_last_scenario and len(effective) > 1:
+        # Under-covering drivers lose a whole block of trailing scenarios
+        # (the classic "the model got bored" failure), not just one.
+        keep = max(1, len(effective) - max(1, len(effective) // 3))
+        effective = effective[:keep]
+
+    stuck_done: set[str] = set()
+    for scenario in effective:
+        lines.append("")
+        lines.append(f"        // Scenario {scenario.index}: "
+                     f"{scenario.description}")
+        lines.append(f"        scenario = {scenario.index};")
+        for vector in scenario.vectors:
+            for port in driven:
+                if (faults.stuck_input == port.name
+                        and port.name in stuck_done):
+                    continue
+                value = vector[port.name]
+                lines.append(f"        {port.name} = "
+                             f"{_vconst(port.width, value)};")
+                stuck_done.add(port.name)
+            if clock is None:
+                lines.append(f'        #10 $fdisplay(file, "{fmt}", '
+                             f"{args});")
+            else:
+                lines.append(f"        @(posedge {clock.name});")
+                if not faults.late_sample:
+                    lines.append("        #1;")
+                lines.append(f'        $fdisplay(file, "{fmt}", {args});')
+    lines.append("")
+    lines.append("        $fclose(file);")
+    lines.append("        $finish;")
+    lines.append("    end")
+    lines.append("endmodule")
+    return "\n".join(lines) + "\n"
+
+
+_SCENARIO_COMMENT_RE = re.compile(
+    r"//\s*Scenario\s+(\d+)\s*:\s*(.+)$", re.MULTILINE)
+
+
+def parse_driver_scenarios(driver_src: str) -> list[tuple[int, str]]:
+    """Extract ``(index, description)`` pairs from driver comments.
+
+    This is how the pipeline recovers the scenario definitions from the
+    LLM's driver response — the same information the corrector prompt
+    includes (Section III-C: "the definition of each scenario").
+    """
+    found = []
+    for match in _SCENARIO_COMMENT_RE.finditer(driver_src):
+        found.append((int(match.group(1)), match.group(2).strip()))
+    return found

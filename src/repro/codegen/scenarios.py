@@ -1,0 +1,39 @@
+"""Scenario-listing rendering and parsing.
+
+AutoBench's first stage asks the LLM for a list of test scenarios.  The
+synthetic LLM renders the listing from the task's scenario plan; the
+pipeline parses the reply back into (index, name, description) triples —
+the same loop a production pipeline runs on free-text LLM output.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Sequence
+
+from ..problems.model import Scenario
+
+_LISTING_HEADER = "Test scenarios:"
+
+_LINE_RE = re.compile(
+    r"^\s*(\d+)\.\s*\[(?P<name>[^\]]+)\]\s*(?P<desc>.+)$")
+
+
+def render_scenario_listing(plan: Sequence[Scenario]) -> str:
+    """Render the numbered scenario listing (an LLM response body)."""
+    lines = [_LISTING_HEADER]
+    for scenario in plan:
+        lines.append(
+            f"{scenario.index}. [{scenario.name}] {scenario.description}")
+    return "\n".join(lines)
+
+
+def parse_scenario_listing(text: str) -> list[tuple[int, str, str]]:
+    """Parse a scenario listing back into (index, name, description)."""
+    out = []
+    for line in text.splitlines():
+        match = _LINE_RE.match(line)
+        if match:
+            out.append((int(match.group(1)), match.group("name").strip(),
+                        match.group("desc").strip()))
+    return out

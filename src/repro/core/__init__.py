@@ -1,0 +1,55 @@
+"""``repro.core`` — the CorrectBench pipeline.
+
+Generator (AutoBench), baseline, scenario-based validator (RS matrix +
+criteria), two-stage corrector, and the Algorithm-1 action agent.
+"""
+
+from .agent import (ActionEvent, CorrectBenchWorkflow, I_C_MAX, I_R_MAX,
+                    WorkflowResult)
+from .artifacts import (GenerationRecord, HybridTestbench,
+                        MonolithicTestbench, RtlSample)
+from .baseline import DirectBaseline
+from .corrector import CorrectionOutcome, Corrector
+from .coverage import (CoveragePolicy, CoverageReport, CoverageValidator,
+                       measure_coverage)
+from .generator import AutoBenchGenerator
+from .rs_matrix import RSMatrix, RSRow, build_matrix
+from .rtl_group import (DEFAULT_GROUP_SIZE, JudgeRtl, build_rtl_group)
+from .validator import (CRITERIA, CRITERION_50, CRITERION_70,
+                        CRITERION_100, Criterion, DEFAULT_CRITERION,
+                        ScenarioValidator, ValidationReport, decide)
+
+__all__ = [
+    "ActionEvent",
+    "AutoBenchGenerator",
+    "CRITERIA",
+    "CRITERION_100",
+    "CRITERION_50",
+    "CRITERION_70",
+    "CorrectBenchWorkflow",
+    "CorrectionOutcome",
+    "Corrector",
+    "CoveragePolicy",
+    "CoverageReport",
+    "CoverageValidator",
+    "Criterion",
+    "DEFAULT_CRITERION",
+    "DEFAULT_GROUP_SIZE",
+    "DirectBaseline",
+    "GenerationRecord",
+    "HybridTestbench",
+    "I_C_MAX",
+    "I_R_MAX",
+    "JudgeRtl",
+    "MonolithicTestbench",
+    "RSMatrix",
+    "RSRow",
+    "RtlSample",
+    "ScenarioValidator",
+    "ValidationReport",
+    "WorkflowResult",
+    "build_matrix",
+    "build_rtl_group",
+    "decide",
+    "measure_coverage",
+]

@@ -1,0 +1,125 @@
+"""The action agent: Algorithm 1 of the paper.
+
+Drives the validate / correct / reboot loop:
+
+- validator says wrong and corrections remain (``I_C < I_C^max``) →
+  **Correcting** via the two-stage corrector;
+- validator says wrong and reboots remain (``I_R < I_R^max``) →
+  **Rebooting**: regenerate the testbench from scratch and reset the
+  correction counter;
+- otherwise → **Pass** (either the validator is satisfied or every
+  budget is exhausted and the system gives up with the last testbench).
+
+Paper constants: ``I_C^max = 3``, ``I_R^max = 10``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..llm.base import LLMClient, MeteredClient, UsageMeter
+from ..problems.model import TaskSpec
+from .artifacts import HybridTestbench
+from .corrector import Corrector
+from .generator import AutoBenchGenerator
+from .validator import (DEFAULT_CRITERION, Criterion, ScenarioValidator,
+                        ValidationReport)
+
+I_C_MAX = 3
+I_R_MAX = 10
+
+
+@dataclass(frozen=True)
+class ActionEvent:
+    """One step of the agent's history."""
+
+    action: str  # "Correcting" | "Rebooting" | "Pass"
+    generation_index: int
+    correction_index: int
+    validator_verdict: bool
+    wrong_scenarios: tuple[int, ...] = ()
+
+
+@dataclass
+class WorkflowResult:
+    """Outcome of one CorrectBench run on one task."""
+
+    task_id: str
+    final_tb: HybridTestbench
+    validated: bool              # did the validator accept the final TB?
+    gave_up: bool                # budgets exhausted without acceptance
+    corrections: int = 0         # total corrector invocations
+    reboots: int = 0
+    history: tuple[ActionEvent, ...] = ()
+    final_report: ValidationReport | None = None
+    meter: UsageMeter | None = None
+
+    @property
+    def final_from_corrector(self) -> bool:
+        return self.final_tb.origin == "corrector"
+
+    @property
+    def took_any_action(self) -> bool:
+        """True when the raw first testbench was not the one accepted."""
+        return self.corrections > 0 or self.reboots > 0
+
+
+@dataclass
+class CorrectBenchWorkflow:
+    """CorrectBench end-to-end for one task (Fig. 1 / Algorithm 1)."""
+
+    client: LLMClient | MeteredClient
+    task: TaskSpec
+    criterion: Criterion = DEFAULT_CRITERION
+    ic_max: int = I_C_MAX
+    ir_max: int = I_R_MAX
+    group_size: int = 20
+    history: list[ActionEvent] = field(default_factory=list)
+
+    def run(self) -> WorkflowResult:
+        generator = AutoBenchGenerator(self.client, self.task)
+        validator = ScenarioValidator(self.client, self.task,
+                                      self.criterion, self.group_size)
+        corrector = Corrector(self.client)
+
+        i_c = 0
+        i_r = 0
+        corrections = 0
+        testbench = generator.generate(attempt=0)
+
+        while True:
+            report = validator.validate(testbench)
+            if not report.verdict and i_c < self.ic_max:
+                action = "Correcting"
+                i_c += 1
+                corrections += 1
+                outcome = corrector.correct(self.task, testbench, report,
+                                            correction_round=corrections)
+                self.history.append(ActionEvent(
+                    action, testbench.generation_index,
+                    testbench.correction_index, report.verdict,
+                    report.wrong))
+                testbench = outcome.testbench
+                continue
+            if not report.verdict and i_r < self.ir_max:
+                action = "Rebooting"
+                i_r += 1
+                i_c = 0  # a fresh boot gets a fresh correction budget
+                self.history.append(ActionEvent(
+                    action, testbench.generation_index,
+                    testbench.correction_index, report.verdict,
+                    report.wrong))
+                testbench = generator.generate(attempt=i_r)
+                continue
+            self.history.append(ActionEvent(
+                "Pass", testbench.generation_index,
+                testbench.correction_index, report.verdict, report.wrong))
+            meter = (self.client.meter
+                     if isinstance(self.client, MeteredClient) else None)
+            return WorkflowResult(
+                task_id=self.task.task_id, final_tb=testbench,
+                validated=report.verdict,
+                gave_up=not report.verdict,
+                corrections=corrections, reboots=i_r,
+                history=tuple(self.history), final_report=report,
+                meter=meter)

@@ -1,0 +1,65 @@
+"""Testbench artifacts produced by the generation pipelines."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class HybridTestbench:
+    """AutoBench-style hybrid testbench: Verilog driver + Python checker.
+
+    ``scenarios`` holds the (index, description) pairs recovered from the
+    driver's scenario comments — the information the validator report and
+    the corrector prompt refer to.
+    """
+
+    task_id: str
+    driver_src: str
+    checker_src: str
+    scenarios: tuple[tuple[int, str], ...]
+    origin: str = "autobench"  # "autobench" | "corrector" | "golden"
+    generation_index: int = 0
+    correction_index: int = 0
+
+    @property
+    def artifact_key(self) -> str:
+        """Stable identity of the artifact pair (used by instrumentation)."""
+        import hashlib
+        h = hashlib.sha256()
+        h.update(self.driver_src.encode())
+        h.update(b"\x00")
+        h.update(self.checker_src.encode())
+        return h.hexdigest()[:16]
+
+
+@dataclass(frozen=True)
+class MonolithicTestbench:
+    """Baseline artifact: one self-checking Verilog testbench."""
+
+    task_id: str
+    source: str
+    origin: str = "baseline"
+
+    @property
+    def artifact_key(self) -> str:
+        import hashlib
+        return hashlib.sha256(self.source.encode()).hexdigest()[:16]
+
+
+@dataclass(frozen=True)
+class RtlSample:
+    """One imperfect RTL implementation from the validator's judge group."""
+
+    task_id: str
+    source: str
+    sample_index: int
+
+
+@dataclass
+class GenerationRecord:
+    """Bookkeeping of one generator invocation (for workflow history)."""
+
+    attempt: int
+    testbench: object
+    notes: list[str] = field(default_factory=list)

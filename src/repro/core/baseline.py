@@ -1,0 +1,36 @@
+"""The direct-generation baseline: one-shot testbench from the LLM.
+
+The paper's weakest comparator simply asks the model for a complete
+testbench — no scenario decomposition, no self-enhancement, no checking.
+"""
+
+from __future__ import annotations
+
+from ..llm.base import (ChatMessage, ChatRequest, GenerationIntent,
+                        LLMClient, MeteredClient)
+from ..problems.model import TaskSpec
+from ..util import extract_first_code_block
+from . import prompts
+from .artifacts import MonolithicTestbench
+
+
+class DirectBaseline:
+    """Directly asks the LLM for a monolithic self-checking testbench."""
+
+    def __init__(self, client: LLMClient | MeteredClient, task: TaskSpec):
+        self.client = client
+        self.task = task
+
+    def generate(self, attempt: int = 0) -> MonolithicTestbench:
+        request = ChatRequest(
+            messages=(ChatMessage("system", prompts.SYSTEM_TESTBENCH),
+                      ChatMessage("user",
+                                  prompts.baseline_prompt(
+                                      self.task.spec_text))),
+            intent=GenerationIntent("baseline_tb", self.task.task_id,
+                                    {"task": self.task,
+                                     "attempt": attempt}))
+        reply = self.client.complete(request).text
+        source = extract_first_code_block(reply, "verilog")
+        return MonolithicTestbench(task_id=self.task.task_id,
+                                   source=source)

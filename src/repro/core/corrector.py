@@ -1,0 +1,71 @@
+"""The LLM-based testbench self-corrector (paper Section III-C, Fig. 5).
+
+A two-stage conversation:
+
+- **Stage 1 — reasoning.** The LLM is guided through why / where / how:
+  attribute the failing scenarios, locate the related checker code, and
+  propose a natural-language fix.
+- **Stage 2 — correction.** In the same conversation, the LLM rewrites
+  the checker core under formatting rules; the fixed interface is
+  completed by the framework.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from ..llm.base import GenerationIntent, LLMClient, MeteredClient
+from ..llm.conversation import Conversation
+from ..problems.model import TaskSpec
+from ..util import extract_first_code_block
+from . import prompts
+from .artifacts import HybridTestbench
+from .validator import ValidationReport
+
+
+@dataclass
+class CorrectionOutcome:
+    testbench: HybridTestbench
+    reasoning: str
+    changed: bool
+
+
+class Corrector:
+    """Runs one two-stage correction conversation."""
+
+    def __init__(self, client: LLMClient | MeteredClient):
+        self.client = client
+
+    def correct(self, task: TaskSpec, tb: HybridTestbench,
+                report: ValidationReport,
+                correction_round: int) -> CorrectionOutcome:
+        scenario_text = "\n".join(
+            f"{index}. {description}" for index, description in
+            tb.scenarios) or "(no scenario definitions recovered)"
+
+        conversation = Conversation(self.client,
+                                    prompts.SYSTEM_TESTBENCH)
+        stage1 = conversation.ask(
+            prompts.corrector_stage1_prompt(
+                task.spec_text, scenario_text, report.wrong,
+                report.correct, report.uncertain, tb.driver_src,
+                tb.checker_src),
+            GenerationIntent("correct_reason", task.task_id, {
+                "task": task, "checker_src": tb.checker_src,
+                "wrong_scenarios": report.wrong,
+                "correction_round": correction_round}))
+
+        stage2 = conversation.ask(
+            prompts.corrector_stage2_prompt(),
+            GenerationIntent("correct_rewrite", task.task_id, {
+                "task": task, "checker_src": tb.checker_src,
+                "wrong_scenarios": report.wrong,
+                "attempt": tb.generation_index,
+                "correction_round": correction_round}))
+
+        new_checker = extract_first_code_block(stage2, "python")
+        changed = new_checker.strip() != tb.checker_src.strip()
+        corrected = replace(tb, checker_src=new_checker,
+                            origin="corrector",
+                            correction_index=correction_round)
+        return CorrectionOutcome(corrected, stage1, changed)

@@ -1,0 +1,145 @@
+"""Coverage-based self-validation (the paper's stated future work).
+
+The RS-matrix validator judges whether a testbench's *expectations* are
+right, but it is structurally blind to *coverage*: a testbench that
+drives two vectors has two columns and nothing to flag.  Such weak
+testbenches pass validation, pass the golden DUT (Eval1), and then fail
+Eval2's mutant-agreement bar — the Eval1-vs-Eval2 gap of Table I.
+
+The paper's conclusion names coverage-based self-validation as future
+work; this module implements it.  Stimulus coverage is measured from the
+driver's own dump records — no golden reference needed, keeping the
+framework's no-human-content property:
+
+- the **pattern axis**: distinct driven-input patterns, relative to the
+  richness a typical plan for this interface would reach,
+- the **check-point axis**: total number of check-points.
+
+``CoverageValidator`` wraps the scenario validator and adds a
+"testbench too weak" rejection, which the action agent turns into a
+reboot like any other wrong verdict.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..problems.model import TaskSpec
+from .artifacts import HybridTestbench
+from .simulation import Record, run_driver
+from .validator import ScenarioValidator, ValidationReport
+
+
+@dataclass(frozen=True)
+class CoverageReport:
+    """Stimulus coverage of one driver run."""
+
+    check_points: int
+    distinct_patterns: int
+    reference_patterns: int   # what a typical plan reaches on this task
+    pattern_ratio: float      # distinct / min(reference, input-space)
+
+    def meets(self, policy: "CoveragePolicy") -> bool:
+        return (self.check_points >= policy.min_check_points
+                and self.pattern_ratio >= policy.min_pattern_ratio)
+
+
+@dataclass(frozen=True)
+class CoveragePolicy:
+    """Acceptance thresholds for stimulus coverage.
+
+    The defaults separate shallow plans (a couple of short scenarios,
+    pattern ratio well below 0.2) from ordinary plans whose stimulus
+    jitter naturally repeats some patterns.
+    """
+
+    min_check_points: int = 5
+    min_pattern_ratio: float = 0.22
+
+
+def _input_space_size(task: TaskSpec, cap: int = 1 << 16) -> int:
+    size = 1
+    for port in task.driven_ports:
+        size *= (1 << port.width)
+        if size >= cap:
+            return cap
+    return size
+
+
+def reference_pattern_count(task: TaskSpec) -> int:
+    """Pattern richness of the task's canonical plan (computed once)."""
+    plan = task.canonical_scenarios()
+    patterns = {tuple(sorted(vector.items()))
+                for scenario in plan for vector in scenario.vectors}
+    return max(1, len(patterns))
+
+
+def measure_coverage(task: TaskSpec,
+                     records: Sequence[Record]) -> CoverageReport:
+    """Measure stimulus coverage from dump records."""
+    driven = [p.name for p in task.driven_ports]
+    patterns = set()
+    for record in records:
+        patterns.add(tuple(record.values.get(name, "x")
+                           for name in driven))
+    reference = min(reference_pattern_count(task),
+                    _input_space_size(task))
+    ratio = len(patterns) / reference if reference else 1.0
+    return CoverageReport(
+        check_points=len(records),
+        distinct_patterns=len(patterns),
+        reference_patterns=reference,
+        pattern_ratio=min(ratio, 1.0))
+
+
+class CoverageValidator:
+    """RS-matrix validation augmented with a stimulus-coverage gate.
+
+    The verdict is ``correct`` only when the scenario validator accepts
+    the testbench *and* its driver exercises enough distinct stimulus.
+    Weak testbenches are reported with every scenario uncertain — the
+    corrector cannot fix missing scenarios, so the agent's budget logic
+    escalates to a reboot.
+    """
+
+    def __init__(self, inner: ScenarioValidator,
+                 policy: CoveragePolicy = CoveragePolicy()):
+        self.inner = inner
+        self.policy = policy
+
+    @property
+    def task(self) -> TaskSpec:
+        return self.inner.task
+
+    def coverage_of(self, tb: HybridTestbench) -> CoverageReport | None:
+        """Coverage of the TB's driver, measured on the golden-free path.
+
+        The driver is simulated against the first syntax-clean judge RTL
+        (any DUT exposes the same stimulus), reusing the validator's
+        simulation cache.
+        """
+        for judge in self.inner.rtl_group:
+            if not judge.syntax_ok:
+                continue
+            run = self.inner._judge_records(tb.driver_src, judge)
+            if run.ok:
+                return measure_coverage(self.task, run.records)
+        return None
+
+    def validate(self, tb: HybridTestbench) -> ValidationReport:
+        report = self.inner.validate(tb)
+        if not report.verdict:
+            return report
+        coverage = self.coverage_of(tb)
+        if coverage is None or coverage.meets(self.policy):
+            return report
+        scenario_indexes = (report.matrix.scenario_indexes
+                            if report.matrix is not None else ())
+        return ValidationReport(
+            verdict=False, wrong=(), correct=(),
+            uncertain=tuple(scenario_indexes), matrix=report.matrix,
+            note=(f"coverage too weak: {coverage.distinct_patterns} "
+                  f"patterns / {coverage.check_points} check-points "
+                  f"(ratio {coverage.pattern_ratio:.2f} < "
+                  f"{self.policy.min_pattern_ratio})"))

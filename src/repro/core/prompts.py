@@ -1,0 +1,137 @@
+"""Prompt templates of every LLM stage.
+
+The texts mirror the paper's described prompts (the corrector prompts
+follow Fig. 5).  They are real prompt-engineering artifacts: the pipeline
+renders them, sends them through the client, and pays their token cost —
+which is how Fig. 6b's input-token accounting is reproduced.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+SYSTEM_TESTBENCH = (
+    "You are an expert digital-hardware verification engineer. You write "
+    "Verilog testbenches and Python reference checkers for RTL designs "
+    "described in natural language. Follow the requested output format "
+    "exactly."
+)
+
+SYSTEM_RTL = (
+    "You are an expert RTL designer. Implement the requested module in "
+    "synthesisable Verilog. Reply with a single Verilog code block."
+)
+
+
+def scenario_prompt(spec: str) -> str:
+    return (
+        "Read the following RTL specification and list the test scenarios "
+        "a thorough functional testbench should cover. Number every "
+        "scenario and give each a short name in brackets followed by a "
+        "one-line description.\n\n"
+        f"[RTL SPEC]\n{spec}\n"
+    )
+
+
+def driver_prompt(spec: str, scenario_listing: str) -> str:
+    return (
+        "Write the Verilog driver module `tb` of a hybrid testbench for "
+        "the DUT below. The driver must instantiate `top_module`, drive "
+        "every listed test scenario, and after each check-point "
+        "$fdisplay a line of the form\n"
+        '    "scenario: %d, <input> = %d, ..., <output> = %d, ..."\n'
+        'to the file "results.txt". Mark every scenario with a '
+        "`// Scenario <n>: <description>` comment. Reply with one "
+        "verilog code block.\n\n"
+        f"[RTL SPEC]\n{spec}\n\n[TEST SCENARIOS]\n{scenario_listing}\n"
+    )
+
+
+def checker_prompt(spec: str, scenario_listing: str) -> str:
+    return (
+        "Write the Python checker core of the hybrid testbench: a class "
+        "`RefModel` with a method `step(self, inputs: dict) -> dict` that "
+        "computes the DUT's reference outputs for one check-point "
+        "(sequential designs advance one clock cycle per call; reset is "
+        "an ordinary input). Only produce the core code — the fixed "
+        "file-parsing interface is appended by the framework. Reply with "
+        "one python code block.\n\n"
+        f"[RTL SPEC]\n{spec}\n\n[TEST SCENARIOS]\n{scenario_listing}\n"
+    )
+
+
+def syntax_fix_prompt(language: str, error: str, artifact: str) -> str:
+    return (
+        f"The following {language} code fails to compile:\n\n"
+        f"Error: {error}\n\n"
+        f"```{language.lower()}\n{artifact}```\n\n"
+        "Fix the syntax error without changing the code's behaviour. "
+        f"Reply with the complete corrected {language} code block.\n"
+    )
+
+
+def scenario_fix_prompt(missing: Sequence[int], artifact: str) -> str:
+    return (
+        "The driver below is missing the test scenarios "
+        f"{list(missing)} from the agreed scenario list. Add the missing "
+        "scenarios and reply with the complete corrected driver.\n\n"
+        f"```verilog\n{artifact}```\n"
+    )
+
+
+def rtl_prompt(spec: str, sample_index: int) -> str:
+    return (
+        f"Implement the module described below (attempt "
+        f"{sample_index + 1}). Reply with one verilog code block "
+        "containing the complete `top_module`.\n\n"
+        f"[RTL SPEC]\n{spec}\n"
+    )
+
+
+def baseline_prompt(spec: str) -> str:
+    return (
+        "Write a complete self-checking Verilog testbench module `tb` "
+        "for the DUT described below. Drive representative stimuli, "
+        "compare every DUT output against the expected value, count "
+        'mismatches, and $display "ALL_TESTS_PASSED" when every check '
+        'succeeds or "TESTS_FAILED: %d" with the error count otherwise. '
+        "Reply with one verilog code block.\n\n"
+        f"[RTL SPEC]\n{spec}\n"
+    )
+
+
+def corrector_stage1_prompt(spec: str, scenario_text: str,
+                            wrong: Sequence[int], correct: Sequence[int],
+                            uncertain: Sequence[int], driver_src: str,
+                            checker_src: str) -> str:
+    """Stage 1 of the corrector: why / where / how (paper Fig. 5)."""
+    return (
+        "Your task is to correct the testbench according to the failing "
+        "scenarios. The information we have is the RTL specification, "
+        "the testbench code, and the validator's scenario report.\n"
+        "ATTENTION: The Python code contains errors, and your target is "
+        "to find them.\n\n"
+        f"[RTL SPEC]\n{spec}\n\n"
+        f"[SCENARIO DEFINITIONS]\n{scenario_text}\n\n"
+        f"[SCENARIO CORRECTNESS]\nwrong: {list(wrong)}\n"
+        f"correct: {list(correct)}\nuncertain: {list(uncertain)}\n\n"
+        f"[TESTBENCH DRIVER]\n```verilog\n{driver_src}```\n\n"
+        f"[TESTBENCH CHECKER]\n```python\n{checker_src}```\n\n"
+        "Please reply with the following steps:\n"
+        "1. Please analyze the reason of the failed scenarios.\n"
+        "2. Please analyze which part of the python code is related to "
+        "the failed test scenarios.\n"
+        "3. Please tell me how to correct the wrong part (in natural "
+        "language).\n"
+    )
+
+
+def corrector_stage2_prompt() -> str:
+    """Stage 2 of the corrector: rewrite under formatting rules."""
+    return (
+        "Please correct the python code according to the following "
+        "formatting rules: reply with exactly one python code block "
+        "containing the complete corrected checker core (`class "
+        "RefModel` with `step`). Only the core code is needed — the "
+        "fixed interface is completed by the framework.\n"
+    )

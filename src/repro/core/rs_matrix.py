@@ -1,0 +1,78 @@
+"""The RTL-Scenario (RS) matrix (paper Section III-B, Fig. 4).
+
+Cell (i, j) records whether the testbench reported scenario j as
+*correct* (green, ``True``) when judging imperfect RTL i.  Rows of
+syntax-broken or unsimulatable RTLs are discarded (``None``); rows where
+the checker itself crashed are fully red — a checker that cannot run is
+wrong about every scenario.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+
+@dataclass(frozen=True)
+class RSRow:
+    sample_index: int
+    cells: Optional[dict]  # scenario index -> bool; None = discarded row
+    note: str = ""
+
+    @property
+    def valid(self) -> bool:
+        return self.cells is not None
+
+
+@dataclass
+class RSMatrix:
+    scenario_indexes: tuple[int, ...]
+    rows: tuple[RSRow, ...] = field(default_factory=tuple)
+
+    # ------------------------------------------------------------------
+    @property
+    def valid_rows(self) -> tuple[RSRow, ...]:
+        return tuple(row for row in self.rows if row.valid)
+
+    @property
+    def n_valid(self) -> int:
+        return len(self.valid_rows)
+
+    def column_wrong_fraction(self, scenario: int) -> float | None:
+        """Fraction of valid rows that flag ``scenario`` wrong."""
+        votes = [not row.cells.get(scenario, True)
+                 for row in self.valid_rows if scenario in row.cells]
+        if not votes:
+            return None
+        return sum(votes) / len(votes)
+
+    def fully_green_row_fraction(self) -> float:
+        """Fraction of valid rows that pass every scenario."""
+        rows = self.valid_rows
+        if not rows:
+            return 0.0
+        green = sum(1 for row in rows if all(row.cells.values()))
+        return green / len(rows)
+
+    # ------------------------------------------------------------------
+    def render_ascii(self) -> str:
+        """Fig. 4-style rendering: '#' = correct (green), 'X' = wrong."""
+        header = "RTL\\Scn |" + "".join(
+            f"{s:>3}" for s in self.scenario_indexes)
+        lines = [header, "-" * len(header)]
+        for row in self.rows:
+            if not row.valid:
+                cells = "  -" * len(self.scenario_indexes)
+                lines.append(f"{row.sample_index + 1:>7} |{cells}   "
+                             f"(discarded: {row.note})")
+                continue
+            cells = "".join(
+                "  #" if row.cells.get(s, True) else "  X"
+                for s in self.scenario_indexes)
+            lines.append(f"{row.sample_index + 1:>7} |{cells}")
+        return "\n".join(lines)
+
+
+def build_matrix(scenario_indexes: Sequence[int],
+                 rows: Sequence[RSRow]) -> RSMatrix:
+    return RSMatrix(tuple(scenario_indexes), tuple(rows))

@@ -1,0 +1,60 @@
+"""The validator's judge group: N_R imperfect RTL implementations.
+
+Section III-B of the paper: the LLM generates ``N_R = 20`` RTL designs
+from the specification.  Rows of syntax-broken designs are discarded, and
+"if more than half of the RTL designs contain syntax errors, the system
+will regenerate the corresponding number of RTL designs until at least
+half of them are free from syntax errors".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..llm.base import (ChatMessage, ChatRequest, GenerationIntent,
+                        LLMClient, MeteredClient)
+from ..problems.model import TaskSpec
+from ..util import extract_first_code_block
+from . import prompts
+from .simulation import syntax_ok
+
+DEFAULT_GROUP_SIZE = 20
+MAX_REGENERATION_ROUNDS = 5
+
+
+@dataclass(frozen=True)
+class JudgeRtl:
+    """One imperfect-RTL sample with its syntax status."""
+
+    source: str
+    sample_index: int
+    syntax_ok: bool
+
+
+def build_rtl_group(client: LLMClient | MeteredClient, task: TaskSpec,
+                    group_size: int = DEFAULT_GROUP_SIZE,
+                    ) -> tuple[JudgeRtl, ...]:
+    """Generate the judge group, applying the paper's regeneration rule."""
+    samples: list[JudgeRtl] = []
+
+    def request_one(index: int, nonce: int) -> JudgeRtl:
+        request = ChatRequest(
+            messages=(ChatMessage("system", prompts.SYSTEM_RTL),
+                      ChatMessage("user",
+                                  prompts.rtl_prompt(task.spec_text,
+                                                     index))),
+            intent=GenerationIntent("rtl", task.task_id,
+                                    {"task": task, "sample_index": index,
+                                     "group_nonce": nonce}))
+        reply = client.complete(request).text
+        source = extract_first_code_block(reply, "verilog")
+        return JudgeRtl(source, index, syntax_ok(source))
+
+    samples = [request_one(i, 0) for i in range(group_size)]
+    nonce = 0
+    while (sum(1 for s in samples if s.syntax_ok) < group_size / 2
+           and nonce < MAX_REGENERATION_ROUNDS):
+        nonce += 1
+        samples = [s if s.syntax_ok else request_one(s.sample_index, nonce)
+                   for s in samples]
+    return tuple(samples)

@@ -1,0 +1,170 @@
+"""Simulation glue: run drivers/testbenches against DUT sources.
+
+This module replaces the ``iverilog + vvp`` invocation of the original
+system with the in-process :mod:`repro.hdl` simulator.  Parsing is cached
+per source text (the validator simulates the same driver against 20 RTL
+samples, and AutoEval runs the same testbench against 10 mutants).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from functools import lru_cache
+
+from ..hdl import ast as hdl_ast
+from ..hdl.elaborate import elaborate
+from ..hdl.errors import (ElaborationError, HdlError, SimulationError,
+                          SimulationLimit, VerilogSyntaxError)
+from ..hdl.parser import parse_source
+from ..hdl.simulator import Simulator
+from ..codegen.driver import DUMP_FILE
+
+# Failure taxonomy used throughout evaluation:
+SYNTAX = "syntax"          # does not parse (Eval0 fails)
+ELABORATION = "elaboration"  # parses but does not elaborate
+RUNTIME = "runtime"        # simulation crashed / no dump produced
+OK = "ok"
+
+_SIM_MAX_TIME = 2_000_000
+_SIM_MAX_STMTS = 4_000_000
+
+
+@lru_cache(maxsize=4096)
+def parse_cached(source: str) -> hdl_ast.SourceFile:
+    """Parse with a text-keyed cache; raises VerilogSyntaxError."""
+    return parse_source(source)
+
+
+def syntax_ok(source: str) -> bool:
+    try:
+        parse_cached(source)
+    except VerilogSyntaxError:
+        return False
+    return True
+
+
+@dataclass(frozen=True)
+class Record:
+    """One parsed dump line: a check-point of one scenario."""
+
+    scenario: int
+    values: dict  # signal name -> decimal string ("x" when undefined)
+
+
+@dataclass
+class DriverRun:
+    """Outcome of simulating driver + DUT."""
+
+    status: str  # OK / SYNTAX / ELABORATION / RUNTIME
+    records: list[Record] = field(default_factory=list)
+    detail: str = ""
+    stdout: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return self.status == OK
+
+
+_RECORD_RE = re.compile(r"scenario:\s*(\d+)")
+_FIELD_RE = re.compile(r"(\w+)\s*=\s*(x|-?\d+)")
+
+
+def parse_dump(lines: list[str]) -> list[Record]:
+    """Parse ``scenario: k, a = 1, ...`` dump lines into records."""
+    records = []
+    for line in lines:
+        match = _RECORD_RE.search(line)
+        if not match:
+            continue
+        values = {name: value for name, value in _FIELD_RE.findall(line)}
+        records.append(Record(scenario=int(match.group(1)), values=values))
+    return records
+
+
+def run_driver(driver_src: str, dut_src: str) -> DriverRun:
+    """Simulate the hybrid-TB driver against a DUT, collect the dump."""
+    try:
+        tb_ast = parse_cached(driver_src)
+    except VerilogSyntaxError as exc:
+        return DriverRun(SYNTAX, detail=f"driver: {exc}")
+    try:
+        dut_ast = parse_cached(dut_src)
+    except VerilogSyntaxError as exc:
+        return DriverRun(SYNTAX, detail=f"dut: {exc}")
+
+    merged = hdl_ast.SourceFile(tuple(dut_ast.modules) + tuple(tb_ast.modules))
+    try:
+        design = elaborate(merged, "tb")
+    except ElaborationError as exc:
+        return DriverRun(ELABORATION, detail=str(exc))
+    try:
+        result = Simulator(design, max_time=_SIM_MAX_TIME,
+                           max_stmts=_SIM_MAX_STMTS).run()
+    except (SimulationError, SimulationLimit) as exc:
+        return DriverRun(RUNTIME, detail=str(exc))
+    except RecursionError:  # pragma: no cover - defensive
+        return DriverRun(RUNTIME, detail="recursion limit")
+
+    if not result.finished:
+        return DriverRun(RUNTIME, detail="simulation ended without $finish")
+    lines = result.files.get(DUMP_FILE, [])
+    records = parse_dump(lines)
+    if not records:
+        return DriverRun(RUNTIME, detail="no check-points in dump",
+                         stdout=result.stdout)
+    return DriverRun(OK, records=records, stdout=result.stdout)
+
+
+@dataclass
+class MonolithicRun:
+    """Outcome of simulating a self-checking (baseline) testbench."""
+
+    status: str
+    verdict: bool | None = None  # True = TB printed pass
+    detail: str = ""
+
+
+def run_monolithic(tb_src: str, dut_src: str) -> MonolithicRun:
+    """Simulate a baseline testbench; parse its printed verdict."""
+    from ..codegen.baseline import baseline_verdict
+
+    try:
+        tb_ast = parse_cached(tb_src)
+    except VerilogSyntaxError as exc:
+        return MonolithicRun(SYNTAX, detail=f"tb: {exc}")
+    try:
+        dut_ast = parse_cached(dut_src)
+    except VerilogSyntaxError as exc:
+        return MonolithicRun(SYNTAX, detail=f"dut: {exc}")
+    merged = hdl_ast.SourceFile(tuple(dut_ast.modules) + tuple(tb_ast.modules))
+    try:
+        design = elaborate(merged, "tb")
+    except ElaborationError as exc:
+        return MonolithicRun(ELABORATION, detail=str(exc))
+    try:
+        result = Simulator(design, max_time=_SIM_MAX_TIME,
+                           max_stmts=_SIM_MAX_STMTS).run()
+    except (SimulationError, SimulationLimit) as exc:
+        return MonolithicRun(RUNTIME, detail=str(exc))
+    if not result.finished:
+        return MonolithicRun(RUNTIME, detail="no $finish")
+    verdict = baseline_verdict(result.stdout)
+    if verdict is None:
+        return MonolithicRun(RUNTIME, detail="testbench printed no verdict")
+    return MonolithicRun(OK, verdict=verdict)
+
+
+def dut_compiles(dut_src: str) -> tuple[bool, str]:
+    """Check a bare DUT for syntax + elaboration errors (Eval0-style)."""
+    try:
+        source = parse_cached(dut_src)
+    except VerilogSyntaxError as exc:
+        return False, f"{SYNTAX}: {exc}"
+    try:
+        elaborate(source, "top_module")
+    except ElaborationError as exc:
+        return False, f"{ELABORATION}: {exc}"
+    except HdlError as exc:  # pragma: no cover - defensive
+        return False, str(exc)
+    return True, ""

@@ -1,0 +1,165 @@
+"""Campaign runner: methods x tasks x seeds -> evaluated results.
+
+Reproduces the paper's experimental protocol: each method is applied to
+every task, the experiment is repeated over several seeds ("we repeated
+each experiment five times"), and every produced testbench is graded with
+AutoEval.
+
+Work items are referenced by ids (task ids, profile names) so campaigns
+can fan out over a process pool — TaskSpec objects hold closures and are
+deliberately never pickled.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from ..core.agent import CorrectBenchWorkflow, WorkflowResult
+from ..core.baseline import DirectBaseline
+from ..core.generator import AutoBenchGenerator
+from ..core.validator import CRITERIA, DEFAULT_CRITERION
+from ..llm.base import MeteredClient, Usage, UsageMeter
+from ..llm.profiles import get_profile
+from ..llm.synthetic import SyntheticLLM
+from ..problems.dataset import get_task, load_dataset
+from .autoeval import EvalLevel, evaluate
+from .golden import golden_artifacts
+
+METHOD_BASELINE = "baseline"
+METHOD_AUTOBENCH = "autobench"
+METHOD_CORRECTBENCH = "correctbench"
+ALL_METHODS = (METHOD_CORRECTBENCH, METHOD_AUTOBENCH, METHOD_BASELINE)
+
+
+@dataclass(frozen=True)
+class TaskRun:
+    """One (method, task, seed) outcome."""
+
+    method: str
+    task_id: str
+    kind: str
+    seed: int
+    level: EvalLevel
+    usage: Usage = Usage()
+    validated: bool | None = None     # CorrectBench only
+    gave_up: bool | None = None
+    corrections: int = 0
+    reboots: int = 0
+    final_from_corrector: bool = False
+    took_any_action: bool = False
+
+
+@dataclass(frozen=True)
+class CampaignConfig:
+    task_ids: tuple[str, ...]
+    seeds: tuple[int, ...] = (0,)
+    profile_name: str = "gpt-4o"
+    criterion_name: str = DEFAULT_CRITERION.name
+    methods: tuple[str, ...] = ALL_METHODS
+    group_size: int = 20
+    n_jobs: int = 1
+
+
+@dataclass
+class CampaignResult:
+    config: CampaignConfig
+    runs: list[TaskRun] = field(default_factory=list)
+
+    def of_method(self, method: str) -> list[TaskRun]:
+        return [run for run in self.runs if run.method == method]
+
+    def of(self, method: str, seed: int) -> list[TaskRun]:
+        return [run for run in self.runs
+                if run.method == method and run.seed == seed]
+
+
+def default_config(task_ids: Iterable[str] | None = None,
+                   seeds: Sequence[int] = (0,), **overrides,
+                   ) -> CampaignConfig:
+    if task_ids is None:
+        task_ids = [task.task_id for task in load_dataset()]
+    return CampaignConfig(task_ids=tuple(task_ids), seeds=tuple(seeds),
+                          **overrides)
+
+
+# ----------------------------------------------------------------------
+# Single work item (also the process-pool worker)
+# ----------------------------------------------------------------------
+def run_one(method: str, task_id: str, seed: int,
+            profile_name: str = "gpt-4o",
+            criterion_name: str = DEFAULT_CRITERION.name,
+            group_size: int = 20) -> TaskRun:
+    task = get_task(task_id)
+    profile = get_profile(profile_name)
+    criterion = CRITERIA[criterion_name]
+    meter = UsageMeter()
+    client = MeteredClient(SyntheticLLM(profile, seed=seed), meter)
+    golden = golden_artifacts(task_id)
+
+    if method == METHOD_BASELINE:
+        testbench = DirectBaseline(client, task).generate(attempt=0)
+        level = evaluate(testbench, golden).level
+        return TaskRun(method, task_id, task.kind, seed, level,
+                       meter.total)
+    if method == METHOD_AUTOBENCH:
+        testbench = AutoBenchGenerator(client, task).generate(attempt=0)
+        level = evaluate(testbench, golden).level
+        return TaskRun(method, task_id, task.kind, seed, level,
+                       meter.total)
+    if method == METHOD_CORRECTBENCH:
+        workflow = CorrectBenchWorkflow(client, task, criterion,
+                                        group_size=group_size)
+        result: WorkflowResult = workflow.run()
+        level = evaluate(result.final_tb, golden).level
+        return TaskRun(
+            method, task_id, task.kind, seed, level, meter.total,
+            validated=result.validated, gave_up=result.gave_up,
+            corrections=result.corrections, reboots=result.reboots,
+            final_from_corrector=result.final_from_corrector,
+            took_any_action=result.took_any_action)
+    raise ValueError(f"unknown method {method!r}")
+
+
+def _worker(item: tuple) -> TaskRun:
+    method, task_id, seed, profile, criterion, group_size = item
+    return run_one(method, task_id, seed, profile, criterion, group_size)
+
+
+def run_campaign(config: CampaignConfig, progress=None) -> CampaignResult:
+    """Run the full campaign, optionally over a process pool."""
+    items = [(method, task_id, seed, config.profile_name,
+              config.criterion_name, config.group_size)
+             for method in config.methods
+             for seed in config.seeds
+             for task_id in config.task_ids]
+
+    result = CampaignResult(config)
+    n_jobs = config.n_jobs or 1
+    if n_jobs > 1:
+        with ProcessPoolExecutor(max_workers=n_jobs) as pool:
+            for index, run in enumerate(pool.map(_worker, items,
+                                                 chunksize=4)):
+                result.runs.append(run)
+                if progress:
+                    progress(index + 1, len(items), run)
+    else:
+        for index, item in enumerate(items):
+            run = _worker(item)
+            result.runs.append(run)
+            if progress:
+                progress(index + 1, len(items), run)
+    return result
+
+
+def campaign_jobs_from_env(default: int = 1) -> int:
+    """Resolve worker count from ``REPRO_JOBS`` (0 = all cores)."""
+    raw = os.environ.get("REPRO_JOBS", "")
+    if not raw:
+        return default
+    value = int(raw)
+    if value == 0:
+        return os.cpu_count() or 1
+    return max(1, value)

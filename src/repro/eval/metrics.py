@@ -1,0 +1,115 @@
+"""Aggregation of campaign results into the paper's metrics.
+
+Table I reports, per task group (Total / CMB / SEQ) and per criterion
+(Eval2 / Eval1 / Eval0): the pass *ratio* and the mean number of passed
+tasks, averaged over the repeated runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..problems.model import CMB, SEQ
+from .autoeval import EvalLevel
+from .campaign import CampaignResult, TaskRun
+
+GROUPS = ("Total", CMB, SEQ)
+LEVELS = (EvalLevel.EVAL2, EvalLevel.EVAL1, EvalLevel.EVAL0)
+
+
+def _in_group(run: TaskRun, group: str) -> bool:
+    return group == "Total" or run.kind == group
+
+
+@dataclass(frozen=True)
+class CellStat:
+    """One Table-I cell: mean pass ratio and mean pass count."""
+
+    ratio: float
+    mean_count: float
+    group_size: int
+
+
+def level_stat(result: CampaignResult, method: str, group: str,
+               level: EvalLevel) -> CellStat:
+    """Mean pass ratio/count over seeds for one method/group/level."""
+    seeds = result.config.seeds
+    counts = []
+    group_size = 0
+    for seed in seeds:
+        runs = [run for run in result.of(method, seed)
+                if _in_group(run, group)]
+        group_size = max(group_size, len(runs))
+        counts.append(sum(1 for run in runs if run.level >= level))
+    if not seeds or group_size == 0:
+        return CellStat(0.0, 0.0, 0)
+    mean_count = sum(counts) / len(counts)
+    return CellStat(mean_count / group_size, mean_count, group_size)
+
+
+@dataclass(frozen=True)
+class ContributionStat:
+    """One Table-III row: CorrectBench vs AutoBench gain decomposition."""
+
+    group: str
+    correctbench: float   # mean Eval2-pass count
+    autobench: float
+    gain: float
+    validator: float      # passes where the workflow took any action
+    corrector: float      # passes whose final TB came from the corrector
+
+
+def contribution_stats(result: CampaignResult) -> list[ContributionStat]:
+    from .campaign import METHOD_AUTOBENCH, METHOD_CORRECTBENCH
+
+    stats = []
+    for group in GROUPS:
+        cb = level_stat(result, METHOD_CORRECTBENCH, group,
+                        EvalLevel.EVAL2)
+        ab = level_stat(result, METHOD_AUTOBENCH, group, EvalLevel.EVAL2)
+        seeds = result.config.seeds
+        val_counts, corr_counts = [], []
+        for seed in seeds:
+            runs = [run for run in result.of(METHOD_CORRECTBENCH, seed)
+                    if _in_group(run, group)
+                    and run.level >= EvalLevel.EVAL2]
+            val_counts.append(sum(1 for run in runs
+                                  if run.took_any_action))
+            corr_counts.append(sum(1 for run in runs
+                                   if run.final_from_corrector))
+        n = max(len(seeds), 1)
+        stats.append(ContributionStat(
+            group=group, correctbench=cb.mean_count,
+            autobench=ab.mean_count,
+            gain=cb.mean_count - ab.mean_count,
+            validator=sum(val_counts) / n,
+            corrector=sum(corr_counts) / n))
+    return stats
+
+
+def mean_usage(result: CampaignResult, method: str) -> tuple[float, float]:
+    """Mean (input, output) tokens per task for one method."""
+    runs = result.of_method(method)
+    if not runs:
+        return 0.0, 0.0
+    input_tokens = sum(run.usage.input_tokens for run in runs) / len(runs)
+    output_tokens = sum(run.usage.output_tokens for run in runs) / len(runs)
+    return input_tokens, output_tokens
+
+
+def level_breakdown(result: CampaignResult, method: str,
+                    ) -> dict[str, float]:
+    """Fractions per terminal band: Eval2 / Eval1 / Eval0 / Failed.
+
+    The bands are disjoint (a TB's level), matching Fig. 7's stacks.
+    """
+    runs = result.of_method(method)
+    if not runs:
+        return {"Eval2": 0.0, "Eval1": 0.0, "Eval0": 0.0, "Failed": 0.0}
+    total = len(runs)
+    out = {}
+    for level in (EvalLevel.EVAL2, EvalLevel.EVAL1, EvalLevel.EVAL0,
+                  EvalLevel.FAILED):
+        out[level.label] = sum(1 for run in runs
+                               if run.level == level) / total
+    return out

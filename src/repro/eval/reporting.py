@@ -1,0 +1,151 @@
+"""Render campaign results in the paper's table/figure formats.
+
+Every renderer returns plain text shaped like the corresponding table or
+figure of the paper, so benchmark output can be compared side by side
+with the published numbers (recorded in ``EXPERIMENTS.md``).
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from ..util import format_ratio
+from .autoeval import EvalLevel
+from .campaign import (ALL_METHODS, METHOD_AUTOBENCH, METHOD_BASELINE,
+                       METHOD_CORRECTBENCH, CampaignResult)
+from .metrics import (GROUPS, LEVELS, contribution_stats, level_breakdown,
+                      level_stat, mean_usage)
+
+_METHOD_LABELS = {
+    METHOD_CORRECTBENCH: "CorrectBench",
+    METHOD_AUTOBENCH: "AutoBench",
+    METHOD_BASELINE: "Baseline",
+}
+
+
+def render_table1(result: CampaignResult,
+                  methods: Sequence[str] = ALL_METHODS) -> str:
+    """Table I: main results (ratios and mean pass counts)."""
+    lines = ["TABLE I — MAIN RESULTS", ""]
+    header = (f"{'Group':<7}{'Metric':<8}"
+              + "".join(f"{_METHOD_LABELS[m]:>15}" for m in methods)
+              + "   |"
+              + "".join(f"{_METHOD_LABELS[m][:9] + ' #':>12}"
+                        for m in methods))
+    lines.append(header)
+    lines.append("-" * len(header))
+    for group in GROUPS:
+        for level in LEVELS:
+            stats = [level_stat(result, method, group, level)
+                     for method in methods]
+            group_label = (f"{group}"
+                           f"({stats[0].group_size})" if level == LEVELS[0]
+                           else "")
+            row = (f"{group_label:<7}{level.label:<8}"
+                   + "".join(f"{format_ratio(s.ratio):>15}"
+                             for s in stats)
+                   + "   |"
+                   + "".join(f"{s.mean_count:>12.1f}" for s in stats))
+            lines.append(row)
+        lines.append("")
+    return "\n".join(lines)
+
+
+def render_table2() -> str:
+    """Table II: the AutoEval criteria definitions."""
+    return "\n".join([
+        "TABLE II — AUTOEVAL CRITERIA",
+        "",
+        f"{'Type':<8}Definition",
+        "-" * 64,
+        f"{'Failed':<8}codes have syntax errors",
+        f"{'Eval0':<8}codes have no syntax error",
+        f"{'Eval1':<8}passed Eval0; report 'Passed' with the golden RTL "
+        "as DUT",
+        f"{'Eval2':<8}passed Eval1; same report as the golden testbench "
+        "on >= 80% of the mutant DUTs",
+    ])
+
+
+def render_table3(result: CampaignResult) -> str:
+    """Table III: validator / corrector contribution decomposition."""
+    lines = ["TABLE III — CONTRIBUTIONS OF VALIDATOR AND CORRECTOR", ""]
+    header = (f"{'Group':<7}{'CorrectBench':>13}{'AutoBench':>11}"
+              f"{'Gain':>8}{'Val.':>8}{'Corr.':>8}")
+    lines.append(header)
+    lines.append("-" * len(header))
+    for stat in contribution_stats(result):
+        lines.append(
+            f"{stat.group:<7}{stat.correctbench:>13.1f}"
+            f"{stat.autobench:>11.1f}{stat.gain:>8.1f}"
+            f"{stat.validator:>8.1f}{stat.corrector:>8.1f}")
+    return "\n".join(lines)
+
+
+def render_fig6a(accuracies: Mapping[str, Mapping[str, float]]) -> str:
+    """Fig. 6a: validation accuracy per criterion.
+
+    ``accuracies`` maps criterion name -> {"total": .., "correct": ..,
+    "wrong": ..}.
+    """
+    lines = ["FIG. 6a — VALIDATION ACCURACY AMONG VALIDATORS", ""]
+    header = (f"{'Criterion':<12}{'Total':>10}{'CorrectTBs':>12}"
+              f"{'WrongTBs':>10}")
+    lines.append(header)
+    lines.append("-" * len(header))
+    for name, acc in accuracies.items():
+        lines.append(f"{name:<12}{format_ratio(acc['total']):>10}"
+                     f"{format_ratio(acc['correct']):>12}"
+                     f"{format_ratio(acc['wrong']):>10}")
+    return "\n".join(lines)
+
+
+def render_fig6b(rows: Mapping[str, Mapping[str, float]]) -> str:
+    """Fig. 6b: Eval2 ratio + token cost per validation criterion.
+
+    ``rows`` maps criterion name -> {"eval2": ratio, "input_tokens": ..,
+    "output_tokens": ..} (tokens per task).
+    """
+    lines = ["FIG. 6b — CORRECTBENCH PERFORMANCE PER CRITERION", ""]
+    header = (f"{'Criterion':<12}{'Eval2':>9}{'In tok/task':>13}"
+              f"{'Out tok/task':>14}")
+    lines.append(header)
+    lines.append("-" * len(header))
+    for name, row in rows.items():
+        lines.append(
+            f"{name:<12}{format_ratio(row['eval2']):>9}"
+            f"{row['input_tokens']:>13.0f}{row['output_tokens']:>14.0f}")
+    return "\n".join(lines)
+
+
+def render_fig7(results_by_model: Mapping[str, CampaignResult]) -> str:
+    """Fig. 7: stacked Eval2/Eval1/Eval0/Failed bands per model/method."""
+    lines = ["FIG. 7 — PERFORMANCE OF CORRECTBENCH ON DIFFERENT LLMS", ""]
+    for model_name, result in results_by_model.items():
+        lines.append(model_name)
+        for method in ALL_METHODS:
+            bands = level_breakdown(result, method)
+            bar = _stacked_bar(bands)
+            lines.append(
+                f"  {_METHOD_LABELS[method]:<13} {bar}  "
+                + "  ".join(f"{label}={format_ratio(value)}"
+                            for label, value in bands.items()))
+        lines.append("")
+    return "\n".join(lines)
+
+
+def _stacked_bar(bands: Mapping[str, float], width: int = 40) -> str:
+    glyphs = {"Eval2": "#", "Eval1": "=", "Eval0": "-", "Failed": "."}
+    bar = ""
+    for label, glyph in glyphs.items():
+        bar += glyph * round(bands.get(label, 0.0) * width)
+    return f"|{bar:<{width}}|"[:width + 2]
+
+
+def render_usage_summary(result: CampaignResult) -> str:
+    lines = ["TOKEN USAGE PER TASK", ""]
+    for method in ALL_METHODS:
+        input_tokens, output_tokens = mean_usage(result, method)
+        lines.append(f"  {_METHOD_LABELS[method]:<13} "
+                     f"in={input_tokens:>9.0f}  out={output_tokens:>8.0f}")
+    return "\n".join(lines)

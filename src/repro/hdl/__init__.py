@@ -1,0 +1,38 @@
+"""``repro.hdl`` — Verilog subset front end and event-driven simulator.
+
+This package replaces the Icarus Verilog dependency of the original
+CorrectBench system.  It provides:
+
+- :func:`parse_source` / :func:`parse_module` — syntax checking and AST,
+- :func:`compile_design` — parse + elaborate (the Eval0 "compiles" check),
+- :func:`simulate` — run a design whose testbench calls ``$finish``,
+- :class:`Logic` — 4-state fixed-width vectors,
+- :mod:`repro.hdl.unparse` — AST back to source (used by the mutation
+  engine).
+"""
+
+from .errors import (ElaborationError, HdlError, SimulationError,
+                     SimulationLimit, VerilogSyntaxError)
+from .logic import Logic
+from .parser import parse_module, parse_source
+from .simulator import (SimulationResult, Simulator, compile_design,
+                        simulate)
+from .unparse import unparse_expr, unparse_module, unparse_source
+
+__all__ = [
+    "ElaborationError",
+    "HdlError",
+    "Logic",
+    "SimulationError",
+    "SimulationLimit",
+    "SimulationResult",
+    "Simulator",
+    "VerilogSyntaxError",
+    "compile_design",
+    "parse_module",
+    "parse_source",
+    "simulate",
+    "unparse_expr",
+    "unparse_module",
+    "unparse_source",
+]

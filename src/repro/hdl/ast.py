@@ -1,0 +1,306 @@
+"""Abstract syntax tree for the supported Verilog subset.
+
+The node set covers the synthesisable constructs used by the benchmark
+circuits plus the behavioural constructs the generated testbench drivers
+need (``initial`` blocks, delays, event controls, system tasks).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+
+# ----------------------------------------------------------------------
+# Expressions
+# ----------------------------------------------------------------------
+class Expr:
+    """Base class for expression nodes."""
+    __slots__ = ()
+
+
+@dataclass(frozen=True)
+class Number(Expr):
+    width: Optional[int]        # None = unsized (32-bit) decimal
+    val: int
+    xmask: int = 0
+    signed: bool = False
+
+
+@dataclass(frozen=True)
+class Identifier(Expr):
+    name: str
+
+
+@dataclass(frozen=True)
+class StringLit(Expr):
+    text: str
+
+
+@dataclass(frozen=True)
+class Unary(Expr):
+    op: str                     # ! ~ & | ^ ~& ~| ~^ + -
+    operand: Expr
+
+
+@dataclass(frozen=True)
+class Binary(Expr):
+    op: str                     # arithmetic / logical / relational / shifts
+    left: Expr
+    right: Expr
+
+
+@dataclass(frozen=True)
+class Ternary(Expr):
+    cond: Expr
+    then: Expr
+    other: Expr
+
+
+@dataclass(frozen=True)
+class Concat(Expr):
+    parts: tuple[Expr, ...]
+
+
+@dataclass(frozen=True)
+class Replicate(Expr):
+    count: Expr
+    value: Expr
+
+
+@dataclass(frozen=True)
+class Index(Expr):
+    """Bit select or memory-word select: ``name[expr]``."""
+    base: str
+    index: Expr
+
+
+@dataclass(frozen=True)
+class PartSelect(Expr):
+    """Constant part select: ``name[msb:lsb]``."""
+    base: str
+    msb: Expr
+    lsb: Expr
+
+
+@dataclass(frozen=True)
+class SystemCall(Expr):
+    """System function in expression position, e.g. ``$time``."""
+    name: str
+    args: tuple[Expr, ...] = ()
+
+
+# ----------------------------------------------------------------------
+# L-values
+# ----------------------------------------------------------------------
+class LValue:
+    __slots__ = ()
+
+
+@dataclass(frozen=True)
+class LvIdent(LValue):
+    name: str
+
+
+@dataclass(frozen=True)
+class LvIndex(LValue):
+    name: str
+    index: Expr
+
+
+@dataclass(frozen=True)
+class LvPart(LValue):
+    name: str
+    msb: Expr
+    lsb: Expr
+
+
+@dataclass(frozen=True)
+class LvConcat(LValue):
+    parts: tuple[LValue, ...]
+
+
+# ----------------------------------------------------------------------
+# Statements
+# ----------------------------------------------------------------------
+class Stmt:
+    __slots__ = ()
+
+
+@dataclass(frozen=True)
+class Block(Stmt):
+    stmts: tuple[Stmt, ...]
+    name: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class If(Stmt):
+    cond: Expr
+    then: Stmt
+    other: Optional[Stmt] = None
+
+
+@dataclass(frozen=True)
+class CaseItem:
+    labels: tuple[Expr, ...]    # empty tuple marks the default item
+    body: Stmt
+
+
+@dataclass(frozen=True)
+class Case(Stmt):
+    kind: str                   # "case" | "casez" | "casex"
+    subject: Expr
+    items: tuple[CaseItem, ...]
+
+
+@dataclass(frozen=True)
+class For(Stmt):
+    init: "BlockingAssign"
+    cond: Expr
+    step: "BlockingAssign"
+    body: Stmt
+
+
+@dataclass(frozen=True)
+class While(Stmt):
+    cond: Expr
+    body: Stmt
+
+
+@dataclass(frozen=True)
+class Repeat(Stmt):
+    count: Expr
+    body: Stmt
+
+
+@dataclass(frozen=True)
+class Forever(Stmt):
+    body: Stmt
+
+
+@dataclass(frozen=True)
+class BlockingAssign(Stmt):
+    target: LValue
+    value: Expr
+
+
+@dataclass(frozen=True)
+class NonblockingAssign(Stmt):
+    target: LValue
+    value: Expr
+
+
+@dataclass(frozen=True)
+class DelayStmt(Stmt):
+    """``#N stmt`` — the statement may be empty (``#N;``)."""
+    amount: Expr
+    stmt: Optional[Stmt] = None
+
+
+@dataclass(frozen=True)
+class EventExpr:
+    edge: str                   # "pos" | "neg" | "any"
+    signal: Expr
+
+
+@dataclass(frozen=True)
+class EventControl(Stmt):
+    """``@(...) stmt`` — ``events=None`` encodes ``@(*)``."""
+    events: Optional[tuple[EventExpr, ...]]
+    stmt: Optional[Stmt] = None
+
+
+@dataclass(frozen=True)
+class SysTaskCall(Stmt):
+    name: str
+    args: tuple[Expr, ...] = ()
+
+
+@dataclass(frozen=True)
+class NullStmt(Stmt):
+    pass
+
+
+# ----------------------------------------------------------------------
+# Module items
+# ----------------------------------------------------------------------
+class ModuleItem:
+    __slots__ = ()
+
+
+@dataclass(frozen=True)
+class Range:
+    """Packed range ``[msb:lsb]`` (constant expressions)."""
+    msb: Expr
+    lsb: Expr
+
+
+@dataclass(frozen=True)
+class Port:
+    direction: str              # "input" | "output" | "inout"
+    name: str
+    range: Optional[Range] = None
+    is_reg: bool = False
+    signed: bool = False
+
+
+@dataclass(frozen=True)
+class NetDecl(ModuleItem):
+    kind: str                   # "wire" | "reg" | "integer"
+    names: tuple[str, ...]
+    range: Optional[Range] = None
+    signed: bool = False
+    array: Optional[Range] = None       # 1-D unpacked array (memories)
+    inits: tuple[Optional[Expr], ...] = ()
+
+
+@dataclass(frozen=True)
+class ParamDecl(ModuleItem):
+    name: str
+    value: Expr
+    local: bool = False
+
+
+@dataclass(frozen=True)
+class ContinuousAssign(ModuleItem):
+    target: LValue
+    value: Expr
+
+
+@dataclass(frozen=True)
+class AlwaysBlock(ModuleItem):
+    """``events=None`` encodes ``always @(*)`` / ``always @*``;
+    an empty tuple encodes an unconditioned ``always`` (e.g. clocks)."""
+    events: Optional[tuple[EventExpr, ...]]
+    body: Stmt
+
+
+@dataclass(frozen=True)
+class InitialBlock(ModuleItem):
+    body: Stmt
+
+
+@dataclass(frozen=True)
+class Instance(ModuleItem):
+    module: str
+    name: str
+    connections: tuple[tuple[Optional[str], Optional[Expr]], ...]
+    parameters: tuple[tuple[str, Expr], ...] = ()
+
+
+@dataclass(frozen=True)
+class Module:
+    name: str
+    ports: tuple[Port, ...]
+    items: tuple[ModuleItem, ...]
+
+
+@dataclass(frozen=True)
+class SourceFile:
+    modules: tuple[Module, ...] = field(default_factory=tuple)
+
+    def module(self, name: str) -> Module:
+        for m in self.modules:
+            if m.name == name:
+                return m
+        raise KeyError(name)

@@ -1,0 +1,39 @@
+"""Exception hierarchy for the Verilog front end and simulator."""
+
+from __future__ import annotations
+
+
+class HdlError(Exception):
+    """Base class for all HDL subsystem errors."""
+
+
+class VerilogSyntaxError(HdlError):
+    """Raised by the lexer/parser for malformed source.
+
+    The AutoEval ``Eval0`` criterion is defined as "no syntax error"; this
+    exception is the signal it keys on.
+    """
+
+    def __init__(self, message: str, line: int = 0, column: int = 0):
+        self.line = line
+        self.column = column
+        if line:
+            message = f"line {line}:{column}: {message}"
+        super().__init__(message)
+
+
+class ElaborationError(HdlError):
+    """Raised when a parsed design cannot be elaborated (unknown
+    identifiers, port mismatches, unsupported constructs, ...)."""
+
+
+class SimulationError(HdlError):
+    """Raised for runtime failures inside the simulator."""
+
+
+class SimulationLimit(SimulationError):
+    """Raised when a run exceeds its event or time budget.
+
+    Runaway testbenches (e.g. a driver that never calls ``$finish``) are
+    reported through this exception instead of hanging the host process.
+    """

@@ -1,0 +1,392 @@
+"""Expression evaluation with Verilog width/sign semantics.
+
+The evaluator implements the pragmatic core of IEEE 1364 expression
+semantics: context-determined widths for arithmetic/bitwise operators,
+self-determined widths for shifts amounts, concatenations and comparisons,
+signedness propagation (an expression is signed only when all of its
+operands are signed), and pessimistic X-propagation via :class:`Logic`.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from . import ast
+from .errors import ElaborationError, SimulationError
+from .logic import Logic
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .elaborate import Scope
+
+
+# ----------------------------------------------------------------------
+# Width and sign inference
+# ----------------------------------------------------------------------
+_CTX_ARITH = frozenset({"+", "-", "*", "/", "%", "&", "|", "^", "^~", "~^"})
+_COMPARE = frozenset({"==", "!=", "===", "!==", "<", "<=", ">", ">="})
+_LOGICAL = frozenset({"&&", "||"})
+_SHIFTS = frozenset({"<<", ">>", "<<<", ">>>"})
+
+
+def width_of(expr: ast.Expr, scope: "Scope") -> int:
+    """Self-determined bit width of an expression."""
+    if isinstance(expr, ast.Number):
+        return expr.width if expr.width is not None else 32
+    if isinstance(expr, ast.Identifier):
+        return scope.width_of_name(expr.name)
+    if isinstance(expr, ast.StringLit):
+        return max(8 * len(expr.text), 8)
+    if isinstance(expr, ast.Unary):
+        if expr.op in ("!", "&", "~&", "|", "~|", "^", "~^", "^~"):
+            return 1
+        return width_of(expr.operand, scope)
+    if isinstance(expr, ast.Binary):
+        if expr.op in _COMPARE or expr.op in _LOGICAL:
+            return 1
+        if expr.op in _SHIFTS or expr.op == "**":
+            return width_of(expr.left, scope)
+        return max(width_of(expr.left, scope), width_of(expr.right, scope))
+    if isinstance(expr, ast.Ternary):
+        return max(width_of(expr.then, scope), width_of(expr.other, scope))
+    if isinstance(expr, ast.Concat):
+        return sum(width_of(p, scope) for p in expr.parts)
+    if isinstance(expr, ast.Replicate):
+        count = scope.const_int(expr.count)
+        return count * width_of(expr.value, scope)
+    if isinstance(expr, ast.Index):
+        if scope.is_memory(expr.base):
+            return scope.memory_width(expr.base)
+        return 1
+    if isinstance(expr, ast.PartSelect):
+        msb = scope.const_int(expr.msb)
+        lsb = scope.const_int(expr.lsb)
+        if msb < lsb:
+            raise ElaborationError(
+                f"reversed part select [{msb}:{lsb}] on {expr.base}")
+        return msb - lsb + 1
+    if isinstance(expr, ast.SystemCall):
+        if expr.name in ("$signed", "$unsigned"):
+            return width_of(expr.args[0], scope)
+        if expr.name == "$time":
+            return 64
+        if expr.name == "$clog2":
+            return 32
+        return 32
+    raise ElaborationError(f"cannot size expression {expr!r}")
+
+
+def signed_of(expr: ast.Expr, scope: "Scope") -> bool:
+    """True when the expression is signed under Verilog propagation rules."""
+    if isinstance(expr, ast.Number):
+        return expr.signed
+    if isinstance(expr, ast.Identifier):
+        return scope.signed_of_name(expr.name)
+    if isinstance(expr, ast.Unary):
+        if expr.op in ("+", "-", "~"):
+            return signed_of(expr.operand, scope)
+        return False
+    if isinstance(expr, ast.Binary):
+        if expr.op in _CTX_ARITH:
+            return signed_of(expr.left, scope) and signed_of(expr.right, scope)
+        if expr.op in _SHIFTS or expr.op == "**":
+            return signed_of(expr.left, scope)
+        return False
+    if isinstance(expr, ast.Ternary):
+        return signed_of(expr.then, scope) and signed_of(expr.other, scope)
+    if isinstance(expr, ast.SystemCall):
+        if expr.name == "$signed":
+            return True
+        return False
+    return False
+
+
+# ----------------------------------------------------------------------
+# Evaluation
+# ----------------------------------------------------------------------
+def eval_expr(expr: ast.Expr, scope: "Scope",
+              ctx_width: int | None = None) -> Logic:
+    """Evaluate ``expr`` in ``scope``.
+
+    ``ctx_width`` is the assignment/expression context width used to widen
+    context-determined operands (e.g. so ``{cout, s} = a + b`` keeps the
+    carry bit).
+    """
+    if isinstance(expr, ast.Number):
+        width = expr.width if expr.width is not None else 32
+        return Logic(width, expr.val, expr.xmask)
+
+    if isinstance(expr, ast.Identifier):
+        return scope.read_name(expr.name)
+
+    if isinstance(expr, ast.StringLit):
+        data = expr.text.encode("latin-1", "replace")
+        val = int.from_bytes(data, "big") if data else 0
+        return Logic(max(8 * len(data), 8), val, 0)
+
+    if isinstance(expr, ast.Unary):
+        return _eval_unary(expr, scope, ctx_width)
+
+    if isinstance(expr, ast.Binary):
+        return _eval_binary(expr, scope, ctx_width)
+
+    if isinstance(expr, ast.Ternary):
+        w = max(width_of(expr, scope), ctx_width or 0)
+        cond = eval_expr(expr.cond, scope).truth()
+        if cond is True:
+            return eval_expr(expr.then, scope, w).resize(
+                w, signed_of(expr.then, scope))
+        if cond is False:
+            return eval_expr(expr.other, scope, w).resize(
+                w, signed_of(expr.other, scope))
+        # Unknown select: bitwise merge; agreeing bits survive.
+        a = eval_expr(expr.then, scope, w).resize(w, signed_of(expr.then, scope))
+        b = eval_expr(expr.other, scope, w).resize(w, signed_of(expr.other, scope))
+        agree = ~(a.val ^ b.val) & ~a.xmask & ~b.xmask
+        return Logic(w, a.val & agree, ((1 << w) - 1) & ~agree)
+
+    if isinstance(expr, ast.Concat):
+        return Logic.concat([eval_expr(p, scope) for p in expr.parts])
+
+    if isinstance(expr, ast.Replicate):
+        count = scope.const_int(expr.count)
+        if count < 1:
+            raise SimulationError(f"replication count {count} must be >= 1")
+        return eval_expr(expr.value, scope).replicate(count)
+
+    if isinstance(expr, ast.Index):
+        index = eval_expr(expr.index, scope)
+        if scope.is_memory(expr.base):
+            addr = index.to_uint()
+            if addr is None:
+                return Logic.unknown(scope.memory_width(expr.base))
+            return scope.read_memory(expr.base, addr)
+        base = scope.read_name(expr.base)
+        idx = index.to_uint()
+        if idx is None:
+            return Logic.unknown(1)
+        return base.bit(idx)
+
+    if isinstance(expr, ast.PartSelect):
+        base = scope.read_name(expr.base)
+        msb = scope.const_int(expr.msb)
+        lsb = scope.const_int(expr.lsb)
+        return base.part(msb, lsb)
+
+    if isinstance(expr, ast.SystemCall):
+        return _eval_system_call(expr, scope)
+
+    raise SimulationError(f"cannot evaluate expression {expr!r}")
+
+
+def _eval_unary(expr: ast.Unary, scope: "Scope",
+                ctx_width: int | None) -> Logic:
+    op = expr.op
+    if op == "!":
+        return eval_expr(expr.operand, scope).lnot()
+    if op == "&":
+        return eval_expr(expr.operand, scope).reduce_and()
+    if op == "~&":
+        return eval_expr(expr.operand, scope).reduce_nand()
+    if op == "|":
+        return eval_expr(expr.operand, scope).reduce_or()
+    if op == "~|":
+        return eval_expr(expr.operand, scope).reduce_nor()
+    if op in ("^",):
+        return eval_expr(expr.operand, scope).reduce_xor()
+    if op in ("~^", "^~"):
+        return eval_expr(expr.operand, scope).reduce_xnor()
+
+    w = max(width_of(expr.operand, scope), ctx_width or 0)
+    signed = signed_of(expr.operand, scope)
+    value = eval_expr(expr.operand, scope, w).resize(w, signed)
+    if op == "~":
+        return value.bnot()
+    if op == "-":
+        return value.neg(w)
+    if op == "+":
+        return value
+    raise SimulationError(f"unsupported unary operator {op!r}")
+
+
+def _eval_binary(expr: ast.Binary, scope: "Scope",
+                 ctx_width: int | None) -> Logic:
+    op = expr.op
+
+    if op in _LOGICAL:
+        left = eval_expr(expr.left, scope)
+        right = eval_expr(expr.right, scope)
+        return left.land(right) if op == "&&" else left.lor(right)
+
+    if op in _COMPARE:
+        w = max(width_of(expr.left, scope), width_of(expr.right, scope))
+        signed = (signed_of(expr.left, scope)
+                  and signed_of(expr.right, scope))
+        left = eval_expr(expr.left, scope, w).resize(w, signed)
+        right = eval_expr(expr.right, scope, w).resize(w, signed)
+        if op == "==":
+            return left.eq(right)
+        if op == "!=":
+            return left.neq(right)
+        if op == "===":
+            return left.case_eq(right)
+        if op == "!==":
+            return left.case_neq(right)
+        if op == "<":
+            return left.lt(right, signed)
+        if op == "<=":
+            return left.le(right, signed)
+        if op == ">":
+            return left.gt(right, signed)
+        return left.ge(right, signed)
+
+    if op in _SHIFTS:
+        w = max(width_of(expr.left, scope), ctx_width or 0)
+        signed = signed_of(expr.left, scope)
+        left = eval_expr(expr.left, scope, w).resize(w, signed)
+        amount = eval_expr(expr.right, scope)
+        if op == "<<" or op == "<<<":
+            return left.shl(amount, w)
+        if op == ">>":
+            return left.shr(amount, w)
+        # Arithmetic right shift only fills sign when the value is signed.
+        return left.ashr(amount, w) if signed else left.shr(amount, w)
+
+    # Context-determined arithmetic / bitwise operators.
+    w = max(width_of(expr.left, scope), width_of(expr.right, scope),
+            ctx_width or 0)
+    l_signed = signed_of(expr.left, scope)
+    r_signed = signed_of(expr.right, scope)
+    both_signed = l_signed and r_signed
+    left = eval_expr(expr.left, scope, w).resize(w, both_signed)
+    right = eval_expr(expr.right, scope, w).resize(w, both_signed)
+    if op == "+":
+        return left.add(right, w)
+    if op == "-":
+        return left.sub(right, w)
+    if op == "*":
+        return left.mul(right, w)
+    if op == "/":
+        return left.div(right, w, both_signed)
+    if op == "%":
+        return left.mod(right, w, both_signed)
+    if op == "&":
+        return left.band(right)
+    if op == "|":
+        return left.bor(right)
+    if op == "^":
+        return left.bxor(right)
+    if op in ("^~", "~^"):
+        return left.bxnor(right)
+    if op == "**":
+        return left.pow(right, w)
+    raise SimulationError(f"unsupported binary operator {op!r}")
+
+
+def _eval_system_call(expr: ast.SystemCall, scope: "Scope") -> Logic:
+    name = expr.name
+    if name == "$time":
+        return Logic.from_int(scope.sim_time(), 64)
+    if name == "$signed":
+        return eval_expr(expr.args[0], scope)
+    if name == "$unsigned":
+        return eval_expr(expr.args[0], scope)
+    if name in ("$random", "$urandom"):
+        return Logic.from_int(scope.sim_random(), 32)
+    if name == "$clog2":
+        value = eval_expr(expr.args[0], scope).to_uint()
+        if value is None:
+            return Logic.unknown(32)
+        return Logic.from_int(max(value - 1, 0).bit_length(), 32)
+    if name == "$fopen":
+        filename = expr.args[0]
+        if not isinstance(filename, ast.StringLit):
+            raise SimulationError("$fopen expects a string literal")
+        return Logic.from_int(scope.sim_fopen(filename.text), 32)
+    raise SimulationError(f"unsupported system function {name!r}")
+
+
+# ----------------------------------------------------------------------
+# Static read-set collection (for @(*) and continuous assignments)
+# ----------------------------------------------------------------------
+def collect_expr_reads(expr: ast.Expr, out: set[str]) -> None:
+    if isinstance(expr, ast.Identifier):
+        out.add(expr.name)
+    elif isinstance(expr, (ast.Number, ast.StringLit)):
+        pass
+    elif isinstance(expr, ast.Unary):
+        collect_expr_reads(expr.operand, out)
+    elif isinstance(expr, ast.Binary):
+        collect_expr_reads(expr.left, out)
+        collect_expr_reads(expr.right, out)
+    elif isinstance(expr, ast.Ternary):
+        collect_expr_reads(expr.cond, out)
+        collect_expr_reads(expr.then, out)
+        collect_expr_reads(expr.other, out)
+    elif isinstance(expr, ast.Concat):
+        for p in expr.parts:
+            collect_expr_reads(p, out)
+    elif isinstance(expr, ast.Replicate):
+        collect_expr_reads(expr.count, out)
+        collect_expr_reads(expr.value, out)
+    elif isinstance(expr, ast.Index):
+        out.add(expr.base)
+        collect_expr_reads(expr.index, out)
+    elif isinstance(expr, ast.PartSelect):
+        out.add(expr.base)
+        collect_expr_reads(expr.msb, out)
+        collect_expr_reads(expr.lsb, out)
+    elif isinstance(expr, ast.SystemCall):
+        for a in expr.args:
+            collect_expr_reads(a, out)
+
+
+def _collect_lvalue_reads(lv: ast.LValue, out: set[str]) -> None:
+    if isinstance(lv, ast.LvIndex):
+        collect_expr_reads(lv.index, out)
+    elif isinstance(lv, ast.LvPart):
+        collect_expr_reads(lv.msb, out)
+        collect_expr_reads(lv.lsb, out)
+    elif isinstance(lv, ast.LvConcat):
+        for p in lv.parts:
+            _collect_lvalue_reads(p, out)
+
+
+def collect_stmt_reads(stmt: ast.Stmt, out: set[str]) -> None:
+    """Read set of a statement for ``always @(*)`` sensitivity."""
+    if isinstance(stmt, ast.Block):
+        for s in stmt.stmts:
+            collect_stmt_reads(s, out)
+    elif isinstance(stmt, ast.If):
+        collect_expr_reads(stmt.cond, out)
+        collect_stmt_reads(stmt.then, out)
+        if stmt.other is not None:
+            collect_stmt_reads(stmt.other, out)
+    elif isinstance(stmt, ast.Case):
+        collect_expr_reads(stmt.subject, out)
+        for item in stmt.items:
+            for label in item.labels:
+                collect_expr_reads(label, out)
+            collect_stmt_reads(item.body, out)
+    elif isinstance(stmt, ast.For):
+        collect_expr_reads(stmt.init.value, out)
+        collect_expr_reads(stmt.cond, out)
+        collect_expr_reads(stmt.step.value, out)
+        collect_stmt_reads(stmt.body, out)
+    elif isinstance(stmt, (ast.While, ast.Repeat)):
+        collect_expr_reads(stmt.cond if isinstance(stmt, ast.While)
+                           else stmt.count, out)
+        collect_stmt_reads(stmt.body, out)
+    elif isinstance(stmt, ast.Forever):
+        collect_stmt_reads(stmt.body, out)
+    elif isinstance(stmt, (ast.BlockingAssign, ast.NonblockingAssign)):
+        collect_expr_reads(stmt.value, out)
+        _collect_lvalue_reads(stmt.target, out)
+    elif isinstance(stmt, ast.DelayStmt):
+        if stmt.stmt is not None:
+            collect_stmt_reads(stmt.stmt, out)
+    elif isinstance(stmt, ast.EventControl):
+        if stmt.stmt is not None:
+            collect_stmt_reads(stmt.stmt, out)
+    elif isinstance(stmt, ast.SysTaskCall):
+        for a in stmt.args:
+            collect_expr_reads(a, out)

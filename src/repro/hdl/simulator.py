@@ -1,0 +1,707 @@
+"""Event-driven simulator kernel.
+
+The kernel implements a simplified IEEE 1364 scheduling model with three
+regions per time slot:
+
+``active``
+    process resumptions and combinational re-evaluations,
+``inactive``
+    ``#0`` continuations, promoted when the active region drains,
+``NBA``
+    non-blocking assignment updates, applied when both queues drain.
+
+Processes are Python generators produced by the statement executor; they
+yield suspension requests (``#delay`` / ``@(events)``) back to the kernel.
+Combinational processes (continuous assignments, ``always @(*)``, port
+bindings) are plain callables re-run whenever one of their read signals
+changes; convergence is guaranteed by only propagating actual value
+changes, and runaway feedback is cut off by a per-slot delta budget.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Iterable, Optional
+
+from . import ast
+from .elaborate import Design, Memory, ProcSpec, Scope, Signal, elaborate
+from .errors import ElaborationError, SimulationError, SimulationLimit
+from .eval import eval_expr, signed_of, width_of
+from .logic import Logic
+from .parser import parse_source
+
+DEFAULT_MAX_TIME = 4_000_000
+DEFAULT_MAX_STMTS = 8_000_000
+MAX_DELTAS_PER_SLOT = 20_000
+
+
+class _Finish(Exception):
+    """Internal control-flow signal raised by ``$finish``/``$stop``."""
+
+
+class WaitToken:
+    __slots__ = ("process", "armed")
+
+    def __init__(self, process: "Process"):
+        self.process = process
+        self.armed = True
+
+
+class Process:
+    __slots__ = ("name", "gen", "tokens", "done")
+
+    def __init__(self, name: str, gen):
+        self.name = name
+        self.gen = gen
+        self.tokens: list[WaitToken] = []
+        self.done = False
+
+
+class CombProcess:
+    __slots__ = ("name", "run", "pending", "runs_this_slot")
+
+    def __init__(self, name: str, run):
+        self.name = name
+        self.run = run
+        self.pending = False
+        self.runs_this_slot = 0
+
+
+@dataclass
+class SimulationResult:
+    """Outcome of one simulation run."""
+    finished: bool
+    sim_time: int
+    stdout: list[str]
+    files: dict[str, list[str]] = field(default_factory=dict)
+    stmt_count: int = 0
+    design: Optional[Design] = None
+
+    def file_text(self, name: str) -> str:
+        return "\n".join(self.files.get(name, []))
+
+    def signal_value(self, hier_name: str) -> Logic:
+        assert self.design is not None
+        return self.design.signal(hier_name).value
+
+
+class Simulator:
+    """Runs an elaborated :class:`Design`."""
+
+    def __init__(self, design: Design, max_time: int = DEFAULT_MAX_TIME,
+                 max_stmts: int = DEFAULT_MAX_STMTS, seed: int = 0):
+        self.design = design
+        self.max_time = max_time
+        self.max_stmts = max_stmts
+        self.time = 0
+        self.stmt_count = 0
+        self.finish_requested = False
+
+        self.active: deque = deque()
+        self.inactive: deque = deque()
+        self.nba: list[tuple] = []
+        self.future: list[tuple[int, int, Process]] = []
+        self._seq = 0
+
+        self.stdout: list[str] = []
+        self._fd_names: dict[int, str] = {}
+        self._fd_lines: dict[int, list[str]] = {}
+        self._fd_partial: dict[int, str] = {}
+        self._next_fd = 3
+        self._rand_state = (seed * 2654435761 + 1) & 0xFFFFFFFF
+
+        self._comb_by_signal: dict[int, list[CombProcess]] = {}
+        self._comb_procs: list[CombProcess] = []
+        self._processes: list[Process] = []
+        # The combinational process currently executing; its own writes do
+        # not re-trigger it (a process cannot observe events while it runs).
+        self._current_comb: CombProcess | None = None
+
+        design.runtime_time = lambda: self.time
+        design.runtime_random = self._next_random
+        design.runtime_fopen = self._fopen
+
+        self._instantiate(design.processes)
+
+    # ------------------------------------------------------------------
+    # Setup
+    # ------------------------------------------------------------------
+    def _instantiate(self, specs: Iterable[ProcSpec]) -> None:
+        for spec in specs:
+            if spec.kind == "comb":
+                self._add_comb(spec)
+            elif spec.kind == "initial":
+                assert spec.body is not None
+                proc = Process(spec.label, self._exec(spec.body, spec.scope))
+                self._processes.append(proc)
+                self.active.append(proc)
+            elif spec.kind == "always":
+                proc = Process(spec.label, self._always_gen(spec))
+                self._processes.append(proc)
+                self.active.append(proc)
+            else:  # pragma: no cover - elaborator invariant
+                raise SimulationError(f"unknown process kind {spec.kind!r}")
+
+    def _add_comb(self, spec: ProcSpec) -> None:
+        if spec.pyfunc is not None:
+            runner = spec.pyfunc
+        else:
+            body, scope = spec.body, spec.scope
+            assert body is not None
+
+            def runner(sim, _body=body, _scope=scope):
+                gen = sim._exec(_body, _scope)
+                for _ in gen:
+                    raise SimulationError(
+                        f"delay/event control inside combinational block "
+                        f"{spec.label!r}")
+
+        comb = CombProcess(spec.label, runner)
+        self._comb_procs.append(comb)
+        for obj in spec.reads:
+            self._comb_by_signal.setdefault(id(obj), []).append(comb)
+        # Every combinational process evaluates once at time zero.
+        comb.pending = True
+        self.active.append(comb)
+
+    def _always_gen(self, spec: ProcSpec):
+        assert spec.body is not None
+        events = spec.events or ()
+        resolved = self._resolve_events(events, spec.scope) if events else ()
+        while True:
+            if resolved:
+                yield ("wait", resolved)
+            yield from self._exec(spec.body, spec.scope)
+
+    def _resolve_events(self, events: tuple[ast.EventExpr, ...],
+                        scope: Scope) -> tuple[tuple[str, Signal], ...]:
+        resolved = []
+        for ev in events:
+            if not isinstance(ev.signal, ast.Identifier):
+                raise SimulationError(
+                    "event controls must reference simple signals")
+            obj = scope.lookup(ev.signal.name)
+            if not isinstance(obj, Signal):
+                raise SimulationError(
+                    f"cannot wait on {ev.signal.name!r}")
+            resolved.append((ev.edge, obj))
+        return tuple(resolved)
+
+    # ------------------------------------------------------------------
+    # Runtime services
+    # ------------------------------------------------------------------
+    def _next_random(self) -> int:
+        self._rand_state = (self._rand_state * 1103515245 + 12345) & 0xFFFFFFFF
+        return self._rand_state
+
+    def _fopen(self, filename: str) -> int:
+        fd = self._next_fd
+        self._next_fd += 1
+        self._fd_names[fd] = filename
+        self._fd_lines[fd] = []
+        self._fd_partial[fd] = ""
+        return fd
+
+    # ------------------------------------------------------------------
+    # Value updates
+    # ------------------------------------------------------------------
+    def set_signal(self, sig: Signal, value: Logic) -> None:
+        old = sig.value
+        if old.val == value.val and old.xmask == value.xmask:
+            return
+        sig.value = value
+        self._notify(sig, old, value)
+
+    def _notify(self, sig: Signal, old: Logic, new: Logic) -> None:
+        combs = self._comb_by_signal.get(id(sig))
+        if combs:
+            for comb in combs:
+                if not comb.pending and comb is not self._current_comb:
+                    comb.pending = True
+                    self.active.append(comb)
+        if sig.waiters:
+            old_bit = "x" if old.xmask & 1 else str(old.val & 1)
+            new_bit = "x" if new.xmask & 1 else str(new.val & 1)
+            pos = old_bit != new_bit and new_bit != "0" and old_bit != "1"
+            neg = old_bit != new_bit and new_bit != "1" and old_bit != "0"
+            keep = []
+            for token, edge in sig.waiters:
+                if not token.armed:
+                    continue
+                fire = (edge == "any" or (edge == "pos" and pos)
+                        or (edge == "neg" and neg))
+                if fire:
+                    token.armed = False
+                    self.active.append(token.process)
+                else:
+                    keep.append((token, edge))
+            sig.waiters[:] = keep
+
+    def write_memory(self, mem: Memory, addr: int, value: Logic) -> None:
+        if addr < mem.lo or addr > mem.hi:
+            return
+        idx = addr - mem.lo
+        old = mem.words[idx]
+        value = value.resize(mem.width)
+        if old.val == value.val and old.xmask == value.xmask:
+            return
+        mem.words[idx] = value
+        combs = self._comb_by_signal.get(id(mem))
+        if combs:
+            for comb in combs:
+                if not comb.pending and comb is not self._current_comb:
+                    comb.pending = True
+                    self.active.append(comb)
+        if mem.waiters:
+            keep = []
+            for token, _edge in mem.waiters:
+                if token.armed:
+                    token.armed = False
+                    self.active.append(token.process)
+            mem.waiters[:] = keep
+
+    # ------------------------------------------------------------------
+    # Assignment helpers
+    # ------------------------------------------------------------------
+    def _assign(self, target: ast.LValue, value: Logic, scope: Scope) -> None:
+        if isinstance(target, ast.LvIdent):
+            obj = scope.lookup(target.name)
+            if isinstance(obj, Signal):
+                self.set_signal(obj, value.resize(obj.width))
+                return
+            raise SimulationError(f"cannot assign to {target.name!r}")
+        if isinstance(target, ast.LvIndex):
+            obj = scope.lookup(target.name)
+            index = eval_expr(target.index, scope).to_uint()
+            if index is None:
+                return  # write to unknown index is discarded
+            if isinstance(obj, Memory):
+                self.write_memory(obj, index, value)
+                return
+            if isinstance(obj, Signal):
+                if index >= obj.width:
+                    return
+                self.set_signal(
+                    obj, obj.value.set_part(index, index, value.resize(1)))
+                return
+            raise SimulationError(f"cannot assign to {target.name!r}")
+        if isinstance(target, ast.LvPart):
+            obj = scope.lookup(target.name)
+            if not isinstance(obj, Signal):
+                raise SimulationError(f"cannot assign to {target.name!r}")
+            msb = scope.const_int(target.msb)
+            lsb = scope.const_int(target.lsb)
+            self.set_signal(obj, obj.value.set_part(msb, lsb, value))
+            return
+        if isinstance(target, ast.LvConcat):
+            offset = 0
+            for part in reversed(target.parts):
+                w = self._lvalue_width(part, scope)
+                self._assign(part, value.part(offset + w - 1, offset), scope)
+                offset += w
+            return
+        raise SimulationError(f"unsupported lvalue {target!r}")
+
+    def _lvalue_width(self, target: ast.LValue, scope: Scope) -> int:
+        if isinstance(target, ast.LvIdent):
+            obj = scope.lookup(target.name)
+            if isinstance(obj, Signal):
+                return obj.width
+            raise SimulationError(f"cannot size lvalue {target.name!r}")
+        if isinstance(target, ast.LvIndex):
+            obj = scope.lookup(target.name)
+            if isinstance(obj, Memory):
+                return obj.width
+            return 1
+        if isinstance(target, ast.LvPart):
+            msb = scope.const_int(target.msb)
+            lsb = scope.const_int(target.lsb)
+            return msb - lsb + 1
+        if isinstance(target, ast.LvConcat):
+            return sum(self._lvalue_width(p, scope) for p in target.parts)
+        raise SimulationError(f"unsupported lvalue {target!r}")
+
+    def _schedule_nba(self, target: ast.LValue, value: Logic,
+                      scope: Scope) -> None:
+        """Resolve the lvalue address now, apply the value in the NBA region."""
+        if isinstance(target, ast.LvIdent):
+            obj = scope.lookup(target.name)
+            if isinstance(obj, Signal):
+                self.nba.append(("sig", obj, value.resize(obj.width)))
+                return
+            raise SimulationError(f"cannot assign to {target.name!r}")
+        if isinstance(target, ast.LvIndex):
+            obj = scope.lookup(target.name)
+            index = eval_expr(target.index, scope).to_uint()
+            if index is None:
+                return
+            if isinstance(obj, Memory):
+                self.nba.append(("mem", obj, index, value))
+                return
+            if isinstance(obj, Signal):
+                self.nba.append(("part", obj, index, index, value.resize(1)))
+                return
+            raise SimulationError(f"cannot assign to {target.name!r}")
+        if isinstance(target, ast.LvPart):
+            obj = scope.lookup(target.name)
+            if not isinstance(obj, Signal):
+                raise SimulationError(f"cannot assign to {target.name!r}")
+            msb = scope.const_int(target.msb)
+            lsb = scope.const_int(target.lsb)
+            self.nba.append(("part", obj, msb, lsb, value))
+            return
+        if isinstance(target, ast.LvConcat):
+            offset = 0
+            for part in reversed(target.parts):
+                w = self._lvalue_width(part, scope)
+                self._schedule_nba(part, value.part(offset + w - 1, offset),
+                                   scope)
+                offset += w
+            return
+        raise SimulationError(f"unsupported lvalue {target!r}")
+
+    def _apply_nba(self) -> None:
+        updates = self.nba
+        self.nba = []
+        for entry in updates:
+            kind = entry[0]
+            if kind == "sig":
+                _, sig, value = entry
+                self.set_signal(sig, value)
+            elif kind == "part":
+                _, sig, msb, lsb, value = entry
+                self.set_signal(sig, sig.value.set_part(msb, lsb, value))
+            else:
+                _, mem, addr, value = entry
+                self.write_memory(mem, addr, value)
+
+    # ------------------------------------------------------------------
+    # Statement execution (generator)
+    # ------------------------------------------------------------------
+    def _tick(self) -> None:
+        self.stmt_count += 1
+        if self.stmt_count > self.max_stmts:
+            raise SimulationLimit(
+                f"statement budget of {self.max_stmts} exhausted at "
+                f"t={self.time} (runaway loop or missing $finish?)")
+
+    def _exec(self, stmt: ast.Stmt, scope: Scope):
+        self._tick()
+
+        if isinstance(stmt, ast.Block):
+            for s in stmt.stmts:
+                yield from self._exec(s, scope)
+            return
+
+        if isinstance(stmt, ast.BlockingAssign):
+            width = self._lvalue_width(stmt.target, scope)
+            value = eval_expr(stmt.value, scope, width)
+            value = value.resize(width, signed_of(stmt.value, scope))
+            self._assign(stmt.target, value, scope)
+            return
+
+        if isinstance(stmt, ast.NonblockingAssign):
+            width = self._lvalue_width(stmt.target, scope)
+            value = eval_expr(stmt.value, scope, width)
+            value = value.resize(width, signed_of(stmt.value, scope))
+            self._schedule_nba(stmt.target, value, scope)
+            return
+
+        if isinstance(stmt, ast.If):
+            if eval_expr(stmt.cond, scope).truth() is True:
+                yield from self._exec(stmt.then, scope)
+            elif stmt.other is not None:
+                yield from self._exec(stmt.other, scope)
+            return
+
+        if isinstance(stmt, ast.Case):
+            yield from self._exec_case(stmt, scope)
+            return
+
+        if isinstance(stmt, ast.For):
+            yield from self._exec(stmt.init, scope)
+            while eval_expr(stmt.cond, scope).truth() is True:
+                yield from self._exec(stmt.body, scope)
+                yield from self._exec(stmt.step, scope)
+            return
+
+        if isinstance(stmt, ast.While):
+            while eval_expr(stmt.cond, scope).truth() is True:
+                self._tick()
+                yield from self._exec(stmt.body, scope)
+            return
+
+        if isinstance(stmt, ast.Repeat):
+            count = eval_expr(stmt.count, scope).to_uint() or 0
+            for _ in range(count):
+                yield from self._exec(stmt.body, scope)
+            return
+
+        if isinstance(stmt, ast.Forever):
+            while True:
+                self._tick()
+                yield from self._exec(stmt.body, scope)
+
+        if isinstance(stmt, ast.DelayStmt):
+            amount = eval_expr(stmt.amount, scope).to_uint()
+            if amount is None:
+                raise SimulationError("delay amount is unknown (x)")
+            yield ("delay", amount)
+            if stmt.stmt is not None:
+                yield from self._exec(stmt.stmt, scope)
+            return
+
+        if isinstance(stmt, ast.EventControl):
+            if stmt.events is None:
+                raise SimulationError(
+                    "@(*) is not supported as a procedural statement")
+            yield ("wait", self._resolve_events(stmt.events, scope))
+            if stmt.stmt is not None:
+                yield from self._exec(stmt.stmt, scope)
+            return
+
+        if isinstance(stmt, ast.SysTaskCall):
+            self._sys_task(stmt, scope)
+            return
+
+        if isinstance(stmt, ast.NullStmt):
+            return
+
+        raise SimulationError(f"cannot execute statement {stmt!r}")
+
+    def _exec_case(self, stmt: ast.Case, scope: Scope):
+        subject = eval_expr(stmt.subject, scope)
+        default: ast.Stmt | None = None
+        for item in stmt.items:
+            if not item.labels:
+                default = item.body
+                continue
+            for label_expr in item.labels:
+                label = eval_expr(label_expr, scope)
+                if self._case_match(stmt.kind, subject, label):
+                    yield from self._exec(item.body, scope)
+                    return
+        if default is not None:
+            yield from self._exec(default, scope)
+
+    @staticmethod
+    def _case_match(kind: str, subject: Logic, label: Logic) -> bool:
+        w = max(subject.width, label.width)
+        s, l = subject.resize(w), label.resize(w)
+        if kind == "case":
+            return s.val == l.val and s.xmask == l.xmask
+        wildcard = l.xmask
+        if kind == "casex":
+            wildcard |= s.xmask
+        elif s.xmask & ~wildcard:
+            return False  # casez: unknown subject bits never match
+        mask = ((1 << w) - 1) & ~wildcard
+        return (s.val & mask) == (l.val & mask)
+
+    # ------------------------------------------------------------------
+    # System tasks
+    # ------------------------------------------------------------------
+    def _sys_task(self, stmt: ast.SysTaskCall, scope: Scope) -> None:
+        name = stmt.name
+        if name in ("$finish", "$stop"):
+            raise _Finish()
+        if name == "$display":
+            self.stdout.append(self._format_args(stmt.args, scope))
+            return
+        if name == "$write":
+            # Collapsed into stdout lines; sufficient for testbench logs.
+            self.stdout.append(self._format_args(stmt.args, scope))
+            return
+        if name in ("$fdisplay", "$fwrite"):
+            if not stmt.args:
+                raise SimulationError(f"{name} requires a descriptor")
+            fd = eval_expr(stmt.args[0], scope).to_uint()
+            if fd is None or fd not in self._fd_lines:
+                raise SimulationError(f"{name}: invalid file descriptor")
+            text = self._format_args(stmt.args[1:], scope)
+            if name == "$fdisplay":
+                line = self._fd_partial[fd] + text
+                self._fd_partial[fd] = ""
+                self._fd_lines[fd].append(line)
+            else:
+                self._fd_partial[fd] += text
+            return
+        if name == "$fclose":
+            return
+        if name in ("$dumpfile", "$dumpvars", "$timeformat", "$monitor",
+                    "$fflush"):
+            return
+        raise SimulationError(f"unsupported system task {name!r}")
+
+    def _format_args(self, args: tuple[ast.Expr, ...], scope: Scope) -> str:
+        if not args:
+            return ""
+        first = args[0]
+        if isinstance(first, ast.StringLit):
+            return self._format(first.text, args[1:], scope)
+        return " ".join(
+            eval_expr(a, scope).format_decimal() for a in args)
+
+    def _format(self, fmt: str, args: tuple[ast.Expr, ...],
+                scope: Scope) -> str:
+        out: list[str] = []
+        arg_iter = iter(args)
+        i = 0
+        while i < len(fmt):
+            ch = fmt[i]
+            if ch != "%":
+                out.append(ch)
+                i += 1
+                continue
+            i += 1
+            # Skip width/zero-pad modifiers: %0d, %2d, ...
+            while i < len(fmt) and fmt[i].isdigit():
+                i += 1
+            if i >= len(fmt):
+                raise SimulationError("dangling % in format string")
+            spec = fmt[i]
+            i += 1
+            if spec == "%":
+                out.append("%")
+                continue
+            try:
+                arg = next(arg_iter)
+            except StopIteration:
+                raise SimulationError(
+                    f"missing argument for %{spec} in {fmt!r}") from None
+            value = eval_expr(arg, scope)
+            if spec in ("d", "D"):
+                out.append(value.format_decimal(
+                    signed=signed_of(arg, scope)))
+            elif spec in ("b", "B"):
+                out.append(value.format_binary())
+            elif spec in ("h", "H", "x", "X"):
+                out.append(value.format_hex())
+            elif spec in ("t", "T"):
+                out.append(value.format_decimal())
+            elif spec in ("c",):
+                u = value.to_uint()
+                out.append(chr(u & 0xFF) if u is not None else "x")
+            elif spec in ("s", "S"):
+                if isinstance(arg, ast.StringLit):
+                    out.append(arg.text)
+                else:
+                    u = value.to_uint() or 0
+                    raw = u.to_bytes((value.width + 7) // 8, "big")
+                    out.append(raw.decode("latin-1").lstrip("\x00"))
+            else:
+                raise SimulationError(f"unsupported format %{spec}")
+        return "".join(out)
+
+    # ------------------------------------------------------------------
+    # Scheduler
+    # ------------------------------------------------------------------
+    def _run_process(self, proc: Process) -> None:
+        try:
+            request = next(proc.gen)
+        except StopIteration:
+            proc.done = True
+            return
+        except _Finish:
+            proc.done = True
+            self.finish_requested = True
+            return
+        kind = request[0]
+        if kind == "delay":
+            amount = request[1]
+            if amount == 0:
+                self.inactive.append(proc)
+            else:
+                self._seq += 1
+                heapq.heappush(self.future,
+                               (self.time + amount, self._seq, proc))
+            return
+        if kind == "wait":
+            token = WaitToken(proc)
+            proc.tokens = [token]
+            for edge, sig in request[1]:
+                sig.waiters.append((token, edge))
+            return
+        raise SimulationError(f"unknown suspension {request!r}")
+
+    def _run_comb(self, comb: CombProcess) -> None:
+        comb.pending = False
+        comb.runs_this_slot += 1
+        if comb.runs_this_slot > MAX_DELTAS_PER_SLOT:
+            raise SimulationLimit(
+                f"combinational loop detected around {comb.name!r} at "
+                f"t={self.time}")
+        self._current_comb = comb
+        try:
+            comb.run(self)
+        finally:
+            self._current_comb = None
+
+    def run(self) -> SimulationResult:
+        while True:
+            # Delta loop for the current time slot.
+            while self.active or self.inactive or self.nba:
+                if self.finish_requested:
+                    break
+                if self.active:
+                    item = self.active.popleft()
+                    if isinstance(item, CombProcess):
+                        self._run_comb(item)
+                    else:
+                        self._run_process(item)
+                elif self.inactive:
+                    self.active.append(self.inactive.popleft())
+                else:
+                    self._apply_nba()
+            if self.finish_requested or not self.future:
+                break
+            next_time, _, proc = heapq.heappop(self.future)
+            if next_time > self.max_time:
+                raise SimulationLimit(
+                    f"simulation exceeded max_time={self.max_time} "
+                    "(missing $finish?)")
+            self.time = next_time
+            for comb in self._comb_procs:
+                comb.runs_this_slot = 0
+            self.active.append(proc)
+            while self.future and self.future[0][0] == next_time:
+                _, _, other = heapq.heappop(self.future)
+                self.active.append(other)
+
+        files = {self._fd_names[fd]: lines
+                 for fd, lines in self._fd_lines.items()}
+        return SimulationResult(
+            finished=self.finish_requested,
+            sim_time=self.time,
+            stdout=self.stdout,
+            files=files,
+            stmt_count=self.stmt_count,
+            design=self.design,
+        )
+
+
+# ----------------------------------------------------------------------
+# Public API
+# ----------------------------------------------------------------------
+def compile_design(sources: str | Iterable[str], top: str) -> Design:
+    """Parse and elaborate; raises on syntax or elaboration errors.
+
+    This is the "does it compile" check that AutoEval's Eval0 uses.
+    """
+    if isinstance(sources, str):
+        text = sources
+    else:
+        text = "\n".join(sources)
+    return elaborate(parse_source(text), top)
+
+
+def simulate(sources: str | Iterable[str], top: str,
+             max_time: int = DEFAULT_MAX_TIME,
+             max_stmts: int = DEFAULT_MAX_STMTS,
+             seed: int = 0) -> SimulationResult:
+    """Compile and run a design; the testbench must call ``$finish``."""
+    design = compile_design(sources, top)
+    return Simulator(design, max_time=max_time, max_stmts=max_stmts,
+                     seed=seed).run()

@@ -1,0 +1,54 @@
+"""Token definitions for the Verilog subset lexer."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum, auto
+
+
+class TokenKind(Enum):
+    IDENT = auto()
+    KEYWORD = auto()
+    NUMBER = auto()        # value carries (width | None, val, xmask, signed)
+    STRING = auto()
+    SYSTEM_IDENT = auto()  # $display, $finish, ...
+    PUNCT = auto()
+    EOF = auto()
+
+
+#: Keywords of the supported subset.  Everything else is an identifier.
+KEYWORDS = frozenset({
+    "module", "endmodule", "input", "output", "inout", "wire", "reg",
+    "integer", "real", "parameter", "localparam", "assign", "always",
+    "initial", "begin", "end", "if", "else", "case", "casez", "casex",
+    "endcase", "default", "for", "while", "repeat", "forever", "posedge",
+    "negedge", "or", "and", "not", "signed", "unsigned", "function",
+    "endfunction", "task", "endtask", "generate", "endgenerate", "genvar",
+    "wait", "deassign", "force", "release",
+})
+
+#: Multi-character punctuation, longest first so the lexer can greedily match.
+PUNCTUATIONS = (
+    "<<<", ">>>", "===", "!==", "==", "!=", "<=", ">=", "&&", "||", "<<",
+    ">>", "~&", "~|", "~^", "^~", "**", "+:", "-:", "(", ")", "[", "]", "{",
+    "}", ",", ";", ":", "?", "@", "#", "=", "+", "-", "*", "/", "%", "&",
+    "|", "^", "~", "!", "<", ">", ".",
+)
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: TokenKind
+    text: str
+    line: int
+    column: int
+    value: object = None
+
+    def is_punct(self, text: str) -> bool:
+        return self.kind is TokenKind.PUNCT and self.text == text
+
+    def is_keyword(self, word: str) -> bool:
+        return self.kind is TokenKind.KEYWORD and self.text == word
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Token({self.kind.name}, {self.text!r}, L{self.line})"

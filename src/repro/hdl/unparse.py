@@ -1,0 +1,216 @@
+"""AST to Verilog source rendering.
+
+The mutation engine parses golden RTL, rewrites the AST, and uses this
+module to regenerate compilable source.  Rendering is deliberately plain:
+stable output makes mutant diffs readable and tests deterministic.
+"""
+
+from __future__ import annotations
+
+from . import ast
+
+_IND = "    "
+
+
+def unparse_expr(expr: ast.Expr) -> str:
+    if isinstance(expr, ast.Number):
+        if expr.width is None:
+            return str(expr.val)
+        if expr.xmask:
+            bits = []
+            for i in range(expr.width - 1, -1, -1):
+                if (expr.xmask >> i) & 1:
+                    bits.append("x")
+                else:
+                    bits.append("1" if (expr.val >> i) & 1 else "0")
+            return f"{expr.width}'b{''.join(bits)}"
+        sign = "s" if expr.signed else ""
+        return f"{expr.width}'{sign}d{expr.val}"
+    if isinstance(expr, ast.Identifier):
+        return expr.name
+    if isinstance(expr, ast.StringLit):
+        escaped = expr.text.replace("\\", "\\\\").replace('"', '\\"')
+        escaped = escaped.replace("\n", "\\n").replace("\t", "\\t")
+        return f'"{escaped}"'
+    if isinstance(expr, ast.Unary):
+        return f"{expr.op}({unparse_expr(expr.operand)})"
+    if isinstance(expr, ast.Binary):
+        return f"({unparse_expr(expr.left)} {expr.op} {unparse_expr(expr.right)})"
+    if isinstance(expr, ast.Ternary):
+        return (f"({unparse_expr(expr.cond)} ? {unparse_expr(expr.then)}"
+                f" : {unparse_expr(expr.other)})")
+    if isinstance(expr, ast.Concat):
+        return "{" + ", ".join(unparse_expr(p) for p in expr.parts) + "}"
+    if isinstance(expr, ast.Replicate):
+        return ("{" + unparse_expr(expr.count) + "{"
+                + unparse_expr(expr.value) + "}}")
+    if isinstance(expr, ast.Index):
+        return f"{expr.base}[{unparse_expr(expr.index)}]"
+    if isinstance(expr, ast.PartSelect):
+        return f"{expr.base}[{unparse_expr(expr.msb)}:{unparse_expr(expr.lsb)}]"
+    if isinstance(expr, ast.SystemCall):
+        if expr.args:
+            return f"{expr.name}(" + ", ".join(
+                unparse_expr(a) for a in expr.args) + ")"
+        return expr.name
+    raise TypeError(f"cannot unparse expression {expr!r}")
+
+
+def unparse_lvalue(lv: ast.LValue) -> str:
+    if isinstance(lv, ast.LvIdent):
+        return lv.name
+    if isinstance(lv, ast.LvIndex):
+        return f"{lv.name}[{unparse_expr(lv.index)}]"
+    if isinstance(lv, ast.LvPart):
+        return f"{lv.name}[{unparse_expr(lv.msb)}:{unparse_expr(lv.lsb)}]"
+    if isinstance(lv, ast.LvConcat):
+        return "{" + ", ".join(unparse_lvalue(p) for p in lv.parts) + "}"
+    raise TypeError(f"cannot unparse lvalue {lv!r}")
+
+
+def _unparse_event_list(events: tuple[ast.EventExpr, ...] | None) -> str:
+    if events is None:
+        return "@(*)"
+    parts = []
+    for ev in events:
+        prefix = {"pos": "posedge ", "neg": "negedge ", "any": ""}[ev.edge]
+        parts.append(prefix + unparse_expr(ev.signal))
+    return "@(" + " or ".join(parts) + ")"
+
+
+def unparse_stmt(stmt: ast.Stmt, indent: int = 1) -> str:
+    pad = _IND * indent
+    if isinstance(stmt, ast.Block):
+        label = f" : {stmt.name}" if stmt.name else ""
+        inner = "\n".join(unparse_stmt(s, indent + 1) for s in stmt.stmts)
+        if inner:
+            return f"{pad}begin{label}\n{inner}\n{pad}end"
+        return f"{pad}begin{label}\n{pad}end"
+    if isinstance(stmt, ast.If):
+        out = f"{pad}if ({unparse_expr(stmt.cond)})\n"
+        out += unparse_stmt(stmt.then, indent + 1)
+        if stmt.other is not None:
+            out += f"\n{pad}else\n" + unparse_stmt(stmt.other, indent + 1)
+        return out
+    if isinstance(stmt, ast.Case):
+        out = f"{pad}{stmt.kind} ({unparse_expr(stmt.subject)})\n"
+        for item in stmt.items:
+            if item.labels:
+                labels = ", ".join(unparse_expr(e) for e in item.labels)
+            else:
+                labels = "default"
+            out += f"{pad}{_IND}{labels}:\n"
+            out += unparse_stmt(item.body, indent + 2) + "\n"
+        out += f"{pad}endcase"
+        return out
+    if isinstance(stmt, ast.For):
+        init = (f"{unparse_lvalue(stmt.init.target)} = "
+                f"{unparse_expr(stmt.init.value)}")
+        step = (f"{unparse_lvalue(stmt.step.target)} = "
+                f"{unparse_expr(stmt.step.value)}")
+        out = f"{pad}for ({init}; {unparse_expr(stmt.cond)}; {step})\n"
+        return out + unparse_stmt(stmt.body, indent + 1)
+    if isinstance(stmt, ast.While):
+        return (f"{pad}while ({unparse_expr(stmt.cond)})\n"
+                + unparse_stmt(stmt.body, indent + 1))
+    if isinstance(stmt, ast.Repeat):
+        return (f"{pad}repeat ({unparse_expr(stmt.count)})\n"
+                + unparse_stmt(stmt.body, indent + 1))
+    if isinstance(stmt, ast.Forever):
+        return f"{pad}forever\n" + unparse_stmt(stmt.body, indent + 1)
+    if isinstance(stmt, ast.BlockingAssign):
+        return f"{pad}{unparse_lvalue(stmt.target)} = {unparse_expr(stmt.value)};"
+    if isinstance(stmt, ast.NonblockingAssign):
+        return f"{pad}{unparse_lvalue(stmt.target)} <= {unparse_expr(stmt.value)};"
+    if isinstance(stmt, ast.DelayStmt):
+        amount = unparse_expr(stmt.amount)
+        if stmt.stmt is None:
+            return f"{pad}#{amount};"
+        inner = unparse_stmt(stmt.stmt, indent).lstrip()
+        return f"{pad}#{amount} {inner}"
+    if isinstance(stmt, ast.EventControl):
+        header = _unparse_event_list(stmt.events)
+        if stmt.stmt is None:
+            return f"{pad}{header};"
+        inner = unparse_stmt(stmt.stmt, indent).lstrip()
+        return f"{pad}{header} {inner}"
+    if isinstance(stmt, ast.SysTaskCall):
+        if stmt.args:
+            args = ", ".join(unparse_expr(a) for a in stmt.args)
+            return f"{pad}{stmt.name}({args});"
+        return f"{pad}{stmt.name};"
+    if isinstance(stmt, ast.NullStmt):
+        return f"{pad};"
+    raise TypeError(f"cannot unparse statement {stmt!r}")
+
+
+def _unparse_range(rng: ast.Range | None) -> str:
+    if rng is None:
+        return ""
+    return f"[{unparse_expr(rng.msb)}:{unparse_expr(rng.lsb)}] "
+
+
+def unparse_item(item: ast.ModuleItem) -> str:
+    if isinstance(item, ast.NetDecl):
+        signed = "signed " if item.signed else ""
+        rng = _unparse_range(item.range)
+        decls = []
+        for name, init in zip(item.names, item.inits or
+                              (None,) * len(item.names)):
+            text = name
+            if item.array is not None:
+                text += (f" [{unparse_expr(item.array.msb)}"
+                         f":{unparse_expr(item.array.lsb)}]")
+            if init is not None:
+                text += f" = {unparse_expr(init)}"
+            decls.append(text)
+        return f"{_IND}{item.kind} {signed}{rng}{', '.join(decls)};"
+    if isinstance(item, ast.ParamDecl):
+        kw = "localparam" if item.local else "parameter"
+        return f"{_IND}{kw} {item.name} = {unparse_expr(item.value)};"
+    if isinstance(item, ast.ContinuousAssign):
+        return (f"{_IND}assign {unparse_lvalue(item.target)} = "
+                f"{unparse_expr(item.value)};")
+    if isinstance(item, ast.AlwaysBlock):
+        if item.events == ():
+            header = f"{_IND}always"
+        else:
+            header = f"{_IND}always {_unparse_event_list(item.events)}"
+        return header + "\n" + unparse_stmt(item.body, 2)
+    if isinstance(item, ast.InitialBlock):
+        return f"{_IND}initial\n" + unparse_stmt(item.body, 2)
+    if isinstance(item, ast.Instance):
+        params = ""
+        if item.parameters:
+            plist = ", ".join(f".{n}({unparse_expr(e)})"
+                              for n, e in item.parameters)
+            params = f" #({plist})"
+        conns = []
+        for pname, expr in item.connections:
+            value = unparse_expr(expr) if expr is not None else ""
+            if pname is None:
+                conns.append(value)
+            else:
+                conns.append(f".{pname}({value})")
+        return (f"{_IND}{item.module}{params} {item.name} ("
+                + ", ".join(conns) + ");")
+    raise TypeError(f"cannot unparse item {item!r}")
+
+
+def unparse_module(module: ast.Module) -> str:
+    ports = []
+    for p in module.ports:
+        reg = "reg " if p.is_reg else ""
+        signed = "signed " if p.signed else ""
+        rng = _unparse_range(p.range)
+        ports.append(f"{p.direction} {reg}{signed}{rng}{p.name}".rstrip()
+                     .replace("  ", " "))
+    header = f"module {module.name}(\n"
+    header += ",\n".join(_IND + p for p in ports)
+    header += "\n);\n"
+    body = "\n".join(unparse_item(item) for item in module.items)
+    return header + body + "\nendmodule\n"
+
+
+def unparse_source(source: ast.SourceFile) -> str:
+    return "\n".join(unparse_module(m) for m in source.modules)

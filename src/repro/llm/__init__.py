@@ -1,0 +1,41 @@
+"""``repro.llm`` — the LLM substrate.
+
+Replaces the OpenAI / Anthropic API dependency of the original system with
+an offline, deterministic model of an unreliable code-writing LLM:
+
+- :class:`LLMClient` — the protocol every backend implements,
+- :class:`SyntheticLLM` — the seeded synthetic model (imported lazily from
+  :mod:`repro.llm.synthetic` to keep this package import-light),
+- :class:`ModelProfile` / :func:`get_profile` — reliability profiles of the
+  three models the paper evaluates,
+- :class:`UsageMeter` / :class:`MeteredClient` — token accounting used to
+  reproduce the paper's cost figures.
+"""
+
+from .base import (ChatMessage, ChatRequest, ChatResponse, GenerationIntent,
+                   LLMClient, MeteredClient, Usage, UsageMeter, usage_for)
+from .conversation import Conversation, single_turn
+from .profiles import (CLAUDE_35_SONNET, GPT_4O, GPT_4O_MINI, PROFILES,
+                       ModelProfile, get_profile)
+from .tokens import approx_token_count
+
+__all__ = [
+    "CLAUDE_35_SONNET",
+    "ChatMessage",
+    "ChatRequest",
+    "ChatResponse",
+    "Conversation",
+    "GPT_4O",
+    "GPT_4O_MINI",
+    "GenerationIntent",
+    "LLMClient",
+    "MeteredClient",
+    "ModelProfile",
+    "PROFILES",
+    "Usage",
+    "UsageMeter",
+    "approx_token_count",
+    "get_profile",
+    "single_turn",
+    "usage_for",
+]

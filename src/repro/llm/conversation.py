@@ -1,0 +1,48 @@
+"""Multi-turn conversation helper.
+
+The corrector (Section III-C) is a *conversational* stage: stage 2 sees the
+stage 1 reasoning in its context.  :class:`Conversation` keeps the turn
+history, builds requests, and lets the same abstraction serve single-shot
+stages too.
+"""
+
+from __future__ import annotations
+
+from .base import (ChatMessage, ChatRequest, ChatResponse, GenerationIntent,
+                   LLMClient, MeteredClient)
+
+
+class Conversation:
+    """A growing chat transcript bound to one client."""
+
+    def __init__(self, client: LLMClient | MeteredClient,
+                 system_prompt: str | None = None):
+        self.client = client
+        self.messages: list[ChatMessage] = []
+        if system_prompt:
+            self.messages.append(ChatMessage("system", system_prompt))
+
+    def ask(self, content: str, intent: GenerationIntent) -> str:
+        """Send ``content`` as the user, append the reply, return its text."""
+        self.messages.append(ChatMessage("user", content))
+        request = ChatRequest(messages=tuple(self.messages), intent=intent)
+        response: ChatResponse = self.client.complete(request)
+        self.messages.append(ChatMessage("assistant", response.text))
+        return response.text
+
+    @property
+    def transcript(self) -> str:
+        """Human-readable transcript (used by examples and debugging)."""
+        parts = []
+        for message in self.messages:
+            parts.append(f"[{message.role}]")
+            parts.append(message.content)
+            parts.append("")
+        return "\n".join(parts)
+
+
+def single_turn(client: LLMClient | MeteredClient, system_prompt: str,
+                user_prompt: str, intent: GenerationIntent) -> str:
+    """One-shot helper for non-conversational stages."""
+    conversation = Conversation(client, system_prompt)
+    return conversation.ask(user_prompt, intent)

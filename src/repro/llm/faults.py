@@ -1,0 +1,304 @@
+"""The fault model: which mistakes does a given model make on a given task?
+
+This module turns a :class:`~repro.llm.profiles.ModelProfile` plus a task's
+latent difficulty into concrete, deterministic fault plans for every
+artifact the synthetic LLM emits.  Three statistical properties carry the
+paper's dynamics, and all three live here:
+
+1. **Sticky misconceptions.**  Per (model, task) a single behavioural
+   variant is the model's latent misunderstanding of the spec.  Hard tasks
+   have a high probability that *every* artifact — checkers *and* the
+   imperfect-RTL judge group — carries it.  This correlation is what
+   caps the validator's accuracy (Section III-B of the paper): a checker
+   and an RTL sample sharing the misconception agree with each other, and
+   fully-green rows fool the 25%-row rule.
+
+2. **Uncorrelated noise.**  Random wrong variants, literal perturbations
+   and AST mutations, independent per sample.  These are what the RS
+   matrix *can* isolate, making validation work on most tasks.
+
+3. **Stage-specific syntax rates**, repaired (imperfectly) by AutoBench's
+   auto-debug iterations.
+
+Every draw is a pure function of (profile, global seed, task, attempt), so
+whole campaigns are reproducible bit-for-bit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..codegen.baseline import BaselineFaults
+from ..codegen.driver import DriverFaults
+from ..problems.model import SEQ, TaskSpec, Variant
+from ..util import clamp, derive_rng
+from .profiles import ModelProfile
+
+_MISCONCEPTION_CAP = 0.98
+
+
+@dataclass(frozen=True)
+class CheckerFaultPlan:
+    """Faults carried by one generated checker core."""
+
+    misconception: Variant | None = None
+    random_variant: Variant | None = None
+    literal_fault: bool = False
+    syntax_fault: bool = False
+
+    @property
+    def functional(self) -> bool:
+        return (self.misconception is not None
+                or self.random_variant is not None or self.literal_fault)
+
+    def describe(self) -> list[str]:
+        out = []
+        if self.misconception is not None:
+            out.append(f"misconception: {self.misconception.description}")
+        if self.random_variant is not None:
+            out.append(f"slip: {self.random_variant.description}")
+        if self.literal_fault:
+            out.append("perturbed numeric literal")
+        if self.syntax_fault:
+            out.append("syntax error")
+        return out
+
+
+@dataclass(frozen=True)
+class DriverFaultPlan:
+    faults: DriverFaults = field(default_factory=DriverFaults)
+    syntax_fault: bool = False
+
+    @property
+    def functional(self) -> bool:
+        return self.faults.any
+
+
+@dataclass(frozen=True)
+class RtlFaultPlan:
+    """Faults carried by one imperfect-RTL judge sample."""
+
+    misconception: Variant | None = None
+    random_variant: Variant | None = None
+    ast_mutation: bool = False
+    syntax_fault: bool = False
+
+    @property
+    def functional(self) -> bool:
+        return (self.misconception is not None
+                or self.random_variant is not None or self.ast_mutation)
+
+
+@dataclass(frozen=True)
+class BaselinePlan:
+    checker: CheckerFaultPlan
+    faults: BaselineFaults
+    syntax_fault: bool = False
+
+
+class FaultModel:
+    """Deterministic fault planner for one (profile, global seed) pair."""
+
+    def __init__(self, profile: ModelProfile, seed: int = 0):
+        self.profile = profile
+        self.seed = seed
+
+    # ------------------------------------------------------------------
+    # Latent task state
+    # ------------------------------------------------------------------
+    def is_trap(self, task: TaskSpec) -> bool:
+        """Does this model systematically misread this spec?
+
+        A *trap* is the failure mode the paper's Section III-B motivates:
+        the model's RTL and checker samples share the same latent
+        misconception, so neither rebooting nor the RS matrix can expose
+        it.  Traps are a stable property of the (model, task) pair —
+        sequential specs trap far more often, and weaker models trap more.
+        """
+        rng = derive_rng("trap", self.profile.name, task.task_id)
+        base = 0.26 if task.kind != SEQ else 0.40
+        competence_sq = max(self.profile.competence, 1e-6) ** 2
+        p_trap = clamp(base * (0.5 + task.difficulty) / competence_sq,
+                       0.0, 0.85)
+        return rng.random() < p_trap
+
+    def effective_difficulty(self, task: TaskSpec) -> float:
+        """Latent difficulty for this (model, task) pair.
+
+        Trap tasks sit in the near-certain-misconception band; the rest
+        scale with the authored difficulty plus a kind-dependent bump
+        (sequential semantics are harder to pin down from prose) and a
+        stable jitter.
+        """
+        rng = derive_rng("difficulty", self.profile.name, task.task_id)
+        if self.is_trap(task):
+            return 0.93 + 0.06 * rng.random()
+        bump = 0.05 if task.kind != SEQ else 0.27
+        jitter = 0.10 * (rng.random() - 0.5)
+        scaled = (task.difficulty * 0.85 + bump) / max(
+            self.profile.competence, 1e-6)
+        return clamp(scaled + jitter, 0.0, 0.82)
+
+    def sticky_misconception(self, task: TaskSpec) -> Variant:
+        """The model's latent misunderstanding of this spec."""
+        rng = derive_rng("sticky", self.profile.name, self.seed,
+                         task.task_id)
+        return rng.choice(list(task.variants))
+
+    def misconception_prob(self, task: TaskSpec, scope: str) -> float:
+        """P(an artifact carries the sticky misconception).
+
+        The RTL-side correlation gets a stable per-task jitter: on some
+        tasks the judge group shares the misconception strongly enough to
+        fool the validator (red columns dilute below the threshold and
+        fully-green rows trip the 25% override), on others it stays
+        uncorrelated enough to expose it.  That spread is what produces
+        the paper's sub-100% validation accuracies and the gap between
+        the 100%/70%/50% criteria.
+        """
+        d = self.effective_difficulty(task)
+        if scope == "checker":
+            return clamp(self.profile.misconception_scale * d * d,
+                         0.0, _MISCONCEPTION_CAP)
+        jitter_rng = derive_rng("rtl-corr", self.profile.name,
+                                task.task_id)
+        jitter = 0.6 + 0.9 * jitter_rng.random()
+        return clamp(self.profile.rtl_misconception_scale * jitter * d * d,
+                     0.0, _MISCONCEPTION_CAP)
+
+    def _other_variant(self, task: TaskSpec, rng) -> Variant:
+        sticky = self.sticky_misconception(task)
+        others = [v for v in task.variants if v.vid != sticky.vid]
+        return rng.choice(others or list(task.variants))
+
+    # ------------------------------------------------------------------
+    # Per-artifact plans
+    # ------------------------------------------------------------------
+    def plan_checker(self, task: TaskSpec, attempt: int,
+                     fault_scale: float = 1.0) -> CheckerFaultPlan:
+        rng = derive_rng("checker", self.profile.name, self.seed,
+                         task.task_id, attempt)
+        d = self.effective_difficulty(task)
+        q = clamp(self.misconception_prob(task, "checker") * fault_scale,
+                  0.0, _MISCONCEPTION_CAP)
+        misconception = (self.sticky_misconception(task)
+                         if rng.random() < q else None)
+        random_variant = None
+        if misconception is None:
+            r = clamp(self.profile.random_fault_base * (0.4 + d)
+                      * fault_scale)
+            if rng.random() < r:
+                random_variant = self._other_variant(task, rng)
+        literal = rng.random() < clamp(
+            self.profile.literal_fault_base * (0.5 + d) * fault_scale)
+        syntax = rng.random() < clamp(
+            self.profile.python_syntax_rate * fault_scale, 0.0, 0.9)
+        return CheckerFaultPlan(misconception, random_variant, literal,
+                                syntax)
+
+    def plan_driver(self, task: TaskSpec, attempt: int,
+                    fault_scale: float = 1.0) -> DriverFaultPlan:
+        rng = derive_rng("driver", self.profile.name, self.seed,
+                         task.task_id, attempt)
+        d = self.effective_difficulty(task)
+        is_seq = task.kind == SEQ
+        rate = self.profile.driver_fault_base * (0.5 + d) * fault_scale
+        if is_seq:
+            rate *= self.profile.seq_driver_penalty
+        late = stuck = missing_init = drop = False
+        stuck_name = None
+        if rng.random() < clamp(rate):
+            modes = ["drop", "stuck"]
+            if is_seq:
+                modes += ["late", "late", "clock"]
+            mode = rng.choice(modes)
+            if mode == "late":
+                late = True
+            elif mode == "clock":
+                missing_init = True
+            elif mode == "stuck":
+                data_inputs = [p.name for p in task.driven_ports
+                               if p.role == "data"]
+                if data_inputs:
+                    stuck_name = rng.choice(data_inputs)
+            else:
+                drop = True
+        if not drop:
+            drop = rng.random() < clamp(
+                self.profile.scenario_drop_base * (0.5 + d) * fault_scale)
+        syntax = rng.random() < clamp(
+            self.profile.verilog_syntax_rate * fault_scale, 0.0, 0.9)
+        return DriverFaultPlan(
+            DriverFaults(late_sample=late, drop_last_scenario=drop,
+                         stuck_input=stuck_name,
+                         missing_clock_init=missing_init),
+            syntax_fault=syntax)
+
+    def plan_rtl(self, task: TaskSpec, sample_index: int,
+                 group_nonce: int = 0) -> RtlFaultPlan:
+        rng = derive_rng("rtl", self.profile.name, self.seed, task.task_id,
+                         group_nonce, sample_index)
+        d = self.effective_difficulty(task)
+        q = self.misconception_prob(task, "rtl")
+        misconception = (self.sticky_misconception(task)
+                         if rng.random() < q else None)
+        random_variant = None
+        ast_mutation = False
+        if misconception is None:
+            r = clamp(self.profile.rtl_random_fault_base * (0.4 + d))
+            if rng.random() < r:
+                if rng.random() < 0.5:
+                    random_variant = self._other_variant(task, rng)
+                else:
+                    ast_mutation = True
+        syntax = rng.random() < clamp(self.profile.rtl_syntax_rate, 0, 0.9)
+        return RtlFaultPlan(misconception, random_variant, ast_mutation,
+                            syntax)
+
+    def plan_baseline(self, task: TaskSpec, attempt: int) -> BaselinePlan:
+        rng = derive_rng("baseline", self.profile.name, self.seed,
+                         task.task_id, attempt)
+        checker = self.plan_checker(
+            task, attempt + 7000,
+            fault_scale=self.profile.baseline_fault_scale)
+        # The one-shot baseline has no auto-debug; its syntax rate is the
+        # raw single-pass rate, which the paper shows is heavily kind-
+        # dependent (Table I Eval0: CMB 80.25% vs SEQ 48.53%).
+        syntax_rate = (self.profile.baseline_syntax_rate_seq
+                       if task.kind == SEQ
+                       else self.profile.baseline_syntax_rate_cmb)
+        thin = rng.random() < self.profile.baseline_thin_prob
+        missing_init = (task.kind == SEQ and rng.random() < 0.08)
+        syntax = rng.random() < syntax_rate
+        checker = CheckerFaultPlan(checker.misconception,
+                                   checker.random_variant,
+                                   checker.literal_fault, False)
+        return BaselinePlan(
+            checker=checker,
+            faults=BaselineFaults(thin=thin,
+                                  missing_clock_init=missing_init),
+            syntax_fault=syntax)
+
+    # ------------------------------------------------------------------
+    # Auto-debug and correction
+    # ------------------------------------------------------------------
+    def syntax_fix_succeeds(self, task: TaskSpec, attempt: int,
+                            iteration: int) -> bool:
+        rng = derive_rng("synfix", self.profile.name, self.seed,
+                         task.task_id, attempt, iteration)
+        return rng.random() < self.profile.syntax_fix_prob
+
+    def scenario_completion_succeeds(self, task: TaskSpec,
+                                     attempt: int) -> bool:
+        """AutoBench's scenario-list check restores dropped scenarios."""
+        rng = derive_rng("scncheck", self.profile.name, self.seed,
+                         task.task_id, attempt)
+        return rng.random() < 0.7
+
+    def plans_shallow(self, task: TaskSpec, attempt: int) -> bool:
+        """Does this generation attempt plan a shallow scenario list?"""
+        rng = derive_rng("shallow", self.profile.name, self.seed,
+                         task.task_id, attempt)
+        rate = (self.profile.shallow_plan_seq if task.kind == SEQ
+                else self.profile.shallow_plan_cmb)
+        return rng.random() < rate

@@ -1,0 +1,179 @@
+"""Reliability profiles of the evaluated commercial models.
+
+The paper evaluates three models: ``gpt-4o-2024-08-06`` (development
+model), ``claude-3-5-sonnet-20240620`` and ``gpt-4o-mini-2024-07-18``
+(compatibility check, Fig. 7).  Offline, each model is represented by a
+:class:`ModelProfile` — a parameter set describing *how unreliable* the
+model is at each pipeline stage.  The synthetic LLM composes these rates
+with the per-task latent difficulty to decide which faults an artifact
+carries (see :mod:`repro.llm.faults`).
+
+The rates were calibrated so the *baseline* and *AutoBench* marginals land
+near Table I of the paper; everything downstream (CorrectBench's gains, the
+validator accuracy trade-off, criterion ordering) is emergent behaviour of
+the pipeline, not an input.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class ModelProfile:
+    """Stage-level unreliability parameters of one LLM."""
+
+    name: str          # provider model id, e.g. "gpt-4o-2024-08-06"
+    short_name: str    # display name used in figures, e.g. "GPT-4o"
+    competence: float  # global capability scale; 1.0 = strongest evaluated
+
+    # -- Python checker core (functional) ------------------------------
+    # Probability scale that a generated artifact carries the task's
+    # *sticky misconception* (shared, correlated wrong behaviour).
+    misconception_scale: float
+    # Per-sample probability base of an uncorrelated wrong variant.
+    random_fault_base: float
+    # Per-sample probability base of a perturbed numeric literal.
+    literal_fault_base: float
+
+    # -- Verilog driver (functional) ------------------------------------
+    driver_fault_base: float
+    seq_driver_penalty: float   # multiplier applied for sequential tasks
+    scenario_drop_base: float   # probability of dropping a scenario
+
+    # -- Scenario planning -------------------------------------------------
+    # Probability that the model plans a shallow scenario list (a weak
+    # testbench that passes the golden DUT but under-discriminates
+    # mutants).  AutoBench's scenario check cannot catch this: the driver
+    # matches the model's own (short) list.
+    shallow_plan_cmb: float
+    shallow_plan_seq: float
+
+    # -- Syntax ----------------------------------------------------------
+    verilog_syntax_rate: float  # raw rate per generated driver
+    python_syntax_rate: float   # raw rate per generated checker
+    rtl_syntax_rate: float      # per imperfect-RTL sample
+    syntax_fix_prob: float      # success prob of one auto-debug iteration
+
+    # -- Imperfect-RTL judge group (validator) ---------------------------
+    rtl_misconception_scale: float
+    rtl_random_fault_base: float
+
+    # -- Corrector --------------------------------------------------------
+    corrector_fix_prob: float        # bug info points at the true fault
+    corrector_blind_fix_prob: float  # bug info does not help
+    corrector_regression_prob: float  # rewrite introduces a fresh fault
+
+    # -- Direct-generation baseline ---------------------------------------
+    baseline_syntax_rate_cmb: float
+    baseline_syntax_rate_seq: float
+    baseline_fault_scale: float  # multiplies the functional fault rates
+    baseline_thin_prob: float    # generates an under-covering testbench
+
+
+GPT_4O = ModelProfile(
+    name="gpt-4o-2024-08-06",
+    short_name="GPT-4o",
+    competence=1.00,
+    misconception_scale=1.10,
+    random_fault_base=0.155,
+    literal_fault_base=0.035,
+    driver_fault_base=0.030,
+    seq_driver_penalty=2.2,
+    scenario_drop_base=0.100,
+    shallow_plan_cmb=0.030,
+    shallow_plan_seq=0.280,
+    verilog_syntax_rate=0.22,
+    python_syntax_rate=0.12,
+    rtl_syntax_rate=0.10,
+    syntax_fix_prob=0.62,
+    rtl_misconception_scale=0.35,
+    rtl_random_fault_base=0.16,
+    corrector_fix_prob=0.70,
+    corrector_blind_fix_prob=0.12,
+    corrector_regression_prob=0.06,
+    baseline_syntax_rate_cmb=0.20,
+    baseline_syntax_rate_seq=0.50,
+    baseline_fault_scale=1.55,
+    baseline_thin_prob=0.18,
+)
+
+CLAUDE_35_SONNET = ModelProfile(
+    name="claude-3-5-sonnet-20240620",
+    short_name="Claude-3.5-Sonnet",
+    competence=0.96,
+    misconception_scale=1.16,
+    random_fault_base=0.170,
+    literal_fault_base=0.038,
+    driver_fault_base=0.038,
+    seq_driver_penalty=2.3,
+    scenario_drop_base=0.120,
+    shallow_plan_cmb=0.040,
+    shallow_plan_seq=0.240,
+    # The paper notes CorrectBench was developed on GPT-4o; other models hit
+    # format/interface frictions, visible as higher raw syntax rates.
+    verilog_syntax_rate=0.30,
+    python_syntax_rate=0.16,
+    rtl_syntax_rate=0.13,
+    syntax_fix_prob=0.58,
+    rtl_misconception_scale=0.40,
+    rtl_random_fault_base=0.18,
+    corrector_fix_prob=0.58,
+    corrector_blind_fix_prob=0.11,
+    corrector_regression_prob=0.07,
+    baseline_syntax_rate_cmb=0.24,
+    baseline_syntax_rate_seq=0.54,
+    baseline_fault_scale=1.60,
+    baseline_thin_prob=0.20,
+)
+
+GPT_4O_MINI = ModelProfile(
+    name="gpt-4o-mini-2024-07-18",
+    short_name="GPT-4o-mini",
+    competence=0.80,
+    misconception_scale=1.45,
+    random_fault_base=0.240,
+    literal_fault_base=0.060,
+    driver_fault_base=0.060,
+    seq_driver_penalty=2.5,
+    scenario_drop_base=0.160,
+    shallow_plan_cmb=0.080,
+    shallow_plan_seq=0.300,
+    verilog_syntax_rate=0.34,
+    python_syntax_rate=0.22,
+    rtl_syntax_rate=0.20,
+    syntax_fix_prob=0.50,
+    rtl_misconception_scale=0.50,
+    rtl_random_fault_base=0.26,
+    corrector_fix_prob=0.45,
+    corrector_blind_fix_prob=0.08,
+    corrector_regression_prob=0.11,
+    baseline_syntax_rate_cmb=0.30,
+    baseline_syntax_rate_seq=0.60,
+    baseline_fault_scale=1.95,
+    baseline_thin_prob=0.28,
+)
+
+PROFILES: dict[str, ModelProfile] = {
+    profile.short_name.lower(): profile
+    for profile in (GPT_4O, CLAUDE_35_SONNET, GPT_4O_MINI)
+}
+PROFILES.update({
+    GPT_4O.name: GPT_4O,
+    CLAUDE_35_SONNET.name: CLAUDE_35_SONNET,
+    GPT_4O_MINI.name: GPT_4O_MINI,
+    "gpt-4o": GPT_4O,
+    "claude-3.5-sonnet": CLAUDE_35_SONNET,
+    "claude": CLAUDE_35_SONNET,
+    "gpt-4o-mini": GPT_4O_MINI,
+    "4o-mini": GPT_4O_MINI,
+})
+
+
+def get_profile(name: str) -> ModelProfile:
+    """Look up a profile by any of its accepted aliases."""
+    key = name.lower()
+    if key not in PROFILES:
+        known = sorted({p.short_name for p in PROFILES.values()})
+        raise KeyError(f"unknown model profile {name!r}; known: {known}")
+    return PROFILES[key]

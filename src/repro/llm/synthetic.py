@@ -1,0 +1,369 @@
+"""The synthetic LLM: a deterministic model of an unreliable code writer.
+
+``SyntheticLLM`` implements :class:`~repro.llm.base.LLMClient`.  It
+receives the pipeline's real prompt strings (metered for token cost) and
+dispatches on the request's :class:`GenerationIntent` to a stage backend.
+Each backend renders *real source code* through :mod:`repro.codegen` —
+from the golden parameters when the draw is clean, from perturbed
+parameters (misconceptions), mutated ASTs or corrupted text when the
+fault model says the model errs.
+
+The artifacts it produced are remembered in a private *ledger* keyed by
+artifact text.  The corrector backends consult the ledger — the model
+"knows what it wrote" — which is how stage-1 reasoning can name the real
+fault and stage-2 can (probabilistically) remove it.  Nothing outside
+this class reads the ledger except tests and instrumentation; the
+validator and AutoEval never see ground truth.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, replace
+from typing import Any, Mapping
+
+from ..codegen import (render_baseline_tb, render_checker_core,
+                       render_driver, render_scenario_listing)
+from ..mutation import (inject_python_syntax_fault,
+                        inject_verilog_syntax_fault,
+                        perturb_numeric_literal, random_mutation)
+from ..problems.model import Scenario, TaskSpec
+from ..util import derive_rng, stable_hash
+from .base import ChatRequest, ChatResponse, usage_for
+from .faults import (BaselinePlan, CheckerFaultPlan, DriverFaultPlan,
+                     FaultModel, RtlFaultPlan)
+from .profiles import ModelProfile
+
+_PROSE_OPENERS = (
+    "Here is the requested code.\n\n",
+    "Sure — the implementation below follows the specification.\n\n",
+    "Below is my solution.\n\n",
+    "Certainly. The code is:\n\n",
+)
+
+
+def _key(text: str) -> str:
+    return hashlib.sha256(text.encode()).hexdigest()
+
+
+@dataclass(frozen=True)
+class LedgerEntry:
+    """What the model remembers about an artifact it produced."""
+
+    scope: str              # "checker" | "driver" | "rtl" | "baseline"
+    task_id: str
+    attempt: int
+    plan: Any               # the fault plan used to render it
+    correction_round: int = 0
+
+
+class SyntheticLLM:
+    """Offline stand-in for the commercial models the paper evaluates."""
+
+    def __init__(self, profile: ModelProfile, seed: int = 0):
+        self.profile = profile
+        self.seed = seed
+        self.faults = FaultModel(profile, seed)
+        self._ledger: dict[str, LedgerEntry] = {}
+
+    # ------------------------------------------------------------------
+    @property
+    def name(self) -> str:
+        return self.profile.name
+
+    def complete(self, request: ChatRequest) -> ChatResponse:
+        intent = request.intent
+        handler = getattr(self, f"_on_{intent.kind}", None)
+        if handler is None:
+            raise ValueError(f"no backend for intent {intent.kind!r}")
+        text = handler(intent.payload)
+        return ChatResponse(text=text,
+                            usage=usage_for(request.messages, text),
+                            model_name=self.name)
+
+    # ------------------------------------------------------------------
+    # Instrumentation (tests / analysis only — not used by the pipeline)
+    # ------------------------------------------------------------------
+    def introspect(self, artifact_text: str) -> LedgerEntry | None:
+        return self._ledger.get(_key(artifact_text))
+
+    def _remember(self, text: str, entry: LedgerEntry) -> None:
+        self._ledger[_key(text)] = entry
+
+    def _prose(self, *seed_parts: object) -> str:
+        rng = derive_rng("prose", self.profile.name, *seed_parts)
+        return rng.choice(_PROSE_OPENERS)
+
+    @staticmethod
+    def _task(payload: Mapping[str, Any]) -> TaskSpec:
+        task = payload["task"]
+        if not isinstance(task, TaskSpec):
+            raise TypeError("intent payload lacks the TaskSpec")
+        return task
+
+    def _plan_for(self, task: TaskSpec, attempt: int):
+        """The scenario plan this model uses for generation ``attempt``.
+
+        With the profile's shallow-plan probability, the model plans only
+        a couple of short scenarios — the weak-coverage failure mode that
+        passes the golden DUT but under-discriminates mutants.
+        """
+        rng = derive_rng("scenario-plan", self.profile.name, self.seed,
+                         task.task_id, attempt)
+        plan = task.scenarios(rng)
+        if self.faults.plans_shallow(task, attempt):
+            keep_vectors = 3 if task.kind == "SEQ" else 2
+            plan = tuple(
+                Scenario(s.index, s.name, s.description,
+                         s.vectors[:keep_vectors])
+                for s in plan[:2])
+        return plan
+
+    # ------------------------------------------------------------------
+    # Stage backends
+    # ------------------------------------------------------------------
+    def _on_scenarios(self, payload: Mapping[str, Any]) -> str:
+        task = self._task(payload)
+        attempt = payload.get("attempt", 0)
+        listing = render_scenario_listing(self._plan_for(task, attempt))
+        return (self._prose(task.task_id, attempt, "scn")
+                + listing)
+
+    def _on_driver(self, payload: Mapping[str, Any]) -> str:
+        task = self._task(payload)
+        attempt = payload.get("attempt", 0)
+        plan = self.faults.plan_driver(task, attempt)
+        source = self._render_driver(task, attempt, plan)
+        return (self._prose(task.task_id, attempt, "drv")
+                + f"```verilog\n{source}```\n")
+
+    def _render_driver(self, task: TaskSpec, attempt: int,
+                       plan: DriverFaultPlan) -> str:
+        scenario_plan = self._plan_for(task, attempt)
+        source = render_driver(task, scenario_plan, faults=plan.faults,
+                               style_seed=stable_hash(
+                                   self.profile.name, attempt) % 7)
+        if plan.syntax_fault:
+            source = inject_verilog_syntax_fault(
+                source, (self.profile.name, self.seed, task.task_id,
+                         attempt, "drv"))
+        self._remember(source, LedgerEntry("driver", task.task_id,
+                                           attempt, plan))
+        return source
+
+    def _on_checker(self, payload: Mapping[str, Any]) -> str:
+        task = self._task(payload)
+        attempt = payload.get("attempt", 0)
+        plan = self.faults.plan_checker(task, attempt)
+        source = self._render_checker(task, attempt, plan)
+        return (self._prose(task.task_id, attempt, "chk")
+                + f"```python\n{source}```\n")
+
+    def _render_checker(self, task: TaskSpec, attempt: int,
+                        plan: CheckerFaultPlan,
+                        correction_round: int = 0) -> str:
+        params = None
+        if plan.misconception is not None:
+            params = task.variant_params(plan.misconception)
+        elif plan.random_variant is not None:
+            params = task.variant_params(plan.random_variant)
+        source = render_checker_core(
+            task, params,
+            style_seed=stable_hash(self.profile.name, attempt,
+                                   correction_round) % 5)
+        if plan.literal_fault:
+            source, _ = perturb_numeric_literal(
+                source, (self.profile.name, self.seed, task.task_id,
+                         attempt, "lit"))
+        if plan.syntax_fault:
+            source = inject_python_syntax_fault(
+                source, (self.profile.name, self.seed, task.task_id,
+                         attempt, correction_round, "chk"))
+        self._remember(source, LedgerEntry("checker", task.task_id,
+                                           attempt, plan,
+                                           correction_round))
+        return source
+
+    def _on_syntax_fix(self, payload: Mapping[str, Any]) -> str:
+        """AutoBench auto-debug: repair a syntax-broken artifact."""
+        task = self._task(payload)
+        artifact = payload["artifact"]
+        iteration = payload.get("iteration", 0)
+        entry = self.introspect(artifact)
+        fence = "python" if payload.get("scope") == "checker" else "verilog"
+        if entry is None:
+            # Not ours — echo it back (a real model might flail too).
+            return f"```{fence}\n{artifact}```\n"
+        fixed = self.faults.syntax_fix_succeeds(task, entry.attempt,
+                                                iteration)
+        if entry.scope == "driver":
+            plan = entry.plan
+            new_plan = replace(plan, syntax_fault=(not fixed))
+            source = self._render_driver(task, entry.attempt, new_plan)
+        else:
+            plan = entry.plan
+            new_plan = replace(plan, syntax_fault=(not fixed))
+            source = self._render_checker(task, entry.attempt, new_plan,
+                                          entry.correction_round)
+        return (self._prose(task.task_id, entry.attempt, iteration, "fix")
+                + f"```{fence}\n{source}```\n")
+
+    def _on_scenario_fix(self, payload: Mapping[str, Any]) -> str:
+        """AutoBench scenario-list checking: restore dropped scenarios."""
+        task = self._task(payload)
+        artifact = payload["artifact"]
+        entry = self.introspect(artifact)
+        if entry is None or entry.scope != "driver":
+            return f"```verilog\n{artifact}```\n"
+        restored = self.faults.scenario_completion_succeeds(
+            task, entry.attempt)
+        plan: DriverFaultPlan = entry.plan
+        new_faults = replace(plan.faults,
+                             drop_last_scenario=(plan.faults.drop_last_scenario
+                                                 and not restored))
+        source = self._render_driver(task, entry.attempt,
+                                     replace(plan, faults=new_faults))
+        return (self._prose(task.task_id, entry.attempt, "scnfix")
+                + f"```verilog\n{source}```\n")
+
+    def _on_rtl(self, payload: Mapping[str, Any]) -> str:
+        task = self._task(payload)
+        index = payload.get("sample_index", 0)
+        nonce = payload.get("group_nonce", 0)
+        plan = self.faults.plan_rtl(task, index, nonce)
+        source = self._render_rtl(task, index, nonce, plan)
+        return (self._prose(task.task_id, index, nonce, "rtl")
+                + f"```verilog\n{source}```\n")
+
+    def _render_rtl(self, task: TaskSpec, index: int, nonce: int,
+                    plan: RtlFaultPlan) -> str:
+        if plan.misconception is not None:
+            source = task.variant_rtl(plan.misconception)
+        elif plan.random_variant is not None:
+            source = task.variant_rtl(plan.random_variant)
+        else:
+            source = task.golden_rtl()
+        if plan.ast_mutation:
+            source, _ = random_mutation(
+                source, (self.profile.name, self.seed, task.task_id,
+                         nonce, index, "mut"))
+        header = (f"// RTL implementation attempt {index + 1} "
+                  f"for: {task.title}\n")
+        source = header + source
+        if plan.syntax_fault:
+            source = inject_verilog_syntax_fault(
+                source, (self.profile.name, self.seed, task.task_id,
+                         nonce, index, "rsyn"))
+        self._remember(source, LedgerEntry("rtl", task.task_id, index,
+                                           plan))
+        return source
+
+    def _on_baseline_tb(self, payload: Mapping[str, Any]) -> str:
+        task = self._task(payload)
+        attempt = payload.get("attempt", 0)
+        plan: BaselinePlan = self.faults.plan_baseline(task, attempt)
+        params = None
+        if plan.checker.misconception is not None:
+            params = task.variant_params(plan.checker.misconception)
+        elif plan.checker.random_variant is not None:
+            params = task.variant_params(plan.checker.random_variant)
+        model_source = render_checker_core(task, params)
+        if plan.checker.literal_fault:
+            model_source, _ = perturb_numeric_literal(
+                model_source, (self.profile.name, self.seed,
+                               task.task_id, attempt, "blit"))
+        scenario_plan = self._plan_for(task, attempt + 9000)
+        try:
+            source = render_baseline_tb(task, scenario_plan, model_source,
+                                        faults=plan.faults)
+        except Exception:
+            # A literal fault can make the belief-model crash while the
+            # baseline evaluates it; the "LLM" falls back to its golden
+            # belief but keeps the structural faults.
+            source = render_baseline_tb(task, scenario_plan,
+                                        render_checker_core(task),
+                                        faults=plan.faults)
+        if plan.syntax_fault:
+            source = inject_verilog_syntax_fault(
+                source, (self.profile.name, self.seed, task.task_id,
+                         attempt, "bsyn"))
+        self._remember(source, LedgerEntry("baseline", task.task_id,
+                                           attempt, plan))
+        return (self._prose(task.task_id, attempt, "btb")
+                + f"```verilog\n{source}```\n")
+
+    # ------------------------------------------------------------------
+    # Corrector backends (Section III-C)
+    # ------------------------------------------------------------------
+    def _on_correct_reason(self, payload: Mapping[str, Any]) -> str:
+        task = self._task(payload)
+        checker_src = payload["checker_src"]
+        wrong = tuple(payload.get("wrong_scenarios", ()))
+        entry = self.introspect(checker_src)
+        lines = ["Step 1 — why the scenarios fail:"]
+        if entry is not None and entry.plan.functional:
+            for description in entry.plan.describe():
+                lines.append(f"- The checker likely suffers from a "
+                             f"{description}.")
+        else:
+            lines.append("- The failing scenarios suggest the reference "
+                          "model diverges from the specification.")
+        lines.append("")
+        lines.append("Step 2 — where: the RefModel.step logic that feeds "
+                     f"the scenarios {list(wrong)}.")
+        lines.append("")
+        lines.append("Step 3 — how: re-derive the affected logic from the "
+                     "specification and regenerate the checker core.")
+        return "\n".join(lines)
+
+    def _on_correct_rewrite(self, payload: Mapping[str, Any]) -> str:
+        task = self._task(payload)
+        checker_src = payload["checker_src"]
+        wrong = tuple(payload.get("wrong_scenarios", ()))
+        correction_round = payload.get("correction_round", 1)
+        entry = self.introspect(checker_src)
+        rng = derive_rng("correct", self.profile.name, self.seed,
+                         task.task_id, correction_round,
+                         entry.attempt if entry else -1)
+
+        if entry is None:
+            plan = CheckerFaultPlan()
+            attempt = payload.get("attempt", 0)
+        else:
+            plan = entry.plan
+            attempt = entry.attempt
+
+        helpful = bool(wrong)
+        base_fix = (self.profile.corrector_fix_prob if helpful
+                    else self.profile.corrector_blind_fix_prob)
+
+        misconception = plan.misconception
+        if misconception is not None:
+            # Self-correcting a genuine misunderstanding is rare, and on
+            # trap tasks essentially impossible: the model re-reads the
+            # spec the same wrong way on every attempt.
+            sticky_fix = (0.02 if self.faults.is_trap(task)
+                          else base_fix * 0.4)
+            if rng.random() < sticky_fix:
+                misconception = None
+        random_variant = plan.random_variant
+        if random_variant is not None and rng.random() < base_fix:
+            random_variant = None
+        literal = plan.literal_fault
+        if literal and rng.random() < base_fix:
+            literal = False
+        syntax = plan.syntax_fault
+        if syntax and rng.random() < 0.8:
+            syntax = False
+        if (random_variant is None and misconception is None
+                and rng.random() < self.profile.corrector_regression_prob):
+            rng2 = derive_rng("regress", self.profile.name, self.seed,
+                              task.task_id, correction_round)
+            random_variant = rng2.choice(list(task.variants))
+
+        new_plan = CheckerFaultPlan(misconception, random_variant,
+                                    literal, syntax)
+        source = self._render_checker(task, attempt, new_plan,
+                                      correction_round)
+        return (self._prose(task.task_id, correction_round, "fix2")
+                + f"```python\n{source}```\n")

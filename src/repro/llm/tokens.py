@@ -1,0 +1,31 @@
+"""Approximate token counting for usage metering.
+
+The paper reports per-task input/output token costs (Fig. 6b).  Offline we
+cannot call a provider tokenizer, so we use the standard engineering
+approximation: one token per word-piece of up to four characters plus one
+per punctuation symbol.  On typical English/code text this tracks BPE
+tokenizers within ~10-15%, which is sufficient for reproducing the relative
+token-cost ordering between validation criteria.
+"""
+
+from __future__ import annotations
+
+import re
+
+_WORD_RE = re.compile(r"[A-Za-z0-9_]+|[^\sA-Za-z0-9_]")
+
+# Average characters per BPE token inside an alphanumeric word.
+_CHARS_PER_TOKEN = 4
+
+
+def approx_token_count(text: str) -> int:
+    """Approximate number of BPE tokens in ``text``."""
+    if not text:
+        return 0
+    count = 0
+    for piece in _WORD_RE.findall(text):
+        if piece[0].isalnum() or piece[0] == "_":
+            count += max(1, -(-len(piece) // _CHARS_PER_TOKEN))
+        else:
+            count += 1
+    return count

@@ -1,0 +1,15 @@
+"""``repro.mutation`` — RTL mutants, syntax faults and literal faults."""
+
+from .engine import Mutant, generate_mutants, random_mutation
+from .python_faults import (inject_python_syntax_fault,
+                            perturb_numeric_literal)
+from .syntax_faults import inject_verilog_syntax_fault
+
+__all__ = [
+    "Mutant",
+    "generate_mutants",
+    "inject_python_syntax_fault",
+    "inject_verilog_syntax_fault",
+    "perturb_numeric_literal",
+    "random_mutation",
+]

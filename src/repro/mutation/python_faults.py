@@ -1,0 +1,91 @@
+"""Python syntax-fault injection for generated checker cores."""
+
+from __future__ import annotations
+
+import random
+import re
+
+from ..util import derive_rng
+
+
+def _drop_colon(src: str, rng: random.Random) -> str | None:
+    positions = [m.start() for m in re.finditer(r":\s*$", src, re.MULTILINE)]
+    if not positions:
+        return None
+    pos = rng.choice(positions)
+    return src[:pos] + src[pos + 1:]
+
+
+def _unbalance_paren(src: str, rng: random.Random) -> str | None:
+    positions = [m.start() for m in re.finditer(r"\)", src)]
+    if not positions:
+        return None
+    pos = rng.choice(positions)
+    return src[:pos] + src[pos + 1:]
+
+
+def _bad_dedent(src: str, rng: random.Random) -> str | None:
+    lines = src.splitlines()
+    candidates = [i for i, line in enumerate(lines)
+                  if line.startswith("        ") and line.strip()]
+    if not candidates:
+        return None
+    index = rng.choice(candidates)
+    lines[index] = lines[index][3:]
+    return "\n".join(lines)
+
+
+def _typo_def(src: str, rng: random.Random) -> str | None:
+    if "def " not in src:
+        return None
+    return src.replace("def ", "dfe ", 1)
+
+
+_STRATEGIES = (_drop_colon, _unbalance_paren, _bad_dedent, _typo_def)
+
+
+def _compiles(src: str) -> bool:
+    try:
+        compile(src, "<fault-check>", "exec")
+    except SyntaxError:
+        return False
+    return True
+
+
+def inject_python_syntax_fault(src: str, seed: object) -> str:
+    """Return a corrupted copy of ``src`` that fails to compile."""
+    rng = derive_rng("pysyntax", seed)
+    strategies = list(_STRATEGIES)
+    rng.shuffle(strategies)
+    for strategy in strategies:
+        broken = strategy(src, rng)
+        if broken is not None and not _compiles(broken):
+            return broken
+    return src + "\ndef broken(:\n"
+
+
+_INT_RE = re.compile(r"(?<![\w.])(\d+)(?![\w.])")
+
+
+def perturb_numeric_literal(src: str, seed: object) -> tuple[str, str]:
+    """Perturb one integer literal in the source (a functional fault).
+
+    Returns ``(new_source, description)``; the source is returned
+    unchanged when it contains no integer literals.  The corrupted code
+    still compiles — it is just wrong.
+    """
+    rng = derive_rng("pyliteral", seed)
+    matches = [m for m in _INT_RE.finditer(src)]
+    # Avoid touching the harmless literals 0/1 used as boolean returns
+    # less often than wider constants.
+    weighted = [m for m in matches if int(m.group(1)) > 1] or matches
+    if not weighted:
+        return src, ""
+    match = rng.choice(weighted)
+    value = int(match.group(1))
+    delta = rng.choice((1, -1))
+    new_value = max(0, value + delta)
+    if new_value == value:
+        new_value = value + 1
+    new_src = src[:match.start()] + str(new_value) + src[match.end():]
+    return new_src, f"literal {value} -> {new_value}"

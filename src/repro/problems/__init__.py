@@ -1,0 +1,29 @@
+"""``repro.problems`` — the 156-task benchmark dataset.
+
+Rebuilds the population structure of the paper's dataset (VerilogEval-Human
+extended; 81 combinational + 75 sequential HDLBits-style tasks), each with
+a natural-language spec, golden RTL, a golden Python reference model, a
+canonical scenario plan and behavioural misconception variants.
+"""
+
+from .dataset import (DatasetError, dataset_slice, get_task, load_dataset,
+                      tasks_of_kind)
+from .model import (CMB, SEQ, CheckerModelError, Port, Scenario, TaskSpec,
+                    Variant, load_ref_model, run_model_on_plan)
+
+__all__ = [
+    "CMB",
+    "CheckerModelError",
+    "DatasetError",
+    "Port",
+    "SEQ",
+    "Scenario",
+    "TaskSpec",
+    "Variant",
+    "dataset_slice",
+    "get_task",
+    "load_dataset",
+    "load_ref_model",
+    "run_model_on_plan",
+    "tasks_of_kind",
+]

@@ -1,0 +1,77 @@
+"""Dataset registry: the 156-task benchmark population.
+
+Mirrors the paper's dataset (VerilogEval-Human extended, i.e. 156 HDLBits
+problems: 81 combinational + 75 sequential).  Tasks come from the
+parameterised families in :mod:`repro.problems.families`.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from .families import ALL_FAMILY_MODULES
+from .model import CMB, SEQ, TaskSpec
+
+EXPECTED_TOTAL = 156
+EXPECTED_CMB = 81
+EXPECTED_SEQ = 75
+
+
+class DatasetError(RuntimeError):
+    """Raised when the assembled dataset violates its invariants."""
+
+
+@lru_cache(maxsize=1)
+def load_dataset() -> tuple[TaskSpec, ...]:
+    """Build and validate the full task population (cached)."""
+    tasks: list[TaskSpec] = []
+    for module in ALL_FAMILY_MODULES:
+        tasks.extend(module.build())
+
+    ids = [t.task_id for t in tasks]
+    duplicates = {i for i in ids if ids.count(i) > 1}
+    if duplicates:
+        raise DatasetError(f"duplicate task ids: {sorted(duplicates)}")
+
+    n_cmb = sum(1 for t in tasks if t.kind == CMB)
+    n_seq = sum(1 for t in tasks if t.kind == SEQ)
+    if (len(tasks), n_cmb, n_seq) != (EXPECTED_TOTAL, EXPECTED_CMB,
+                                      EXPECTED_SEQ):
+        raise DatasetError(
+            f"population mismatch: got {len(tasks)} tasks "
+            f"({n_cmb} CMB + {n_seq} SEQ), expected {EXPECTED_TOTAL} = "
+            f"{EXPECTED_CMB} CMB + {EXPECTED_SEQ} SEQ")
+
+    for task in tasks:
+        if not task.variants:
+            raise DatasetError(f"task {task.task_id} has no variants")
+
+    # Combinational first, each group sorted by id — a stable, readable
+    # order for campaign reports.
+    tasks.sort(key=lambda t: (t.kind != CMB, t.task_id))
+    return tuple(tasks)
+
+
+def get_task(task_id: str) -> TaskSpec:
+    for task in load_dataset():
+        if task.task_id == task_id:
+            return task
+    raise KeyError(f"unknown task {task_id!r}")
+
+
+def tasks_of_kind(kind: str) -> tuple[TaskSpec, ...]:
+    if kind not in (CMB, SEQ):
+        raise ValueError(f"invalid kind {kind!r}")
+    return tuple(t for t in load_dataset() if t.kind == kind)
+
+
+def dataset_slice(n_cmb: int, n_seq: int, stride: int = 1,
+                  ) -> tuple[TaskSpec, ...]:
+    """A balanced sub-population for scaled-down experiments.
+
+    Takes every ``stride``-th task per kind until the requested counts are
+    reached, preserving family diversity.
+    """
+    cmb = tasks_of_kind(CMB)[::stride][:n_cmb]
+    seq = tasks_of_kind(SEQ)[::stride][:n_seq]
+    return tuple(cmb) + tuple(seq)

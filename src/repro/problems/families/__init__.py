@@ -1,0 +1,21 @@
+"""Task families of the benchmark dataset.
+
+Every module here exposes ``build() -> list[TaskSpec]``; the dataset
+registry in :mod:`repro.problems.dataset` assembles them and enforces the
+paper's population: 156 tasks = 81 combinational + 75 sequential.
+"""
+
+from . import (accumulator, adder, alu, comparator, counter, decoder, demux,
+               dff, edge, encoder, fsm_detect, fsm_misc, gates, history,
+               kmap, lfsr, minmax, mux, parity, regfile, register, ring,
+               serial, shift_register, shifter, timer, toggle, truthtab,
+               vectorops, zero_detect)
+
+ALL_FAMILY_MODULES = (
+    gates, mux, decoder, encoder, adder, comparator, shifter, parity, kmap,
+    alu, minmax, demux, zero_detect, truthtab, vectorops,
+    dff, register, counter, shift_register, lfsr, fsm_detect, fsm_misc,
+    edge, toggle, accumulator, timer, serial, history, ring, regfile,
+)
+
+__all__ = ["ALL_FAMILY_MODULES"]

@@ -1,0 +1,183 @@
+"""Accumulator tasks (plain, saturating, enabled, multiply-accumulate)."""
+
+from __future__ import annotations
+
+from ..model import SEQ
+from ._base import (build_task, clock, in_port, out_port, reset,
+                    seq_scenarios, variant)
+
+FAMILY = "accumulator"
+
+
+def _acc_task(task_id: str, width: int, in_width: int, has_enable: bool,
+              saturating: bool, difficulty: float):
+    inputs = [clock(), reset(), in_port("din", in_width)]
+    if has_enable:
+        inputs.append(in_port("en", 1))
+    ports = tuple(inputs + [out_port("acc", width)])
+    mask = (1 << width) - 1
+
+    def spec_body(p):
+        text = (f"A {width}-bit accumulator: acc += din at every rising "
+                "edge")
+        if has_enable:
+            text += " while en is 1"
+        if saturating:
+            text += f"; the sum saturates at {mask} instead of wrapping"
+        else:
+            text += f", wrapping modulo 2^{width}"
+        return text + ". Synchronous reset clears acc."
+
+    def rtl_body(p):
+        pad = width - in_width
+        din_ext = f"{{{pad}'d0, din}}" if pad else "din"
+        if p["subtracts"]:
+            update = f"acc <= acc - {din_ext};"
+        elif saturating and not p["wraps"]:
+            limit = p["limit"] & mask
+            update = (
+                f"if (acc + {din_ext} < acc) acc <= {width}'d{limit};\n"
+                f"            else if (acc + {din_ext} > {width}'d{limit}) "
+                f"acc <= {width}'d{limit};\n"
+                f"            else acc <= acc + {din_ext};")
+        else:
+            update = f"acc <= acc + {din_ext};"
+        if has_enable and not p["ignore_enable"]:
+            update = (f"if (en) begin\n            {update}\n"
+                      "        end")
+        return ("always @(posedge clk) begin\n"
+                f"    if (reset) acc <= {width}'d0;\n"
+                "    else begin\n"
+                f"        {update}\n"
+                "    end\n"
+                "end")
+
+    def model_step(p):
+        if p["subtracts"]:
+            move = f"self.acc = (self.acc - din) & 0x{mask:X}"
+        elif saturating and not p["wraps"]:
+            limit = p["limit"] & mask
+            move = (f"self.acc = min(self.acc + din, {limit})")
+        else:
+            move = f"self.acc = (self.acc + din) & 0x{mask:X}"
+        lines = [f"din = inputs['din'] & 0x{(1 << in_width) - 1:X}",
+                 "if inputs['reset'] & 1:", "    self.acc = 0"]
+        lines.append("elif inputs['en'] & 1:"
+                     if has_enable and not p["ignore_enable"] else "else:")
+        lines.append(f"    {move}")
+        lines.append("return {'acc': self.acc}")
+        return "\n".join(lines)
+
+    variants = [variant("subtracts", "subtracts instead of adding",
+                        subtracts=True)]
+    if saturating:
+        variants.append(variant("wraps", "wraps instead of saturating",
+                                wraps=True))
+        variants.append(variant("saturates_early",
+                                "saturates one below the maximum",
+                                limit=mask - 1))
+    if has_enable:
+        variants.append(variant("enable_ignored",
+                                "accumulates even when disabled",
+                                ignore_enable=True))
+    if not saturating and not has_enable:
+        variants.append(variant("loads_instead",
+                                "loads din instead of accumulating",
+                                loads=True))
+
+    def rtl_with_load(p):
+        if p.get("loads"):
+            pad = width - in_width
+            din_ext = f"{{{pad}'d0, din}}" if pad else "din"
+            return ("always @(posedge clk) begin\n"
+                    f"    if (reset) acc <= {width}'d0;\n"
+                    f"    else acc <= {din_ext};\n"
+                    "end")
+        return rtl_body(p)
+
+    def model_with_load(p):
+        if p.get("loads"):
+            return (
+                "if inputs['reset'] & 1:\n"
+                "    self.acc = 0\n"
+                "else:\n"
+                f"    self.acc = inputs['din'] & 0x{(1 << in_width) - 1:X}\n"
+                "return {'acc': self.acc}"
+            )
+        return model_step(p)
+
+    return build_task(
+        task_id=task_id, family=FAMILY, kind=SEQ,
+        title=(f"{width}-bit "
+               + ("saturating " if saturating else "")
+               + "accumulator"
+               + (" with enable" if has_enable else "")),
+        difficulty=difficulty, ports=ports,
+        params={"subtracts": False, "wraps": False, "limit": mask,
+                "ignore_enable": False, "loads": False},
+        spec_body=spec_body, rtl_body=rtl_with_load,
+        model_init=lambda p: "self.acc = 0", model_step=model_with_load,
+        scenario_builder=lambda p, rng: seq_scenarios(
+            ports, rng, reset_name="reset", n_scenarios=5, cycles_per=8),
+        variants=variants,
+        reg_outputs=["acc"],
+    )
+
+
+def _mac_task():
+    task_id = "seq_mac4"
+    ports = (clock(), reset(), in_port("a", 4), in_port("b", 4),
+             out_port("acc", 8))
+
+    def spec_body(p):
+        return ("A multiply-accumulate unit: acc += a * b at every rising "
+                "edge, wrapping modulo 256. Synchronous reset clears acc.")
+
+    def rtl_body(p):
+        term = {"mul": "a * b", "add": "a + b"}[p["term"]]
+        update = ("acc <= acc + {term};" if not p["no_accumulate"]
+                  else "acc <= {term};").format(term=term)
+        return ("always @(posedge clk) begin\n"
+                "    if (reset) acc <= 8'd0;\n"
+                f"    else {update}\n"
+                "end")
+
+    def model_step(p):
+        term = {"mul": "a * b", "add": "a + b"}[p["term"]]
+        move = (f"self.acc = (self.acc + {term}) & 0xFF"
+                if not p["no_accumulate"] else
+                f"self.acc = ({term}) & 0xFF")
+        return (
+            "a = inputs['a'] & 0xF\n"
+            "b = inputs['b'] & 0xF\n"
+            "if inputs['reset'] & 1:\n"
+            "    self.acc = 0\n"
+            "else:\n"
+            f"    {move}\n"
+            "return {'acc': self.acc}"
+        )
+
+    return build_task(
+        task_id=task_id, family=FAMILY, kind=SEQ,
+        title="4x4 multiply-accumulate", difficulty=0.45, ports=ports,
+        params={"term": "mul", "no_accumulate": False},
+        spec_body=spec_body, rtl_body=rtl_body,
+        model_init=lambda p: "self.acc = 0", model_step=model_step,
+        scenario_builder=lambda p, rng: seq_scenarios(
+            ports, rng, reset_name="reset", n_scenarios=5, cycles_per=7),
+        variants=[
+            variant("adds_operands", "accumulates a + b", term="add"),
+            variant("no_accumulation", "stores the product only",
+                    no_accumulate=True),
+        ],
+        reg_outputs=["acc"],
+    )
+
+
+def build():
+    return [
+        _acc_task("seq_acc8", 8, 4, False, False, 0.28),
+        _acc_task("seq_acc4_sat", 4, 4, False, True, 0.50),
+        _acc_task("seq_acc16_en", 16, 8, True, False, 0.35),
+        _mac_task(),
+    ]

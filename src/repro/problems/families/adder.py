@@ -1,0 +1,238 @@
+"""Adder / subtractor tasks."""
+
+from __future__ import annotations
+
+from ..model import CMB
+from ._base import (build_task, cmb_scenarios, exhaustive_cmb_scenarios,
+                    in_port, out_port, scenario, variant)
+
+FAMILY = "adder"
+
+
+def _bit_adder_task(task_id: str, has_cin: bool, difficulty: float):
+    inputs = [in_port("a", 1), in_port("b", 1)]
+    if has_cin:
+        inputs.append(in_port("cin", 1))
+    ports = tuple(inputs + [out_port("sum_o", 1), out_port("cout", 1)])
+
+    def spec_body(p):
+        kind = "full" if has_cin else "half"
+        cin_text = " plus the carry input cin" if has_cin else ""
+        return (f"A single-bit {kind} adder: {{cout, sum_o}} is the 2-bit "
+                f"sum of a and b{cin_text}.")
+
+    def rtl_body(p):
+        terms = "a + b + cin" if has_cin else "a + b"
+        if p["sum_mode"] == "or":
+            sum_expr = "a | b"
+            cout_expr = "a & b"
+            return (f"assign sum_o = {sum_expr};\n"
+                    f"assign cout = {cout_expr};")
+        if p["cout_mode"] == "xor":
+            base = "a ^ b ^ cin" if has_cin else "a ^ b"
+            return (f"assign sum_o = {base};\n"
+                    f"assign cout = {base};")
+        if has_cin and p["ignore_cin"]:
+            terms = "a + b"
+        return f"assign {{cout, sum_o}} = {terms};"
+
+    def model_step(p):
+        terms = ["(inputs['a'] & 1)", "(inputs['b'] & 1)"]
+        if has_cin and not p["ignore_cin"]:
+            terms.append("(inputs['cin'] & 1)")
+        if p["sum_mode"] == "or":
+            return ("a = inputs['a'] & 1\n"
+                    "b = inputs['b'] & 1\n"
+                    "return {'sum_o': a | b, 'cout': a & b}")
+        if p["cout_mode"] == "xor":
+            total = " ^ ".join(terms)
+            return (f"bit = ({total}) & 1\n"
+                    "return {'sum_o': bit, 'cout': bit}")
+        total = " + ".join(terms)
+        return (f"total = {total}\n"
+                "return {'sum_o': total & 1, 'cout': (total >> 1) & 1}")
+
+    variants = [
+        variant("sum_is_or", "computes OR instead of the sum bit",
+                sum_mode="or"),
+        variant("cout_is_xor", "carry-out mirrors the sum bit",
+                cout_mode="xor"),
+    ]
+    if has_cin:
+        variants.append(variant("ignores_cin", "ignores the carry input",
+                                ignore_cin=True))
+
+    return build_task(
+        task_id=task_id, family=FAMILY, kind=CMB,
+        title=("full adder" if has_cin else "half adder"),
+        difficulty=difficulty, ports=ports,
+        params={"sum_mode": "add", "cout_mode": "add", "ignore_cin": False},
+        spec_body=spec_body, rtl_body=rtl_body,
+        model_init=lambda p: "", model_step=model_step,
+        scenario_builder=lambda p, rng: exhaustive_cmb_scenarios(
+            ports[:len(inputs)], rng, group_size=2),
+        variants=variants,
+    )
+
+
+def _wide_adder_task(task_id: str, width: int, has_cout: bool,
+                     has_cin: bool, difficulty: float):
+    inputs = [in_port("a", width), in_port("b", width)]
+    if has_cin:
+        inputs.append(in_port("cin", 1))
+    outputs = [out_port("sum_o", width)]
+    if has_cout:
+        outputs.append(out_port("cout", 1))
+    ports = tuple(inputs + outputs)
+    mask = (1 << width) - 1
+
+    def spec_body(p):
+        text = f"A {width}-bit adder: sum_o = a + b"
+        if has_cin:
+            text += " + cin"
+        text += f" (modulo 2^{width})"
+        if has_cout:
+            text += "; cout is the carry out of the most-significant bit"
+        return text + "."
+
+    def rtl_body(p):
+        terms = "a + b"
+        if has_cin and not p["ignore_cin"]:
+            terms += " + cin"
+        if p["extra"]:
+            terms += f" + {width}'d{p['extra']}"
+        if not has_cout:
+            return f"assign sum_o = {terms};"
+        if p["cout_mode"] == "zero":
+            return (f"assign sum_o = {terms};\n"
+                    f"assign cout = 1'b0;")
+        return f"assign {{cout, sum_o}} = {terms};"
+
+    def model_step(p):
+        terms = [f"(inputs['a'] & 0x{mask:X})", f"(inputs['b'] & 0x{mask:X})"]
+        if has_cin and not p["ignore_cin"]:
+            terms.append("(inputs['cin'] & 1)")
+        if p["extra"]:
+            terms.append(str(p["extra"]))
+        lines = [f"total = {' + '.join(terms)}"]
+        result = [f"'sum_o': total & 0x{mask:X}"]
+        if has_cout:
+            if p["cout_mode"] == "zero":
+                result.append("'cout': 0")
+            else:
+                result.append(f"'cout': (total >> {width}) & 1")
+        lines.append(f"return {{{', '.join(result)}}}")
+        return "\n".join(lines)
+
+    def scenarios(p, rng):
+        plans = [scenario(
+            1, "carry_corners",
+            "All-zero, all-one and carry-chain corner patterns.",
+            [dict({"a": 0, "b": 0}, **({"cin": 0} if has_cin else {})),
+             dict({"a": mask, "b": 1}, **({"cin": 0} if has_cin else {})),
+             dict({"a": mask, "b": mask}, **({"cin": 1} if has_cin
+                                             else {}))])]
+        for k in range(2, 6):
+            vectors = []
+            for _ in range(4):
+                vec = {"a": rng.randrange(1 << width),
+                       "b": rng.randrange(1 << width)}
+                if has_cin:
+                    vec["cin"] = rng.randrange(2)
+                vectors.append(vec)
+            plans.append(scenario(k, f"random_{k - 1}",
+                                  "Randomised operand patterns.", vectors))
+        return tuple(plans)
+
+    variants = [variant("off_by_one", "adds an extra 1", extra=1)]
+    if has_cout:
+        variants.append(variant("cout_stuck_zero",
+                                "carry out is stuck at zero",
+                                cout_mode="zero"))
+    if has_cin:
+        variants.append(variant("ignores_cin", "ignores the carry input",
+                                ignore_cin=True))
+    if not has_cout and not has_cin:
+        variants.append(variant("off_by_two", "adds an extra 2", extra=2))
+
+    return build_task(
+        task_id=task_id, family=FAMILY, kind=CMB,
+        title=f"{width}-bit adder", difficulty=difficulty, ports=ports,
+        params={"extra": 0, "cout_mode": "carry", "ignore_cin": False},
+        spec_body=spec_body, rtl_body=rtl_body,
+        model_init=lambda p: "", model_step=model_step,
+        scenario_builder=scenarios, variants=variants,
+    )
+
+
+def _addsub_task(task_id: str, width: int, difficulty: float):
+    ports = (in_port("a", width), in_port("b", width), in_port("sub", 1),
+             out_port("out", width))
+    mask = (1 << width) - 1
+
+    def spec_body(p):
+        return (f"A {width}-bit adder-subtractor: out = a + b when sub is "
+                f"0 and out = a - b when sub is 1 (two's complement, "
+                f"modulo 2^{width}).")
+
+    def rtl_body(p):
+        minuend = "a - b" if p["sub_order"] == "ab" else "b - a"
+        add = "a + b"
+        if p["invert_sel"]:
+            return f"assign out = sub ? ({add}) : ({minuend});"
+        return f"assign out = sub ? ({minuend}) : ({add});"
+
+    def model_step(p):
+        minuend = "a - b" if p["sub_order"] == "ab" else "b - a"
+        first, second = (("a + b", minuend) if not p["invert_sel"]
+                         else (minuend, "a + b"))
+        return (
+            f"a = inputs['a'] & 0x{mask:X}\n"
+            f"b = inputs['b'] & 0x{mask:X}\n"
+            f"if inputs['sub'] & 1:\n"
+            f"    return {{'out': ({second}) & 0x{mask:X}}}\n"
+            f"return {{'out': ({first}) & 0x{mask:X}}}"
+        )
+
+    def scenarios(p, rng):
+        plans = []
+        for k, sub in enumerate((0, 1), start=1):
+            vectors = [{"a": rng.randrange(1 << width),
+                        "b": rng.randrange(1 << width), "sub": sub}
+                       for _ in range(4)]
+            plans.append(scenario(
+                k, f"sub_{sub}",
+                f"Hold sub at {sub} with varied operands.", vectors))
+        plans.append(scenario(
+            3, "wraparound",
+            "Patterns that overflow and underflow.",
+            [{"a": mask, "b": mask, "sub": 0},
+             {"a": 0, "b": 1, "sub": 1},
+             {"a": mask, "b": 1, "sub": 0}]))
+        return tuple(plans)
+
+    return build_task(
+        task_id=task_id, family=FAMILY, kind=CMB,
+        title=f"{width}-bit adder-subtractor", difficulty=difficulty,
+        ports=ports, params={"sub_order": "ab", "invert_sel": False},
+        spec_body=spec_body, rtl_body=rtl_body,
+        model_init=lambda p: "", model_step=model_step,
+        scenario_builder=scenarios,
+        variants=[
+            variant("operands_swapped", "subtract computes b - a",
+                    sub_order="ba"),
+            variant("select_inverted", "sub=0 subtracts, sub=1 adds",
+                    invert_sel=True),
+        ],
+    )
+
+
+def build():
+    return [
+        _bit_adder_task("cmb_half_adder", False, 0.06),
+        _bit_adder_task("cmb_full_adder", True, 0.10),
+        _wide_adder_task("cmb_add4_cout", 4, True, False, 0.14),
+        _wide_adder_task("cmb_add8_cin", 8, True, True, 0.18),
+        _wide_adder_task("cmb_add16", 16, False, False, 0.12),
+        _addsub_task("cmb_addsub8", 8, 0.24),
+    ]

@@ -1,0 +1,121 @@
+"""Small combinational ALU tasks."""
+
+from __future__ import annotations
+
+from ..model import CMB
+from ._base import (build_task, in_port, out_port, scenario, variant)
+
+FAMILY = "alu"
+
+# op name -> (verilog expression, python expression over a, b, mask)
+_OP_EXPRS = {
+    "add": ("a + b", "(a + b) & mask"),
+    "sub": ("a - b", "(a - b) & mask"),
+    "and": ("a & b", "a & b"),
+    "or": ("a | b", "a | b"),
+    "xor": ("a ^ b", "a ^ b"),
+    "xnor": ("~(a ^ b)", "(~(a ^ b)) & mask"),
+    "shl1": ("a << 1", "(a << 1) & mask"),
+    "shr1": ("a >> 1", "a >> 1"),
+    "pass_b": ("b", "b"),
+    "pass_a": ("a", "a"),
+}
+
+
+def _alu_task(task_id: str, width: int, op_list: tuple[str, ...],
+              difficulty: float, variant_specs):
+    sel_width = max(1, (len(op_list) - 1).bit_length())
+    ports = (in_port("a", width), in_port("b", width),
+             in_port("op", sel_width),
+             out_port("result", width), out_port("zero", 1))
+    mask = (1 << width) - 1
+
+    def spec_body(p):
+        rows = "; ".join(f"op={k}: {name}"
+                         for k, name in enumerate(p["ops"]))
+        return (f"A {width}-bit ALU. result is selected by op ({rows}; "
+                "higher op values repeat op=0). zero is 1 when result is "
+                "all zeros.")
+
+    def rtl_body(p):
+        lines = ["always @(*) begin", "    case (op)"]
+        for k, op_name in enumerate(p["ops"]):
+            lines.append(f"        {sel_width}'d{k}: result = "
+                         f"{_OP_EXPRS[op_name][0]};")
+        lines.append(f"        default: result = "
+                     f"{_OP_EXPRS[p['ops'][0]][0]};")
+        lines.extend(["    endcase", "end"])
+        zero = ("result != {width}'d0".format(width=width)
+                if p["zero_inverted"] else
+                "result == {width}'d0".format(width=width))
+        lines.append(f"assign zero = {zero};")
+        return "\n".join(lines)
+
+    def model_step(p):
+        lines = [f"mask = 0x{mask:X}",
+                 "a = inputs['a'] & mask",
+                 "b = inputs['b'] & mask",
+                 f"op = inputs['op'] & {(1 << sel_width) - 1}"]
+        for k, op_name in enumerate(p["ops"]):
+            kw = "if" if k == 0 else "elif"
+            lines.append(f"{kw} op == {k}:")
+            lines.append(f"    result = {_OP_EXPRS[op_name][1]}")
+        lines.append("else:")
+        lines.append(f"    result = {_OP_EXPRS[p['ops'][0]][1]}")
+        compare = "!=" if p["zero_inverted"] else "=="
+        lines.append(f"return {{'result': result & mask, "
+                     f"'zero': 1 if (result & mask) {compare} 0 else 0}}")
+        return "\n".join(lines)
+
+    def scenarios(p, rng):
+        plans = []
+        for k in range(len(op_list)):
+            vectors = [{"a": rng.randrange(1 << width),
+                        "b": rng.randrange(1 << width), "op": k}
+                       for _ in range(3)]
+            vectors.append({"a": 0, "b": 0, "op": k})  # exercise zero flag
+            plans.append(scenario(
+                k + 1, f"op_{op_list[k]}",
+                f"Exercise the {op_list[k]} operation.", vectors))
+        return tuple(plans)
+
+    return build_task(
+        task_id=task_id, family=FAMILY, kind=CMB,
+        title=f"{width}-bit {len(op_list)}-operation ALU",
+        difficulty=difficulty, ports=ports,
+        params={"ops": op_list, "zero_inverted": False},
+        spec_body=spec_body, rtl_body=rtl_body,
+        model_init=lambda p: "", model_step=model_step,
+        scenario_builder=scenarios, variants=variant_specs,
+        reg_outputs=["result"],
+    )
+
+
+def build():
+    ops4 = ("add", "sub", "and", "or")
+    ops8 = ("add", "sub", "and", "or", "xor", "shl1", "shr1", "pass_b")
+    return [
+        _alu_task(
+            "cmb_alu4", 4, ops4, 0.30,
+            [
+                variant("and_or_swapped", "AND and OR operations swapped",
+                        ops=("add", "sub", "or", "and")),
+                variant("sub_is_add", "subtract computes addition",
+                        ops=("add", "add", "and", "or")),
+                variant("zero_inverted", "zero flag polarity inverted",
+                        zero_inverted=True),
+            ]),
+        _alu_task(
+            "cmb_alu8", 8, ops8, 0.42,
+            [
+                variant("shift_swapped", "shift directions swapped",
+                        ops=("add", "sub", "and", "or", "xor", "shr1",
+                             "shl1", "pass_b")),
+                variant("xor_is_xnor", "XOR computes XNOR",
+                        ops=("add", "sub", "and", "or", "xnor", "shl1",
+                             "shr1", "pass_b")),
+                variant("pass_wrong_operand", "pass-through passes a",
+                        ops=("add", "sub", "and", "or", "xor", "shl1",
+                             "shr1", "pass_a")),
+            ]),
+    ]

@@ -1,0 +1,219 @@
+"""Comparator tasks (equality, three-way compare, absolute difference)."""
+
+from __future__ import annotations
+
+from ..model import CMB
+from ._base import (build_task, in_port, out_port, scenario, variant)
+
+FAMILY = "comparator"
+
+
+def _pair_scenarios(width: int):
+    """Scenario plan shared by the comparator tasks: equal pairs, ordered
+    pairs both ways, then random pairs."""
+
+    def scenarios(p, rng):
+        mask = (1 << width) - 1
+        equal = [{"a": v, "b": v}
+                 for v in (0, mask, rng.randrange(1 << width))]
+        less = []
+        greater = []
+        for _ in range(4):
+            x = rng.randrange(1 << width)
+            y = rng.randrange(1 << width)
+            lo, hi = min(x, y), max(x, y)
+            if lo == hi:
+                hi = (hi + 1) & mask
+                lo, hi = min(lo, hi), max(lo, hi)
+            less.append({"a": lo, "b": hi})
+            greater.append({"a": hi, "b": lo})
+        rand = [{"a": rng.randrange(1 << width),
+                 "b": rng.randrange(1 << width)} for _ in range(4)]
+        return (
+            scenario(1, "equal_operands", "Pairs with a equal to b.", equal),
+            scenario(2, "a_less_than_b", "Pairs with a strictly below b.",
+                     less),
+            scenario(3, "a_greater_than_b",
+                     "Pairs with a strictly above b.", greater),
+            scenario(4, "random_pairs", "Randomised operand pairs.", rand),
+        )
+
+    return scenarios
+
+
+_EQ_MODES = {
+    "eq": ("a == b", "1 if a == b else 0"),
+    "neq": ("a != b", "1 if a != b else 0"),
+    "eq_one": ("a == b + 1'b1", "1 if a == ((b + 1) & mask) else 0"),
+}
+
+
+def _equality_task(task_id: str, width: int, difficulty: float):
+    ports = (in_port("a", width), in_port("b", width), out_port("eq", 1))
+    mask = (1 << width) - 1
+
+    def spec_body(p):
+        return f"eq is 1 exactly when the two {width}-bit inputs are equal."
+
+    def rtl_body(p):
+        return f"assign eq = {_EQ_MODES[p['mode']][0]};"
+
+    def model_step(p):
+        return (
+            f"mask = 0x{mask:X}\n"
+            f"a = inputs['a'] & mask\n"
+            f"b = inputs['b'] & mask\n"
+            f"return {{'eq': {_EQ_MODES[p['mode']][1]}}}"
+        )
+
+    return build_task(
+        task_id=task_id, family=FAMILY, kind=CMB,
+        title=f"{width}-bit equality comparator", difficulty=difficulty,
+        ports=ports, params={"mode": "eq"},
+        spec_body=spec_body, rtl_body=rtl_body,
+        model_init=lambda p: "", model_step=model_step,
+        scenario_builder=_pair_scenarios(width),
+        variants=[
+            variant("inverted", "reports inequality instead", mode="neq"),
+            variant("off_by_one", "compares a against b + 1", mode="eq_one"),
+        ],
+    )
+
+
+def _threeway_task(task_id: str, width: int, difficulty: float):
+    ports = (in_port("a", width), in_port("b", width),
+             out_port("lt", 1), out_port("eq", 1), out_port("gt", 1))
+    mask = (1 << width) - 1
+
+    def spec_body(p):
+        return ("A three-way unsigned comparator: lt = (a < b), "
+                "eq = (a == b), gt = (a > b); exactly one output is high.")
+
+    def rtl_body(p):
+        lt_expr, gt_expr = "a < b", "a > b"
+        if p["swapped"]:
+            lt_expr, gt_expr = gt_expr, lt_expr
+        if p["lax"]:
+            lt_expr = lt_expr.replace("<", "<=").replace(">", ">=")
+        return (f"assign lt = {lt_expr};\n"
+                f"assign eq = a == b;\n"
+                f"assign gt = {gt_expr};")
+
+    def model_step(p):
+        lt_expr, gt_expr = "a < b", "a > b"
+        if p["swapped"]:
+            lt_expr, gt_expr = gt_expr, lt_expr
+        if p["lax"]:
+            lt_expr = lt_expr.replace("<", "<=").replace(">", ">=")
+        return (
+            f"a = inputs['a'] & 0x{mask:X}\n"
+            f"b = inputs['b'] & 0x{mask:X}\n"
+            f"return {{'lt': 1 if {lt_expr} else 0,\n"
+            f"        'eq': 1 if a == b else 0,\n"
+            f"        'gt': 1 if {gt_expr} else 0}}"
+        )
+
+    return build_task(
+        task_id=task_id, family=FAMILY, kind=CMB,
+        title=f"{width}-bit three-way comparator", difficulty=difficulty,
+        ports=ports, params={"swapped": False, "lax": False},
+        spec_body=spec_body, rtl_body=rtl_body,
+        model_init=lambda p: "", model_step=model_step,
+        scenario_builder=_pair_scenarios(width),
+        variants=[
+            variant("lt_gt_swapped", "lt and gt outputs swapped",
+                    swapped=True),
+            variant("non_strict", "lt uses <= so equality asserts lt too",
+                    lax=True),
+        ],
+    )
+
+
+def _ge_task(task_id: str, width: int, difficulty: float):
+    ports = (in_port("a", width), in_port("b", width), out_port("ge", 1))
+    mask = (1 << width) - 1
+    modes = {"ge": ("a >= b", "a >= b"), "gt": ("a > b", "a > b"),
+             "le": ("a <= b", "a <= b")}
+
+    def spec_body(p):
+        return "ge is 1 when unsigned a is greater than or equal to b."
+
+    def rtl_body(p):
+        return f"assign ge = {modes[p['mode']][0]};"
+
+    def model_step(p):
+        return (
+            f"a = inputs['a'] & 0x{mask:X}\n"
+            f"b = inputs['b'] & 0x{mask:X}\n"
+            f"return {{'ge': 1 if {modes[p['mode']][1]} else 0}}"
+        )
+
+    return build_task(
+        task_id=task_id, family=FAMILY, kind=CMB,
+        title=f"{width}-bit greater-or-equal comparator",
+        difficulty=difficulty, ports=ports, params={"mode": "ge"},
+        spec_body=spec_body, rtl_body=rtl_body,
+        model_init=lambda p: "", model_step=model_step,
+        scenario_builder=_pair_scenarios(width),
+        variants=[
+            variant("strict", "uses strict greater-than", mode="gt"),
+            variant("reversed", "compares the wrong way around", mode="le"),
+        ],
+    )
+
+
+def _absdiff_task(task_id: str, width: int, difficulty: float):
+    ports = (in_port("a", width), in_port("b", width),
+             out_port("diff", width))
+    mask = (1 << width) - 1
+
+    def spec_body(p):
+        return (f"diff is the absolute difference |a - b| of the two "
+                f"unsigned {width}-bit inputs.")
+
+    def rtl_body(p):
+        if p["mode"] == "wrap":
+            return "assign diff = a - b;"
+        if p["mode"] == "reversed":
+            return "assign diff = (a > b) ? (b - a) : (a - b);"
+        return "assign diff = (a > b) ? (a - b) : (b - a);"
+
+    def model_step(p):
+        if p["mode"] == "wrap":
+            body = "result = (a - b) & mask"
+        elif p["mode"] == "reversed":
+            body = "result = ((b - a) if a > b else (a - b)) & mask"
+        else:
+            body = "result = (a - b) if a > b else (b - a)"
+        return (
+            f"mask = 0x{mask:X}\n"
+            f"a = inputs['a'] & mask\n"
+            f"b = inputs['b'] & mask\n"
+            f"{body}\n"
+            "return {'diff': result & mask}"
+        )
+
+    return build_task(
+        task_id=task_id, family=FAMILY, kind=CMB,
+        title=f"{width}-bit absolute difference", difficulty=difficulty,
+        ports=ports, params={"mode": "abs"},
+        spec_body=spec_body, rtl_body=rtl_body,
+        model_init=lambda p: "", model_step=model_step,
+        scenario_builder=_pair_scenarios(width),
+        variants=[
+            variant("wrapping", "computes a - b without the magnitude test",
+                    mode="wrap"),
+            variant("reversed_branches",
+                    "subtracts the wrong way in each branch",
+                    mode="reversed"),
+        ],
+    )
+
+
+def build():
+    return [
+        _equality_task("cmb_eq4", 4, 0.08),
+        _threeway_task("cmb_cmp4_3way", 4, 0.18),
+        _ge_task("cmb_cmp8_ge", 8, 0.12),
+        _absdiff_task("cmb_absdiff8", 8, 0.28),
+    ]

@@ -1,0 +1,361 @@
+"""Counter tasks: binary up/down, modulo-N, loadable, saturating."""
+
+from __future__ import annotations
+
+from ..model import SEQ
+from ._base import (build_task, clock, in_port, out_port, reset,
+                    seq_scenarios, variant)
+
+FAMILY = "counter"
+
+
+def _up_counter_task(task_id: str, width: int, step: int, has_enable: bool,
+                     difficulty: float):
+    inputs = [clock(), reset()]
+    if has_enable:
+        inputs.append(in_port("en", 1))
+    ports = tuple(inputs + [out_port("q", width)])
+    mask = (1 << width) - 1
+
+    def spec_body(p):
+        text = (f"A {width}-bit up counter: q increments by {p['step']} "
+                f"every rising clock edge and wraps modulo 2^{width}. "
+                f"A synchronous reset clears q to {p['reset_val']}.")
+        if has_enable:
+            text += " The counter only advances while en is 1."
+        return text
+
+    def rtl_body(p):
+        advance = f"q <= q + {width}'d{p['step'] & mask};"
+        if has_enable and not p["ignore_enable"]:
+            advance = f"if (en) {advance}"
+        return ("always @(posedge clk) begin\n"
+                f"    if (reset) q <= {width}'d{p['reset_val'] & mask};\n"
+                f"    else {advance}\n"
+                "end")
+
+    def model_step(p):
+        lines = ["if inputs['reset'] & 1:",
+                 f"    self.q = {p['reset_val'] & mask}"]
+        gate = ("elif inputs['en'] & 1:"
+                if has_enable and not p["ignore_enable"] else "else:")
+        lines.append(gate)
+        lines.append(f"    self.q = (self.q + {p['step']}) & 0x{mask:X}")
+        lines.append("return {'q': self.q}")
+        return "\n".join(lines)
+
+    variants = [
+        variant("reset_to_one", "reset loads 1 instead of 0", reset_val=1),
+        variant("double_step", "increments by 2", step=2),
+    ]
+    if has_enable:
+        variants.append(variant("enable_ignored",
+                                "counts even when disabled",
+                                ignore_enable=True))
+
+    return build_task(
+        task_id=task_id, family=FAMILY, kind=SEQ,
+        title=f"{width}-bit up counter" + (" with enable"
+                                           if has_enable else ""),
+        difficulty=difficulty, ports=ports,
+        params={"step": step, "reset_val": 0, "ignore_enable": False},
+        spec_body=spec_body, rtl_body=rtl_body,
+        model_init=lambda p: "self.q = 0", model_step=model_step,
+        scenario_builder=lambda p, rng: seq_scenarios(
+            ports, rng, reset_name="reset", n_scenarios=5,
+            cycles_per=7),
+        variants=variants,
+        reg_outputs=["q"],
+    )
+
+
+def _down_counter_task(task_id: str, width: int, difficulty: float):
+    ports = (clock(), reset(), out_port("q", width))
+    mask = (1 << width) - 1
+
+    def spec_body(p):
+        return (f"A {width}-bit down counter: q decrements every rising "
+                f"clock edge and wraps from 0 to {mask}. Synchronous "
+                f"reset loads {p['reset_val']}.")
+
+    def rtl_body(p):
+        op = "+" if p["counts_up"] else "-"
+        return ("always @(posedge clk) begin\n"
+                f"    if (reset) q <= {width}'d{p['reset_val'] & mask};\n"
+                f"    else q <= q {op} {width}'d1;\n"
+                "end")
+
+    def model_step(p):
+        op = "+" if p["counts_up"] else "-"
+        return (
+            "if inputs['reset'] & 1:\n"
+            f"    self.q = {p['reset_val'] & mask}\n"
+            "else:\n"
+            f"    self.q = (self.q {op} 1) & 0x{mask:X}\n"
+            "return {'q': self.q}"
+        )
+
+    return build_task(
+        task_id=task_id, family=FAMILY, kind=SEQ,
+        title=f"{width}-bit down counter", difficulty=difficulty,
+        ports=ports, params={"reset_val": mask, "counts_up": False},
+        spec_body=spec_body, rtl_body=rtl_body,
+        model_init=lambda p: "self.q = 0", model_step=model_step,
+        scenario_builder=lambda p, rng: seq_scenarios(
+            ports, rng, reset_name="reset", n_scenarios=4, cycles_per=8),
+        variants=[
+            variant("counts_up", "counts upwards instead", counts_up=True),
+            variant("reset_to_zero", "reset loads 0", reset_val=0),
+        ],
+        reg_outputs=["q"],
+    )
+
+
+def _updown_task(task_id: str, width: int, difficulty: float):
+    ports = (clock(), reset(), in_port("up", 1), out_port("q", width))
+    mask = (1 << width) - 1
+
+    def spec_body(p):
+        return (f"A {width}-bit up/down counter: at each rising edge q "
+                "increments when up is 1 and decrements when up is 0; "
+                "synchronous reset clears q to 0.")
+
+    def rtl_body(p):
+        cond = "up" if not p["inverted_dir"] else "!up"
+        body = (f"q <= {cond} ? q + {width}'d1 : q - {width}'d1;"
+                if not p["stuck_up"] else f"q <= q + {width}'d1;")
+        return ("always @(posedge clk) begin\n"
+                f"    if (reset) q <= {width}'d0;\n"
+                f"    else {body}\n"
+                "end")
+
+    def model_step(p):
+        if p["stuck_up"]:
+            move = "self.q = (self.q + 1) & 0x%X" % mask
+        else:
+            cond = ("inputs['up'] & 1" if not p["inverted_dir"]
+                    else "not (inputs['up'] & 1)")
+            move = (f"self.q = ((self.q + 1) if {cond} else (self.q - 1))"
+                    f" & 0x{mask:X}")
+        return (
+            "if inputs['reset'] & 1:\n"
+            "    self.q = 0\n"
+            "else:\n"
+            f"    {move}\n"
+            "return {'q': self.q}"
+        )
+
+    return build_task(
+        task_id=task_id, family=FAMILY, kind=SEQ,
+        title=f"{width}-bit up/down counter", difficulty=difficulty,
+        ports=ports,
+        params={"inverted_dir": False, "stuck_up": False},
+        spec_body=spec_body, rtl_body=rtl_body,
+        model_init=lambda p: "self.q = 0", model_step=model_step,
+        scenario_builder=lambda p, rng: seq_scenarios(
+            ports, rng, reset_name="reset", n_scenarios=5, cycles_per=7),
+        variants=[
+            variant("direction_inverted", "up input sense inverted",
+                    inverted_dir=True),
+            variant("always_up", "direction input ignored", stuck_up=True),
+        ],
+        reg_outputs=["q"],
+    )
+
+
+def _mod_counter_task(task_id: str, modulo: int, has_enable: bool,
+                      difficulty: float):
+    width = max(1, (modulo - 1).bit_length())
+    inputs = [clock(), reset()]
+    if has_enable:
+        inputs.append(in_port("en", 1))
+    ports = tuple(inputs + [out_port("q", width)])
+    mask = (1 << width) - 1
+
+    def spec_body(p):
+        text = (f"A modulo-{modulo} counter: q counts 0, 1, ..., "
+                f"{modulo - 1}, 0, ... advancing each rising clock edge; "
+                "synchronous reset clears q to 0.")
+        if has_enable:
+            text += " The counter only advances while en is 1."
+        return text
+
+    def rtl_body(p):
+        wrap_at = p["wrap_at"]
+        wrap_to = p["wrap_to"]
+        advance = (f"q <= (q == {width}'d{(wrap_at - 1) & mask}) ? "
+                   f"{width}'d{wrap_to & mask} : q + {width}'d1;")
+        if has_enable and not p["ignore_enable"]:
+            advance = f"if (en) {advance}"
+        return ("always @(posedge clk) begin\n"
+                f"    if (reset) q <= {width}'d0;\n"
+                f"    else {advance}\n"
+                "end")
+
+    def model_step(p):
+        lines = ["if inputs['reset'] & 1:", "    self.q = 0"]
+        gate = ("elif inputs['en'] & 1:"
+                if has_enable and not p["ignore_enable"] else "else:")
+        lines.append(gate)
+        lines.append(f"    self.q = ({p['wrap_to'] & mask} "
+                     f"if self.q == {(p['wrap_at'] - 1) & mask} "
+                     f"else (self.q + 1) & 0x{mask:X})")
+        lines.append("return {'q': self.q}")
+        return "\n".join(lines)
+
+    variants = [
+        variant("wraps_late", f"counts up to {modulo} before wrapping",
+                wrap_at=modulo + 1),
+        variant("wraps_to_one", "wraps back to 1 instead of 0", wrap_to=1),
+    ]
+    if has_enable:
+        variants.append(variant("enable_ignored",
+                                "counts even when disabled",
+                                ignore_enable=True))
+    return build_task(
+        task_id=task_id, family=FAMILY, kind=SEQ,
+        title=f"modulo-{modulo} counter" + (" with enable"
+                                            if has_enable else ""),
+        difficulty=difficulty, ports=ports,
+        params={"wrap_at": modulo, "wrap_to": 0, "ignore_enable": False},
+        spec_body=spec_body, rtl_body=rtl_body,
+        model_init=lambda p: "self.q = 0", model_step=model_step,
+        scenario_builder=lambda p, rng: seq_scenarios(
+            ports, rng, reset_name="reset", n_scenarios=5,
+            cycles_per=modulo + 4),
+        variants=variants,
+        reg_outputs=["q"],
+    )
+
+
+def _load_counter_task(task_id: str, width: int, difficulty: float):
+    ports = (clock(), reset(), in_port("load", 1), in_port("d", width),
+             out_port("q", width))
+    mask = (1 << width) - 1
+
+    def spec_body(p):
+        return (f"A loadable {width}-bit counter: when load is 1, q takes "
+                "d at the rising edge; otherwise q increments. Synchronous "
+                "reset has priority and clears q.")
+
+    def rtl_body(p):
+        if p["ignore_load"]:
+            body = f"q <= q + {width}'d1;"
+        elif p["load_plus_one"]:
+            body = f"if (load) q <= d + {width}'d1; else q <= q + {width}'d1;"
+        else:
+            body = f"if (load) q <= d; else q <= q + {width}'d1;"
+        return ("always @(posedge clk) begin\n"
+                f"    if (reset) q <= {width}'d0;\n"
+                f"    else {body}\n"
+                "end")
+
+    def model_step(p):
+        if p["ignore_load"]:
+            body = f"    self.q = (self.q + 1) & 0x{mask:X}"
+        elif p["load_plus_one"]:
+            body = ("    if inputs['load'] & 1:\n"
+                    f"        self.q = (inputs['d'] + 1) & 0x{mask:X}\n"
+                    "    else:\n"
+                    f"        self.q = (self.q + 1) & 0x{mask:X}")
+        else:
+            body = ("    if inputs['load'] & 1:\n"
+                    f"        self.q = inputs['d'] & 0x{mask:X}\n"
+                    "    else:\n"
+                    f"        self.q = (self.q + 1) & 0x{mask:X}")
+        return (
+            "if inputs['reset'] & 1:\n"
+            "    self.q = 0\n"
+            "else:\n"
+            + body + "\n"
+            "return {'q': self.q}"
+        )
+
+    return build_task(
+        task_id=task_id, family=FAMILY, kind=SEQ,
+        title=f"loadable {width}-bit counter", difficulty=difficulty,
+        ports=ports,
+        params={"ignore_load": False, "load_plus_one": False},
+        spec_body=spec_body, rtl_body=rtl_body,
+        model_init=lambda p: "self.q = 0", model_step=model_step,
+        scenario_builder=lambda p, rng: seq_scenarios(
+            ports, rng, reset_name="reset", n_scenarios=5, cycles_per=7,
+            hold_zero_prob=0.4),
+        variants=[
+            variant("load_ignored", "never loads", ignore_load=True),
+            variant("load_off_by_one", "loads d + 1", load_plus_one=True),
+        ],
+        reg_outputs=["q"],
+    )
+
+
+def _sat_counter_task(task_id: str, width: int, difficulty: float):
+    ports = (clock(), reset(), out_port("q", width))
+    mask = (1 << width) - 1
+
+    def spec_body(p):
+        return (f"A saturating {width}-bit counter: q increments each "
+                f"rising edge and holds at {mask} once reached; "
+                "synchronous reset clears q to 0.")
+
+    def rtl_body(p):
+        limit = p["limit"] & mask
+        if p["wraps"]:
+            body = f"q <= q + {width}'d1;"
+        else:
+            body = (f"q <= (q == {width}'d{limit}) ? {width}'d{limit} "
+                    f": q + {width}'d1;")
+        return ("always @(posedge clk) begin\n"
+                f"    if (reset) q <= {width}'d0;\n"
+                f"    else {body}\n"
+                "end")
+
+    def model_step(p):
+        limit = p["limit"] & mask
+        if p["wraps"]:
+            move = f"self.q = (self.q + 1) & 0x{mask:X}"
+        else:
+            move = (f"self.q = {limit} if self.q >= {limit} "
+                    f"else self.q + 1")
+        return (
+            "if inputs['reset'] & 1:\n"
+            "    self.q = 0\n"
+            "else:\n"
+            f"    {move}\n"
+            "return {'q': self.q}"
+        )
+
+    return build_task(
+        task_id=task_id, family=FAMILY, kind=SEQ,
+        title=f"saturating {width}-bit counter", difficulty=difficulty,
+        ports=ports, params={"limit": mask, "wraps": False},
+        spec_body=spec_body, rtl_body=rtl_body,
+        model_init=lambda p: "self.q = 0", model_step=model_step,
+        scenario_builder=lambda p, rng: seq_scenarios(
+            ports, rng, reset_name="reset", n_scenarios=4,
+            cycles_per=(1 << width) + 4),
+        variants=[
+            variant("wraps", "wraps around instead of saturating",
+                    wraps=True),
+            variant("saturates_early", "holds one below the maximum",
+                    limit=mask - 1),
+        ],
+        reg_outputs=["q"],
+    )
+
+
+def build():
+    return [
+        _up_counter_task("seq_count4_up", 4, 1, False, 0.18),
+        _up_counter_task("seq_count8_en", 8, 1, True, 0.30),
+        _up_counter_task("seq_count8_by3", 8, 3, False, 0.25),
+        _down_counter_task("seq_count4_down", 4, 0.22),
+        _updown_task("seq_count4_updown", 4, 0.35),
+        _mod_counter_task("seq_mod10", 10, False, 0.40),
+        _mod_counter_task("seq_mod6_en", 6, True, 0.48),
+        _mod_counter_task("seq_mod3", 3, False, 0.35),
+        _mod_counter_task("seq_mod5", 5, False, 0.38),
+        _mod_counter_task("seq_mod12", 12, False, 0.42),
+        _load_counter_task("seq_count8_load", 8, 0.38),
+        _sat_counter_task("seq_count3_sat", 3, 0.33),
+    ]

@@ -1,0 +1,185 @@
+"""Decoder tasks: binary-to-one-hot decoders and a seven-segment decoder."""
+
+from __future__ import annotations
+
+from ..model import CMB
+from ._base import (build_task, exhaustive_cmb_scenarios, in_port, out_port,
+                    scenario, variant)
+
+FAMILY = "decoder"
+
+
+def _decoder_task(task_id: str, in_width: int, has_enable: bool,
+                  difficulty: float):
+    out_width = 1 << in_width
+    inputs = [in_port("in_val", in_width)]
+    if has_enable:
+        inputs.append(in_port("en", 1))
+    ports = tuple(inputs + [out_port("out", out_width)])
+    mask = (1 << out_width) - 1
+
+    def spec_body(p):
+        body = (f"A {in_width}-to-{out_width} one-hot decoder: output bit "
+                f"out[k] is 1 exactly when in_val equals k.")
+        if has_enable:
+            body += (" When en is 0 the decoder is disabled and out is "
+                     "all zeros.")
+        return body
+
+    def rtl_body(p):
+        if p["order"] == "msb":
+            expr = (f"({out_width}'d{1 << (out_width - 1)} >> in_val)")
+        else:
+            expr = f"({out_width}'d1 << in_val)"
+        if p["invert"]:
+            expr = f"~{expr}"
+        if has_enable:
+            disabled = f"{out_width}'d{p['disabled'] & mask}"
+            return f"assign out = en ? {expr} : {disabled};"
+        return f"assign out = {expr};"
+
+    def model_step(p):
+        shift = (f"(0x{1 << (out_width - 1):X} >> value)"
+                 if p["order"] == "msb" else "(1 << value)")
+        body = [f"value = inputs['in_val'] & {(1 << in_width) - 1}",
+                f"out = {shift} & 0x{mask:X}"]
+        if p["invert"]:
+            body.append(f"out = (~out) & 0x{mask:X}")
+        if has_enable:
+            body.append(f"if not (inputs['en'] & 1):")
+            body.append(f"    out = {p['disabled'] & mask}")
+        body.append("return {'out': out}")
+        return "\n".join(body)
+
+    variants = [
+        variant("reversed_order",
+                "decodes from the most-significant output bit downwards",
+                order="msb"),
+        variant("active_low", "produces an active-low (inverted) one-hot",
+                invert=True),
+    ]
+    if has_enable:
+        variants.append(variant(
+            "disabled_all_ones", "drives all-ones when disabled",
+            disabled=mask))
+        variants.append(variant(
+            "enable_ignored", "ignores the enable input",
+            disabled_ignores_enable=True))
+
+    def rtl_body_with_ignore(p):
+        if p.get("disabled_ignores_enable"):
+            return (f"assign out = "
+                    f"{'~' if p['invert'] else ''}"
+                    f"({out_width}'d"
+                    f"{1 << (out_width - 1) if p['order'] == 'msb' else 1}"
+                    f" {'>>' if p['order'] == 'msb' else '<<'} in_val);")
+        return rtl_body(p)
+
+    def model_step_with_ignore(p):
+        if p.get("disabled_ignores_enable"):
+            shift = (f"(0x{1 << (out_width - 1):X} >> value)"
+                     if p["order"] == "msb" else "(1 << value)")
+            body = [f"value = inputs['in_val'] & {(1 << in_width) - 1}",
+                    f"out = {shift} & 0x{mask:X}"]
+            if p["invert"]:
+                body.append(f"out = (~out) & 0x{mask:X}")
+            body.append("return {'out': out}")
+            return "\n".join(body)
+        return model_step(p)
+
+    return build_task(
+        task_id=task_id, family=FAMILY, kind=CMB,
+        title=(f"{in_width}-to-{out_width} decoder"
+               + (" with enable" if has_enable else "")),
+        difficulty=difficulty, ports=ports,
+        params={"order": "lsb", "invert": False, "disabled": 0,
+                "disabled_ignores_enable": False},
+        spec_body=spec_body, rtl_body=rtl_body_with_ignore,
+        model_init=lambda p: "", model_step=model_step_with_ignore,
+        scenario_builder=lambda p, rng: exhaustive_cmb_scenarios(
+            ports[:-1], rng, group_size=2 if has_enable else 1),
+        variants=variants,
+    )
+
+
+# Standard common-cathode patterns, segments gfedcba, active high.
+_SEG_TABLE = (0x3F, 0x06, 0x5B, 0x4F, 0x66, 0x6D, 0x7D, 0x07, 0x7F, 0x6F)
+
+
+def _seven_seg_task():
+    task_id = "cmb_seven_seg"
+    ports = (in_port("bcd", 4), out_port("seg", 7))
+
+    def spec_body(p):
+        return ("A BCD to seven-segment decoder with active-high segment "
+                "outputs seg[6:0] = {g, f, e, d, c, b, a}. Digits 0-9 "
+                "produce the standard patterns; inputs 10-15 blank the "
+                "display (seg = 0).")
+
+    def rtl_body(p):
+        table = p["table"]
+        lines = ["always @(*) begin", "    case (bcd)"]
+        for digit, pattern in enumerate(table):
+            value = (~pattern & 0x7F) if p["invert"] else pattern
+            lines.append(f"        4'd{digit}: seg = 7'd{value};")
+        blank = (~p["blank"] & 0x7F) if p["invert"] else p["blank"]
+        lines.append(f"        default: seg = 7'd{blank & 0x7F};")
+        lines.extend(["    endcase", "end"])
+        return "\n".join(lines)
+
+    def model_step(p):
+        values = [((~v & 0x7F) if p["invert"] else v) for v in p["table"]]
+        blank = (~p["blank"] & 0x7F) if p["invert"] else (p["blank"] & 0x7F)
+        return (
+            f"table = {tuple(values)}\n"
+            f"bcd = inputs['bcd'] & 0xF\n"
+            f"if bcd < 10:\n"
+            f"    return {{'seg': table[bcd]}}\n"
+            f"return {{'seg': {blank}}}"
+        )
+
+    def scenarios(p, rng):
+        plans = []
+        digits = list(range(10))
+        for k, chunk_start in enumerate(range(0, 10, 4), start=1):
+            chunk = digits[chunk_start:chunk_start + 4]
+            plans.append(scenario(
+                k, f"digits_{chunk[0]}_{chunk[-1]}",
+                f"Drive BCD digits {chunk[0]}..{chunk[-1]}.",
+                [{"bcd": d} for d in chunk]))
+        plans.append(scenario(
+            len(plans) + 1, "out_of_range",
+            "Drive the non-decimal codes 10..15.",
+            [{"bcd": d} for d in range(10, 16)]))
+        return tuple(plans)
+
+    broken9 = _SEG_TABLE[:9] + (0x67,)   # 9 without the bottom segment
+    broken6 = _SEG_TABLE[:6] + (0x7C,) + _SEG_TABLE[7:]  # 6 missing top bar
+    return build_task(
+        task_id=task_id, family=FAMILY, kind=CMB,
+        title="BCD to seven-segment decoder", difficulty=0.38, ports=ports,
+        params={"table": _SEG_TABLE, "blank": 0, "invert": False},
+        spec_body=spec_body, rtl_body=rtl_body,
+        model_init=lambda p: "", model_step=model_step,
+        scenario_builder=scenarios,
+        variants=[
+            variant("active_low", "segment outputs inverted", invert=True),
+            variant("nine_wrong", "digit 9 rendered without bottom segment",
+                    table=broken9),
+            variant("six_wrong", "digit 6 rendered without the top bar",
+                    table=broken6),
+            variant("blank_all_on", "codes 10-15 light every segment",
+                    blank=0x7F),
+        ],
+        reg_outputs=["seg"],
+    )
+
+
+def build():
+    return [
+        _decoder_task("cmb_dec2to4", 2, False, 0.10),
+        _decoder_task("cmb_dec2to4_en", 2, True, 0.15),
+        _decoder_task("cmb_dec3to8", 3, False, 0.13),
+        _decoder_task("cmb_dec3to8_en", 3, True, 0.20),
+        _seven_seg_task(),
+    ]

@@ -1,0 +1,83 @@
+"""Demultiplexer tasks."""
+
+from __future__ import annotations
+
+from ..model import CMB
+from ._base import (build_task, exhaustive_cmb_scenarios, in_port, out_port,
+                    variant)
+
+FAMILY = "demux"
+
+
+def _demux_task(task_id: str, sel_width: int, has_enable: bool,
+                difficulty: float):
+    out_width = 1 << sel_width
+    inputs = [in_port("d", 1), in_port("sel", sel_width)]
+    if has_enable:
+        inputs.append(in_port("en", 1))
+    ports = tuple(inputs + [out_port("out", out_width)])
+    mask = (1 << out_width) - 1
+
+    def spec_body(p):
+        text = (f"A 1-to-{out_width} demultiplexer: output bit out[sel] "
+                "follows d while every other output bit is 0.")
+        if has_enable:
+            text += " When en is 0, all outputs are 0."
+        return text
+
+    def rtl_body(p):
+        if p["broadcast"]:
+            value = f"{{{out_width}{{d}}}}"
+        elif p["order"] == "msb":
+            value = f"d ? ({out_width}'d{1 << (out_width - 1)} >> sel) " \
+                    f": {out_width}'d0"
+        else:
+            value = f"d ? ({out_width}'d1 << sel) : {out_width}'d0"
+        if has_enable and not p["ignore_enable"]:
+            return f"assign out = en ? ({value}) : {out_width}'d0;"
+        return f"assign out = {value};"
+
+    def model_step(p):
+        lines = [f"sel = inputs['sel'] & {(1 << sel_width) - 1}",
+                 "d = inputs['d'] & 1"]
+        if p["broadcast"]:
+            lines.append(f"out = (0x{mask:X} if d else 0)")
+        elif p["order"] == "msb":
+            lines.append(
+                f"out = ((0x{1 << (out_width - 1):X} >> sel) if d else 0)")
+        else:
+            lines.append("out = ((1 << sel) if d else 0)")
+        if has_enable and not p["ignore_enable"]:
+            lines.append("if not (inputs['en'] & 1):")
+            lines.append("    out = 0")
+        lines.append(f"return {{'out': out & 0x{mask:X}}}")
+        return "\n".join(lines)
+
+    variants = [
+        variant("reversed_order", "outputs indexed from the MSB downwards",
+                order="msb"),
+        variant("broadcast", "drives d onto every output", broadcast=True),
+    ]
+    if has_enable:
+        variants.append(variant("enable_ignored", "ignores the enable",
+                                ignore_enable=True))
+
+    return build_task(
+        task_id=task_id, family=FAMILY, kind=CMB,
+        title=(f"1-to-{out_width} demultiplexer"
+               + (" with enable" if has_enable else "")),
+        difficulty=difficulty, ports=ports,
+        params={"order": "lsb", "broadcast": False, "ignore_enable": False},
+        spec_body=spec_body, rtl_body=rtl_body,
+        model_init=lambda p: "", model_step=model_step,
+        scenario_builder=lambda p, rng: exhaustive_cmb_scenarios(
+            ports[:-1], rng, group_size=2 if has_enable else 2),
+        variants=variants,
+    )
+
+
+def build():
+    return [
+        _demux_task("cmb_demux1to4", 2, False, 0.12),
+        _demux_task("cmb_demux1to8_en", 3, True, 0.22),
+    ]

@@ -1,0 +1,150 @@
+"""D flip-flop tasks (plain, resets, enables)."""
+
+from __future__ import annotations
+
+from ..model import SEQ
+from ._base import (build_task, clock, in_port, out_port, reset,
+                    seq_scenarios, variant)
+
+FAMILY = "dff"
+
+
+def _plain_dff_task():
+    """``q <= d`` — the only task whose state needs no reset."""
+    task_id = "seq_dff"
+    ports = (clock(), in_port("d", 1), out_port("q", 1))
+
+    def spec_body(p):
+        return "A single D flip-flop: q takes the value of d at every " \
+               "rising clock edge."
+
+    def rtl_body(p):
+        rhs = "~d" if p["inverted"] else "d"
+        return ("always @(posedge clk) begin\n"
+                f"    q <= {rhs};\n"
+                "end")
+
+    def model_step(p):
+        rhs = "(~inputs['d']) & 1" if p["inverted"] else "inputs['d'] & 1"
+        return (
+            f"self.q = {rhs}\n"
+            "return {'q': self.q}"
+        )
+
+    return build_task(
+        task_id=task_id, family=FAMILY, kind=SEQ, title="D flip-flop",
+        difficulty=0.08, ports=ports, params={"inverted": False},
+        spec_body=spec_body, rtl_body=rtl_body,
+        model_init=lambda p: "self.q = 0",
+        model_step=model_step,
+        scenario_builder=lambda p, rng: seq_scenarios(
+            [p_ for p_ in ports if p_.direction == "input"], rng,
+            reset_name=None, n_scenarios=4, cycles_per=6, reset_cycles=0),
+        variants=[
+            variant("inverted", "stores the complement of d",
+                    inverted=True),
+        ],
+        reg_outputs=["q"],
+    )
+
+
+def _dff_reset_task(task_id: str, width: int, asynchronous: bool,
+                    has_enable: bool, difficulty: float):
+    reset_name = "areset" if asynchronous else "reset"
+    inputs = [clock(), reset(reset_name), in_port("d", width)]
+    if has_enable:
+        inputs.append(in_port("en", 1))
+    ports = tuple(inputs + [out_port("q", width)])
+    mask = (1 << width) - 1
+
+    def spec_body(p):
+        kind = "asynchronous" if asynchronous else "synchronous"
+        text = (f"A {width}-bit D register with active-high {kind} reset "
+                f"({reset_name} forces q to {p['reset_val']}).")
+        if has_enable:
+            text += " The register only loads d when en is 1."
+        return text
+
+    def rtl_body(p):
+        sensitivity = (f"posedge clk or posedge {reset_name}"
+                       if asynchronous else "posedge clk")
+        reset_const = f"{width}'d{p['reset_val'] & mask}"
+        load = "q <= d;"
+        if has_enable and not p["ignore_enable"]:
+            load = "if (en) q <= d;"
+        if p["priority_swapped"] and has_enable:
+            # Misconception: enable gates the reset too.
+            return (f"always @({sensitivity}) begin\n"
+                    f"    if (en) begin\n"
+                    f"        if ({reset_name}) q <= {reset_const};\n"
+                    f"        else q <= d;\n"
+                    f"    end\n"
+                    f"end")
+        return (f"always @({sensitivity}) begin\n"
+                f"    if ({reset_name}) q <= {reset_const};\n"
+                f"    else {load}\n"
+                f"end")
+
+    def model_step(p):
+        lines = []
+        reset_assign = f"self.q = {p['reset_val'] & mask}"
+        load = f"self.q = inputs['d'] & 0x{mask:X}"
+        if p["priority_swapped"] and has_enable:
+            lines.append("if inputs['en'] & 1:")
+            lines.append(f"    if inputs['{reset_name}'] & 1:")
+            lines.append(f"        {reset_assign}")
+            lines.append("    else:")
+            lines.append(f"        {load}")
+        else:
+            lines.append(f"if inputs['{reset_name}'] & 1:")
+            lines.append(f"    {reset_assign}")
+            if has_enable and not p["ignore_enable"]:
+                lines.append("elif inputs['en'] & 1:")
+                lines.append(f"    {load}")
+            else:
+                lines.append("else:")
+                lines.append(f"    {load}")
+        lines.append("return {'q': self.q}")
+        return "\n".join(lines)
+
+    variants = [
+        variant("reset_to_ones", "reset drives all-ones",
+                reset_val=mask),
+    ]
+    if has_enable:
+        variants.append(variant("enable_ignored", "loads every cycle",
+                                ignore_enable=True))
+        variants.append(variant("enable_gates_reset",
+                                "reset only works while enabled",
+                                priority_swapped=True))
+    else:
+        variants.append(variant("reset_to_one", "reset drives the value 1",
+                                reset_val=1))
+
+    return build_task(
+        task_id=task_id, family=FAMILY, kind=SEQ,
+        title=(f"{width}-bit D register with "
+               f"{'async' if asynchronous else 'sync'} reset"
+               + (" and enable" if has_enable else "")),
+        difficulty=difficulty, ports=ports,
+        params={"reset_val": 0, "ignore_enable": False,
+                "priority_swapped": False},
+        spec_body=spec_body, rtl_body=rtl_body,
+        model_init=lambda p: "self.q = 0",
+        model_step=model_step,
+        scenario_builder=lambda p, rng: seq_scenarios(
+            [p_ for p_ in ports if p_.direction == "input"], rng,
+            reset_name=reset_name, n_scenarios=5, cycles_per=6),
+        variants=variants,
+        reg_outputs=["q"],
+    )
+
+
+def build():
+    return [
+        _plain_dff_task(),
+        _dff_reset_task("seq_dff_sr", 1, False, False, 0.15),
+        _dff_reset_task("seq_dff8_ar", 8, True, False, 0.20),
+        _dff_reset_task("seq_dff8_en", 8, False, True, 0.25),
+        _dff_reset_task("seq_dff4_en_ar", 4, True, True, 0.30),
+    ]

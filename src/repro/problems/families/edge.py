@@ -1,0 +1,152 @@
+"""Edge-detection tasks (per-bit and sticky-capture variants)."""
+
+from __future__ import annotations
+
+from ..model import SEQ
+from ._base import (build_task, clock, in_port, out_port, reset,
+                    seq_scenarios, variant)
+
+FAMILY = "edge"
+
+
+def _edge_detect_task(task_id: str, width: int, edge_kind: str,
+                      difficulty: float):
+    ports = (clock(), reset(), in_port("din", width),
+             out_port("pulse", width))
+    mask = (1 << width) - 1
+
+    exprs_rtl = {
+        "rise": "din & ~prev",
+        "fall": "~din & prev",
+        "both": "din ^ prev",
+    }
+    exprs_py = {
+        "rise": "value & ~self.prev",
+        "fall": "~value & self.prev",
+        "both": "value ^ self.prev",
+    }
+    words = {"rise": "0-to-1", "fall": "1-to-0", "both": "any"}
+
+    def spec_body(p):
+        return (f"Per-bit {words[edge_kind]} edge detector: pulse[i] is 1 "
+                "for one cycle when bit din[i] made that transition "
+                "between the previous and the current rising edge. "
+                "Synchronous reset clears the tracking state and output.")
+
+    def rtl_body(p):
+        expr = exprs_rtl[p["kind"]]
+        return (
+            f"reg [{width - 1}:0] prev;\n"
+            "always @(posedge clk) begin\n"
+            "    if (reset) begin\n"
+            f"        prev <= {width}'d0;\n"
+            f"        pulse <= {width}'d0;\n"
+            "    end else begin\n"
+            f"        pulse <= {expr};\n"
+            "        prev <= din;\n"
+            "    end\n"
+            "end")
+
+    def model_step(p):
+        expr = exprs_py[p["kind"]]
+        return (
+            "if inputs['reset'] & 1:\n"
+            "    self.prev = 0\n"
+            "    self.pulse = 0\n"
+            "else:\n"
+            f"    value = inputs['din'] & 0x{mask:X}\n"
+            f"    self.pulse = ({expr}) & 0x{mask:X}\n"
+            "    self.prev = value\n"
+            "return {'pulse': self.pulse}"
+        )
+
+    others = [k for k in exprs_rtl if k != edge_kind]
+    return build_task(
+        task_id=task_id, family=FAMILY, kind=SEQ,
+        title=f"{width}-bit {words[edge_kind]} edge detector",
+        difficulty=difficulty, ports=ports, params={"kind": edge_kind},
+        spec_body=spec_body, rtl_body=rtl_body,
+        model_init=lambda p: "self.prev = 0\nself.pulse = 0",
+        model_step=model_step,
+        scenario_builder=lambda p, rng: seq_scenarios(
+            ports, rng, reset_name="reset", n_scenarios=5, cycles_per=7),
+        variants=[
+            variant(f"detects_{others[0]}",
+                    f"detects {words[others[0]]} edges instead",
+                    kind=others[0]),
+            variant(f"detects_{others[1]}",
+                    f"detects {words[others[1]]} edges instead",
+                    kind=others[1]),
+        ],
+        reg_outputs=["pulse"],
+    )
+
+
+def _capture_task(task_id: str, width: int, difficulty: float):
+    """Sticky edge capture (HDLBits ``edgecapture`` shape)."""
+    ports = (clock(), reset(), in_port("din", width),
+             out_port("captured", width))
+    mask = (1 << width) - 1
+
+    def spec_body(p):
+        return (f"Sticky {width}-bit falling-edge capture: once bit "
+                "din[i] goes from 1 to 0, captured[i] stays 1 until the "
+                "synchronous reset clears it.")
+
+    def rtl_body(p):
+        edge = ("din & ~prev" if p["capture_rise"] else "~din & prev")
+        acc = ("" if p["non_sticky"] else "captured | ")
+        return (
+            f"reg [{width - 1}:0] prev;\n"
+            "always @(posedge clk) begin\n"
+            "    if (reset) begin\n"
+            f"        prev <= din;\n"
+            f"        captured <= {width}'d0;\n"
+            "    end else begin\n"
+            f"        captured <= {acc}({edge});\n"
+            "        prev <= din;\n"
+            "    end\n"
+            "end")
+
+    def model_step(p):
+        edge = ("value & ~self.prev" if p["capture_rise"]
+                else "~value & self.prev")
+        acc = "" if p["non_sticky"] else "self.captured | "
+        return (
+            f"value = inputs['din'] & 0x{mask:X}\n"
+            "if inputs['reset'] & 1:\n"
+            "    self.prev = value\n"
+            "    self.captured = 0\n"
+            "else:\n"
+            f"    self.captured = ({acc}({edge})) & 0x{mask:X}\n"
+            "    self.prev = value\n"
+            "return {'captured': self.captured}"
+        )
+
+    return build_task(
+        task_id=task_id, family=FAMILY, kind=SEQ,
+        title=f"{width}-bit sticky edge capture", difficulty=difficulty,
+        ports=ports,
+        params={"capture_rise": False, "non_sticky": False},
+        spec_body=spec_body, rtl_body=rtl_body,
+        model_init=lambda p: "self.prev = 0\nself.captured = 0",
+        model_step=model_step,
+        scenario_builder=lambda p, rng: seq_scenarios(
+            ports, rng, reset_name="reset", n_scenarios=5, cycles_per=8),
+        variants=[
+            variant("captures_rising", "captures rising edges instead",
+                    capture_rise=True),
+            variant("not_sticky", "forgets the capture after one cycle",
+                    non_sticky=True),
+        ],
+        reg_outputs=["captured"],
+    )
+
+
+def build():
+    return [
+        _edge_detect_task("seq_rise8", 8, "rise", 0.30),
+        _edge_detect_task("seq_fall4", 4, "fall", 0.30),
+        _edge_detect_task("seq_anyedge1", 1, "both", 0.26),
+        _capture_task("seq_capture8", 8, 0.48),
+    ]

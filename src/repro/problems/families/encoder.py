@@ -1,0 +1,158 @@
+"""Priority encoders and one-hot detection tasks."""
+
+from __future__ import annotations
+
+from ..model import CMB
+from ._base import (build_task, cmb_scenarios, exhaustive_cmb_scenarios,
+                    in_port, out_port, scenario, variant)
+
+FAMILY = "encoder"
+
+
+def _priority_task(task_id: str, in_width: int, difficulty: float):
+    pos_width = max(1, (in_width - 1).bit_length())
+    ports = (in_port("in_bus", in_width),
+             out_port("pos", pos_width), out_port("valid", 1))
+    pos_mask = (1 << pos_width) - 1
+
+    def spec_body(p):
+        return (f"A {in_width}-bit priority encoder. pos reports the index "
+                "of the least-significant 1 bit of in_bus and valid is 1 "
+                "when any input bit is set. When in_bus is zero, pos is 0 "
+                "and valid is 0.")
+
+    def rtl_body(p):
+        order = (range(in_width) if p["order"] == "lsb"
+                 else range(in_width - 1, -1, -1))
+        valid_on = 1 if p["valid_active"] else 0
+        valid_off = 1 - valid_on
+        lines = ["always @(*) begin"]
+        first = True
+        for i in order:
+            kw = "if" if first else "else if"
+            first = False
+            pos_val = (i + p["offset"]) & pos_mask
+            lines.append(f"    {kw} (in_bus[{i}]) begin")
+            lines.append(f"        pos = {pos_width}'d{pos_val};")
+            lines.append(f"        valid = 1'b{valid_on};")
+            lines.append("    end")
+        lines.append("    else begin")
+        lines.append(f"        pos = {pos_width}'d0;")
+        lines.append(f"        valid = 1'b{valid_off};")
+        lines.append("    end")
+        lines.append("end")
+        return "\n".join(lines)
+
+    def model_step(p):
+        order = (f"range({in_width})" if p["order"] == "lsb"
+                 else f"range({in_width - 1}, -1, -1)")
+        valid_on = 1 if p["valid_active"] else 0
+        return (
+            f"value = inputs['in_bus'] & 0x{(1 << in_width) - 1:X}\n"
+            f"for i in {order}:\n"
+            f"    if (value >> i) & 1:\n"
+            f"        return {{'pos': (i + {p['offset']}) & {pos_mask}, "
+            f"'valid': {valid_on}}}\n"
+            f"return {{'pos': 0, 'valid': {1 - valid_on}}}"
+        )
+
+    def scenarios(p, rng):
+        if in_width <= 4:
+            return exhaustive_cmb_scenarios(ports[:1], rng, group_size=4)
+        plans = [scenario(1, "zero_and_single_bits",
+                          "Zero input, then each single-bit pattern.",
+                          [{"in_bus": 0}]
+                          + [{"in_bus": 1 << i} for i in range(in_width)])]
+        for k in range(2, 5):
+            plans.append(scenario(
+                k, f"random_{k - 1}", "Randomised multi-bit patterns.",
+                [{"in_bus": rng.randrange(1, 1 << in_width)}
+                 for _ in range(4)]))
+        return tuple(plans)
+
+    return build_task(
+        task_id=task_id, family=FAMILY, kind=CMB,
+        title=f"{in_width}-bit priority encoder", difficulty=difficulty,
+        ports=ports,
+        params={"order": "lsb", "offset": 0, "valid_active": True},
+        spec_body=spec_body, rtl_body=rtl_body,
+        model_init=lambda p: "", model_step=model_step,
+        scenario_builder=scenarios,
+        variants=[
+            variant("msb_priority",
+                    "gives priority to the most-significant bit",
+                    order="msb"),
+            variant("pos_off_by_one", "reports pos + 1", offset=1),
+            variant("valid_inverted", "valid output is inverted",
+                    valid_active=False),
+        ],
+        reg_outputs=["pos", "valid"],
+    )
+
+
+def _lowest_bit_task():
+    """Isolate the least-significant set bit (HDLBits ``edgecapture`` kin)."""
+    task_id = "cmb_lsb_isolate8"
+    ports = (in_port("in_bus", 8), out_port("out", 8))
+
+    def spec_body(p):
+        return ("out keeps only the least-significant 1 bit of in_bus "
+                "(out = in_bus & (-in_bus)); zero input gives zero output.")
+
+    def rtl_body(p):
+        if p["mode"] == "msb":
+            # Wrong-behaviour rendering: keeps the most-significant bit.
+            lines = ["always @(*) begin", "    out = 8'd0;"]
+            lines.append("    if (in_bus != 8'd0) begin")
+            lines.append("        out = 8'd128;")
+            for i in range(6, -1, -1):
+                lines.append(f"        if (in_bus[{i}] && in_bus[7:{i + 1}]"
+                             f" == {7 - i}'d0) out = 8'd{1 << i};")
+            lines.append("    end")
+            lines.append("end")
+            return "\n".join(lines)
+        expr = "in_bus & (~in_bus + 8'd1)"
+        if p["mode"] == "clear":
+            expr = "in_bus & (in_bus - 8'd1)"
+        return f"always @(*) begin\n    out = {expr};\nend"
+
+    def model_step(p):
+        if p["mode"] == "msb":
+            return (
+                "value = inputs['in_bus'] & 0xFF\n"
+                "if value == 0:\n"
+                "    return {'out': 0}\n"
+                "return {'out': 1 << (value.bit_length() - 1)}"
+            )
+        expr = {"lsb": "value & ((~value + 1) & 0xFF)",
+                "clear": "value & ((value - 1) & 0xFF)"}[p["mode"]]
+        return (
+            "value = inputs['in_bus'] & 0xFF\n"
+            f"return {{'out': ({expr}) & 0xFF}}"
+        )
+
+    return build_task(
+        task_id=task_id, family=FAMILY, kind=CMB,
+        title="isolate the least-significant set bit of an 8-bit bus",
+        difficulty=0.30, ports=ports, params={"mode": "lsb"},
+        spec_body=spec_body, rtl_body=rtl_body,
+        model_init=lambda p: "", model_step=model_step,
+        scenario_builder=lambda p, rng: cmb_scenarios(
+            ports[:1], rng, n_scenarios=5, vectors_per=4),
+        variants=[
+            variant("clears_lsb",
+                    "clears the lowest set bit instead of isolating it",
+                    mode="clear"),
+            variant("msb_instead", "isolates the most-significant set bit",
+                    mode="msb"),
+        ],
+        reg_outputs=["out"],
+    )
+
+
+def build():
+    return [
+        _priority_task("cmb_prio_enc4", 4, 0.22),
+        _priority_task("cmb_prio_enc8", 8, 0.28),
+        _lowest_bit_task(),
+    ]

@@ -1,0 +1,219 @@
+"""Serial pattern-detector FSM tasks (overlapping and non-overlapping).
+
+The detector watches a serial input ``din`` and raises ``found`` for one
+cycle when the last K sampled bits equal the pattern.  In overlapping mode
+the bit history is kept after a match; in non-overlapping mode it is
+cleared, so back-to-back overlapped occurrences are not reported.
+"""
+
+from __future__ import annotations
+
+from ..model import SEQ
+from ._base import (build_task, clock, in_port, out_port, reset, scenario,
+                    variant)
+
+FAMILY = "fsm_detect"
+
+
+def _pattern_bits(pattern: str) -> int:
+    return int(pattern, 2)
+
+
+def _self_overlap(pattern: str) -> int:
+    """Length of the longest proper suffix that is also a prefix."""
+    for length in range(len(pattern) - 1, 0, -1):
+        if pattern[:length] == pattern[-length:]:
+            return length
+    return 0
+
+
+def _detector_task(task_id: str, pattern: str, overlap: bool,
+                   difficulty: float):
+    k = len(pattern)
+    ports = (clock(), reset(), in_port("din", 1), out_port("found", 1))
+    hist_bits = k - 1
+    hist_mask = (1 << hist_bits) - 1 if hist_bits else 0
+
+    def spec_body(p):
+        mode = ("overlapping occurrences are all reported"
+                if p["overlap"] else
+                "matching restarts from scratch after each report "
+                "(non-overlapping)")
+        return (f"A serial pattern detector for the bit string "
+                f"'{p['pattern']}' (first bit arrives first). found is 1 "
+                f"for exactly one cycle, in the cycle after the last "
+                f"pattern bit was sampled; {mode}. Synchronous reset "
+                "clears the matcher.")
+
+    def rtl_body(p):
+        pk = len(p["pattern"])
+        pat = _pattern_bits(p["pattern"])
+        p_hist_bits = pk - 1
+        window = f"{{hist[{p_hist_bits - 1}:0], din}}"
+        # A match needs pk real bits since reset (or since the previous
+        # match in non-overlapping mode); `fill` counts the valid history
+        # length, which prevents ghost matches against the cleared zeros.
+        match = (f"(fill == 3'd{pk - 1} && {window} == {pk}'d{pat})")
+        lines = [
+            f"reg [{p_hist_bits - 1}:0] hist;",
+            "reg [2:0] fill;",
+            "always @(posedge clk) begin",
+            "    if (reset) begin",
+            f"        hist <= {p_hist_bits}'d0;",
+            "        fill <= 3'd0;",
+            "        found <= 1'b0;",
+            "    end else begin",
+            f"        if ({match}) begin",
+            "            found <= 1'b1;",
+        ]
+        if p["overlap"]:
+            lines.append(f"            hist <= {window};")
+            lines.append("            fill <= fill;")
+        else:
+            lines.append(f"            hist <= {p_hist_bits}'d0;")
+            lines.append("            fill <= 3'd0;")
+        lines.extend([
+            "        end else begin",
+            "            found <= 1'b0;",
+            f"            hist <= {window};",
+            f"            fill <= (fill == 3'd{pk - 1}) ? fill "
+            ": fill + 3'd1;",
+            "        end",
+            "    end",
+            "end",
+        ])
+        return "\n".join(lines)
+
+    def model_step(p):
+        pk = len(p["pattern"])
+        pat = _pattern_bits(p["pattern"])
+        p_hist_mask = (1 << (pk - 1)) - 1
+        window = f"((self.hist << 1) | din) & 0x{(1 << pk) - 1:X}"
+        if p["overlap"]:
+            on_match = (f"        self.hist = window & 0x{p_hist_mask:X}")
+        else:
+            on_match = ("        self.hist = 0\n"
+                        "        self.fill = 0")
+        return "\n".join([
+            "din = inputs['din'] & 1",
+            "if inputs['reset'] & 1:",
+            "    self.hist = 0",
+            "    self.fill = 0",
+            "    self.found = 0",
+            "else:",
+            f"    window = {window}",
+            f"    if self.fill == {pk - 1} and window == {pat}:",
+            "        self.found = 1",
+            on_match,
+            "    else:",
+            "        self.found = 0",
+            f"        self.hist = window & 0x{p_hist_mask:X}",
+            f"        self.fill = min(self.fill + 1, {pk - 1})",
+            "return {'found': self.found}",
+        ])
+
+    def scenarios(p, rng):
+        golden_pattern = pattern  # scenarios always target the golden spec
+        bits_of = lambda s: [int(ch) for ch in s]
+
+        def cycles(bit_list, lead_reset=2):
+            out = []
+            for i, b in enumerate(bit_list):
+                out.append({"reset": 1 if i < lead_reset else 0,
+                            "din": b if i >= lead_reset else rng.randrange(2)})
+            return out
+
+        noise = [rng.randrange(2) for _ in range(3)]
+        exact = cycles([0, 0] + bits_of(golden_pattern) + noise)
+        double = cycles([0, 0] + bits_of(golden_pattern)
+                        + bits_of(golden_pattern) + noise)
+        # Overlapped occurrence: append the suffix that re-completes the
+        # pattern using its own prefix (classic 101 -> 10101 case).  For
+        # patterns without self-overlap this degenerates to back-to-back.
+        shared = _self_overlap(golden_pattern)
+        overlap_stream = bits_of(golden_pattern) + bits_of(
+            golden_pattern[shared:]) + bits_of(golden_pattern[shared:])
+        near_miss = bits_of(golden_pattern)[:-1] + [
+            1 - bits_of(golden_pattern)[-1]]
+        random_stream = [rng.randrange(2) for _ in range(3 * k + 4)]
+        mid_reset = (cycles([0, 0] + bits_of(golden_pattern)[:-1])
+                     + [{"reset": 1, "din": rng.randrange(2)}]
+                     + [{"reset": 0, "din": b}
+                        for b in bits_of(golden_pattern) + noise])
+        return (
+            scenario(1, "exact_match",
+                     "Reset, then feed exactly one occurrence.", exact),
+            scenario(2, "back_to_back",
+                     "Two consecutive occurrences.", double),
+            scenario(3, "overlapped",
+                     "A stream whose occurrences share bits.",
+                     cycles([0, 0] + overlap_stream + noise)),
+            scenario(4, "near_miss",
+                     "A stream that misses the pattern by the last bit.",
+                     cycles([0, 0] + near_miss + noise)),
+            scenario(5, "random_stream", "A random bit stream.",
+                     cycles([0, 0] + random_stream)),
+            scenario(6, "reset_mid_pattern",
+                     "Reset asserted while a match is in progress.",
+                     mid_reset),
+        )
+
+    flipped = pattern[:-1] + ("0" if pattern[-1] == "1" else "1")
+    first_flipped = ("0" if pattern[0] == "1" else "1") + pattern[1:]
+    # The overlap-mode misconception is only observable for patterns that
+    # actually self-overlap; otherwise use a different plausible mistake.
+    if _self_overlap(pattern) > 0:
+        mode_variant = variant(
+            "overlap_flipped",
+            ("forgets history after a match" if overlap
+             else "keeps history after a match"),
+            overlap=not overlap)
+    else:
+        mode_variant = variant(
+            "first_bit_flipped", f"matches {first_flipped} instead",
+            pattern=first_flipped)
+    return build_task(
+        task_id=task_id, family=FAMILY, kind=SEQ,
+        title=f"serial detector for pattern {pattern} "
+              f"({'overlapping' if overlap else 'non-overlapping'})",
+        difficulty=difficulty, ports=ports,
+        params={"pattern": pattern, "overlap": overlap},
+        spec_body=spec_body, rtl_body=rtl_body,
+        model_init=lambda p: "self.hist = 0\nself.fill = 0\nself.found = 0",
+        model_step=model_step,
+        scenario_builder=scenarios,
+        variants=[
+            mode_variant,
+            variant("last_bit_flipped",
+                    f"matches {flipped} instead", pattern=flipped),
+        ],
+        reg_outputs=["found"],
+    )
+
+
+# (pattern, overlapping, difficulty)
+_CONFIGS = (
+    ("101", True, 0.45),
+    ("110", False, 0.50),
+    ("1001", True, 0.55),
+    ("111", True, 0.42),
+    ("0110", False, 0.58),
+    ("1101", True, 0.55),
+    ("010", False, 0.48),
+    ("1010", True, 0.57),
+    ("1000", False, 0.52),
+    ("0011", True, 0.50),
+    ("011", True, 0.44),
+    ("100", False, 0.46),
+    ("0101", True, 0.56),
+    ("1100", False, 0.54),
+)
+
+
+def build():
+    tasks = []
+    for idx, (pattern, overlap, difficulty) in enumerate(_CONFIGS):
+        mode = "ov" if overlap else "no"
+        tasks.append(_detector_task(
+            f"seq_detect_{pattern}_{mode}", pattern, overlap, difficulty))
+    return tasks

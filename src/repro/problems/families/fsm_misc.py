@@ -1,0 +1,413 @@
+"""Miscellaneous FSM tasks: timed traffic light, set/reset state, a
+round-robin arbiter, a coin accumulator and a direction walker."""
+
+from __future__ import annotations
+
+from ..model import SEQ
+from ._base import (build_task, clock, in_port, out_port, reset,
+                    seq_scenarios, variant)
+
+FAMILY = "fsm_misc"
+
+
+def _traffic_task():
+    task_id = "seq_traffic"
+    ports = (clock(), reset(), out_port("light", 2))
+
+    def spec_body(p):
+        g, y, r = p["dwell"]
+        return ("A timed traffic-light FSM cycling green (light=0) for "
+                f"{g} cycles, yellow (light=1) for {y} cycle(s), red "
+                f"(light=2) for {r} cycles, then back to green. "
+                "Synchronous reset enters green with a fresh timer.")
+
+    def rtl_body(p):
+        g, y, r = p["dwell"]
+        order = p["order"]
+        cases = []
+        for idx, (state, dwell) in enumerate(zip(order, (g, y, r))):
+            nxt = order[(idx + 1) % 3]
+            cases.append(
+                f"            2'd{state}: begin\n"
+                f"                if (timer == 3'd{dwell - 1}) begin\n"
+                f"                    light <= 2'd{nxt};\n"
+                f"                    timer <= 3'd0;\n"
+                f"                end else timer <= timer + 3'd1;\n"
+                f"            end")
+        return (
+            "reg [2:0] timer;\n"
+            "always @(posedge clk) begin\n"
+            "    if (reset) begin\n"
+            f"        light <= 2'd{order[0]};\n"
+            "        timer <= 3'd0;\n"
+            "    end else begin\n"
+            "        case (light)\n"
+            + "\n".join(cases) + "\n"
+            "            default: begin\n"
+            f"                light <= 2'd{order[0]};\n"
+            "                timer <= 3'd0;\n"
+            "            end\n"
+            "        endcase\n"
+            "    end\n"
+            "end")
+
+    def model_step(p):
+        g, y, r = p["dwell"]
+        order = p["order"]
+        dwell_map = {order[0]: g, order[1]: y, order[2]: r}
+        nxt_map = {order[i]: order[(i + 1) % 3] for i in range(3)}
+        return (
+            "if inputs['reset'] & 1:\n"
+            f"    self.light = {order[0]}\n"
+            "    self.timer = 0\n"
+            "else:\n"
+            f"    dwell = {dwell_map!r}[self.light]\n"
+            "    if self.timer == dwell - 1:\n"
+            f"        self.light = {nxt_map!r}[self.light]\n"
+            "        self.timer = 0\n"
+            "    else:\n"
+            "        self.timer = self.timer + 1\n"
+            "return {'light': self.light}"
+        )
+
+    return build_task(
+        task_id=task_id, family=FAMILY, kind=SEQ,
+        title="timed traffic-light controller", difficulty=0.62,
+        ports=ports, params={"dwell": (3, 1, 2), "order": (0, 1, 2)},
+        spec_body=spec_body, rtl_body=rtl_body,
+        model_init=lambda p: f"self.light = {p['order'][0]}\nself.timer = 0",
+        model_step=model_step,
+        scenario_builder=lambda p, rng: seq_scenarios(
+            ports, rng, reset_name="reset", n_scenarios=4, cycles_per=16),
+        variants=[
+            variant("dwell_swapped", "green and red dwell times swapped",
+                    dwell=(2, 1, 3)),
+            variant("yellow_skipped", "yellow lasts two cycles",
+                    dwell=(3, 2, 2)),
+            variant("rotates_backwards",
+                    "cycles green, red, yellow", order=(0, 2, 1)),
+        ],
+        reg_outputs=["light"],
+    )
+
+
+def _onoff_task():
+    task_id = "seq_onoff"
+    ports = (clock(), reset(), in_port("on", 1), in_port("off", 1),
+             out_port("state", 1))
+
+    def spec_body(p):
+        return ("A set/reset state machine: state becomes 1 when on is "
+                "sampled high and 0 when off is sampled high; when both "
+                "are high, off wins. Synchronous reset clears state.")
+
+    def rtl_body(p):
+        if p["priority"] == "on":
+            body = ("if (on) state <= 1'b1;\n"
+                    "        else if (off) state <= 1'b0;")
+        else:
+            body = ("if (off) state <= 1'b0;\n"
+                    "        else if (on) state <= 1'b1;")
+        if p["toggle_both"]:
+            body = ("if (on && off) state <= ~state;\n"
+                    "        else if (on) state <= 1'b1;\n"
+                    "        else if (off) state <= 1'b0;")
+        return ("always @(posedge clk) begin\n"
+                "    if (reset) state <= 1'b0;\n"
+                f"    else begin\n        {body}\n    end\n"
+                "end")
+
+    def model_step(p):
+        if p["toggle_both"]:
+            body = ("if on and off:\n"
+                    "        self.state ^= 1\n"
+                    "    elif on:\n"
+                    "        self.state = 1\n"
+                    "    elif off:\n"
+                    "        self.state = 0")
+        elif p["priority"] == "on":
+            body = ("if on:\n"
+                    "        self.state = 1\n"
+                    "    elif off:\n"
+                    "        self.state = 0")
+        else:
+            body = ("if off:\n"
+                    "        self.state = 0\n"
+                    "    elif on:\n"
+                    "        self.state = 1")
+        return (
+            "on = inputs['on'] & 1\n"
+            "off = inputs['off'] & 1\n"
+            "if inputs['reset'] & 1:\n"
+            "    self.state = 0\n"
+            "else:\n"
+            f"    {body}\n"
+            "return {'state': self.state}"
+        )
+
+    return build_task(
+        task_id=task_id, family=FAMILY, kind=SEQ,
+        title="set/reset on-off controller", difficulty=0.30,
+        ports=ports, params={"priority": "off", "toggle_both": False},
+        spec_body=spec_body, rtl_body=rtl_body,
+        model_init=lambda p: "self.state = 0", model_step=model_step,
+        scenario_builder=lambda p, rng: seq_scenarios(
+            ports, rng, reset_name="reset", n_scenarios=5, cycles_per=7,
+            hold_zero_prob=0.35),
+        variants=[
+            variant("on_wins", "simultaneous requests turn the state on",
+                    priority="on"),
+            variant("toggles_on_conflict",
+                    "simultaneous requests toggle the state",
+                    toggle_both=True),
+        ],
+        reg_outputs=["state"],
+    )
+
+
+def _arbiter_task():
+    task_id = "seq_arbiter2"
+    ports = (clock(), reset(), in_port("req", 2), out_port("grant", 2))
+
+    def spec_body(p):
+        return ("A two-requester round-robin arbiter. Each cycle at most "
+                "one grant bit is high, matching a pending request bit. "
+                "When both request, the requester that was NOT granted "
+                "most recently wins. Synchronous reset clears the grant "
+                "and makes requester 0 the next preferred winner.")
+
+    def rtl_body(p):
+        if p["fixed_priority"]:
+            conflict = "grant <= 2'b01;"
+        else:
+            conflict = ("grant <= last ? 2'b01 : 2'b10;\n"
+                        "            last <= last ? 1'b0 : 1'b1;")
+        single = ("begin grant <= req; last <= req[1]; end"
+                  if not p["fixed_priority"] else "grant <= req;")
+        return (
+            "reg last;\n"
+            "always @(posedge clk) begin\n"
+            "    if (reset) begin\n"
+            "        grant <= 2'b00;\n"
+            "        last <= 1'b1;\n"
+            "    end else begin\n"
+            "        if (req == 2'b11) begin\n"
+            f"            {conflict}\n"
+            "        end\n"
+            f"        else if (req != 2'b00) {single}\n"
+            "        else grant <= 2'b00;\n"
+            "    end\n"
+            "end")
+
+    def model_step(p):
+        if p["fixed_priority"]:
+            conflict = "self.grant = 0b01"
+        else:
+            conflict = ("self.grant = 0b01 if self.last else 0b10\n"
+                        "        self.last = 0 if self.last else 1")
+        single = ("self.grant = req\n"
+                  "        self.last = (req >> 1) & 1"
+                  if not p["fixed_priority"] else "self.grant = req")
+        return (
+            "req = inputs['req'] & 3\n"
+            "if inputs['reset'] & 1:\n"
+            "    self.grant = 0\n"
+            "    self.last = 1\n"
+            "else:\n"
+            "    if req == 3:\n"
+            f"        {conflict}\n"
+            "    elif req != 0:\n"
+            f"        {single}\n"
+            "    else:\n"
+            "        self.grant = 0\n"
+            "return {'grant': self.grant}"
+        )
+
+    return build_task(
+        task_id=task_id, family=FAMILY, kind=SEQ,
+        title="two-input round-robin arbiter", difficulty=0.68,
+        ports=ports, params={"fixed_priority": False},
+        spec_body=spec_body, rtl_body=rtl_body,
+        model_init=lambda p: "self.grant = 0\nself.last = 1",
+        model_step=model_step,
+        scenario_builder=lambda p, rng: seq_scenarios(
+            ports, rng, reset_name="reset", n_scenarios=6, cycles_per=8),
+        variants=[
+            variant("fixed_priority",
+                    "requester 0 always wins conflicts",
+                    fixed_priority=True),
+        ],
+        reg_outputs=["grant"],
+    )
+
+
+def _vendor_task():
+    task_id = "seq_vendor"
+    ports = (clock(), reset(), in_port("coin", 2), out_port("dispense", 1))
+
+    def spec_body(p):
+        return (f"A vending accumulator: coin (0-3) is added to a running "
+                f"total each cycle. When the total reaches {p['price']} or "
+                "more, dispense pulses high for that cycle and the total "
+                "restarts from zero (overpayment is not carried over). "
+                "Synchronous reset clears the total.")
+
+    def rtl_body(p):
+        cmp_op = ">" if p["strict"] else ">="
+        carry = ("total <= total + {{2'b00, coin}} - 4'd{price};"
+                 .format(price=p["price"]) if p["keep_change"]
+                 else "total <= 4'd0;")
+        return (
+            "reg [3:0] total;\n"
+            "always @(posedge clk) begin\n"
+            "    if (reset) begin\n"
+            "        total <= 4'd0;\n"
+            "        dispense <= 1'b0;\n"
+            "    end else begin\n"
+            f"        if (total + {{2'b00, coin}} {cmp_op} "
+            f"4'd{p['price']}) begin\n"
+            "            dispense <= 1'b1;\n"
+            f"            {carry}\n"
+            "        end else begin\n"
+            "            dispense <= 1'b0;\n"
+            "            total <= total + {2'b00, coin};\n"
+            "        end\n"
+            "    end\n"
+            "end")
+
+    def model_step(p):
+        cmp_op = ">" if p["strict"] else ">="
+        carry = (f"self.total = (self.total + coin - {p['price']}) & 0xF"
+                 if p["keep_change"] else "self.total = 0")
+        return (
+            "coin = inputs['coin'] & 3\n"
+            "if inputs['reset'] & 1:\n"
+            "    self.total = 0\n"
+            "    self.dispense = 0\n"
+            "else:\n"
+            f"    if (self.total + coin) {cmp_op} {p['price']}:\n"
+            "        self.dispense = 1\n"
+            f"        {carry}\n"
+            "    else:\n"
+            "        self.dispense = 0\n"
+            "        self.total = (self.total + coin) & 0xF\n"
+            "return {'dispense': self.dispense}"
+        )
+
+    def scenarios(p, rng):
+        from ._base import scenario as make_scenario
+        base = seq_scenarios(ports, rng, reset_name="reset",
+                             n_scenarios=3, cycles_per=10)
+        # Directed streams: exact payment (discriminates >= vs >) and
+        # overpayment followed by small coins (discriminates the
+        # keep-change misconception).
+        exact = [3, 3, 2, 0, 3, 3, 2, 0]
+        overpay = [3, 3, 3, 3, 3, 1, 1, 1, 1, 1]
+        directed = []
+        for name, desc, coins in (
+                ("exact_payment", "Coins summing exactly to the price.",
+                 exact),
+                ("overpayment_then_trickle",
+                 "Overpay, then insert small coins.", overpay)):
+            vectors = [{"reset": 1, "coin": 0}, {"reset": 1, "coin": 0}]
+            vectors += [{"reset": 0, "coin": c} for c in coins]
+            directed.append((name, desc, vectors))
+        plans = list(base)
+        for offset, (name, desc, vectors) in enumerate(directed):
+            plans.append(make_scenario(len(base) + offset + 1, name, desc,
+                                       vectors))
+        return tuple(plans)
+
+    return build_task(
+        task_id=task_id, family=FAMILY, kind=SEQ,
+        title="vending-machine accumulator", difficulty=0.60,
+        ports=ports,
+        params={"price": 8, "strict": False, "keep_change": False},
+        spec_body=spec_body, rtl_body=rtl_body,
+        model_init=lambda p: "self.total = 0\nself.dispense = 0",
+        model_step=model_step,
+        scenario_builder=scenarios,
+        variants=[
+            variant("strict_compare", "dispenses only above the price",
+                    strict=True),
+            variant("keeps_change", "carries overpayment into the total",
+                    keep_change=True),
+        ],
+        reg_outputs=["dispense"],
+    )
+
+
+def _walker_task():
+    task_id = "seq_walker"
+    ports = (clock(), reset(), in_port("bump_left", 1),
+             in_port("bump_right", 1), out_port("dir_right", 1))
+
+    def spec_body(p):
+        return ("A walker state machine: dir_right reports the walking "
+                "direction (1 = right). Walking left, a bump_left turns "
+                "it right; walking right, a bump_right turns it left; "
+                "bumps from behind are ignored, and simultaneous bumps "
+                "reverse the direction. Reset starts walking left.")
+
+    def rtl_body(p):
+        if p["sticky"]:
+            turn = ("if (bump_left) dir_right <= 1'b1;\n"
+                    "        else if (bump_right) dir_right <= 1'b0;")
+        else:
+            turn = ("if (!dir_right && bump_left) dir_right <= 1'b1;\n"
+                    "        else if (dir_right && bump_right) "
+                    "dir_right <= 1'b0;")
+        init = "1'b1" if p["starts_right"] else "1'b0"
+        return ("always @(posedge clk) begin\n"
+                f"    if (reset) dir_right <= {init};\n"
+                f"    else begin\n        {turn}\n    end\n"
+                "end")
+
+    def model_step(p):
+        if p["sticky"]:
+            turn = ("if bl:\n"
+                    "        self.dir_right = 1\n"
+                    "    elif br:\n"
+                    "        self.dir_right = 0")
+        else:
+            turn = ("if not self.dir_right and bl:\n"
+                    "        self.dir_right = 1\n"
+                    "    elif self.dir_right and br:\n"
+                    "        self.dir_right = 0")
+        return (
+            "bl = inputs['bump_left'] & 1\n"
+            "br = inputs['bump_right'] & 1\n"
+            "if inputs['reset'] & 1:\n"
+            f"    self.dir_right = {1 if p['starts_right'] else 0}\n"
+            "else:\n"
+            f"    {turn}\n"
+            "return {'dir_right': self.dir_right}"
+        )
+
+    return build_task(
+        task_id=task_id, family=FAMILY, kind=SEQ,
+        title="bumping walker direction FSM", difficulty=0.52,
+        ports=ports, params={"sticky": False, "starts_right": False},
+        spec_body=spec_body, rtl_body=rtl_body,
+        model_init=lambda p: "self.dir_right = 0", model_step=model_step,
+        scenario_builder=lambda p, rng: seq_scenarios(
+            ports, rng, reset_name="reset", n_scenarios=5, cycles_per=8),
+        variants=[
+            variant("bumps_from_behind",
+                    "reacts to bumps regardless of direction",
+                    sticky=True),
+            variant("starts_right", "reset starts walking right",
+                    starts_right=True),
+        ],
+        reg_outputs=["dir_right"],
+    )
+
+
+def build():
+    return [
+        _traffic_task(),
+        _onoff_task(),
+        _arbiter_task(),
+        _vendor_task(),
+        _walker_task(),
+    ]

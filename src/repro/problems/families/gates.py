@@ -1,0 +1,176 @@
+"""Combinational gate tasks (2-input gates, vector gates, reductions)."""
+
+from __future__ import annotations
+
+from ..model import CMB
+from ._base import (build_task, cmb_scenarios, exhaustive_cmb_scenarios,
+                    in_port, out_port, variant)
+
+FAMILY = "gates"
+
+# op -> (verilog expression, python expression) over identifiers a and b.
+_OPS2 = {
+    "and": ("a & b", "a & b"),
+    "or": ("a | b", "a | b"),
+    "xor": ("a ^ b", "a ^ b"),
+    "nand": ("~(a & b)", "~(a & b)"),
+    "nor": ("~(a | b)", "~(a | b)"),
+    "xnor": ("~(a ^ b)", "~(a ^ b)"),
+}
+
+# reduction op -> (verilog expression over in, python truth expression)
+_RED_OPS = {
+    "or": ("|in_bus", "1 if value else 0"),
+    "nor": ("~(|in_bus)", "0 if value else 1"),
+    "and": ("&in_bus", "1 if value == mask else 0"),
+    "nand": ("~(&in_bus)", "0 if value == mask else 1"),
+}
+
+
+def _gate2_task(task_id: str, title: str, op: str, width: int,
+                difficulty: float, other_ops: tuple[str, str]):
+    ports = (in_port("a", width), in_port("b", width), out_port("out", width))
+    mask = (1 << width) - 1
+
+    def spec_body(p):
+        return (f"Compute out = {p['op'].upper()}(a, b), the bitwise "
+                f"{p['op']} of the two {width}-bit inputs.")
+
+    def rtl_body(p):
+        return f"assign out = {_OPS2[p['op']][0]};"
+
+    def model_step(p):
+        return (
+            f"a = inputs['a'] & 0x{mask:X}\n"
+            f"b = inputs['b'] & 0x{mask:X}\n"
+            f"return {{'out': ({_OPS2[p['op']][1]}) & 0x{mask:X}}}"
+        )
+
+    def scenarios(p, rng):
+        if width == 1:
+            return exhaustive_cmb_scenarios(ports[:2], rng, group_size=2)
+        return cmb_scenarios(ports[:2], rng, n_scenarios=4, vectors_per=4)
+
+    return build_task(
+        task_id=task_id, family=FAMILY, kind=CMB, title=title,
+        difficulty=difficulty, ports=ports, params={"op": op},
+        spec_body=spec_body, rtl_body=rtl_body,
+        model_init=lambda p: "", model_step=model_step,
+        scenario_builder=scenarios,
+        variants=[
+            variant(f"op_{other_ops[0]}",
+                    f"implements {other_ops[0]} instead of {op}",
+                    op=other_ops[0]),
+            variant(f"op_{other_ops[1]}",
+                    f"implements {other_ops[1]} instead of {op}",
+                    op=other_ops[1]),
+            variant("op_inverted", f"inverts the {op} result",
+                    op={"and": "nand", "or": "nor", "xor": "xnor",
+                        "nand": "and", "nor": "or", "xnor": "xor"}[op]),
+        ],
+    )
+
+
+def _reduction_task(task_id: str, title: str, op: str, width: int,
+                    difficulty: float):
+    ports = (in_port("in_bus", width), out_port("out", 1))
+    mask = (1 << width) - 1
+
+    def spec_body(p):
+        return (f"out is the {p['op'].upper()} reduction of all {width} "
+                f"bits of in_bus.")
+
+    def rtl_body(p):
+        return f"assign out = {_RED_OPS[p['op']][0]};"
+
+    def model_step(p):
+        return (
+            f"value = inputs['in_bus'] & 0x{mask:X}\n"
+            f"mask = 0x{mask:X}\n"
+            f"return {{'out': {_RED_OPS[p['op']][1]}}}"
+        )
+
+    others = [o for o in _RED_OPS if o != op][:2]
+    return build_task(
+        task_id=task_id, family=FAMILY, kind=CMB, title=title,
+        difficulty=difficulty, ports=ports, params={"op": op},
+        spec_body=spec_body, rtl_body=rtl_body,
+        model_init=lambda p: "", model_step=model_step,
+        scenario_builder=lambda p, rng: exhaustive_cmb_scenarios(
+            ports[:1], rng, group_size=4),
+        variants=[
+            variant(f"red_{others[0]}",
+                    f"uses {others[0]} reduction instead of {op}",
+                    op=others[0]),
+            variant(f"red_{others[1]}",
+                    f"uses {others[1]} reduction instead of {op}",
+                    op=others[1]),
+        ],
+    )
+
+
+def _combo_task():
+    """Three simultaneous gate outputs (HDLBits ``gates`` style)."""
+    task_id = "cmb_gates_combo"
+    ports = (in_port("a"), in_port("b"),
+             out_port("out_and"), out_port("out_or"), out_port("out_xor"))
+
+    def spec_body(p):
+        return ("Drive three single-bit outputs at once: out_and = a AND b, "
+                "out_or = a OR b, out_xor = a XOR b.")
+
+    def rtl_body(p):
+        return (
+            f"assign out_and = {_OPS2[p['op_and']][0]};\n"
+            f"assign out_or  = {_OPS2[p['op_or']][0]};\n"
+            f"assign out_xor = {_OPS2[p['op_xor']][0]};"
+        )
+
+    def model_step(p):
+        return (
+            "a = inputs['a'] & 1\n"
+            "b = inputs['b'] & 1\n"
+            "return {\n"
+            f"    'out_and': ({_OPS2[p['op_and']][1]}) & 1,\n"
+            f"    'out_or': ({_OPS2[p['op_or']][1]}) & 1,\n"
+            f"    'out_xor': ({_OPS2[p['op_xor']][1]}) & 1,\n"
+            "}"
+        )
+
+    return build_task(
+        task_id=task_id, family=FAMILY, kind=CMB,
+        title="three basic gates with shared inputs",
+        difficulty=0.12, ports=ports,
+        params={"op_and": "and", "op_or": "or", "op_xor": "xor"},
+        spec_body=spec_body, rtl_body=rtl_body,
+        model_init=lambda p: "", model_step=model_step,
+        scenario_builder=lambda p, rng: exhaustive_cmb_scenarios(
+            ports[:2], rng, group_size=2),
+        variants=[
+            variant("and_is_nand", "out_and produces NAND", op_and="nand"),
+            variant("or_is_nor", "out_or produces NOR", op_or="nor"),
+            variant("xor_is_xnor", "out_xor produces XNOR", op_xor="xnor"),
+            variant("and_or_swapped", "out_and and out_or swapped",
+                    op_and="or", op_or="and"),
+        ],
+    )
+
+
+def build():
+    return [
+        _gate2_task("cmb_and2", "2-input AND gate", "and", 1, 0.04,
+                    ("or", "nand")),
+        _gate2_task("cmb_or2", "2-input OR gate", "or", 1, 0.04,
+                    ("and", "nor")),
+        _gate2_task("cmb_xor2", "2-input XOR gate", "xor", 1, 0.05,
+                    ("or", "xnor")),
+        _gate2_task("cmb_nand2", "2-input NAND gate", "nand", 1, 0.06,
+                    ("and", "nor")),
+        _gate2_task("cmb_vec_and8", "8-bit bitwise AND", "and", 8, 0.08,
+                    ("or", "nand")),
+        _gate2_task("cmb_vec_xnor4", "4-bit bitwise XNOR", "xnor", 4, 0.10,
+                    ("xor", "nor")),
+        _reduction_task("cmb_nor_reduce4", "4-input NOR reduction", "nor",
+                        4, 0.08),
+        _combo_task(),
+    ]

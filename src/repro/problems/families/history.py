@@ -1,0 +1,142 @@
+"""Pipeline-delay and history-comparison tasks."""
+
+from __future__ import annotations
+
+from ..model import SEQ
+from ._base import (build_task, clock, in_port, out_port, reset,
+                    seq_scenarios, variant)
+
+FAMILY = "history"
+
+
+def _delay_task(task_id: str, width: int, depth: int, difficulty: float):
+    ports = (clock(), reset(), in_port("d", width), out_port("q", width))
+    mask = (1 << width) - 1
+
+    def spec_body(p):
+        return (f"A {p['depth']}-stage pipeline delay: q reproduces d "
+                f"delayed by {p['depth']} rising clock edges. Synchronous "
+                "reset clears every stage.")
+
+    def rtl_body(p):
+        depth_now = p["depth"]
+        lines = []
+        for i in range(1, depth_now):
+            lines.append(f"reg [{width - 1}:0] stage{i};")
+        lines.append("always @(posedge clk) begin")
+        lines.append("    if (reset) begin")
+        for i in range(1, depth_now):
+            lines.append(f"        stage{i} <= {width}'d0;")
+        lines.append(f"        q <= {width}'d0;")
+        lines.append("    end else begin")
+        prev = "d"
+        for i in range(1, depth_now):
+            lines.append(f"        stage{i} <= {prev};")
+            prev = f"stage{i}"
+        lines.append(f"        q <= {prev};")
+        lines.append("    end")
+        lines.append("end")
+        return "\n".join(lines)
+
+    def model_step(p):
+        depth_now = p["depth"]
+        return (
+            "if inputs['reset'] & 1:\n"
+            f"    self.stages = [0] * {depth_now}\n"
+            "else:\n"
+            f"    self.stages = [inputs['d'] & 0x{mask:X}] + "
+            f"self.stages[:-1]\n"
+            "return {'q': self.stages[-1]}"
+        )
+
+    return build_task(
+        task_id=task_id, family=FAMILY, kind=SEQ,
+        title=f"{depth}-cycle delay line ({width}-bit)",
+        difficulty=difficulty, ports=ports, params={"depth": depth},
+        spec_body=spec_body, rtl_body=rtl_body,
+        model_init=lambda p: f"self.stages = [0] * {p['depth']}",
+        model_step=model_step,
+        scenario_builder=lambda p, rng: seq_scenarios(
+            ports, rng, reset_name="reset", n_scenarios=5,
+            cycles_per=depth + 5),
+        variants=[
+            variant("one_stage_short", f"delays {depth - 1} cycles only",
+                    depth=depth - 1),
+            variant("one_stage_extra", f"delays {depth + 1} cycles",
+                    depth=depth + 1),
+        ],
+        reg_outputs=["q"],
+    )
+
+
+def _prev_compare_task():
+    task_id = "seq_prev_eq"
+    ports = (clock(), reset(), in_port("d", 4), out_port("same", 1))
+
+    def spec_body(p):
+        return ("same is 1 when the value sampled at this rising edge "
+                "equals the value sampled at the previous one; the first "
+                "sample after reset compares against 0.")
+
+    def rtl_body(p):
+        op = "!=" if p["inverted"] else "=="
+        return (
+            "reg [3:0] prev;\n"
+            "always @(posedge clk) begin\n"
+            "    if (reset) begin\n"
+            "        prev <= 4'd0;\n"
+            "        same <= 1'b0;\n"
+            "    end else begin\n"
+            f"        same <= (d {op} prev);\n"
+            "        prev <= d;\n"
+            "    end\n"
+            "end")
+
+    def model_step(p):
+        op = "!=" if p["inverted"] else "=="
+        return (
+            "d = inputs['d'] & 0xF\n"
+            "if inputs['reset'] & 1:\n"
+            "    self.prev = 0\n"
+            "    self.same = 0\n"
+            "else:\n"
+            f"    self.same = 1 if d {op} self.prev else 0\n"
+            "    self.prev = d\n"
+            "return {'same': self.same}"
+        )
+
+    def scenarios(p, rng):
+        base = seq_scenarios(ports, rng, reset_name="reset",
+                             n_scenarios=4, cycles_per=7)
+        # Force repeated values so the equal case is exercised.
+        forced = []
+        for scn in base:
+            vectors = [dict(v) for v in scn.vectors]
+            for i in range(3, len(vectors)):
+                if i % 2 == 1:
+                    vectors[i]["d"] = vectors[i - 1]["d"]
+            forced.append(type(scn)(scn.index, scn.name, scn.description,
+                                    tuple(vectors)))
+        return tuple(forced)
+
+    return build_task(
+        task_id=task_id, family=FAMILY, kind=SEQ,
+        title="previous-value equality tracker", difficulty=0.38,
+        ports=ports, params={"inverted": False},
+        spec_body=spec_body, rtl_body=rtl_body,
+        model_init=lambda p: "self.prev = 0\nself.same = 0",
+        model_step=model_step,
+        scenario_builder=scenarios,
+        variants=[
+            variant("inverted", "reports inequality", inverted=True),
+        ],
+        reg_outputs=["same"],
+    )
+
+
+def build():
+    return [
+        _delay_task("seq_delay2_4b", 4, 2, 0.30),
+        _delay_task("seq_delay3_8b", 8, 3, 0.35),
+        _prev_compare_task(),
+    ]

@@ -1,0 +1,103 @@
+"""Karnaugh-map style boolean-function tasks.
+
+Each task implements a fixed truth table over 3 or 4 named inputs; the
+golden RTL renders the sum-of-products form of the table's minterms, so
+behavioural variants are literally table edits (a dropped or an extra
+minterm, or a globally inverted function) — the classic K-map mistakes.
+"""
+
+from __future__ import annotations
+
+from ..model import CMB
+from ._base import (build_task, exhaustive_cmb_scenarios, in_port, out_port,
+                    variant)
+
+FAMILY = "kmap"
+
+_VAR_NAMES = ("a", "b", "c", "d")
+
+
+def _sop_expr(minterms: tuple[int, ...], n_vars: int) -> str:
+    if not minterms:
+        return "1'b0"
+    if len(minterms) == (1 << n_vars):
+        return "1'b1"
+    terms = []
+    for minterm in minterms:
+        lits = []
+        for i in range(n_vars):
+            bit = (minterm >> (n_vars - 1 - i)) & 1
+            name = _VAR_NAMES[i]
+            lits.append(name if bit else f"~{name}")
+        terms.append("(" + " & ".join(lits) + ")")
+    return " | ".join(terms)
+
+
+def _kmap_task(task_id: str, n_vars: int, minterms: tuple[int, ...],
+               difficulty: float):
+    inputs = tuple(in_port(_VAR_NAMES[i]) for i in range(n_vars))
+    ports = inputs + (out_port("out", 1),)
+    table = 0
+    for m in minterms:
+        table |= 1 << m
+
+    def spec_body(p):
+        rows = ", ".join(str(m) for m in sorted(p["minterms"]))
+        order = "".join(_VAR_NAMES[:n_vars])
+        return (f"Implement the boolean function of {n_vars} inputs whose "
+                f"output is 1 exactly for the input combinations "
+                f"{{{order}}} = {{{rows}}} (each combination read as an "
+                f"unsigned number, {order[0]} being the MSB).")
+
+    def rtl_body(p):
+        expr = _sop_expr(tuple(sorted(p["minterms"])), n_vars)
+        if p["invert"]:
+            expr = f"~({expr})"
+        return f"assign out = {expr};"
+
+    def model_step(p):
+        tbl = 0
+        for m in p["minterms"]:
+            tbl |= 1 << m
+        idx_expr = " | ".join(
+            f"((inputs['{_VAR_NAMES[i]}'] & 1) << {n_vars - 1 - i})"
+            for i in range(n_vars))
+        flip = " ^ 1" if p["invert"] else ""
+        return (
+            f"idx = {idx_expr}\n"
+            f"return {{'out': ((0x{tbl:X} >> idx) & 1){flip}}}"
+        )
+
+    minterm_list = sorted(minterms)
+    dropped = tuple(m for m in minterm_list if m != minterm_list[0])
+    extra_candidates = [m for m in range(1 << n_vars)
+                        if m not in minterms]
+    extra = tuple(minterm_list + [extra_candidates[0]])
+    return build_task(
+        task_id=task_id, family=FAMILY, kind=CMB,
+        title=f"{n_vars}-variable K-map function", difficulty=difficulty,
+        ports=ports, params={"minterms": tuple(minterm_list),
+                             "invert": False},
+        spec_body=spec_body, rtl_body=rtl_body,
+        model_init=lambda p: "", model_step=model_step,
+        scenario_builder=lambda p, rng: exhaustive_cmb_scenarios(
+            inputs, rng, group_size=4),
+        variants=[
+            variant("minterm_dropped", "one required minterm is missing",
+                    minterms=dropped),
+            variant("extra_minterm", "one spurious minterm added",
+                    minterms=extra),
+            variant("inverted", "output polarity inverted", invert=True),
+        ],
+    )
+
+
+def build():
+    return [
+        _kmap_task("cmb_kmap3_a", 3, (1, 2, 4, 7), 0.25),
+        _kmap_task("cmb_kmap3_b", 3, (0, 3, 5, 6), 0.25),
+        _kmap_task("cmb_kmap3_c", 3, (2, 3, 6, 7), 0.22),
+        _kmap_task("cmb_kmap4_a", 4, (0, 2, 5, 7, 8, 10, 13, 15), 0.35),
+        _kmap_task("cmb_kmap4_b", 4, (1, 3, 4, 6, 9, 11, 12, 14), 0.35),
+        _kmap_task("cmb_kmap4_c", 4, (0, 1, 2, 3, 12, 13, 14, 15), 0.30),
+    ]

@@ -1,0 +1,71 @@
+"""Linear-feedback shift-register tasks (Galois form)."""
+
+from __future__ import annotations
+
+from ..model import SEQ
+from ._base import (build_task, clock, out_port, reset, seq_scenarios,
+                    variant)
+
+FAMILY = "lfsr"
+
+
+def _lfsr_task(task_id: str, width: int, taps: int, difficulty: float):
+    ports = (clock(), reset(), out_port("q", width))
+    mask = (1 << width) - 1
+
+    def spec_body(p):
+        return (f"A {width}-bit Galois LFSR. At each rising edge the "
+                "register shifts right by one; when the bit shifted out "
+                f"(q[0]) is 1, the tap mask 0x{p['taps']:X} is XORed into "
+                f"the shifted value. Synchronous reset loads "
+                f"{p['reset_val']}.")
+
+    def rtl_body(p):
+        return (
+            "always @(posedge clk) begin\n"
+            f"    if (reset) q <= {width}'d{p['reset_val'] & mask};\n"
+            f"    else q <= (q >> 1) ^ (q[0] ? {width}'d{p['taps'] & mask} "
+            f": {width}'d0);\n"
+            "end")
+
+    def model_step(p):
+        return (
+            "if inputs['reset'] & 1:\n"
+            f"    self.q = {p['reset_val'] & mask}\n"
+            "else:\n"
+            "    lsb = self.q & 1\n"
+            "    self.q >>= 1\n"
+            "    if lsb:\n"
+            f"        self.q ^= 0x{p['taps'] & mask:X}\n"
+            "return {'q': self.q}"
+        )
+
+    wrong_taps = (taps ^ (1 << (width // 2))) & mask
+    return build_task(
+        task_id=task_id, family=FAMILY, kind=SEQ,
+        title=f"{width}-bit Galois LFSR", difficulty=difficulty,
+        ports=ports, params={"taps": taps, "reset_val": 1},
+        spec_body=spec_body, rtl_body=rtl_body,
+        model_init=lambda p: "self.q = 0", model_step=model_step,
+        scenario_builder=lambda p, rng: seq_scenarios(
+            ports, rng, reset_name="reset", n_scenarios=4,
+            cycles_per=2 * width + 2),
+        variants=[
+            variant("wrong_taps", "one feedback tap misplaced",
+                    taps=wrong_taps),
+            variant("reset_to_zero",
+                    "reset loads 0, locking the register up",
+                    reset_val=0),
+        ],
+        reg_outputs=["q"],
+    )
+
+
+def build():
+    return [
+        # x^5 + x^3 + 1 -> taps at bits 4 and 2 of the shifted value.
+        _lfsr_task("seq_lfsr5", 5, 0b10100, 0.45),
+        # x^8 + x^6 + x^5 + x^4 + 1.
+        _lfsr_task("seq_lfsr8", 8, 0b10111000, 0.50),
+        _lfsr_task("seq_lfsr16", 16, 0b1011010000000000, 0.58),
+    ]

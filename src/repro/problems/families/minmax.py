@@ -1,0 +1,144 @@
+"""Minimum / maximum selection tasks."""
+
+from __future__ import annotations
+
+from ..model import CMB
+from ._base import (build_task, in_port, out_port, scenario, variant)
+
+FAMILY = "minmax"
+
+
+def _minmax2_task(task_id: str, width: int, want_max: bool,
+                  difficulty: float):
+    ports = (in_port("a", width), in_port("b", width),
+             out_port("out", width))
+    mask = (1 << width) - 1
+
+    def spec_body(p):
+        kind = "larger" if want_max else "smaller"
+        return (f"out is the {kind} of the two unsigned {width}-bit "
+                "inputs (either one when they are equal).")
+
+    def rtl_body(p):
+        cmp_op = ">" if p["pick_max"] else "<"
+        first, second = ("a", "b") if not p["swap_result"] else ("b", "a")
+        expr = f"(a {cmp_op} b) ? {first} : {second}"
+        if p["drop_msb"]:
+            return f"assign out = ({expr}) & {width}'d{mask >> 1};"
+        return f"assign out = {expr};"
+
+    def model_step(p):
+        cmp_op = ">" if p["pick_max"] else "<"
+        first, second = ("a", "b") if not p["swap_result"] else ("b", "a")
+        out_mask = (mask >> 1) if p["drop_msb"] else mask
+        return (
+            f"a = inputs['a'] & 0x{mask:X}\n"
+            f"b = inputs['b'] & 0x{mask:X}\n"
+            f"out = {first} if a {cmp_op} b else {second}\n"
+            f"return {{'out': out & 0x{out_mask:X}}}"
+        )
+
+    def scenarios(p, rng):
+        ordered = [{"a": rng.randrange(1 << width),
+                    "b": rng.randrange(1 << width)} for _ in range(4)]
+        equal = [{"a": v, "b": v} for v in (0, mask, rng.randrange(mask))]
+        msb = [{"a": mask, "b": 1}, {"a": 1, "b": mask},
+               {"a": mask, "b": mask - 1}]
+        return (
+            scenario(1, "random_pairs", "Randomised operand pairs.",
+                     ordered),
+            scenario(2, "equal_operands", "Equal operands.", equal),
+            scenario(3, "msb_heavy", "Operands with the MSB set.", msb),
+        )
+
+    return build_task(
+        task_id=task_id, family=FAMILY, kind=CMB,
+        title=f"{width}-bit unsigned {'maximum' if want_max else 'minimum'}",
+        difficulty=difficulty, ports=ports,
+        params={"pick_max": want_max, "swap_result": False,
+                "drop_msb": False},
+        spec_body=spec_body, rtl_body=rtl_body,
+        model_init=lambda p: "", model_step=model_step,
+        scenario_builder=scenarios,
+        variants=[
+            variant("opposite", "selects the opposite extreme",
+                    pick_max=not want_max),
+            variant("result_swapped",
+                    "comparison correct but arms swapped",
+                    swap_result=True),
+            variant("msb_dropped", "drops the most-significant output bit",
+                    drop_msb=True),
+        ],
+    )
+
+
+def _max4_task():
+    task_id = "cmb_max4x4"
+    width = 4
+    ports = (in_port("a", width), in_port("b", width), in_port("c", width),
+             in_port("d", width), out_port("out", width))
+    mask = (1 << width) - 1
+
+    def spec_body(p):
+        return "out is the largest of the four unsigned 4-bit inputs."
+
+    def rtl_body(p):
+        stage1 = "(a > b) ? a : b"
+        stage2 = "(c > d) ? c : d"
+        if p["ignore_d"]:
+            stage2 = "c"
+        if p["pick_min"]:
+            stage1 = stage1.replace(">", "<")
+            stage2 = stage2.replace(">", "<") if ">" in stage2 else stage2
+            return (f"wire [3:0] lo01 = {stage1};\n"
+                    f"wire [3:0] lo23 = {stage2};\n"
+                    "assign out = (lo01 < lo23) ? lo01 : lo23;")
+        return (f"wire [3:0] hi01 = {stage1};\n"
+                f"wire [3:0] hi23 = {stage2};\n"
+                "assign out = (hi01 > hi23) ? hi01 : hi23;")
+
+    def model_step(p):
+        fn = "min" if p["pick_min"] else "max"
+        operands = "a, b, c" if p["ignore_d"] else "a, b, c, d"
+        return (
+            f"a = inputs['a'] & 0x{mask:X}\n"
+            f"b = inputs['b'] & 0x{mask:X}\n"
+            f"c = inputs['c'] & 0x{mask:X}\n"
+            f"d = inputs['d'] & 0x{mask:X}\n"
+            f"return {{'out': {fn}({operands})}}"
+        )
+
+    def scenarios(p, rng):
+        plans = []
+        for k, winner in enumerate("abcd", start=1):
+            vectors = []
+            for _ in range(3):
+                vec = {name: rng.randrange(8) for name in "abcd"}
+                vec[winner] = 8 + rng.randrange(8)
+                vectors.append(vec)
+            plans.append(scenario(
+                k, f"largest_is_{winner}",
+                f"Input {winner} holds the largest value.", vectors))
+        return tuple(plans)
+
+    return build_task(
+        task_id=task_id, family=FAMILY, kind=CMB,
+        title="maximum of four 4-bit values", difficulty=0.28,
+        ports=ports, params={"pick_min": False, "ignore_d": False},
+        spec_body=spec_body, rtl_body=rtl_body,
+        model_init=lambda p: "", model_step=model_step,
+        scenario_builder=scenarios,
+        variants=[
+            variant("minimum_instead", "computes the minimum",
+                    pick_min=True),
+            variant("ignores_d", "ignores the fourth input", ignore_d=True),
+        ],
+    )
+
+
+def build():
+    return [
+        _minmax2_task("cmb_max2x8", 8, True, 0.14),
+        _minmax2_task("cmb_min2x8", 8, False, 0.14),
+        _max4_task(),
+    ]

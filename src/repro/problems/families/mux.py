@@ -1,0 +1,158 @@
+"""Multiplexer tasks (2:1 up to the paper's 6:1 demo shape)."""
+
+from __future__ import annotations
+
+from ..model import CMB
+from ._base import (build_task, in_port, out_port, scenario, variant)
+
+FAMILY = "mux"
+
+
+def _mux2_task(task_id: str, width: int, difficulty: float):
+    ports = (in_port("a", width), in_port("b", width), in_port("sel", 1),
+             out_port("out", width))
+
+    def spec_body(p):
+        return ("A 2-to-1 multiplexer: out = a when sel is 0, out = b when "
+                "sel is 1.")
+
+    def rtl_body(p):
+        hi = ("a", "b")[p["mapping"][1]]
+        lo = ("a", "b")[p["mapping"][0]]
+        return f"assign out = sel ? {hi} : {lo};"
+
+    def model_step(p):
+        mask = (1 << width) - 1
+        return (
+            f"data = (inputs['a'] & 0x{mask:X}, inputs['b'] & 0x{mask:X})\n"
+            f"mapping = {tuple(p['mapping'])}\n"
+            f"return {{'out': data[mapping[inputs['sel'] & 1]]}}"
+        )
+
+    def scenarios(p, rng):
+        plans = []
+        for k, sel in enumerate((0, 1), start=1):
+            vectors = []
+            for _ in range(4):
+                vectors.append({"a": rng.randrange(1 << width),
+                                "b": rng.randrange(1 << width),
+                                "sel": sel})
+            plans.append(scenario(
+                k, f"sel_{sel}",
+                f"Hold sel at {sel} and apply varied data patterns.",
+                vectors))
+        return tuple(plans)
+
+    return build_task(
+        task_id=task_id, family=FAMILY, kind=CMB,
+        title=f"{width}-bit 2-to-1 multiplexer",
+        difficulty=difficulty, ports=ports, params={"mapping": (0, 1)},
+        spec_body=spec_body, rtl_body=rtl_body,
+        model_init=lambda p: "", model_step=model_step,
+        scenario_builder=scenarios,
+        variants=[
+            variant("arms_swapped", "selects a when sel=1 and b when sel=0",
+                    mapping=(1, 0)),
+            variant("stuck_a", "always outputs a regardless of sel",
+                    mapping=(0, 0)),
+            variant("stuck_b", "always outputs b regardless of sel",
+                    mapping=(1, 1)),
+        ],
+    )
+
+
+def _muxn_task(task_id: str, n_inputs: int, width: int, sel_width: int,
+               difficulty: float, default: int = 0):
+    """N-to-1 mux with data0..dataN-1 inputs (the paper's Fig. 3 shape)."""
+    data_names = [f"data{i}" for i in range(n_inputs)]
+    ports = tuple([in_port(name, width) for name in data_names]
+                  + [in_port("sel", sel_width), out_port("out", width)])
+    mask = (1 << width) - 1
+    identity = tuple(range(n_inputs))
+
+    def spec_body(p):
+        extra = ""
+        if (1 << sel_width) > n_inputs:
+            extra = (f" For sel values of {n_inputs} or above, out is "
+                     f"{p['default']}.")
+        return (f"A {n_inputs}-to-1 multiplexer of {width}-bit buses: "
+                f"out = data<k> when sel equals k.{extra}")
+
+    def rtl_body(p):
+        lines = ["always @(*) begin", "    case (sel)"]
+        for k in range(n_inputs):
+            src = data_names[p["mapping"][k]]
+            lines.append(f"        {sel_width}'d{k}: out = {src};")
+        lines.append(f"        default: out = {width}'d"
+                     f"{p['default'] & mask};")
+        lines.append("    endcase")
+        lines.append("end")
+        return "\n".join(lines)
+
+    def model_step(p):
+        loads = ", ".join(f"inputs['{n}'] & 0x{mask:X}" for n in data_names)
+        return (
+            f"data = ({loads})\n"
+            f"mapping = {tuple(p['mapping'])}\n"
+            f"sel = inputs['sel'] & {(1 << sel_width) - 1}\n"
+            f"if sel < {n_inputs}:\n"
+            f"    return {{'out': data[mapping[sel]]}}\n"
+            f"return {{'out': {p['default'] & mask}}}"
+        )
+
+    def scenarios(p, rng):
+        plans = []
+        for k in range(1 << sel_width):
+            vectors = []
+            for _ in range(2):
+                vec = {name: rng.randrange(1 << width)
+                       for name in data_names}
+                vec["sel"] = k
+                vectors.append(vec)
+            plans.append(scenario(
+                k + 1, f"sel_{k}",
+                f"Set sel to {k} and apply varied data patterns.", vectors))
+        return tuple(plans)
+
+    swapped = list(identity)
+    swapped[1], swapped[2 % n_inputs] = swapped[2 % n_inputs], swapped[1]
+    rotated = tuple((i + 1) % n_inputs for i in range(n_inputs))
+    variants = [
+        variant("inputs_swapped",
+                "two data inputs are wired to the wrong select values",
+                mapping=tuple(swapped)),
+        variant("mapping_rotated",
+                "every select value picks the next data input",
+                mapping=rotated),
+    ]
+    if (1 << sel_width) > n_inputs:
+        variants.append(variant(
+            "default_all_ones",
+            "out-of-range select drives all-ones instead of the "
+            "specified default", default=mask))
+    else:
+        variants.append(variant(
+            "stuck_first", "select is ignored for the last input",
+            mapping=identity[:-1] + (0,)))
+
+    return build_task(
+        task_id=task_id, family=FAMILY, kind=CMB,
+        title=f"{n_inputs}-to-1 multiplexer of {width}-bit buses",
+        difficulty=difficulty, ports=ports,
+        params={"mapping": identity, "default": default},
+        spec_body=spec_body, rtl_body=rtl_body,
+        model_init=lambda p: "", model_step=model_step,
+        scenario_builder=scenarios, variants=variants,
+        reg_outputs=["out"],
+    )
+
+
+def build():
+    return [
+        _mux2_task("cmb_mux2to1_1b", 1, 0.05),
+        _mux2_task("cmb_mux2to1_8b", 8, 0.08),
+        _mux2_task("cmb_mux2to1_32b", 32, 0.10),
+        _muxn_task("cmb_mux4to1_4b", 4, 4, 2, 0.15),
+        _muxn_task("cmb_mux4to1_16b", 4, 16, 2, 0.18),
+        _muxn_task("cmb_mux6to1_4b", 6, 4, 3, 0.25),
+    ]

@@ -1,0 +1,111 @@
+"""Parity and population-count tasks."""
+
+from __future__ import annotations
+
+from ..model import CMB
+from ._base import (build_task, cmb_scenarios, exhaustive_cmb_scenarios,
+                    in_port, out_port, variant)
+
+FAMILY = "parity"
+
+
+def _parity_task(task_id: str, width: int, odd: bool, difficulty: float):
+    ports = (in_port("in_bus", width), out_port("parity", 1))
+    mask = (1 << width) - 1
+
+    def spec_body(p):
+        kind = "odd" if odd else "even"
+        meaning = ("the XNOR reduction (1 when the count of set bits is "
+                   "even)" if odd else
+                   "the XOR reduction (1 when the count of set bits is odd)")
+        return (f"parity is the {kind}-parity bit of in_bus, i.e. "
+                f"{meaning}.")
+
+    def rtl_body(p):
+        expr = {"xor": "^in_bus", "xnor": "~(^in_bus)",
+                "or": "|in_bus"}[p["mode"]]
+        return f"assign parity = {expr};"
+
+    def model_step(p):
+        expr = {
+            "xor": "bin(value).count('1') & 1",
+            "xnor": "1 - (bin(value).count('1') & 1)",
+            "or": "1 if value else 0",
+        }[p["mode"]]
+        return (
+            f"value = inputs['in_bus'] & 0x{mask:X}\n"
+            f"return {{'parity': {expr}}}"
+        )
+
+    golden = "xnor" if odd else "xor"
+    wrong = "xor" if odd else "xnor"
+    return build_task(
+        task_id=task_id, family=FAMILY, kind=CMB,
+        title=f"{width}-bit {'odd' if odd else 'even'} parity generator",
+        difficulty=difficulty, ports=ports, params={"mode": golden},
+        spec_body=spec_body, rtl_body=rtl_body,
+        model_init=lambda p: "", model_step=model_step,
+        scenario_builder=lambda p, rng: (
+            exhaustive_cmb_scenarios(ports[:1], rng, group_size=4)
+            if width <= 4 else cmb_scenarios(ports[:1], rng, 5, 4)),
+        variants=[
+            variant("polarity_flipped", "computes the opposite parity",
+                    mode=wrong),
+            variant("or_reduce", "reduces with OR instead of XOR",
+                    mode="or"),
+        ],
+    )
+
+
+def _popcount_task(task_id: str, width: int, difficulty: float):
+    out_width = width.bit_length()
+    ports = (in_port("in_bus", width), out_port("count", out_width))
+
+    def spec_body(p):
+        return f"count reports how many bits of in_bus are 1."
+
+    def rtl_body(p):
+        start = p["start"]
+        lines = ["integer i;",
+                 "always @(*) begin",
+                 f"    count = {out_width}'d{start};",
+                 f"    for (i = 0; i < {width}; i = i + 1) begin"]
+        bit = "!in_bus[i]" if p["count_zeros"] else "in_bus[i]"
+        lines.append(f"        count = count + {bit};")
+        lines.append("    end")
+        lines.append("end")
+        return "\n".join(lines)
+
+    def model_step(p):
+        source = ("(~value)" if p["count_zeros"] else "value")
+        return (
+            f"value = inputs['in_bus'] & 0x{(1 << width) - 1:X}\n"
+            f"bits = bin({source} & 0x{(1 << width) - 1:X}).count('1')\n"
+            f"return {{'count': (bits + {p['start']}) & "
+            f"{(1 << out_width) - 1}}}"
+        )
+
+    return build_task(
+        task_id=task_id, family=FAMILY, kind=CMB,
+        title=f"{width}-bit population count", difficulty=difficulty,
+        ports=ports, params={"start": 0, "count_zeros": False},
+        spec_body=spec_body, rtl_body=rtl_body,
+        model_init=lambda p: "", model_step=model_step,
+        scenario_builder=lambda p, rng: (
+            exhaustive_cmb_scenarios(ports[:1], rng, group_size=4)
+            if width <= 4 else cmb_scenarios(ports[:1], rng, 5, 4)),
+        variants=[
+            variant("counts_zeros", "counts zero bits instead", count_zeros=True),
+            variant("off_by_one", "count starts from 1", start=1),
+        ],
+        reg_outputs=["count"],
+    )
+
+
+def build():
+    return [
+        _parity_task("cmb_parity_even8", 8, False, 0.12),
+        _parity_task("cmb_parity_odd4", 4, True, 0.15),
+        _popcount_task("cmb_popcount8", 8, 0.25),
+        _popcount_task("cmb_popcount4", 4, 0.20),
+    ]

@@ -1,0 +1,108 @@
+"""Small register-file tasks (1 write port, 1 combinational read port)."""
+
+from __future__ import annotations
+
+from ..model import SEQ
+from ._base import (build_task, clock, in_port, out_port, reset, scenario,
+                    variant)
+
+FAMILY = "regfile"
+
+
+def _regfile_task(task_id: str, n_words: int, width: int,
+                  difficulty: float):
+    addr_width = max(1, (n_words - 1).bit_length())
+    ports = (clock(), reset(), in_port("we", 1),
+             in_port("waddr", addr_width), in_port("wdata", width),
+             in_port("raddr", addr_width), out_port("rdata", width))
+    mask = (1 << width) - 1
+
+    def spec_body(p):
+        return (f"A {n_words}x{width}-bit register file with one "
+                "synchronous write port (we, waddr, wdata) and one "
+                "combinational read port: rdata continuously shows the "
+                "word at raddr. Synchronous reset clears every word.")
+
+    def rtl_body(p):
+        w_src, r_src = ("raddr", "waddr") if p["ports_swapped"] else (
+            "waddr", "raddr")
+        write = (f"if (we) mem[{w_src}] <= wdata;"
+                 if not p["we_ignored"] else f"mem[{w_src}] <= wdata;")
+        return (
+            f"reg [{width - 1}:0] mem [{n_words - 1}:0];\n"
+            "integer i;\n"
+            "always @(posedge clk) begin\n"
+            "    if (reset) begin\n"
+            f"        for (i = 0; i < {n_words}; i = i + 1) begin\n"
+            f"            mem[i] <= {width}'d0;\n"
+            "        end\n"
+            "    end else begin\n"
+            f"        {write}\n"
+            "    end\n"
+            "end\n"
+            f"assign rdata = mem[{r_src}];")
+
+    def model_step(p):
+        w_src, r_src = ("raddr", "waddr") if p["ports_swapped"] else (
+            "waddr", "raddr")
+        if p["we_ignored"]:
+            write = f"    self.mem[waddr] = inputs['wdata'] & 0x{mask:X}"
+        else:
+            write = (
+                "    if inputs['we'] & 1:\n"
+                f"        self.mem[waddr] = inputs['wdata'] & 0x{mask:X}")
+        return (
+            f"waddr = inputs['{w_src}'] & {n_words - 1}\n"
+            f"raddr = inputs['{r_src}'] & {n_words - 1}\n"
+            "if inputs['reset'] & 1:\n"
+            f"    self.mem = [0] * {n_words}\n"
+            "else:\n"
+            f"{write}\n"
+            "return {'rdata': self.mem[raddr]}"
+        )
+
+    def scenarios(p, rng):
+        plans = []
+        for k in range(1, 6):
+            vectors = [{"reset": 1, "we": 0, "waddr": 0, "wdata": 0,
+                        "raddr": 0}]
+            writes = []
+            for _ in range(n_words):
+                addr = rng.randrange(n_words)
+                data = rng.randrange(1 << width)
+                writes.append(addr)
+                vectors.append({"reset": 0, "we": 1, "waddr": addr,
+                                "wdata": data,
+                                "raddr": rng.randrange(n_words)})
+            for addr in writes:
+                vectors.append({"reset": 0, "we": 0, "waddr": 0,
+                                "wdata": rng.randrange(1 << width),
+                                "raddr": addr})
+            plans.append(scenario(
+                k, f"write_then_read_{k}",
+                "Write random words then read them back.", vectors))
+        return tuple(plans)
+
+    return build_task(
+        task_id=task_id, family=FAMILY, kind=SEQ,
+        title=f"{n_words}x{width} register file", difficulty=difficulty,
+        ports=ports, params={"ports_swapped": False, "we_ignored": False},
+        spec_body=spec_body, rtl_body=rtl_body,
+        model_init=lambda p: f"self.mem = [0] * {n_words}",
+        model_step=model_step,
+        scenario_builder=scenarios,
+        variants=[
+            variant("address_ports_swapped",
+                    "read and write addresses exchanged",
+                    ports_swapped=True),
+            variant("write_enable_ignored", "writes every cycle",
+                    we_ignored=True),
+        ],
+    )
+
+
+def build():
+    return [
+        _regfile_task("seq_regfile4x8", 4, 8, 0.55),
+        _regfile_task("seq_regfile8x4", 8, 4, 0.58),
+    ]

@@ -1,0 +1,126 @@
+"""Wide register tasks (enables, byte lanes)."""
+
+from __future__ import annotations
+
+from ..model import SEQ
+from ._base import (build_task, clock, in_port, out_port, reset,
+                    seq_scenarios, variant)
+
+FAMILY = "register"
+
+
+def _register_task(task_id: str, width: int, difficulty: float):
+    ports = (clock(), reset(), in_port("en", 1), in_port("d", width),
+             out_port("q", width))
+    mask = (1 << width) - 1
+
+    def spec_body(p):
+        return (f"A {width}-bit register with write enable: q loads d at "
+                "the rising edge while en is 1 and holds otherwise. "
+                "Synchronous reset clears q.")
+
+    def rtl_body(p):
+        load = "q <= d;" if not p["inverted_en"] else "q <= d;"
+        cond = "!en" if p["inverted_en"] else "en"
+        if p["ignore_enable"]:
+            return ("always @(posedge clk) begin\n"
+                    f"    if (reset) q <= {width}'d0;\n"
+                    "    else q <= d;\n"
+                    "end")
+        return ("always @(posedge clk) begin\n"
+                f"    if (reset) q <= {width}'d0;\n"
+                f"    else if ({cond}) {load}\n"
+                "end")
+
+    def model_step(p):
+        if p["ignore_enable"]:
+            gate = "else:"
+        elif p["inverted_en"]:
+            gate = "elif not (inputs['en'] & 1):"
+        else:
+            gate = "elif inputs['en'] & 1:"
+        return (
+            "if inputs['reset'] & 1:\n"
+            "    self.q = 0\n"
+            f"{gate}\n"
+            f"    self.q = inputs['d'] & 0x{mask:X}\n"
+            "return {'q': self.q}"
+        )
+
+    return build_task(
+        task_id=task_id, family=FAMILY, kind=SEQ,
+        title=f"{width}-bit register with write enable",
+        difficulty=difficulty, ports=ports,
+        params={"ignore_enable": False, "inverted_en": False},
+        spec_body=spec_body, rtl_body=rtl_body,
+        model_init=lambda p: "self.q = 0", model_step=model_step,
+        scenario_builder=lambda p, rng: seq_scenarios(
+            ports, rng, reset_name="reset", n_scenarios=5, cycles_per=6),
+        variants=[
+            variant("enable_ignored", "loads every cycle",
+                    ignore_enable=True),
+            variant("enable_inverted", "loads while en is 0",
+                    inverted_en=True),
+        ],
+        reg_outputs=["q"],
+    )
+
+
+def _byte_enable_task():
+    task_id = "seq_reg16_byteen"
+    ports = (clock(), reset(), in_port("be", 2), in_port("d", 16),
+             out_port("q", 16))
+
+    def spec_body(p):
+        return ("A 16-bit register with per-byte write enables: be[0] "
+                "loads the low byte q[7:0] from d[7:0], be[1] loads the "
+                "high byte q[15:8] from d[15:8]; each byte holds when its "
+                "enable is 0. Synchronous reset clears q.")
+
+    def rtl_body(p):
+        lo_bit, hi_bit = (1, 0) if p["lanes_swapped"] else (0, 1)
+        return ("always @(posedge clk) begin\n"
+                "    if (reset) q <= 16'd0;\n"
+                "    else begin\n"
+                f"        if (be[{lo_bit}]) q[7:0] <= d[7:0];\n"
+                f"        if (be[{hi_bit}]) q[15:8] <= d[15:8];\n"
+                "    end\n"
+                "end")
+
+    def model_step(p):
+        lo_bit, hi_bit = (1, 0) if p["lanes_swapped"] else (0, 1)
+        return (
+            "be = inputs['be'] & 3\n"
+            "d = inputs['d'] & 0xFFFF\n"
+            "if inputs['reset'] & 1:\n"
+            "    self.q = 0\n"
+            "else:\n"
+            f"    if (be >> {lo_bit}) & 1:\n"
+            "        self.q = (self.q & 0xFF00) | (d & 0x00FF)\n"
+            f"    if (be >> {hi_bit}) & 1:\n"
+            "        self.q = (self.q & 0x00FF) | (d & 0xFF00)\n"
+            "return {'q': self.q}"
+        )
+
+    return build_task(
+        task_id=task_id, family=FAMILY, kind=SEQ,
+        title="16-bit register with byte enables", difficulty=0.40,
+        ports=ports, params={"lanes_swapped": False},
+        spec_body=spec_body, rtl_body=rtl_body,
+        model_init=lambda p: "self.q = 0", model_step=model_step,
+        scenario_builder=lambda p, rng: seq_scenarios(
+            ports, rng, reset_name="reset", n_scenarios=5, cycles_per=6),
+        variants=[
+            variant("lanes_swapped", "byte-enable bits control the wrong "
+                    "byte lanes", lanes_swapped=True),
+        ],
+        reg_outputs=["q"],
+    )
+
+
+def build():
+    return [
+        _register_task("seq_reg8_en", 8, 0.22),
+        _register_task("seq_reg32_en", 32, 0.26),
+        _byte_enable_task(),
+    ]

@@ -1,0 +1,164 @@
+"""Ring / Johnson counter and Gray-code counter tasks."""
+
+from __future__ import annotations
+
+from ..model import SEQ
+from ._base import (build_task, clock, out_port, reset, seq_scenarios,
+                    variant)
+
+FAMILY = "ring"
+
+
+def _ring_task(task_id: str, width: int, johnson: bool, difficulty: float):
+    ports = (clock(), reset(), out_port("q", width))
+    mask = (1 << width) - 1
+
+    def spec_body(p):
+        if johnson:
+            return (f"A {width}-bit Johnson (twisted-ring) counter: each "
+                    "rising edge shifts left by one with the inverted MSB "
+                    "entering at bit 0. Synchronous reset clears q.")
+        return (f"A {width}-bit one-hot ring counter: reset loads "
+                f"{p['reset_val']:#x} and each rising edge rotates the "
+                "single hot bit towards the MSB (wrapping to bit 0).")
+
+    def rtl_body(p):
+        top = width - 1
+        feedback = f"~q[{top}]" if p["invert_feedback"] else f"q[{top}]"
+        if p["direction"] == "right":
+            fb = (f"~q[0]" if p["invert_feedback"] else "q[0]")
+            move = f"q <= {{{fb}, q[{top}:1]}};"
+        else:
+            move = f"q <= {{q[{top - 1}:0], {feedback}}};"
+        return ("always @(posedge clk) begin\n"
+                f"    if (reset) q <= {width}'d{p['reset_val'] & mask};\n"
+                f"    else {move}\n"
+                "end")
+
+    def model_step(p):
+        top = width - 1
+        if p["direction"] == "right":
+            fb = ("(1 - (self.q & 1))" if p["invert_feedback"]
+                  else "(self.q & 1)")
+            move = (f"self.q = ({fb} << {top}) | (self.q >> 1)")
+        else:
+            fb = (f"(1 - ((self.q >> {top}) & 1))" if p["invert_feedback"]
+                  else f"((self.q >> {top}) & 1)")
+            move = (f"self.q = (((self.q << 1) | {fb}) & 0x{mask:X})")
+        return (
+            "if inputs['reset'] & 1:\n"
+            f"    self.q = {p['reset_val'] & mask}\n"
+            "else:\n"
+            f"    {move}\n"
+            "return {'q': self.q}"
+        )
+
+    if johnson:
+        params = {"reset_val": 0, "invert_feedback": True,
+                  "direction": "left"}
+        variants = [
+            variant("plain_ring", "feedback not inverted",
+                    invert_feedback=False),
+            variant("shifts_right", "twists in the other direction",
+                    direction="right"),
+        ]
+    else:
+        params = {"reset_val": 1, "invert_feedback": False,
+                  "direction": "left"}
+        variants = [
+            variant("rotates_right", "rotates towards bit 0",
+                    direction="right"),
+            variant("reset_to_msb", "reset loads the hot bit at the MSB",
+                    reset_val=1 << (width - 1)),
+        ]
+
+    return build_task(
+        task_id=task_id, family=FAMILY, kind=SEQ,
+        title=(f"{width}-bit Johnson counter" if johnson
+               else f"{width}-bit ring counter"),
+        difficulty=difficulty, ports=ports, params=params,
+        spec_body=spec_body, rtl_body=rtl_body,
+        model_init=lambda p: "self.q = 0", model_step=model_step,
+        scenario_builder=lambda p, rng: seq_scenarios(
+            ports, rng, reset_name="reset", n_scenarios=4,
+            cycles_per=2 * width + 3),
+        variants=variants,
+        reg_outputs=["q"],
+    )
+
+
+def _gray_counter_task():
+    task_id = "seq_gray4"
+    width = 4
+    mask = 0xF
+    ports = (clock(), reset(), out_port("q", width))
+
+    def spec_body(p):
+        return ("A 4-bit Gray-code counter: q steps through the "
+                "reflected-Gray sequence (an internal binary counter b "
+                "increments each edge and q = b ^ (b >> 1)). Synchronous "
+                "reset clears the counter.")
+
+    def rtl_body(p):
+        if p["outputs_binary"]:
+            q_expr = "bin_count + 4'd1"
+        elif p["wrong_shift"]:
+            q_expr = "(bin_count + 4'd1) ^ ((bin_count + 4'd1) << 1)"
+        else:
+            q_expr = "(bin_count + 4'd1) ^ ((bin_count + 4'd1) >> 1)"
+        return (
+            "reg [3:0] bin_count;\n"
+            "always @(posedge clk) begin\n"
+            "    if (reset) begin\n"
+            "        bin_count <= 4'd0;\n"
+            "        q <= 4'd0;\n"
+            "    end else begin\n"
+            "        bin_count <= bin_count + 4'd1;\n"
+            f"        q <= {q_expr};\n"
+            "    end\n"
+            "end")
+
+    def model_step(p):
+        if p["outputs_binary"]:
+            q_expr = "nxt"
+        elif p["wrong_shift"]:
+            q_expr = "(nxt ^ (nxt << 1)) & 0xF"
+        else:
+            q_expr = "nxt ^ (nxt >> 1)"
+        return (
+            "if inputs['reset'] & 1:\n"
+            "    self.bin_count = 0\n"
+            "    self.q = 0\n"
+            "else:\n"
+            f"    nxt = (self.bin_count + 1) & 0x{mask:X}\n"
+            "    self.bin_count = nxt\n"
+            f"    self.q = {q_expr}\n"
+            "return {'q': self.q}"
+        )
+
+    return build_task(
+        task_id=task_id, family=FAMILY, kind=SEQ,
+        title="4-bit Gray-code counter", difficulty=0.52, ports=ports,
+        params={"outputs_binary": False, "wrong_shift": False},
+        spec_body=spec_body, rtl_body=rtl_body,
+        model_init=lambda p: "self.bin_count = 0\nself.q = 0",
+        model_step=model_step,
+        scenario_builder=lambda p, rng: seq_scenarios(
+            ports, rng, reset_name="reset", n_scenarios=4, cycles_per=20),
+        variants=[
+            variant("outputs_binary", "outputs the binary count",
+                    outputs_binary=True),
+            variant("wrong_shift_direction", "XORs with a left shift",
+                    wrong_shift=True),
+        ],
+        reg_outputs=["q"],
+    )
+
+
+def build():
+    return [
+        _ring_task("seq_ring4", 4, False, 0.35),
+        _ring_task("seq_johnson4", 4, True, 0.45),
+        _ring_task("seq_johnson8", 8, True, 0.48),
+        _gray_counter_task(),
+    ]

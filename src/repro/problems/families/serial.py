@@ -1,0 +1,184 @@
+"""Serial bit-stream processing tasks."""
+
+from __future__ import annotations
+
+from ..model import SEQ
+from ._base import (build_task, clock, in_port, out_port, reset,
+                    seq_scenarios, variant)
+
+FAMILY = "serial"
+
+
+def _running_parity_task():
+    task_id = "seq_serial_parity"
+    ports = (clock(), reset(), in_port("din", 1), out_port("parity", 1))
+
+    def spec_body(p):
+        return ("A running parity tracker: parity reports the XOR of all "
+                "din bits sampled since reset (even parity of the stream "
+                "so far). Synchronous reset clears parity.")
+
+    def rtl_body(p):
+        op = "|" if p["uses_or"] else "^"
+        return ("always @(posedge clk) begin\n"
+                f"    if (reset) parity <= 1'b{p['init']};\n"
+                f"    else parity <= parity {op} din;\n"
+                "end")
+
+    def model_step(p):
+        op = "|" if p["uses_or"] else "^"
+        return (
+            "if inputs['reset'] & 1:\n"
+            f"    self.parity = {p['init']}\n"
+            "else:\n"
+            f"    self.parity = self.parity {op} (inputs['din'] & 1)\n"
+            "return {'parity': self.parity}"
+        )
+
+    return build_task(
+        task_id=task_id, family=FAMILY, kind=SEQ,
+        title="running serial parity", difficulty=0.25, ports=ports,
+        params={"init": 0, "uses_or": False},
+        spec_body=spec_body, rtl_body=rtl_body,
+        model_init=lambda p: "self.parity = 0", model_step=model_step,
+        scenario_builder=lambda p, rng: seq_scenarios(
+            ports, rng, reset_name="reset", n_scenarios=5, cycles_per=8),
+        variants=[
+            variant("odd_start", "parity starts at 1", init=1),
+            variant("ors_bits", "ORs instead of XORs", uses_or=True),
+        ],
+        reg_outputs=["parity"],
+    )
+
+
+def _ones_counter_task():
+    task_id = "seq_ones_count"
+    ports = (clock(), reset(), in_port("din", 1), out_port("count", 8))
+
+    def spec_body(p):
+        return ("Count the 1 bits seen on din since reset (wrapping "
+                "modulo 256). Synchronous reset clears the count.")
+
+    def rtl_body(p):
+        bit = "!din" if p["counts_zeros"] else "din"
+        return ("always @(posedge clk) begin\n"
+                f"    if (reset) count <= 8'd{p['init']};\n"
+                f"    else count <= count + {{7'd0, {bit}}};\n"
+                "end")
+
+    def model_step(p):
+        bit = ("(1 - (inputs['din'] & 1))" if p["counts_zeros"]
+               else "(inputs['din'] & 1)")
+        return (
+            "if inputs['reset'] & 1:\n"
+            f"    self.count = {p['init']}\n"
+            "else:\n"
+            f"    self.count = (self.count + {bit}) & 0xFF\n"
+            "return {'count': self.count}"
+        )
+
+    return build_task(
+        task_id=task_id, family=FAMILY, kind=SEQ,
+        title="serial ones counter", difficulty=0.28, ports=ports,
+        params={"init": 0, "counts_zeros": False},
+        spec_body=spec_body, rtl_body=rtl_body,
+        model_init=lambda p: "self.count = 0", model_step=model_step,
+        scenario_builder=lambda p, rng: seq_scenarios(
+            ports, rng, reset_name="reset", n_scenarios=5, cycles_per=8),
+        variants=[
+            variant("counts_zeros", "counts 0 bits instead",
+                    counts_zeros=True),
+            variant("starts_at_one", "count starts at 1", init=1),
+        ],
+        reg_outputs=["count"],
+    )
+
+
+def _twos_complement_task():
+    task_id = "seq_serial_2s_comp"
+    ports = (clock(), reset(), in_port("din", 1), out_port("dout", 1))
+
+    def spec_body(p):
+        return ("A serial two's complementer (LSB first): dout replays "
+                "din unchanged up to and including the first 1 bit, and "
+                "inverted afterwards. Synchronous reset restarts the "
+                "stream.")
+
+    def rtl_body(p):
+        if p["order_swapped"]:
+            # Misconception: 'seen' updates before the output decision.
+            return ("reg seen;\n"
+                    "always @(posedge clk) begin\n"
+                    "    if (reset) begin\n"
+                    "        seen <= 1'b0;\n"
+                    "        dout <= 1'b0;\n"
+                    "    end else begin\n"
+                    "        dout <= (seen | din) ? ~din : din;\n"
+                    "        seen <= seen | din;\n"
+                    "    end\n"
+                    "end")
+        invert = "~din" if not p["polarity_flipped"] else "din"
+        plain = "din" if not p["polarity_flipped"] else "~din"
+        return ("reg seen;\n"
+                "always @(posedge clk) begin\n"
+                "    if (reset) begin\n"
+                "        seen <= 1'b0;\n"
+                "        dout <= 1'b0;\n"
+                "    end else begin\n"
+                f"        dout <= seen ? {invert} : {plain};\n"
+                "        seen <= seen | din;\n"
+                "    end\n"
+                "end")
+
+    def model_step(p):
+        if p["order_swapped"]:
+            return (
+                "din = inputs['din'] & 1\n"
+                "if inputs['reset'] & 1:\n"
+                "    self.seen = 0\n"
+                "    self.dout = 0\n"
+                "else:\n"
+                "    seen_next = self.seen | din\n"
+                "    self.dout = (1 - din) if seen_next else din\n"
+                "    self.seen = seen_next\n"
+                "return {'dout': self.dout}"
+            )
+        invert = "(1 - din)" if not p["polarity_flipped"] else "din"
+        plain = "din" if not p["polarity_flipped"] else "(1 - din)"
+        return (
+            "din = inputs['din'] & 1\n"
+            "if inputs['reset'] & 1:\n"
+            "    self.seen = 0\n"
+            "    self.dout = 0\n"
+            "else:\n"
+            f"    self.dout = {invert} if self.seen else {plain}\n"
+            "    self.seen = self.seen | din\n"
+            "return {'dout': self.dout}"
+        )
+
+    return build_task(
+        task_id=task_id, family=FAMILY, kind=SEQ,
+        title="serial two's complementer", difficulty=0.58, ports=ports,
+        params={"order_swapped": False, "polarity_flipped": False},
+        spec_body=spec_body, rtl_body=rtl_body,
+        model_init=lambda p: "self.seen = 0\nself.dout = 0",
+        model_step=model_step,
+        scenario_builder=lambda p, rng: seq_scenarios(
+            ports, rng, reset_name="reset", n_scenarios=6, cycles_per=7),
+        variants=[
+            variant("state_races_output",
+                    "inversion starts at the first 1 itself",
+                    order_swapped=True),
+            variant("polarity_flipped", "inverts before the first 1",
+                    polarity_flipped=True),
+        ],
+        reg_outputs=["dout"],
+    )
+
+
+def build():
+    return [
+        _running_parity_task(),
+        _ones_counter_task(),
+        _twos_complement_task(),
+    ]

@@ -1,0 +1,259 @@
+"""Shift-register tasks (SIPO, rotate, arithmetic shift — the paper's
+``shift18`` demo is an arithmetic shifter of this family's shape)."""
+
+from __future__ import annotations
+
+from ..model import SEQ
+from ._base import (build_task, clock, in_port, out_port, reset,
+                    seq_scenarios, variant)
+
+FAMILY = "shift_register"
+
+
+def _sipo_task(task_id: str, width: int, has_enable: bool,
+               difficulty: float):
+    inputs = [clock(), reset(), in_port("din", 1)]
+    if has_enable:
+        inputs.append(in_port("en", 1))
+    ports = tuple(inputs + [out_port("q", width)])
+    mask = (1 << width) - 1
+
+    def spec_body(p):
+        text = (f"A {width}-bit serial-in parallel-out shift register: at "
+                "each rising edge the register shifts left by one and din "
+                "enters at bit 0. Synchronous reset clears the register.")
+        if has_enable:
+            text += " Shifting only happens while en is 1."
+        return text
+
+    def rtl_body(p):
+        if p["direction"] == "right":
+            shift = f"q <= {{din, q[{width - 1}:1]}};"
+        else:
+            shift = f"q <= {{q[{width - 2}:0], din}};"
+        if has_enable and not p["ignore_enable"]:
+            shift = f"if (en) {shift}"
+        return ("always @(posedge clk) begin\n"
+                f"    if (reset) q <= {width}'d0;\n"
+                f"    else {shift}\n"
+                "end")
+
+    def model_step(p):
+        if p["direction"] == "right":
+            move = (f"self.q = ((inputs['din'] & 1) << {width - 1}) | "
+                    f"(self.q >> 1)")
+        else:
+            move = (f"self.q = ((self.q << 1) | (inputs['din'] & 1)) "
+                    f"& 0x{mask:X}")
+        lines = ["if inputs['reset'] & 1:", "    self.q = 0"]
+        lines.append("elif inputs['en'] & 1:"
+                     if has_enable and not p["ignore_enable"] else "else:")
+        lines.append(f"    {move}")
+        lines.append("return {'q': self.q}")
+        return "\n".join(lines)
+
+    variants = [
+        variant("shifts_right", "shifts right with din entering at the top",
+                direction="right"),
+    ]
+    if has_enable:
+        variants.append(variant("enable_ignored", "shifts every cycle",
+                                ignore_enable=True))
+    else:
+        variants.append(variant("reset_ignored_q",
+                                "reset loads all-ones",
+                                reset_broken=True))
+    return build_task(
+        task_id=task_id, family=FAMILY, kind=SEQ,
+        title=f"{width}-bit SIPO shift register"
+              + (" with enable" if has_enable else ""),
+        difficulty=difficulty, ports=ports,
+        params={"direction": "left", "ignore_enable": False,
+                "reset_broken": False},
+        spec_body=spec_body,
+        rtl_body=lambda p: (rtl_body(p) if not p.get("reset_broken") else
+                            rtl_body(p).replace(
+                                f"q <= {width}'d0;",
+                                f"q <= {width}'d{mask};")),
+        model_init=lambda p: "self.q = 0",
+        model_step=lambda p: (model_step(p) if not p.get("reset_broken")
+                              else model_step(p).replace(
+                                  "    self.q = 0",
+                                  f"    self.q = {mask}", 1)),
+        scenario_builder=lambda p, rng: seq_scenarios(
+            ports, rng, reset_name="reset", n_scenarios=5,
+            cycles_per=width + 3),
+        variants=variants,
+        reg_outputs=["q"],
+    )
+
+
+def _rotate_task(task_id: str, width: int, difficulty: float):
+    ports = (clock(), in_port("load", 1), in_port("d", width),
+             out_port("q", width))
+    mask = (1 << width) - 1
+
+    def spec_body(p):
+        return (f"A {width}-bit rotating register: when load is 1 the "
+                "register takes d; otherwise it rotates left by one bit "
+                "each rising edge (the MSB wraps to bit 0).")
+
+    def rtl_body(p):
+        if p["direction"] == "right":
+            rot = f"q <= {{q[0], q[{width - 1}:1]}};"
+        else:
+            rot = f"q <= {{q[{width - 2}:0], q[{width - 1}]}};"
+        if p["ignore_load"]:
+            return ("always @(posedge clk) begin\n"
+                    f"    {rot}\n"
+                    "end")
+        return ("always @(posedge clk) begin\n"
+                "    if (load) q <= d;\n"
+                f"    else {rot}\n"
+                "end")
+
+    def model_step(p):
+        if p["direction"] == "right":
+            rot = (f"self.q = ((self.q & 1) << {width - 1}) | "
+                   f"(self.q >> 1)")
+        else:
+            rot = (f"self.q = ((self.q << 1) | (self.q >> {width - 1})) "
+                   f"& 0x{mask:X}")
+        if p["ignore_load"]:
+            return f"{rot}\nreturn {{'q': self.q}}"
+        return (
+            "if inputs['load'] & 1:\n"
+            f"    self.q = inputs['d'] & 0x{mask:X}\n"
+            "else:\n"
+            f"    {rot}\n"
+            "return {'q': self.q}"
+        )
+
+    def scenarios(p, rng):
+        # Load-heavy plan: every scenario starts by loading a known value.
+        plans = seq_scenarios(ports, rng, reset_name=None, n_scenarios=5,
+                              cycles_per=width + 2, reset_cycles=0)
+        forced = []
+        for scn in plans:
+            vectors = [dict(v) for v in scn.vectors]
+            vectors[0]["load"] = 1
+            vectors[0]["d"] = rng.randrange(1 << width)
+            forced.append(type(scn)(scn.index, scn.name, scn.description,
+                                    tuple(vectors)))
+        return tuple(forced)
+
+    return build_task(
+        task_id=task_id, family=FAMILY, kind=SEQ,
+        title=f"{width}-bit rotate-left register", difficulty=difficulty,
+        ports=ports,
+        params={"direction": "left", "ignore_load": False},
+        spec_body=spec_body, rtl_body=rtl_body,
+        model_init=lambda p: "self.q = 0", model_step=model_step,
+        scenario_builder=scenarios,
+        variants=[
+            variant("rotates_right", "rotates right instead",
+                    direction="right"),
+            variant("load_ignored", "never loads", ignore_load=True),
+        ],
+        reg_outputs=["q"],
+    )
+
+
+def _arith_shift_task(task_id: str, width: int, difficulty: float):
+    """Arithmetic shift register — the shape of the paper's Fig. 5 demo."""
+    ports = (clock(), in_port("load", 1), in_port("ena", 1),
+             in_port("amount", 2), in_port("data", width),
+             out_port("q", width))
+    mask = (1 << width) - 1
+
+    def spec_body(p):
+        return (f"A {width}-bit arithmetic shift register. load loads "
+                "data. Otherwise when ena is 1 the register shifts by "
+                "amount: 0 = left by 1, 1 = left by 4, 2 = right by 1, "
+                "3 = right by 4. Right shifts are arithmetic (the sign "
+                "bit replicates).")
+
+    def rtl_body(p):
+        sign_fill_1 = (f"{{q[{width - 1}], q[{width - 1}:1]}}"
+                       if p["arith"] else f"{{1'b0, q[{width - 1}:1]}}")
+        sign_fill_4 = (f"{{{{4{{q[{width - 1}]}}}}, q[{width - 1}:4]}}"
+                       if p["arith"] else f"{{4'b0000, q[{width - 1}:4]}}")
+        big = p["big_shift"]
+        return (
+            "always @(posedge clk) begin\n"
+            "    if (load) q <= data;\n"
+            "    else if (ena) begin\n"
+            "        case (amount)\n"
+            f"            2'd0: q <= q << 1;\n"
+            f"            2'd1: q <= q << {big};\n"
+            f"            2'd2: q <= {sign_fill_1};\n"
+            f"            2'd3: q <= {sign_fill_4};\n"
+            "        endcase\n"
+            "    end\n"
+            "end")
+
+    def model_step(p):
+        sign = width - 1
+        if p["arith"]:
+            right1 = (f"((self.q >> 1) | (0x{1 << sign:X} "
+                      f"if self.q & 0x{1 << sign:X} else 0))")
+            right4 = (f"((self.q >> 4) | ((0x{mask:X} << {width - 4}) "
+                      f"& 0x{mask:X} if self.q & 0x{1 << sign:X} else 0))")
+        else:
+            right1 = "(self.q >> 1)"
+            right4 = "(self.q >> 4)"
+        return (
+            "if inputs['load'] & 1:\n"
+            f"    self.q = inputs['data'] & 0x{mask:X}\n"
+            "elif inputs['ena'] & 1:\n"
+            "    amount = inputs['amount'] & 3\n"
+            "    if amount == 0:\n"
+            f"        self.q = (self.q << 1) & 0x{mask:X}\n"
+            "    elif amount == 1:\n"
+            f"        self.q = (self.q << {p['big_shift']}) & 0x{mask:X}\n"
+            "    elif amount == 2:\n"
+            f"        self.q = {right1}\n"
+            "    else:\n"
+            f"        self.q = {right4}\n"
+            "return {'q': self.q}"
+        )
+
+    def scenarios(p, rng):
+        from ._base import scenario as make_scenario
+        plans = []
+        for k in range(1, 7):
+            vectors = [{"load": 1, "ena": 0, "amount": 0,
+                        "data": rng.randrange(1 << width)}]
+            for _ in range(6):
+                vectors.append({"load": 0, "ena": 1,
+                                "amount": rng.randrange(4), "data": 0})
+            plans.append(make_scenario(
+                k, f"load_then_shift_{k}",
+                "Load a value then apply shifts.", vectors))
+        return tuple(plans)
+
+    return build_task(
+        task_id=task_id, family=FAMILY, kind=SEQ,
+        title=f"{width}-bit arithmetic shift register",
+        difficulty=difficulty, ports=ports,
+        params={"arith": True, "big_shift": 4},
+        spec_body=spec_body, rtl_body=rtl_body,
+        model_init=lambda p: "self.q = 0", model_step=model_step,
+        scenario_builder=scenarios,
+        variants=[
+            variant("logical_right", "right shifts fill with zeros",
+                    arith=False),
+            variant("big_shift_wrong", "the by-4 left shift moves 3 bits",
+                    big_shift=3),
+        ],
+        reg_outputs=["q"],
+    )
+
+
+def build():
+    return [
+        _sipo_task("seq_sipo4", 4, False, 0.25),
+        _sipo_task("seq_sipo8_en", 8, True, 0.33),
+        _rotate_task("seq_rot4", 4, 0.35),
+        _arith_shift_task("seq_ashift8", 8, 0.55),
+    ]

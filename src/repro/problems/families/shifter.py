@@ -1,0 +1,109 @@
+"""Combinational shifter tasks (logical, arithmetic, rotate)."""
+
+from __future__ import annotations
+
+from ..model import CMB
+from ._base import (build_task, in_port, out_port, scenario, variant)
+
+FAMILY = "shifter"
+
+_W = 8
+_MASK = 0xFF
+
+
+def _shift_scenarios(p, rng):
+    plans = [scenario(
+        1, "shift_by_zero_and_max",
+        "Shift amounts 0 and 7 with sign-bit set and clear patterns.",
+        [{"in_bus": 0x81, "amt": 0}, {"in_bus": 0x81, "amt": 7},
+         {"in_bus": 0x7E, "amt": 0}, {"in_bus": 0x7E, "amt": 7}])]
+    for k in range(2, 6):
+        vectors = [{"in_bus": rng.randrange(256), "amt": rng.randrange(8)}
+                   for _ in range(4)]
+        plans.append(scenario(k, f"random_shifts_{k - 1}",
+                              "Randomised value/amount pairs.", vectors))
+    return tuple(plans)
+
+
+# mode -> (verilog expression, python expression) over in_bus/amt.
+_RTL_MODES = {
+    "shl": "in_bus << amt",
+    "shr": "in_bus >> amt",
+    "asr": ("in_bus[7] ? ((in_bus >> amt) | ~(8'hFF >> amt)) "
+            ": (in_bus >> amt)"),
+    "rotl": "(in_bus << amt) | (in_bus >> (4'd8 - {{1'b0, amt}}))",
+    "rotr": "(in_bus >> amt) | (in_bus << (4'd8 - {{1'b0, amt}}))",
+}
+
+_PY_MODES = {
+    "shl": "(value << amt) & 0xFF",
+    "shr": "value >> amt",
+    "asr": ("((value >> amt) | ((0xFF << (8 - amt)) & 0xFF)) & 0xFF "
+            "if value & 0x80 else value >> amt"),
+    "rotl": "((value << amt) | (value >> (8 - amt))) & 0xFF if amt else value",
+    "rotr": "((value >> amt) | (value << (8 - amt))) & 0xFF if amt else value",
+}
+
+_TITLES = {
+    "shl": "8-bit logical left shifter",
+    "shr": "8-bit logical right shifter",
+    "asr": "8-bit arithmetic right shifter",
+    "rotl": "8-bit rotate-left unit",
+    "rotr": "8-bit rotate-right unit",
+}
+
+_SPECS = {
+    "shl": "out = in_bus shifted left by amt; vacated bits fill with zero.",
+    "shr": "out = in_bus shifted right by amt; vacated bits fill with zero.",
+    "asr": ("out = in_bus arithmetically shifted right by amt: vacated "
+            "bits replicate the sign bit in_bus[7]."),
+    "rotl": ("out = in_bus rotated left by amt: bits shifted out of the "
+             "top re-enter at the bottom."),
+    "rotr": ("out = in_bus rotated right by amt: bits shifted out of the "
+             "bottom re-enter at the top."),
+}
+
+
+def _shifter_task(task_id: str, mode: str, difficulty: float,
+                  wrong_modes: tuple[str, str]):
+    ports = (in_port("in_bus", _W), in_port("amt", 3), out_port("out", _W))
+
+    def rtl_body(p):
+        expr = _RTL_MODES[p["mode"]]
+        if p["mode"] in ("rotl", "rotr"):
+            # Rotation needs the amt == 0 special case spelled out.
+            return ("assign out = (amt == 3'd0) ? in_bus\n"
+                    f"           : ({expr});")
+        return f"assign out = {expr};"
+
+    def model_step(p):
+        return (
+            f"value = inputs['in_bus'] & 0x{_MASK:X}\n"
+            "amt = inputs['amt'] & 0x7\n"
+            f"return {{'out': ({_PY_MODES[p['mode']]}) & 0xFF}}"
+        )
+
+    return build_task(
+        task_id=task_id, family=FAMILY, kind=CMB, title=_TITLES[mode],
+        difficulty=difficulty, ports=ports, params={"mode": mode},
+        spec_body=lambda p: _SPECS[mode], rtl_body=rtl_body,
+        model_init=lambda p: "", model_step=model_step,
+        scenario_builder=_shift_scenarios,
+        variants=[
+            variant(f"mode_{wrong_modes[0]}",
+                    f"behaves as {_TITLES[wrong_modes[0]]}",
+                    mode=wrong_modes[0]),
+            variant(f"mode_{wrong_modes[1]}",
+                    f"behaves as {_TITLES[wrong_modes[1]]}",
+                    mode=wrong_modes[1]),
+        ],
+    )
+
+
+def build():
+    return [
+        _shifter_task("cmb_shl8", "shl", 0.15, ("shr", "rotl")),
+        _shifter_task("cmb_shr8", "shr", 0.15, ("shl", "asr")),
+        _shifter_task("cmb_asr8", "asr", 0.40, ("shr", "rotr")),
+        _shifter_task("cmb_rotl8", "rotl", 0.38, ("shl", "rotr")),
+    ]

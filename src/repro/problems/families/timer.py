@@ -1,0 +1,231 @@
+"""Timer tasks: loadable countdown, periodic pulse, watchdog."""
+
+from __future__ import annotations
+
+from ..model import SEQ
+from ._base import (build_task, clock, in_port, out_port, reset, scenario,
+                    seq_scenarios, variant)
+
+FAMILY = "timer"
+
+
+def _countdown_task():
+    task_id = "seq_countdown8"
+    ports = (clock(), reset(), in_port("load", 1), in_port("d", 8),
+             out_port("q", 8), out_port("done", 1))
+
+    def spec_body(p):
+        return ("A loadable countdown timer: load takes d; otherwise q "
+                "decrements and holds at zero. done is 1 while q is zero. "
+                "Synchronous reset clears q.")
+
+    def rtl_body(p):
+        floor = p["done_at"]
+        if p["wraps"]:
+            dec = "q <= q - 8'd1;"
+        else:
+            dec = f"q <= (q == 8'd0) ? 8'd0 : q - 8'd1;"
+        return (
+            "always @(posedge clk) begin\n"
+            "    if (reset) q <= 8'd0;\n"
+            "    else if (load) q <= d;\n"
+            f"    else {dec}\n"
+            "end\n"
+            f"assign done = (q == 8'd{floor});")
+
+    def model_step(p):
+        if p["wraps"]:
+            dec = "self.q = (self.q - 1) & 0xFF"
+        else:
+            dec = "self.q = 0 if self.q == 0 else self.q - 1"
+        return (
+            "if inputs['reset'] & 1:\n"
+            "    self.q = 0\n"
+            "elif inputs['load'] & 1:\n"
+            "    self.q = inputs['d'] & 0xFF\n"
+            "else:\n"
+            f"    {dec}\n"
+            f"return {{'q': self.q, "
+            f"'done': 1 if self.q == {p['done_at']} else 0}}"
+        )
+
+    def scenarios(p, rng):
+        plans = []
+        for k in range(1, 6):
+            value = rng.randrange(2, 9)
+            vectors = [{"reset": 1, "load": 0, "d": 0},
+                       {"reset": 0, "load": 1, "d": value}]
+            for _ in range(value + 3):
+                vectors.append({"reset": 0, "load": 0,
+                                "d": rng.randrange(256)})
+            plans.append(scenario(
+                k, f"load_{value}_and_run",
+                f"Load {value} and count down past zero.", vectors))
+        return tuple(plans)
+
+    return build_task(
+        task_id=task_id, family=FAMILY, kind=SEQ,
+        title="loadable countdown timer", difficulty=0.42, ports=ports,
+        params={"wraps": False, "done_at": 0},
+        spec_body=spec_body, rtl_body=rtl_body,
+        model_init=lambda p: "self.q = 0", model_step=model_step,
+        scenario_builder=scenarios,
+        variants=[
+            variant("wraps_below_zero", "keeps decrementing past zero",
+                    wraps=True),
+            variant("done_at_one", "done asserts at one", done_at=1),
+        ],
+        reg_outputs=["q"],
+    )
+
+
+def _pulse_task(task_id: str, period: int, difficulty: float):
+    width = max(1, (period - 1).bit_length())
+    ports = (clock(), reset(), out_port("pulse", 1))
+    mask = (1 << width) - 1
+
+    def spec_body(p):
+        return (f"A periodic pulse generator: pulse is 1 for exactly one "
+                f"cycle out of every {p['period']}, first asserting "
+                f"{p['period']} cycles after reset deasserts.")
+
+    def rtl_body(p):
+        top = (p["period"] - 1) & mask
+        when = p["fire_at"] & mask
+        return (
+            f"reg [{width - 1}:0] count;\n"
+            "always @(posedge clk) begin\n"
+            "    if (reset) begin\n"
+            f"        count <= {width}'d0;\n"
+            "        pulse <= 1'b0;\n"
+            "    end else begin\n"
+            f"        if (count == {width}'d{top}) count <= {width}'d0;\n"
+            f"        else count <= count + {width}'d1;\n"
+            f"        pulse <= (count == {width}'d{when});\n"
+            "    end\n"
+            "end")
+
+    def model_step(p):
+        top = (p["period"] - 1) & mask
+        when = p["fire_at"] & mask
+        return (
+            "if inputs['reset'] & 1:\n"
+            "    self.count = 0\n"
+            "    self.pulse = 0\n"
+            "else:\n"
+            f"    self.pulse = 1 if self.count == {when} else 0\n"
+            f"    self.count = 0 if self.count == {top} "
+            "else self.count + 1\n"
+            "return {'pulse': self.pulse}"
+        )
+
+    return build_task(
+        task_id=task_id, family=FAMILY, kind=SEQ,
+        title=f"one-in-{period} pulse generator", difficulty=difficulty,
+        ports=ports, params={"period": period, "fire_at": period - 1},
+        spec_body=spec_body, rtl_body=rtl_body,
+        model_init=lambda p: "self.count = 0\nself.pulse = 0",
+        model_step=model_step,
+        scenario_builder=lambda p, rng: seq_scenarios(
+            ports, rng, reset_name="reset", n_scenarios=4,
+            cycles_per=3 * period + 2),
+        variants=[
+            variant("fires_at_zero", "pulses one cycle too early",
+                    fire_at=0),
+            variant("period_off_by_one",
+                    f"repeats every {period + 1} cycles",
+                    period=period + 1,
+                    fire_at=period),
+        ],
+        reg_outputs=["pulse"],
+    )
+
+
+def _watchdog_task():
+    task_id = "seq_watchdog"
+    limit = 5
+    ports = (clock(), reset(), in_port("kick", 1), out_port("alarm", 1))
+
+    def spec_body(p):
+        return (f"A watchdog: an internal counter increments each cycle "
+                f"and is cleared by kick. alarm asserts once the counter "
+                f"reaches {p['limit']} and stays high until a kick (or "
+                "reset) clears it.")
+
+    def rtl_body(p):
+        kick_cond = ("kick" if not p["kick_ignored_in_alarm"]
+                     else "kick && !alarm")
+        return (
+            "reg [2:0] count;\n"
+            "always @(posedge clk) begin\n"
+            "    if (reset) begin\n"
+            "        count <= 3'd0;\n"
+            "        alarm <= 1'b0;\n"
+            "    end else if (" + kick_cond + ") begin\n"
+            "        count <= 3'd0;\n"
+            "        alarm <= 1'b0;\n"
+            "    end else begin\n"
+            f"        if (count >= 3'd{p['limit'] - 1}) alarm <= 1'b1;\n"
+            f"        else count <= count + 3'd1;\n"
+            "    end\n"
+            "end")
+
+    def model_step(p):
+        kick_cond = ("kick" if not p["kick_ignored_in_alarm"]
+                     else "kick and not self.alarm")
+        return (
+            "kick = inputs['kick'] & 1\n"
+            "if inputs['reset'] & 1:\n"
+            "    self.count = 0\n"
+            "    self.alarm = 0\n"
+            f"elif {kick_cond}:\n"
+            "    self.count = 0\n"
+            "    self.alarm = 0\n"
+            "else:\n"
+            f"    if self.count >= {p['limit'] - 1}:\n"
+            "        self.alarm = 1\n"
+            "    else:\n"
+            "        self.count = self.count + 1\n"
+            "return {'alarm': self.alarm}"
+        )
+
+    def scenarios(p, rng):
+        base = seq_scenarios(ports, rng, reset_name="reset",
+                             n_scenarios=4, cycles_per=2 * limit + 4,
+                             hold_zero_prob=0.5)
+        # Directed: starve until the alarm fires, then kick it clear.
+        vectors = [{"reset": 1, "kick": 0}, {"reset": 1, "kick": 0}]
+        vectors += [{"reset": 0, "kick": 0} for _ in range(limit + 2)]
+        vectors += [{"reset": 0, "kick": 1}]
+        vectors += [{"reset": 0, "kick": 0} for _ in range(3)]
+        plans = list(base)
+        plans.append(scenario(len(base) + 1, "alarm_then_kick",
+                              "Let the alarm fire, then kick.", vectors))
+        return tuple(plans)
+
+    return build_task(
+        task_id=task_id, family=FAMILY, kind=SEQ,
+        title="watchdog alarm", difficulty=0.55, ports=ports,
+        params={"limit": limit, "kick_ignored_in_alarm": False},
+        spec_body=spec_body, rtl_body=rtl_body,
+        model_init=lambda p: "self.count = 0\nself.alarm = 0",
+        model_step=model_step,
+        scenario_builder=scenarios,
+        variants=[
+            variant("alarm_one_early", "alarm asserts one cycle early",
+                    limit=limit - 1),
+            variant("kick_cannot_clear_alarm",
+                    "kick is ignored once the alarm fired",
+                    kick_ignored_in_alarm=True),
+        ],
+        reg_outputs=["alarm"],
+    )
+
+
+def build():
+    return [
+        _countdown_task(),
+        _pulse_task("seq_pulse5", 5, 0.45),
+        _pulse_task("seq_pulse7", 7, 0.47),
+        _watchdog_task(),
+    ]

@@ -1,0 +1,156 @@
+"""Toggle flip-flop and clock-divider tasks."""
+
+from __future__ import annotations
+
+from ..model import SEQ
+from ._base import (build_task, clock, in_port, out_port, reset,
+                    seq_scenarios, variant)
+
+FAMILY = "toggle"
+
+
+def _tff_task(task_id: str, gated: bool, difficulty: float):
+    inputs = [clock(), reset()]
+    if gated:
+        inputs.append(in_port("t", 1))
+    ports = tuple(inputs + [out_port("q", 1)])
+
+    def spec_body(p):
+        if gated:
+            return ("A T flip-flop: q toggles at the rising edge when t "
+                    "is 1 and holds when t is 0; synchronous reset clears "
+                    "q.")
+        return ("q toggles at every rising clock edge; synchronous reset "
+                "clears q (a divide-by-two).")
+
+    def rtl_body(p):
+        if gated and not p["always_toggles"]:
+            t_expr = "!t" if p["t_inverted"] else "t"
+            body = f"if ({t_expr}) q <= ~q;"
+        else:
+            body = "q <= ~q;"
+        return ("always @(posedge clk) begin\n"
+                f"    if (reset) q <= 1'b{p['reset_val']};\n"
+                f"    else {body}\n"
+                "end")
+
+    def model_step(p):
+        if gated and not p["always_toggles"]:
+            cond = ("not (inputs['t'] & 1)" if p["t_inverted"]
+                    else "inputs['t'] & 1")
+            move = f"if {cond}:\n        self.q ^= 1"
+        else:
+            move = "self.q ^= 1"
+        return (
+            "if inputs['reset'] & 1:\n"
+            f"    self.q = {p['reset_val']}\n"
+            "else:\n"
+            f"    {move}\n"
+            "return {'q': self.q}"
+        )
+
+    variants = [variant("reset_to_one", "reset sets q to 1", reset_val=1)]
+    if gated:
+        variants.append(variant("toggle_ungated", "toggles every cycle",
+                                always_toggles=True))
+        variants.append(variant("t_inverted", "t input sense inverted",
+                                t_inverted=True))
+
+    return build_task(
+        task_id=task_id, family=FAMILY, kind=SEQ,
+        title="T flip-flop" if gated else "divide-by-two toggler",
+        difficulty=difficulty, ports=ports,
+        params={"reset_val": 0, "always_toggles": False,
+                "t_inverted": False},
+        spec_body=spec_body, rtl_body=rtl_body,
+        model_init=lambda p: "self.q = 0", model_step=model_step,
+        scenario_builder=lambda p, rng: seq_scenarios(
+            ports, rng, reset_name="reset", n_scenarios=5, cycles_per=7),
+        variants=variants,
+        reg_outputs=["q"],
+    )
+
+
+def _divider_task(task_id: str, divide_log2: int, difficulty: float):
+    ports = (clock(), reset(), out_port("tick", 1))
+    width = divide_log2
+    mask = (1 << width) - 1
+
+    def spec_body(p):
+        return (f"A divide-by-{1 << divide_log2} pulse generator: an "
+                f"internal {width}-bit counter advances each rising edge "
+                "and tick is 1 exactly in the cycles where the counter "
+                "has wrapped to 0 (tick is 0 in the reset cycle itself).")
+
+    def rtl_body(p):
+        bit = p["tap_bit"]
+        if p["mode"] == "msb":
+            return (f"reg [{width - 1}:0] count;\n"
+                    "always @(posedge clk) begin\n"
+                    f"    if (reset) count <= {width}'d0;\n"
+                    f"    else count <= count + {width}'d1;\n"
+                    "end\n"
+                    "always @(*) begin\n"
+                    f"    tick = count[{bit}];\n"
+                    "end")
+        return (
+            f"reg [{width - 1}:0] count;\n"
+            "always @(posedge clk) begin\n"
+            "    if (reset) begin\n"
+            f"        count <= {width}'d0;\n"
+            "        tick <= 1'b0;\n"
+            "    end else begin\n"
+            f"        count <= count + {width}'d1;\n"
+            f"        tick <= (count == {width}'d{mask});\n"
+            "    end\n"
+            "end")
+
+    def model_step(p):
+        if p["mode"] == "msb":
+            return (
+                "if inputs['reset'] & 1:\n"
+                "    self.count = 0\n"
+                "else:\n"
+                f"    self.count = (self.count + 1) & 0x{mask:X}\n"
+                f"return {{'tick': (self.count >> {p['tap_bit']}) & 1}}"
+            )
+        return (
+            "if inputs['reset'] & 1:\n"
+            "    self.count = 0\n"
+            "    self.tick = 0\n"
+            "else:\n"
+            f"    self.tick = 1 if self.count == 0x{mask:X} else 0\n"
+            f"    self.count = (self.count + 1) & 0x{mask:X}\n"
+            "return {'tick': self.tick}"
+        )
+
+    return build_task(
+        task_id=task_id, family=FAMILY, kind=SEQ,
+        title=f"divide-by-{1 << divide_log2} tick generator",
+        difficulty=difficulty, ports=ports,
+        params={"mode": "pulse", "tap_bit": width - 1},
+        spec_body=spec_body, rtl_body=rtl_body,
+        model_init=lambda p: ("self.count = 0"
+                              if p["mode"] == "msb"
+                              else "self.count = 0\nself.tick = 0"),
+        model_step=model_step,
+        scenario_builder=lambda p, rng: seq_scenarios(
+            ports, rng, reset_name="reset", n_scenarios=4,
+            cycles_per=(2 << divide_log2) + 3),
+        variants=[
+            variant("square_wave",
+                    "outputs the counter MSB (a square wave) instead of "
+                    "a one-cycle pulse", mode="msb"),
+        ],
+        reg_outputs=["tick"],
+    )
+
+
+def build():
+    return [
+        _tff_task("seq_div2", False, 0.15),
+        _tff_task("seq_tff", True, 0.22),
+        _divider_task("seq_div8_tick", 3, 0.45),
+        _divider_task("seq_div4_tick", 2, 0.40),
+        _divider_task("seq_div16_tick", 4, 0.48),
+    ]

@@ -1,0 +1,125 @@
+"""Parametric truth-table tasks.
+
+These fill the combinational population to the paper's 81 tasks with the
+HDLBits "implement this truth table" problem shape.  Each task's table is
+drawn from a deterministic per-task RNG, and the golden RTL alternates
+between two rendering styles (case-statement lookup and sum-of-products)
+so the corpus is structurally diverse.
+"""
+
+from __future__ import annotations
+
+from ...util import derive_rng
+from ..model import CMB
+from ._base import (build_task, exhaustive_cmb_scenarios, in_port, out_port,
+                    variant)
+
+FAMILY = "truthtab"
+
+_VAR_NAMES = ("x3", "x2", "x1", "x0")
+
+# (task count, variable count) per width tier.
+N_TASKS_3VAR = 9
+N_TASKS_4VAR = 8
+
+
+def _sop_terms(table: int, n_vars: int) -> str:
+    terms = []
+    names = _VAR_NAMES[-n_vars:]
+    for minterm in range(1 << n_vars):
+        if not (table >> minterm) & 1:
+            continue
+        lits = []
+        for i, name in enumerate(names):
+            bit = (minterm >> (n_vars - 1 - i)) & 1
+            lits.append(name if bit else f"~{name}")
+        terms.append("(" + " & ".join(lits) + ")")
+    if not terms:
+        return "1'b0"
+    return " | ".join(terms)
+
+
+def _truthtab_task(task_id: str, n_vars: int, table: int, style: str,
+                   difficulty: float):
+    names = _VAR_NAMES[-n_vars:]
+    inputs = tuple(in_port(name) for name in names)
+    ports = inputs + (out_port("f", 1),)
+    full = (1 << (1 << n_vars)) - 1
+
+    def spec_body(p):
+        rows = []
+        for minterm in range(1 << n_vars):
+            bits = format(minterm, f"0{n_vars}b")
+            value = (p["table"] >> minterm) & 1
+            rows.append(f"  {' '.join(bits)} | {value}")
+        header = " ".join(names) + " | f"
+        return ("Implement the boolean function f defined by this truth "
+                "table (inputs listed MSB first):\n\n"
+                + header + "\n" + "\n".join(rows))
+
+    def rtl_body(p):
+        if style == "case":
+            sel = "{" + ", ".join(names) + "}"
+            lines = ["always @(*) begin", f"    case ({sel})"]
+            for minterm in range(1 << n_vars):
+                value = (p["table"] >> minterm) & 1
+                lines.append(f"        {n_vars}'d{minterm}: f = 1'b{value};")
+            lines.append("        default: f = 1'b0;")
+            lines.extend(["    endcase", "end"])
+            return "\n".join(lines)
+        return f"assign f = {_sop_terms(p['table'], n_vars)};"
+
+    def model_step(p):
+        idx = " | ".join(
+            f"((inputs['{name}'] & 1) << {n_vars - 1 - i})"
+            for i, name in enumerate(names))
+        return (
+            f"idx = {idx}\n"
+            f"return {{'f': (0x{p['table']:X} >> idx) & 1}}"
+        )
+
+    rng = derive_rng("truthtab-variants", task_id)
+    flip_a = 1 << rng.randrange(1 << n_vars)
+    flip_b = 1 << rng.randrange(1 << n_vars)
+    while flip_b == flip_a:
+        flip_b = 1 << rng.randrange(1 << n_vars)
+    return build_task(
+        task_id=task_id, family=FAMILY, kind=CMB,
+        title=f"{n_vars}-variable truth-table function",
+        difficulty=difficulty, ports=ports, params={"table": table},
+        spec_body=spec_body, rtl_body=rtl_body,
+        model_init=lambda p: "", model_step=model_step,
+        scenario_builder=lambda p, rng_: exhaustive_cmb_scenarios(
+            inputs, rng_, group_size=4),
+        variants=[
+            variant("entry_flipped_a", "one truth-table row is wrong",
+                    table=table ^ flip_a),
+            variant("entry_flipped_b", "a different row is wrong",
+                    table=table ^ flip_b),
+            variant("inverted", "the whole function is inverted",
+                    table=table ^ full),
+        ],
+        reg_outputs=["f"] if style == "case" else (),
+    )
+
+
+def build():
+    tasks = []
+    for k in range(N_TASKS_3VAR):
+        rng = derive_rng("truthtab", 3, k)
+        # Avoid constant and near-constant tables.
+        table = rng.randrange(1, (1 << 8) - 1)
+        while bin(table).count("1") in (0, 1, 7, 8):
+            table = rng.randrange(1, (1 << 8) - 1)
+        style = "case" if k % 2 == 0 else "sop"
+        tasks.append(_truthtab_task(
+            f"cmb_ttab3_{k:02d}", 3, table, style, 0.18 + 0.01 * (k % 5)))
+    for k in range(N_TASKS_4VAR):
+        rng = derive_rng("truthtab", 4, k)
+        table = rng.randrange(1, (1 << 16) - 1)
+        while not 3 <= bin(table).count("1") <= 13:
+            table = rng.randrange(1, (1 << 16) - 1)
+        style = "case" if k % 2 == 0 else "sop"
+        tasks.append(_truthtab_task(
+            f"cmb_ttab4_{k:02d}", 4, table, style, 0.26 + 0.015 * (k % 5)))
+    return tasks

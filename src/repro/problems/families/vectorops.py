@@ -1,0 +1,308 @@
+"""Vector restructuring tasks (split, swap, reverse, extend, multiply)."""
+
+from __future__ import annotations
+
+from ..model import CMB
+from ._base import (build_task, cmb_scenarios, exhaustive_cmb_scenarios,
+                    in_port, out_port, variant)
+
+FAMILY = "vectorops"
+
+
+def _split_task():
+    task_id = "cmb_split16"
+    ports = (in_port("in_bus", 16), out_port("hi", 8), out_port("lo", 8))
+
+    def spec_body(p):
+        return ("Split a 16-bit word into bytes: hi = in_bus[15:8], "
+                "lo = in_bus[7:0].")
+
+    def rtl_body(p):
+        if p["swapped"]:
+            return ("assign hi = in_bus[7:0];\n"
+                    "assign lo = in_bus[15:8];")
+        return ("assign hi = in_bus[15:8];\n"
+                "assign lo = in_bus[7:0];")
+
+    def model_step(p):
+        hi_expr = "value & 0xFF" if p["swapped"] else "(value >> 8) & 0xFF"
+        lo_expr = "(value >> 8) & 0xFF" if p["swapped"] else "value & 0xFF"
+        return (
+            "value = inputs['in_bus'] & 0xFFFF\n"
+            f"return {{'hi': {hi_expr}, 'lo': {lo_expr}}}"
+        )
+
+    return build_task(
+        task_id=task_id, family=FAMILY, kind=CMB,
+        title="16-bit word to byte splitter", difficulty=0.06, ports=ports,
+        params={"swapped": False},
+        spec_body=spec_body, rtl_body=rtl_body,
+        model_init=lambda p: "", model_step=model_step,
+        scenario_builder=lambda p, rng: cmb_scenarios(ports[:1], rng, 4, 4),
+        variants=[
+            variant("halves_swapped", "hi and lo outputs exchanged",
+                    swapped=True),
+        ],
+    )
+
+
+def _nibble_swap_task():
+    task_id = "cmb_nibswap8"
+    ports = (in_port("in_bus", 8), out_port("out", 8))
+
+    def spec_body(p):
+        return "Swap the two nibbles: out = {in_bus[3:0], in_bus[7:4]}."
+
+    def rtl_body(p):
+        if p["mode"] == "identity":
+            return "assign out = in_bus;"
+        if p["mode"] == "reverse":
+            bits = ", ".join(f"in_bus[{i}]" for i in range(8))
+            return f"assign out = {{{bits}}};"
+        return "assign out = {in_bus[3:0], in_bus[7:4]};"
+
+    def model_step(p):
+        expr = {
+            "swap": "((value & 0xF) << 4) | (value >> 4)",
+            "identity": "value",
+            "reverse": "int(format(value, '08b')[::-1], 2)",
+        }[p["mode"]]
+        return (
+            "value = inputs['in_bus'] & 0xFF\n"
+            f"return {{'out': ({expr}) & 0xFF}}"
+        )
+
+    return build_task(
+        task_id=task_id, family=FAMILY, kind=CMB,
+        title="8-bit nibble swapper", difficulty=0.10, ports=ports,
+        params={"mode": "swap"},
+        spec_body=spec_body, rtl_body=rtl_body,
+        model_init=lambda p: "", model_step=model_step,
+        scenario_builder=lambda p, rng: cmb_scenarios(ports[:1], rng, 4, 4),
+        variants=[
+            variant("no_swap", "passes the input through", mode="identity"),
+            variant("bit_reversed", "reverses all bits instead",
+                    mode="reverse"),
+        ],
+    )
+
+
+def _reverse_task():
+    task_id = "cmb_reverse8"
+    ports = (in_port("in_bus", 8), out_port("out", 8))
+
+    def spec_body(p):
+        return ("Reverse the bit order: out[i] = in_bus[7-i] for each of "
+                "the 8 bits.")
+
+    def rtl_body(p):
+        order = range(8) if not p["off_by_one"] else (
+            list(range(1, 8)) + [0])
+        if p["mode"] == "nibble":
+            return "assign out = {in_bus[3:0], in_bus[7:4]};"
+        bits = ", ".join(f"in_bus[{i}]" for i in order)
+        return f"assign out = {{{bits}}};"
+
+    def model_step(p):
+        if p["mode"] == "nibble":
+            return (
+                "value = inputs['in_bus'] & 0xFF\n"
+                "return {'out': (((value & 0xF) << 4) | (value >> 4)) "
+                "& 0xFF}"
+            )
+        if p["off_by_one"]:
+            return (
+                "value = inputs['in_bus'] & 0xFF\n"
+                "rev = int(format(value, '08b')[::-1], 2)\n"
+                "rot = ((rev >> 7) | (rev << 1)) & 0xFF\n"
+                "return {'out': rot}"
+            )
+        return (
+            "value = inputs['in_bus'] & 0xFF\n"
+            "return {'out': int(format(value, '08b')[::-1], 2)}"
+        )
+
+    return build_task(
+        task_id=task_id, family=FAMILY, kind=CMB,
+        title="8-bit bit-order reverser", difficulty=0.20, ports=ports,
+        params={"mode": "reverse", "off_by_one": False},
+        spec_body=spec_body, rtl_body=rtl_body,
+        model_init=lambda p: "", model_step=model_step,
+        scenario_builder=lambda p, rng: cmb_scenarios(ports[:1], rng, 4, 4),
+        variants=[
+            variant("nibble_swap_instead", "swaps nibbles instead",
+                    mode="nibble"),
+            variant("rotated_by_one", "reversal misaligned by one bit",
+                    off_by_one=True),
+        ],
+    )
+
+
+def _signext_task():
+    task_id = "cmb_signext4to8"
+    ports = (in_port("in_bus", 4), out_port("out", 8))
+
+    def spec_body(p):
+        return ("Sign-extend the 4-bit two's-complement input to 8 bits: "
+                "out = {{4{in_bus[3]}}, in_bus}.")
+
+    def rtl_body(p):
+        mode = p["mode"]
+        if mode == "zero":
+            return "assign out = {4'b0000, in_bus};"
+        if mode == "wrong_bit":
+            return "assign out = {{4{in_bus[0]}}, in_bus};"
+        return "assign out = {{4{in_bus[3]}}, in_bus};"
+
+    def model_step(p):
+        expr = {
+            "sign": "(0xF0 if value & 0x8 else 0) | value",
+            "zero": "value",
+            "wrong_bit": "(0xF0 if value & 0x1 else 0) | value",
+        }[p["mode"]]
+        return (
+            "value = inputs['in_bus'] & 0xF\n"
+            f"return {{'out': ({expr}) & 0xFF}}"
+        )
+
+    return build_task(
+        task_id=task_id, family=FAMILY, kind=CMB,
+        title="4-to-8 bit sign extender", difficulty=0.16, ports=ports,
+        params={"mode": "sign"},
+        spec_body=spec_body, rtl_body=rtl_body,
+        model_init=lambda p: "", model_step=model_step,
+        scenario_builder=lambda p, rng: exhaustive_cmb_scenarios(
+            ports[:1], rng, group_size=4),
+        variants=[
+            variant("zero_extend", "zero-extends instead", mode="zero"),
+            variant("replicates_lsb", "replicates bit 0 instead of bit 3",
+                    mode="wrong_bit"),
+        ],
+    )
+
+
+def _mul_task(task_id: str, square: bool, difficulty: float):
+    if square:
+        ports = (in_port("a", 4), out_port("prod", 8))
+    else:
+        ports = (in_port("a", 4), in_port("b", 4), out_port("prod", 8))
+
+    def spec_body(p):
+        if square:
+            return "prod is the 8-bit square of the 4-bit input: a * a."
+        return "prod is the full 8-bit product of the two 4-bit inputs."
+
+    def rtl_body(p):
+        rhs = "a * a" if square else "a * b"
+        if p["mode"] == "add":
+            rhs = "a + a" if square else "a + b"
+        if p["mode"] == "truncated":
+            return (f"wire [7:0] full_prod;\n"
+                    f"assign full_prod = {rhs};\n"
+                    f"assign prod = {{4'b0000, full_prod[3:0]}};")
+        return f"assign prod = {rhs};"
+
+    def model_step(p):
+        rhs = ("a * a" if square else "a * b")
+        if p["mode"] == "add":
+            rhs = "a + a" if square else "a + b"
+        mask = "0xF" if p["mode"] == "truncated" else "0xFF"
+        lines = ["a = inputs['a'] & 0xF"]
+        if not square:
+            lines.append("b = inputs['b'] & 0xF")
+        lines.append(f"return {{'prod': ({rhs}) & {mask}}}")
+        return "\n".join(lines)
+
+    return build_task(
+        task_id=task_id, family=FAMILY, kind=CMB,
+        title=("4-bit squarer" if square else "4x4 multiplier"),
+        difficulty=difficulty, ports=ports, params={"mode": "mul"},
+        spec_body=spec_body, rtl_body=rtl_body,
+        model_init=lambda p: "", model_step=model_step,
+        scenario_builder=lambda p, rng: (
+            exhaustive_cmb_scenarios(ports[:1], rng, group_size=4)
+            if square else cmb_scenarios(ports[:2], rng, 5, 4)),
+        variants=[
+            variant("adds_instead", "adds instead of multiplying",
+                    mode="add"),
+            variant("truncated", "keeps only the low 4 product bits",
+                    mode="truncated"),
+        ],
+    )
+
+
+def _gray_task(task_id: str, to_gray: bool, width: int, difficulty: float):
+    ports = (in_port("in_bus", width), out_port("out", width))
+    mask = (1 << width) - 1
+
+    def spec_body(p):
+        if to_gray:
+            return ("Convert binary to Gray code: "
+                    "out = in_bus ^ (in_bus >> 1).")
+        return ("Convert Gray code to binary: out[i] is the XOR of "
+                "in_bus bits i and above.")
+
+    def rtl_body(p):
+        if to_gray:
+            shift = "<<" if p["wrong_dir"] else ">>"
+            return f"assign out = in_bus ^ (in_bus {shift} 1);"
+        if p["wrong_dir"]:
+            return "assign out = in_bus ^ (in_bus >> 1);"
+        lines = [f"assign out[{width - 1}] = in_bus[{width - 1}];"]
+        for i in range(width - 2, -1, -1):
+            lines.append(
+                f"assign out[{i}] = out[{i + 1}] ^ in_bus[{i}];")
+        return "\n".join(lines)
+
+    def model_step(p):
+        if to_gray:
+            op = "<<" if p["wrong_dir"] else ">>"
+            return (
+                f"value = inputs['in_bus'] & 0x{mask:X}\n"
+                f"return {{'out': (value ^ (value {op} 1)) & 0x{mask:X}}}"
+            )
+        if p["wrong_dir"]:
+            return (
+                f"value = inputs['in_bus'] & 0x{mask:X}\n"
+                f"return {{'out': (value ^ (value >> 1)) & 0x{mask:X}}}"
+            )
+        return (
+            f"value = inputs['in_bus'] & 0x{mask:X}\n"
+            "out = 0\n"
+            "acc = 0\n"
+            f"for i in range({width - 1}, -1, -1):\n"
+            "    acc ^= (value >> i) & 1\n"
+            "    out |= acc << i\n"
+            "return {'out': out}"
+        )
+
+    return build_task(
+        task_id=task_id, family=FAMILY, kind=CMB,
+        title=("binary-to-Gray converter" if to_gray
+               else "Gray-to-binary converter"),
+        difficulty=difficulty, ports=ports, params={"wrong_dir": False},
+        spec_body=spec_body, rtl_body=rtl_body,
+        model_init=lambda p: "", model_step=model_step,
+        scenario_builder=lambda p, rng: (
+            exhaustive_cmb_scenarios(ports[:1], rng, group_size=4)
+            if width <= 4 else cmb_scenarios(ports[:1], rng, 4, 4)),
+        variants=[
+            variant("wrong_direction",
+                    ("shifts the wrong way" if to_gray
+                     else "applies the inverse transform"),
+                    wrong_dir=True),
+        ],
+    )
+
+
+def build():
+    return [
+        _split_task(),
+        _nibble_swap_task(),
+        _reverse_task(),
+        _signext_task(),
+        _mul_task("cmb_mul4x4", False, 0.22),
+        _mul_task("cmb_square4", True, 0.18),
+        _gray_task("cmb_bin2gray8", True, 8, 0.24),
+        _gray_task("cmb_gray2bin4", False, 4, 0.42),
+    ]

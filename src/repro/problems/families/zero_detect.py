@@ -1,0 +1,114 @@
+"""Zero / all-ones / range detection tasks."""
+
+from __future__ import annotations
+
+from ..model import CMB
+from ._base import (build_task, cmb_scenarios, exhaustive_cmb_scenarios,
+                    in_port, out_port, scenario, variant)
+
+FAMILY = "zero_detect"
+
+
+def _const_compare_task(task_id: str, width: int, target: str,
+                        difficulty: float):
+    """Detect a constant pattern (all zeros or all ones)."""
+    ports = (in_port("in_bus", width), out_port("hit", 1))
+    mask = (1 << width) - 1
+    const = 0 if target == "zero" else mask
+
+    def spec_body(p):
+        what = "all zeros" if target == "zero" else "all ones"
+        return f"hit is 1 exactly when the {width}-bit input is {what}."
+
+    def rtl_body(p):
+        op = "!=" if p["inverted"] else "=="
+        ref = (p["reference"]) & mask
+        return f"assign hit = in_bus {op} {width}'d{ref};"
+
+    def model_step(p):
+        op = "!=" if p["inverted"] else "=="
+        return (
+            f"value = inputs['in_bus'] & 0x{mask:X}\n"
+            f"return {{'hit': 1 if value {op} {p['reference'] & mask} "
+            f"else 0}}"
+        )
+
+    wrong_ref = 1 if target == "zero" else mask - 1
+    return build_task(
+        task_id=task_id, family=FAMILY, kind=CMB,
+        title=f"{width}-bit {'zero' if target == 'zero' else 'all-ones'} "
+              "detector",
+        difficulty=difficulty, ports=ports,
+        params={"inverted": False, "reference": const},
+        spec_body=spec_body, rtl_body=rtl_body,
+        model_init=lambda p: "", model_step=model_step,
+        scenario_builder=lambda p, rng: (
+            exhaustive_cmb_scenarios(ports[:1], rng, group_size=4)
+            if width <= 4 else cmb_scenarios(ports[:1], rng, 4, 4)),
+        variants=[
+            variant("inverted", "output polarity inverted", inverted=True),
+            variant("wrong_reference",
+                    "compares against an off-by-one constant",
+                    reference=wrong_ref),
+        ],
+    )
+
+
+def _range_task(task_id: str, lo: int, hi: int, difficulty: float):
+    ports = (in_port("in_bus", 8), out_port("in_range", 1))
+
+    def spec_body(p):
+        return (f"in_range is 1 when the unsigned input lies in the "
+                f"inclusive range [{p['lo']}, {p['hi']}].")
+
+    def rtl_body(p):
+        lo_op = ">" if p["exclusive"] else ">="
+        hi_op = "<" if p["exclusive"] else "<="
+        return (f"assign in_range = (in_bus {lo_op} 8'd{p['lo']}) && "
+                f"(in_bus {hi_op} 8'd{p['hi']});")
+
+    def model_step(p):
+        lo_op = ">" if p["exclusive"] else ">="
+        hi_op = "<" if p["exclusive"] else "<="
+        return (
+            "value = inputs['in_bus'] & 0xFF\n"
+            f"return {{'in_range': 1 if (value {lo_op} {p['lo']} and "
+            f"value {hi_op} {p['hi']}) else 0}}"
+        )
+
+    def scenarios(p, rng):
+        boundary = [{"in_bus": v & 0xFF}
+                    for v in (lo - 1, lo, lo + 1, hi - 1, hi, hi + 1)]
+        inside = [{"in_bus": rng.randrange(lo, hi + 1)} for _ in range(4)]
+        outside = [{"in_bus": rng.choice(
+            list(range(0, lo)) + list(range(hi + 1, 256)))}
+            for _ in range(4)]
+        return (
+            scenario(1, "boundaries", "Values at the range boundaries.",
+                     boundary),
+            scenario(2, "inside", "Values inside the range.", inside),
+            scenario(3, "outside", "Values outside the range.", outside),
+        )
+
+    return build_task(
+        task_id=task_id, family=FAMILY, kind=CMB,
+        title="8-bit range detector", difficulty=difficulty, ports=ports,
+        params={"lo": lo, "hi": hi, "exclusive": False},
+        spec_body=spec_body, rtl_body=rtl_body,
+        model_init=lambda p: "", model_step=model_step,
+        scenario_builder=scenarios,
+        variants=[
+            variant("exclusive_bounds", "uses strict comparisons",
+                    exclusive=True),
+            variant("hi_off_by_one", "upper bound one too small",
+                    hi=hi - 1),
+        ],
+    )
+
+
+def build():
+    return [
+        _const_compare_task("cmb_iszero8", 8, "zero", 0.08),
+        _const_compare_task("cmb_allones4", 4, "ones", 0.10),
+        _range_task("cmb_inrange8", 0x20, 0x7E, 0.26),
+    ]

@@ -1,0 +1,87 @@
+"""Shared utilities: stable hashing, seeded RNG derivation, text helpers.
+
+Determinism is a core requirement of this reproduction: every stochastic
+decision made by the synthetic LLM and the mutation engine must be a pure
+function of (global seed, task id, stage, attempt).  Python's builtin
+``hash`` is salted per process, so all derived seeds go through SHA-256.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+import re
+from typing import Iterable
+
+
+def stable_hash(*parts: object) -> int:
+    """A process-independent 64-bit hash of the given parts."""
+    h = hashlib.sha256()
+    for part in parts:
+        h.update(repr(part).encode("utf-8"))
+        h.update(b"\x1f")
+    return int.from_bytes(h.digest()[:8], "big")
+
+
+def derive_rng(*parts: object) -> random.Random:
+    """A ``random.Random`` deterministically seeded from the parts."""
+    return random.Random(stable_hash(*parts))
+
+
+_FENCE_RE = re.compile(
+    r"```(?P<lang>[A-Za-z0-9_+-]*)[ \t]*\n(?P<body>.*?)```",
+    re.DOTALL,
+)
+
+
+def extract_code_blocks(text: str, language: str | None = None) -> list[str]:
+    """Extract fenced code blocks from a chat response.
+
+    ``language`` filters on the fence info string (``verilog``, ``python``);
+    ``None`` returns every block.  This mirrors how the original pipeline
+    parses LLM chat responses.
+    """
+    blocks = []
+    for match in _FENCE_RE.finditer(text):
+        lang = match.group("lang").lower()
+        if language is None or lang == language.lower():
+            blocks.append(match.group("body"))
+    return blocks
+
+
+def extract_first_code_block(text: str, language: str | None = None) -> str:
+    """First fenced code block, or the whole text if none is fenced.
+
+    Falling back to the raw text mirrors the leniency real pipelines need
+    when a model answers with bare code.
+    """
+    blocks = extract_code_blocks(text, language)
+    if blocks:
+        return blocks[0]
+    return text
+
+
+def indent(text: str, prefix: str = "    ") -> str:
+    """Indent every non-empty line of ``text`` by ``prefix``."""
+    return "\n".join(
+        prefix + line if line.strip() else line
+        for line in text.splitlines()
+    )
+
+
+def clamp(value: float, lo: float = 0.0, hi: float = 1.0) -> float:
+    """Clamp ``value`` into ``[lo, hi]``."""
+    return max(lo, min(hi, value))
+
+
+def mean(values: Iterable[float]) -> float:
+    """Arithmetic mean; 0.0 for an empty iterable."""
+    values = list(values)
+    if not values:
+        return 0.0
+    return sum(values) / len(values)
+
+
+def format_ratio(value: float) -> str:
+    """Format a ratio in the paper's style, e.g. ``70.13%``."""
+    return f"{value * 100:.2f}%"

@@ -1,0 +1,143 @@
+"""Codegen renderers: driver, checker, scenario listing, baseline TB."""
+
+import pytest
+
+from repro.codegen import (BaselineFaults, DriverFaults,
+                           parse_driver_scenarios, parse_scenario_listing,
+                           render_baseline_tb, render_checker_core,
+                           render_driver, render_scenario_listing)
+from repro.codegen.baseline import baseline_verdict
+from repro.core.simulation import run_monolithic, syntax_ok
+from repro.problems import get_task, load_dataset
+
+
+@pytest.fixture()
+def cmb_task():
+    return get_task("cmb_alu4")
+
+
+@pytest.fixture()
+def seq_task():
+    return get_task("seq_count8_en")
+
+
+class TestDriver:
+    @pytest.mark.parametrize("task", load_dataset()[::11],
+                             ids=lambda t: t.task_id)
+    def test_golden_driver_parses(self, task):
+        driver = render_driver(task, task.canonical_scenarios())
+        assert syntax_ok(driver)
+
+    def test_scenario_comments_roundtrip(self, cmb_task):
+        plan = cmb_task.canonical_scenarios()
+        driver = render_driver(cmb_task, plan)
+        parsed = parse_driver_scenarios(driver)
+        assert [index for index, _ in parsed] == [s.index for s in plan]
+        assert parsed[0][1] == plan[0].description
+
+    def test_drop_fault_removes_scenarios(self, cmb_task):
+        plan = cmb_task.canonical_scenarios()
+        driver = render_driver(cmb_task, plan,
+                               DriverFaults(drop_last_scenario=True))
+        parsed = parse_driver_scenarios(driver)
+        assert len(parsed) < len(plan)
+
+    def test_late_sample_fault_removes_settle_delay(self, seq_task):
+        plan = seq_task.canonical_scenarios()
+        clean = render_driver(seq_task, plan)
+        racy = render_driver(seq_task, plan,
+                             DriverFaults(late_sample=True))
+        assert clean.count("#1;") > racy.count("#1;")
+
+    def test_missing_clock_init(self, seq_task):
+        plan = seq_task.canonical_scenarios()
+        broken = render_driver(seq_task, plan,
+                               DriverFaults(missing_clock_init=True))
+        assert "clk = 1'b0;" not in broken
+
+    def test_stuck_input_assigned_once(self, seq_task):
+        plan = seq_task.canonical_scenarios()
+        driver = render_driver(seq_task, plan,
+                               DriverFaults(stuck_input="en"))
+        lines = [line for line in driver.splitlines()
+                 if line.strip().startswith("en = ")]
+        assert len(lines) == 1
+
+    def test_style_seed_changes_header_only(self, cmb_task):
+        def body(src):
+            lines = src.splitlines()
+            while lines and (lines[0].startswith("//")
+                             or lines[0].startswith("/*")):
+                lines.pop(0)
+            return lines
+
+        plan = cmb_task.canonical_scenarios()
+        a = render_driver(cmb_task, plan, style_seed=0)
+        b = render_driver(cmb_task, plan, style_seed=1)
+        assert a != b
+        assert body(a) == body(b)
+
+
+class TestChecker:
+    def test_golden_core_compiles(self, cmb_task):
+        source = render_checker_core(cmb_task)
+        compile(source, "<t>", "exec")
+        assert "class RefModel" in source
+
+    def test_variant_core_differs(self, cmb_task):
+        golden = render_checker_core(cmb_task)
+        variant = render_checker_core(
+            cmb_task, cmb_task.variant_params(cmb_task.variants[0]))
+        assert golden != variant
+
+
+class TestScenarioListing:
+    def test_roundtrip(self, cmb_task):
+        plan = cmb_task.canonical_scenarios()
+        listing = render_scenario_listing(plan)
+        parsed = parse_scenario_listing(listing)
+        assert len(parsed) == len(plan)
+        assert parsed[0][0] == 1
+        assert parsed[0][1] == plan[0].name
+
+    def test_parse_ignores_prose(self):
+        text = "Some chat.\n1. [alpha] does things\nMore chat."
+        assert parse_scenario_listing(text) == [(1, "alpha",
+                                                 "does things")]
+
+
+class TestBaseline:
+    def test_golden_baseline_passes_golden_rtl(self, cmb_task):
+        tb = render_baseline_tb(cmb_task, cmb_task.canonical_scenarios(),
+                                render_checker_core(cmb_task))
+        run = run_monolithic(tb, cmb_task.golden_rtl())
+        assert run.status == "ok"
+        assert run.verdict is True
+
+    def test_wrong_belief_fails_golden_rtl(self, cmb_task):
+        wrong_model = render_checker_core(
+            cmb_task, cmb_task.variant_params(cmb_task.variants[0]))
+        tb = render_baseline_tb(cmb_task, cmb_task.canonical_scenarios(),
+                                wrong_model)
+        run = run_monolithic(tb, cmb_task.golden_rtl())
+        assert run.status == "ok"
+        assert run.verdict is False
+
+    def test_sequential_baseline(self, seq_task):
+        tb = render_baseline_tb(seq_task, seq_task.canonical_scenarios(),
+                                render_checker_core(seq_task))
+        run = run_monolithic(tb, seq_task.golden_rtl())
+        assert run.verdict is True
+
+    def test_thin_faults_reduce_checks(self, cmb_task):
+        plan = cmb_task.canonical_scenarios()
+        model = render_checker_core(cmb_task)
+        full = render_baseline_tb(cmb_task, plan, model)
+        thin = render_baseline_tb(cmb_task, plan, model,
+                                  BaselineFaults(thin=True))
+        assert thin.count("// Check") < full.count("// Check")
+
+    def test_verdict_parser(self):
+        assert baseline_verdict(["ALL_TESTS_PASSED"]) is True
+        assert baseline_verdict(["TESTS_FAILED: 3"]) is False
+        assert baseline_verdict(["noise"]) is None

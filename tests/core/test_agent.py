@@ -1,0 +1,141 @@
+"""Algorithm 1 semantics, tested with a scripted pipeline.
+
+The fake generator/validator/corrector let us assert the exact action
+sequences of the paper's Algorithm 1 without any simulation cost:
+correction budget per boot, reboot budget, counter reset on reboot, and
+the give-up path.
+"""
+
+from dataclasses import dataclass, field
+
+import pytest
+
+import repro.core.agent as agent_mod
+from repro.core.agent import CorrectBenchWorkflow
+from repro.core.artifacts import HybridTestbench
+from repro.core.validator import ValidationReport
+from repro.problems import get_task
+
+
+def _tb(attempt, correction=0, origin="autobench"):
+    return HybridTestbench(
+        task_id="t", driver_src=f"driver-{attempt}",
+        checker_src=f"checker-{attempt}-{correction}",
+        scenarios=((1, "s"),), origin=origin,
+        generation_index=attempt, correction_index=correction)
+
+
+@dataclass
+class ScriptedPipeline:
+    """verdicts[key] -> bool; key is (attempt, correction)."""
+
+    verdicts: dict
+    generated: list = field(default_factory=list)
+    corrected: list = field(default_factory=list)
+    validated: list = field(default_factory=list)
+
+    # generator
+    def generate(self, attempt=0):
+        self.generated.append(attempt)
+        return _tb(attempt)
+
+    # validator
+    def validate(self, tb):
+        key = (tb.generation_index, tb.correction_index)
+        self.validated.append(key)
+        verdict = self.verdicts.get(key, False)
+        return ValidationReport(verdict,
+                                wrong=() if verdict else (1,))
+
+    # corrector
+    def correct(self, task, tb, report, correction_round):
+        self.corrected.append(correction_round)
+        from repro.core.corrector import CorrectionOutcome
+        return CorrectionOutcome(
+            _tb(tb.generation_index, correction_round, "corrector"),
+            "reasoning", True)
+
+
+@pytest.fixture()
+def scripted(monkeypatch):
+    """Patch the workflow's collaborators with the scripted pipeline."""
+    def install(verdicts, **kwargs):
+        pipeline = ScriptedPipeline(verdicts)
+        monkeypatch.setattr(agent_mod, "AutoBenchGenerator",
+                            lambda client, task: pipeline)
+        monkeypatch.setattr(
+            agent_mod, "ScenarioValidator",
+            lambda client, task, criterion, group_size: pipeline)
+        monkeypatch.setattr(agent_mod, "Corrector",
+                            lambda client: pipeline)
+        workflow = CorrectBenchWorkflow(client=None,
+                                        task=get_task("cmb_eq4"),
+                                        **kwargs)
+        return pipeline, workflow
+    return install
+
+
+class TestAlgorithm1:
+    def test_immediate_pass(self, scripted):
+        pipeline, workflow = scripted({(0, 0): True})
+        result = workflow.run()
+        assert result.validated
+        assert result.corrections == 0
+        assert result.reboots == 0
+        assert result.history[-1].action == "Pass"
+
+    def test_corrections_before_reboot(self, scripted):
+        # Wrong until the 2nd correction succeeds.
+        pipeline, workflow = scripted({(0, 2): True})
+        result = workflow.run()
+        assert result.corrections == 2
+        assert result.reboots == 0
+        assert result.final_tb.origin == "corrector"
+        assert [e.action for e in result.history] == [
+            "Correcting", "Correcting", "Pass"]
+
+    def test_reboot_after_correction_budget(self, scripted):
+        # Boot 0 never validates; boot 1's raw TB does.
+        pipeline, workflow = scripted({(1, 0): True})
+        result = workflow.run()
+        assert result.reboots == 1
+        assert result.corrections == 3  # I_C^max exhausted on boot 0
+        actions = [e.action for e in result.history]
+        assert actions == ["Correcting", "Correcting", "Correcting",
+                           "Rebooting", "Pass"]
+
+    def test_correction_counter_resets_per_boot(self, scripted):
+        # Boot 0 burns 3 corrections; boot 1 validates after 1 more —
+        # only possible if I_C was reset by the reboot (Algorithm 1
+        # line 13).
+        pipeline, workflow = scripted({(1, 4): True})
+        result = workflow.run()
+        assert result.reboots == 1
+        assert result.corrections == 4
+        assert result.validated
+
+    def test_gives_up_after_budgets(self, scripted):
+        pipeline, workflow = scripted({})  # nothing ever validates
+        result = workflow.run()
+        assert result.gave_up
+        assert not result.validated
+        assert result.reboots == 10
+        assert result.corrections == 3 * 11  # 3 per boot, 11 boots
+        assert result.history[-1].action == "Pass"
+
+    def test_custom_budgets(self, scripted):
+        pipeline, workflow = scripted({}, ic_max=1, ir_max=2)
+        result = workflow.run()
+        assert result.reboots == 2
+        assert result.corrections == 3  # 1 per boot, 3 boots
+
+    def test_generator_called_once_per_boot(self, scripted):
+        pipeline, workflow = scripted({})
+        workflow.run()
+        assert pipeline.generated == list(range(11))
+
+    def test_took_any_action_flag(self, scripted):
+        pipeline, workflow = scripted({(0, 0): True})
+        assert workflow.run().took_any_action is False
+        pipeline, workflow = scripted({(0, 1): True})
+        assert workflow.run().took_any_action is True

@@ -1,0 +1,88 @@
+"""The fixed checker interface."""
+
+from repro.core.checker_runtime import (CHECKER_RUNTIME, CHECKER_SYNTAX,
+                                        checker_compiles, run_checker)
+from repro.core.simulation import Record
+from repro.problems.model import Port
+
+PORTS = (Port("a", "input", 4), Port("out", "output", 4))
+
+GOOD_CORE = """
+class RefModel:
+    def step(self, inputs):
+        return {'out': (inputs['a'] + 1) & 0xF}
+"""
+
+
+def records(*rows):
+    return [Record(scenario, values) for scenario, values in rows]
+
+
+class TestRunChecker:
+    def test_all_pass(self):
+        report = run_checker(GOOD_CORE, PORTS, records(
+            (1, {"a": "3", "out": "4"}),
+            (2, {"a": "15", "out": "0"})))
+        assert report.ok
+        assert report.all_passed
+        assert report.passed_scenarios == (1, 2)
+
+    def test_mismatch_flagged_per_scenario(self):
+        report = run_checker(GOOD_CORE, PORTS, records(
+            (1, {"a": "3", "out": "4"}),
+            (2, {"a": "3", "out": "9"})))
+        assert report.failed_scenarios == (2,)
+        assert report.verdicts[2].mismatches
+
+    def test_x_output_is_mismatch(self):
+        report = run_checker(GOOD_CORE, PORTS, records(
+            (1, {"a": "3", "out": "x"}),))
+        assert report.failed_scenarios == (1,)
+
+    def test_syntax_error_status(self):
+        report = run_checker("class RefModel\n    pass", PORTS,
+                             records((1, {"a": "0", "out": "1"})))
+        assert report.status == CHECKER_SYNTAX
+        assert not report.all_passed
+
+    def test_crash_during_step(self):
+        core = ("class RefModel:\n"
+                "    def step(self, inputs):\n"
+                "        return {'out': 1 // 0}\n")
+        report = run_checker(core, PORTS, records(
+            (1, {"a": "0", "out": "1"}),))
+        assert report.status == CHECKER_RUNTIME
+
+    def test_missing_output_key(self):
+        core = ("class RefModel:\n"
+                "    def step(self, inputs):\n"
+                "        return {}\n")
+        report = run_checker(core, PORTS, records(
+            (1, {"a": "0", "out": "1"}),))
+        assert report.status == CHECKER_RUNTIME
+
+    def test_state_carries_between_records(self):
+        core = ("class RefModel:\n"
+                "    def __init__(self):\n"
+                "        self.n = 0\n"
+                "    def step(self, inputs):\n"
+                "        self.n = (self.n + 1) & 0xF\n"
+                "        return {'out': self.n}\n")
+        report = run_checker(core, PORTS, records(
+            (1, {"a": "0", "out": "1"}),
+            (1, {"a": "0", "out": "2"}),
+            (2, {"a": "0", "out": "3"})))
+        assert report.all_passed
+
+    def test_output_masked_to_port_width(self):
+        core = ("class RefModel:\n"
+                "    def step(self, inputs):\n"
+                "        return {'out': 0x1F}\n")  # 5 bits into 4-bit port
+        report = run_checker(core, PORTS, records(
+            (1, {"a": "0", "out": "15"}),))
+        assert report.all_passed
+
+
+def test_checker_compiles():
+    assert checker_compiles(GOOD_CORE)
+    assert not checker_compiles("def broken(:")

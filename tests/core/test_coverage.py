@@ -1,0 +1,102 @@
+"""Coverage-based self-validation (the future-work extension)."""
+
+import pytest
+
+from repro.codegen import render_checker_core, render_driver
+from repro.core import CRITERION_70, HybridTestbench, ScenarioValidator
+from repro.core.coverage import (CoveragePolicy, CoverageValidator,
+                                 measure_coverage,
+                                 reference_pattern_count)
+from repro.core.simulation import Record
+from repro.llm import GPT_4O, MeteredClient, UsageMeter
+from repro.llm.synthetic import SyntheticLLM
+from repro.problems import get_task
+
+TASK_ID = "cmb_kmap4_a"
+
+
+def _tb(task, plan):
+    return HybridTestbench(
+        task_id=task.task_id,
+        driver_src=render_driver(task, plan),
+        checker_src=render_checker_core(task),
+        scenarios=tuple((s.index, s.description) for s in plan))
+
+
+def _thin_plan(plan, n_scenarios=1, n_vectors=1):
+    return tuple(
+        type(plan[0])(s.index, s.name, s.description,
+                      s.vectors[:n_vectors])
+        for s in plan[:n_scenarios])
+
+
+class TestMeasurement:
+    def test_reference_count_positive(self):
+        assert reference_pattern_count(get_task(TASK_ID)) >= 4
+
+    def test_distinct_patterns_counted(self):
+        task = get_task("cmb_eq4")
+        records = [Record(1, {"a": "1", "b": "2", "eq": "0"}),
+                   Record(1, {"a": "1", "b": "2", "eq": "0"}),
+                   Record(2, {"a": "3", "b": "3", "eq": "1"})]
+        report = measure_coverage(task, records)
+        assert report.check_points == 3
+        assert report.distinct_patterns == 2
+
+    def test_full_plan_meets_default_policy(self):
+        task = get_task(TASK_ID)
+        plan = task.canonical_scenarios()
+        from repro.core.simulation import run_driver
+        run = run_driver(render_driver(task, plan), task.golden_rtl())
+        report = measure_coverage(task, run.records)
+        assert report.meets(CoveragePolicy())
+        assert report.pattern_ratio > 0.9
+
+    def test_thin_plan_fails_policy(self):
+        task = get_task(TASK_ID)
+        plan = _thin_plan(task.canonical_scenarios())
+        from repro.core.simulation import run_driver
+        run = run_driver(render_driver(task, plan), task.golden_rtl())
+        report = measure_coverage(task, run.records)
+        assert not report.meets(CoveragePolicy())
+
+
+class TestCoverageValidator:
+    @pytest.fixture()
+    def validator(self):
+        task = get_task(TASK_ID)
+        client = MeteredClient(SyntheticLLM(GPT_4O, seed=0), UsageMeter())
+        return CoverageValidator(
+            ScenarioValidator(client, task, CRITERION_70))
+
+    def test_rich_golden_tb_accepted(self, validator):
+        task = validator.task
+        report = validator.validate(_tb(task, task.canonical_scenarios()))
+        assert report.verdict is True
+
+    def test_weak_tb_rejected_despite_correct_checker(self, validator):
+        # The plain RS-matrix validator accepts this weak TB; the
+        # coverage gate is what catches it.
+        task = validator.task
+        weak = _tb(task, _thin_plan(task.canonical_scenarios(), 1, 2))
+        assert validator.inner.validate(weak).verdict is True
+        report = validator.validate(weak)
+        assert report.verdict is False
+        assert "coverage too weak" in report.note
+
+    def test_wrong_checker_still_rejected(self, validator):
+        # The coverage gate must not mask functional validation.
+        from repro.llm.faults import FaultModel
+        task = validator.task
+        sticky = FaultModel(GPT_4O, seed=0).sticky_misconception(task)
+        variant = next(v for v in task.variants if v.vid != sticky.vid)
+        plan = task.canonical_scenarios()
+        wrong = HybridTestbench(
+            task_id=task.task_id,
+            driver_src=render_driver(task, plan),
+            checker_src=render_checker_core(
+                task, task.variant_params(variant)),
+            scenarios=tuple((s.index, s.description) for s in plan))
+        report = validator.validate(wrong)
+        assert report.verdict is False
+        assert report.wrong  # functional bug info, not a coverage note

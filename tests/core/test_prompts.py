@@ -1,0 +1,63 @@
+"""Prompt templates: every stage's prompt carries the inputs it claims."""
+
+from repro.core import prompts
+
+
+def test_scenario_prompt_embeds_spec():
+    text = prompts.scenario_prompt("THE-SPEC-TEXT")
+    assert "THE-SPEC-TEXT" in text
+    assert "[RTL SPEC]" in text
+
+
+def test_driver_prompt_states_contract():
+    text = prompts.driver_prompt("spec", "1. [a] b")
+    assert "results.txt" in text
+    assert "scenario: %d" in text
+    assert "// Scenario <n>" in text
+    assert "1. [a] b" in text
+
+
+def test_checker_prompt_names_interface():
+    text = prompts.checker_prompt("spec", "listing")
+    assert "RefModel" in text
+    assert "step(self, inputs: dict)" in text
+
+
+def test_syntax_fix_prompt_includes_error_and_code():
+    text = prompts.syntax_fix_prompt("Verilog", "unexpected token",
+                                     "module m; endmodule")
+    assert "unexpected token" in text
+    assert "module m; endmodule" in text
+
+
+def test_scenario_fix_prompt_lists_missing():
+    text = prompts.scenario_fix_prompt([3, 5], "driver code")
+    assert "[3, 5]" in text
+
+
+def test_rtl_prompt_numbers_attempts():
+    assert "attempt 4" in prompts.rtl_prompt("spec", 3)
+
+
+def test_baseline_prompt_defines_verdict_markers():
+    text = prompts.baseline_prompt("spec")
+    assert "ALL_TESTS_PASSED" in text
+    assert "TESTS_FAILED" in text
+
+
+def test_corrector_stage1_carries_bug_information():
+    text = prompts.corrector_stage1_prompt(
+        "spec", "1. reset", wrong=(2, 3), correct=(1,), uncertain=(4,),
+        driver_src="DRV", checker_src="CHK")
+    assert "wrong: [2, 3]" in text
+    assert "correct: [1]" in text
+    assert "uncertain: [4]" in text
+    assert "DRV" in text and "CHK" in text
+    # The paper's three guided questions (Fig. 5).
+    assert "1." in text and "2." in text and "3." in text
+
+
+def test_corrector_stage2_formatting_rules():
+    text = prompts.corrector_stage2_prompt()
+    assert "one python code block" in text
+    assert "RefModel" in text

@@ -1,0 +1,112 @@
+"""RS matrix construction and the three validation criteria."""
+
+from repro.core import (CRITERION_100, CRITERION_50, CRITERION_70, decide)
+from repro.core.rs_matrix import RSRow, build_matrix
+
+
+def matrix_from_grid(grid, discarded=()):
+    """Build an RSMatrix from a list of '01' strings (1 = green)."""
+    n_scenarios = len(grid[0])
+    scenario_indexes = tuple(range(1, n_scenarios + 1))
+    rows = []
+    for i, row_text in enumerate(grid):
+        if i in discarded:
+            rows.append(RSRow(i, None, "syntax"))
+        else:
+            cells = {s: row_text[s - 1] == "1" for s in scenario_indexes}
+            rows.append(RSRow(i, cells))
+    return build_matrix(scenario_indexes, rows)
+
+
+class TestMatrixStats:
+    def test_column_wrong_fraction(self):
+        matrix = matrix_from_grid(["011", "001", "111", "011"])
+        assert matrix.column_wrong_fraction(1) == 0.75
+        assert matrix.column_wrong_fraction(2) == 0.25
+        assert matrix.column_wrong_fraction(3) == 0.0
+
+    def test_discarded_rows_excluded(self):
+        matrix = matrix_from_grid(["10", "00", "11"], discarded=(1,))
+        assert matrix.n_valid == 2
+        assert matrix.column_wrong_fraction(2) == 0.5
+
+    def test_fully_green_row_fraction(self):
+        matrix = matrix_from_grid(["111", "110", "111", "000"])
+        assert matrix.fully_green_row_fraction() == 0.5
+
+    def test_ascii_rendering(self):
+        matrix = matrix_from_grid(["10", "01"], discarded=())
+        art = matrix.render_ascii()
+        assert "#" in art and "X" in art
+
+    def test_missing_column_data_is_none(self):
+        rows = [RSRow(0, {1: True})]  # no data for scenario 2
+        matrix = build_matrix((1, 2), rows)
+        assert matrix.column_wrong_fraction(2) is None
+
+
+class TestCriteria:
+    def test_all_green_is_correct_everywhere(self):
+        matrix = matrix_from_grid(["1111"] * 10)
+        for criterion in (CRITERION_100, CRITERION_70, CRITERION_50):
+            report = decide(matrix, criterion)
+            assert report.verdict is True
+            assert report.wrong == ()
+
+    def test_fully_red_column_fails_all_criteria(self):
+        # Column 2 fully red; no fully-green rows.
+        matrix = matrix_from_grid(["101"] * 10)
+        for criterion in (CRITERION_100, CRITERION_70, CRITERION_50):
+            report = decide(matrix, criterion)
+            assert report.verdict is False
+            assert 2 in report.wrong
+
+    def test_70_percent_column(self):
+        # Column 1 wrong in 7 of 10 rows (and no fully-green rows, so the
+        # row override cannot kick in) -> 70%-wrong flags it, the naive
+        # 100%-wrong does not.
+        grid = ["01"] * 7 + ["10"] * 3
+        matrix = matrix_from_grid(grid)
+        assert decide(matrix, CRITERION_100).verdict is True
+        report = decide(matrix, CRITERION_70)
+        assert report.verdict is False
+        assert report.wrong == (1,)
+
+    def test_50_percent_is_stricter_than_70(self):
+        # Column 1 wrong in 6 of 10 rows: flagged by 50%, not by 70%.
+        grid = ["01"] * 6 + ["10"] * 4
+        matrix = matrix_from_grid(grid)
+        assert decide(matrix, CRITERION_70).verdict is True
+        assert decide(matrix, CRITERION_50).verdict is False
+
+    def test_green_row_override(self):
+        # Column 1 is 70% wrong, but 30% of rows are fully green ->
+        # the 70%-wrong criterion declares the TB correct outright.
+        grid = ["01"] * 7 + ["11"] * 3
+        matrix = matrix_from_grid(grid)
+        report = decide(matrix, CRITERION_70)
+        assert report.verdict is True
+        assert "green-row override" in report.note
+
+    def test_100_percent_has_no_row_override(self):
+        # A fully-red column fails 100%-wrong even with many green rows.
+        grid = ["01"] * 7 + ["11"] * 0
+        matrix = matrix_from_grid(["01"] * 7)
+        assert decide(matrix, CRITERION_100).verdict is False
+
+    def test_uncertain_band(self):
+        # Column 1 wrong in 5 of 9 rows: below the 70% threshold, above
+        # half of it -> uncertain.  Only 2 of 9 rows are fully green, so
+        # the row override stays quiet.
+        grid = ["01"] * 5 + ["10"] * 2 + ["11"] * 2
+        matrix = matrix_from_grid(grid)
+        report = decide(matrix, CRITERION_70)
+        assert report.verdict is True
+        assert 1 in report.uncertain
+        assert 2 in report.correct
+
+    def test_no_valid_rows_is_wrong(self):
+        matrix = matrix_from_grid(["11", "11"], discarded=(0, 1))
+        report = decide(matrix, CRITERION_70)
+        assert report.verdict is False
+        assert report.note == "no valid judge rows"

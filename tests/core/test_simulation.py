@@ -1,0 +1,100 @@
+"""Simulation glue: statuses, record parsing, caching."""
+
+from repro.core.simulation import (ELABORATION, OK, RUNTIME, SYNTAX,
+                                   dut_compiles, parse_cached, parse_dump,
+                                   run_driver, run_monolithic, syntax_ok)
+from repro.codegen import render_driver
+from repro.problems import get_task
+
+
+class TestParseDump:
+    def test_basic_line(self):
+        records = parse_dump(
+            ["scenario:  1, a = 3, b = 12, out = 15"])
+        assert records[0].scenario == 1
+        assert records[0].values == {"a": "3", "b": "12", "out": "15"}
+
+    def test_x_values_preserved(self):
+        records = parse_dump(["scenario: 2, q = x"])
+        assert records[0].values["q"] == "x"
+
+    def test_noise_lines_skipped(self):
+        records = parse_dump(["hello", "scenario: 1, a = 0", ""])
+        assert len(records) == 1
+
+    def test_negative_numbers(self):
+        records = parse_dump(["scenario: 1, a = -5"])
+        assert records[0].values["a"] == "-5"
+
+
+class TestRunDriver:
+    def test_ok_run(self):
+        task = get_task("cmb_eq4")
+        driver = render_driver(task, task.canonical_scenarios())
+        run = run_driver(driver, task.golden_rtl())
+        assert run.status == OK
+        assert run.records
+
+    def test_driver_syntax_error(self):
+        task = get_task("cmb_eq4")
+        run = run_driver("module tb(; endmodule", task.golden_rtl())
+        assert run.status == SYNTAX
+        assert "driver" in run.detail
+
+    def test_dut_syntax_error(self):
+        task = get_task("cmb_eq4")
+        driver = render_driver(task, task.canonical_scenarios())
+        run = run_driver(driver, "module top_module(; endmodule")
+        assert run.status == SYNTAX
+        assert "dut" in run.detail
+
+    def test_elaboration_error(self):
+        task = get_task("cmb_eq4")
+        driver = render_driver(task, task.canonical_scenarios())
+        # DUT with the wrong port names fails at elaboration.
+        run = run_driver(driver,
+                         "module top_module(input x, output y);\n"
+                         "assign y = x;\nendmodule")
+        assert run.status == ELABORATION
+
+    def test_runtime_error_no_finish(self):
+        run = run_driver("module tb; initial begin end endmodule",
+                         "module top_module(); endmodule")
+        assert run.status == RUNTIME
+
+    def test_no_dump_is_runtime(self):
+        run = run_driver("module tb; initial $finish; endmodule",
+                         "module top_module(); endmodule")
+        assert run.status == RUNTIME
+        assert "check-points" in run.detail
+
+
+class TestCaching:
+    def test_parse_cached_identity(self):
+        source = get_task("cmb_eq4").golden_rtl()
+        assert parse_cached(source) is parse_cached(source)
+
+    def test_syntax_ok(self):
+        assert syntax_ok("module m(); endmodule")
+        assert not syntax_ok("module m(; endmodule")
+
+
+class TestDutCompiles:
+    def test_golden_compiles(self):
+        ok, error = dut_compiles(get_task("seq_tff").golden_rtl())
+        assert ok and not error
+
+    def test_bad_reference_caught(self):
+        ok, error = dut_compiles(
+            "module top_module(output o);\n"
+            "assign o = ghost;\nendmodule")
+        assert not ok
+        assert "elaboration" in error
+
+
+class TestRunMonolithic:
+    def test_verdictless_tb_is_runtime(self):
+        run = run_monolithic(
+            "module tb; initial $finish; endmodule",
+            "module top_module(); endmodule")
+        assert run.status == RUNTIME

@@ -1,0 +1,70 @@
+"""Campaign runner: per-method work items, determinism, reporting."""
+
+import pytest
+
+from repro.eval import (EvalLevel, default_config, render_table1,
+                        render_table2, render_table3,
+                        render_usage_summary, run_campaign, run_one)
+from repro.eval.campaign import (METHOD_AUTOBENCH, METHOD_BASELINE,
+                                 METHOD_CORRECTBENCH)
+
+EASY_TASK = "cmb_and2"
+
+
+class TestRunOne:
+    @pytest.mark.parametrize("method", (METHOD_BASELINE, METHOD_AUTOBENCH,
+                                        METHOD_CORRECTBENCH))
+    def test_each_method_produces_a_run(self, method):
+        run = run_one(method, EASY_TASK, seed=0)
+        assert run.method == method
+        assert run.task_id == EASY_TASK
+        assert isinstance(run.level, EvalLevel)
+        assert run.usage.total_tokens > 0
+
+    def test_correctbench_records_workflow_fields(self):
+        run = run_one(METHOD_CORRECTBENCH, EASY_TASK, seed=0)
+        assert run.validated is not None
+        assert run.gave_up is not None
+
+    def test_deterministic(self):
+        a = run_one(METHOD_CORRECTBENCH, "seq_tff", seed=3)
+        b = run_one(METHOD_CORRECTBENCH, "seq_tff", seed=3)
+        assert a == b
+
+    def test_unknown_method(self):
+        with pytest.raises(ValueError):
+            run_one("magic", EASY_TASK, seed=0)
+
+
+class TestCampaign:
+    @pytest.fixture(scope="class")
+    def small_result(self):
+        config = default_config(
+            task_ids=("cmb_and2", "cmb_eq4", "seq_dff", "seq_tff"),
+            seeds=(0,), n_jobs=1)
+        return run_campaign(config)
+
+    def test_all_cells_present(self, small_result):
+        assert len(small_result.runs) == 3 * 4  # methods x tasks
+
+    def test_renderers_accept_result(self, small_result):
+        table1 = render_table1(small_result)
+        assert "CorrectBench" in table1
+        assert "Eval2" in table1
+        table3 = render_table3(small_result)
+        assert "Gain" in table3
+        assert "Val." in table3
+        assert "TOKEN USAGE" in render_usage_summary(small_result)
+
+    def test_table2_static(self):
+        table2 = render_table2()
+        assert "Eval2" in table2
+        assert "golden testbench" in table2
+
+    def test_progress_callback(self):
+        seen = []
+        config = default_config(task_ids=(EASY_TASK,), seeds=(0,),
+                                methods=(METHOD_BASELINE,), n_jobs=1)
+        run_campaign(config, progress=lambda i, n, run: seen.append(
+            (i, n, run.task_id)))
+        assert seen == [(1, 1, EASY_TASK)]

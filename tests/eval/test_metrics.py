@@ -1,0 +1,91 @@
+"""Metric aggregation over synthetic campaign results."""
+
+from repro.eval import (CampaignConfig, CampaignResult, EvalLevel, GROUPS,
+                        TaskRun, contribution_stats, level_breakdown,
+                        level_stat, mean_usage)
+from repro.eval.campaign import METHOD_AUTOBENCH, METHOD_CORRECTBENCH
+from repro.llm import Usage
+
+
+def _run(method, task_id, kind, seed, level, **kwargs):
+    return TaskRun(method, task_id, kind, seed, EvalLevel(level),
+                   kwargs.pop("usage", Usage(100, 50)), **kwargs)
+
+
+def _result():
+    config = CampaignConfig(task_ids=("a", "b", "c", "d"),
+                            seeds=(0, 1),
+                            methods=(METHOD_CORRECTBENCH,
+                                     METHOD_AUTOBENCH))
+    result = CampaignResult(config)
+    # 4 tasks: a,b CMB; c,d SEQ.  CorrectBench passes 3 (both seeds),
+    # AutoBench passes 2.
+    for seed in (0, 1):
+        result.runs += [
+            _run(METHOD_CORRECTBENCH, "a", "CMB", seed, 3,
+                 took_any_action=True, final_from_corrector=True),
+            _run(METHOD_CORRECTBENCH, "b", "CMB", seed, 3),
+            _run(METHOD_CORRECTBENCH, "c", "SEQ", seed, 3,
+                 took_any_action=True),
+            _run(METHOD_CORRECTBENCH, "d", "SEQ", seed, 1),
+            _run(METHOD_AUTOBENCH, "a", "CMB", seed, 3),
+            _run(METHOD_AUTOBENCH, "b", "CMB", seed, 2),
+            _run(METHOD_AUTOBENCH, "c", "SEQ", seed, 3),
+            _run(METHOD_AUTOBENCH, "d", "SEQ", seed, 0),
+        ]
+    return result
+
+
+class TestLevelStat:
+    def test_total_ratio(self):
+        stat = level_stat(_result(), METHOD_CORRECTBENCH, "Total",
+                          EvalLevel.EVAL2)
+        assert stat.ratio == 0.75
+        assert stat.mean_count == 3.0
+        assert stat.group_size == 4
+
+    def test_group_filter(self):
+        stat = level_stat(_result(), METHOD_CORRECTBENCH, "SEQ",
+                          EvalLevel.EVAL2)
+        assert stat.ratio == 0.5
+
+    def test_lower_levels_are_cumulative(self):
+        stat = level_stat(_result(), METHOD_AUTOBENCH, "Total",
+                          EvalLevel.EVAL1)
+        # Eval1-or-better: a (3), b (2), c (3) -> 3 of 4.
+        assert stat.ratio == 0.75
+
+    def test_empty_method(self):
+        stat = level_stat(_result(), "baseline", "Total",
+                          EvalLevel.EVAL2)
+        assert stat.ratio == 0.0
+
+
+class TestContributions:
+    def test_gain_decomposition(self):
+        stats = {s.group: s for s in contribution_stats(_result())}
+        total = stats["Total"]
+        assert total.correctbench == 3.0
+        assert total.autobench == 2.0
+        assert total.gain == 1.0
+        assert total.validator == 2.0   # tasks a and c took actions
+        assert total.corrector == 1.0   # task a's final TB from corrector
+        assert set(stats) == set(GROUPS)
+
+    def test_corrector_subset_of_validator(self):
+        for stat in contribution_stats(_result()):
+            assert stat.corrector <= stat.validator
+
+
+class TestUsageAndBreakdown:
+    def test_mean_usage(self):
+        input_tokens, output_tokens = mean_usage(_result(),
+                                                 METHOD_CORRECTBENCH)
+        assert input_tokens == 100.0
+        assert output_tokens == 50.0
+
+    def test_level_breakdown_sums_to_one(self):
+        bands = level_breakdown(_result(), METHOD_AUTOBENCH)
+        assert abs(sum(bands.values()) - 1.0) < 1e-9
+        assert bands["Eval2"] == 0.5
+        assert bands["Failed"] == 0.25

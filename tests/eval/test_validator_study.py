@@ -1,0 +1,51 @@
+"""The Fig. 6a labelled-corpus study machinery."""
+
+import pytest
+
+from repro.eval.validator_study import (StudyResult, run_study,
+                                        study_one_task)
+
+
+@pytest.fixture(scope="module")
+def small_study():
+    return run_study(["cmb_eq4", "cmb_kmap3_a", "seq_tff"],
+                     samples_per_task=3, n_jobs=1)
+
+
+def test_corpus_size(small_study):
+    assert len(small_study.records) == 9
+
+
+def test_every_record_has_all_criteria(small_study):
+    for record in small_study.records:
+        assert set(record.verdicts) == {"100%-wrong", "70%-wrong",
+                                        "50%-wrong"}
+
+
+def test_accuracy_fields(small_study):
+    accuracies = small_study.accuracies()
+    for name, acc in accuracies.items():
+        assert set(acc) == {"total", "correct", "wrong"}
+        assert 0.0 <= acc["total"] <= 1.0
+
+
+def test_accuracy_definition():
+    # Hand-built records: criterion A always right, criterion B always
+    # wrong.
+    from repro.eval.validator_study import LabelledValidation
+    records = [
+        LabelledValidation("t", 0, True, {"A": True, "B": False}),
+        LabelledValidation("t", 1, False, {"A": False, "B": True}),
+    ]
+    study = StudyResult(records)
+    assert study.accuracy("A") == {"total": 1.0, "correct": 1.0,
+                                   "wrong": 1.0}
+    assert study.accuracy("B") == {"total": 0.0, "correct": 0.0,
+                                   "wrong": 0.0}
+
+
+def test_single_task_study_deterministic():
+    a = study_one_task("cmb_eq4", samples_per_task=2)
+    b = study_one_task("cmb_eq4", samples_per_task=2)
+    assert [(r.label_correct, r.verdicts) for r in a] == [
+        (r.label_correct, r.verdicts) for r in b]

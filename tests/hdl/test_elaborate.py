@@ -1,0 +1,145 @@
+"""Elaboration: parameters, hierarchy, port binding, error reporting."""
+
+import pytest
+
+from repro.hdl import compile_design
+from repro.hdl.errors import ElaborationError
+
+
+def test_parameterised_width():
+    design = compile_design(
+        "module top_module #() (input [7:0] a, output [7:0] o);\n"
+        "parameter W = 8;\n"
+        "wire [W-1:0] mid;\n"
+        "assign mid = a;\n"
+        "assign o = mid;\n"
+        "endmodule".replace("#() ", ""), "top_module")
+    assert design.signal("mid").width == 8
+
+
+def test_instance_hierarchy_names():
+    src = """
+module child (input a, output o);
+assign o = ~a;
+endmodule
+
+module top_module (input a, output o);
+child u1(.a(a), .o(o));
+endmodule
+"""
+    design = compile_design(src, "top_module")
+    assert "u1.a" in design.signals
+    assert "u1.o" in design.signals
+
+
+def test_positional_connections():
+    src = """
+module child (input a, output o);
+assign o = a;
+endmodule
+
+module top_module (input x, output y);
+child u1(x, y);
+endmodule
+"""
+    compile_design(src, "top_module")
+
+
+def test_mixed_connection_styles_rejected():
+    src = """
+module child (input a, output o);
+assign o = a;
+endmodule
+
+module top_module (input x, output y);
+child u1(x, .o(y));
+endmodule
+"""
+    with pytest.raises(ElaborationError):
+        compile_design(src, "top_module")
+
+
+def test_unknown_port_rejected():
+    src = """
+module child (input a, output o);
+assign o = a;
+endmodule
+
+module top_module (input x, output y);
+child u1(.nope(x), .o(y));
+endmodule
+"""
+    with pytest.raises(ElaborationError):
+        compile_design(src, "top_module")
+
+
+def test_duplicate_port_connection_rejected():
+    src = """
+module child (input a, output o);
+assign o = a;
+endmodule
+
+module top_module (input x, output y);
+child u1(.a(x), .a(x), .o(y));
+endmodule
+"""
+    with pytest.raises(ElaborationError):
+        compile_design(src, "top_module")
+
+
+def test_recursive_instantiation_rejected():
+    src = """
+module top_module (input a, output o);
+top_module u1(.a(a), .o(o));
+endmodule
+"""
+    with pytest.raises(ElaborationError):
+        compile_design(src, "top_module")
+
+
+def test_port_width_redeclaration_must_match():
+    src = """
+module top_module (input a, output [3:0] q);
+reg [7:0] q;
+assign q = 4'd0;
+endmodule
+"""
+    with pytest.raises(ElaborationError):
+        compile_design(src, "top_module")
+
+
+def test_duplicate_signal_rejected():
+    src = """
+module top_module (input a, output o);
+wire w;
+wire w;
+assign o = a;
+endmodule
+"""
+    with pytest.raises(ElaborationError):
+        compile_design(src, "top_module")
+
+
+def test_memory_declaration():
+    src = """
+module top_module (input a, output o);
+reg [7:0] mem [15:0];
+assign o = a;
+endmodule
+"""
+    design = compile_design(src, "top_module")
+    assert "mem" in design.memories
+    assert design.memories["mem"].width == 8
+    assert len(design.memories["mem"].words) == 16
+
+
+def test_localparam_usable_in_ranges():
+    src = """
+module top_module (input a, output o);
+localparam W = 4;
+wire [W-1:0] bus;
+assign o = a;
+endmodule
+"""
+    design = compile_design(src, "top_module")
+    assert design.signal("bus").width == 4

@@ -1,0 +1,163 @@
+"""Unit tests for the Verilog lexer."""
+
+import pytest
+
+from repro.hdl.errors import VerilogSyntaxError
+from repro.hdl.lexer import tokenize
+from repro.hdl.tokens import TokenKind
+
+
+def kinds(source):
+    return [t.kind for t in tokenize(source)[:-1]]
+
+
+def texts(source):
+    return [t.text for t in tokenize(source)[:-1]]
+
+
+class TestBasics:
+    def test_empty_source_yields_eof(self):
+        toks = tokenize("")
+        assert len(toks) == 1
+        assert toks[0].kind is TokenKind.EOF
+
+    def test_identifier(self):
+        tok = tokenize("my_signal_1")[0]
+        assert tok.kind is TokenKind.IDENT
+        assert tok.text == "my_signal_1"
+
+    def test_identifier_with_dollar(self):
+        assert tokenize("abc$q")[0].text == "abc$q"
+
+    def test_keywords(self):
+        assert tokenize("module")[0].kind is TokenKind.KEYWORD
+        assert tokenize("endmodule")[0].kind is TokenKind.KEYWORD
+        assert tokenize("posedge")[0].kind is TokenKind.KEYWORD
+
+    def test_system_ident(self):
+        tok = tokenize("$fdisplay")[0]
+        assert tok.kind is TokenKind.SYSTEM_IDENT
+        assert tok.text == "$fdisplay"
+
+    def test_system_ident_without_name_rejected(self):
+        with pytest.raises(VerilogSyntaxError):
+            tokenize("$ 1")
+
+    def test_line_tracking(self):
+        toks = tokenize("a\nb\n  c")
+        assert toks[0].line == 1
+        assert toks[1].line == 2
+        assert toks[2].line == 3
+        assert toks[2].column == 3
+
+
+class TestComments:
+    def test_line_comment(self):
+        assert texts("a // comment\nb") == ["a", "b"]
+
+    def test_block_comment(self):
+        assert texts("a /* x\ny */ b") == ["a", "b"]
+
+    def test_unterminated_block_comment(self):
+        with pytest.raises(VerilogSyntaxError):
+            tokenize("a /* never ends")
+
+    def test_directive_skipped(self):
+        assert texts("`timescale 1ns/1ps\na") == ["a"]
+
+
+class TestNumbers:
+    def value(self, source):
+        return tokenize(source)[0].value
+
+    def test_unsized_decimal(self):
+        width, val, xmask, signed = self.value("42")
+        assert (width, val, xmask, signed) == (None, 42, 0, True)
+
+    def test_sized_binary(self):
+        assert self.value("4'b1010") == (4, 0b1010, 0, False)
+
+    def test_sized_hex(self):
+        assert self.value("8'hFF") == (8, 0xFF, 0, False)
+
+    def test_sized_decimal(self):
+        assert self.value("10'd512") == (10, 512, 0, False)
+
+    def test_octal(self):
+        assert self.value("6'o17") == (6, 0o17, 0, False)
+
+    def test_signed_literal(self):
+        assert self.value("4'sb1000") == (4, 0b1000, 0, True)
+
+    def test_x_digits(self):
+        width, val, xmask, signed = self.value("4'b1x0z")
+        assert width == 4
+        assert val == 0b1000
+        assert xmask == 0b0101
+
+    def test_hex_x_digit(self):
+        width, val, xmask, signed = self.value("8'hAx")
+        assert val == 0xA0
+        assert xmask == 0x0F
+
+    def test_question_mark_digit(self):
+        width, val, xmask, signed = self.value("2'b1?")
+        assert xmask == 0b01
+
+    def test_underscores(self):
+        assert self.value("8'b1010_0101") == (8, 0xA5, 0, False)
+
+    def test_unbased_width_defaults_32(self):
+        width, val, _, _ = self.value("'h10")
+        assert width == 32
+        assert val == 16
+
+    def test_bad_base_rejected(self):
+        with pytest.raises(VerilogSyntaxError):
+            tokenize("4'q1010")
+
+    def test_empty_digits_rejected(self):
+        with pytest.raises(VerilogSyntaxError):
+            tokenize("4'b;")
+
+    def test_zero_width_rejected(self):
+        with pytest.raises(VerilogSyntaxError):
+            tokenize("0'b0")
+
+
+class TestStrings:
+    def test_simple_string(self):
+        tok = tokenize('"hello"')[0]
+        assert tok.kind is TokenKind.STRING
+        assert tok.value == "hello"
+
+    def test_escapes(self):
+        assert tokenize(r'"a\nb\tc\"d"')[0].value == 'a\nb\tc"d'
+
+    def test_unterminated(self):
+        with pytest.raises(VerilogSyntaxError):
+            tokenize('"never ends')
+
+    def test_newline_in_string_rejected(self):
+        with pytest.raises(VerilogSyntaxError):
+            tokenize('"line\nbreak"')
+
+
+class TestPunctuation:
+    def test_multi_char_greedy(self):
+        assert texts("a <<< b") == ["a", "<<<", "b"]
+        assert texts("a <= b") == ["a", "<=", "b"]
+        assert texts("a === b") == ["a", "===", "b"]
+
+    def test_nonblocking_vs_relational_same_token(self):
+        # The parser disambiguates; the lexer emits '<=' for both.
+        assert texts("q <= d")[1] == "<="
+
+    def test_unexpected_character(self):
+        with pytest.raises(VerilogSyntaxError):
+            tokenize("a \\ b")
+
+    def test_full_statement(self):
+        src = "assign out = (a & b) | ~c;"
+        assert texts(src) == ["assign", "out", "=", "(", "a", "&", "b", ")",
+                              "|", "~", "c", ";"]

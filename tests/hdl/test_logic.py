@@ -1,0 +1,344 @@
+"""Unit tests for the 4-state logic value model."""
+
+import pytest
+
+from repro.hdl.logic import Logic, LogicError, logic_equal_defined
+
+
+class TestConstruction:
+    def test_from_int_masks_to_width(self):
+        assert Logic.from_int(0x1F, 4).val == 0xF
+
+    def test_from_int_is_defined(self):
+        assert Logic.from_int(5, 4).is_defined
+
+    def test_unknown_has_all_x(self):
+        v = Logic.unknown(4)
+        assert v.xmask == 0xF
+        assert v.to_uint() is None
+
+    def test_zero_width_rejected(self):
+        with pytest.raises(LogicError):
+            Logic(0)
+
+    def test_canonical_val_under_xmask(self):
+        v = Logic(4, 0b1111, 0b0011)
+        assert v.val == 0b1100
+
+    def test_from_bits_roundtrip(self):
+        assert Logic.from_bits("10x1").bits() == "10x1"
+
+    def test_from_bits_z_folds_to_x(self):
+        assert Logic.from_bits("1z0").bits() == "1x0"
+
+    def test_from_bits_rejects_garbage(self):
+        with pytest.raises(LogicError):
+            Logic.from_bits("10q")
+
+    def test_from_bits_rejects_empty(self):
+        with pytest.raises(LogicError):
+            Logic.from_bits("")
+
+
+class TestIntConversion:
+    def test_to_int_unsigned(self):
+        assert Logic.from_int(0xFE, 8).to_int() == 254
+
+    def test_to_int_signed(self):
+        assert Logic.from_int(0xFE, 8).to_int(signed=True) == -2
+
+    def test_to_int_with_x_is_none(self):
+        assert Logic.from_bits("1x").to_int() is None
+
+    def test_bit_select(self):
+        v = Logic.from_bits("10x1")
+        assert v.bit(0) == Logic.from_int(1, 1)
+        assert v.bit(1).has_unknown
+        assert v.bit(3) == Logic.from_int(1, 1)
+
+    def test_bit_out_of_range_is_x(self):
+        assert Logic.from_int(1, 2).bit(5).has_unknown
+
+
+class TestResize:
+    def test_zero_extend(self):
+        assert Logic.from_int(0b101, 3).resize(6).val == 0b101
+
+    def test_sign_extend_negative(self):
+        assert Logic.from_int(0b100, 3).resize(6, signed=True).val == 0b111100
+
+    def test_sign_extend_positive(self):
+        assert Logic.from_int(0b011, 3).resize(6, signed=True).val == 0b011
+
+    def test_sign_extend_x_msb(self):
+        v = Logic.from_bits("x01").resize(5, signed=True)
+        assert v.bits() == "xxx01"
+
+    def test_truncate(self):
+        assert Logic.from_int(0b11011, 5).resize(3).val == 0b011
+
+    def test_same_width_identity(self):
+        v = Logic.from_int(3, 4)
+        assert v.resize(4) is v
+
+
+class TestBitwise:
+    def test_and_zero_dominates_x(self):
+        a = Logic.from_bits("0x1x")
+        b = Logic.from_bits("0011")
+        assert a.band(b).bits() == "001x"
+
+    def test_and_truth_table(self):
+        a = Logic.from_bits("01x01x01x")
+        b = Logic.from_bits("000111xxx")
+        assert a.band(b).bits() == "00001x0xx"
+
+    def test_or_one_dominates_x(self):
+        a = Logic.from_bits("01x01x01x")
+        b = Logic.from_bits("000111xxx")
+        assert a.bor(b).bits() == "01x111x1x"
+
+    def test_xor_x_propagates(self):
+        a = Logic.from_bits("01x")
+        b = Logic.from_bits("111")
+        assert a.bxor(b).bits() == "10x"
+
+    def test_not(self):
+        assert Logic.from_bits("10x").bnot().bits() == "01x"
+
+    def test_xnor(self):
+        a = Logic.from_bits("0101")
+        b = Logic.from_bits("0011")
+        assert a.bxnor(b).bits() == "1001"
+
+    def test_width_extension_in_binary_ops(self):
+        a = Logic.from_int(1, 1)
+        b = Logic.from_int(0b1000, 4)
+        assert a.bor(b).val == 0b1001
+
+
+class TestReductions:
+    def test_reduce_and_all_ones(self):
+        assert Logic.from_int(0xF, 4).reduce_and().val == 1
+
+    def test_reduce_and_with_zero_bit(self):
+        assert Logic.from_bits("x0x").reduce_and().val == 0
+        assert Logic.from_bits("x0x").reduce_and().is_defined
+
+    def test_reduce_and_x_without_zero(self):
+        assert Logic.from_bits("1x1").reduce_and().has_unknown
+
+    def test_reduce_or_with_one(self):
+        assert Logic.from_bits("x1x").reduce_or() == Logic.from_int(1, 1)
+
+    def test_reduce_or_all_zero(self):
+        assert Logic.from_int(0, 4).reduce_or().val == 0
+
+    def test_reduce_xor_parity(self):
+        assert Logic.from_int(0b1011, 4).reduce_xor().val == 1
+        assert Logic.from_int(0b1001, 4).reduce_xor().val == 0
+
+    def test_reduce_xor_x(self):
+        assert Logic.from_bits("1x").reduce_xor().has_unknown
+
+    def test_reduce_nor(self):
+        assert Logic.from_int(0, 3).reduce_nor().val == 1
+
+
+class TestLogicalOps:
+    def test_truth_values(self):
+        assert Logic.from_int(2, 4).truth() is True
+        assert Logic.from_int(0, 4).truth() is False
+        assert Logic.from_bits("0x").truth() is None
+        assert Logic.from_bits("1x").truth() is True
+
+    def test_lnot(self):
+        assert Logic.from_int(0, 4).lnot().val == 1
+        assert Logic.from_int(3, 4).lnot().val == 0
+        assert Logic.unknown(2).lnot().has_unknown
+
+    def test_land_short_circuit_on_false(self):
+        assert Logic.from_int(0, 1).land(Logic.unknown(1)).val == 0
+        assert Logic.from_int(0, 1).land(Logic.unknown(1)).is_defined
+
+    def test_lor_short_circuit_on_true(self):
+        assert Logic.from_int(1, 1).lor(Logic.unknown(1)).val == 1
+
+    def test_land_x(self):
+        assert Logic.from_int(1, 1).land(Logic.unknown(1)).has_unknown
+
+
+class TestEqualityRelational:
+    def test_eq(self):
+        a, b = Logic.from_int(5, 4), Logic.from_int(5, 4)
+        assert a.eq(b).val == 1
+
+    def test_eq_with_x_is_x(self):
+        assert Logic.from_bits("1x").eq(Logic.from_int(2, 2)).has_unknown
+
+    def test_case_eq_matches_x_literally(self):
+        a = Logic.from_bits("1x")
+        assert a.case_eq(Logic.from_bits("1x")).val == 1
+        assert a.case_eq(Logic.from_bits("10")).val == 0
+
+    def test_lt_unsigned(self):
+        assert Logic.from_int(3, 4).lt(Logic.from_int(9, 4)).val == 1
+
+    def test_lt_signed(self):
+        a = Logic.from_int(0xF, 4)   # -1 signed
+        b = Logic.from_int(1, 4)
+        assert a.lt(b, signed=True).val == 1
+        assert a.lt(b, signed=False).val == 0
+
+    def test_relational_x(self):
+        assert Logic.unknown(4).lt(Logic.from_int(2, 4)).has_unknown
+
+    def test_ge_le(self):
+        a, b = Logic.from_int(7, 4), Logic.from_int(7, 4)
+        assert a.ge(b).val == 1
+        assert a.le(b).val == 1
+
+
+class TestArithmetic:
+    def test_add_wraps(self):
+        assert Logic.from_int(15, 4).add(Logic.from_int(1, 4)).val == 0
+
+    def test_add_carry_with_wider_context(self):
+        s = Logic.from_int(15, 4).add(Logic.from_int(1, 4), width=5)
+        assert s.val == 16
+
+    def test_sub_wraps(self):
+        assert Logic.from_int(0, 4).sub(Logic.from_int(1, 4)).val == 0xF
+
+    def test_mul(self):
+        assert Logic.from_int(7, 8).mul(Logic.from_int(6, 8)).val == 42
+
+    def test_div(self):
+        assert Logic.from_int(42, 8).div(Logic.from_int(5, 8)).val == 8
+
+    def test_div_signed_truncates_toward_zero(self):
+        a = Logic.from_int(0xF9, 8)  # -7
+        b = Logic.from_int(2, 8)
+        assert a.div(b, signed=True).to_int(signed=True) == -3
+
+    def test_div_by_zero_is_x(self):
+        assert Logic.from_int(1, 4).div(Logic.zeros(4)).has_unknown
+
+    def test_mod(self):
+        assert Logic.from_int(42, 8).mod(Logic.from_int(5, 8)).val == 2
+
+    def test_mod_sign_follows_dividend(self):
+        a = Logic.from_int(0xF9, 8)  # -7
+        b = Logic.from_int(2, 8)
+        assert a.mod(b, signed=True).to_int(signed=True) == -1
+
+    def test_x_poisons_arithmetic(self):
+        assert Logic.unknown(4).add(Logic.from_int(1, 4)).xmask == 0xF
+
+    def test_neg(self):
+        assert Logic.from_int(1, 4).neg().val == 0xF
+
+    def test_pow(self):
+        assert Logic.from_int(3, 8).pow(Logic.from_int(4, 8)).val == 81
+
+
+class TestShifts:
+    def test_shl(self):
+        assert Logic.from_int(0b0011, 4).shl(Logic.from_int(2, 3)).val == 0b1100
+
+    def test_shl_saturates_to_zero(self):
+        assert Logic.from_int(0xF, 4).shl(Logic.from_int(9, 8)).val == 0
+
+    def test_shr(self):
+        assert Logic.from_int(0b1100, 4).shr(Logic.from_int(2, 3)).val == 0b0011
+
+    def test_ashr_fills_sign(self):
+        v = Logic.from_int(0b1000, 4).ashr(Logic.from_int(2, 3))
+        assert v.val == 0b1110
+
+    def test_ashr_positive(self):
+        v = Logic.from_int(0b0100, 4).ashr(Logic.from_int(2, 3))
+        assert v.val == 0b0001
+
+    def test_ashr_x_msb_fills_x(self):
+        v = Logic.from_bits("x100").ashr(Logic.from_int(1, 2))
+        assert v.bits() == "xx10"
+
+    def test_shift_by_x_is_all_x(self):
+        assert Logic.from_int(3, 4).shl(Logic.unknown(2)).xmask == 0xF
+
+    def test_shift_moves_xmask(self):
+        assert Logic.from_bits("1x00").shr(Logic.from_int(2, 2)).bits() == "001x"
+
+
+class TestStructure:
+    def test_concat_order(self):
+        v = Logic.concat([Logic.from_int(0b10, 2), Logic.from_int(0b01, 2)])
+        assert v.width == 4
+        assert v.val == 0b1001
+
+    def test_concat_empty_rejected(self):
+        with pytest.raises(LogicError):
+            Logic.concat([])
+
+    def test_replicate(self):
+        v = Logic.from_int(0b10, 2).replicate(3)
+        assert v.val == 0b101010
+
+    def test_replicate_zero_rejected(self):
+        with pytest.raises(LogicError):
+            Logic.from_int(1, 1).replicate(0)
+
+    def test_part_select(self):
+        v = Logic.from_int(0b110101, 6)
+        assert v.part(4, 2).val == 0b101
+
+    def test_part_out_of_range_reads_x(self):
+        v = Logic.from_int(0b11, 2)
+        assert v.part(4, 1).bits() == "xxx1"
+
+    def test_set_part(self):
+        v = Logic.from_int(0, 8).set_part(5, 2, Logic.from_int(0b1111, 4))
+        assert v.val == 0b00111100
+
+    def test_set_part_preserves_other_bits(self):
+        v = Logic.from_int(0xFF, 8).set_part(3, 0, Logic.from_int(0, 4))
+        assert v.val == 0xF0
+
+    def test_reversed_part_rejected(self):
+        with pytest.raises(LogicError):
+            Logic.from_int(0, 4).part(1, 3)
+
+
+class TestFormatting:
+    def test_decimal(self):
+        assert Logic.from_int(42, 8).format_decimal() == "42"
+
+    def test_decimal_signed(self):
+        assert Logic.from_int(0xFE, 8).format_decimal(signed=True) == "-2"
+
+    def test_decimal_with_x(self):
+        assert Logic.from_bits("1x").format_decimal() == "x"
+
+    def test_binary(self):
+        assert Logic.from_bits("10x1").format_binary() == "10x1"
+
+    def test_hex(self):
+        assert Logic.from_int(0xAB, 8).format_hex() == "ab"
+
+    def test_hex_x_nibble(self):
+        assert Logic.from_bits("x0001111").format_hex() == "xf" \
+            or Logic.from_bits("x0001111").format_hex() == "Xf"
+
+
+class TestHelpers:
+    def test_logic_equal_defined(self):
+        assert logic_equal_defined(Logic.from_int(3, 4), Logic.from_int(3, 8))
+        assert not logic_equal_defined(Logic.unknown(4), Logic.unknown(4))
+        assert not logic_equal_defined(Logic.from_int(3, 4),
+                                       Logic.from_int(4, 4))
+
+    def test_hash_and_eq(self):
+        assert Logic.from_int(3, 4) == Logic.from_int(3, 4)
+        assert hash(Logic.from_int(3, 4)) == hash(Logic.from_int(3, 4))
+        assert Logic.from_int(3, 4) != Logic.from_int(3, 5)

@@ -1,0 +1,149 @@
+"""Property-based tests: Logic arithmetic vs Python integer semantics.
+
+For fully-defined vectors, every Logic operator must agree with the
+corresponding modular integer computation; with any x input, the
+x-propagating operators must return fully-unknown results.
+"""
+
+from hypothesis import given, strategies as st
+
+from repro.hdl import Logic
+
+WIDTHS = st.integers(min_value=1, max_value=64)
+
+
+@st.composite
+def vec_pair(draw):
+    width = draw(WIDTHS)
+    a = draw(st.integers(min_value=0, max_value=(1 << width) - 1))
+    b = draw(st.integers(min_value=0, max_value=(1 << width) - 1))
+    return width, a, b
+
+
+class TestArithmeticAgreesWithInts:
+    @given(vec_pair())
+    def test_add(self, pair):
+        width, a, b = pair
+        result = Logic.from_int(a, width).add(Logic.from_int(b, width))
+        assert result.to_uint() == (a + b) % (1 << width)
+
+    @given(vec_pair())
+    def test_sub(self, pair):
+        width, a, b = pair
+        result = Logic.from_int(a, width).sub(Logic.from_int(b, width))
+        assert result.to_uint() == (a - b) % (1 << width)
+
+    @given(vec_pair())
+    def test_mul(self, pair):
+        width, a, b = pair
+        result = Logic.from_int(a, width).mul(Logic.from_int(b, width))
+        assert result.to_uint() == (a * b) % (1 << width)
+
+    @given(vec_pair())
+    def test_bitwise(self, pair):
+        width, a, b = pair
+        va, vb = Logic.from_int(a, width), Logic.from_int(b, width)
+        assert va.band(vb).to_uint() == a & b
+        assert va.bor(vb).to_uint() == a | b
+        assert va.bxor(vb).to_uint() == a ^ b
+
+    @given(vec_pair())
+    def test_comparisons(self, pair):
+        width, a, b = pair
+        va, vb = Logic.from_int(a, width), Logic.from_int(b, width)
+        assert va.lt(vb).to_uint() == int(a < b)
+        assert va.le(vb).to_uint() == int(a <= b)
+        assert va.eq(vb).to_uint() == int(a == b)
+
+    @given(vec_pair(), st.integers(min_value=0, max_value=70))
+    def test_shifts(self, pair, amount):
+        width, a, _ = pair
+        value = Logic.from_int(a, width)
+        amt = Logic.from_int(amount, 8)
+        assert value.shl(amt).to_uint() == (a << amount) % (1 << width)
+        assert value.shr(amt).to_uint() == a >> amount
+
+    @given(vec_pair())
+    def test_division_nonzero(self, pair):
+        width, a, b = pair
+        if b == 0:
+            return
+        va, vb = Logic.from_int(a, width), Logic.from_int(b, width)
+        assert va.div(vb).to_uint() == a // b
+        assert va.mod(vb).to_uint() == a % b
+
+
+class TestStructure:
+    @given(vec_pair())
+    def test_concat_width_and_value(self, pair):
+        width, a, b = pair
+        joined = Logic.concat([Logic.from_int(a, width),
+                               Logic.from_int(b, width)])
+        assert joined.width == 2 * width
+        assert joined.to_uint() == (a << width) | b
+
+    @given(WIDTHS, st.integers(min_value=1, max_value=6))
+    def test_replicate(self, width, count):
+        ones = Logic.ones(width)
+        assert ones.replicate(count).to_uint() == (1 << (width * count)) - 1
+
+    @given(vec_pair())
+    def test_part_select_recombines(self, pair):
+        width, a, _ = pair
+        if width < 2:
+            return
+        value = Logic.from_int(a, width)
+        mid = width // 2
+        hi = value.part(width - 1, mid)
+        lo = value.part(mid - 1, 0)
+        assert Logic.concat([hi, lo]).to_uint() == a
+
+    @given(vec_pair())
+    def test_resize_roundtrip(self, pair):
+        width, a, _ = pair
+        value = Logic.from_int(a, width)
+        widened = value.resize(width + 8)
+        assert widened.to_uint() == a
+        assert widened.resize(width).to_uint() == a
+
+    @given(vec_pair())
+    def test_signed_resize_preserves_value(self, pair):
+        width, a, _ = pair
+        value = Logic.from_int(a, width)
+        signed_val = value.to_int(signed=True)
+        assert value.resize(width + 8, signed=True).to_int(
+            signed=True) == signed_val
+
+
+class TestXPropagation:
+    @given(WIDTHS)
+    def test_arith_with_x_is_fully_unknown(self, width):
+        unknown = Logic.unknown(width)
+        defined = Logic.from_int(1, width)
+        assert unknown.add(defined).to_uint() is None
+        assert unknown.sub(defined).to_uint() is None
+        assert defined.mul(unknown).to_uint() is None
+
+    @given(WIDTHS)
+    def test_and_with_zero_is_zero_despite_x(self, width):
+        # 0 & x == 0 — the per-bit rule, not pessimistic.
+        result = Logic.zeros(width).band(Logic.unknown(width))
+        assert result.to_uint() == 0
+
+    @given(WIDTHS)
+    def test_or_with_ones_is_ones_despite_x(self, width):
+        result = Logic.ones(width).bor(Logic.unknown(width))
+        assert result.to_uint() == (1 << width) - 1
+
+    @given(vec_pair())
+    def test_case_equality_defined_on_x(self, pair):
+        width, a, _ = pair
+        unknown = Logic.unknown(width)
+        assert unknown.case_eq(unknown).to_uint() == 1
+        value = Logic.from_int(a, width)
+        assert value.case_eq(value).to_uint() == 1
+
+    @given(WIDTHS)
+    def test_bits_roundtrip(self, width):
+        unknown = Logic.unknown(width)
+        assert Logic.from_bits(unknown.bits()) == unknown

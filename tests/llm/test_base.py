@@ -1,0 +1,99 @@
+"""LLM base layer: messages, usage metering, token counting."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.llm import (ChatMessage, ChatRequest, GenerationIntent,
+                       MeteredClient, Usage, UsageMeter, approx_token_count,
+                       usage_for)
+
+
+class TestChatMessage:
+    def test_valid_roles(self):
+        for role in ("system", "user", "assistant"):
+            assert ChatMessage(role, "x").role == role
+
+    def test_invalid_role_rejected(self):
+        with pytest.raises(ValueError):
+            ChatMessage("tool", "x")
+
+
+class TestUsage:
+    def test_addition(self):
+        total = Usage(10, 5) + Usage(3, 2)
+        assert total == Usage(13, 7)
+        assert total.total_tokens == 20
+
+    def test_meter_accumulates_by_kind(self):
+        meter = UsageMeter()
+        meter.record("driver", Usage(100, 50))
+        meter.record("driver", Usage(10, 5))
+        meter.record("checker", Usage(1, 1))
+        assert meter.total == Usage(111, 56)
+        assert meter.by_kind()["driver"] == Usage(110, 55)
+        assert meter.request_count == 3
+
+    def test_meter_merge(self):
+        a = UsageMeter()
+        a.record("x", Usage(1, 1))
+        b = UsageMeter()
+        b.record("x", Usage(2, 2))
+        b.record("y", Usage(3, 3))
+        a.merge(b)
+        assert a.total == Usage(6, 6)
+        assert a.request_count == 3
+
+
+class TestTokenCounting:
+    def test_empty(self):
+        assert approx_token_count("") == 0
+
+    def test_short_words_one_token(self):
+        assert approx_token_count("the cat") == 2
+
+    def test_long_word_splits(self):
+        assert approx_token_count("internationalization") == 5  # 20 chars
+
+    def test_punctuation_counts(self):
+        assert approx_token_count("a, b") == 3
+
+    def test_code_like_text(self):
+        count = approx_token_count("assign out = a + b;")
+        assert 5 <= count <= 10
+
+    @given(st.text(min_size=0, max_size=500))
+    def test_nonnegative_and_bounded(self, text):
+        count = approx_token_count(text)
+        assert count >= 0
+        assert count <= max(1, len(text))  # never more than chars
+
+    @given(st.text(min_size=1, max_size=200),
+           st.text(min_size=1, max_size=200))
+    def test_superadditive_under_concat_with_space(self, a, b):
+        # Concatenating with a separator never produces fewer tokens
+        # than the larger side.
+        combined = approx_token_count(a + " " + b)
+        assert combined >= max(approx_token_count(a) // 2,
+                               approx_token_count(b) // 2)
+
+
+class TestMeteredClient:
+    class _Echo:
+        name = "echo-model"
+
+        def complete(self, request):
+            from repro.llm import ChatResponse
+            text = request.messages[-1].content.upper()
+            return ChatResponse(text, usage_for(request.messages, text))
+
+    def test_metering_wraps_client(self):
+        meter = UsageMeter()
+        client = MeteredClient(self._Echo(), meter)
+        request = ChatRequest(
+            (ChatMessage("user", "hello world"),),
+            GenerationIntent("driver", "t"))
+        response = client.complete(request)
+        assert response.text == "HELLO WORLD"
+        assert meter.total.input_tokens > 0
+        assert meter.by_kind()["driver"].output_tokens > 0
+        assert client.name == "echo-model"

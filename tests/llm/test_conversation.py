@@ -1,0 +1,52 @@
+"""Conversation transcripts and single-turn helpers."""
+
+from repro.llm import (ChatResponse, Conversation, GenerationIntent,
+                       single_turn, usage_for)
+
+
+class _ScriptedClient:
+    """Echoes a scripted list of replies, recording the request shapes."""
+
+    name = "scripted"
+
+    def __init__(self, replies):
+        self.replies = list(replies)
+        self.seen_message_counts = []
+
+    def complete(self, request):
+        self.seen_message_counts.append(len(request.messages))
+        text = self.replies.pop(0)
+        return ChatResponse(text, usage_for(request.messages, text))
+
+
+def test_conversation_accumulates_history():
+    client = _ScriptedClient(["first reply", "second reply"])
+    conversation = Conversation(client, system_prompt="be terse")
+    intent = GenerationIntent("correct_reason", "t")
+
+    first = conversation.ask("question one", intent)
+    second = conversation.ask("question two", intent)
+
+    assert first == "first reply"
+    assert second == "second reply"
+    # Request 1: system + user. Request 2: + assistant + user.
+    assert client.seen_message_counts == [2, 4]
+    roles = [m.role for m in conversation.messages]
+    assert roles == ["system", "user", "assistant", "user", "assistant"]
+
+
+def test_transcript_rendering():
+    client = _ScriptedClient(["pong"])
+    conversation = Conversation(client)
+    conversation.ask("ping", GenerationIntent("x", "t"))
+    transcript = conversation.transcript
+    assert "[user]" in transcript
+    assert "ping" in transcript and "pong" in transcript
+
+
+def test_single_turn():
+    client = _ScriptedClient(["done"])
+    reply = single_turn(client, "sys", "do it",
+                        GenerationIntent("x", "t"))
+    assert reply == "done"
+    assert client.seen_message_counts == [2]

@@ -1,0 +1,133 @@
+"""Fault model: determinism, monotonicity, trap statistics."""
+
+from repro.llm import GPT_4O, GPT_4O_MINI, get_profile
+from repro.llm.faults import FaultModel
+from repro.problems import CMB, SEQ, load_dataset, tasks_of_kind
+
+
+def test_profile_lookup_aliases():
+    assert get_profile("gpt-4o") is GPT_4O
+    assert get_profile("GPT-4o") is GPT_4O
+    assert get_profile("gpt-4o-2024-08-06") is GPT_4O
+
+
+def test_unknown_profile_raises():
+    import pytest
+    with pytest.raises(KeyError):
+        get_profile("gpt-9")
+
+
+class TestDeterminism:
+    def test_same_seed_same_plans(self):
+        task = load_dataset()[0]
+        a = FaultModel(GPT_4O, seed=7)
+        b = FaultModel(GPT_4O, seed=7)
+        for attempt in range(5):
+            assert a.plan_checker(task, attempt) == b.plan_checker(
+                task, attempt)
+            assert a.plan_driver(task, attempt) == b.plan_driver(
+                task, attempt)
+            assert a.plan_rtl(task, attempt) == b.plan_rtl(task, attempt)
+
+    def test_different_attempts_vary(self):
+        task = next(t for t in load_dataset() if t.difficulty > 0.4)
+        model = FaultModel(GPT_4O, seed=0)
+        plans = {repr(model.plan_checker(task, attempt))
+                 for attempt in range(30)}
+        assert len(plans) > 1
+
+    def test_sticky_misconception_stable_within_seed(self):
+        task = load_dataset()[10]
+        model = FaultModel(GPT_4O, seed=3)
+        first = model.sticky_misconception(task)
+        assert all(model.sticky_misconception(task).vid == first.vid
+                   for _ in range(5))
+
+    def test_trap_independent_of_seed(self):
+        task = load_dataset()[0]
+        assert (FaultModel(GPT_4O, seed=0).is_trap(task)
+                == FaultModel(GPT_4O, seed=99).is_trap(task))
+
+
+class TestStatistics:
+    def test_seq_traps_more_than_cmb(self):
+        model = FaultModel(GPT_4O, seed=0)
+        cmb_rate = sum(model.is_trap(t) for t in tasks_of_kind(CMB)) / 81
+        seq_rate = sum(model.is_trap(t) for t in tasks_of_kind(SEQ)) / 75
+        assert seq_rate > cmb_rate
+
+    def test_weaker_model_traps_more(self):
+        strong = FaultModel(GPT_4O, seed=0)
+        weak = FaultModel(GPT_4O_MINI, seed=0)
+        tasks = load_dataset()
+        assert (sum(weak.is_trap(t) for t in tasks)
+                > sum(strong.is_trap(t) for t in tasks))
+
+    def test_misconception_prob_increases_with_difficulty(self):
+        model = FaultModel(GPT_4O, seed=0)
+        tasks = sorted(tasks_of_kind(SEQ), key=lambda t: t.difficulty)
+        easy = [t for t in tasks[:15] if not model.is_trap(t)]
+        hard = [t for t in tasks[-15:] if not model.is_trap(t)]
+        mean_easy = sum(model.misconception_prob(t, "checker")
+                        for t in easy) / max(len(easy), 1)
+        mean_hard = sum(model.misconception_prob(t, "checker")
+                        for t in hard) / max(len(hard), 1)
+        assert mean_hard > mean_easy
+
+    def test_trap_difficulty_band(self):
+        model = FaultModel(GPT_4O, seed=0)
+        for task in load_dataset():
+            d = model.effective_difficulty(task)
+            if model.is_trap(task):
+                assert d >= 0.86
+            else:
+                assert d <= 0.82
+
+    def test_baseline_plan_scales_faults(self):
+        model = FaultModel(GPT_4O, seed=0)
+        tasks = load_dataset()
+        base_faulty = sum(
+            model.plan_baseline(t, 0).checker.functional for t in tasks)
+        normal_faulty = sum(
+            model.plan_checker(t, 0).functional for t in tasks)
+        assert base_faulty >= normal_faulty
+
+    def test_seq_baseline_syntax_worse_than_cmb(self):
+        model = FaultModel(GPT_4O, seed=0)
+        cmb = [model.plan_baseline(t, a).syntax_fault
+               for t in tasks_of_kind(CMB) for a in range(3)]
+        seq = [model.plan_baseline(t, a).syntax_fault
+               for t in tasks_of_kind(SEQ) for a in range(3)]
+        assert sum(seq) / len(seq) > sum(cmb) / len(cmb)
+
+
+class TestPlanShapes:
+    def test_checker_plan_mutually_exclusive_variants(self):
+        model = FaultModel(GPT_4O_MINI, seed=1)
+        for task in load_dataset()[:40]:
+            for attempt in range(4):
+                plan = model.plan_checker(task, attempt)
+                assert not (plan.misconception is not None
+                            and plan.random_variant is not None)
+
+    def test_driver_plan_stuck_input_names_real_port(self):
+        model = FaultModel(GPT_4O_MINI, seed=2)
+        names_ok = True
+        for task in load_dataset():
+            for attempt in range(3):
+                plan = model.plan_driver(task, attempt)
+                stuck = plan.faults.stuck_input
+                if stuck is not None:
+                    ports = {p.name for p in task.driven_ports}
+                    names_ok &= stuck in ports
+        assert names_ok
+
+    def test_describe_lists_active_faults(self):
+        model = FaultModel(GPT_4O_MINI, seed=0)
+        for task in load_dataset():
+            plan = model.plan_checker(task, 0)
+            descriptions = plan.describe()
+            if plan.misconception:
+                assert any("misconception" in d for d in descriptions)
+            if plan.syntax_fault:
+                assert any("syntax" in d for d in descriptions)

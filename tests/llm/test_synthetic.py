@@ -1,0 +1,186 @@
+"""Synthetic LLM: dispatch, determinism, ledger, repair backends."""
+
+import pytest
+
+from repro.llm import (ChatMessage, ChatRequest, GenerationIntent, GPT_4O,
+                       GPT_4O_MINI)
+from repro.llm.synthetic import SyntheticLLM
+from repro.problems import get_task
+from repro.util import extract_first_code_block
+from repro.core.simulation import syntax_ok
+
+
+def ask(llm, kind, task, **payload):
+    payload.setdefault("task", task)
+    request = ChatRequest(
+        (ChatMessage("user", f"please produce {kind}"),),
+        GenerationIntent(kind, task.task_id, payload))
+    return llm.complete(request)
+
+
+@pytest.fixture()
+def task():
+    return get_task("seq_count4_up")
+
+
+class TestDispatch:
+    def test_unknown_intent_rejected(self, task):
+        llm = SyntheticLLM(GPT_4O)
+        with pytest.raises(ValueError):
+            ask(llm, "nonexistent_stage", task)
+
+    def test_scenarios_listing(self, task):
+        text = ask(SyntheticLLM(GPT_4O), "scenarios", task,
+                   attempt=0).text
+        assert "Test scenarios:" in text
+        assert "1." in text
+
+    def test_driver_is_fenced_verilog(self, task):
+        text = ask(SyntheticLLM(GPT_4O), "driver", task, attempt=0).text
+        code = extract_first_code_block(text, "verilog")
+        assert "module tb" in code
+
+    def test_checker_is_fenced_python(self, task):
+        text = ask(SyntheticLLM(GPT_4O), "checker", task, attempt=0).text
+        code = extract_first_code_block(text, "python")
+        assert "class RefModel" in code
+
+    def test_rtl_sample(self, task):
+        text = ask(SyntheticLLM(GPT_4O), "rtl", task, sample_index=0,
+                   group_nonce=0).text
+        code = extract_first_code_block(text, "verilog")
+        assert "top_module" in code
+
+    def test_baseline_tb(self, task):
+        text = ask(SyntheticLLM(GPT_4O), "baseline_tb", task,
+                   attempt=0).text
+        code = extract_first_code_block(text, "verilog")
+        assert "module tb" in code
+
+    def test_usage_reflects_lengths(self, task):
+        response = ask(SyntheticLLM(GPT_4O), "driver", task, attempt=0)
+        assert response.usage.input_tokens > 0
+        assert response.usage.output_tokens > 100
+
+
+class TestDeterminism:
+    def test_same_seed_same_artifacts(self, task):
+        a = ask(SyntheticLLM(GPT_4O, seed=5), "checker", task,
+                attempt=2).text
+        b = ask(SyntheticLLM(GPT_4O, seed=5), "checker", task,
+                attempt=2).text
+        assert a == b
+
+    def test_different_seeds_can_differ(self, task):
+        texts = {ask(SyntheticLLM(GPT_4O, seed=s), "driver", task,
+                     attempt=0).text for s in range(6)}
+        assert len(texts) > 1
+
+    def test_rtl_group_varies_across_samples(self, task):
+        llm = SyntheticLLM(GPT_4O_MINI, seed=0)
+        sources = {extract_first_code_block(
+            ask(llm, "rtl", task, sample_index=i, group_nonce=0).text,
+            "verilog") for i in range(10)}
+        assert len(sources) > 1
+
+
+class TestLedger:
+    def test_remembers_own_artifacts(self, task):
+        llm = SyntheticLLM(GPT_4O, seed=0)
+        code = extract_first_code_block(
+            ask(llm, "checker", task, attempt=0).text, "python")
+        entry = llm.introspect(code)
+        assert entry is not None
+        assert entry.scope == "checker"
+        assert entry.task_id == task.task_id
+
+    def test_foreign_artifact_unknown(self, task):
+        llm = SyntheticLLM(GPT_4O, seed=0)
+        assert llm.introspect("class RefModel: pass") is None
+
+
+class TestSyntaxFix:
+    def _broken_checker(self, llm, task):
+        for attempt in range(60):
+            code = extract_first_code_block(
+                ask(llm, "checker", task, attempt=attempt).text, "python")
+            try:
+                compile(code, "<t>", "exec")
+            except SyntaxError:
+                return code, attempt
+        pytest.skip("no syntax-broken checker drawn in 60 attempts")
+
+    def test_fix_keeps_functional_plan(self, task):
+        llm = SyntheticLLM(GPT_4O_MINI, seed=1)
+        broken, attempt = self._broken_checker(llm, task)
+        plan_before = llm.introspect(broken).plan
+        # Iterate the repair loop until the syntax fault is gone.
+        current = broken
+        for iteration in range(10):
+            reply = ask(llm, "syntax_fix", task, artifact=current,
+                        scope="checker", iteration=iteration).text
+            current = extract_first_code_block(reply, "python")
+            entry = llm.introspect(current)
+            if not entry.plan.syntax_fault:
+                break
+        assert not entry.plan.syntax_fault
+        assert entry.plan.misconception == plan_before.misconception
+        assert entry.plan.random_variant == plan_before.random_variant
+
+
+class TestCorrectorBackends:
+    def test_reasoning_mentions_steps(self, task):
+        llm = SyntheticLLM(GPT_4O, seed=0)
+        checker = extract_first_code_block(
+            ask(llm, "checker", task, attempt=0).text, "python")
+        reply = ask(llm, "correct_reason", task, checker_src=checker,
+                    wrong_scenarios=(2, 3)).text
+        assert "Step 1" in reply
+        assert "Step 2" in reply
+        assert "[2, 3]" in reply
+
+    def test_rewrite_returns_python_core(self, task):
+        llm = SyntheticLLM(GPT_4O, seed=0)
+        checker = extract_first_code_block(
+            ask(llm, "checker", task, attempt=0).text, "python")
+        reply = ask(llm, "correct_rewrite", task, checker_src=checker,
+                    wrong_scenarios=(1,), correction_round=1).text
+        code = extract_first_code_block(reply, "python")
+        assert "class RefModel" in code
+
+    def test_correction_eventually_removes_random_fault(self, task):
+        llm = SyntheticLLM(GPT_4O, seed=3)
+        faulty = None
+        for attempt in range(80):
+            code = extract_first_code_block(
+                ask(llm, "checker", task, attempt=attempt).text, "python")
+            entry = llm.introspect(code)
+            if (entry.plan.random_variant is not None
+                    and not entry.plan.syntax_fault):
+                faulty = code
+                break
+        if faulty is None:
+            pytest.skip("no random-fault checker drawn")
+        current = faulty
+        for round_index in range(1, 12):
+            reply = ask(llm, "correct_rewrite", task, checker_src=current,
+                        wrong_scenarios=(1, 2),
+                        correction_round=round_index).text
+            current = extract_first_code_block(reply, "python")
+            if llm.introspect(current).plan.random_variant is None:
+                return
+        pytest.fail("corrector never removed an uncorrelated fault "
+                    "despite helpful bug info")
+
+
+class TestShallowPlans:
+    def test_shallow_plan_truncates(self):
+        task = get_task("seq_mod10")
+        llm = SyntheticLLM(GPT_4O_MINI, seed=0)
+        lengths = set()
+        for attempt in range(40):
+            plan = llm._plan_for(task, attempt)
+            lengths.add(len(plan))
+        # Mini plans shallow often enough that both shapes appear.
+        assert any(length <= 2 for length in lengths)
+        assert any(length > 2 for length in lengths)

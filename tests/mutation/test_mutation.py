@@ -1,0 +1,112 @@
+"""Mutation engine: operators, mutant generation, fault injection."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.simulation import dut_compiles, syntax_ok
+from repro.hdl.parser import parse_source
+from repro.mutation import (generate_mutants, inject_python_syntax_fault,
+                            inject_verilog_syntax_fault,
+                            perturb_numeric_literal, random_mutation)
+from repro.mutation.operators import count_sites, mutate_module
+from repro.problems import load_dataset
+
+_SAMPLE = load_dataset()[::9]
+
+
+class TestOperators:
+    def test_site_count_deterministic(self):
+        module = parse_source(load_dataset()[0].golden_rtl()).modules[0]
+        assert count_sites(module) == count_sites(module)
+
+    def test_every_site_produces_a_change(self):
+        import random as random_mod
+        task = load_dataset()[5]
+        module = parse_source(task.golden_rtl()).modules[0]
+        for site in range(count_sites(module)):
+            mutated, description = mutate_module(
+                module, site, random_mod.Random(site))
+            assert description, f"site {site} made no edit"
+            assert mutated != module, f"site {site} left the AST equal"
+
+
+class TestEngine:
+    @pytest.mark.parametrize("task", _SAMPLE, ids=lambda t: t.task_id)
+    def test_mutants_compile_and_differ(self, task):
+        mutants = generate_mutants(
+            task.golden_rtl(), 10, task.task_id,
+            compile_check=lambda s: dut_compiles(s)[0])
+        assert len(mutants) >= 5
+        sources = {m.source for m in mutants}
+        assert len(sources) == len(mutants)
+        assert task.golden_rtl() not in sources
+        for mutant in mutants:
+            assert dut_compiles(mutant.source)[0]
+            assert mutant.description
+
+    def test_deterministic_per_seed(self):
+        task = load_dataset()[0]
+        a = generate_mutants(task.golden_rtl(), 10, "seed-x")
+        b = generate_mutants(task.golden_rtl(), 10, "seed-x")
+        assert [m.source for m in a] == [m.source for m in b]
+
+    def test_different_seeds_differ(self):
+        task = load_dataset()[3]
+        a = generate_mutants(task.golden_rtl(), 10, "seed-1")
+        b = generate_mutants(task.golden_rtl(), 10, "seed-2")
+        assert [m.source for m in a] != [m.source for m in b]
+
+    def test_random_mutation_parses(self):
+        task = load_dataset()[7]
+        source, description = random_mutation(task.golden_rtl(), "n")
+        assert syntax_ok(source)
+        assert description
+
+
+class TestVerilogSyntaxFaults:
+    @pytest.mark.parametrize("task", _SAMPLE, ids=lambda t: t.task_id)
+    def test_corrupted_source_fails_to_parse(self, task):
+        broken = inject_verilog_syntax_fault(task.golden_rtl(),
+                                             task.task_id)
+        assert not syntax_ok(broken)
+
+    @given(st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=25, deadline=None)
+    def test_any_seed_breaks_parsing(self, seed):
+        source = load_dataset()[0].golden_rtl()
+        assert not syntax_ok(inject_verilog_syntax_fault(source, seed))
+
+    def test_deterministic(self):
+        source = load_dataset()[1].golden_rtl()
+        assert (inject_verilog_syntax_fault(source, 5)
+                == inject_verilog_syntax_fault(source, 5))
+
+
+class TestPythonFaults:
+    def _checker(self):
+        from repro.codegen import render_checker_core
+        return render_checker_core(load_dataset()[0])
+
+    def test_corrupted_fails_to_compile(self):
+        broken = inject_python_syntax_fault(self._checker(), "s")
+        with pytest.raises(SyntaxError):
+            compile(broken, "<t>", "exec")
+
+    @given(st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=25, deadline=None)
+    def test_any_seed_breaks_compile(self, seed):
+        broken = inject_python_syntax_fault(self._checker(), seed)
+        with pytest.raises(SyntaxError):
+            compile(broken, "<t>", "exec")
+
+    def test_literal_perturbation_still_compiles(self):
+        source = self._checker()
+        perturbed, description = perturb_numeric_literal(source, "s")
+        if description:
+            assert perturbed != source
+            compile(perturbed, "<t>", "exec")
+
+    def test_literal_perturbation_deterministic(self):
+        source = self._checker()
+        assert (perturb_numeric_literal(source, 3)
+                == perturb_numeric_literal(source, 3))

@@ -1,0 +1,72 @@
+"""Dataset population invariants."""
+
+from repro.problems import (CMB, SEQ, dataset_slice, get_task,
+                            load_dataset, tasks_of_kind)
+
+
+def test_population_matches_paper():
+    tasks = load_dataset()
+    assert len(tasks) == 156
+    assert sum(1 for t in tasks if t.kind == CMB) == 81
+    assert sum(1 for t in tasks if t.kind == SEQ) == 75
+
+
+def test_task_ids_unique():
+    ids = [t.task_id for t in load_dataset()]
+    assert len(ids) == len(set(ids))
+
+
+def test_every_task_has_variants():
+    for task in load_dataset():
+        assert len(task.variants) >= 1
+        vids = [v.vid for v in task.variants]
+        assert len(vids) == len(set(vids))
+
+
+def test_spec_text_mentions_interface():
+    for task in load_dataset():
+        spec = task.spec_text
+        assert "top_module" in spec
+        for port in task.ports:
+            assert port.name in spec
+
+
+def test_seq_tasks_have_clock_and_cmb_do_not():
+    for task in load_dataset():
+        if task.kind == SEQ:
+            assert task.clock_port is not None
+        else:
+            assert task.clock_port is None
+
+
+def test_difficulties_in_range():
+    for task in load_dataset():
+        assert 0.0 <= task.difficulty <= 1.0
+
+
+def test_seq_harder_on_average():
+    cmb = [t.difficulty for t in tasks_of_kind(CMB)]
+    seq = [t.difficulty for t in tasks_of_kind(SEQ)]
+    assert sum(seq) / len(seq) > sum(cmb) / len(cmb)
+
+
+def test_get_task_roundtrip():
+    first = load_dataset()[0]
+    assert get_task(first.task_id) is first
+
+
+def test_get_task_unknown():
+    import pytest
+    with pytest.raises(KeyError):
+        get_task("no_such_task")
+
+
+def test_dataset_slice_balanced():
+    subset = dataset_slice(6, 4)
+    assert sum(1 for t in subset if t.kind == CMB) == 6
+    assert sum(1 for t in subset if t.kind == SEQ) == 4
+
+
+def test_family_diversity():
+    families = {t.family for t in load_dataset()}
+    assert len(families) >= 25

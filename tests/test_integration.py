@@ -1,0 +1,89 @@
+"""End-to-end integration: full CorrectBench runs, cross-method ordering,
+determinism, and the CLI."""
+
+import pytest
+
+from repro import quick_run
+from repro.cli import main as cli_main
+from repro.eval import EvalLevel
+from repro.eval.campaign import (METHOD_AUTOBENCH, METHOD_BASELINE,
+                                 METHOD_CORRECTBENCH, default_config,
+                                 run_campaign)
+from repro.eval.metrics import level_stat
+
+
+class TestQuickRun:
+    def test_easy_task_passes(self):
+        result, level = quick_run("cmb_mux2to1_1b", seed=0)
+        assert level == EvalLevel.EVAL2
+        assert result.final_tb.task_id == "cmb_mux2to1_1b"
+
+    def test_deterministic_end_to_end(self):
+        a_result, a_level = quick_run("seq_serial_parity", seed=2)
+        b_result, b_level = quick_run("seq_serial_parity", seed=2)
+        assert a_level == b_level
+        assert a_result.final_tb.checker_src == b_result.final_tb.checker_src
+        assert a_result.history == b_result.history
+
+
+class TestMethodOrdering:
+    @pytest.fixture(scope="class")
+    def slice_result(self):
+        from repro.problems import dataset_slice
+        tasks = [t.task_id for t in dataset_slice(8, 8, stride=5)]
+        return run_campaign(default_config(task_ids=tasks, seeds=(0, 1),
+                                           n_jobs=4))
+
+    def test_correctbench_beats_autobench_beats_baseline(
+            self, slice_result):
+        scores = {
+            method: level_stat(slice_result, method, "Total",
+                               EvalLevel.EVAL2).ratio
+            for method in (METHOD_CORRECTBENCH, METHOD_AUTOBENCH,
+                           METHOD_BASELINE)}
+        assert scores[METHOD_CORRECTBENCH] >= scores[METHOD_AUTOBENCH]
+        assert scores[METHOD_AUTOBENCH] >= scores[METHOD_BASELINE]
+
+    def test_seq_harder_than_cmb_for_baseline(self, slice_result):
+        cmb = level_stat(slice_result, METHOD_BASELINE, "CMB",
+                         EvalLevel.EVAL2).ratio
+        seq = level_stat(slice_result, METHOD_BASELINE, "SEQ",
+                         EvalLevel.EVAL2).ratio
+        assert cmb >= seq
+
+    def test_correctbench_eval0_near_perfect(self, slice_result):
+        eval0 = level_stat(slice_result, METHOD_CORRECTBENCH, "Total",
+                           EvalLevel.EVAL0).ratio
+        assert eval0 >= 0.9
+
+
+class TestCli:
+    def test_dataset_listing(self, capsys):
+        assert cli_main(["dataset"]) == 0
+        out = capsys.readouterr().out
+        assert "156 tasks" in out
+
+    def test_dataset_show_task(self, capsys):
+        assert cli_main(["dataset", "--task", "cmb_eq4",
+                         "--show-rtl"]) == 0
+        out = capsys.readouterr().out
+        assert "top_module" in out
+
+    def test_run_autobench(self, capsys):
+        assert cli_main(["run", "cmb_and2", "--method", "autobench"]) == 0
+        out = capsys.readouterr().out
+        assert "AutoEval:" in out
+        assert "tokens:" in out
+
+    def test_validate_prints_matrix(self, capsys):
+        assert cli_main(["validate", "cmb_and2"]) == 0
+        out = capsys.readouterr().out
+        assert "verdict:" in out
+        assert "RTL\\Scn" in out
+
+    def test_campaign_small(self, capsys):
+        assert cli_main(["campaign", "--tasks", "cmb_and2,seq_dff",
+                         "--seeds", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "TABLE I" in out
+        assert "TABLE III" in out

@@ -1,0 +1,73 @@
+"""Shared utilities: stable hashing, RNG derivation, code-block parsing."""
+
+from hypothesis import given, strategies as st
+
+from repro.util import (clamp, derive_rng, extract_code_blocks,
+                        extract_first_code_block, format_ratio, mean,
+                        stable_hash)
+
+
+class TestStableHash:
+    def test_deterministic_across_calls(self):
+        assert stable_hash("a", 1) == stable_hash("a", 1)
+
+    def test_order_sensitive(self):
+        assert stable_hash("a", "b") != stable_hash("b", "a")
+
+    def test_part_boundaries_matter(self):
+        assert stable_hash("ab", "c") != stable_hash("a", "bc")
+
+    @given(st.lists(st.text(), min_size=1, max_size=4))
+    def test_in_64_bit_range(self, parts):
+        value = stable_hash(*parts)
+        assert 0 <= value < 2 ** 64
+
+
+class TestDeriveRng:
+    def test_same_parts_same_stream(self):
+        a = derive_rng("x", 1)
+        b = derive_rng("x", 1)
+        assert [a.random() for _ in range(5)] == [
+            b.random() for _ in range(5)]
+
+    def test_different_parts_different_stream(self):
+        assert derive_rng("x").random() != derive_rng("y").random()
+
+
+class TestCodeBlocks:
+    def test_extract_by_language(self):
+        text = ("prose\n```verilog\nmodule m; endmodule\n```\n"
+                "```python\nx = 1\n```\n")
+        assert extract_code_blocks(text, "verilog") == [
+            "module m; endmodule\n"]
+        assert extract_code_blocks(text, "python") == ["x = 1\n"]
+        assert len(extract_code_blocks(text)) == 2
+
+    def test_first_block_fallback_to_raw(self):
+        assert extract_first_code_block("bare code") == "bare code"
+
+    def test_language_filter_case_insensitive(self):
+        text = "```Verilog\nm\n```"
+        assert extract_code_blocks(text, "verilog") == ["m\n"]
+
+    @given(st.text(alphabet=st.characters(blacklist_characters="`"),
+                   min_size=0, max_size=200))
+    def test_roundtrip_through_fence(self, body):
+        text = f"```python\n{body}\n```"
+        blocks = extract_code_blocks(text, "python")
+        assert blocks == [body + "\n"]
+
+
+class TestSmallHelpers:
+    def test_clamp(self):
+        assert clamp(-1) == 0.0
+        assert clamp(2) == 1.0
+        assert clamp(0.5) == 0.5
+        assert clamp(5, 0, 10) == 5
+
+    def test_mean(self):
+        assert mean([]) == 0.0
+        assert mean([1, 2, 3]) == 2.0
+
+    def test_format_ratio(self):
+        assert format_ratio(0.7013) == "70.13%"

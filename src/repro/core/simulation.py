@@ -1,23 +1,45 @@
 """Simulation glue: run drivers/testbenches against DUT sources.
 
 This module replaces the ``iverilog + vvp`` invocation of the original
-system with the in-process :mod:`repro.hdl` simulator.  Parsing is cached
-per source text (the validator simulates the same driver against 20 RTL
-samples, and AutoEval runs the same testbench against 10 mutants).
+system with the in-process :mod:`repro.hdl` simulator, and layers design
+reuse on top of it:
+
+- **parse cache** — text-keyed (:func:`parse_cached`); the validator
+  simulates the same driver against 20 RTL samples and AutoEval runs the
+  same testbench against 10 mutants.
+- **elaboration cache** — :func:`design_template` keys a fully
+  elaborated + compiled design by ``(source_text, top)``.  The cached
+  :class:`DesignTemplate` owns the design *structure* (signals, process
+  closures); each run stamps out fresh runtime state (signal values,
+  memory words, scheduler queues) before simulating, so repeated runs of
+  the same design pay parse/elaborate/compile exactly once.
+- **batched execution** — :func:`run_driver_batch` /
+  :func:`run_monolithic_batch` fan one shared testbench across many DUT
+  variants, deduplicating identical sources and optionally spreading
+  the work across a process pool.
+
+The execution engine (``compiled`` closures vs the reference
+``interpret`` walker) is selected per call, per process via
+:func:`set_default_engine`, or via the ``REPRO_SIM_ENGINE`` environment
+variable.
 """
 
 from __future__ import annotations
 
 import re
+import threading
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from functools import lru_cache
 
 from ..hdl import ast as hdl_ast
-from ..hdl.elaborate import elaborate
+from ..hdl.elaborate import Design, elaborate
 from ..hdl.errors import (ElaborationError, HdlError, SimulationError,
                           SimulationLimit, VerilogSyntaxError)
-from ..hdl.parser import parse_source
-from ..hdl.simulator import Simulator
+from ..hdl.parser import parse_source_cached
+from ..hdl.simulator import (ENGINE_COMPILED, ENGINE_INTERPRET, ENGINES,
+                             SimulationResult, Simulator,
+                             get_default_engine, set_default_engine)
 from ..codegen.driver import DUMP_FILE
 
 # Failure taxonomy used throughout evaluation:
@@ -30,10 +52,17 @@ _SIM_MAX_TIME = 2_000_000
 _SIM_MAX_STMTS = 4_000_000
 
 
-@lru_cache(maxsize=4096)
+# Engine selection lives in repro.hdl.simulator (the single source of
+# truth); get_default_engine / set_default_engine are re-exported above
+# for callers that configure simulation at this layer (campaigns, CLI).
+
+
+# ----------------------------------------------------------------------
+# Parse + elaboration caches
+# ----------------------------------------------------------------------
 def parse_cached(source: str) -> hdl_ast.SourceFile:
     """Parse with a text-keyed cache; raises VerilogSyntaxError."""
-    return parse_source(source)
+    return parse_source_cached(source)
 
 
 def syntax_ok(source: str) -> bool:
@@ -42,6 +71,117 @@ def syntax_ok(source: str) -> bool:
     except VerilogSyntaxError:
         return False
     return True
+
+
+class DesignTemplate:
+    """A cached, compiled design plus the recipe for fresh run state.
+
+    Elaboration produces mutable runtime objects (signal values, memory
+    words) embedded in the design structure.  The template snapshots
+    their post-elaboration state once; :meth:`run` restores that
+    snapshot — and clears any event waiters left by a previous run —
+    before simulating, so every run starts from an identical universe
+    while sharing the parsed AST, the elaborated structure, and the
+    compiled process closures.
+
+    A lock serializes runs of one template: the design's runtime state
+    is singular, so concurrent in-process runs must take turns (use the
+    process-pool batch APIs for true parallelism).
+    """
+
+    __slots__ = ("design", "top", "_signal_init", "_memory_init", "_lock")
+
+    def __init__(self, design: Design):
+        self.design = design
+        self.top = design.top
+        self._signal_init = [(sig, sig.value)
+                             for sig in design.signals.values()]
+        self._memory_init = [(mem, list(mem.words))
+                             for mem in design.memories.values()]
+        self._lock = threading.Lock()
+
+    def reset(self) -> None:
+        """Restore post-elaboration values and clear scheduler residue."""
+        for sig, value in self._signal_init:
+            sig.value = value
+            if sig.waiters:
+                sig.waiters.clear()
+        for mem, words in self._memory_init:
+            mem.words[:] = words
+            if mem.waiters:
+                mem.waiters.clear()
+
+    def run(self, max_time: int = _SIM_MAX_TIME,
+            max_stmts: int = _SIM_MAX_STMTS, seed: int = 0,
+            engine: str | None = None) -> SimulationResult:
+        """Reset state and simulate.
+
+        Note: the returned ``SimulationResult.design`` references the
+        *shared* design — snapshot any final signal values you need
+        before the next run of the same template.
+        """
+        with self._lock:
+            self.reset()
+            try:
+                return Simulator(self.design, max_time=max_time,
+                                 max_stmts=max_stmts, seed=seed,
+                                 engine=engine or get_default_engine()).run()
+            finally:
+                # The simulator rebinds the design's runtime hooks to
+                # itself; restore the defaults so this cached template
+                # doesn't pin the finished Simulator (and its stdout /
+                # dump buffers / generator frames) in memory.
+                design = self.design
+                design.runtime_time = lambda: 0
+                design.runtime_random = lambda: 0
+                design.runtime_fopen = lambda name: 0
+
+
+@lru_cache(maxsize=256)
+def design_template(source_text: str, top: str) -> DesignTemplate:
+    """Elaboration cache: ``(source_text, top)`` -> compiled template.
+
+    Failures (syntax or elaboration errors) are not cached and re-raise
+    on every call.
+    """
+    return DesignTemplate(elaborate(parse_cached(source_text), top))
+
+
+@lru_cache(maxsize=256)
+def _pair_template(dut_src: str, tb_src: str, top: str) -> DesignTemplate:
+    """Elaboration cache for (DUT, testbench) pairs.
+
+    Merges the two separately-cached ASTs at the module-tuple level (no
+    re-parse of concatenated text).  DUT modules come first so testbench
+    modules shadow same-named ones, exactly like the pre-cache merge.
+    """
+    dut_ast = parse_cached(dut_src)
+    tb_ast = parse_cached(tb_src)
+    merged = hdl_ast.SourceFile(tuple(dut_ast.modules)
+                                + tuple(tb_ast.modules))
+    return DesignTemplate(elaborate(merged, top))
+
+
+def clear_simulation_caches() -> None:
+    """Drop the parse and elaboration caches (benchmark cold starts)."""
+    design_template.cache_clear()
+    _pair_template.cache_clear()
+    parse_source_cached.cache_clear()
+
+
+def simulation_cache_stats() -> dict:
+    """Hit/miss counters for the caching layers (telemetry)."""
+    parse_info = parse_source_cached.cache_info()
+    design_info = design_template.cache_info()
+    pair_info = _pair_template.cache_info()
+    return {
+        "parse": {"hits": parse_info.hits, "misses": parse_info.misses,
+                  "size": parse_info.currsize},
+        "design": {"hits": design_info.hits, "misses": design_info.misses,
+                   "size": design_info.currsize},
+        "pair": {"hits": pair_info.hits, "misses": pair_info.misses,
+                 "size": pair_info.currsize},
+    }
 
 
 @dataclass(frozen=True)
@@ -82,26 +222,29 @@ def parse_dump(lines: list[str]) -> list[Record]:
     return records
 
 
-def run_driver(driver_src: str, dut_src: str) -> DriverRun:
+def run_driver(driver_src: str, dut_src: str,
+               engine: str | None = None) -> DriverRun:
     """Simulate the hybrid-TB driver against a DUT, collect the dump."""
     try:
-        tb_ast = parse_cached(driver_src)
+        parse_cached(driver_src)
     except VerilogSyntaxError as exc:
         return DriverRun(SYNTAX, detail=f"driver: {exc}")
     try:
-        dut_ast = parse_cached(dut_src)
+        parse_cached(dut_src)
     except VerilogSyntaxError as exc:
         return DriverRun(SYNTAX, detail=f"dut: {exc}")
 
-    merged = hdl_ast.SourceFile(tuple(dut_ast.modules) + tuple(tb_ast.modules))
     try:
-        design = elaborate(merged, "tb")
+        template = _pair_template(dut_src, driver_src, "tb")
+    except VerilogSyntaxError as exc:  # pragma: no cover - defensive
+        return DriverRun(SYNTAX, detail=str(exc))
     except ElaborationError as exc:
         return DriverRun(ELABORATION, detail=str(exc))
     try:
-        result = Simulator(design, max_time=_SIM_MAX_TIME,
-                           max_stmts=_SIM_MAX_STMTS).run()
+        result = template.run(engine=engine)
     except (SimulationError, SimulationLimit) as exc:
+        return DriverRun(RUNTIME, detail=str(exc))
+    except HdlError as exc:  # late elaboration-class errors: still runtime
         return DriverRun(RUNTIME, detail=str(exc))
     except RecursionError:  # pragma: no cover - defensive
         return DriverRun(RUNTIME, detail="recursion limit")
@@ -125,28 +268,33 @@ class MonolithicRun:
     detail: str = ""
 
 
-def run_monolithic(tb_src: str, dut_src: str) -> MonolithicRun:
+def run_monolithic(tb_src: str, dut_src: str,
+                   engine: str | None = None) -> MonolithicRun:
     """Simulate a baseline testbench; parse its printed verdict."""
     from ..codegen.baseline import baseline_verdict
 
     try:
-        tb_ast = parse_cached(tb_src)
+        parse_cached(tb_src)
     except VerilogSyntaxError as exc:
         return MonolithicRun(SYNTAX, detail=f"tb: {exc}")
     try:
-        dut_ast = parse_cached(dut_src)
+        parse_cached(dut_src)
     except VerilogSyntaxError as exc:
         return MonolithicRun(SYNTAX, detail=f"dut: {exc}")
-    merged = hdl_ast.SourceFile(tuple(dut_ast.modules) + tuple(tb_ast.modules))
     try:
-        design = elaborate(merged, "tb")
+        template = _pair_template(dut_src, tb_src, "tb")
+    except VerilogSyntaxError as exc:  # pragma: no cover - defensive
+        return MonolithicRun(SYNTAX, detail=str(exc))
     except ElaborationError as exc:
         return MonolithicRun(ELABORATION, detail=str(exc))
     try:
-        result = Simulator(design, max_time=_SIM_MAX_TIME,
-                           max_stmts=_SIM_MAX_STMTS).run()
+        result = template.run(engine=engine)
     except (SimulationError, SimulationLimit) as exc:
         return MonolithicRun(RUNTIME, detail=str(exc))
+    except HdlError as exc:
+        return MonolithicRun(RUNTIME, detail=str(exc))
+    except RecursionError:  # pragma: no cover - defensive
+        return MonolithicRun(RUNTIME, detail="recursion limit")
     if not result.finished:
         return MonolithicRun(RUNTIME, detail="no $finish")
     verdict = baseline_verdict(result.stdout)
@@ -168,3 +316,70 @@ def dut_compiles(dut_src: str) -> tuple[bool, str]:
     except HdlError as exc:  # pragma: no cover - defensive
         return False, str(exc)
     return True, ""
+
+
+# ----------------------------------------------------------------------
+# Batched execution
+# ----------------------------------------------------------------------
+def _driver_batch_worker(item: tuple) -> DriverRun:
+    driver_src, dut_src, engine = item
+    return run_driver(driver_src, dut_src, engine=engine)
+
+
+def _monolithic_batch_worker(item: tuple) -> MonolithicRun:
+    tb_src, dut_src, engine = item
+    return run_monolithic(tb_src, dut_src, engine=engine)
+
+
+def _run_batch(worker, shared_src: str, dut_srcs, jobs: int,
+               engine: str | None) -> list:
+    """Shared fan-out: dedup identical DUTs, then run each unique pair.
+
+    The shared testbench text is parsed once (cache) and each unique
+    (testbench, DUT) design is elaborated + compiled once (template
+    cache), so a batch amortizes every per-design cost across the runs.
+    With ``jobs > 1`` unique pairs spread over a process pool; each
+    worker process builds its own caches, which the pool reuses across
+    items.
+    """
+    # Resolve the engine now: pool workers have their own process-wide
+    # default, so an unresolved None would ignore a set_default_engine()
+    # made in this (the parent) process.
+    engine = engine or get_default_engine()
+    dut_list = list(dut_srcs)
+    order: list[str] = []
+    seen = set()
+    for dut in dut_list:
+        if dut not in seen:
+            seen.add(dut)
+            order.append(dut)
+
+    if jobs > 1 and len(order) > 1:
+        items = [(shared_src, dut, engine) for dut in order]
+        with ProcessPoolExecutor(max_workers=min(jobs, len(order))) as pool:
+            unique_results = list(pool.map(worker, items))
+    else:
+        unique_results = [worker((shared_src, dut, engine))
+                          for dut in order]
+
+    by_src = dict(zip(order, unique_results))
+    return [by_src[dut] for dut in dut_list]
+
+
+def run_driver_batch(driver_src: str, dut_srcs, jobs: int = 1,
+                     engine: str | None = None) -> list[DriverRun]:
+    """Run one hybrid-TB driver against many DUT variants.
+
+    This is the validator/AutoEval hot path: the driver is compiled
+    once, identical DUTs are simulated once, and ``jobs > 1`` fans the
+    unique runs across a process pool.
+    """
+    return _run_batch(_driver_batch_worker, driver_src, dut_srcs, jobs,
+                      engine)
+
+
+def run_monolithic_batch(tb_src: str, dut_srcs, jobs: int = 1,
+                         engine: str | None = None) -> list[MonolithicRun]:
+    """Run one self-checking testbench against many DUT variants."""
+    return _run_batch(_monolithic_batch_worker, tb_src, dut_srcs, jobs,
+                      engine)

@@ -22,7 +22,7 @@ from .artifacts import HybridTestbench
 from .checker_runtime import run_checker
 from .rs_matrix import RSMatrix, RSRow, build_matrix
 from .rtl_group import DEFAULT_GROUP_SIZE, JudgeRtl, build_rtl_group
-from .simulation import run_driver
+from .simulation import run_driver_batch
 
 
 @dataclass(frozen=True)
@@ -108,11 +108,13 @@ class ScenarioValidator:
 
     def __init__(self, client: LLMClient | MeteredClient, task: TaskSpec,
                  criterion: Criterion = DEFAULT_CRITERION,
-                 group_size: int = DEFAULT_GROUP_SIZE):
+                 group_size: int = DEFAULT_GROUP_SIZE,
+                 sim_jobs: int = 1):
         self.client = client
         self.task = task
         self.criterion = criterion
         self.group_size = group_size
+        self.sim_jobs = sim_jobs
         self._group: tuple[JudgeRtl, ...] | None = None
         self._sim_cache: dict = {}
 
@@ -129,16 +131,39 @@ class ScenarioValidator:
         self._group = tuple(group)
 
     # ------------------------------------------------------------------
+    def _judge_key(self, driver_src: str, judge: JudgeRtl):
+        return (stable_hash(driver_src), judge.sample_index,
+                stable_hash(judge.source))
+
     def _judge_records(self, driver_src: str, judge: JudgeRtl):
-        key = (stable_hash(driver_src), judge.sample_index,
-               stable_hash(judge.source))
+        key = self._judge_key(driver_src, judge)
         if key not in self._sim_cache:
-            self._sim_cache[key] = run_driver(driver_src, judge.source)
+            self._sim_cache[key] = run_driver_batch(
+                driver_src, [judge.source])[0]
         return self._sim_cache[key]
+
+    def _prefetch_judges(self, driver_src: str) -> None:
+        """Batch all uncached driver-vs-judge simulations.
+
+        The batch API compiles the shared driver design once per unique
+        judge RTL and can fan out across a process pool (``sim_jobs``).
+        """
+        pending = [judge for judge in self.rtl_group
+                   if judge.syntax_ok
+                   and self._judge_key(driver_src, judge)
+                   not in self._sim_cache]
+        if not pending:
+            return
+        runs = run_driver_batch(driver_src,
+                                [judge.source for judge in pending],
+                                jobs=self.sim_jobs)
+        for judge, run in zip(pending, runs):
+            self._sim_cache[self._judge_key(driver_src, judge)] = run
 
     def validate(self, tb: HybridTestbench) -> ValidationReport:
         scenario_indexes = tuple(index for index, _ in tb.scenarios)
         rows: list[RSRow] = []
+        self._prefetch_judges(tb.driver_src)
         for judge in self.rtl_group:
             if not judge.syntax_ok:
                 rows.append(RSRow(judge.sample_index, None,

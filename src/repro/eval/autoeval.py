@@ -16,9 +16,10 @@ from enum import IntEnum
 
 from ..core.artifacts import HybridTestbench, MonolithicTestbench
 from ..core.checker_runtime import checker_compiles
-from ..core.simulation import run_monolithic, syntax_ok
+from ..core.simulation import run_monolithic, run_monolithic_batch, syntax_ok
 from ..problems.dataset import get_task
-from .golden import GoldenArtifacts, golden_artifacts, hybrid_verdict
+from .golden import (GoldenArtifacts, golden_artifacts, hybrid_verdict,
+                     hybrid_verdicts_batch)
 
 EVAL2_AGREEMENT = 0.80
 
@@ -62,8 +63,12 @@ def evaluate_hybrid(tb: HybridTestbench,
         return EvalResult(EvalLevel.EVAL0,
                           "golden DUT reported Failed")
 
-    agreement = _mutant_agreement(
-        lambda mutant_src: hybrid_verdict(tb, mutant_src, task), golden)
+    if golden.mutants:
+        verdicts = hybrid_verdicts_batch(
+            tb, [mutant.source for mutant in golden.mutants], task)
+    else:
+        verdicts = []
+    agreement = _mutant_agreement(verdicts, golden)
     if agreement >= EVAL2_AGREEMENT:
         return EvalResult(EvalLevel.EVAL2, agreement=agreement)
     return EvalResult(EvalLevel.EVAL1,
@@ -85,11 +90,14 @@ def evaluate_monolithic(tb: MonolithicTestbench,
         return EvalResult(EvalLevel.EVAL0,
                           run.detail or "golden DUT reported Failed")
 
-    def verdict_on(mutant_src: str) -> bool | None:
-        result = run_monolithic(tb.source, mutant_src)
-        return result.verdict if result.status == "ok" else None
-
-    agreement = _mutant_agreement(verdict_on, golden)
+    if golden.mutants:
+        results = run_monolithic_batch(
+            tb.source, [mutant.source for mutant in golden.mutants])
+        verdicts = [result.verdict if result.status == "ok" else None
+                    for result in results]
+    else:
+        verdicts = []
+    agreement = _mutant_agreement(verdicts, golden)
     if agreement >= EVAL2_AGREEMENT:
         return EvalResult(EvalLevel.EVAL2, agreement=agreement)
     return EvalResult(EvalLevel.EVAL1,
@@ -106,13 +114,16 @@ def evaluate(tb, golden: GoldenArtifacts | None = None) -> EvalResult:
     raise TypeError(f"cannot evaluate {type(tb).__name__}")
 
 
-def _mutant_agreement(verdict_on, golden: GoldenArtifacts) -> float:
-    """Fraction of mutants where the TB's report matches the golden TB's."""
+def _mutant_agreement(verdicts, golden: GoldenArtifacts) -> float:
+    """Fraction of mutants where the TB's report matches the golden TB's.
+
+    ``verdicts`` are the candidate testbench's per-mutant reports (from a
+    batched run), aligned with ``golden.mutant_verdicts``.
+    """
     if not golden.mutants:
         return 1.0
     agree = 0
-    for mutant, reference in zip(golden.mutants, golden.mutant_verdicts):
-        verdict = verdict_on(mutant.source)
+    for verdict, reference in zip(verdicts, golden.mutant_verdicts):
         if verdict is not None and verdict == reference:
             agree += 1
     return agree / len(golden.mutants)

@@ -20,6 +20,7 @@ from typing import Iterable, Sequence
 from ..core.agent import CorrectBenchWorkflow, WorkflowResult
 from ..core.baseline import DirectBaseline
 from ..core.generator import AutoBenchGenerator
+from ..core.simulation import get_default_engine, set_default_engine
 from ..core.validator import CRITERIA, DEFAULT_CRITERION
 from ..llm.base import MeteredClient, Usage, UsageMeter
 from ..llm.profiles import get_profile
@@ -61,6 +62,7 @@ class CampaignConfig:
     methods: tuple[str, ...] = ALL_METHODS
     group_size: int = 20
     n_jobs: int = 1
+    engine: str = ""  # "" = the process default (REPRO_SIM_ENGINE)
 
 
 @dataclass
@@ -91,7 +93,26 @@ def default_config(task_ids: Iterable[str] | None = None,
 def run_one(method: str, task_id: str, seed: int,
             profile_name: str = "gpt-4o",
             criterion_name: str = DEFAULT_CRITERION.name,
-            group_size: int = 20) -> TaskRun:
+            group_size: int = 20, engine: str = "") -> TaskRun:
+    if engine and engine != get_default_engine():
+        # Campaign items may execute in pool workers: pin the requested
+        # simulation engine in whichever process runs this item, and
+        # restore it afterwards so serial (in-process) campaigns don't
+        # leak their engine choice into later work.
+        previous = get_default_engine()
+        set_default_engine(engine)
+        try:
+            return _run_one_inner(method, task_id, seed, profile_name,
+                                  criterion_name, group_size)
+        finally:
+            set_default_engine(previous)
+    return _run_one_inner(method, task_id, seed, profile_name,
+                          criterion_name, group_size)
+
+
+def _run_one_inner(method: str, task_id: str, seed: int,
+                   profile_name: str, criterion_name: str,
+                   group_size: int) -> TaskRun:
     task = get_task(task_id)
     profile = get_profile(profile_name)
     criterion = CRITERIA[criterion_name]
@@ -124,14 +145,15 @@ def run_one(method: str, task_id: str, seed: int,
 
 
 def _worker(item: tuple) -> TaskRun:
-    method, task_id, seed, profile, criterion, group_size = item
-    return run_one(method, task_id, seed, profile, criterion, group_size)
+    method, task_id, seed, profile, criterion, group_size, engine = item
+    return run_one(method, task_id, seed, profile, criterion, group_size,
+                   engine)
 
 
 def run_campaign(config: CampaignConfig, progress=None) -> CampaignResult:
     """Run the full campaign, optionally over a process pool."""
     items = [(method, task_id, seed, config.profile_name,
-              config.criterion_name, config.group_size)
+              config.criterion_name, config.group_size, config.engine)
              for method in config.methods
              for seed in config.seeds
              for task_id in config.task_ids]

@@ -14,7 +14,7 @@ from functools import lru_cache
 from ..codegen import render_checker_core, render_driver
 from ..core.artifacts import HybridTestbench
 from ..core.checker_runtime import run_checker
-from ..core.simulation import dut_compiles, run_driver
+from ..core.simulation import dut_compiles, run_driver, run_driver_batch
 from ..mutation import Mutant, generate_mutants
 from ..problems.dataset import get_task
 from ..problems.model import TaskSpec
@@ -36,6 +36,26 @@ def hybrid_verdict(tb: HybridTestbench, dut_src: str,
     if not report.ok:
         return None
     return report.all_passed
+
+
+def hybrid_verdicts_batch(tb: HybridTestbench, dut_srcs,
+                          task: TaskSpec,
+                          jobs: int = 1) -> list[bool | None]:
+    """Batched :func:`hybrid_verdict`: one driver, many DUT variants.
+
+    The shared driver is parsed/compiled once and identical DUTs are
+    simulated once (AutoEval's mutant sweep runs the same testbench
+    against 10 mutants of one golden RTL).
+    """
+    runs = run_driver_batch(tb.driver_src, list(dut_srcs), jobs=jobs)
+    verdicts: list[bool | None] = []
+    for run in runs:
+        if not run.ok:
+            verdicts.append(None)
+            continue
+        report = run_checker(tb.checker_src, task.ports, run.records)
+        verdicts.append(report.all_passed if report.ok else None)
+    return verdicts
 
 
 @dataclass(frozen=True)
@@ -66,11 +86,12 @@ def golden_artifacts(task_id: str) -> GoldenArtifacts:
         task.golden_rtl(), N_MUTANTS, task.task_id,
         compile_check=lambda source: dut_compiles(source)[0]))
 
-    verdicts = []
-    for mutant in mutants:
-        verdict = hybrid_verdict(testbench, mutant.source, task)
-        # The golden TB is known-runnable; a crash can only come from a
-        # pathological mutant (e.g. a combinational loop) — call it Failed.
-        verdicts.append(bool(verdict) if verdict is not None else False)
+    raw = hybrid_verdicts_batch(testbench,
+                                [mutant.source for mutant in mutants],
+                                task)
+    # The golden TB is known-runnable; a crash can only come from a
+    # pathological mutant (e.g. a combinational loop) — call it Failed.
+    verdicts = [bool(verdict) if verdict is not None else False
+                for verdict in raw]
     return GoldenArtifacts(task.task_id, testbench, mutants,
                            tuple(verdicts))

@@ -1,7 +1,53 @@
 """``repro.hdl`` — Verilog subset front end and event-driven simulator.
 
 This package replaces the Icarus Verilog dependency of the original
-CorrectBench system.  It provides:
+CorrectBench system.  Execution is a four-stage pipeline::
+
+    source text --parse--> AST --elaborate--> Design --compile--> closures --run--> SimulationResult
+
+**parse** (:mod:`repro.hdl.parser`)
+    Lexes and parses the supported Verilog subset into immutable
+    (frozen-dataclass) AST nodes.  :func:`parse_source_cached` is the
+    text-keyed parse cache: identical source text is parsed once
+    process-wide, and the shared AST is safe because nodes are
+    immutable.
+
+**elaborate** (:mod:`repro.hdl.elaborate`)
+    Resolves parameters, flattens the instance hierarchy and produces a
+    :class:`Design`: flat ``Signal``/``Memory`` objects plus a list of
+    ``ProcSpec`` processes.  Port connections to plain same-width parent
+    nets are *aliased* (child and parent share one ``Signal``), so no
+    binding process or extra delta hop exists for them; mismatched or
+    expression-valued connections fall back to combinational binding
+    processes.
+
+**compile** (:mod:`repro.hdl.compile`)
+    Lowers each process body once into nested Python closures:
+    expressions through the per-scope compiled-expression cache in
+    :mod:`repro.hdl.eval` (names, widths, signedness and constant
+    indices resolved at compile time, no-op resizes elided), statement
+    sequences into flat op lists whose generators only yield at real
+    suspension points, format strings into pre-parsed segments.  The
+    compiled program is cached on the ``ProcSpec``, so re-simulating the
+    same elaborated design skips this stage entirely.  ``initial``
+    bodies compile adaptively: loopy bodies eagerly (the loop amortizes
+    the cost in-run), straight-line bodies only from their second
+    simulation (the first interprets them — compiling run-once code is
+    a net loss).
+
+**run** (:mod:`repro.hdl.simulator`)
+    A three-region (active / inactive / NBA) event scheduler per the
+    simplified IEEE 1364 model.  Two engines share it: ``compiled``
+    (default) executes the closure programs; ``interpret`` re-walks the
+    AST per statement and is kept as the behavioural reference — the
+    golden-equivalence test suite asserts identical results on the whole
+    fixture corpus and every benchmark problem.
+
+One layer up, :mod:`repro.core.simulation` adds design-level reuse: an
+elaboration cache keyed by source text that stamps fresh runtime state
+per run, and batched driver/testbench execution APIs.
+
+Public surface:
 
 - :func:`parse_source` / :func:`parse_module` — syntax checking and AST,
 - :func:`compile_design` — parse + elaborate (the Eval0 "compiles" check),
@@ -14,12 +60,16 @@ CorrectBench system.  It provides:
 from .errors import (ElaborationError, HdlError, SimulationError,
                      SimulationLimit, VerilogSyntaxError)
 from .logic import Logic
-from .parser import parse_module, parse_source
-from .simulator import (SimulationResult, Simulator, compile_design,
+from .parser import parse_module, parse_source, parse_source_cached
+from .simulator import (ENGINE_COMPILED, ENGINE_INTERPRET, ENGINES,
+                        SimulationResult, Simulator, compile_design,
                         simulate)
 from .unparse import unparse_expr, unparse_module, unparse_source
 
 __all__ = [
+    "ENGINE_COMPILED",
+    "ENGINE_INTERPRET",
+    "ENGINES",
     "ElaborationError",
     "HdlError",
     "Logic",
@@ -31,6 +81,7 @@ __all__ = [
     "compile_design",
     "parse_module",
     "parse_source",
+    "parse_source_cached",
     "simulate",
     "unparse_expr",
     "unparse_module",

@@ -22,9 +22,17 @@ MAX_MEMORY_WORDS = 1 << 20
 
 
 class Signal:
-    """A flattened net or variable with its current 4-state value."""
+    """A flattened net or variable with its current 4-state value.
 
-    __slots__ = ("name", "width", "signed", "kind", "value", "waiters")
+    ``waiters`` and ``combs`` are per-run scheduler state: the event
+    tokens of suspended processes and the combinational processes whose
+    read set includes this signal.  The simulator (re)binds both at
+    instantiation time; keeping them on the signal avoids a dict lookup
+    on every value change.
+    """
+
+    __slots__ = ("name", "width", "signed", "kind", "value", "waiters",
+                 "combs")
 
     def __init__(self, name: str, width: int, signed: bool = False,
                  kind: str = "wire"):
@@ -37,6 +45,7 @@ class Signal:
         self.kind = kind
         self.value = Logic.unknown(width)
         self.waiters: list = []   # list[WaitToken]
+        self.combs: list | None = None  # list[CombProcess], set per run
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"Signal({self.name}, {self.width}, {self.value.bits()})"
@@ -45,7 +54,8 @@ class Signal:
 class Memory:
     """A 1-D unpacked array of words (register files, small RAMs)."""
 
-    __slots__ = ("name", "width", "signed", "lo", "hi", "words", "waiters")
+    __slots__ = ("name", "width", "signed", "lo", "hi", "words", "waiters",
+                 "combs")
 
     def __init__(self, name: str, width: int, lo: int, hi: int,
                  signed: bool = False):
@@ -60,6 +70,7 @@ class Memory:
         self.hi = hi
         self.words = [Logic.unknown(width) for _ in range(hi - lo + 1)]
         self.waiters: list = []
+        self.combs: list | None = None  # list[CombProcess], set per run
 
     def read(self, addr: int) -> Logic:
         if addr < self.lo or addr > self.hi:
@@ -85,6 +96,14 @@ class ProcSpec:
         combinational processes (continuous assignments, ``always @(*)`` and
         port bindings); re-evaluated whenever a signal in ``reads`` changes,
         plus once at time zero.
+
+    ``port_bind`` carries the structured form of a port-binding process
+    (``("in", expr, child_signal)`` / ``("out", child_signal,
+    parent_signal)``) so the compile pass can lower it without the
+    ``pyfunc`` interpreter fallback.  ``compiled`` caches the
+    :class:`~repro.hdl.compile.CompiledProc` for this spec; it lives on
+    the spec so every simulation of the same elaborated design reuses
+    the closure program.
     """
     kind: str
     scope: "Scope"
@@ -93,6 +112,16 @@ class ProcSpec:
     pyfunc: Optional[Callable] = None
     reads: tuple[object, ...] = ()
     label: str = ""
+    port_bind: Optional[tuple] = None
+    compiled: Optional[object] = field(default=None, repr=False,
+                                       compare=False)
+    # Adaptive-compile bookkeeping for ``initial`` bodies: whether the
+    # body amortizes compilation within one run (contains a loop), and
+    # whether a previous simulation already executed it interpreted.
+    eager_compile: Optional[bool] = field(default=None, repr=False,
+                                          compare=False)
+    interpreted_once: bool = field(default=False, repr=False,
+                                   compare=False)
 
 
 class Scope:
@@ -213,7 +242,9 @@ class Elaborator:
     # ------------------------------------------------------------------
     def _elaborate_module(self, design: Design, module: ast.Module,
                           prefix: str, param_overrides: dict[str, Logic],
-                          depth: int) -> Scope:
+                          depth: int,
+                          port_aliases: dict[str, Signal] | None = None,
+                          ) -> Scope:
         if depth > 32:
             raise ElaborationError("instance hierarchy too deep (recursion?)")
         scope = Scope(design, prefix)
@@ -226,13 +257,25 @@ class Elaborator:
                 else:
                     scope.declare(item.name, eval_expr(item.value, scope))
 
-        # Ports.
+        # Ports.  A port whose connection is a plain same-width,
+        # same-signedness parent net is *aliased*: the child scope shares
+        # the parent's Signal object, so no binding process (and no extra
+        # delta hop) is needed for it.  This must happen before the rest
+        # of the module elaborates — combinational read sets capture
+        # Signal objects eagerly.
         declared_ports: dict[str, Signal] = {}
         for port in module.ports:
             if port.direction == "inout":
                 raise ElaborationError(
                     f"inout port {port.name!r} is not supported")
             width = self._range_width(port.range, scope)
+            alias = port_aliases.get(port.name) if port_aliases else None
+            if (alias is not None and alias.width == width
+                    and alias.signed == port.signed):
+                design.signals[f"{prefix}{port.name}"] = alias
+                scope.declare(port.name, alias)
+                declared_ports[port.name] = alias
+                continue
             sig = self._new_signal(design, scope, port.name, width,
                                    port.signed, "reg" if port.is_reg else "wire")
             declared_ports[port.name] = sig
@@ -393,8 +436,6 @@ class Elaborator:
         overrides = {name: eval_expr(expr, parent)
                      for name, expr in inst.parameters}
         child_prefix = f"{prefix}{inst.name}."
-        child_scope = self._elaborate_module(
-            design, child_module, child_prefix, overrides, depth + 1)
 
         # Pair connections with ports.
         pairs: list[tuple[ast.Port, Optional[ast.Expr]]] = []
@@ -427,11 +468,27 @@ class Elaborator:
                 seen.add(pname)
                 pairs.append((by_name[pname], expr))
 
+        # Alias candidates: connections that are plain parent nets.  The
+        # final width/signedness check happens at port declaration time
+        # (port widths may depend on the instance's parameter overrides).
+        alias_candidates: dict[str, Signal] = {}
+        for port, expr in pairs:
+            if isinstance(expr, ast.Identifier):
+                parent_obj = parent.names.get(expr.name)
+                if isinstance(parent_obj, Signal):
+                    alias_candidates[port.name] = parent_obj
+
+        child_scope = self._elaborate_module(
+            design, child_module, child_prefix, overrides, depth + 1,
+            port_aliases=alias_candidates)
+
         for port, expr in pairs:
             if expr is None:
                 continue
             child_sig = child_scope.lookup(port.name)
             assert isinstance(child_sig, Signal)
+            if child_sig is alias_candidates.get(port.name):
+                continue  # aliased: the nets are the same object
             if port.direction == "input":
                 self._bind_input(design, parent, child_sig, expr, inst.name)
             else:
@@ -449,7 +506,8 @@ class Elaborator:
         design.processes.append(ProcSpec(
             kind="comb", scope=parent, pyfunc=update,
             reads=self._resolve_reads(parent, reads),
-            label=f"{parent.prefix}{inst_name}.{child_sig.name}<=bind"))
+            label=f"{parent.prefix}{inst_name}.{child_sig.name}<=bind",
+            port_bind=("in", expr, child_sig)))
 
     def _bind_output(self, design: Design, parent: Scope, child_sig: Signal,
                      expr: ast.Expr, inst_name: str) -> None:
@@ -467,7 +525,8 @@ class Elaborator:
 
         design.processes.append(ProcSpec(
             kind="comb", scope=parent, pyfunc=update, reads=(child_sig,),
-            label=f"{parent.prefix}{inst_name}.{child_sig.name}=>bind"))
+            label=f"{parent.prefix}{inst_name}.{child_sig.name}=>bind",
+            port_bind=("out", child_sig, parent_sig)))
 
 
 def elaborate(source: ast.SourceFile, top: str) -> Design:

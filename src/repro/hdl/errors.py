@@ -31,6 +31,17 @@ class SimulationError(HdlError):
     """Raised for runtime failures inside the simulator."""
 
 
+class FinishRequest(Exception):
+    """Internal control-flow signal raised by ``$finish``/``$stop``.
+
+    Deliberately *not* an :class:`HdlError`: it must never be reported as
+    a failure, only caught by the scheduler (which sets
+    ``finish_requested``).  Both the interpreted and the compiled
+    execution engines raise this class, so the scheduler's catch sites
+    work for either engine.
+    """
+
+
 class SimulationLimit(SimulationError):
     """Raised when a run exceeds its event or time budget.
 

@@ -5,6 +5,15 @@ semantics: context-determined widths for arithmetic/bitwise operators,
 self-determined widths for shifts amounts, concatenations and comparisons,
 signedness propagation (an expression is signed only when all of its
 operands are signed), and pessimistic X-propagation via :class:`Logic`.
+
+Two execution strategies share these semantics:
+
+- :func:`eval_expr` walks the AST on every evaluation (the interpreter);
+- :func:`compile_expr` lowers an expression *once* into a tree of Python
+  closures with all name lookups, widths, signedness flags and constant
+  indices resolved at compile time.  Compiled closures are memoised per
+  scope (the compiled-expression cache), so shared subtrees and repeated
+  compilations of the same node are free.
 """
 
 from __future__ import annotations
@@ -12,7 +21,7 @@ from __future__ import annotations
 from typing import TYPE_CHECKING
 
 from . import ast
-from .errors import ElaborationError, SimulationError
+from .errors import ElaborationError, HdlError, SimulationError
 from .logic import Logic
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -302,6 +311,351 @@ def _eval_system_call(expr: ast.SystemCall, scope: "Scope") -> Logic:
         if not isinstance(filename, ast.StringLit):
             raise SimulationError("$fopen expects a string literal")
         return Logic.from_int(scope.sim_fopen(filename.text), 32)
+    raise SimulationError(f"unsupported system function {name!r}")
+
+
+# ----------------------------------------------------------------------
+# Case-label matching (shared by the interpreter and compiled engine)
+# ----------------------------------------------------------------------
+def case_match(kind: str, subject: Logic, label: Logic) -> bool:
+    """``case``/``casez``/``casex`` label comparison semantics."""
+    w = max(subject.width, label.width)
+    s, l = subject.resize(w), label.resize(w)
+    if kind == "case":
+        return s.val == l.val and s.xmask == l.xmask
+    wildcard = l.xmask
+    if kind == "casex":
+        wildcard |= s.xmask
+    elif s.xmask & ~wildcard:
+        return False  # casez: unknown subject bits never match
+    mask = ((1 << w) - 1) & ~wildcard
+    return (s.val & mask) == (l.val & mask)
+
+
+# ----------------------------------------------------------------------
+# Expression compilation (closure trees + per-scope cache)
+# ----------------------------------------------------------------------
+def compile_expr(expr: ast.Expr, scope: "Scope",
+                 ctx_width: int | None = None):
+    """Compile ``expr`` to a zero-argument closure returning :class:`Logic`.
+
+    The closure is the compiled counterpart of
+    ``eval_expr(expr, scope, ctx_width)``: widths, signedness, name
+    bindings and elaboration-time constants are resolved now, so each
+    invocation only performs :class:`Logic` arithmetic.  Results are
+    memoised in a per-scope cache keyed by ``(id(expr), ctx_width)`` —
+    valid because AST nodes are retained by the design's process specs
+    for as long as the scope is alive.
+    """
+    cache = scope.__dict__.setdefault("_expr_cache", {})
+    key = (id(expr), ctx_width)
+    fn = cache.get(key)
+    if fn is None:
+        fn = _compile_expr(expr, scope, ctx_width)
+        cache[key] = fn
+    return fn
+
+
+_Signal = None  # resolved lazily; eval <-> elaborate import cycle
+
+
+def _signal_type():
+    global _Signal
+    if _Signal is None:
+        from .elaborate import Signal
+        _Signal = Signal
+    return _Signal
+
+
+def _read_closure(name: str, scope: "Scope"):
+    """Compiled counterpart of ``scope.read_name``."""
+    obj = scope.lookup(name)
+    if isinstance(obj, Logic):
+        return lambda: obj
+    if isinstance(obj, _signal_type()):
+        return lambda: obj.value
+    raise ElaborationError(f"cannot read {name!r} as a value")
+
+
+_REDUCTIONS = frozenset({"!", "&", "~&", "|", "~|", "^", "~^", "^~"})
+
+
+def _result_width(expr: ast.Expr, scope: "Scope",
+                  ctx_width: int | None) -> int:
+    """Static width of ``compile_expr(expr, scope, ctx_width)()``.
+
+    Mirrors what :func:`eval_expr` returns for each node kind: operators
+    with context-determined operands widen to ``max(self, ctx)``, all
+    others are self-determined.  Used to elide no-op ``resize`` calls at
+    compile time.
+    """
+    if isinstance(expr, ast.Unary):
+        if expr.op in _REDUCTIONS:
+            return 1
+        return max(width_of(expr.operand, scope), ctx_width or 0)
+    if isinstance(expr, ast.Binary):
+        op = expr.op
+        if op in _LOGICAL or op in _COMPARE:
+            return 1
+        if op in _SHIFTS:
+            return max(width_of(expr.left, scope), ctx_width or 0)
+        return max(width_of(expr.left, scope),
+                   width_of(expr.right, scope), ctx_width or 0)
+    if isinstance(expr, ast.Ternary):
+        return max(width_of(expr, scope), ctx_width or 0)
+    return width_of(expr, scope)
+
+
+def compile_coerced(expr: ast.Expr, scope: "Scope", width: int,
+                    signed: bool):
+    """Compile ``eval_expr(expr, scope, width).resize(width, signed)``.
+
+    The trailing resize is elided when the compiled closure is statically
+    known to produce ``width``-bit values already (``resize`` to the same
+    width is the identity).
+    """
+    fn = compile_expr(expr, scope, width)
+    if _result_width(expr, scope, width) == width:
+        return fn
+    return lambda: fn().resize(width, signed)
+
+
+def compile_expr_deferred(expr: ast.Expr, scope: "Scope",
+                          ctx_width: int | None = None):
+    """Like :func:`compile_expr`, but a compile-time :class:`HdlError`
+    becomes a closure that re-raises when *evaluated*.
+
+    Used where the interpreter evaluates an expression conditionally
+    (case labels, unselected ternary branches): the compiled engine must
+    not fail on a branch the interpreter would never reach.
+    """
+    try:
+        return compile_expr(expr, scope, ctx_width)
+    except HdlError as exc:
+        def raise_deferred(_exc=exc):
+            raise _exc
+        return raise_deferred
+
+
+def _coerced_deferred(expr: ast.Expr, scope: "Scope", width: int,
+                      signed: bool):
+    try:
+        return compile_coerced(expr, scope, width, signed)
+    except HdlError as exc:
+        def raise_deferred(_exc=exc):
+            raise _exc
+        return raise_deferred
+
+
+def _compile_expr(expr: ast.Expr, scope: "Scope", ctx_width: int | None):
+    if isinstance(expr, ast.Number):
+        width = expr.width if expr.width is not None else 32
+        const = Logic(width, expr.val, expr.xmask)
+        return lambda: const
+
+    if isinstance(expr, ast.Identifier):
+        return _read_closure(expr.name, scope)
+
+    if isinstance(expr, ast.StringLit):
+        data = expr.text.encode("latin-1", "replace")
+        val = int.from_bytes(data, "big") if data else 0
+        const = Logic(max(8 * len(data), 8), val, 0)
+        return lambda: const
+
+    if isinstance(expr, ast.Unary):
+        return _compile_unary(expr, scope, ctx_width)
+
+    if isinstance(expr, ast.Binary):
+        return _compile_binary(expr, scope, ctx_width)
+
+    if isinstance(expr, ast.Ternary):
+        w = max(width_of(expr, scope), ctx_width or 0)
+        cond = compile_expr(expr.cond, scope)
+        # Branches compile deferred: the interpreter only evaluates the
+        # selected branch, so a broken unselected branch must not fail
+        # until (unless) it is actually chosen.
+        then = _coerced_deferred(expr.then, scope, w,
+                                 signed_of(expr.then, scope))
+        other = _coerced_deferred(expr.other, scope, w,
+                                  signed_of(expr.other, scope))
+        full = (1 << w) - 1
+
+        def ternary():
+            sel = cond().truth()
+            if sel is True:
+                return then()
+            if sel is False:
+                return other()
+            a = then()
+            b = other()
+            agree = ~(a.val ^ b.val) & ~a.xmask & ~b.xmask
+            return Logic(w, a.val & agree, full & ~agree)
+        return ternary
+
+    if isinstance(expr, ast.Concat):
+        fns = tuple(compile_expr(p, scope) for p in expr.parts)
+        return lambda: Logic.concat([f() for f in fns])
+
+    if isinstance(expr, ast.Replicate):
+        count = scope.const_int(expr.count)
+        if count < 1:
+            raise SimulationError(f"replication count {count} must be >= 1")
+        value = compile_expr(expr.value, scope)
+        return lambda: value().replicate(count)
+
+    if isinstance(expr, ast.Index):
+        index = compile_expr(expr.index, scope)
+        if scope.is_memory(expr.base):
+            mem = scope.lookup(expr.base)
+            unknown = Logic.unknown(mem.width)
+
+            def read_word():
+                addr = index().to_uint()
+                if addr is None:
+                    return unknown
+                return mem.read(addr)
+            return read_word
+        base = _read_closure(expr.base, scope)
+        unknown_bit = Logic.unknown(1)
+
+        def read_bit():
+            value = base()
+            idx = index().to_uint()
+            if idx is None:
+                return unknown_bit
+            return value.bit(idx)
+        return read_bit
+
+    if isinstance(expr, ast.PartSelect):
+        base = _read_closure(expr.base, scope)
+        msb = scope.const_int(expr.msb)
+        lsb = scope.const_int(expr.lsb)
+        return lambda: base().part(msb, lsb)
+
+    if isinstance(expr, ast.SystemCall):
+        return _compile_system_call(expr, scope)
+
+    raise SimulationError(f"cannot evaluate expression {expr!r}")
+
+
+def _compile_unary(expr: ast.Unary, scope: "Scope", ctx_width: int | None):
+    op = expr.op
+    if op in ("!", "&", "~&", "|", "~|", "^", "~^", "^~"):
+        operand = compile_expr(expr.operand, scope)
+        method = {
+            "!": Logic.lnot, "&": Logic.reduce_and, "~&": Logic.reduce_nand,
+            "|": Logic.reduce_or, "~|": Logic.reduce_nor,
+            "^": Logic.reduce_xor, "~^": Logic.reduce_xnor,
+            "^~": Logic.reduce_xnor,
+        }[op]
+        return lambda: method(operand())
+
+    w = max(width_of(expr.operand, scope), ctx_width or 0)
+    signed = signed_of(expr.operand, scope)
+    operand = compile_coerced(expr.operand, scope, w, signed)
+    if op == "~":
+        return lambda: operand().bnot()
+    if op == "-":
+        return lambda: operand().neg(w)
+    if op == "+":
+        return operand
+    raise SimulationError(f"unsupported unary operator {op!r}")
+
+
+def _compile_binary(expr: ast.Binary, scope: "Scope", ctx_width: int | None):
+    op = expr.op
+
+    if op in _LOGICAL:
+        left = compile_expr(expr.left, scope)
+        right = compile_expr(expr.right, scope)
+        if op == "&&":
+            return lambda: left().land(right())
+        return lambda: left().lor(right())
+
+    if op in _COMPARE:
+        w = max(width_of(expr.left, scope), width_of(expr.right, scope))
+        signed = (signed_of(expr.left, scope)
+                  and signed_of(expr.right, scope))
+        left = compile_coerced(expr.left, scope, w, signed)
+        right = compile_coerced(expr.right, scope, w, signed)
+        if op == "==":
+            return lambda: left().eq(right())
+        if op == "!=":
+            return lambda: left().neq(right())
+        if op == "===":
+            return lambda: left().case_eq(right())
+        if op == "!==":
+            return lambda: left().case_neq(right())
+        method = {"<": Logic.lt, "<=": Logic.le,
+                  ">": Logic.gt, ">=": Logic.ge}[op]
+        return lambda: method(left(), right(), signed)
+
+    if op in _SHIFTS:
+        w = max(width_of(expr.left, scope), ctx_width or 0)
+        signed = signed_of(expr.left, scope)
+        left = compile_coerced(expr.left, scope, w, signed)
+        amount = compile_expr(expr.right, scope)
+        if op in ("<<", "<<<"):
+            return lambda: left().shl(amount(), w)
+        if op == ">>":
+            return lambda: left().shr(amount(), w)
+        if signed:
+            return lambda: left().ashr(amount(), w)
+        return lambda: left().shr(amount(), w)
+
+    # Context-determined arithmetic / bitwise operators.
+    w = max(width_of(expr.left, scope), width_of(expr.right, scope),
+            ctx_width or 0)
+    both = (signed_of(expr.left, scope) and signed_of(expr.right, scope))
+    left = compile_coerced(expr.left, scope, w, both)
+    right = compile_coerced(expr.right, scope, w, both)
+    if op == "+":
+        return lambda: left().add(right(), w)
+    if op == "-":
+        return lambda: left().sub(right(), w)
+    if op == "*":
+        return lambda: left().mul(right(), w)
+    if op == "/":
+        return lambda: left().div(right(), w, both)
+    if op == "%":
+        return lambda: left().mod(right(), w, both)
+    if op == "&":
+        return lambda: left().band(right())
+    if op == "|":
+        return lambda: left().bor(right())
+    if op == "^":
+        return lambda: left().bxor(right())
+    if op in ("^~", "~^"):
+        return lambda: left().bxnor(right())
+    if op == "**":
+        return lambda: left().pow(right(), w)
+    raise SimulationError(f"unsupported binary operator {op!r}")
+
+
+def _compile_system_call(expr: ast.SystemCall, scope: "Scope"):
+    name = expr.name
+    if name == "$time":
+        return lambda: Logic.from_int(scope.sim_time(), 64)
+    if name in ("$signed", "$unsigned"):
+        return compile_expr(expr.args[0], scope)
+    if name in ("$random", "$urandom"):
+        return lambda: Logic.from_int(scope.sim_random(), 32)
+    if name == "$clog2":
+        arg = compile_expr(expr.args[0], scope)
+        unknown = Logic.unknown(32)
+
+        def clog2():
+            value = arg().to_uint()
+            if value is None:
+                return unknown
+            return Logic.from_int(max(value - 1, 0).bit_length(), 32)
+        return clog2
+    if name == "$fopen":
+        filename = expr.args[0]
+        if not isinstance(filename, ast.StringLit):
+            raise SimulationError("$fopen expects a string literal")
+        text = filename.text
+        return lambda: Logic.from_int(scope.sim_fopen(text), 32)
     raise SimulationError(f"unsupported system function {name!r}")
 
 

@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+from functools import lru_cache
+
 from . import ast
 from .errors import VerilogSyntaxError
 from .lexer import tokenize
@@ -599,6 +601,19 @@ def parse_source(source: str) -> ast.SourceFile:
     """Parse Verilog source text into a :class:`SourceFile`."""
     parser = Parser(tokenize(source))
     return parser.parse_source()
+
+
+@lru_cache(maxsize=4096)
+def parse_source_cached(source: str) -> ast.SourceFile:
+    """Text-keyed parse cache.
+
+    The AST is immutable (frozen dataclasses), so sharing one tree
+    between callers is safe.  Evaluation pipelines re-parse the same
+    driver/DUT text thousands of times (validator R/S matrices, AutoEval
+    mutant runs); this cache makes re-parsing free.  Parse *errors* are
+    not cached — a failing text re-raises on every call.
+    """
+    return parse_source(source)
 
 
 def parse_module(source: str) -> ast.Module:

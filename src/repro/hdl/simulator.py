@@ -10,35 +10,85 @@ regions per time slot:
 ``NBA``
     non-blocking assignment updates, applied when both queues drain.
 
-Processes are Python generators produced by the statement executor; they
-yield suspension requests (``#delay`` / ``@(events)``) back to the kernel.
-Combinational processes (continuous assignments, ``always @(*)``, port
-bindings) are plain callables re-run whenever one of their read signals
-changes; convergence is guaranteed by only propagating actual value
-changes, and runaway feedback is cut off by a per-slot delta budget.
+Processes are Python generators; they yield suspension requests
+(``#delay`` / ``@(events)``) back to the kernel.  Combinational processes
+(continuous assignments, ``always @(*)``, port bindings) are plain
+callables re-run whenever one of their read signals changes; convergence
+is guaranteed by only propagating actual value changes, and runaway
+feedback is cut off by a per-slot delta budget.
+
+Two execution engines produce those generators/callables:
+
+``compiled`` (the default)
+    process bodies are lowered once by :mod:`repro.hdl.compile` into
+    nested Python closures that only yield at real suspension points;
+    the compiled program is cached on the ``ProcSpec`` so re-simulating
+    the same elaborated design skips the compile pass too.
+``interpret``
+    the original recursive-generator statement walker
+    (:meth:`Simulator._exec`), kept as the behavioural reference — the
+    golden-equivalence suite checks the engines produce identical
+    results.
 """
 
 from __future__ import annotations
 
 import heapq
+import os
 from collections import deque
 from dataclasses import dataclass, field
 from typing import Iterable, Optional
 
 from . import ast
+from .compile import compile_spec, contains_loop
 from .elaborate import Design, Memory, ProcSpec, Scope, Signal, elaborate
-from .errors import ElaborationError, SimulationError, SimulationLimit
-from .eval import eval_expr, signed_of, width_of
+from .errors import (ElaborationError, FinishRequest, SimulationError,
+                     SimulationLimit)
+from .eval import case_match, eval_expr, signed_of, width_of
 from .logic import Logic
-from .parser import parse_source
+from .parser import parse_source, parse_source_cached
 
 DEFAULT_MAX_TIME = 4_000_000
 DEFAULT_MAX_STMTS = 8_000_000
 MAX_DELTAS_PER_SLOT = 20_000
 
+ENGINE_COMPILED = "compiled"
+ENGINE_INTERPRET = "interpret"
+ENGINES = (ENGINE_COMPILED, ENGINE_INTERPRET)
 
-class _Finish(Exception):
-    """Internal control-flow signal raised by ``$finish``/``$stop``."""
+
+def _engine_from_env() -> str:
+    value = os.environ.get("REPRO_SIM_ENGINE", ENGINE_COMPILED)
+    if value not in ENGINES:
+        import sys
+        print(f"warning: REPRO_SIM_ENGINE={value!r} is not one of "
+              f"{ENGINES}; using {ENGINE_COMPILED!r}", file=sys.stderr)
+        return ENGINE_COMPILED
+    return value
+
+
+# Single source of truth for the process-wide default engine: read from
+# the environment once at import, mutable via set_default_engine().
+# Every layer (hdl.simulate, core.simulation templates, campaigns)
+# resolves engine=None through this.
+_default_engine = _engine_from_env()
+
+
+def set_default_engine(engine: str) -> None:
+    """Select the process-wide default execution engine."""
+    global _default_engine
+    if engine not in ENGINES:
+        raise ValueError(f"unknown engine {engine!r}; "
+                         f"expected one of {ENGINES}")
+    _default_engine = engine
+
+
+def get_default_engine() -> str:
+    return _default_engine
+
+# Backwards-compatible alias; the class moved to ``repro.hdl.errors`` so
+# the compile pass can raise it without importing this module.
+_Finish = FinishRequest
 
 
 class WaitToken:
@@ -91,7 +141,14 @@ class Simulator:
     """Runs an elaborated :class:`Design`."""
 
     def __init__(self, design: Design, max_time: int = DEFAULT_MAX_TIME,
-                 max_stmts: int = DEFAULT_MAX_STMTS, seed: int = 0):
+                 max_stmts: int = DEFAULT_MAX_STMTS, seed: int = 0,
+                 engine: str | None = None):
+        if engine is None:
+            engine = _default_engine
+        if engine not in ENGINES:
+            raise ValueError(f"unknown engine {engine!r}; "
+                             f"expected one of {ENGINES}")
+        self.engine = engine
         self.design = design
         self.max_time = max_time
         self.max_stmts = max_stmts
@@ -112,7 +169,6 @@ class Simulator:
         self._next_fd = 3
         self._rand_state = (seed * 2654435761 + 1) & 0xFFFFFFFF
 
-        self._comb_by_signal: dict[int, list[CombProcess]] = {}
         self._comb_procs: list[CombProcess] = []
         self._processes: list[Process] = []
         # The combinational process currently executing; its own writes do
@@ -123,45 +179,81 @@ class Simulator:
         design.runtime_random = self._next_random
         design.runtime_fopen = self._fopen
 
+        # Trigger lists live on the signal/memory objects themselves
+        # (no dict lookup per value change); clear any lists left by a
+        # previous simulation of the same elaborated design.
+        for sig in design.signals.values():
+            sig.combs = None
+        for mem in design.memories.values():
+            mem.combs = None
+
         self._instantiate(design.processes)
 
     # ------------------------------------------------------------------
     # Setup
     # ------------------------------------------------------------------
     def _instantiate(self, specs: Iterable[ProcSpec]) -> None:
+        compiled = self.engine == ENGINE_COMPILED
         for spec in specs:
             if spec.kind == "comb":
-                self._add_comb(spec)
+                runner = (compile_spec(spec).run if compiled
+                          else self._interp_comb_runner(spec))
+                self._add_comb(spec, runner)
             elif spec.kind == "initial":
                 assert spec.body is not None
-                proc = Process(spec.label, self._exec(spec.body, spec.scope))
+                if compiled and self._should_compile_initial(spec):
+                    gen = compile_spec(spec).run(self)
+                else:
+                    spec.interpreted_once = True
+                    gen = self._exec(spec.body, spec.scope)
+                proc = Process(spec.label, gen)
                 self._processes.append(proc)
                 self.active.append(proc)
             elif spec.kind == "always":
-                proc = Process(spec.label, self._always_gen(spec))
+                gen = (compile_spec(spec).run(self) if compiled
+                       else self._always_gen(spec))
+                proc = Process(spec.label, gen)
                 self._processes.append(proc)
                 self.active.append(proc)
             else:  # pragma: no cover - elaborator invariant
                 raise SimulationError(f"unknown process kind {spec.kind!r}")
 
-    def _add_comb(self, spec: ProcSpec) -> None:
+    @staticmethod
+    def _should_compile_initial(spec: ProcSpec) -> bool:
+        """Adaptive policy for ``initial`` bodies.
+
+        A loopy body amortizes its compile cost within one run; a
+        straight-line body executes each statement exactly once, so the
+        first simulation interprets it and only a re-simulation of the
+        same design (via the elaboration cache) compiles it.
+        """
+        if spec.compiled is not None or spec.interpreted_once:
+            return True
+        if spec.eager_compile is None:
+            spec.eager_compile = contains_loop(spec.body)
+        return spec.eager_compile
+
+    def _interp_comb_runner(self, spec: ProcSpec):
         if spec.pyfunc is not None:
-            runner = spec.pyfunc
-        else:
-            body, scope = spec.body, spec.scope
-            assert body is not None
+            return spec.pyfunc
+        body, scope = spec.body, spec.scope
+        assert body is not None
 
-            def runner(sim, _body=body, _scope=scope):
-                gen = sim._exec(_body, _scope)
-                for _ in gen:
-                    raise SimulationError(
-                        f"delay/event control inside combinational block "
-                        f"{spec.label!r}")
+        def runner(sim, _body=body, _scope=scope):
+            gen = sim._exec(_body, _scope)
+            for _ in gen:
+                raise SimulationError(
+                    f"delay/event control inside combinational block "
+                    f"{spec.label!r}")
+        return runner
 
+    def _add_comb(self, spec: ProcSpec, runner) -> None:
         comb = CombProcess(spec.label, runner)
         self._comb_procs.append(comb)
         for obj in spec.reads:
-            self._comb_by_signal.setdefault(id(obj), []).append(comb)
+            if obj.combs is None:
+                obj.combs = []
+            obj.combs.append(comb)
         # Every combinational process evaluates once at time zero.
         comb.pending = True
         self.active.append(comb)
@@ -212,32 +304,36 @@ class Simulator:
         if old.val == value.val and old.xmask == value.xmask:
             return
         sig.value = value
-        self._notify(sig, old, value)
-
-    def _notify(self, sig: Signal, old: Logic, new: Logic) -> None:
-        combs = self._comb_by_signal.get(id(sig))
+        # Inlined notification (this is the hottest kernel path).
+        combs = sig.combs
         if combs:
             for comb in combs:
                 if not comb.pending and comb is not self._current_comb:
                     comb.pending = True
                     self.active.append(comb)
         if sig.waiters:
-            old_bit = "x" if old.xmask & 1 else str(old.val & 1)
-            new_bit = "x" if new.xmask & 1 else str(new.val & 1)
-            pos = old_bit != new_bit and new_bit != "0" and old_bit != "1"
-            neg = old_bit != new_bit and new_bit != "1" and old_bit != "0"
-            keep = []
-            for token, edge in sig.waiters:
-                if not token.armed:
-                    continue
-                fire = (edge == "any" or (edge == "pos" and pos)
-                        or (edge == "neg" and neg))
-                if fire:
-                    token.armed = False
-                    self.active.append(token.process)
-                else:
-                    keep.append((token, edge))
-            sig.waiters[:] = keep
+            self._wake_waiters(sig, old, value)
+
+    def _wake_waiters(self, sig: Signal, old: Logic, new: Logic) -> None:
+        # LSB as 0 / 1 / 2(=x); an edge fires per the 1364 value
+        # transition table (x transitions count for both edges except
+        # the excluded endpoint).
+        old_bit = 2 if old.xmask & 1 else old.val & 1
+        new_bit = 2 if new.xmask & 1 else new.val & 1
+        pos = old_bit != new_bit and new_bit != 0 and old_bit != 1
+        neg = old_bit != new_bit and new_bit != 1 and old_bit != 0
+        keep = []
+        for token, edge in sig.waiters:
+            if not token.armed:
+                continue
+            fire = (edge == "any" or (edge == "pos" and pos)
+                    or (edge == "neg" and neg))
+            if fire:
+                token.armed = False
+                self.active.append(token.process)
+            else:
+                keep.append((token, edge))
+        sig.waiters[:] = keep
 
     def write_memory(self, mem: Memory, addr: int, value: Logic) -> None:
         if addr < mem.lo or addr > mem.hi:
@@ -248,7 +344,7 @@ class Simulator:
         if old.val == value.val and old.xmask == value.xmask:
             return
         mem.words[idx] = value
-        combs = self._comb_by_signal.get(id(mem))
+        combs = mem.combs
         if combs:
             for comb in combs:
                 if not comb.pending and comb is not self._current_comb:
@@ -363,8 +459,10 @@ class Simulator:
         raise SimulationError(f"unsupported lvalue {target!r}")
 
     def _apply_nba(self) -> None:
-        updates = self.nba
-        self.nba = []
+        # Drain in place: the list object stays stable so the scheduler
+        # loop can hold a local reference to it.
+        updates = self.nba[:]
+        del self.nba[:]
         for entry in updates:
             kind = entry[0]
             if kind == "sig":
@@ -486,19 +584,8 @@ class Simulator:
         if default is not None:
             yield from self._exec(default, scope)
 
-    @staticmethod
-    def _case_match(kind: str, subject: Logic, label: Logic) -> bool:
-        w = max(subject.width, label.width)
-        s, l = subject.resize(w), label.resize(w)
-        if kind == "case":
-            return s.val == l.val and s.xmask == l.xmask
-        wildcard = l.xmask
-        if kind == "casex":
-            wildcard |= s.xmask
-        elif s.xmask & ~wildcard:
-            return False  # casez: unknown subject bits never match
-        mask = ((1 << w) - 1) & ~wildcard
-        return (s.val & mask) == (l.val & mask)
+    # Shared with the compiled engine (repro.hdl.eval.case_match).
+    _case_match = staticmethod(case_match)
 
     # ------------------------------------------------------------------
     # System tasks
@@ -636,28 +723,40 @@ class Simulator:
         self._current_comb = comb
         try:
             comb.run(self)
+        except _Finish:
+            # $finish inside a combinational block must end the run, not
+            # escape Simulator.run() as an internal exception.
+            self.finish_requested = True
         finally:
             self._current_comb = None
 
     def run(self) -> SimulationResult:
+        # Local aliases: this loop is the hottest few lines of the whole
+        # system (every evaluation pipeline bottoms out here).
+        active = self.active
+        inactive = self.inactive
+        nba = self.nba
+        run_comb = self._run_comb
+        run_process = self._run_process
+        future = self.future
         while True:
             # Delta loop for the current time slot.
-            while self.active or self.inactive or self.nba:
+            while active or inactive or nba:
                 if self.finish_requested:
                     break
-                if self.active:
-                    item = self.active.popleft()
-                    if isinstance(item, CombProcess):
-                        self._run_comb(item)
+                if active:
+                    item = active.popleft()
+                    if item.__class__ is CombProcess:
+                        run_comb(item)
                     else:
-                        self._run_process(item)
-                elif self.inactive:
-                    self.active.append(self.inactive.popleft())
+                        run_process(item)
+                elif inactive:
+                    active.append(inactive.popleft())
                 else:
                     self._apply_nba()
-            if self.finish_requested or not self.future:
+            if self.finish_requested or not future:
                 break
-            next_time, _, proc = heapq.heappop(self.future)
+            next_time, _, proc = heapq.heappop(future)
             if next_time > self.max_time:
                 raise SimulationLimit(
                     f"simulation exceeded max_time={self.max_time} "
@@ -665,10 +764,10 @@ class Simulator:
             self.time = next_time
             for comb in self._comb_procs:
                 comb.runs_this_slot = 0
-            self.active.append(proc)
-            while self.future and self.future[0][0] == next_time:
-                _, _, other = heapq.heappop(self.future)
-                self.active.append(other)
+            active.append(proc)
+            while future and future[0][0] == next_time:
+                _, _, other = heapq.heappop(future)
+                active.append(other)
 
         files = {self._fd_names[fd]: lines
                  for fd, lines in self._fd_lines.items()}
@@ -689,19 +788,27 @@ def compile_design(sources: str | Iterable[str], top: str) -> Design:
     """Parse and elaborate; raises on syntax or elaboration errors.
 
     This is the "does it compile" check that AutoEval's Eval0 uses.
+    Parsing goes through the text-keyed parse cache; elaboration is
+    always fresh (each call returns an independent design).
     """
     if isinstance(sources, str):
         text = sources
     else:
         text = "\n".join(sources)
-    return elaborate(parse_source(text), top)
+    return elaborate(parse_source_cached(text), top)
 
 
 def simulate(sources: str | Iterable[str], top: str,
              max_time: int = DEFAULT_MAX_TIME,
              max_stmts: int = DEFAULT_MAX_STMTS,
-             seed: int = 0) -> SimulationResult:
-    """Compile and run a design; the testbench must call ``$finish``."""
+             seed: int = 0, engine: str | None = None) -> SimulationResult:
+    """Compile and run a design; the testbench must call ``$finish``.
+
+    ``engine`` selects the execution strategy: ``"compiled"`` (closure
+    trees) or ``"interpret"`` (the reference AST walker).  ``None``
+    defers to :func:`get_default_engine` (``REPRO_SIM_ENGINE`` at
+    startup, adjustable via :func:`set_default_engine`).
+    """
     design = compile_design(sources, top)
     return Simulator(design, max_time=max_time, max_stmts=max_stmts,
-                     seed=seed).run()
+                     seed=seed, engine=engine).run()

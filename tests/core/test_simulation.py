@@ -1,8 +1,15 @@
-"""Simulation glue: statuses, record parsing, caching."""
+"""Simulation glue: statuses, record parsing, caching, batching."""
+
+import pytest
 
 from repro.core.simulation import (ELABORATION, OK, RUNTIME, SYNTAX,
-                                   dut_compiles, parse_cached, parse_dump,
-                                   run_driver, run_monolithic, syntax_ok)
+                                   design_template, dut_compiles,
+                                   get_default_engine, parse_cached,
+                                   parse_dump, run_driver,
+                                   run_driver_batch, run_monolithic,
+                                   run_monolithic_batch,
+                                   set_default_engine,
+                                   simulation_cache_stats, syntax_ok)
 from repro.codegen import render_driver
 from repro.problems import get_task
 
@@ -98,3 +105,103 @@ class TestRunMonolithic:
             "module tb; initial $finish; endmodule",
             "module top_module(); endmodule")
         assert run.status == RUNTIME
+
+    def test_recursion_error_is_runtime(self, monkeypatch):
+        # run_monolithic must have the same defensive path run_driver has.
+        import repro.core.simulation as sim
+
+        class _Boom:
+            def run(self, **kwargs):
+                raise RecursionError
+
+        monkeypatch.setattr(sim, "_pair_template",
+                            lambda *args: _Boom())
+        run = run_monolithic(
+            "module tb; initial $finish; endmodule",
+            "module top_module(); endmodule")
+        assert run.status == RUNTIME
+        assert "recursion" in run.detail
+
+
+class TestDesignTemplate:
+    def test_template_cached_and_state_reset(self):
+        src = """
+module tb;
+    reg [7:0] count;
+    initial begin
+        count = 0;
+        repeat (5) count = count + 8'd1;
+        $display("count=%d", count);
+        $finish;
+    end
+endmodule
+"""
+        template = design_template(src, "tb")
+        assert design_template(src, "tb") is template
+        first = template.run()
+        assert first.stdout == ["count=  5"] or first.stdout == ["count=5"]
+        # Second run starts from fresh state, not the mutated signals.
+        second = template.run()
+        assert second.stdout == first.stdout
+        assert second.sim_time == first.sim_time
+
+    def test_engine_default_roundtrip(self):
+        original = get_default_engine()
+        try:
+            set_default_engine("interpret")
+            assert get_default_engine() == "interpret"
+            with pytest.raises(ValueError):
+                set_default_engine("quantum")
+        finally:
+            set_default_engine(original)
+
+
+class TestBatchApis:
+    def _driver_and_duts(self):
+        task = get_task("cmb_eq4")
+        driver = render_driver(task, task.canonical_scenarios())
+        golden = task.golden_rtl()
+        broken = "module top_module(input x, output y);\nendmodule"
+        return driver, golden, broken
+
+    def test_batch_matches_serial(self):
+        driver, golden, broken = self._driver_and_duts()
+        serial = [run_driver(driver, golden), run_driver(driver, broken)]
+        batch = run_driver_batch(driver, [golden, broken])
+        assert [r.status for r in batch] == [r.status for r in serial]
+        assert batch[0].ok
+        assert [rec.values for rec in batch[0].records] \
+            == [rec.values for rec in serial[0].records]
+
+    def test_batch_dedups_identical_duts(self):
+        driver, golden, _ = self._driver_and_duts()
+        before = simulation_cache_stats()["pair"]
+        runs = run_driver_batch(driver, [golden, golden, golden])
+        after = simulation_cache_stats()["pair"]
+        assert len(runs) == 3
+        assert all(run.ok for run in runs)
+        # Only one unique (driver, dut) elaboration can have been added.
+        assert after["misses"] - before["misses"] <= 1
+
+    def test_batch_engine_override(self):
+        driver, golden, _ = self._driver_and_duts()
+        interp = run_driver_batch(driver, [golden], engine="interpret")
+        compiled = run_driver_batch(driver, [golden], engine="compiled")
+        assert interp[0].ok and compiled[0].ok
+        assert [rec.values for rec in interp[0].records] \
+            == [rec.values for rec in compiled[0].records]
+
+    def test_monolithic_batch(self):
+        task = get_task("cmb_eq4")
+        golden = task.golden_rtl()
+        tb = """
+module tb;
+    initial begin
+        $display("ALL_TESTS_PASSED");
+        $finish;
+    end
+endmodule
+"""
+        runs = run_monolithic_batch(tb, [golden, golden])
+        assert [run.status for run in runs] == [OK, OK]
+        assert all(run.verdict for run in runs)

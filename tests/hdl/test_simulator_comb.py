@@ -272,3 +272,27 @@ endmodule
 """
         with pytest.raises((SimulationLimit, SimulationError)):
             simulate(src, "tb", max_stmts=10_000)
+
+
+class TestFinishInCombinational:
+    """$finish inside a combinational process must end the run cleanly
+    instead of escaping Simulator.run() as an internal exception."""
+
+    SRC = """
+module tb;
+    reg go;
+    always @(*) if (go) $finish;
+    initial begin
+        go = 0;
+        #5 go = 1;
+        #100 $display("never printed");
+    end
+endmodule
+"""
+
+    @pytest.mark.parametrize("engine", ["interpret", "compiled"])
+    def test_finish_requested_cleanly(self, engine):
+        result = simulate(self.SRC, "tb", engine=engine)
+        assert result.finished
+        assert result.sim_time == 5
+        assert result.stdout == []

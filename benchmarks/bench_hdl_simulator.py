@@ -21,8 +21,10 @@ from pathlib import Path
 
 from repro.codegen import render_checker_core, render_driver
 from repro.core.checker_runtime import run_checker
-from repro.core.simulation import (clear_simulation_caches, run_driver,
+from repro.core.simulation import (clear_simulation_caches,
+                                   clear_template_caches, run_driver,
                                    run_driver_batch)
+from repro.hdl.compile import clear_program_cache
 from repro.core.validator import ScenarioValidator
 from repro.hdl import parse_source, simulate
 from repro.llm.base import MeteredClient, UsageMeter
@@ -168,10 +170,9 @@ def bench_validator_matrix(seconds: float, task_id: str = "seq_count8_en",
     ``seed_style_ms`` re-parses/re-elaborates/interprets every judge run
     on every validate — the seed's cost model, paid on *every* matrix
     build.  The batched path is reported twice: ``cold_first_ms`` (first
-    validate of a fresh driver: elaboration cached, straight-line driver
-    bodies still interpreted) and ``steady_state_ms`` (what correction
-    loops, criteria studies and AutoEval reruns pay once the design
-    templates are compiled).
+    validate of a fresh driver: everything compiles once) and
+    ``steady_state_ms`` (what correction loops, criteria studies and
+    AutoEval reruns pay once the design templates are compiled).
     """
     import repro.core.simulation as sim
 
@@ -196,8 +197,7 @@ def bench_validator_matrix(seconds: float, task_id: str = "seq_count8_en",
         t0 = time.perf_counter()
         validator.validate(tb)
         out["cold_first_ms"] = (time.perf_counter() - t0) * 1000
-        # Second validate compiles the straight-line driver bodies
-        # (adaptive policy); steady state begins at the third.
+        # One warm validate so steady state measures pure template reuse.
         validator._sim_cache.clear()
         validator.validate(tb)
 
@@ -238,6 +238,68 @@ def bench_batch_vs_serial(seconds: float,
     }
 
 
+def bench_driver_reuse(seconds: float, task_id: str = "seq_count8_en",
+                       n_variants: int = 10) -> dict:
+    """Cross-design driver reuse: the slot-program cold-start win.
+
+    One driver paired with ``n_variants`` distinct DUT designs:
+
+    - ``pair_cold_ms`` — first simulation of each fresh pair with the
+      shared-program cache cleared per pair (the PR-1 cost model, where
+      every new pairing recompiled the driver's closures);
+    - ``pair_shared_ms`` — first simulation of each fresh pair with the
+      program cache warm: only elaboration + slot binding remains;
+    - ``steady_same_ms`` / ``steady_cross_ms`` — per-run template-cached
+      cost of rerunning one pair vs cycling across all pairs.  The
+      acceptance bar is parity (``steady_cross_vs_same`` ~ 1.0): once
+      bound, a cross-design sweep costs the same per run as hammering a
+      single design.
+    """
+    task = get_task(task_id)
+    driver = render_driver(task, task.canonical_scenarios())
+    variants = [m.source for m in generate_mutants(
+        task.golden_rtl(), n_variants, task.task_id)]
+
+    def cold_pairs():
+        # Fresh templates AND fresh programs for every pairing.
+        clear_simulation_caches()
+        for dut in variants:
+            clear_program_cache()
+            run_driver(driver, dut)
+
+    def shared_pairs():
+        # Fresh templates, warm shared programs: pure bind cost.
+        clear_template_caches()
+        for dut in variants:
+            run_driver(driver, dut)
+
+    out = {}
+    out["pair_cold_ms"] = (_time_repeated(cold_pairs, seconds)
+                           * 1000 / n_variants)
+    clear_simulation_caches()
+    shared_pairs()  # warm the program cache once
+    out["pair_shared_ms"] = (_time_repeated(shared_pairs, seconds)
+                             * 1000 / n_variants)
+    out["cold_start_speedup"] = out["pair_cold_ms"] / out["pair_shared_ms"]
+
+    def steady_same():
+        for _ in range(n_variants):
+            run_driver(driver, variants[0])
+
+    def steady_cross():
+        for dut in variants:
+            run_driver(driver, dut)
+
+    steady_cross()  # warm every template
+    out["steady_same_ms"] = (_time_repeated(steady_same, seconds)
+                             * 1000 / n_variants)
+    out["steady_cross_ms"] = (_time_repeated(steady_cross, seconds)
+                              * 1000 / n_variants)
+    out["steady_cross_vs_same"] = (out["steady_cross_ms"]
+                                   / out["steady_same_ms"])
+    return out
+
+
 def main(argv) -> int:
     quick = "--quick" in argv
     record = "--record" in argv
@@ -246,12 +308,14 @@ def main(argv) -> int:
     counter = bench_counter(seconds)
     matrix = bench_validator_matrix(seconds)
     batch = bench_batch_vs_serial(seconds)
+    reuse = bench_driver_reuse(seconds)
 
     report = {
         "seed_baseline": SEED_BASELINE,
         "counter_200_cycles_ms": counter,
         "validator_rs_matrix_20_ms": matrix,
         "driver_batch_10_mutants": batch,
+        "driver_reuse_10_variants": reuse,
     }
     print(json.dumps(report, indent=2))
 
@@ -268,6 +332,14 @@ def main(argv) -> int:
     if matrix["speedup_steady_vs_seed_style"] < 2.0:
         print(f"WARNING: R/S matrix steady-state speedup "
               f"{matrix['speedup_steady_vs_seed_style']:.2f}x < 2x",
+              file=sys.stderr)
+        ok = False
+    # Cross-design steady state must sit at parity with same-design:
+    # bound programs make a sweep over N designs cost the same per run
+    # as re-running one design.
+    if reuse["steady_cross_vs_same"] > 1.5:
+        print(f"WARNING: cross-design steady state "
+              f"{reuse['steady_cross_vs_same']:.2f}x same-design (> 1.5x)",
               file=sys.stderr)
         ok = False
     # Absolute floor vs the recorded seed numbers: only comparable on

@@ -12,11 +12,19 @@ reuse on top of it:
   :class:`DesignTemplate` owns the design *structure* (signals, process
   closures); each run stamps out fresh runtime state (signal values,
   memory words, scheduler queues) before simulating, so repeated runs of
-  the same design pay parse/elaborate/compile exactly once.
+  the same design pay parse/elaborate/compile exactly once.  Failing
+  ``(source, top)`` pairs are cached too: non-elaborating mutants
+  re-raise their recorded error instead of re-running the front end.
 - **batched execution** — :func:`run_driver_batch` /
   :func:`run_monolithic_batch` fan one shared testbench across many DUT
   variants, deduplicating identical sources and optionally spreading
-  the work across a process pool.
+  the work across the *persistent* worker pool (:func:`get_sim_pool`):
+  created lazily, reused by every batch and campaign in the process,
+  torn down atexit.
+
+One layer below, :mod:`repro.hdl.compile` shares slot-indexed compiled
+programs across elaborations, so even a *fresh* (driver, DUT) pairing
+only re-binds the driver's programs instead of recompiling them.
 
 The execution engine (``compiled`` closures vs the reference
 ``interpret`` walker) is selected per call, per process via
@@ -26,13 +34,17 @@ variable.
 
 from __future__ import annotations
 
+import atexit
 import re
 import threading
+from collections import OrderedDict
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from functools import lru_cache
 
 from ..hdl import ast as hdl_ast
+from ..hdl.compile import clear_program_cache, program_cache_stats
 from ..hdl.elaborate import Design, elaborate
 from ..hdl.errors import (ElaborationError, HdlError, SimulationError,
                           SimulationLimit, VerilogSyntaxError)
@@ -137,24 +149,77 @@ class DesignTemplate:
                 design.runtime_fopen = lambda name: 0
 
 
-@lru_cache(maxsize=256)
-def design_template(source_text: str, top: str) -> DesignTemplate:
-    """Elaboration cache: ``(source_text, top)`` -> compiled template.
+# ----------------------------------------------------------------------
+# Elaboration-failure caching
+# ----------------------------------------------------------------------
+# Mutation sweeps generate many variants that fail to parse or
+# elaborate; lru_cache does not memoise exceptions, so without this
+# layer every sweep re-lexes, re-parses and re-elaborates each broken
+# variant on every call.  Only the exception's *shape* (type, args, and
+# position attributes) is recorded — never the live instance — so no
+# traceback frames are pinned, the original propagation is untouched,
+# and every cache hit raises a fresh, identically-rendered instance
+# (safe under concurrent hits).  A changed source text is a different
+# key, so edits invalidate naturally.
+_FAILURE_CACHE_SIZE = 1024
+_failure_cache: "OrderedDict[tuple, tuple]" = OrderedDict()
+_failure_lock = threading.Lock()
+_failure_stats = {"hits": 0, "recorded": 0}
 
-    Failures (syntax or elaboration errors) are not cached and re-raise
-    on every call.
-    """
+_FAILURE_ATTRS = ("line", "column")
+
+
+def _raise_cached_failure(key: tuple) -> None:
+    with _failure_lock:
+        info = _failure_cache.get(key)
+        if info is None:
+            return
+        _failure_cache.move_to_end(key)
+        _failure_stats["hits"] += 1
+    exc_type, args, attrs = info
+    # Bypass __init__ (VerilogSyntaxError's would re-prefix "line L:C:"
+    # onto the already-rendered message) and restore the stored shape.
+    exc = exc_type.__new__(exc_type)
+    exc.args = args
+    for name, value in attrs:
+        setattr(exc, name, value)
+    raise exc
+
+
+def _record_failure(key: tuple, exc: Exception) -> None:
+    attrs = tuple((name, getattr(exc, name)) for name in _FAILURE_ATTRS
+                  if hasattr(exc, name))
+    with _failure_lock:
+        if key not in _failure_cache:
+            _failure_stats["recorded"] += 1
+            while len(_failure_cache) >= _FAILURE_CACHE_SIZE:
+                _failure_cache.popitem(last=False)
+            _failure_cache[key] = (type(exc), exc.args, attrs)
+
+
+@lru_cache(maxsize=256)
+def _design_template_cached(source_text: str, top: str) -> DesignTemplate:
     return DesignTemplate(elaborate(parse_cached(source_text), top))
 
 
-@lru_cache(maxsize=256)
-def _pair_template(dut_src: str, tb_src: str, top: str) -> DesignTemplate:
-    """Elaboration cache for (DUT, testbench) pairs.
+def design_template(source_text: str, top: str) -> DesignTemplate:
+    """Elaboration cache: ``(source_text, top)`` -> compiled template.
 
-    Merges the two separately-cached ASTs at the module-tuple level (no
-    re-parse of concatenated text).  DUT modules come first so testbench
-    modules shadow same-named ones, exactly like the pre-cache merge.
+    Failures are cached too: a pair that failed to parse or elaborate
+    re-raises the recorded error without re-running the front end.
     """
+    key = (source_text, top)
+    _raise_cached_failure(key)
+    try:
+        return _design_template_cached(source_text, top)
+    except (VerilogSyntaxError, ElaborationError) as exc:
+        _record_failure(key, exc)
+        raise
+
+
+@lru_cache(maxsize=256)
+def _pair_template_cached(dut_src: str, tb_src: str,
+                          top: str) -> DesignTemplate:
     dut_ast = parse_cached(dut_src)
     tb_ast = parse_cached(tb_src)
     merged = hdl_ast.SourceFile(tuple(dut_ast.modules)
@@ -162,18 +227,49 @@ def _pair_template(dut_src: str, tb_src: str, top: str) -> DesignTemplate:
     return DesignTemplate(elaborate(merged, top))
 
 
+def _pair_template(dut_src: str, tb_src: str, top: str) -> DesignTemplate:
+    """Elaboration cache for (DUT, testbench) pairs.
+
+    Merges the two separately-cached ASTs at the module-tuple level (no
+    re-parse of concatenated text).  DUT modules come first so testbench
+    modules shadow same-named ones, exactly like the pre-cache merge.
+    Failures are cached like :func:`design_template`'s.
+    """
+    key = (dut_src, tb_src, top)
+    _raise_cached_failure(key)
+    try:
+        return _pair_template_cached(dut_src, tb_src, top)
+    except (VerilogSyntaxError, ElaborationError) as exc:
+        _record_failure(key, exc)
+        raise
+
+
+def clear_template_caches() -> None:
+    """Drop elaboration templates and cached failures, keeping the parse
+    cache and the shared slot-program cache warm."""
+    _design_template_cached.cache_clear()
+    _pair_template_cached.cache_clear()
+    with _failure_lock:
+        _failure_cache.clear()
+
+
 def clear_simulation_caches() -> None:
-    """Drop the parse and elaboration caches (benchmark cold starts)."""
-    design_template.cache_clear()
-    _pair_template.cache_clear()
+    """Drop every caching layer (benchmark cold starts): templates,
+    cached failures, parsed ASTs and shared compiled programs."""
+    clear_template_caches()
     parse_source_cached.cache_clear()
+    clear_program_cache()
 
 
 def simulation_cache_stats() -> dict:
     """Hit/miss counters for the caching layers (telemetry)."""
     parse_info = parse_source_cached.cache_info()
-    design_info = design_template.cache_info()
-    pair_info = _pair_template.cache_info()
+    design_info = _design_template_cached.cache_info()
+    pair_info = _pair_template_cached.cache_info()
+    with _failure_lock:
+        failure = {"hits": _failure_stats["hits"],
+                   "recorded": _failure_stats["recorded"],
+                   "size": len(_failure_cache)}
     return {
         "parse": {"hits": parse_info.hits, "misses": parse_info.misses,
                   "size": parse_info.currsize},
@@ -181,6 +277,8 @@ def simulation_cache_stats() -> dict:
                    "size": design_info.currsize},
         "pair": {"hits": pair_info.hits, "misses": pair_info.misses,
                  "size": pair_info.currsize},
+        "failure": failure,
+        "programs": program_cache_stats(),
     }
 
 
@@ -319,6 +417,78 @@ def dut_compiles(dut_src: str) -> tuple[bool, str]:
 
 
 # ----------------------------------------------------------------------
+# Persistent worker pool
+# ----------------------------------------------------------------------
+# Batch callers (validator prefetch, AutoEval mutant sweeps, campaign
+# shards) used to spin up a ProcessPoolExecutor per call, so `jobs > 1`
+# only paid off for large one-shot batches.  The pool below is created
+# lazily on first use, grows monotonically to the largest worker count
+# requested, is shared by every batch/campaign call in the process, and
+# is torn down atexit.  Forked workers inherit the parent's warm parse /
+# template / shared-program caches for free.
+_pool_lock = threading.Lock()
+_pool: ProcessPoolExecutor | None = None
+_pool_workers = 0
+
+
+def get_sim_pool(jobs: int) -> ProcessPoolExecutor:
+    """Return the shared persistent process pool, growing it if ``jobs``
+    exceeds its current worker count (the pool never shrinks)."""
+    global _pool, _pool_workers
+    jobs = max(1, int(jobs))
+    with _pool_lock:
+        if _pool is not None and _pool_workers < jobs:
+            _pool.shutdown(wait=False)
+            _pool = None
+        if _pool is None:
+            _pool = ProcessPoolExecutor(max_workers=jobs)
+            _pool_workers = jobs
+        return _pool
+
+
+def sim_pool_info() -> dict:
+    """Telemetry: whether the shared pool is alive, its configured
+    worker count, and the PIDs of spawned workers."""
+    with _pool_lock:
+        if _pool is None:
+            return {"alive": False, "workers": 0, "pids": ()}
+        processes = getattr(_pool, "_processes", None) or {}
+        return {"alive": True, "workers": _pool_workers,
+                "pids": tuple(sorted(processes.keys()))}
+
+
+def shutdown_sim_pool(wait: bool = True) -> None:
+    """Tear down the shared pool.  Registered atexit so worker processes
+    never outlive the interpreter; safe to call repeatedly."""
+    global _pool, _pool_workers
+    with _pool_lock:
+        if _pool is not None:
+            _pool.shutdown(wait=wait)
+            _pool = None
+            _pool_workers = 0
+
+
+atexit.register(shutdown_sim_pool)
+
+
+def _pool_map(worker, items: list, jobs: int) -> list:
+    """Map over the persistent pool; a broken pool (killed worker) is
+    discarded and recreated once before giving up.
+
+    RuntimeError is retried alongside BrokenProcessPool: a concurrent
+    ``get_sim_pool`` grow request shuts the executor down between our
+    lookup and ``map``, which surfaces as ``RuntimeError: cannot
+    schedule new futures after shutdown``.  A genuine worker-raised
+    RuntimeError simply re-raises from the retry.
+    """
+    try:
+        return list(get_sim_pool(jobs).map(worker, items))
+    except (BrokenProcessPool, RuntimeError):
+        shutdown_sim_pool(wait=False)
+        return list(get_sim_pool(jobs).map(worker, items))
+
+
+# ----------------------------------------------------------------------
 # Batched execution
 # ----------------------------------------------------------------------
 def _driver_batch_worker(item: tuple) -> DriverRun:
@@ -338,9 +508,10 @@ def _run_batch(worker, shared_src: str, dut_srcs, jobs: int,
     The shared testbench text is parsed once (cache) and each unique
     (testbench, DUT) design is elaborated + compiled once (template
     cache), so a batch amortizes every per-design cost across the runs.
-    With ``jobs > 1`` unique pairs spread over a process pool; each
-    worker process builds its own caches, which the pool reuses across
-    items.
+    With ``jobs > 1`` unique pairs spread over the *persistent* process
+    pool (:func:`get_sim_pool`): workers survive across batch calls, so
+    their caches stay warm and repeated small batches skip the pool
+    spin-up entirely.
     """
     # Resolve the engine now: pool workers have their own process-wide
     # default, so an unresolved None would ignore a set_default_engine()
@@ -356,8 +527,7 @@ def _run_batch(worker, shared_src: str, dut_srcs, jobs: int,
 
     if jobs > 1 and len(order) > 1:
         items = [(shared_src, dut, engine) for dut in order]
-        with ProcessPoolExecutor(max_workers=min(jobs, len(order))) as pool:
-            unique_results = list(pool.map(worker, items))
+        unique_results = _pool_map(worker, items, jobs)
     else:
         unique_results = [worker((shared_src, dut, engine))
                           for dut in order]

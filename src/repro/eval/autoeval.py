@@ -46,7 +46,10 @@ class EvalResult:
 
 
 def evaluate_hybrid(tb: HybridTestbench,
-                    golden: GoldenArtifacts | None = None) -> EvalResult:
+                    golden: GoldenArtifacts | None = None,
+                    sim_jobs: int = 1) -> EvalResult:
+    """Grade a hybrid testbench.  ``sim_jobs > 1`` fans the mutant sweep
+    across the persistent simulation worker pool."""
     task = get_task(tb.task_id)
     golden = golden or golden_artifacts(tb.task_id)
 
@@ -65,7 +68,8 @@ def evaluate_hybrid(tb: HybridTestbench,
 
     if golden.mutants:
         verdicts = hybrid_verdicts_batch(
-            tb, [mutant.source for mutant in golden.mutants], task)
+            tb, [mutant.source for mutant in golden.mutants], task,
+            jobs=sim_jobs)
     else:
         verdicts = []
     agreement = _mutant_agreement(verdicts, golden)
@@ -78,7 +82,7 @@ def evaluate_hybrid(tb: HybridTestbench,
 
 def evaluate_monolithic(tb: MonolithicTestbench,
                         golden: GoldenArtifacts | None = None,
-                        ) -> EvalResult:
+                        sim_jobs: int = 1) -> EvalResult:
     task = get_task(tb.task_id)
     golden = golden or golden_artifacts(tb.task_id)
 
@@ -92,7 +96,8 @@ def evaluate_monolithic(tb: MonolithicTestbench,
 
     if golden.mutants:
         results = run_monolithic_batch(
-            tb.source, [mutant.source for mutant in golden.mutants])
+            tb.source, [mutant.source for mutant in golden.mutants],
+            jobs=sim_jobs)
         verdicts = [result.verdict if result.status == "ok" else None
                     for result in results]
     else:
@@ -105,12 +110,13 @@ def evaluate_monolithic(tb: MonolithicTestbench,
                       agreement=agreement)
 
 
-def evaluate(tb, golden: GoldenArtifacts | None = None) -> EvalResult:
+def evaluate(tb, golden: GoldenArtifacts | None = None,
+             sim_jobs: int = 1) -> EvalResult:
     """Evaluate either artifact type."""
     if isinstance(tb, HybridTestbench):
-        return evaluate_hybrid(tb, golden)
+        return evaluate_hybrid(tb, golden, sim_jobs=sim_jobs)
     if isinstance(tb, MonolithicTestbench):
-        return evaluate_monolithic(tb, golden)
+        return evaluate_monolithic(tb, golden, sim_jobs=sim_jobs)
     raise TypeError(f"cannot evaluate {type(tb).__name__}")
 
 

@@ -13,14 +13,15 @@ deliberately never pickled.
 from __future__ import annotations
 
 import os
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from typing import Iterable, Sequence
 
 from ..core.agent import CorrectBenchWorkflow, WorkflowResult
 from ..core.baseline import DirectBaseline
 from ..core.generator import AutoBenchGenerator
-from ..core.simulation import get_default_engine, set_default_engine
+from ..core.simulation import (get_default_engine, get_sim_pool,
+                               set_default_engine, shutdown_sim_pool)
 from ..core.validator import CRITERIA, DEFAULT_CRITERION
 from ..llm.base import MeteredClient, Usage, UsageMeter
 from ..llm.profiles import get_profile
@@ -151,7 +152,14 @@ def _worker(item: tuple) -> TaskRun:
 
 
 def run_campaign(config: CampaignConfig, progress=None) -> CampaignResult:
-    """Run the full campaign, optionally over a process pool."""
+    """Run the full campaign, optionally over the shared process pool.
+
+    Parallel campaigns draw workers from the persistent simulation pool
+    (:func:`repro.core.simulation.get_sim_pool`), so consecutive
+    campaigns — and interleaved batch simulation calls — reuse the same
+    worker processes and their warm caches instead of paying a pool
+    spin-up per run.
+    """
     items = [(method, task_id, seed, config.profile_name,
               config.criterion_name, config.group_size, config.engine)
              for method in config.methods
@@ -161,12 +169,25 @@ def run_campaign(config: CampaignConfig, progress=None) -> CampaignResult:
     result = CampaignResult(config)
     n_jobs = config.n_jobs or 1
     if n_jobs > 1:
-        with ProcessPoolExecutor(max_workers=n_jobs) as pool:
-            for index, run in enumerate(pool.map(_worker, items,
-                                                 chunksize=4)):
-                result.runs.append(run)
-                if progress:
-                    progress(index + 1, len(items), run)
+        # A killed worker breaks the shared executor, and a concurrent
+        # get_sim_pool grow request can shut it down mid-map (surfacing
+        # as RuntimeError) — the same pair _pool_map recovers from.
+        # Heal the pool and rerun once; a genuine worker error simply
+        # re-raises from the retry.
+        for attempt in (0, 1):
+            del result.runs[:]
+            try:
+                pool = get_sim_pool(n_jobs)
+                for index, run in enumerate(pool.map(_worker, items,
+                                                     chunksize=4)):
+                    result.runs.append(run)
+                    if progress:
+                        progress(index + 1, len(items), run)
+                break
+            except (BrokenProcessPool, RuntimeError):
+                shutdown_sim_pool(wait=False)
+                if attempt:
+                    raise
     else:
         for index, item in enumerate(items):
             run = _worker(item)

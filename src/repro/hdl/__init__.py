@@ -22,18 +22,18 @@ CorrectBench system.  Execution is a four-stage pipeline::
     processes.
 
 **compile** (:mod:`repro.hdl.compile`)
-    Lowers each process body once into nested Python closures:
-    expressions through the per-scope compiled-expression cache in
-    :mod:`repro.hdl.eval` (names, widths, signedness and constant
-    indices resolved at compile time, no-op resizes elided), statement
-    sequences into flat op lists whose generators only yield at real
-    suspension points, format strings into pre-parsed segments.  The
-    compiled program is cached on the ``ProcSpec``, so re-simulating the
-    same elaborated design skips this stage entirely.  ``initial``
-    bodies compile adaptively: loopy bodies eagerly (the loop amortizes
-    the cost in-run), straight-line bodies only from their second
-    simulation (the first interprets them — compiling run-once code is
-    a net loss).
+    Lowers each process body once into *slot-indexed* Python closures:
+    expressions through :mod:`repro.hdl.eval` (widths, signedness and
+    constant indices resolved at compile time, no-op resizes elided),
+    statement sequences into flat op lists whose generators only yield
+    at real suspension points, format strings into pre-parsed segments.
+    Closures reference runtime objects through integer slots into a
+    per-elaboration ``frame`` tuple, so programs are scope-polymorphic:
+    they are cached globally by AST identity + structural signature and
+    merely re-*bound* (a cheap slot-table build) for each new
+    elaboration — pairing one driver with N DUT designs compiles it
+    once.  The bound program is then cached on the ``ProcSpec``, so
+    re-simulating the same elaborated design skips binding too.
 
 **run** (:mod:`repro.hdl.simulator`)
     A three-region (active / inactive / NBA) event scheduler per the

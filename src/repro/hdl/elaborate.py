@@ -9,6 +9,8 @@ processes, which gives plain wire semantics without a net-resolution pass.
 
 from __future__ import annotations
 
+import threading
+from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Callable, Optional
 
@@ -100,10 +102,10 @@ class ProcSpec:
     ``port_bind`` carries the structured form of a port-binding process
     (``("in", expr, child_signal)`` / ``("out", child_signal,
     parent_signal)``) so the compile pass can lower it without the
-    ``pyfunc`` interpreter fallback.  ``compiled`` caches the
-    :class:`~repro.hdl.compile.CompiledProc` for this spec; it lives on
-    the spec so every simulation of the same elaborated design reuses
-    the closure program.
+    ``pyfunc`` interpreter fallback.  ``compiled`` caches the *bound*
+    :class:`~repro.hdl.compile.CompiledProc` for this spec (the shared
+    slot-indexed program plus this elaboration's frame); it lives on the
+    spec so every simulation of the same elaborated design reuses it.
     """
     kind: str
     scope: "Scope"
@@ -115,13 +117,6 @@ class ProcSpec:
     port_bind: Optional[tuple] = None
     compiled: Optional[object] = field(default=None, repr=False,
                                        compare=False)
-    # Adaptive-compile bookkeeping for ``initial`` bodies: whether the
-    # body amortizes compilation within one run (contains a loop), and
-    # whether a previous simulation already executed it interpreted.
-    eager_compile: Optional[bool] = field(default=None, repr=False,
-                                          compare=False)
-    interpreted_once: bool = field(default=False, repr=False,
-                                   compare=False)
 
 
 class Scope:
@@ -384,13 +379,10 @@ class Elaborator:
         collect_expr_reads(item.value, reads)
         self._verify_names(scope, reads,
                            f"{scope.prefix or 'top'} continuous assign")
-        if isinstance(item.target, (ast.LvIndex, ast.LvPart)):
+        stmt = _interned_assign(item)
+        if isinstance(item.target, ast.LvIndex):
             # Partial drivers read-modify-write the target.
-            stmt: ast.Stmt = ast.BlockingAssign(item.target, item.value)
-            if isinstance(item.target, ast.LvIndex):
-                collect_expr_reads(item.target.index, reads)
-        else:
-            stmt = ast.BlockingAssign(item.target, item.value)
+            collect_expr_reads(item.target.index, reads)
         design.processes.append(ProcSpec(
             kind="comb", scope=scope, body=stmt,
             reads=self._resolve_reads(scope, reads),
@@ -527,6 +519,31 @@ class Elaborator:
             kind="comb", scope=parent, pyfunc=update, reads=(child_sig,),
             label=f"{parent.prefix}{inst_name}.{child_sig.name}=>bind",
             port_bind=("out", child_sig, parent_sig)))
+
+
+# Continuous assignments lower to a synthesized ``BlockingAssign``
+# statement.  The compile layer keys its shared-program cache by body
+# *identity*, so the synthesized statement is interned (by structural
+# equality, AST nodes are frozen/hashable) — re-elaborating the same
+# source, and even structurally identical assigns in different sources,
+# reuse one statement object and therefore one compiled program.
+_ASSIGN_INTERN_SIZE = 4096
+_assign_interned: "OrderedDict[ast.ContinuousAssign, ast.BlockingAssign]" \
+    = OrderedDict()
+_assign_intern_lock = threading.Lock()
+
+
+def _interned_assign(item: ast.ContinuousAssign) -> ast.BlockingAssign:
+    with _assign_intern_lock:
+        stmt = _assign_interned.get(item)
+        if stmt is None:
+            stmt = ast.BlockingAssign(item.target, item.value)
+            while len(_assign_interned) >= _ASSIGN_INTERN_SIZE:
+                _assign_interned.popitem(last=False)
+            _assign_interned[item] = stmt
+        else:
+            _assign_interned.move_to_end(item)
+        return stmt
 
 
 def elaborate(source: ast.SourceFile, top: str) -> Design:

@@ -10,9 +10,13 @@ Two execution strategies share these semantics:
 
 - :func:`eval_expr` walks the AST on every evaluation (the interpreter);
 - :func:`compile_expr` lowers an expression *once* into a tree of Python
-  closures with all name lookups, widths, signedness flags and constant
-  indices resolved at compile time.  Compiled closures are memoised per
-  scope (the compiled-expression cache), so shared subtrees and repeated
+  closures with all widths, signedness flags and constant indices
+  resolved at compile time.  Runtime objects (signals, memories) are
+  referenced through integer *slots* into a per-elaboration ``frame``
+  tuple, allocated by a :class:`LowerCtx`, so the compiled closure tree
+  is scope-polymorphic: one program is shared by every elaboration whose
+  structural signature matches (see :mod:`repro.hdl.compile`).  Closures
+  are memoised per lowering context, so shared subtrees and repeated
   compilations of the same node are free.
 """
 
@@ -333,30 +337,10 @@ def case_match(kind: str, subject: Logic, label: Logic) -> bool:
 
 
 # ----------------------------------------------------------------------
-# Expression compilation (closure trees + per-scope cache)
+# Lowering context: slot allocation + structural signatures
 # ----------------------------------------------------------------------
-def compile_expr(expr: ast.Expr, scope: "Scope",
-                 ctx_width: int | None = None):
-    """Compile ``expr`` to a zero-argument closure returning :class:`Logic`.
-
-    The closure is the compiled counterpart of
-    ``eval_expr(expr, scope, ctx_width)``: widths, signedness, name
-    bindings and elaboration-time constants are resolved now, so each
-    invocation only performs :class:`Logic` arithmetic.  Results are
-    memoised in a per-scope cache keyed by ``(id(expr), ctx_width)`` —
-    valid because AST nodes are retained by the design's process specs
-    for as long as the scope is alive.
-    """
-    cache = scope.__dict__.setdefault("_expr_cache", {})
-    key = (id(expr), ctx_width)
-    fn = cache.get(key)
-    if fn is None:
-        fn = _compile_expr(expr, scope, ctx_width)
-        cache[key] = fn
-    return fn
-
-
 _Signal = None  # resolved lazily; eval <-> elaborate import cycle
+_Memory = None
 
 
 def _signal_type():
@@ -367,13 +351,232 @@ def _signal_type():
     return _Signal
 
 
-def _read_closure(name: str, scope: "Scope"):
-    """Compiled counterpart of ``scope.read_name``."""
-    obj = scope.lookup(name)
-    if isinstance(obj, Logic):
-        return lambda: obj
+def _memory_type():
+    global _Memory
+    if _Memory is None:
+        from .elaborate import Memory
+        _Memory = Memory
+    return _Memory
+
+
+# Slot descriptor tags (the bind-time recipe of a shared program).
+SLOT_OBJ = "obj"        # ("obj", name)    -> scope.names[name]
+SLOT_LIT = "lit"        # ("lit", payload) -> payload verbatim
+SLOT_REQ = "req"        # ("req", ((edge, slot_idx), ...)) -> wait request
+SLOT_DESIGN = "design"  # ("design",)      -> scope.design (runtime hooks)
+SLOT_SINK = "sink"      # ("sink",)        -> port-bind sink signal
+
+
+def structural_fact(scope: "Scope", name: str, tag: str = "") -> tuple:
+    """The structural fact ``name`` resolves to in ``scope``.
+
+    Facts are what a shared program's signature records per referenced
+    name; another elaboration may reuse the program iff every recorded
+    fact recomputes identically in its scope.  ``tag`` selects the
+    strength: ``"sigval"`` (a signal whose *elaboration-time value* was
+    baked into the program via constant evaluation) also captures the
+    value, everything else only shape.
+    """
+    obj = scope.names.get(name)
+    if obj is None:
+        return ("missing",)
     if isinstance(obj, _signal_type()):
-        return lambda: obj.value
+        if tag == "sigval":
+            return ("sigval", obj.width, obj.signed,
+                    obj.value.val, obj.value.xmask)
+        return ("sig", obj.width, obj.signed)
+    if isinstance(obj, _memory_type()):
+        return ("mem", obj.width, obj.lo, obj.hi, obj.signed)
+    # Logic constant (parameter / localparam).
+    return ("const", obj.width, obj.val, obj.xmask)
+
+
+class LowerCtx:
+    """Compile-time context for lowering one process to a shared program.
+
+    Quacks like :class:`~repro.hdl.elaborate.Scope` for every
+    compile-time query (width/signedness inference, constant
+    evaluation), while additionally:
+
+    - allocating *frame slots* for each runtime object the compiled
+      closures touch (signals, memories, prebuilt wait/delay requests,
+      the owning design).  Closures index an immutable per-elaboration
+      ``frame`` tuple instead of capturing ``Signal`` objects, which is
+      what makes a compiled program scope-polymorphic;
+    - recording a structural fact for every name it resolves.  The facts
+      form the program's signature: a different elaboration reuses the
+      program iff each recorded name resolves to a structurally
+      identical object there (see :func:`structural_fact`).
+    """
+
+    def __init__(self, scope: "Scope"):
+        self.scope = scope
+        self.slot_specs: list[tuple] = []
+        self.facts: dict[str, tuple] = {}
+        # Cleared by lowerings that bake non-relocatable state into the
+        # closures (elaboration-time memory contents, runtime hooks
+        # evaluated at compile time, foreign-scope signal objects).
+        self.shareable = True
+        # Deferred compile errors embed this scope's prefix in their
+        # message; such programs only transfer between equal prefixes.
+        self.prefix_sensitive = False
+        self._obj_slots: dict[str, int] = {}
+        self._lit_slots: dict = {}
+        self._design_slot: int | None = None
+        self._sink_slot: int | None = None
+        self._expr_cache: dict = {}
+
+    # -- slot allocation ------------------------------------------------
+    def _new_slot(self, spec: tuple) -> int:
+        self.slot_specs.append(spec)
+        return len(self.slot_specs) - 1
+
+    def obj_slot(self, name: str) -> int:
+        idx = self._obj_slots.get(name)
+        if idx is None:
+            idx = self._obj_slots[name] = self._new_slot((SLOT_OBJ, name))
+        return idx
+
+    def lit_slot(self, payload) -> int:
+        key = (SLOT_LIT, payload)
+        idx = self._lit_slots.get(key)
+        if idx is None:
+            idx = self._lit_slots[key] = self._new_slot(key)
+        return idx
+
+    def request_slot(self, pairs: tuple) -> int:
+        """Slot for a prebuilt ``("wait", ...)`` request over signal
+        slots allocated earlier (``pairs`` is ``((edge, slot_idx), ...)``)."""
+        key = (SLOT_REQ, pairs)
+        idx = self._lit_slots.get(key)
+        if idx is None:
+            idx = self._lit_slots[key] = self._new_slot(key)
+        return idx
+
+    def design_slot(self) -> int:
+        if self._design_slot is None:
+            self._design_slot = self._new_slot((SLOT_DESIGN,))
+        return self._design_slot
+
+    def sink_slot(self) -> int:
+        if self._sink_slot is None:
+            self._sink_slot = self._new_slot((SLOT_SINK,))
+        return self._sink_slot
+
+    def note_deferred(self) -> None:
+        """Record that a compile error was deferred into the program."""
+        self.prefix_sensitive = True
+
+    def signature(self) -> tuple:
+        return tuple(sorted(self.facts.items()))
+
+    # -- fact recording -------------------------------------------------
+    def _touch(self, name: str) -> None:
+        if name not in self.facts:
+            self.facts[name] = structural_fact(self.scope, name)
+
+    # -- Scope protocol (compile-time queries) --------------------------
+    @property
+    def prefix(self) -> str:
+        return self.scope.prefix
+
+    @property
+    def names(self) -> dict:
+        return self.scope.names
+
+    def lookup(self, name: str):
+        self._touch(name)
+        return self.scope.lookup(name)
+
+    def width_of_name(self, name: str) -> int:
+        self._touch(name)
+        return self.scope.width_of_name(name)
+
+    def signed_of_name(self, name: str) -> bool:
+        self._touch(name)
+        return self.scope.signed_of_name(name)
+
+    def is_memory(self, name: str) -> bool:
+        self._touch(name)
+        return self.scope.is_memory(name)
+
+    def memory_width(self, name: str) -> int:
+        self._touch(name)
+        return self.scope.memory_width(name)
+
+    def read_name(self, name: str) -> Logic:
+        # Constant evaluation reading a signal's elaboration-time value
+        # bakes that value into the program, so record it in the fact.
+        if isinstance(self.scope.names.get(name), _signal_type()):
+            self.facts[name] = structural_fact(self.scope, name, "sigval")
+        else:
+            self._touch(name)
+        return self.scope.read_name(name)
+
+    def read_memory(self, name: str, addr: int) -> Logic:
+        # Elaboration-time memory contents are not part of the
+        # signature; a program whose compilation read them is unsafe to
+        # transfer to another elaboration.
+        self.shareable = False
+        return self.scope.read_memory(name, addr)
+
+    def const_int(self, expr: ast.Expr) -> int:
+        value = eval_expr(expr, self)
+        result = value.to_uint()
+        if result is None:
+            raise ElaborationError(
+                f"expression is not a defined constant in "
+                f"{self.scope.prefix or 'top'}")
+        return result
+
+    # -- runtime hooks reached during constant evaluation ----------------
+    def sim_time(self) -> int:
+        self.shareable = False
+        return self.scope.sim_time()
+
+    def sim_random(self) -> int:
+        self.shareable = False
+        return self.scope.sim_random()
+
+    def sim_fopen(self, filename: str) -> int:
+        self.shareable = False
+        return self.scope.sim_fopen(filename)
+
+
+# ----------------------------------------------------------------------
+# Expression compilation (slot-indexed closure trees + per-program cache)
+# ----------------------------------------------------------------------
+def compile_expr(expr: ast.Expr, ctx: LowerCtx,
+                 ctx_width: int | None = None):
+    """Compile ``expr`` to a closure ``fn(frame) -> Logic``.
+
+    The closure is the compiled counterpart of
+    ``eval_expr(expr, scope, ctx_width)``: widths, signedness and
+    elaboration-time constants are resolved now, and every runtime
+    object is referenced through an integer slot into the bind-time
+    ``frame`` tuple — the same compiled program runs against any
+    elaboration whose frame it is bound to.  Results are memoised per
+    lowering context, keyed by ``(id(expr), ctx_width)`` (valid because
+    AST nodes are pinned by the program cache for the program's
+    lifetime).
+    """
+    cache = ctx._expr_cache
+    key = (id(expr), ctx_width)
+    fn = cache.get(key)
+    if fn is None:
+        fn = _compile_expr(expr, ctx, ctx_width)
+        cache[key] = fn
+    return fn
+
+
+def _read_closure(name: str, ctx: LowerCtx):
+    """Compiled counterpart of ``scope.read_name``."""
+    obj = ctx.lookup(name)
+    if isinstance(obj, Logic):
+        return lambda frame: obj
+    if isinstance(obj, _signal_type()):
+        i = ctx.obj_slot(name)
+        return lambda frame: frame[i].value
     raise ElaborationError(f"cannot read {name!r} as a value")
 
 
@@ -406,7 +609,7 @@ def _result_width(expr: ast.Expr, scope: "Scope",
     return width_of(expr, scope)
 
 
-def compile_coerced(expr: ast.Expr, scope: "Scope", width: int,
+def compile_coerced(expr: ast.Expr, ctx: LowerCtx, width: int,
                     signed: bool):
     """Compile ``eval_expr(expr, scope, width).resize(width, signed)``.
 
@@ -414,13 +617,13 @@ def compile_coerced(expr: ast.Expr, scope: "Scope", width: int,
     known to produce ``width``-bit values already (``resize`` to the same
     width is the identity).
     """
-    fn = compile_expr(expr, scope, width)
-    if _result_width(expr, scope, width) == width:
+    fn = compile_expr(expr, ctx, width)
+    if _result_width(expr, ctx, width) == width:
         return fn
-    return lambda: fn().resize(width, signed)
+    return lambda frame: fn(frame).resize(width, signed)
 
 
-def compile_expr_deferred(expr: ast.Expr, scope: "Scope",
+def compile_expr_deferred(expr: ast.Expr, ctx: LowerCtx,
                           ctx_width: int | None = None):
     """Like :func:`compile_expr`, but a compile-time :class:`HdlError`
     becomes a closure that re-raises when *evaluated*.
@@ -430,222 +633,236 @@ def compile_expr_deferred(expr: ast.Expr, scope: "Scope",
     not fail on a branch the interpreter would never reach.
     """
     try:
-        return compile_expr(expr, scope, ctx_width)
+        return compile_expr(expr, ctx, ctx_width)
     except HdlError as exc:
-        def raise_deferred(_exc=exc):
+        ctx.note_deferred()
+
+        def raise_deferred(frame, _exc=exc):
+            # Shared instance: shed the previous raise's traceback so
+            # repeated evaluations don't chain frames forever.
+            _exc.__traceback__ = None
+            _exc.__context__ = None
             raise _exc
         return raise_deferred
 
 
-def _coerced_deferred(expr: ast.Expr, scope: "Scope", width: int,
+def _coerced_deferred(expr: ast.Expr, ctx: LowerCtx, width: int,
                       signed: bool):
     try:
-        return compile_coerced(expr, scope, width, signed)
+        return compile_coerced(expr, ctx, width, signed)
     except HdlError as exc:
-        def raise_deferred(_exc=exc):
+        ctx.note_deferred()
+
+        def raise_deferred(frame, _exc=exc):
+            _exc.__traceback__ = None
+            _exc.__context__ = None
             raise _exc
         return raise_deferred
 
 
-def _compile_expr(expr: ast.Expr, scope: "Scope", ctx_width: int | None):
+def _compile_expr(expr: ast.Expr, ctx: LowerCtx, ctx_width: int | None):
     if isinstance(expr, ast.Number):
         width = expr.width if expr.width is not None else 32
         const = Logic(width, expr.val, expr.xmask)
-        return lambda: const
+        return lambda frame: const
 
     if isinstance(expr, ast.Identifier):
-        return _read_closure(expr.name, scope)
+        return _read_closure(expr.name, ctx)
 
     if isinstance(expr, ast.StringLit):
         data = expr.text.encode("latin-1", "replace")
         val = int.from_bytes(data, "big") if data else 0
         const = Logic(max(8 * len(data), 8), val, 0)
-        return lambda: const
+        return lambda frame: const
 
     if isinstance(expr, ast.Unary):
-        return _compile_unary(expr, scope, ctx_width)
+        return _compile_unary(expr, ctx, ctx_width)
 
     if isinstance(expr, ast.Binary):
-        return _compile_binary(expr, scope, ctx_width)
+        return _compile_binary(expr, ctx, ctx_width)
 
     if isinstance(expr, ast.Ternary):
-        w = max(width_of(expr, scope), ctx_width or 0)
-        cond = compile_expr(expr.cond, scope)
+        w = max(width_of(expr, ctx), ctx_width or 0)
+        cond = compile_expr(expr.cond, ctx)
         # Branches compile deferred: the interpreter only evaluates the
         # selected branch, so a broken unselected branch must not fail
         # until (unless) it is actually chosen.
-        then = _coerced_deferred(expr.then, scope, w,
-                                 signed_of(expr.then, scope))
-        other = _coerced_deferred(expr.other, scope, w,
-                                  signed_of(expr.other, scope))
+        then = _coerced_deferred(expr.then, ctx, w,
+                                 signed_of(expr.then, ctx))
+        other = _coerced_deferred(expr.other, ctx, w,
+                                  signed_of(expr.other, ctx))
         full = (1 << w) - 1
 
-        def ternary():
-            sel = cond().truth()
+        def ternary(frame):
+            sel = cond(frame).truth()
             if sel is True:
-                return then()
+                return then(frame)
             if sel is False:
-                return other()
-            a = then()
-            b = other()
+                return other(frame)
+            a = then(frame)
+            b = other(frame)
             agree = ~(a.val ^ b.val) & ~a.xmask & ~b.xmask
             return Logic(w, a.val & agree, full & ~agree)
         return ternary
 
     if isinstance(expr, ast.Concat):
-        fns = tuple(compile_expr(p, scope) for p in expr.parts)
-        return lambda: Logic.concat([f() for f in fns])
+        fns = tuple(compile_expr(p, ctx) for p in expr.parts)
+        return lambda frame: Logic.concat([f(frame) for f in fns])
 
     if isinstance(expr, ast.Replicate):
-        count = scope.const_int(expr.count)
+        count = ctx.const_int(expr.count)
         if count < 1:
             raise SimulationError(f"replication count {count} must be >= 1")
-        value = compile_expr(expr.value, scope)
-        return lambda: value().replicate(count)
+        value = compile_expr(expr.value, ctx)
+        return lambda frame: value(frame).replicate(count)
 
     if isinstance(expr, ast.Index):
-        index = compile_expr(expr.index, scope)
-        if scope.is_memory(expr.base):
-            mem = scope.lookup(expr.base)
-            unknown = Logic.unknown(mem.width)
+        index = compile_expr(expr.index, ctx)
+        if ctx.is_memory(expr.base):
+            width = ctx.memory_width(expr.base)
+            ctx.lookup(expr.base)
+            i = ctx.obj_slot(expr.base)
+            unknown = Logic.unknown(width)
 
-            def read_word():
-                addr = index().to_uint()
+            def read_word(frame):
+                addr = index(frame).to_uint()
                 if addr is None:
                     return unknown
-                return mem.read(addr)
+                return frame[i].read(addr)
             return read_word
-        base = _read_closure(expr.base, scope)
+        base = _read_closure(expr.base, ctx)
         unknown_bit = Logic.unknown(1)
 
-        def read_bit():
-            value = base()
-            idx = index().to_uint()
+        def read_bit(frame):
+            value = base(frame)
+            idx = index(frame).to_uint()
             if idx is None:
                 return unknown_bit
             return value.bit(idx)
         return read_bit
 
     if isinstance(expr, ast.PartSelect):
-        base = _read_closure(expr.base, scope)
-        msb = scope.const_int(expr.msb)
-        lsb = scope.const_int(expr.lsb)
-        return lambda: base().part(msb, lsb)
+        base = _read_closure(expr.base, ctx)
+        msb = ctx.const_int(expr.msb)
+        lsb = ctx.const_int(expr.lsb)
+        return lambda frame: base(frame).part(msb, lsb)
 
     if isinstance(expr, ast.SystemCall):
-        return _compile_system_call(expr, scope)
+        return _compile_system_call(expr, ctx)
 
     raise SimulationError(f"cannot evaluate expression {expr!r}")
 
 
-def _compile_unary(expr: ast.Unary, scope: "Scope", ctx_width: int | None):
+def _compile_unary(expr: ast.Unary, ctx: LowerCtx, ctx_width: int | None):
     op = expr.op
     if op in ("!", "&", "~&", "|", "~|", "^", "~^", "^~"):
-        operand = compile_expr(expr.operand, scope)
+        operand = compile_expr(expr.operand, ctx)
         method = {
             "!": Logic.lnot, "&": Logic.reduce_and, "~&": Logic.reduce_nand,
             "|": Logic.reduce_or, "~|": Logic.reduce_nor,
             "^": Logic.reduce_xor, "~^": Logic.reduce_xnor,
             "^~": Logic.reduce_xnor,
         }[op]
-        return lambda: method(operand())
+        return lambda frame: method(operand(frame))
 
-    w = max(width_of(expr.operand, scope), ctx_width or 0)
-    signed = signed_of(expr.operand, scope)
-    operand = compile_coerced(expr.operand, scope, w, signed)
+    w = max(width_of(expr.operand, ctx), ctx_width or 0)
+    signed = signed_of(expr.operand, ctx)
+    operand = compile_coerced(expr.operand, ctx, w, signed)
     if op == "~":
-        return lambda: operand().bnot()
+        return lambda frame: operand(frame).bnot()
     if op == "-":
-        return lambda: operand().neg(w)
+        return lambda frame: operand(frame).neg(w)
     if op == "+":
         return operand
     raise SimulationError(f"unsupported unary operator {op!r}")
 
 
-def _compile_binary(expr: ast.Binary, scope: "Scope", ctx_width: int | None):
+def _compile_binary(expr: ast.Binary, ctx: LowerCtx, ctx_width: int | None):
     op = expr.op
 
     if op in _LOGICAL:
-        left = compile_expr(expr.left, scope)
-        right = compile_expr(expr.right, scope)
+        left = compile_expr(expr.left, ctx)
+        right = compile_expr(expr.right, ctx)
         if op == "&&":
-            return lambda: left().land(right())
-        return lambda: left().lor(right())
+            return lambda frame: left(frame).land(right(frame))
+        return lambda frame: left(frame).lor(right(frame))
 
     if op in _COMPARE:
-        w = max(width_of(expr.left, scope), width_of(expr.right, scope))
-        signed = (signed_of(expr.left, scope)
-                  and signed_of(expr.right, scope))
-        left = compile_coerced(expr.left, scope, w, signed)
-        right = compile_coerced(expr.right, scope, w, signed)
+        w = max(width_of(expr.left, ctx), width_of(expr.right, ctx))
+        signed = (signed_of(expr.left, ctx)
+                  and signed_of(expr.right, ctx))
+        left = compile_coerced(expr.left, ctx, w, signed)
+        right = compile_coerced(expr.right, ctx, w, signed)
         if op == "==":
-            return lambda: left().eq(right())
+            return lambda frame: left(frame).eq(right(frame))
         if op == "!=":
-            return lambda: left().neq(right())
+            return lambda frame: left(frame).neq(right(frame))
         if op == "===":
-            return lambda: left().case_eq(right())
+            return lambda frame: left(frame).case_eq(right(frame))
         if op == "!==":
-            return lambda: left().case_neq(right())
+            return lambda frame: left(frame).case_neq(right(frame))
         method = {"<": Logic.lt, "<=": Logic.le,
                   ">": Logic.gt, ">=": Logic.ge}[op]
-        return lambda: method(left(), right(), signed)
+        return lambda frame: method(left(frame), right(frame), signed)
 
     if op in _SHIFTS:
-        w = max(width_of(expr.left, scope), ctx_width or 0)
-        signed = signed_of(expr.left, scope)
-        left = compile_coerced(expr.left, scope, w, signed)
-        amount = compile_expr(expr.right, scope)
+        w = max(width_of(expr.left, ctx), ctx_width or 0)
+        signed = signed_of(expr.left, ctx)
+        left = compile_coerced(expr.left, ctx, w, signed)
+        amount = compile_expr(expr.right, ctx)
         if op in ("<<", "<<<"):
-            return lambda: left().shl(amount(), w)
+            return lambda frame: left(frame).shl(amount(frame), w)
         if op == ">>":
-            return lambda: left().shr(amount(), w)
+            return lambda frame: left(frame).shr(amount(frame), w)
         if signed:
-            return lambda: left().ashr(amount(), w)
-        return lambda: left().shr(amount(), w)
+            return lambda frame: left(frame).ashr(amount(frame), w)
+        return lambda frame: left(frame).shr(amount(frame), w)
 
     # Context-determined arithmetic / bitwise operators.
-    w = max(width_of(expr.left, scope), width_of(expr.right, scope),
+    w = max(width_of(expr.left, ctx), width_of(expr.right, ctx),
             ctx_width or 0)
-    both = (signed_of(expr.left, scope) and signed_of(expr.right, scope))
-    left = compile_coerced(expr.left, scope, w, both)
-    right = compile_coerced(expr.right, scope, w, both)
+    both = (signed_of(expr.left, ctx) and signed_of(expr.right, ctx))
+    left = compile_coerced(expr.left, ctx, w, both)
+    right = compile_coerced(expr.right, ctx, w, both)
     if op == "+":
-        return lambda: left().add(right(), w)
+        return lambda frame: left(frame).add(right(frame), w)
     if op == "-":
-        return lambda: left().sub(right(), w)
+        return lambda frame: left(frame).sub(right(frame), w)
     if op == "*":
-        return lambda: left().mul(right(), w)
+        return lambda frame: left(frame).mul(right(frame), w)
     if op == "/":
-        return lambda: left().div(right(), w, both)
+        return lambda frame: left(frame).div(right(frame), w, both)
     if op == "%":
-        return lambda: left().mod(right(), w, both)
+        return lambda frame: left(frame).mod(right(frame), w, both)
     if op == "&":
-        return lambda: left().band(right())
+        return lambda frame: left(frame).band(right(frame))
     if op == "|":
-        return lambda: left().bor(right())
+        return lambda frame: left(frame).bor(right(frame))
     if op == "^":
-        return lambda: left().bxor(right())
+        return lambda frame: left(frame).bxor(right(frame))
     if op in ("^~", "~^"):
-        return lambda: left().bxnor(right())
+        return lambda frame: left(frame).bxnor(right(frame))
     if op == "**":
-        return lambda: left().pow(right(), w)
+        return lambda frame: left(frame).pow(right(frame), w)
     raise SimulationError(f"unsupported binary operator {op!r}")
 
 
-def _compile_system_call(expr: ast.SystemCall, scope: "Scope"):
+def _compile_system_call(expr: ast.SystemCall, ctx: LowerCtx):
     name = expr.name
     if name == "$time":
-        return lambda: Logic.from_int(scope.sim_time(), 64)
+        j = ctx.design_slot()
+        return lambda frame: Logic.from_int(frame[j].runtime_time(), 64)
     if name in ("$signed", "$unsigned"):
-        return compile_expr(expr.args[0], scope)
+        return compile_expr(expr.args[0], ctx)
     if name in ("$random", "$urandom"):
-        return lambda: Logic.from_int(scope.sim_random(), 32)
+        j = ctx.design_slot()
+        return lambda frame: Logic.from_int(frame[j].runtime_random(), 32)
     if name == "$clog2":
-        arg = compile_expr(expr.args[0], scope)
+        arg = compile_expr(expr.args[0], ctx)
         unknown = Logic.unknown(32)
 
-        def clog2():
-            value = arg().to_uint()
+        def clog2(frame):
+            value = arg(frame).to_uint()
             if value is None:
                 return unknown
             return Logic.from_int(max(value - 1, 0).bit_length(), 32)
@@ -655,7 +872,8 @@ def _compile_system_call(expr: ast.SystemCall, scope: "Scope"):
         if not isinstance(filename, ast.StringLit):
             raise SimulationError("$fopen expects a string literal")
         text = filename.text
-        return lambda: Logic.from_int(scope.sim_fopen(text), 32)
+        j = ctx.design_slot()
+        return lambda frame: Logic.from_int(frame[j].runtime_fopen(text), 32)
     raise SimulationError(f"unsupported system function {name!r}")
 
 

@@ -21,9 +21,13 @@ Two execution engines produce those generators/callables:
 
 ``compiled`` (the default)
     process bodies are lowered once by :mod:`repro.hdl.compile` into
-    nested Python closures that only yield at real suspension points;
-    the compiled program is cached on the ``ProcSpec`` so re-simulating
-    the same elaborated design skips the compile pass too.
+    slot-indexed closure programs that only yield at real suspension
+    points.  Programs are scope-polymorphic: they are cached globally by
+    AST identity + structural signature and merely *re-bound* (a cheap
+    slot-table build) for each new elaboration, so pairing one driver
+    with many DUT designs compiles it once; the bound program is then
+    cached on the ``ProcSpec`` so re-simulating the same elaborated
+    design skips the bind too.
 ``interpret``
     the original recursive-generator statement walker
     (:meth:`Simulator._exec`), kept as the behavioural reference — the
@@ -40,7 +44,7 @@ from dataclasses import dataclass, field
 from typing import Iterable, Optional
 
 from . import ast
-from .compile import compile_spec, contains_loop
+from .compile import compile_spec
 from .elaborate import Design, Memory, ProcSpec, Scope, Signal, elaborate
 from .errors import (ElaborationError, FinishRequest, SimulationError,
                      SimulationLimit)
@@ -201,11 +205,8 @@ class Simulator:
                 self._add_comb(spec, runner)
             elif spec.kind == "initial":
                 assert spec.body is not None
-                if compiled and self._should_compile_initial(spec):
-                    gen = compile_spec(spec).run(self)
-                else:
-                    spec.interpreted_once = True
-                    gen = self._exec(spec.body, spec.scope)
+                gen = (compile_spec(spec).run(self) if compiled
+                       else self._exec(spec.body, spec.scope))
                 proc = Process(spec.label, gen)
                 self._processes.append(proc)
                 self.active.append(proc)
@@ -217,21 +218,6 @@ class Simulator:
                 self.active.append(proc)
             else:  # pragma: no cover - elaborator invariant
                 raise SimulationError(f"unknown process kind {spec.kind!r}")
-
-    @staticmethod
-    def _should_compile_initial(spec: ProcSpec) -> bool:
-        """Adaptive policy for ``initial`` bodies.
-
-        A loopy body amortizes its compile cost within one run; a
-        straight-line body executes each statement exactly once, so the
-        first simulation interprets it and only a re-simulation of the
-        same design (via the elaboration cache) compiles it.
-        """
-        if spec.compiled is not None or spec.interpreted_once:
-            return True
-        if spec.eager_compile is None:
-            spec.eager_compile = contains_loop(spec.body)
-        return spec.eager_compile
 
     def _interp_comb_runner(self, spec: ProcSpec):
         if spec.pyfunc is not None:

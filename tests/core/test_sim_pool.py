@@ -1,0 +1,104 @@
+"""Persistent simulation worker pool: reuse, growth, clean shutdown."""
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+from repro.codegen import render_driver
+from repro.core.simulation import (get_sim_pool, run_driver_batch,
+                                   shutdown_sim_pool, sim_pool_info)
+from repro.problems import get_task
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def _driver_and_duts():
+    task = get_task("cmb_eq4")
+    driver = render_driver(task, task.canonical_scenarios())
+    golden = task.golden_rtl()
+    # A second, distinct-but-valid DUT variant so the batch has two
+    # unique pairs (jobs only engage with > 1 unique DUT).
+    variant = golden.replace("endmodule", "\n// variant\nendmodule")
+    return driver, [golden, variant]
+
+
+class TestPoolLifecycle:
+    def test_pool_reused_across_batches(self):
+        """Two consecutive batch calls must run on the same workers
+        (same pool object, same worker PIDs) — the per-batch spin-up is
+        gone."""
+        shutdown_sim_pool()
+        driver, duts = _driver_and_duts()
+
+        runs1 = run_driver_batch(driver, duts, jobs=2)
+        info1 = sim_pool_info()
+        assert all(run.ok for run in runs1)
+        assert info1["alive"] and info1["pids"]
+
+        runs2 = run_driver_batch(driver, list(reversed(duts)), jobs=2)
+        info2 = sim_pool_info()
+        assert all(run.ok for run in runs2)
+        assert info2["pids"] == info1["pids"]
+
+    def test_pool_grows_monotonically(self):
+        shutdown_sim_pool()
+        pool1 = get_sim_pool(1)
+        assert get_sim_pool(1) is pool1
+        pool3 = get_sim_pool(3)
+        assert pool3 is not pool1
+        assert sim_pool_info()["workers"] == 3
+        # A smaller request reuses the larger pool.
+        assert get_sim_pool(2) is pool3
+        shutdown_sim_pool()
+        assert not sim_pool_info()["alive"]
+
+    def test_shutdown_is_idempotent(self):
+        shutdown_sim_pool()
+        shutdown_sim_pool()
+        assert not sim_pool_info()["alive"]
+        # And the pool comes back after a shutdown.
+        driver, duts = _driver_and_duts()
+        runs = run_driver_batch(driver, duts, jobs=2)
+        assert all(run.ok for run in runs)
+        assert sim_pool_info()["alive"]
+
+    def test_worker_pids_differ_from_parent(self):
+        shutdown_sim_pool()
+        pool = get_sim_pool(2)
+        pids = {pool.submit(os.getpid).result() for _ in range(4)}
+        assert os.getpid() not in pids
+        info = sim_pool_info()
+        assert pids <= set(info["pids"]) or info["pids"] == ()
+
+    def test_batch_results_match_serial(self):
+        driver, duts = _driver_and_duts()
+        serial = run_driver_batch(driver, duts, jobs=1)
+        pooled = run_driver_batch(driver, duts, jobs=2)
+        assert [r.status for r in serial] == [r.status for r in pooled]
+        assert [[rec.values for rec in r.records] for r in serial] \
+            == [[rec.values for rec in r.records] for r in pooled]
+
+
+def test_atexit_shutdown_is_clean():
+    """A process that used the persistent pool must exit cleanly (the
+    atexit hook tears the workers down; nothing hangs or leaks)."""
+    code = (
+        "from repro.codegen import render_driver\n"
+        "from repro.core.simulation import run_driver_batch\n"
+        "from repro.problems import get_task\n"
+        "task = get_task('cmb_eq4')\n"
+        "driver = render_driver(task, task.canonical_scenarios())\n"
+        "golden = task.golden_rtl()\n"
+        "variant = golden.replace('endmodule', '\\n//v\\nendmodule')\n"
+        "runs = run_driver_batch(driver, [golden, variant], jobs=2)\n"
+        "assert all(run.ok for run in runs)\n"
+        "print('POOL_OK')\n"
+    )
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src")
+    proc = subprocess.run([sys.executable, "-c", code], env=env,
+                          cwd=REPO_ROOT, capture_output=True, text=True,
+                          timeout=120)
+    assert proc.returncode == 0, proc.stderr
+    assert "POOL_OK" in proc.stdout

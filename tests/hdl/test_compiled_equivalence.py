@@ -11,9 +11,7 @@ import pytest
 
 from repro.codegen import render_driver
 from repro.hdl import simulate
-from repro.hdl.elaborate import elaborate
-from repro.hdl.parser import parse_source_cached
-from repro.hdl.simulator import Simulator
+from repro.hdl.compile import clear_program_cache, program_cache_stats
 from repro.problems import load_dataset
 
 MAX_TIME = 2_000_000
@@ -34,37 +32,34 @@ def snapshot(result):
     }
 
 
-def _simulate_fully_compiled(src, top, seed):
-    """Compiled run with the adaptive-initial policy bypassed.
-
-    A fresh ``simulate(engine="compiled")`` interprets straight-line
-    ``initial`` bodies on their first (only) run; production re-runs via
-    the elaboration cache execute the *compiled* lowering of those
-    bodies, so the suite must cover it explicitly.
-    """
-    design = elaborate(parse_source_cached(src), top)
-    for spec in design.processes:
-        if spec.kind == "initial":
-            spec.interpreted_once = True
-    return Simulator(design, max_time=MAX_TIME, max_stmts=MAX_STMTS,
-                     seed=seed, engine="compiled").run()
-
-
 def engine_snapshots(src, top="tb", seed=0):
-    """The interpreter, first-run compiled, and fully-compiled runs."""
+    """The interpreter, fresh-compiled, and shared-program-rebound runs.
+
+    The second compiled run elaborates the same (parse-cached) AST
+    afresh, so its processes hit the shared slot-program cache and only
+    *rebind* — the path every production re-pairing of a driver with a
+    new DUT takes — and must behave identically to the first compile.
+    """
     interp = snapshot(simulate(src, top, max_time=MAX_TIME,
                                max_stmts=MAX_STMTS, seed=seed,
                                engine="interpret"))
+    clear_program_cache()
     compiled = snapshot(simulate(src, top, max_time=MAX_TIME,
                                  max_stmts=MAX_STMTS, seed=seed,
                                  engine="compiled"))
-    forced = snapshot(_simulate_fully_compiled(src, top, seed))
-    return interp, compiled, forced
+    before = program_cache_stats()
+    rebound = snapshot(simulate(src, top, max_time=MAX_TIME,
+                                max_stmts=MAX_STMTS, seed=seed,
+                                engine="compiled"))
+    after = program_cache_stats()
+    assert after["programs_shared"] > before["programs_shared"], \
+        "rebound run did not exercise the shared-program cache"
+    return interp, compiled, rebound
 
 
 def both_engines(src, top="tb", seed=0):
-    interp, compiled, forced = engine_snapshots(src, top, seed)
-    assert compiled == forced, "adaptive vs fully-compiled divergence"
+    interp, compiled, rebound = engine_snapshots(src, top, seed)
+    assert compiled == rebound, "fresh-compile vs shared-rebind divergence"
     return interp, compiled
 
 

@@ -1,0 +1,306 @@
+"""Differential fuzzing: random HDL programs through every engine path.
+
+A seeded generator produces small valid-by-construction programs
+covering the supported surface — procedural blocks (delays, event
+controls, loops, case/ternary), combinational logic (continuous
+assigns, ``always @(*)`` case blocks), hierarchy (a child module
+instance, both net-aliased and expression-bound ports), 4-state
+``x``/``z`` literals, memories and ``$display`` formatting.  Each
+program is executed three ways:
+
+1. the ``interpret`` reference engine,
+2. the ``compiled`` engine with a cold program cache (first compile of
+   the slot-indexed programs),
+3. the ``compiled`` engine again on a fresh elaboration, which must hit
+   the shared-program cache and only *rebind* the slot tables — the
+   path every production driver/DUT re-pairing takes.
+
+All three must produce identical observable traces: stdout, emitted
+files, finish flag, final simulation time and the final (VCD-visible)
+value of every signal and memory word.  When a program errors, all
+engines must raise the same error class.
+
+The corpus is deterministic under a fixed seed.  Budget knobs:
+
+- ``REPRO_FUZZ_PROGRAMS`` — corpus size (default 200; CI smoke uses a
+  smaller budget, long fuzz runs a larger one),
+- ``REPRO_FUZZ_SEED`` — base seed.
+"""
+
+import os
+import random
+
+import pytest
+
+from repro.hdl import simulate
+from repro.hdl.compile import clear_program_cache, program_cache_stats
+from repro.hdl.errors import HdlError
+
+N_PROGRAMS = int(os.environ.get("REPRO_FUZZ_PROGRAMS", "200"))
+BASE_SEED = int(os.environ.get("REPRO_FUZZ_SEED", "1729"))
+MAX_TIME = 100_000
+MAX_STMTS = 400_000
+
+# Aggregated across the parametrized cases; checked by the meta test.
+_corpus_outcomes: dict[int, tuple[bool, bool]] = {}
+
+
+# ----------------------------------------------------------------------
+# Program generator
+# ----------------------------------------------------------------------
+class ProgramGen:
+    """Random-but-valid Verilog programs over the supported subset."""
+
+    UNOPS = ("~", "-", "&", "|", "^", "!", "~&", "~|")
+    BINOPS = ("+", "-", "*", "/", "%", "&", "|", "^", "<<", ">>",
+              "==", "!=", "<", "<=", ">", ">=", "&&", "||", "===", "!==")
+    WIDTHS = (1, 2, 3, 4, 8)
+
+    def __init__(self, rng: random.Random):
+        self.rng = rng
+
+    def literal(self, width: int) -> str:
+        rng = self.rng
+        roll = rng.random()
+        if roll < 0.3:
+            # Binary literal, sometimes with x/z digits (z reads as x).
+            digits = "".join(
+                rng.choice("xz") if rng.random() < 0.25 else rng.choice("01")
+                for _ in range(width))
+            return f"{width}'b{digits}"
+        if roll < 0.65:
+            return f"{width}'d{rng.randrange(1 << min(width, 16))}"
+        return f"{width}'h{rng.randrange(1 << min(width, 16)):x}"
+
+    def expr(self, nets: list[tuple[str, int]], depth: int) -> str:
+        rng = self.rng
+        if depth <= 0 or rng.random() < 0.3:
+            if nets and rng.random() < 0.65:
+                name, width = rng.choice(nets)
+                roll = rng.random()
+                if roll < 0.15 and width > 1:
+                    return f"{name}[{rng.randrange(width)}]"
+                if roll < 0.3 and width > 2:
+                    lsb = rng.randrange(width - 1)
+                    msb = rng.randrange(lsb, width)
+                    return f"{name}[{msb}:{lsb}]"
+                return name
+            return self.literal(rng.choice(self.WIDTHS))
+        roll = rng.random()
+        if roll < 0.15:
+            return f"({rng.choice(self.UNOPS)} {self.expr(nets, depth - 1)})"
+        if roll < 0.7:
+            return (f"({self.expr(nets, depth - 1)} {rng.choice(self.BINOPS)}"
+                    f" {self.expr(nets, depth - 1)})")
+        if roll < 0.82:
+            return (f"({self.expr(nets, depth - 1)} ?"
+                    f" {self.expr(nets, depth - 1)} :"
+                    f" {self.expr(nets, depth - 1)})")
+        if roll < 0.94:
+            parts = ", ".join(self.expr(nets, depth - 1)
+                              for _ in range(rng.randrange(2, 4)))
+            return f"{{{parts}}}"
+        return f"{{{rng.randrange(1, 4)}{{{self.expr(nets, 0)}}}}}"
+
+
+def generate_program(seed: int) -> str:
+    rng = random.Random(seed)
+    g = ProgramGen(rng)
+    lines: list[str] = []
+
+    # Hierarchy: a child module combining its inputs combinationally.
+    use_child = rng.random() < 0.6
+    child_w = rng.choice((2, 4, 8))
+    if use_child:
+        body = g.expr([("a", child_w), ("b", child_w)], 2)
+        lines += [
+            f"module child(input [{child_w - 1}:0] a,"
+            f" input [{child_w - 1}:0] b,"
+            f" output [{child_w - 1}:0] y);",
+            f"    assign y = {body};",
+            "endmodule",
+            "",
+        ]
+
+    lines.append("module tb;")
+    lines.append("    reg clk;")
+    lines.append("    integer i;")
+
+    regs: list[tuple[str, int]] = []
+    for index in range(rng.randrange(2, 5)):
+        width = rng.choice(g.WIDTHS)
+        signed = "signed " if rng.random() < 0.25 else ""
+        name = f"r{index}"
+        lines.append(f"    reg {signed}[{width - 1}:0] {name};")
+        regs.append((name, width))
+
+    readable = list(regs)
+    for index in range(rng.randrange(1, 4)):
+        width = rng.choice(g.WIDTHS)
+        name = f"w{index}"
+        lines.append(f"    wire [{width - 1}:0] {name} ="
+                     f" {g.expr(readable, 2)};")
+        readable.append((name, width))
+
+    if use_child:
+        lines.append(f"    wire [{child_w - 1}:0] cy;")
+        if rng.random() < 0.5 and len(regs) >= 2:
+            # Net-aliased ports: plain identifiers of matching width
+            # when available, otherwise expressions.
+            a_expr = g.expr(readable, 1)
+            b_expr = g.expr(readable, 1)
+        else:
+            a_expr = g.expr(readable, 1)
+            b_expr = g.literal(child_w)
+        lines.append(f"    child c0(.a({a_expr}), .b({b_expr}), .y(cy));")
+        readable.append(("cy", child_w))
+
+    # Clocked state register.
+    q_w = rng.choice((2, 4, 8))
+    lines.append(f"    reg [{q_w - 1}:0] q;")
+    edge = rng.choice(("posedge", "negedge"))
+    if rng.random() < 0.5:
+        lines.append(f"    always @({edge} clk) q <= {g.expr(readable, 2)};")
+    else:
+        lines.append(f"    always @({edge} clk) begin")
+        lines.append(f"        if ({g.expr(readable, 1)})"
+                     f" q <= {g.expr(readable, 2)};")
+        lines.append(f"        else q <= {g.expr(readable, 1)};")
+        lines.append("    end")
+    sampled = readable + [("q", q_w)]
+
+    # Combinational case block.
+    m_w = rng.choice((2, 4, 8))
+    lines.append(f"    reg [{m_w - 1}:0] m;")
+    subj_name, subj_w = rng.choice(regs)
+    case_kind = rng.choice(("case", "casez", "casex"))
+    lines.append("    always @(*) begin")
+    lines.append(f"        {case_kind} ({subj_name})")
+    for _ in range(rng.randrange(1, 4)):
+        lines.append(f"            {g.literal(subj_w)}:"
+                     f" m = {g.expr(sampled, 1)};")
+    lines.append(f"            default: m = {g.expr(sampled, 1)};")
+    lines.append("        endcase")
+    lines.append("    end")
+    observable = sampled + [("m", m_w)]
+
+    # Optional memory exercised from the driver.
+    use_mem = rng.random() < 0.4
+    if use_mem:
+        mem_w = rng.choice((4, 8))
+        lines.append(f"    reg [{mem_w - 1}:0] mem [0:7];")
+
+    # Clock generator.
+    half = rng.randrange(1, 6)
+    lines.append("    initial begin clk = 0;"
+                 f" forever #{half} clk = ~clk; end")
+
+    # Driver.
+    fmt = " ".join(f"{name}=%b" for name, _ in observable)
+    args = ", ".join(name for name, _ in observable)
+    lines.append("    initial begin")
+    for name, width in regs:
+        lines.append(f"        {name} = {g.literal(width)};")
+    if use_mem:
+        lines.append("        for (i = 0; i < 8; i = i + 1)"
+                     f" mem[i] = {g.expr(sampled, 1)};")
+    for step in range(rng.randrange(2, 6)):
+        if rng.random() < 0.55:
+            lines.append(f"        #{rng.randrange(1, 15)};")
+        else:
+            lines.append(
+                f"        @({rng.choice(('posedge', 'negedge'))} clk);")
+        name, _ = rng.choice(regs)
+        lines.append(f"        {name} = {g.expr(sampled, 2)};")
+        if rng.random() < 0.4:
+            other, other_w = rng.choice(regs)
+            lines.append(f"        {other} = {g.literal(other_w)};")
+        lines.append(f'        $display("s{step}: {fmt}", {args});')
+    loop_roll = rng.random()
+    target, target_w = rng.choice(regs)
+    if loop_roll < 0.33:
+        lines.append(f"        for (i = 0; i < {rng.randrange(2, 7)};"
+                     " i = i + 1)")
+        lines.append(f"            {target} = {target} + i[{target_w - 1}:0];")
+    elif loop_roll < 0.66:
+        lines.append(f"        repeat ({rng.randrange(2, 6)})"
+                     f" {target} = {g.expr(sampled, 1)};")
+    if use_mem:
+        lines.append(f'        $display("mem %b %b", mem[2], mem[5]);')
+    lines.append(f'        #1 $display("end: {fmt} t=%0t", {args}, $time);')
+    lines.append("        $finish;")
+    lines.append("    end")
+    lines.append("endmodule")
+    return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# Execution + comparison
+# ----------------------------------------------------------------------
+def snapshot(result) -> dict:
+    design = result.design
+    return {
+        "finished": result.finished,
+        "sim_time": result.sim_time,
+        "stdout": list(result.stdout),
+        "files": {name: list(lines) for name, lines in result.files.items()},
+        "signals": {name: sig.value.bits()
+                    for name, sig in design.signals.items()},
+        "memories": {name: [word.bits() for word in mem.words]
+                     for name, mem in design.memories.items()},
+    }
+
+
+def run_engine(src: str, engine: str):
+    try:
+        return snapshot(simulate(src, "tb", max_time=MAX_TIME,
+                                 max_stmts=MAX_STMTS, engine=engine))
+    except HdlError as exc:
+        return ("error", type(exc).__name__)
+
+
+def seed_for(index: int) -> int:
+    return (BASE_SEED << 20) + index
+
+
+@pytest.mark.parametrize("index", range(N_PROGRAMS))
+def test_differential_fuzz(index):
+    src = generate_program(seed_for(index))
+
+    interp = run_engine(src, "interpret")
+
+    clear_program_cache()
+    fresh = run_engine(src, "compiled")
+
+    before = program_cache_stats()
+    rebound = run_engine(src, "compiled")
+    after = program_cache_stats()
+
+    assert fresh == rebound, "fresh-compile vs shared-rebind divergence"
+    assert interp == fresh, "interpreter vs compiled divergence"
+    ok = not (isinstance(interp, tuple) and interp[0] == "error")
+    if ok:
+        assert after["programs_shared"] > before["programs_shared"], \
+            "second compiled run did not reuse shared programs"
+    _corpus_outcomes[index] = (ok, ok and bool(interp["stdout"]))
+
+
+def test_generator_is_deterministic():
+    seed = seed_for(0)
+    assert generate_program(seed) == generate_program(seed)
+    assert generate_program(seed) != generate_program(seed + 1)
+
+
+def test_corpus_not_vacuous():
+    """Meta-check: the corpus genuinely exercises the simulator.
+
+    Runs after the parametrized cases; skipped when they were filtered
+    out (e.g. ``-k``).
+    """
+    if len(_corpus_outcomes) < N_PROGRAMS:
+        pytest.skip("fuzz corpus did not run in full")
+    finished = sum(1 for ok, _ in _corpus_outcomes.values() if ok)
+    printed = sum(1 for _, out in _corpus_outcomes.values() if out)
+    assert finished >= 0.9 * N_PROGRAMS, \
+        f"only {finished}/{N_PROGRAMS} fuzz programs ran cleanly"
+    assert printed >= 0.9 * N_PROGRAMS

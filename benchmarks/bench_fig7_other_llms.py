@@ -13,7 +13,7 @@ from repro.eval.campaign import (METHOD_AUTOBENCH, METHOD_BASELINE,
                                  METHOD_CORRECTBENCH)
 from repro.eval.metrics import level_stat
 
-from ._config import FULL, JOBS, bench_seeds, bench_tasks, emit
+from ._config import JOBS, bench_seeds, bench_tasks, emit
 
 MODELS = ("GPT-4o", "Claude-3.5-Sonnet", "GPT-4o-mini")
 

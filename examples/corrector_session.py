@@ -59,7 +59,7 @@ def main() -> None:
         print()
         testbench = outcome.testbench
         report = validator.validate(testbench)
-        print(f"re-validation: "
+        print("re-validation: "
               f"{'correct' if report.verdict else 'still wrong'}")
         print()
 

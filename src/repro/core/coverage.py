@@ -27,7 +27,7 @@ from typing import Sequence
 
 from ..problems.model import TaskSpec
 from .artifacts import HybridTestbench
-from .simulation import Record, run_driver
+from .simulation import Record
 from .validator import ScenarioValidator, ValidationReport
 
 

@@ -81,7 +81,7 @@ def scenario_fix_prompt(missing: Sequence[int], artifact: str) -> str:
 
 def rtl_prompt(spec: str, sample_index: int) -> str:
     return (
-        f"Implement the module described below (attempt "
+        "Implement the module described below (attempt "
         f"{sample_index + 1}). Reply with one verilog code block "
         "containing the complete `top_module`.\n\n"
         f"[RTL SPEC]\n{spec}\n"

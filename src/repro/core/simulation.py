@@ -6,7 +6,11 @@ reuse on top of it:
 
 - **parse cache** — text-keyed (:func:`parse_cached`); the validator
   simulates the same driver against 20 RTL samples and AutoEval runs the
-  same testbench against 10 mutants.
+  same testbench against 10 mutants.  A text-keyed *tokenize* cache sits
+  underneath (:func:`repro.hdl.lexer.tokenize_cached`): mutants that
+  only perturb a few tokens still re-lex (quickly, through the
+  master-regex tokenizer), but repeated sources — including sources
+  that lex and then fail to *parse* — skip the lexer entirely.
 - **elaboration cache** — :func:`design_template` keys a fully
   elaborated + compiled design by ``(source_text, top)``.  The cached
   :class:`DesignTemplate` owns the design *structure* (signals, process
@@ -48,10 +52,16 @@ from ..hdl.compile import clear_program_cache, program_cache_stats
 from ..hdl.elaborate import Design, elaborate
 from ..hdl.errors import (ElaborationError, HdlError, SimulationError,
                           SimulationLimit, VerilogSyntaxError)
+from ..hdl.lexer import clear_tokenize_cache, tokenize_cache_stats
 from ..hdl.parser import parse_source_cached
-from ..hdl.simulator import (ENGINE_COMPILED, ENGINE_INTERPRET, ENGINES,
-                             SimulationResult, Simulator,
-                             get_default_engine, set_default_engine)
+from ..hdl.simulator import SimulationResult, Simulator, get_default_engine
+# Engine selection lives in repro.hdl.simulator (the single source of
+# truth); these are re-exported (redundant-alias form) for callers that
+# configure simulation at this layer (campaigns, CLI, benchmarks).
+from ..hdl.simulator import ENGINE_COMPILED as ENGINE_COMPILED
+from ..hdl.simulator import ENGINE_INTERPRET as ENGINE_INTERPRET
+from ..hdl.simulator import ENGINES as ENGINES
+from ..hdl.simulator import set_default_engine as set_default_engine
 from ..codegen.driver import DUMP_FILE
 
 # Failure taxonomy used throughout evaluation:
@@ -62,11 +72,6 @@ OK = "ok"
 
 _SIM_MAX_TIME = 2_000_000
 _SIM_MAX_STMTS = 4_000_000
-
-
-# Engine selection lives in repro.hdl.simulator (the single source of
-# truth); get_default_engine / set_default_engine are re-exported above
-# for callers that configure simulation at this layer (campaigns, CLI).
 
 
 # ----------------------------------------------------------------------
@@ -166,7 +171,7 @@ _failure_cache: "OrderedDict[tuple, tuple]" = OrderedDict()
 _failure_lock = threading.Lock()
 _failure_stats = {"hits": 0, "recorded": 0}
 
-_FAILURE_ATTRS = ("line", "column")
+_FAILURE_ATTRS = ("line", "column", "bare_message")
 
 
 def _raise_cached_failure(key: tuple) -> None:
@@ -255,9 +260,11 @@ def clear_template_caches() -> None:
 
 def clear_simulation_caches() -> None:
     """Drop every caching layer (benchmark cold starts): templates,
-    cached failures, parsed ASTs and shared compiled programs."""
+    cached failures, parsed ASTs, token streams and shared compiled
+    programs."""
     clear_template_caches()
     parse_source_cached.cache_clear()
+    clear_tokenize_cache()
     clear_program_cache()
 
 
@@ -271,6 +278,7 @@ def simulation_cache_stats() -> dict:
                    "recorded": _failure_stats["recorded"],
                    "size": len(_failure_cache)}
     return {
+        "tokenize": tokenize_cache_stats(),
         "parse": {"hits": parse_info.hits, "misses": parse_info.misses,
                   "size": parse_info.currsize},
         "design": {"hits": design_info.hits, "misses": design_info.misses,

@@ -13,7 +13,7 @@ builds the RS matrix, and applies a validation criterion:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from ..llm.base import LLMClient, MeteredClient
 from ..problems.model import TaskSpec
@@ -87,7 +87,7 @@ def decide(matrix: RSMatrix, criterion: Criterion) -> ValidationReport:
             > criterion.green_row_override):
         return ValidationReport(
             True, correct=matrix.scenario_indexes, matrix=matrix,
-            note=(f"green-row override: "
+            note=("green-row override: "
                   f"{matrix.fully_green_row_fraction():.0%} rows fully "
                   "green"))
 

@@ -10,7 +10,6 @@ from __future__ import annotations
 from typing import Mapping, Sequence
 
 from ..util import format_ratio
-from .autoeval import EvalLevel
 from .campaign import (ALL_METHODS, METHOD_AUTOBENCH, METHOD_BASELINE,
                        METHOD_CORRECTBENCH, CampaignResult)
 from .metrics import (GROUPS, LEVELS, contribution_stats, level_breakdown,

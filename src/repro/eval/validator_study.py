@@ -17,7 +17,9 @@ from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 
 from ..core.generator import AutoBenchGenerator
-from ..core.validator import CRITERIA, Criterion, ScenarioValidator  # noqa: F401 - Criterion is part of the API
+# Criterion is re-exported as part of this module's API.
+from ..core.validator import (CRITERIA, Criterion,  # noqa: F401
+                              ScenarioValidator)
 from ..llm.base import MeteredClient, UsageMeter
 from ..llm.profiles import get_profile
 from ..llm.synthetic import SyntheticLLM

@@ -5,12 +5,18 @@ CorrectBench system.  Execution is a four-stage pipeline::
 
     source text --parse--> AST --elaborate--> Design --compile--> closures --run--> SimulationResult
 
-**parse** (:mod:`repro.hdl.parser`)
+**parse** (:mod:`repro.hdl.lexer` + :mod:`repro.hdl.parser`)
     Lexes and parses the supported Verilog subset into immutable
-    (frozen-dataclass) AST nodes.  :func:`parse_source_cached` is the
+    (frozen-dataclass) AST nodes.  Lexing runs through a single-pass
+    *master-regex* tokenizer by default; the original
+    character-at-a-time lexer is kept as a behavioural oracle
+    (``REPRO_LEXER=reference`` / :func:`~repro.hdl.lexer.set_default_lexer`),
+    and the lexer differential fuzz suite pins both to identical token
+    streams and error positions.  :func:`parse_source_cached` is the
     text-keyed parse cache: identical source text is parsed once
     process-wide, and the shared AST is safe because nodes are
-    immutable.
+    immutable.  A token-stream cache sits underneath it, so sources
+    that lex but fail to parse skip the lexer on re-entry.
 
 **elaborate** (:mod:`repro.hdl.elaborate`)
     Resolves parameters, flattens the instance hierarchy and produces a
@@ -59,6 +65,9 @@ Public surface:
 
 from .errors import (ElaborationError, HdlError, SimulationError,
                      SimulationLimit, VerilogSyntaxError)
+from .lexer import (LEXER_MASTER, LEXER_REFERENCE, LEXERS,
+                    get_default_lexer, set_default_lexer, tokenize,
+                    tokenize_cached)
 from .logic import Logic
 from .parser import parse_module, parse_source, parse_source_cached
 from .simulator import (ENGINE_COMPILED, ENGINE_INTERPRET, ENGINES,
@@ -70,6 +79,9 @@ __all__ = [
     "ENGINE_COMPILED",
     "ENGINE_INTERPRET",
     "ENGINES",
+    "LEXER_MASTER",
+    "LEXER_REFERENCE",
+    "LEXERS",
     "ElaborationError",
     "HdlError",
     "Logic",
@@ -79,10 +91,14 @@ __all__ = [
     "Simulator",
     "VerilogSyntaxError",
     "compile_design",
+    "get_default_lexer",
     "parse_module",
     "parse_source",
     "parse_source_cached",
+    "set_default_lexer",
     "simulate",
+    "tokenize",
+    "tokenize_cached",
     "unparse_expr",
     "unparse_module",
     "unparse_source",

@@ -53,8 +53,8 @@ from typing import Callable
 from . import ast
 from .elaborate import Memory, ProcSpec, Signal
 from .errors import FinishRequest, HdlError, SimulationError
-from .eval import (SLOT_DESIGN, SLOT_LIT, SLOT_OBJ, SLOT_REQ, SLOT_SINK,
-                   LowerCtx, case_match, compile_coerced, compile_expr,
+from .eval import (SLOT_DESIGN, SLOT_LIT, SLOT_OBJ, SLOT_REQ, LowerCtx,
+                   case_match, compile_coerced, compile_expr,
                    compile_expr_deferred, signed_of, structural_fact)
 from .logic import Logic
 
@@ -920,7 +920,7 @@ def _compile_comb_body(spec: ProcSpec, ctx: LowerCtx):
     def run_guarded(sim, frame):
         for _ in body(sim, frame):
             raise SimulationError(
-                f"delay/event control inside combinational block "
+                "delay/event control inside combinational block "
                 f"{label!r}")
     return run_guarded
 

@@ -12,11 +12,18 @@ class VerilogSyntaxError(HdlError):
 
     The AutoEval ``Eval0`` criterion is defined as "no syntax error"; this
     exception is the signal it keys on.
+
+    ``line``/``column`` are 1-based (0 meaning "unknown"); both lexer
+    implementations must agree on them exactly — the differential suite
+    compares ``(line, column, bare_message)`` across lexers, where
+    ``bare_message`` is the diagnostic before the ``line L:C:`` prefix
+    is baked into ``args``.
     """
 
     def __init__(self, message: str, line: int = 0, column: int = 0):
         self.line = line
         self.column = column
+        self.bare_message = message
         if line:
             message = f"line {line}:{column}: {message}"
         super().__init__(message)

@@ -324,16 +324,16 @@ def _eval_system_call(expr: ast.SystemCall, scope: "Scope") -> Logic:
 def case_match(kind: str, subject: Logic, label: Logic) -> bool:
     """``case``/``casez``/``casex`` label comparison semantics."""
     w = max(subject.width, label.width)
-    s, l = subject.resize(w), label.resize(w)
+    s, lab = subject.resize(w), label.resize(w)
     if kind == "case":
-        return s.val == l.val and s.xmask == l.xmask
-    wildcard = l.xmask
+        return s.val == lab.val and s.xmask == lab.xmask
+    wildcard = lab.xmask
     if kind == "casex":
         wildcard |= s.xmask
     elif s.xmask & ~wildcard:
         return False  # casez: unknown subject bits never match
     mask = ((1 << w) - 1) & ~wildcard
-    return (s.val & mask) == (l.val & mask)
+    return (s.val & mask) == (lab.val & mask)
 
 
 # ----------------------------------------------------------------------
@@ -525,7 +525,7 @@ class LowerCtx:
         result = value.to_uint()
         if result is None:
             raise ElaborationError(
-                f"expression is not a defined constant in "
+                "expression is not a defined constant in "
                 f"{self.scope.prefix or 'top'}")
         return result
 

@@ -3,10 +3,11 @@
 from __future__ import annotations
 
 from functools import lru_cache
+from typing import Sequence
 
 from . import ast
 from .errors import VerilogSyntaxError
-from .lexer import tokenize
+from .lexer import tokenize, tokenize_cached
 from .tokens import Token, TokenKind
 
 # Binary operator precedence, lowest first.  The ternary operator is handled
@@ -25,24 +26,44 @@ _BINARY_LEVELS: tuple[tuple[str, ...], ...] = (
     ("**",),
 )
 
-_UNARY_OPS = ("!", "~", "&", "~&", "|", "~|", "^", "~^", "^~", "+", "-")
+#: Operator -> precedence level, for the precedence-climbing expression
+#: parser (one loop instead of one recursive call per level).
+_BINARY_LEVEL: dict[str, int] = {
+    op: level for level, ops in enumerate(_BINARY_LEVELS) for op in ops
+}
+_MAX_BINARY_LEVEL = len(_BINARY_LEVELS)
+
+_UNARY_OPS = frozenset(
+    ("!", "~", "&", "~&", "|", "~|", "^", "~^", "^~", "+", "-"))
+
+# Bound once: TokenKind attribute lookups add up in the token helpers,
+# which run once or more per token on the cold-parse path.
+_PUNCT = TokenKind.PUNCT
+_KEYWORD = TokenKind.KEYWORD
+_IDENT = TokenKind.IDENT
+_EOF = TokenKind.EOF
 
 
 class Parser:
-    def __init__(self, tokens: list[Token]):
+    def __init__(self, tokens: Sequence[Token]):
         self.tokens = tokens
         self.pos = 0
 
     # ------------------------------------------------------------------
     # Token helpers
     # ------------------------------------------------------------------
+    # ``self.pos`` never passes the trailing EOF token (_advance stops
+    # there), so the zero-offset peek — the overwhelmingly common case —
+    # can index directly without clamping.
     def _peek(self, offset: int = 0) -> Token:
-        i = min(self.pos + offset, len(self.tokens) - 1)
-        return self.tokens[i]
+        if offset:
+            i = min(self.pos + offset, len(self.tokens) - 1)
+            return self.tokens[i]
+        return self.tokens[self.pos]
 
     def _advance(self) -> Token:
         tok = self.tokens[self.pos]
-        if tok.kind is not TokenKind.EOF:
+        if tok.kind is not _EOF:
             self.pos += 1
         return tok
 
@@ -51,33 +72,37 @@ class Parser:
         return VerilogSyntaxError(message, tok.line, tok.column)
 
     def _expect_punct(self, text: str) -> Token:
-        tok = self._peek()
-        if not tok.is_punct(text):
+        tok = self.tokens[self.pos]
+        if tok.kind is not _PUNCT or tok.text != text:
             raise self._error(f"expected {text!r}, found {tok.text!r}")
-        return self._advance()
+        self.pos += 1
+        return tok
 
     def _expect_keyword(self, word: str) -> Token:
-        tok = self._peek()
-        if not tok.is_keyword(word):
+        tok = self.tokens[self.pos]
+        if tok.kind is not _KEYWORD or tok.text != word:
             raise self._error(f"expected {word!r}, found {tok.text!r}")
-        return self._advance()
+        self.pos += 1
+        return tok
 
     def _expect_ident(self) -> str:
-        tok = self._peek()
-        if tok.kind is not TokenKind.IDENT:
+        tok = self.tokens[self.pos]
+        if tok.kind is not _IDENT:
             raise self._error(f"expected identifier, found {tok.text!r}")
-        self._advance()
+        self.pos += 1
         return tok.text
 
     def _accept_punct(self, text: str) -> bool:
-        if self._peek().is_punct(text):
-            self._advance()
+        tok = self.tokens[self.pos]
+        if tok.kind is _PUNCT and tok.text == text:
+            self.pos += 1
             return True
         return False
 
     def _accept_keyword(self, word: str) -> bool:
-        if self._peek().is_keyword(word):
-            self._advance()
+        tok = self.tokens[self.pos]
+        if tok.kind is _KEYWORD and tok.text == word:
+            self.pos += 1
             return True
         return False
 
@@ -86,7 +111,7 @@ class Parser:
     # ------------------------------------------------------------------
     def parse_source(self) -> ast.SourceFile:
         modules = []
-        while not self._peek().kind is TokenKind.EOF:
+        while self._peek().kind is not TokenKind.EOF:
             modules.append(self.parse_module())
         return ast.SourceFile(tuple(modules))
 
@@ -520,16 +545,24 @@ class Parser:
             return ast.Ternary(cond, then, other)
         return cond
 
-    def _parse_binary(self, level: int) -> ast.Expr:
-        if level >= len(_BINARY_LEVELS):
-            return self._parse_unary()
-        left = self._parse_binary(level + 1)
-        ops = _BINARY_LEVELS[level]
-        while self._peek().kind is TokenKind.PUNCT and self._peek().text in ops:
-            op = self._advance().text
+    def _parse_binary(self, min_level: int) -> ast.Expr:
+        # Precedence climbing: equivalent tree shape to the classic
+        # one-method-per-level cascade, but each operand costs one call
+        # instead of one call per precedence level.
+        left = self._parse_unary()
+        tokens = self.tokens
+        levels = _BINARY_LEVEL
+        punct = TokenKind.PUNCT
+        while True:
+            tok = tokens[self.pos]
+            if tok.kind is not punct:
+                return left
+            level = levels.get(tok.text)
+            if level is None or level < min_level:
+                return left
+            self.pos += 1
             right = self._parse_binary(level + 1)
-            left = ast.Binary(op, left, right)
-        return left
+            left = ast.Binary(tok.text, left, right)
 
     def _parse_unary(self) -> ast.Expr:
         tok = self._peek()
@@ -611,9 +644,12 @@ def parse_source_cached(source: str) -> ast.SourceFile:
     between callers is safe.  Evaluation pipelines re-parse the same
     driver/DUT text thousands of times (validator R/S matrices, AutoEval
     mutant runs); this cache makes re-parsing free.  Parse *errors* are
-    not cached — a failing text re-raises on every call.
+    not cached — a failing text re-raises on every call — but the
+    token-stream cache underneath (:func:`~repro.hdl.lexer.tokenize_cached`)
+    still absorbs the lexing half of those retries, so a source that
+    *lexes* but does not parse skips the tokenizer on re-entry.
     """
-    return parse_source(source)
+    return Parser(tokenize_cached(source)).parse_source()
 
 
 def parse_module(source: str) -> ast.Module:

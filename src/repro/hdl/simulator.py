@@ -46,11 +46,10 @@ from typing import Iterable, Optional
 from . import ast
 from .compile import compile_spec
 from .elaborate import Design, Memory, ProcSpec, Scope, Signal, elaborate
-from .errors import (ElaborationError, FinishRequest, SimulationError,
-                     SimulationLimit)
-from .eval import case_match, eval_expr, signed_of, width_of
+from .errors import FinishRequest, SimulationError, SimulationLimit
+from .eval import case_match, eval_expr, signed_of
 from .logic import Logic
-from .parser import parse_source, parse_source_cached
+from .parser import parse_source_cached
 
 DEFAULT_MAX_TIME = 4_000_000
 DEFAULT_MAX_STMTS = 8_000_000
@@ -229,7 +228,7 @@ class Simulator:
             gen = sim._exec(_body, _scope)
             for _ in gen:
                 raise SimulationError(
-                    f"delay/event control inside combinational block "
+                    "delay/event control inside combinational block "
                     f"{spec.label!r}")
         return runner
 

@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from enum import Enum, auto
 
 
@@ -36,19 +35,42 @@ PUNCTUATIONS = (
 )
 
 
-@dataclass(frozen=True)
 class Token:
-    kind: TokenKind
-    text: str
-    line: int
-    column: int
-    value: object = None
+    """One lexed token.
+
+    A plain ``__slots__`` class rather than a (frozen) dataclass: the
+    lexer creates one per token on the cold-parse path, and dataclass
+    ``__init__``/``object.__setattr__`` overhead dominated construction.
+    Instances are immutable by convention — they are shared freely
+    between cached token streams and parser runs.
+    """
+
+    __slots__ = ("kind", "text", "line", "column", "value")
+
+    def __init__(self, kind: TokenKind, text: str, line: int, column: int,
+                 value: object = None):
+        self.kind = kind
+        self.text = text
+        self.line = line
+        self.column = column
+        self.value = value
 
     def is_punct(self, text: str) -> bool:
         return self.kind is TokenKind.PUNCT and self.text == text
 
     def is_keyword(self, word: str) -> bool:
         return self.kind is TokenKind.KEYWORD and self.text == word
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Token):
+            return NotImplemented
+        return (self.kind is other.kind and self.text == other.text
+                and self.line == other.line and self.column == other.column
+                and self.value == other.value)
+
+    def __hash__(self) -> int:
+        return hash((self.kind, self.text, self.line, self.column,
+                     self.value))
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"Token({self.kind.name}, {self.text!r}, L{self.line})"

@@ -303,7 +303,7 @@ class SyntheticLLM:
         lines = ["Step 1 — why the scenarios fail:"]
         if entry is not None and entry.plan.functional:
             for description in entry.plan.describe():
-                lines.append(f"- The checker likely suffers from a "
+                lines.append("- The checker likely suffers from a "
                              f"{description}.")
         else:
             lines.append("- The failing scenarios suggest the reference "

@@ -25,7 +25,7 @@ import random
 from itertools import product
 from typing import Any, Callable, Iterable, Mapping, Sequence
 
-from ..model import CMB, SEQ, Port, Scenario, TaskSpec, Variant
+from ..model import SEQ, Port, Scenario, TaskSpec, Variant
 
 Params = Mapping[str, Any]
 
@@ -89,13 +89,13 @@ def model_class_source(task_id: str, init_body: str, step_body: str) -> str:
     if not step_body:
         raise ValueError("model step body must not be empty")
     return (
-        f"class RefModel:\n"
+        "class RefModel:\n"
         f'    """Reference model for task {task_id}."""\n'
-        f"\n"
-        f"    def __init__(self):\n"
+        "\n"
+        "    def __init__(self):\n"
         f"{_indent(init_body, '        ')}\n"
-        f"\n"
-        f"    def step(self, inputs):\n"
+        "\n"
+        "    def step(self, inputs):\n"
         f"{_indent(step_body, '        ')}\n"
     )
 

@@ -3,8 +3,8 @@
 from __future__ import annotations
 
 from ..model import CMB
-from ._base import (build_task, cmb_scenarios, exhaustive_cmb_scenarios,
-                    in_port, out_port, scenario, variant)
+from ._base import (build_task, exhaustive_cmb_scenarios, in_port,
+                    out_port, scenario, variant)
 
 FAMILY = "adder"
 
@@ -105,7 +105,7 @@ def _wide_adder_task(task_id: str, width: int, has_cout: bool,
             return f"assign sum_o = {terms};"
         if p["cout_mode"] == "zero":
             return (f"assign sum_o = {terms};\n"
-                    f"assign cout = 1'b0;")
+                    "assign cout = 1'b0;")
         return f"assign {{cout, sum_o}} = {terms};"
 
     def model_step(p):
@@ -172,7 +172,7 @@ def _addsub_task(task_id: str, width: int, difficulty: float):
 
     def spec_body(p):
         return (f"A {width}-bit adder-subtractor: out = a + b when sub is "
-                f"0 and out = a - b when sub is 1 (two's complement, "
+                "0 and out = a - b when sub is 1 (two's complement, "
                 f"modulo 2^{width}).")
 
     def rtl_body(p):
@@ -189,7 +189,7 @@ def _addsub_task(task_id: str, width: int, difficulty: float):
         return (
             f"a = inputs['a'] & 0x{mask:X}\n"
             f"b = inputs['b'] & 0x{mask:X}\n"
-            f"if inputs['sub'] & 1:\n"
+            "if inputs['sub'] & 1:\n"
             f"    return {{'out': ({second}) & 0x{mask:X}}}\n"
             f"return {{'out': ({first}) & 0x{mask:X}}}"
         )

@@ -42,7 +42,7 @@ def _alu_task(task_id: str, width: int, op_list: tuple[str, ...],
         for k, op_name in enumerate(p["ops"]):
             lines.append(f"        {sel_width}'d{k}: result = "
                          f"{_OP_EXPRS[op_name][0]};")
-        lines.append(f"        default: result = "
+        lines.append("        default: result = "
                      f"{_OP_EXPRS[p['ops'][0]][0]};")
         lines.extend(["    endcase", "end"])
         zero = ("result != {width}'d0".format(width=width)

@@ -61,8 +61,8 @@ def _equality_task(task_id: str, width: int, difficulty: float):
     def model_step(p):
         return (
             f"mask = 0x{mask:X}\n"
-            f"a = inputs['a'] & mask\n"
-            f"b = inputs['b'] & mask\n"
+            "a = inputs['a'] & mask\n"
+            "b = inputs['b'] & mask\n"
             f"return {{'eq': {_EQ_MODES[p['mode']][1]}}}"
         )
 
@@ -96,7 +96,7 @@ def _threeway_task(task_id: str, width: int, difficulty: float):
         if p["lax"]:
             lt_expr = lt_expr.replace("<", "<=").replace(">", ">=")
         return (f"assign lt = {lt_expr};\n"
-                f"assign eq = a == b;\n"
+                "assign eq = a == b;\n"
                 f"assign gt = {gt_expr};")
 
     def model_step(p):
@@ -109,7 +109,7 @@ def _threeway_task(task_id: str, width: int, difficulty: float):
             f"a = inputs['a'] & 0x{mask:X}\n"
             f"b = inputs['b'] & 0x{mask:X}\n"
             f"return {{'lt': 1 if {lt_expr} else 0,\n"
-            f"        'eq': 1 if a == b else 0,\n"
+            "        'eq': 1 if a == b else 0,\n"
             f"        'gt': 1 if {gt_expr} else 0}}"
         )
 
@@ -168,7 +168,7 @@ def _absdiff_task(task_id: str, width: int, difficulty: float):
     mask = (1 << width) - 1
 
     def spec_body(p):
-        return (f"diff is the absolute difference |a - b| of the two "
+        return ("diff is the absolute difference |a - b| of the two "
                 f"unsigned {width}-bit inputs.")
 
     def rtl_body(p):
@@ -187,8 +187,8 @@ def _absdiff_task(task_id: str, width: int, difficulty: float):
             body = "result = (a - b) if a > b else (b - a)"
         return (
             f"mask = 0x{mask:X}\n"
-            f"a = inputs['a'] & mask\n"
-            f"b = inputs['b'] & mask\n"
+            "a = inputs['a'] & mask\n"
+            "b = inputs['b'] & mask\n"
             f"{body}\n"
             "return {'diff': result & mask}"
         )

@@ -316,7 +316,7 @@ def _sat_counter_task(task_id: str, width: int, difficulty: float):
             move = f"self.q = (self.q + 1) & 0x{mask:X}"
         else:
             move = (f"self.q = {limit} if self.q >= {limit} "
-                    f"else self.q + 1")
+                    "else self.q + 1")
         return (
             "if inputs['reset'] & 1:\n"
             "    self.q = 0\n"

@@ -20,7 +20,7 @@ def _decoder_task(task_id: str, in_width: int, has_enable: bool,
 
     def spec_body(p):
         body = (f"A {in_width}-to-{out_width} one-hot decoder: output bit "
-                f"out[k] is 1 exactly when in_val equals k.")
+                "out[k] is 1 exactly when in_val equals k.")
         if has_enable:
             body += (" When en is 0 the decoder is disabled and out is "
                      "all zeros.")
@@ -46,7 +46,7 @@ def _decoder_task(task_id: str, in_width: int, has_enable: bool,
         if p["invert"]:
             body.append(f"out = (~out) & 0x{mask:X}")
         if has_enable:
-            body.append(f"if not (inputs['en'] & 1):")
+            body.append("if not (inputs['en'] & 1):")
             body.append(f"    out = {p['disabled'] & mask}")
         body.append("return {'out': out}")
         return "\n".join(body)
@@ -68,7 +68,7 @@ def _decoder_task(task_id: str, in_width: int, has_enable: bool,
 
     def rtl_body_with_ignore(p):
         if p.get("disabled_ignores_enable"):
-            return (f"assign out = "
+            return ("assign out = "
                     f"{'~' if p['invert'] else ''}"
                     f"({out_width}'d"
                     f"{1 << (out_width - 1) if p['order'] == 'msb' else 1}"
@@ -132,8 +132,8 @@ def _seven_seg_task():
         blank = (~p["blank"] & 0x7F) if p["invert"] else (p["blank"] & 0x7F)
         return (
             f"table = {tuple(values)}\n"
-            f"bcd = inputs['bcd'] & 0xF\n"
-            f"if bcd < 10:\n"
+            "bcd = inputs['bcd'] & 0xF\n"
+            "if bcd < 10:\n"
             f"    return {{'seg': table[bcd]}}\n"
             f"return {{'seg': {blank}}}"
         )

@@ -75,15 +75,15 @@ def _dff_reset_task(task_id: str, width: int, asynchronous: bool,
         if p["priority_swapped"] and has_enable:
             # Misconception: enable gates the reset too.
             return (f"always @({sensitivity}) begin\n"
-                    f"    if (en) begin\n"
+                    "    if (en) begin\n"
                     f"        if ({reset_name}) q <= {reset_const};\n"
-                    f"        else q <= d;\n"
-                    f"    end\n"
-                    f"end")
+                    "        else q <= d;\n"
+                    "    end\n"
+                    "end")
         return (f"always @({sensitivity}) begin\n"
                 f"    if ({reset_name}) q <= {reset_const};\n"
                 f"    else {load}\n"
-                f"end")
+                "end")
 
     def model_step(p):
         lines = []

@@ -100,7 +100,7 @@ def _capture_task(task_id: str, width: int, difficulty: float):
             f"reg [{width - 1}:0] prev;\n"
             "always @(posedge clk) begin\n"
             "    if (reset) begin\n"
-            f"        prev <= din;\n"
+            "        prev <= din;\n"
             f"        captured <= {width}'d0;\n"
             "    end else begin\n"
             f"        captured <= {acc}({edge});\n"

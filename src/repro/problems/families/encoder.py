@@ -50,7 +50,7 @@ def _priority_task(task_id: str, in_width: int, difficulty: float):
         return (
             f"value = inputs['in_bus'] & 0x{(1 << in_width) - 1:X}\n"
             f"for i in {order}:\n"
-            f"    if (value >> i) & 1:\n"
+            "    if (value >> i) & 1:\n"
             f"        return {{'pos': (i + {p['offset']}) & {pos_mask}, "
             f"'valid': {valid_on}}}\n"
             f"return {{'pos': 0, 'valid': {1 - valid_on}}}"

@@ -39,9 +39,9 @@ def _detector_task(task_id: str, pattern: str, overlap: bool,
                 if p["overlap"] else
                 "matching restarts from scratch after each report "
                 "(non-overlapping)")
-        return (f"A serial pattern detector for the bit string "
+        return ("A serial pattern detector for the bit string "
                 f"'{p['pattern']}' (first bit arrives first). found is 1 "
-                f"for exactly one cycle, in the cycle after the last "
+                "for exactly one cycle, in the cycle after the last "
                 f"pattern bit was sampled; {mode}. Synchronous reset "
                 "clears the matcher.")
 
@@ -114,7 +114,8 @@ def _detector_task(task_id: str, pattern: str, overlap: bool,
 
     def scenarios(p, rng):
         golden_pattern = pattern  # scenarios always target the golden spec
-        bits_of = lambda s: [int(ch) for ch in s]
+        def bits_of(s):
+            return [int(ch) for ch in s]
 
         def cycles(bit_list, lead_reset=2):
             out = []

@@ -31,9 +31,9 @@ def _traffic_task():
                 f"            2'd{state}: begin\n"
                 f"                if (timer == 3'd{dwell - 1}) begin\n"
                 f"                    light <= 2'd{nxt};\n"
-                f"                    timer <= 3'd0;\n"
-                f"                end else timer <= timer + 3'd1;\n"
-                f"            end")
+                "                    timer <= 3'd0;\n"
+                "                end else timer <= timer + 3'd1;\n"
+                "            end")
         return (
             "reg [2:0] timer;\n"
             "always @(posedge clk) begin\n"
@@ -246,7 +246,7 @@ def _vendor_task():
     ports = (clock(), reset(), in_port("coin", 2), out_port("dispense", 1))
 
     def spec_body(p):
-        return (f"A vending accumulator: coin (0-3) is added to a running "
+        return ("A vending accumulator: coin (0-3) is added to a running "
                 f"total each cycle. When the total reaches {p['price']} or "
                 "more, dispense pulses high for that cycle and the total "
                 "restarts from zero (overpayment is not carried over). "

@@ -78,7 +78,7 @@ def _reduction_task(task_id: str, title: str, op: str, width: int,
 
     def spec_body(p):
         return (f"out is the {p['op'].upper()} reduction of all {width} "
-                f"bits of in_bus.")
+                "bits of in_bus.")
 
     def rtl_body(p):
         return f"assign out = {_RED_OPS[p['op']][0]};"

@@ -45,7 +45,7 @@ def _delay_task(task_id: str, width: int, depth: int, difficulty: float):
             f"    self.stages = [0] * {depth_now}\n"
             "else:\n"
             f"    self.stages = [inputs['d'] & 0x{mask:X}] + "
-            f"self.stages[:-1]\n"
+            "self.stages[:-1]\n"
             "return {'q': self.stages[-1]}"
         )
 

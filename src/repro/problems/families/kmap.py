@@ -45,7 +45,7 @@ def _kmap_task(task_id: str, n_vars: int, minterms: tuple[int, ...],
         rows = ", ".join(str(m) for m in sorted(p["minterms"]))
         order = "".join(_VAR_NAMES[:n_vars])
         return (f"Implement the boolean function of {n_vars} inputs whose "
-                f"output is 1 exactly for the input combinations "
+                "output is 1 exactly for the input combinations "
                 f"{{{order}}} = {{{rows}}} (each combination read as an "
                 f"unsigned number, {order[0]} being the MSB).")
 

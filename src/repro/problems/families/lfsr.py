@@ -17,7 +17,7 @@ def _lfsr_task(task_id: str, width: int, taps: int, difficulty: float):
         return (f"A {width}-bit Galois LFSR. At each rising edge the "
                 "register shifts right by one; when the bit shifted out "
                 f"(q[0]) is 1, the tap mask 0x{p['taps']:X} is XORed into "
-                f"the shifted value. Synchronous reset loads "
+                "the shifted value. Synchronous reset loads "
                 f"{p['reset_val']}.")
 
     def rtl_body(p):

@@ -62,7 +62,7 @@ def _popcount_task(task_id: str, width: int, difficulty: float):
     ports = (in_port("in_bus", width), out_port("count", out_width))
 
     def spec_body(p):
-        return f"count reports how many bits of in_bus are 1."
+        return "count reports how many bits of in_bus are 1."
 
     def rtl_body(p):
         start = p["start"]

@@ -26,7 +26,7 @@ def _ring_task(task_id: str, width: int, johnson: bool, difficulty: float):
         top = width - 1
         feedback = f"~q[{top}]" if p["invert_feedback"] else f"q[{top}]"
         if p["direction"] == "right":
-            fb = (f"~q[0]" if p["invert_feedback"] else "q[0]")
+            fb = ("~q[0]" if p["invert_feedback"] else "q[0]")
             move = f"q <= {{{fb}, q[{top}:1]}};"
         else:
             move = f"q <= {{q[{top - 1}:0], {feedback}}};"

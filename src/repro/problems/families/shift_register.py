@@ -41,9 +41,9 @@ def _sipo_task(task_id: str, width: int, has_enable: bool,
     def model_step(p):
         if p["direction"] == "right":
             move = (f"self.q = ((inputs['din'] & 1) << {width - 1}) | "
-                    f"(self.q >> 1)")
+                    "(self.q >> 1)")
         else:
-            move = (f"self.q = ((self.q << 1) | (inputs['din'] & 1)) "
+            move = ("self.q = ((self.q << 1) | (inputs['din'] & 1)) "
                     f"& 0x{mask:X}")
         lines = ["if inputs['reset'] & 1:", "    self.q = 0"]
         lines.append("elif inputs['en'] & 1:"
@@ -115,7 +115,7 @@ def _rotate_task(task_id: str, width: int, difficulty: float):
     def model_step(p):
         if p["direction"] == "right":
             rot = (f"self.q = ((self.q & 1) << {width - 1}) | "
-                   f"(self.q >> 1)")
+                   "(self.q >> 1)")
         else:
             rot = (f"self.q = ((self.q << 1) | (self.q >> {width - 1})) "
                    f"& 0x{mask:X}")
@@ -184,7 +184,7 @@ def _arith_shift_task(task_id: str, width: int, difficulty: float):
             "    if (load) q <= data;\n"
             "    else if (ena) begin\n"
             "        case (amount)\n"
-            f"            2'd0: q <= q << 1;\n"
+            "            2'd0: q <= q << 1;\n"
             f"            2'd1: q <= q << {big};\n"
             f"            2'd2: q <= {sign_fill_1};\n"
             f"            2'd3: q <= {sign_fill_4};\n"

@@ -24,7 +24,7 @@ def _countdown_task():
         if p["wraps"]:
             dec = "q <= q - 8'd1;"
         else:
-            dec = f"q <= (q == 8'd0) ? 8'd0 : q - 8'd1;"
+            dec = "q <= (q == 8'd0) ? 8'd0 : q - 8'd1;"
         return (
             "always @(posedge clk) begin\n"
             "    if (reset) q <= 8'd0;\n"
@@ -85,7 +85,7 @@ def _pulse_task(task_id: str, period: int, difficulty: float):
     mask = (1 << width) - 1
 
     def spec_body(p):
-        return (f"A periodic pulse generator: pulse is 1 for exactly one "
+        return ("A periodic pulse generator: pulse is 1 for exactly one "
                 f"cycle out of every {p['period']}, first asserting "
                 f"{p['period']} cycles after reset deasserts.")
 
@@ -147,8 +147,8 @@ def _watchdog_task():
     ports = (clock(), reset(), in_port("kick", 1), out_port("alarm", 1))
 
     def spec_body(p):
-        return (f"A watchdog: an internal counter increments each cycle "
-                f"and is cleared by kick. alarm asserts once the counter "
+        return ("A watchdog: an internal counter increments each cycle "
+                "and is cleared by kick. alarm asserts once the counter "
                 f"reaches {p['limit']} and stays high until a kick (or "
                 "reset) clears it.")
 
@@ -166,7 +166,7 @@ def _watchdog_task():
             "        alarm <= 1'b0;\n"
             "    end else begin\n"
             f"        if (count >= 3'd{p['limit'] - 1}) alarm <= 1'b1;\n"
-            f"        else count <= count + 3'd1;\n"
+            "        else count <= count + 3'd1;\n"
             "    end\n"
             "end")
 

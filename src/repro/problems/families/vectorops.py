@@ -197,7 +197,7 @@ def _mul_task(task_id: str, square: bool, difficulty: float):
         if p["mode"] == "add":
             rhs = "a + a" if square else "a + b"
         if p["mode"] == "truncated":
-            return (f"wire [7:0] full_prod;\n"
+            return ("wire [7:0] full_prod;\n"
                     f"assign full_prod = {rhs};\n"
                     f"assign prod = {{4'b0000, full_prod[3:0]}};")
         return f"assign prod = {rhs};"

@@ -58,7 +58,7 @@ def _range_task(task_id: str, lo: int, hi: int, difficulty: float):
     ports = (in_port("in_bus", 8), out_port("in_range", 1))
 
     def spec_body(p):
-        return (f"in_range is 1 when the unsigned input lies in the "
+        return ("in_range is 1 when the unsigned input lies in the "
                 f"inclusive range [{p['lo']}, {p['hi']}].")
 
     def rtl_body(p):

@@ -13,8 +13,8 @@ import repro.core.simulation as sim
 from repro.core.simulation import RUNTIME, run_driver, run_monolithic
 from repro.hdl import simulate
 from repro.hdl.simulator import (ENGINE_COMPILED, ENGINE_INTERPRET,
-                                 Simulator, _engine_from_env,
-                                 get_default_engine, set_default_engine)
+                                 _engine_from_env, get_default_engine,
+                                 set_default_engine)
 
 FINISH_IN_COMB = """
 module tb;

@@ -1,7 +1,5 @@
 """Generator, validator, corrector: pipeline-stage behaviour."""
 
-import pytest
-
 from repro.codegen import render_checker_core, render_driver
 from repro.core import (AutoBenchGenerator, CRITERION_70, Corrector,
                         DirectBaseline, HybridTestbench, ScenarioValidator,

@@ -122,10 +122,10 @@ LRU_SIZE = 256
 
 
 def _tiny_src(index: int) -> str:
-    return (f"module m;\n"
+    return ("module m;\n"
             f"    localparam V = {index};\n"
-            f"    wire [9:0] w = V;\n"
-            f"endmodule")
+            "    wire [9:0] w = V;\n"
+            "endmodule")
 
 
 def test_eviction_order_is_lru():

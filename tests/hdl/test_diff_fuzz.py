@@ -226,7 +226,7 @@ def generate_program(seed: int) -> str:
         lines.append(f"        repeat ({rng.randrange(2, 6)})"
                      f" {target} = {g.expr(sampled, 1)};")
     if use_mem:
-        lines.append(f'        $display("mem %b %b", mem[2], mem[5]);')
+        lines.append('        $display("mem %b %b", mem[2], mem[5]);')
     lines.append(f'        #1 $display("end: {fmt} t=%0t", {args}, $time);')
     lines.append("        $finish;")
     lines.append("    end")

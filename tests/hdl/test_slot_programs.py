@@ -175,8 +175,10 @@ class TestSignatureGuards:
         assert added > 0
 
         # Both still simulate correctly despite sharing a module name.
-        narrow = Simulator(_elaborate_pair(DUT_COUNT_UP, DRIVER), engine="compiled").run()
-        wide = Simulator(_elaborate_pair(wide_dut, wide_driver), engine="compiled").run()
+        narrow = Simulator(_elaborate_pair(DUT_COUNT_UP, DRIVER),
+                           engine="compiled").run()
+        wide = Simulator(_elaborate_pair(wide_dut, wide_driver),
+                         engine="compiled").run()
         assert narrow.stdout[-1] == "i=5 q=6"
         assert wide.stdout[-1] == "i=5 q=6"
 

@@ -7,7 +7,6 @@ from repro.llm import (ChatMessage, ChatRequest, GenerationIntent, GPT_4O,
 from repro.llm.synthetic import SyntheticLLM
 from repro.problems import get_task
 from repro.util import extract_first_code_block
-from repro.core.simulation import syntax_ok
 
 
 def ask(llm, kind, task, **payload):

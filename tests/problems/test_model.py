@@ -1,7 +1,5 @@
 """Task data-model validation."""
 
-import random
-
 import pytest
 
 from repro.problems.model import (CMB, CheckerModelError, Port, Scenario,

@@ -26,7 +26,7 @@ from repro.core.simulation import (clear_simulation_caches,
                                    run_driver_batch)
 from repro.hdl.compile import clear_program_cache
 from repro.core.validator import ScenarioValidator
-from repro.hdl import parse_source, simulate
+from repro.hdl import current_context, parse_source, simulate, use_context
 from repro.llm.base import MeteredClient, UsageMeter
 from repro.llm.profiles import get_profile
 from repro.llm.synthetic import SyntheticLLM
@@ -116,7 +116,9 @@ def test_run_driver_batch_mutants(benchmark):
     mutants = [m.source for m in generate_mutants(
         task.golden_rtl(), 10, task.task_id)]
 
-    runs = benchmark(run_driver_batch, driver, mutants)
+    # jobs=1 pinned: this measures the warm in-process batch path, not
+    # pool fan-out, regardless of any REPRO_JOBS in the environment.
+    runs = benchmark(run_driver_batch, driver, mutants, jobs=1)
     assert len(runs) == 10
 
 
@@ -219,14 +221,10 @@ def bench_validator_matrix(seconds: float, task_id: str = "seq_count8_en",
     ``steady_state_ms`` (what correction loops, criteria studies and
     AutoEval reruns pay once the design templates are compiled).
     """
-    import repro.core.simulation as sim
-
     validator, tb = _build_validator(task_id, group_size)
-    previous = sim.get_default_engine()
     out = {}
-    try:
-        # Seed cost model: interpreter, no surviving caches.
-        sim.set_default_engine("interpret")
+    # Seed cost model: interpreter, no surviving caches.
+    with use_context(engine="interpret"):
 
         def seed_style():
             clear_simulation_caches()
@@ -235,8 +233,8 @@ def bench_validator_matrix(seconds: float, task_id: str = "seq_count8_en",
             assert report.matrix is not None
         out["seed_style_ms"] = _time_repeated(seed_style, seconds) * 1000
 
-        # Batched path, compiled engine.
-        sim.set_default_engine("compiled")
+    # Batched path, compiled engine.
+    with use_context(engine="compiled"):
         clear_simulation_caches()
         validator._sim_cache.clear()
         t0 = time.perf_counter()
@@ -251,8 +249,6 @@ def bench_validator_matrix(seconds: float, task_id: str = "seq_count8_en",
             report = validator.validate(tb)
             assert report.matrix is not None
         out["steady_state_ms"] = _time_repeated(steady, seconds) * 1000
-    finally:
-        sim.set_default_engine(previous)
     out["speedup_steady_vs_seed_style"] = (
         out["seed_style_ms"] / out["steady_state_ms"])
     out["speedup_cold_vs_seed_style"] = (
@@ -273,7 +269,10 @@ def bench_batch_vs_serial(seconds: float,
             run_driver(driver, mutant)
 
     def batched():
-        run_driver_batch(driver, mutants)
+        # jobs=1 pinned: the comparison is batch dedup/template reuse
+        # vs a plain loop, so pool fan-out (context jobs / REPRO_JOBS)
+        # must not leak into the measurement.
+        run_driver_batch(driver, mutants, jobs=1)
 
     # Warm the caches once so both paths measure steady state.
     batched()
@@ -345,6 +344,52 @@ def bench_driver_reuse(seconds: float, task_id: str = "seq_count8_en",
     return out
 
 
+def bench_context_overhead(seconds: float) -> dict:
+    """Cost of the PR-4 configuration API on the hot path.
+
+    ``resolve_us`` / ``dispatch_us`` price one ``current_context()``
+    resolve and one method-registry lookup (both sit on every simulate
+    / campaign-item call).  ``overhead_ratio`` is the end-to-end check:
+    a context-resolved counter simulation (``engine=None`` under an
+    active ``use_context``) against the same run with the engine passed
+    explicitly — the PR-3 cost model.  Parity (~1.0) is the CI floor:
+    the explicit-global-to-context redesign must not tax the hot path.
+    """
+    from repro.eval.methods import get_method
+
+    n = 10_000
+
+    def resolve_loop():
+        for _ in range(n):
+            current_context()
+
+    def dispatch_loop():
+        for _ in range(n):
+            get_method("baseline")
+
+    out = {
+        "resolve_us": _time_repeated(resolve_loop, seconds) / n * 1e6,
+        "dispatch_us": _time_repeated(dispatch_loop, seconds) / n * 1e6,
+    }
+
+    def run_explicit():
+        result = simulate(COUNTER_TB, "tb", engine="compiled")
+        assert result.stdout == ["q=200"]
+
+    def run_context():
+        result = simulate(COUNTER_TB, "tb")
+        assert result.stdout == ["q=200"]
+
+    out["simulate_explicit_ms"] = _time_repeated(run_explicit,
+                                                 seconds) * 1000
+    with use_context(engine="compiled"):
+        out["simulate_context_ms"] = _time_repeated(run_context,
+                                                    seconds) * 1000
+    out["overhead_ratio"] = (out["simulate_context_ms"]
+                             / out["simulate_explicit_ms"])
+    return out
+
+
 def main(argv) -> int:
     quick = "--quick" in argv
     record = "--record" in argv
@@ -355,6 +400,7 @@ def main(argv) -> int:
     matrix = bench_validator_matrix(seconds)
     batch = bench_batch_vs_serial(seconds)
     reuse = bench_driver_reuse(seconds)
+    context = bench_context_overhead(seconds)
 
     report = {
         "seed_baseline": SEED_BASELINE,
@@ -363,6 +409,7 @@ def main(argv) -> int:
         "validator_rs_matrix_20_ms": matrix,
         "driver_batch_10_mutants": batch,
         "driver_reuse_10_variants": reuse,
+        "context_overhead": context,
     }
     print(json.dumps(report, indent=2))
 
@@ -397,6 +444,19 @@ def main(argv) -> int:
         print("WARNING: cross-design steady state "
               f"{reuse['steady_cross_vs_same']:.2f}x same-design (> 1.5x)",
               file=sys.stderr)
+        ok = False
+    # Context-resolution parity: the SimContext redesign must not tax
+    # the hot path vs the PR-3 explicit-argument cost model.  The quick
+    # floor carries noise headroom for shared CI runners.
+    overhead_floor = 1.2 if quick else 1.1
+    if context["overhead_ratio"] > overhead_floor:
+        print("WARNING: context-resolved simulate is "
+              f"{context['overhead_ratio']:.3f}x the explicit-engine "
+              f"run (> {overhead_floor}x)", file=sys.stderr)
+        ok = False
+    if context["resolve_us"] > 10.0:
+        print("WARNING: current_context() resolve costs "
+              f"{context['resolve_us']:.2f}us (> 10us)", file=sys.stderr)
         ok = False
     # Absolute floor vs the recorded seed numbers: only comparable on
     # the reference container, so it never gates quick (CI) runs.

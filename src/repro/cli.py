@@ -6,6 +6,15 @@ Subcommands:
 - ``run``      — run one method on one task and grade it with AutoEval;
 - ``validate`` — generate a testbench and show its RS matrix + verdict;
 - ``campaign`` — run a methods x tasks x seeds campaign, print Table I/III.
+
+``run``/``validate``/``campaign`` accept ``--engine`` and ``--lexer``;
+the selections feed a :class:`~repro.hdl.context.SimContext` activated
+around the command (and shipped inside campaign work items), so no
+environment variable is needed to pick an execution engine.  ``run``
+and ``campaign`` dispatch through the campaign-method registry: a
+method registered with :func:`repro.eval.register_method` before
+:func:`build_parser` is called appears in ``--method`` choices
+automatically.
 """
 
 from __future__ import annotations
@@ -13,10 +22,12 @@ from __future__ import annotations
 import argparse
 import sys
 
-from .core import (CRITERIA, AutoBenchGenerator, CorrectBenchWorkflow,
-                   DEFAULT_CRITERION, DirectBaseline, ScenarioValidator)
-from .eval import (default_config, evaluate, render_table1, render_table3,
-                   render_usage_summary, run_campaign)
+from .core import (CRITERIA, AutoBenchGenerator, DEFAULT_CRITERION,
+                   ScenarioValidator)
+from .eval import (default_config, evaluate, registered_methods,
+                   render_table1, render_table3, render_usage_summary,
+                   run_campaign, run_one)
+from .hdl.context import ENGINES, LEXERS, current_context, use_context
 from .llm import MeteredClient, UsageMeter, get_profile
 from .llm.synthetic import SyntheticLLM
 from .problems import load_dataset, get_task
@@ -25,6 +36,17 @@ from .problems import load_dataset, get_task
 def _client(model: str, seed: int) -> MeteredClient:
     return MeteredClient(SyntheticLLM(get_profile(model), seed=seed),
                          UsageMeter())
+
+
+def _context(args):
+    """The SimContext for this invocation: the ambient context evolved
+    with whatever ``--engine`` / ``--lexer`` selected."""
+    overrides = {}
+    if getattr(args, "engine", None):
+        overrides["engine"] = args.engine
+    if getattr(args, "lexer", None):
+        overrides["lexer"] = args.lexer
+    return current_context().evolve(**overrides)
 
 
 # ----------------------------------------------------------------------
@@ -52,40 +74,34 @@ def cmd_dataset(args) -> int:
 
 
 def cmd_run(args) -> int:
-    task = get_task(args.task)
-    client = _client(args.model, args.seed)
-    if args.method == "baseline":
-        testbench = DirectBaseline(client, task).generate()
-    elif args.method == "autobench":
-        testbench = AutoBenchGenerator(client, task).generate()
-    else:
-        result = CorrectBenchWorkflow(
-            client, task, CRITERIA[args.criterion]).run()
-        testbench = result.final_tb
-        print(f"validated={result.validated} reboots={result.reboots} "
-              f"corrections={result.corrections}")
-    grade = evaluate(testbench)
-    usage = client.meter.total
-    print(f"AutoEval: {grade.level.label}"
-          + (f" ({grade.detail})" if grade.detail else ""))
-    print(f"tokens: in={usage.input_tokens} out={usage.output_tokens}")
+    run = run_one(args.method, args.task, seed=args.seed,
+                  profile_name=args.model, criterion_name=args.criterion,
+                  context=_context(args))
+    if run.validated is not None:
+        print(f"validated={run.validated} reboots={run.reboots} "
+              f"corrections={run.corrections}")
+    print(f"AutoEval: {run.level.label}")
+    print(f"tokens: in={run.usage.input_tokens} "
+          f"out={run.usage.output_tokens}")
     return 0
 
 
 def cmd_validate(args) -> int:
-    task = get_task(args.task)
-    client = _client(args.model, args.seed)
-    testbench = AutoBenchGenerator(client, task).generate()
-    validator = ScenarioValidator(client, task, CRITERIA[args.criterion])
-    report = validator.validate(testbench)
-    print(report.matrix.render_ascii())
-    print()
-    print(f"verdict: {'correct' if report.verdict else 'wrong'}"
-          + (f"  ({report.note})" if report.note else ""))
-    print(f"wrong={list(report.wrong)} correct={list(report.correct)} "
-          f"uncertain={list(report.uncertain)}")
-    grade = evaluate(testbench)
-    print(f"AutoEval ground truth: {grade.level.label}")
+    with use_context(_context(args)):
+        task = get_task(args.task)
+        client = _client(args.model, args.seed)
+        testbench = AutoBenchGenerator(client, task).generate()
+        validator = ScenarioValidator(client, task,
+                                      CRITERIA[args.criterion])
+        report = validator.validate(testbench)
+        print(report.matrix.render_ascii())
+        print()
+        print(f"verdict: {'correct' if report.verdict else 'wrong'}"
+              + (f"  ({report.note})" if report.note else ""))
+        print(f"wrong={list(report.wrong)} correct={list(report.correct)} "
+              f"uncertain={list(report.uncertain)}")
+        grade = evaluate(testbench)
+        print(f"AutoEval ground truth: {grade.level.label}")
     return 0
 
 
@@ -98,10 +114,14 @@ def cmd_campaign(args) -> int:
         cmb = [t.task_id for t in tasks if t.kind == "CMB"]
         seq = [t.task_id for t in tasks if t.kind == "SEQ"]
         task_ids = cmb[:args.limit // 2] + seq[:args.limit - args.limit // 2]
+    overrides = {}
+    if args.methods:
+        overrides["methods"] = tuple(
+            m.strip() for m in args.methods.split(","))
     config = default_config(
         task_ids=task_ids, seeds=tuple(range(args.seeds)),
         profile_name=args.model, criterion_name=args.criterion,
-        n_jobs=args.jobs)
+        n_jobs=args.jobs, context=_context(args), **overrides)
     result = run_campaign(config)
     print(render_table1(result))
     print(render_table3(result))
@@ -128,12 +148,17 @@ def build_parser() -> argparse.ArgumentParser:
     common.add_argument("--seed", type=int, default=0)
     common.add_argument("--criterion", default=DEFAULT_CRITERION.name,
                         choices=sorted(CRITERIA))
+    common.add_argument("--engine", choices=ENGINES, default=None,
+                        help="simulation engine (default: active context)")
+    common.add_argument("--lexer", choices=LEXERS, default=None,
+                        help="tokenizer implementation "
+                             "(default: active context)")
 
     p_run = sub.add_parser("run", parents=[common],
                            help="run one method on one task")
     p_run.add_argument("task")
     p_run.add_argument("--method", default="correctbench",
-                       choices=("correctbench", "autobench", "baseline"))
+                       choices=registered_methods())
     p_run.set_defaults(func=cmd_run)
 
     p_val = sub.add_parser("validate", parents=[common],
@@ -144,6 +169,9 @@ def build_parser() -> argparse.ArgumentParser:
     p_camp = sub.add_parser("campaign", parents=[common],
                             help="run a methods x tasks x seeds campaign")
     p_camp.add_argument("--tasks", help="comma-separated task ids")
+    p_camp.add_argument("--methods",
+                        help="comma-separated registered method names "
+                             "(default: the paper's three)")
     p_camp.add_argument("--limit", type=int, default=0,
                         help="balanced slice size (0 = full dataset)")
     p_camp.add_argument("--seeds", type=int, default=1)

@@ -1,0 +1,74 @@
+"""One facade over the process's caching layers.
+
+The execution stack accumulated caches at every level — token streams
+(:mod:`repro.hdl.lexer`), parsed ASTs (:mod:`repro.hdl.parser`), shared
+slot programs (:mod:`repro.hdl.compile`), elaboration templates and
+cached failures (:mod:`repro.core.simulation`) — each with its own
+``clear_*`` / ``*_stats`` pair.  :data:`caches` registers them all
+behind two verbs::
+
+    caches.clear()                  # cold start: drop every layer
+    caches.clear("design", "pair")  # drop selected layers
+    caches.stats()                  # {name: counters} telemetry
+
+The legacy ``clear_simulation_caches`` / ``simulation_cache_stats`` /
+``clear_template_caches`` helpers in :mod:`repro.core.simulation`
+delegate here, so existing callers and recorded stats shapes are
+unchanged.  New caching layers self-register at import time via
+:meth:`CacheRegistry.register` instead of growing the helper functions.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Callable
+
+
+class CacheRegistry:
+    """Named ``(clear, stats)`` pairs with bulk and selective access."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._entries: dict[str, tuple[Callable, Callable | None]] = {}
+
+    def register(self, name: str, clear: Callable[[], None],
+                 stats: Callable[[], dict] | None = None) -> None:
+        """Register a cache layer.  ``clear`` drops it; ``stats`` (if
+        any) reports its counters.  Names are unique."""
+        with self._lock:
+            if name in self._entries:
+                raise ValueError(f"cache {name!r} is already registered")
+            self._entries[name] = (clear, stats)
+
+    def names(self) -> tuple[str, ...]:
+        with self._lock:
+            return tuple(self._entries)
+
+    def _select(self, names: tuple[str, ...]) -> list[str]:
+        with self._lock:
+            if not names:
+                return list(self._entries)
+            unknown = [name for name in names if name not in self._entries]
+            if unknown:
+                raise KeyError(f"unknown cache(s) {unknown!r}; "
+                               f"registered: {tuple(self._entries)}")
+            return list(names)
+
+    def clear(self, *names: str) -> None:
+        """Drop the named caches (all of them when called bare)."""
+        for name in self._select(names):
+            self._entries[name][0]()
+
+    def stats(self, *names: str) -> dict:
+        """Counters for the named caches (all stats-capable ones when
+        called bare), keyed by registered name."""
+        out = {}
+        for name in self._select(names):
+            stats_fn = self._entries[name][1]
+            if stats_fn is not None:
+                out[name] = stats_fn()
+        return out
+
+
+#: The process-wide registry; layers register themselves at import.
+caches = CacheRegistry()

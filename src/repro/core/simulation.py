@@ -31,9 +31,14 @@ programs across elaborations, so even a *fresh* (driver, DUT) pairing
 only re-binds the driver's programs instead of recompiling them.
 
 The execution engine (``compiled`` closures vs the reference
-``interpret`` walker) is selected per call, per process via
-:func:`set_default_engine`, or via the ``REPRO_SIM_ENGINE`` environment
-variable.
+``interpret`` walker), the simulation limits and the batch worker count
+resolve through the active :class:`~repro.hdl.context.SimContext`
+(explicit argument > ``use_context`` activation > env-seeded root
+context); batch APIs ship the resolved context to pool workers as part
+of each work item, so a worker never falls back to its own process
+defaults.  All cache layers register with
+:data:`repro.core.caches.caches`; the ``clear_*`` / ``*_stats``
+helpers below delegate to that facade.
 """
 
 from __future__ import annotations
@@ -46,32 +51,33 @@ from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from functools import lru_cache
+from typing import Callable
 
 from ..hdl import ast as hdl_ast
 from ..hdl.compile import clear_program_cache, program_cache_stats
+from ..hdl.context import SimContext, current_context, use_context
 from ..hdl.elaborate import Design, elaborate
 from ..hdl.errors import (ElaborationError, HdlError, SimulationError,
                           SimulationLimit, VerilogSyntaxError)
 from ..hdl.lexer import clear_tokenize_cache, tokenize_cache_stats
 from ..hdl.parser import parse_source_cached
-from ..hdl.simulator import SimulationResult, Simulator, get_default_engine
-# Engine selection lives in repro.hdl.simulator (the single source of
+from ..hdl.simulator import SimulationResult, Simulator
+# Engine selection lives in repro.hdl.context (the single source of
 # truth); these are re-exported (redundant-alias form) for callers that
 # configure simulation at this layer (campaigns, CLI, benchmarks).
-from ..hdl.simulator import ENGINE_COMPILED as ENGINE_COMPILED
-from ..hdl.simulator import ENGINE_INTERPRET as ENGINE_INTERPRET
-from ..hdl.simulator import ENGINES as ENGINES
+from ..hdl.context import ENGINE_COMPILED as ENGINE_COMPILED
+from ..hdl.context import ENGINE_INTERPRET as ENGINE_INTERPRET
+from ..hdl.context import ENGINES as ENGINES
+from ..hdl.simulator import get_default_engine as get_default_engine
 from ..hdl.simulator import set_default_engine as set_default_engine
 from ..codegen.driver import DUMP_FILE
+from .caches import caches
 
 # Failure taxonomy used throughout evaluation:
 SYNTAX = "syntax"          # does not parse (Eval0 fails)
 ELABORATION = "elaboration"  # parses but does not elaborate
 RUNTIME = "runtime"        # simulation crashed / no dump produced
 OK = "ok"
-
-_SIM_MAX_TIME = 2_000_000
-_SIM_MAX_STMTS = 4_000_000
 
 
 # ----------------------------------------------------------------------
@@ -128,10 +134,13 @@ class DesignTemplate:
             if mem.waiters:
                 mem.waiters.clear()
 
-    def run(self, max_time: int = _SIM_MAX_TIME,
-            max_stmts: int = _SIM_MAX_STMTS, seed: int = 0,
+    def run(self, max_time: int | None = None,
+            max_stmts: int | None = None, seed: int = 0,
             engine: str | None = None) -> SimulationResult:
         """Reset state and simulate.
+
+        ``engine`` / ``max_time`` / ``max_stmts`` left as ``None``
+        resolve through the active :class:`SimContext`.
 
         Note: the returned ``SimulationResult.design`` references the
         *shared* design — snapshot any final signal values you need
@@ -142,7 +151,7 @@ class DesignTemplate:
             try:
                 return Simulator(self.design, max_time=max_time,
                                  max_stmts=max_stmts, seed=seed,
-                                 engine=engine or get_default_engine()).run()
+                                 engine=engine).run()
             finally:
                 # The simulator rebinds the design's runtime hooks to
                 # itself; restore the defaults so this cached template
@@ -249,45 +258,60 @@ def _pair_template(dut_src: str, tb_src: str, top: str) -> DesignTemplate:
         raise
 
 
+def _clear_failure_cache() -> None:
+    with _failure_lock:
+        _failure_cache.clear()
+
+
+def _failure_cache_stats() -> dict:
+    with _failure_lock:
+        return {"hits": _failure_stats["hits"],
+                "recorded": _failure_stats["recorded"],
+                "size": len(_failure_cache)}
+
+
+def _lru_stats(cached_fn) -> Callable[[], dict]:
+    def stats() -> dict:
+        info = cached_fn.cache_info()
+        return {"hits": info.hits, "misses": info.misses,
+                "size": info.currsize}
+    return stats
+
+
+# Every caching layer registers with the shared facade; registration
+# order fixes the key order of ``caches.stats()`` (and therefore of
+# ``simulation_cache_stats()``, whose recorded shape predates the
+# registry).
+caches.register("tokenize", clear=clear_tokenize_cache,
+                stats=tokenize_cache_stats)
+caches.register("parse", clear=parse_source_cached.cache_clear,
+                stats=_lru_stats(parse_source_cached))
+caches.register("design", clear=_design_template_cached.cache_clear,
+                stats=_lru_stats(_design_template_cached))
+caches.register("pair", clear=_pair_template_cached.cache_clear,
+                stats=_lru_stats(_pair_template_cached))
+caches.register("failure", clear=_clear_failure_cache,
+                stats=_failure_cache_stats)
+caches.register("programs", clear=clear_program_cache,
+                stats=program_cache_stats)
+
+
 def clear_template_caches() -> None:
     """Drop elaboration templates and cached failures, keeping the parse
     cache and the shared slot-program cache warm."""
-    _design_template_cached.cache_clear()
-    _pair_template_cached.cache_clear()
-    with _failure_lock:
-        _failure_cache.clear()
+    caches.clear("design", "pair", "failure")
 
 
 def clear_simulation_caches() -> None:
     """Drop every caching layer (benchmark cold starts): templates,
     cached failures, parsed ASTs, token streams and shared compiled
     programs."""
-    clear_template_caches()
-    parse_source_cached.cache_clear()
-    clear_tokenize_cache()
-    clear_program_cache()
+    caches.clear()
 
 
 def simulation_cache_stats() -> dict:
     """Hit/miss counters for the caching layers (telemetry)."""
-    parse_info = parse_source_cached.cache_info()
-    design_info = _design_template_cached.cache_info()
-    pair_info = _pair_template_cached.cache_info()
-    with _failure_lock:
-        failure = {"hits": _failure_stats["hits"],
-                   "recorded": _failure_stats["recorded"],
-                   "size": len(_failure_cache)}
-    return {
-        "tokenize": tokenize_cache_stats(),
-        "parse": {"hits": parse_info.hits, "misses": parse_info.misses,
-                  "size": parse_info.currsize},
-        "design": {"hits": design_info.hits, "misses": design_info.misses,
-                   "size": design_info.currsize},
-        "pair": {"hits": pair_info.hits, "misses": pair_info.misses,
-                 "size": pair_info.currsize},
-        "failure": failure,
-        "programs": program_cache_stats(),
-    }
+    return caches.stats()
 
 
 @dataclass(frozen=True)
@@ -500,17 +524,19 @@ def _pool_map(worker, items: list, jobs: int) -> list:
 # Batched execution
 # ----------------------------------------------------------------------
 def _driver_batch_worker(item: tuple) -> DriverRun:
-    driver_src, dut_src, engine = item
-    return run_driver(driver_src, dut_src, engine=engine)
+    driver_src, dut_src, context = item
+    with use_context(context):
+        return run_driver(driver_src, dut_src)
 
 
 def _monolithic_batch_worker(item: tuple) -> MonolithicRun:
-    tb_src, dut_src, engine = item
-    return run_monolithic(tb_src, dut_src, engine=engine)
+    tb_src, dut_src, context = item
+    with use_context(context):
+        return run_monolithic(tb_src, dut_src)
 
 
-def _run_batch(worker, shared_src: str, dut_srcs, jobs: int,
-               engine: str | None) -> list:
+def _run_batch(worker, shared_src: str, dut_srcs, jobs: int | None,
+               engine: str | None, context: SimContext | None) -> list:
     """Shared fan-out: dedup identical DUTs, then run each unique pair.
 
     The shared testbench text is parsed once (cache) and each unique
@@ -520,11 +546,17 @@ def _run_batch(worker, shared_src: str, dut_srcs, jobs: int,
     pool (:func:`get_sim_pool`): workers survive across batch calls, so
     their caches stay warm and repeated small batches skip the pool
     spin-up entirely.
+
+    The resolved :class:`SimContext` travels inside each work item and
+    is activated in whichever process runs it — pool workers have their
+    own root context, so shipping plain work without the context would
+    ignore any activation made in this (the parent) process.
     """
-    # Resolve the engine now: pool workers have their own process-wide
-    # default, so an unresolved None would ignore a set_default_engine()
-    # made in this (the parent) process.
-    engine = engine or get_default_engine()
+    context = context if context is not None else current_context()
+    if engine:
+        context = context.evolve(engine=engine)
+    if jobs is None:
+        jobs = context.jobs
     dut_list = list(dut_srcs)
     order: list[str] = []
     seen = set()
@@ -533,31 +565,35 @@ def _run_batch(worker, shared_src: str, dut_srcs, jobs: int,
             seen.add(dut)
             order.append(dut)
 
+    items = [(shared_src, dut, context) for dut in order]
     if jobs > 1 and len(order) > 1:
-        items = [(shared_src, dut, engine) for dut in order]
         unique_results = _pool_map(worker, items, jobs)
     else:
-        unique_results = [worker((shared_src, dut, engine))
-                          for dut in order]
+        unique_results = [worker(item) for item in items]
 
     by_src = dict(zip(order, unique_results))
     return [by_src[dut] for dut in dut_list]
 
 
-def run_driver_batch(driver_src: str, dut_srcs, jobs: int = 1,
-                     engine: str | None = None) -> list[DriverRun]:
+def run_driver_batch(driver_src: str, dut_srcs, jobs: int | None = None,
+                     engine: str | None = None,
+                     context: SimContext | None = None) -> list[DriverRun]:
     """Run one hybrid-TB driver against many DUT variants.
 
     This is the validator/AutoEval hot path: the driver is compiled
     once, identical DUTs are simulated once, and ``jobs > 1`` fans the
-    unique runs across a process pool.
+    unique runs across a process pool.  ``jobs`` / ``engine`` /
+    ``context`` left unset resolve through the active
+    :class:`SimContext`.
     """
     return _run_batch(_driver_batch_worker, driver_src, dut_srcs, jobs,
-                      engine)
+                      engine, context)
 
 
-def run_monolithic_batch(tb_src: str, dut_srcs, jobs: int = 1,
-                         engine: str | None = None) -> list[MonolithicRun]:
+def run_monolithic_batch(tb_src: str, dut_srcs, jobs: int | None = None,
+                         engine: str | None = None,
+                         context: SimContext | None = None,
+                         ) -> list[MonolithicRun]:
     """Run one self-checking testbench against many DUT variants."""
     return _run_batch(_monolithic_batch_worker, tb_src, dut_srcs, jobs,
-                      engine)
+                      engine, context)

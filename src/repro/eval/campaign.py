@@ -5,53 +5,49 @@ every task, the experiment is repeated over several seeds ("we repeated
 each experiment five times"), and every produced testbench is graded with
 AutoEval.
 
+Methods are pluggable: :func:`run_one` dispatches through the
+:mod:`repro.eval.methods` registry, so a new strategy registered with
+:func:`register_method` / :func:`campaign_method` runs through campaigns
+and the CLI without touching this module.
+
 Work items are referenced by ids (task ids, profile names) so campaigns
 can fan out over a process pool — TaskSpec objects hold closures and are
-deliberately never pickled.
+deliberately never pickled.  Each item also carries the resolved
+:class:`~repro.hdl.context.SimContext`, activated in whichever process
+executes the item, so engine/lexer/limit choices neither depend on pool
+workers' own defaults nor leak between serial items.
 """
 
 from __future__ import annotations
 
-import os
+import inspect
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from typing import Iterable, Sequence
 
-from ..core.agent import CorrectBenchWorkflow, WorkflowResult
-from ..core.baseline import DirectBaseline
-from ..core.generator import AutoBenchGenerator
-from ..core.simulation import (get_default_engine, get_sim_pool,
-                               set_default_engine, shutdown_sim_pool)
+from ..core.simulation import get_sim_pool, shutdown_sim_pool
 from ..core.validator import CRITERIA, DEFAULT_CRITERION
-from ..llm.base import MeteredClient, Usage, UsageMeter
+from ..hdl.context import (SimContext, current_context, resolve_jobs,
+                           use_context)
+from ..llm.base import MeteredClient, UsageMeter
 from ..llm.profiles import get_profile
 from ..llm.synthetic import SyntheticLLM
 from ..problems.dataset import get_task, load_dataset
-from .autoeval import EvalLevel, evaluate
 from .golden import golden_artifacts
-
-METHOD_BASELINE = "baseline"
-METHOD_AUTOBENCH = "autobench"
-METHOD_CORRECTBENCH = "correctbench"
-ALL_METHODS = (METHOD_CORRECTBENCH, METHOD_AUTOBENCH, METHOD_BASELINE)
-
-
-@dataclass(frozen=True)
-class TaskRun:
-    """One (method, task, seed) outcome."""
-
-    method: str
-    task_id: str
-    kind: str
-    seed: int
-    level: EvalLevel
-    usage: Usage = Usage()
-    validated: bool | None = None     # CorrectBench only
-    gave_up: bool | None = None
-    corrections: int = 0
-    reboots: int = 0
-    final_from_corrector: bool = False
-    took_any_action: bool = False
+# The method registry (and TaskRun, which runners return) lives in
+# repro.eval.methods; re-exported here (redundant-alias form) because
+# this module is the historical import point for campaign types.
+from .methods import ALL_METHODS as ALL_METHODS
+from .methods import METHOD_AUTOBENCH as METHOD_AUTOBENCH
+from .methods import METHOD_BASELINE as METHOD_BASELINE
+from .methods import METHOD_CORRECTBENCH as METHOD_CORRECTBENCH
+from .methods import MethodCall as MethodCall
+from .methods import TaskRun as TaskRun
+from .methods import campaign_method as campaign_method
+from .methods import get_method
+from .methods import register_method as register_method
+from .methods import registered_methods as registered_methods
+from .methods import unregister_method as unregister_method
 
 
 @dataclass(frozen=True)
@@ -63,7 +59,20 @@ class CampaignConfig:
     methods: tuple[str, ...] = ALL_METHODS
     group_size: int = 20
     n_jobs: int = 1
-    engine: str = ""  # "" = the process default (REPRO_SIM_ENGINE)
+    engine: str = ""  # legacy knob; prefer ``context``
+    context: SimContext | None = None  # None = the caller's active context
+
+    def __post_init__(self):
+        for method in self.methods:
+            get_method(method)  # raises ValueError listing the registry
+
+    def resolved_context(self) -> SimContext:
+        """The context campaign items will run under."""
+        context = (self.context if self.context is not None
+                   else current_context())
+        if self.engine:
+            context = context.evolve(engine=self.engine)
+        return context
 
 
 @dataclass
@@ -94,61 +103,83 @@ def default_config(task_ids: Iterable[str] | None = None,
 def run_one(method: str, task_id: str, seed: int,
             profile_name: str = "gpt-4o",
             criterion_name: str = DEFAULT_CRITERION.name,
-            group_size: int = 20, engine: str = "") -> TaskRun:
-    if engine and engine != get_default_engine():
-        # Campaign items may execute in pool workers: pin the requested
-        # simulation engine in whichever process runs this item, and
-        # restore it afterwards so serial (in-process) campaigns don't
-        # leak their engine choice into later work.
-        previous = get_default_engine()
-        set_default_engine(engine)
-        try:
-            return _run_one_inner(method, task_id, seed, profile_name,
-                                  criterion_name, group_size)
-        finally:
-            set_default_engine(previous)
-    return _run_one_inner(method, task_id, seed, profile_name,
-                          criterion_name, group_size)
+            group_size: int = 20, engine: str = "",
+            context: SimContext | None = None) -> TaskRun:
+    """Run one registered method on one (task, seed) item.
 
-
-def _run_one_inner(method: str, task_id: str, seed: int,
-                   profile_name: str, criterion_name: str,
-                   group_size: int) -> TaskRun:
-    task = get_task(task_id)
-    profile = get_profile(profile_name)
-    criterion = CRITERIA[criterion_name]
-    meter = UsageMeter()
-    client = MeteredClient(SyntheticLLM(profile, seed=seed), meter)
-    golden = golden_artifacts(task_id)
-
-    if method == METHOD_BASELINE:
-        testbench = DirectBaseline(client, task).generate(attempt=0)
-        level = evaluate(testbench, golden).level
-        return TaskRun(method, task_id, task.kind, seed, level,
-                       meter.total)
-    if method == METHOD_AUTOBENCH:
-        testbench = AutoBenchGenerator(client, task).generate(attempt=0)
-        level = evaluate(testbench, golden).level
-        return TaskRun(method, task_id, task.kind, seed, level,
-                       meter.total)
-    if method == METHOD_CORRECTBENCH:
-        workflow = CorrectBenchWorkflow(client, task, criterion,
-                                        group_size=group_size)
-        result: WorkflowResult = workflow.run()
-        level = evaluate(result.final_tb, golden).level
-        return TaskRun(
-            method, task_id, task.kind, seed, level, meter.total,
-            validated=result.validated, gave_up=result.gave_up,
-            corrections=result.corrections, reboots=result.reboots,
-            final_from_corrector=result.final_from_corrector,
-            took_any_action=result.took_any_action)
-    raise ValueError(f"unknown method {method!r}")
+    The item executes under ``context`` (default: the caller's active
+    context) via :func:`use_context`, so the configuration applies in
+    whichever process runs it and is restored afterwards — serial
+    campaigns cannot leak an engine choice into later work.
+    """
+    runner = get_method(method)
+    if context is None:
+        context = current_context()
+    if engine:  # legacy per-call string; folded into the context
+        context = context.evolve(engine=engine)
+    with use_context(context):
+        task = get_task(task_id)
+        profile = get_profile(profile_name)
+        criterion = CRITERIA[criterion_name]
+        meter = UsageMeter()
+        client = MeteredClient(SyntheticLLM(profile, seed=seed), meter)
+        call = MethodCall(method=method, task=task, seed=seed,
+                          client=client, meter=meter,
+                          golden=golden_artifacts(task_id),
+                          criterion=criterion, group_size=group_size)
+        return runner(call)
 
 
 def _worker(item: tuple) -> TaskRun:
-    method, task_id, seed, profile, criterion, group_size, engine = item
+    method, task_id, seed, profile, criterion, group_size, context = item
     return run_one(method, task_id, seed, profile, criterion, group_size,
-                   engine)
+                   context=context)
+
+
+# ----------------------------------------------------------------------
+# Progress reporting
+# ----------------------------------------------------------------------
+def _wants_attempt(progress) -> bool:
+    """Does ``progress`` accept an ``attempt`` keyword?"""
+    try:
+        signature = inspect.signature(progress)
+    except (TypeError, ValueError):  # builtins, odd callables
+        return False
+    for parameter in signature.parameters.values():
+        if parameter.kind is inspect.Parameter.VAR_KEYWORD:
+            return True
+        if (parameter.name == "attempt"
+                and parameter.kind is not inspect.Parameter.VAR_POSITIONAL):
+            return True
+    return False
+
+
+class _ProgressReporter:
+    """Attempt-aware progress fan-out.
+
+    A healed-pool retry reruns every item, which used to replay indices
+    from 1 into the caller's callback — a monotonicity break across
+    attempts.  Callbacks that accept an ``attempt`` keyword now get the
+    full replay labelled with the attempt number; legacy three-argument
+    callbacks see each index at most once (a high-water mark across
+    attempts), keeping their view strictly monotonic.
+    """
+
+    def __init__(self, progress, total: int):
+        self._progress = progress
+        self._total = total
+        self._attempt_aware = (progress is not None
+                               and _wants_attempt(progress))
+        self._high_water = 0
+
+    def report(self, index: int, run: TaskRun, attempt: int) -> None:
+        if self._progress is None:
+            return
+        if self._attempt_aware:
+            self._progress(index, self._total, run, attempt=attempt)
+        elif index > self._high_water:
+            self._high_water = index
+            self._progress(index, self._total, run)
 
 
 def run_campaign(config: CampaignConfig, progress=None) -> CampaignResult:
@@ -158,15 +189,22 @@ def run_campaign(config: CampaignConfig, progress=None) -> CampaignResult:
     (:func:`repro.core.simulation.get_sim_pool`), so consecutive
     campaigns — and interleaved batch simulation calls — reuse the same
     worker processes and their warm caches instead of paying a pool
-    spin-up per run.
+    spin-up per run.  Every work item carries the campaign's resolved
+    :class:`SimContext`.
+
+    ``progress`` is called as ``progress(index, total, run)`` after each
+    completed item; pass a callback accepting an ``attempt`` keyword to
+    also observe healed-pool retries (see :class:`_ProgressReporter`).
     """
+    context = config.resolved_context()
     items = [(method, task_id, seed, config.profile_name,
-              config.criterion_name, config.group_size, config.engine)
+              config.criterion_name, config.group_size, context)
              for method in config.methods
              for seed in config.seeds
              for task_id in config.task_ids]
 
     result = CampaignResult(config)
+    reporter = _ProgressReporter(progress, len(items))
     n_jobs = config.n_jobs or 1
     if n_jobs > 1:
         # A killed worker breaks the shared executor, and a concurrent
@@ -181,8 +219,7 @@ def run_campaign(config: CampaignConfig, progress=None) -> CampaignResult:
                 for index, run in enumerate(pool.map(_worker, items,
                                                      chunksize=4)):
                     result.runs.append(run)
-                    if progress:
-                        progress(index + 1, len(items), run)
+                    reporter.report(index + 1, run, attempt)
                 break
             except (BrokenProcessPool, RuntimeError):
                 shutdown_sim_pool(wait=False)
@@ -192,17 +229,16 @@ def run_campaign(config: CampaignConfig, progress=None) -> CampaignResult:
         for index, item in enumerate(items):
             run = _worker(item)
             result.runs.append(run)
-            if progress:
-                progress(index + 1, len(items), run)
+            reporter.report(index + 1, run, attempt=0)
     return result
 
 
 def campaign_jobs_from_env(default: int = 1) -> int:
-    """Resolve worker count from ``REPRO_JOBS`` (0 = all cores)."""
-    raw = os.environ.get("REPRO_JOBS", "")
-    if not raw:
-        return default
-    value = int(raw)
-    if value == 0:
-        return os.cpu_count() or 1
-    return max(1, value)
+    """Resolve worker count from the active context / ``REPRO_JOBS``.
+
+    Delegates to :func:`repro.hdl.context.resolve_jobs`: an active
+    context's ``jobs`` wins; otherwise ``REPRO_JOBS`` (``0`` = all
+    cores, malformed values warn at seeding time and fall back) applies
+    when set, else ``default``.
+    """
+    return resolve_jobs(default)

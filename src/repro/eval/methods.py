@@ -1,0 +1,175 @@
+"""Pluggable campaign-method registry.
+
+The campaign runner used to hardcode its three methods in an if/elif
+chain inside ``run_one`` — adding a strategy (a CorrectHDL-style
+HLS-reference corrector, an AutoVeriFix-style trace-guided repairer,
+an ablation) meant editing the runner, its config validation and the
+CLI choices by hand.  This module turns a method into a registered
+entry::
+
+    from repro.eval import campaign_method
+
+    @campaign_method("my-method")
+    def _my_method(call: MethodCall) -> TaskRun:
+        testbench = MyGenerator(call.client, call.task).generate()
+        return call.result(call.grade(testbench))
+
+Registered names are picked up everywhere a method name is accepted:
+``run_one`` dispatch, ``CampaignConfig`` validation and the CLI's
+``--method`` choices.  Runners receive a :class:`MethodCall` — the
+fully-resolved per-item environment (task, metered client, golden
+artifacts, criterion) — and return a :class:`TaskRun`; the
+:meth:`MethodCall.grade` / :meth:`MethodCall.result` helpers cover the
+common produce-testbench-then-grade shape.
+
+Pool caveat: the registry is per process.  Campaign workers inherit
+registrations made before the shared pool spawned (fork start method);
+register out-of-tree methods at import time — or run serial campaigns —
+to be start-method agnostic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from ..core.agent import CorrectBenchWorkflow, WorkflowResult
+from ..core.baseline import DirectBaseline
+from ..core.generator import AutoBenchGenerator
+from ..core.validator import Criterion
+from ..llm.base import MeteredClient, Usage, UsageMeter
+from ..problems.model import TaskSpec
+from .autoeval import EvalLevel, evaluate
+from .golden import GoldenArtifacts
+
+METHOD_BASELINE = "baseline"
+METHOD_AUTOBENCH = "autobench"
+METHOD_CORRECTBENCH = "correctbench"
+
+
+@dataclass(frozen=True)
+class TaskRun:
+    """One (method, task, seed) outcome."""
+
+    method: str
+    task_id: str
+    kind: str
+    seed: int
+    level: EvalLevel
+    usage: Usage = Usage()
+    validated: bool | None = None     # CorrectBench only
+    gave_up: bool | None = None
+    corrections: int = 0
+    reboots: int = 0
+    final_from_corrector: bool = False
+    took_any_action: bool = False
+
+
+@dataclass(frozen=True)
+class MethodCall:
+    """Everything a method runner needs for one (task, seed) item."""
+
+    method: str
+    task: TaskSpec
+    seed: int
+    client: MeteredClient
+    meter: UsageMeter
+    golden: GoldenArtifacts
+    criterion: Criterion
+    group_size: int
+
+    def grade(self, testbench) -> EvalLevel:
+        """AutoEval the produced testbench against the golden artifacts."""
+        return evaluate(testbench, self.golden).level
+
+    def result(self, level: EvalLevel, **extra) -> TaskRun:
+        """Build the :class:`TaskRun` for this item (usage metered)."""
+        return TaskRun(self.method, self.task.task_id, self.task.kind,
+                       self.seed, level, self.meter.total, **extra)
+
+
+MethodRunner = Callable[[MethodCall], TaskRun]
+
+_registry: dict[str, MethodRunner] = {}
+
+
+def register_method(name: str, runner: MethodRunner, *,
+                    replace: bool = False) -> MethodRunner:
+    """Register ``runner`` under ``name``.
+
+    ``replace=True`` allows overriding an existing entry (ablations
+    that shadow a built-in).  Returns the runner for chaining.
+    """
+    if not name or not isinstance(name, str):
+        raise ValueError(f"method name must be a non-empty string, "
+                         f"got {name!r}")
+    if not callable(runner):
+        raise TypeError(f"method runner must be callable, got {runner!r}")
+    if name in _registry and not replace:
+        raise ValueError(f"method {name!r} is already registered "
+                         f"(pass replace=True to override)")
+    _registry[name] = runner
+    return runner
+
+
+def campaign_method(name: str, *, replace: bool = False):
+    """Decorator form of :func:`register_method`."""
+    def decorate(runner: MethodRunner) -> MethodRunner:
+        return register_method(name, runner, replace=replace)
+    return decorate
+
+
+def unregister_method(name: str) -> None:
+    """Remove a registered method (tests, plugin teardown)."""
+    if name not in _registry:
+        raise ValueError(f"method {name!r} is not registered")
+    del _registry[name]
+
+
+def registered_methods() -> tuple[str, ...]:
+    """Registered method names, in registration order."""
+    return tuple(_registry)
+
+
+def get_method(name: str) -> MethodRunner:
+    """Look up a runner; unknown names raise ``ValueError`` listing the
+    registered choices."""
+    try:
+        return _registry[name]
+    except KeyError:
+        raise ValueError(f"unknown method {name!r}; registered methods: "
+                         f"{registered_methods()}") from None
+
+
+# ----------------------------------------------------------------------
+# Built-in methods (the paper's three columns)
+# ----------------------------------------------------------------------
+@campaign_method(METHOD_CORRECTBENCH)
+def _run_correctbench(call: MethodCall) -> TaskRun:
+    workflow = CorrectBenchWorkflow(call.client, call.task, call.criterion,
+                                    group_size=call.group_size)
+    result: WorkflowResult = workflow.run()
+    return call.result(
+        call.grade(result.final_tb),
+        validated=result.validated, gave_up=result.gave_up,
+        corrections=result.corrections, reboots=result.reboots,
+        final_from_corrector=result.final_from_corrector,
+        took_any_action=result.took_any_action)
+
+
+@campaign_method(METHOD_AUTOBENCH)
+def _run_autobench(call: MethodCall) -> TaskRun:
+    testbench = AutoBenchGenerator(call.client, call.task).generate(attempt=0)
+    return call.result(call.grade(testbench))
+
+
+@campaign_method(METHOD_BASELINE)
+def _run_baseline(call: MethodCall) -> TaskRun:
+    testbench = DirectBaseline(call.client, call.task).generate(attempt=0)
+    return call.result(call.grade(testbench))
+
+
+#: The paper's method columns, in reporting order.  Deliberately a
+#: static tuple: campaigns default to the built-ins even after plugins
+#: register more methods.
+ALL_METHODS = (METHOD_CORRECTBENCH, METHOD_AUTOBENCH, METHOD_BASELINE)

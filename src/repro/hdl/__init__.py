@@ -10,9 +10,9 @@ CorrectBench system.  Execution is a four-stage pipeline::
     (frozen-dataclass) AST nodes.  Lexing runs through a single-pass
     *master-regex* tokenizer by default; the original
     character-at-a-time lexer is kept as a behavioural oracle
-    (``REPRO_LEXER=reference`` / :func:`~repro.hdl.lexer.set_default_lexer`),
-    and the lexer differential fuzz suite pins both to identical token
-    streams and error positions.  :func:`parse_source_cached` is the
+    (``use_context(lexer="reference")`` or the ``REPRO_LEXER`` root
+    seed), and the lexer differential fuzz suite pins both to identical
+    token streams and error positions.  :func:`parse_source_cached` is the
     text-keyed parse cache: identical source text is parsed once
     process-wide, and the shared AST is safe because nodes are
     immutable.  A token-stream cache sits underneath it, so sources
@@ -58,11 +58,17 @@ Public surface:
 - :func:`parse_source` / :func:`parse_module` — syntax checking and AST,
 - :func:`compile_design` — parse + elaborate (the Eval0 "compiles" check),
 - :func:`simulate` — run a design whose testbench calls ``$finish``,
+- :class:`SimContext` / :func:`use_context` / :func:`current_context` —
+  the request-scoped configuration API (engine, lexer, limits, jobs);
+  resolution order is explicit argument > active context > env-seeded
+  root context,
 - :class:`Logic` — 4-state fixed-width vectors,
 - :mod:`repro.hdl.unparse` — AST back to source (used by the mutation
   engine).
 """
 
+from .context import (SimContext, current_context, resolve_jobs,
+                      root_context, set_root_context, use_context)
 from .errors import (ElaborationError, HdlError, SimulationError,
                      SimulationLimit, VerilogSyntaxError)
 from .lexer import (LEXER_MASTER, LEXER_REFERENCE, LEXERS,
@@ -85,18 +91,24 @@ __all__ = [
     "ElaborationError",
     "HdlError",
     "Logic",
+    "SimContext",
     "SimulationError",
     "SimulationLimit",
     "SimulationResult",
     "Simulator",
     "VerilogSyntaxError",
     "compile_design",
+    "current_context",
     "get_default_lexer",
     "parse_module",
     "parse_source",
     "parse_source_cached",
+    "resolve_jobs",
+    "root_context",
     "set_default_lexer",
+    "set_root_context",
     "simulate",
+    "use_context",
     "tokenize",
     "tokenize_cached",
     "unparse_expr",

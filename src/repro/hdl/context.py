@@ -1,0 +1,248 @@
+"""Explicit, request-scoped simulation configuration.
+
+Historically every execution knob was process-wide mutable state:
+``set_default_engine`` / ``REPRO_SIM_ENGINE`` picked the simulator
+engine, ``set_default_lexer`` / ``REPRO_LEXER`` the tokenizer,
+``REPRO_JOBS`` the campaign worker count, and simulation limits were
+module constants.  That shape cannot serve concurrent workloads with
+different configurations: one request flipping a global reconfigures
+every other request in flight.
+
+This module replaces the globals with one immutable value object:
+
+:class:`SimContext`
+    a frozen dataclass carrying the engine, the lexer, the simulation
+    limits (``max_time`` / ``max_stmts``), the differential-fuzz budget
+    knobs and the worker-pool job count.  Being immutable and made of
+    primitives it is hashable, comparable and picklable — campaign work
+    items ship the context to pool workers as plain data.
+
+:func:`current_context`
+    the single resolution point.  Selection follows a strict order:
+    **explicit argument > active context > env-seeded root context**.
+    The *active* context is a :mod:`contextvars` variable, so nested
+    activations restore correctly and concurrent threads / asyncio
+    tasks each see their own configuration.
+
+:func:`use_context`
+    a context manager activating a context (or a derived one via
+    keyword overrides) for the dynamic extent of a block::
+
+        with use_context(engine="interpret", max_stmts=10_000):
+            simulate(src, "tb")          # runs interpreted, capped
+
+:func:`root_context` / :func:`set_root_context`
+    the process-wide fallback, seeded once at import from the legacy
+    ``REPRO_*`` environment variables (invalid values warn on stderr
+    and fall back to the defaults).  The deprecated
+    ``set_default_engine`` / ``set_default_lexer`` shims steer this
+    root, so existing code keeps working while new code composes
+    contexts explicitly.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+from contextlib import contextmanager
+from contextvars import ContextVar
+from dataclasses import dataclass, replace
+
+ENGINE_COMPILED = "compiled"
+ENGINE_INTERPRET = "interpret"
+ENGINES = (ENGINE_COMPILED, ENGINE_INTERPRET)
+
+LEXER_MASTER = "master"
+LEXER_REFERENCE = "reference"
+LEXERS = (LEXER_MASTER, LEXER_REFERENCE)
+
+DEFAULT_MAX_TIME = 2_000_000
+DEFAULT_MAX_STMTS = 4_000_000
+DEFAULT_JOBS = 1
+DEFAULT_FUZZ_PROGRAMS = 200
+DEFAULT_FUZZ_SEED = 1729
+
+
+@dataclass(frozen=True, slots=True)
+class SimContext:
+    """One immutable bundle of execution configuration.
+
+    Fields are validated on construction, so an invalid context fails
+    at the call site that built it — not deep inside a pool worker.
+    """
+
+    engine: str = ENGINE_COMPILED
+    lexer: str = LEXER_MASTER
+    max_time: int = DEFAULT_MAX_TIME
+    max_stmts: int = DEFAULT_MAX_STMTS
+    jobs: int = DEFAULT_JOBS
+    fuzz_programs: int = DEFAULT_FUZZ_PROGRAMS
+    fuzz_seed: int = DEFAULT_FUZZ_SEED
+
+    def __post_init__(self):
+        if self.engine not in ENGINES:
+            raise ValueError(f"unknown engine {self.engine!r}; "
+                             f"expected one of {ENGINES}")
+        if self.lexer not in LEXERS:
+            raise ValueError(f"unknown lexer {self.lexer!r}; "
+                             f"expected one of {LEXERS}")
+        for name in ("max_time", "max_stmts", "jobs", "fuzz_programs"):
+            value = getattr(self, name)
+            if not isinstance(value, int) or value < 1:
+                raise ValueError(f"{name} must be a positive integer, "
+                                 f"got {value!r}")
+        if not isinstance(self.fuzz_seed, int):
+            raise ValueError(f"fuzz_seed must be an integer, "
+                             f"got {self.fuzz_seed!r}")
+
+    def evolve(self, **overrides) -> "SimContext":
+        """Return a copy with ``overrides`` applied (and re-validated)."""
+        return replace(self, **overrides)
+
+
+# ----------------------------------------------------------------------
+# Environment seeding (the only REPRO_* reads in the code base)
+# ----------------------------------------------------------------------
+def _warn_env(message: str) -> None:
+    print(f"warning: {message}", file=sys.stderr)
+
+
+def _context_from_env(environ=None) -> tuple[SimContext, frozenset]:
+    """Build a context from ``REPRO_*`` variables.
+
+    Returns ``(context, seeded)`` where ``seeded`` names the fields an
+    environment variable actually set.  Invalid values warn on stderr
+    and leave the field at its default — a misspelt knob must degrade a
+    run, never kill it (mirrors the historical ``REPRO_SIM_ENGINE``
+    behaviour, now extended to every variable including ``REPRO_JOBS``).
+    """
+    if environ is None:
+        environ = os.environ
+    overrides: dict = {}
+    seeded: set[str] = set()
+
+    engine = environ.get("REPRO_SIM_ENGINE")
+    if engine is not None:
+        if engine in ENGINES:
+            overrides["engine"] = engine
+            seeded.add("engine")
+        else:
+            _warn_env(f"REPRO_SIM_ENGINE={engine!r} is not one of "
+                      f"{ENGINES}; using {ENGINE_COMPILED!r}")
+
+    lexer = environ.get("REPRO_LEXER")
+    if lexer is not None:
+        if lexer in LEXERS:
+            overrides["lexer"] = lexer
+            seeded.add("lexer")
+        else:
+            _warn_env(f"REPRO_LEXER={lexer!r} is not one of "
+                      f"{LEXERS}; using {LEXER_MASTER!r}")
+
+    jobs = environ.get("REPRO_JOBS")
+    if jobs:
+        try:
+            value = int(jobs)
+        except ValueError:
+            _warn_env(f"REPRO_JOBS={jobs!r} is not an integer; "
+                      f"using the default worker count")
+        else:
+            if value == 0:
+                value = os.cpu_count() or 1
+            overrides["jobs"] = max(1, value)
+            seeded.add("jobs")
+
+    for env_name, field_name in (("REPRO_FUZZ_PROGRAMS", "fuzz_programs"),
+                                 ("REPRO_FUZZ_SEED", "fuzz_seed")):
+        raw = environ.get(env_name)
+        if raw is None:
+            continue
+        try:
+            value = int(raw)
+        except ValueError:
+            _warn_env(f"{env_name}={raw!r} is not an integer; "
+                      f"using the default")
+            continue
+        if field_name == "fuzz_programs" and value < 1:
+            _warn_env(f"{env_name}={raw!r} must be >= 1; "
+                      f"using the default")
+            continue
+        overrides[field_name] = value
+        seeded.add(field_name)
+
+    return SimContext(**overrides), frozenset(seeded)
+
+
+_root, _env_seeded = _context_from_env()
+
+# The active (request-scoped) context.  ``None`` means "fall through to
+# the root": threads and asyncio tasks start without an activation, so
+# a worker never silently inherits another request's configuration.
+_active: ContextVar[SimContext | None] = ContextVar(
+    "repro_sim_context", default=None)
+
+
+def current_context() -> SimContext:
+    """Resolve the context in effect: active if any, else the root."""
+    context = _active.get()
+    return context if context is not None else _root
+
+
+def active_context() -> SimContext | None:
+    """The activation in effect, or ``None`` when resolution falls
+    through to the root (used by the deprecation shims to flag
+    root-steering that an activation would mask)."""
+    return _active.get()
+
+
+def root_context() -> SimContext:
+    """The process-wide fallback context (env-seeded at import)."""
+    return _root
+
+
+def set_root_context(context: SimContext) -> None:
+    """Replace the process-wide fallback context.
+
+    Prefer :func:`use_context` for anything request-scoped; this is for
+    process setup (CLI entry points, worker initializers) and for the
+    legacy ``set_default_*`` shims.
+    """
+    global _root
+    if not isinstance(context, SimContext):
+        raise TypeError(f"expected a SimContext, got {context!r}")
+    _root = context
+
+
+@contextmanager
+def use_context(context: SimContext | None = None, **overrides):
+    """Activate ``context`` (or the current one evolved with keyword
+    overrides) for the duration of the ``with`` block.
+
+    Activations nest: leaving the block restores whatever was active
+    before, even under exceptions.
+    """
+    base = context if context is not None else current_context()
+    if overrides:
+        base = base.evolve(**overrides)
+    token = _active.set(base)
+    try:
+        yield base
+    finally:
+        _active.reset(token)
+
+
+def resolve_jobs(default: int = 1) -> int:
+    """Worker count for campaign sharding.
+
+    An active context always wins; otherwise the root's count applies
+    when it was actually configured — seeded from ``REPRO_JOBS`` or
+    steered away from the built-in default via
+    :func:`set_root_context` — so callers keep control of their own
+    default when nobody chose a job count.
+    """
+    context = _active.get()
+    if context is not None:
+        return context.jobs
+    if "jobs" in _env_seeded or _root.jobs != DEFAULT_JOBS:
+        return _root.jobs
+    return default

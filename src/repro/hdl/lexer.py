@@ -19,10 +19,12 @@ and identical :class:`VerilogSyntaxError` positions:
     random token soups and the full golden corpus the same way
     ``engine="interpret"`` anchors the simulator.
 
-Selection mirrors the simulator's engine knob: the ``REPRO_LEXER``
-environment variable at import (invalid values warn and fall back to
-``master``), :func:`set_default_lexer` at runtime, or an explicit
-``lexer=`` argument to :func:`tokenize`.
+Selection mirrors the simulator's engine knob and resolves through the
+active :class:`~repro.hdl.context.SimContext`: an explicit ``lexer=``
+argument to :func:`tokenize` wins, then ``use_context(lexer=...)``,
+then the env-seeded root context (``REPRO_LEXER``; invalid values warn
+and fall back to ``master``).  :func:`set_default_lexer` remains as a
+deprecated shim steering the root context.
 
 :func:`tokenize_cached` adds a text-keyed token-stream cache (keyed by
 the active lexer so the ``reference`` CI leg genuinely re-lexes):
@@ -32,45 +34,49 @@ skip the lexer entirely on re-entry.
 
 from __future__ import annotations
 
-import os
 import re
+import warnings
 from functools import lru_cache
 from sys import intern
 
+# The canonical lexer names live in repro.hdl.context (alongside
+# SimContext); re-exported here (redundant-alias form) for the many
+# callers that import them from the lexer.
+from .context import LEXER_MASTER as LEXER_MASTER
+from .context import LEXER_REFERENCE as LEXER_REFERENCE
+from .context import LEXERS as LEXERS
+from .context import (active_context, current_context, root_context,
+                      set_root_context)
 from .errors import VerilogSyntaxError
 from .tokens import KEYWORDS, PUNCTUATIONS, Token, TokenKind
 
-LEXER_MASTER = "master"
-LEXER_REFERENCE = "reference"
-LEXERS = (LEXER_MASTER, LEXER_REFERENCE)
-
-
-def _lexer_from_env() -> str:
-    value = os.environ.get("REPRO_LEXER", LEXER_MASTER)
-    if value not in LEXERS:
-        import sys
-        print(f"warning: REPRO_LEXER={value!r} is not one of "
-              f"{LEXERS}; using {LEXER_MASTER!r}", file=sys.stderr)
-        return LEXER_MASTER
-    return value
-
-
-# Single source of truth for the process-wide default lexer: read from
-# the environment once at import, mutable via set_default_lexer().
-_default_lexer = _lexer_from_env()
-
 
 def set_default_lexer(lexer: str) -> None:
-    """Select the process-wide default lexer implementation."""
-    global _default_lexer
+    """Deprecated: steer the root :class:`~repro.hdl.context.SimContext`.
+
+    Prefer ``use_context(lexer=...)`` for request-scoped selection or
+    ``set_root_context`` for process setup; this shim remains so legacy
+    callers keep working.
+    """
     if lexer not in LEXERS:
         raise ValueError(f"unknown lexer {lexer!r}; "
                          f"expected one of {LEXERS}")
-    _default_lexer = lexer
+    message = ("set_default_lexer() is deprecated; use "
+               "repro.hdl.use_context(lexer=...) or set_root_context()")
+    if active_context() is not None:
+        # Mirror set_default_engine: flag root-steering that the
+        # current activation will mask (and that a pin-and-restore
+        # idiom would corrupt).
+        message += (" — an activated SimContext is in effect and keeps "
+                    "winning over this root-context change until it "
+                    "exits")
+    warnings.warn(message, DeprecationWarning, stacklevel=2)
+    set_root_context(root_context().evolve(lexer=lexer))
 
 
 def get_default_lexer() -> str:
-    return _default_lexer
+    """The lexer the current context resolves to (legacy accessor)."""
+    return current_context().lexer
 
 
 _IDENT_START = frozenset("abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ_")
@@ -576,10 +582,10 @@ def tokenize(source: str, lexer: str | None = None) -> list[Token]:
     """Tokenize Verilog source text, raising :class:`VerilogSyntaxError`.
 
     ``lexer`` selects the implementation (``"master"`` /
-    ``"reference"``); ``None`` uses the process default
-    (:func:`get_default_lexer`).
+    ``"reference"``); ``None`` resolves through the active
+    :class:`~repro.hdl.context.SimContext`.
     """
-    name = lexer or _default_lexer
+    name = lexer or current_context().lexer
     if name == LEXER_REFERENCE:
         return ReferenceLexer(source).tokenize()
     if name != LEXER_MASTER:
@@ -596,8 +602,9 @@ def _tokenize_cached(source: str, lexer: str) -> tuple[Token, ...]:
     return tuple(tokenize(source, lexer))
 
 
-def tokenize_cached(source: str) -> tuple[Token, ...]:
-    """Text-keyed token-stream cache (process default lexer).
+def tokenize_cached(source: str,
+                    lexer: str | None = None) -> tuple[Token, ...]:
+    """Text-keyed token-stream cache (context-resolved lexer).
 
     Token objects are immutable by convention, so sharing one stream is
     safe.  The main beneficiaries are sources that lex but fail to
@@ -607,11 +614,11 @@ def tokenize_cached(source: str) -> tuple[Token, ...]:
     served from its cached AST and never reads its token stream again.
     Lexing *errors* are not cached — a failing text re-raises on every
     call (the elaboration-failure cache in :mod:`repro.core.simulation`
-    sits above this and absorbs those).  The key includes the active
-    lexer so flipping ``REPRO_LEXER`` never serves a stream produced by
-    the other implementation.
+    sits above this and absorbs those).  The key includes the resolved
+    lexer so flipping the context's lexer never serves a stream
+    produced by the other implementation.
     """
-    return _tokenize_cached(source, _default_lexer)
+    return _tokenize_cached(source, lexer or current_context().lexer)
 
 
 def clear_tokenize_cache() -> None:

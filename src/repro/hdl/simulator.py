@@ -38,56 +38,57 @@ Two execution engines produce those generators/callables:
 from __future__ import annotations
 
 import heapq
-import os
+import warnings
 from collections import deque
 from dataclasses import dataclass, field
 from typing import Iterable, Optional
 
 from . import ast
 from .compile import compile_spec
+# The canonical engine names live in repro.hdl.context (alongside
+# SimContext); re-exported here (redundant-alias form) for the many
+# callers that import them from the simulator.
+from .context import ENGINE_COMPILED as ENGINE_COMPILED
+from .context import ENGINE_INTERPRET as ENGINE_INTERPRET
+from .context import ENGINES as ENGINES
+from .context import (active_context, current_context, root_context,
+                      set_root_context)
 from .elaborate import Design, Memory, ProcSpec, Scope, Signal, elaborate
 from .errors import FinishRequest, SimulationError, SimulationLimit
 from .eval import case_match, eval_expr, signed_of
 from .logic import Logic
 from .parser import parse_source_cached
 
-DEFAULT_MAX_TIME = 4_000_000
-DEFAULT_MAX_STMTS = 8_000_000
 MAX_DELTAS_PER_SLOT = 20_000
-
-ENGINE_COMPILED = "compiled"
-ENGINE_INTERPRET = "interpret"
-ENGINES = (ENGINE_COMPILED, ENGINE_INTERPRET)
-
-
-def _engine_from_env() -> str:
-    value = os.environ.get("REPRO_SIM_ENGINE", ENGINE_COMPILED)
-    if value not in ENGINES:
-        import sys
-        print(f"warning: REPRO_SIM_ENGINE={value!r} is not one of "
-              f"{ENGINES}; using {ENGINE_COMPILED!r}", file=sys.stderr)
-        return ENGINE_COMPILED
-    return value
-
-
-# Single source of truth for the process-wide default engine: read from
-# the environment once at import, mutable via set_default_engine().
-# Every layer (hdl.simulate, core.simulation templates, campaigns)
-# resolves engine=None through this.
-_default_engine = _engine_from_env()
 
 
 def set_default_engine(engine: str) -> None:
-    """Select the process-wide default execution engine."""
-    global _default_engine
+    """Deprecated: steer the root :class:`~repro.hdl.context.SimContext`.
+
+    Prefer ``use_context(engine=...)`` for request-scoped selection or
+    ``set_root_context`` for process setup; this shim remains so legacy
+    callers keep working.
+    """
     if engine not in ENGINES:
         raise ValueError(f"unknown engine {engine!r}; "
                          f"expected one of {ENGINES}")
-    _default_engine = engine
+    message = ("set_default_engine() is deprecated; use "
+               "repro.hdl.use_context(engine=...) or set_root_context()")
+    if active_context() is not None:
+        # The getter resolves through the activation, so a legacy
+        # pin-and-restore around this call would read the ACTIVE value
+        # and write it into the ROOT — warn loudly instead of letting
+        # the set appear to work.
+        message += (" — an activated SimContext is in effect and keeps "
+                    "winning over this root-context change until it "
+                    "exits")
+    warnings.warn(message, DeprecationWarning, stacklevel=2)
+    set_root_context(root_context().evolve(engine=engine))
 
 
 def get_default_engine() -> str:
-    return _default_engine
+    """The engine the current context resolves to (legacy accessor)."""
+    return current_context().engine
 
 # Backwards-compatible alias; the class moved to ``repro.hdl.errors`` so
 # the compile pass can raise it without importing this module.
@@ -143,18 +144,22 @@ class SimulationResult:
 class Simulator:
     """Runs an elaborated :class:`Design`."""
 
-    def __init__(self, design: Design, max_time: int = DEFAULT_MAX_TIME,
-                 max_stmts: int = DEFAULT_MAX_STMTS, seed: int = 0,
+    def __init__(self, design: Design, max_time: int | None = None,
+                 max_stmts: int | None = None, seed: int = 0,
                  engine: str | None = None):
+        # Resolution order for every knob: explicit argument > active
+        # context > env-seeded root context.
+        context = current_context()
         if engine is None:
-            engine = _default_engine
+            engine = context.engine
         if engine not in ENGINES:
             raise ValueError(f"unknown engine {engine!r}; "
                              f"expected one of {ENGINES}")
         self.engine = engine
         self.design = design
-        self.max_time = max_time
-        self.max_stmts = max_stmts
+        self.max_time = context.max_time if max_time is None else max_time
+        self.max_stmts = (context.max_stmts if max_stmts is None
+                          else max_stmts)
         self.time = 0
         self.stmt_count = 0
         self.finish_requested = False
@@ -784,15 +789,16 @@ def compile_design(sources: str | Iterable[str], top: str) -> Design:
 
 
 def simulate(sources: str | Iterable[str], top: str,
-             max_time: int = DEFAULT_MAX_TIME,
-             max_stmts: int = DEFAULT_MAX_STMTS,
+             max_time: int | None = None,
+             max_stmts: int | None = None,
              seed: int = 0, engine: str | None = None) -> SimulationResult:
     """Compile and run a design; the testbench must call ``$finish``.
 
     ``engine`` selects the execution strategy: ``"compiled"`` (closure
-    trees) or ``"interpret"`` (the reference AST walker).  ``None``
-    defers to :func:`get_default_engine` (``REPRO_SIM_ENGINE`` at
-    startup, adjustable via :func:`set_default_engine`).
+    trees) or ``"interpret"`` (the reference AST walker).  ``engine``,
+    ``max_time`` and ``max_stmts`` left as ``None`` resolve through the
+    active :class:`~repro.hdl.context.SimContext`
+    (:func:`~repro.hdl.context.current_context`).
     """
     design = compile_design(sources, top)
     return Simulator(design, max_time=max_time, max_stmts=max_stmts,

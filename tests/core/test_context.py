@@ -1,0 +1,273 @@
+"""SimContext resolution, isolation, shims and the cache facade.
+
+Pins the PR-4 configuration API: explicit argument > active context >
+env-seeded root; nested activations restore; contexts neither leak
+across threads nor into pool workers (work items carry their own);
+the deprecated ``set_default_*`` shims steer the root context; and the
+``CacheRegistry`` facade fronts every cache layer.
+"""
+
+import threading
+
+import pytest
+
+from repro.core.caches import CacheRegistry, caches
+from repro.core.simulation import (RUNTIME, run_driver, run_driver_batch,
+                                   simulation_cache_stats)
+from repro.eval.campaign import campaign_jobs_from_env
+from repro.hdl import simulate
+from repro.hdl.context import (ENGINE_COMPILED, ENGINE_INTERPRET,
+                               LEXER_REFERENCE, SimContext,
+                               _context_from_env, current_context,
+                               root_context, set_root_context, use_context)
+from repro.hdl.simulator import set_default_engine
+from repro.codegen import render_driver
+from repro.problems import get_task
+
+TB = 'module tb; initial begin $display("ok"); $finish; end endmodule'
+
+LOOPY_TB = """
+module tb;
+    integer i;
+    initial begin
+        for (i = 0; i < 100000; i = i + 1) begin end
+        $display("done");
+        $finish;
+    end
+endmodule
+"""
+
+
+# ----------------------------------------------------------------------
+# SimContext value semantics
+# ----------------------------------------------------------------------
+class TestSimContext:
+    def test_defaults(self):
+        context = SimContext()
+        assert context.engine == ENGINE_COMPILED
+        assert context.lexer == "master"
+        assert context.jobs == 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SimContext(engine="quantum")
+        with pytest.raises(ValueError):
+            SimContext(lexer="treebank")
+        with pytest.raises(ValueError):
+            SimContext(max_time=0)
+        with pytest.raises(ValueError):
+            SimContext(jobs=-2)
+        with pytest.raises(ValueError):
+            SimContext(fuzz_seed="abc")
+
+    def test_evolve_revalidates(self):
+        context = SimContext()
+        assert context.evolve(engine=ENGINE_INTERPRET).engine == \
+            ENGINE_INTERPRET
+        with pytest.raises(ValueError):
+            context.evolve(engine="quantum")
+        # evolve returns a new value; the original is untouched.
+        assert context.engine == ENGINE_COMPILED
+
+    def test_value_object(self):
+        assert SimContext() == SimContext()
+        assert hash(SimContext()) == hash(SimContext())
+        import pickle
+        context = SimContext(engine=ENGINE_INTERPRET, max_stmts=7)
+        assert pickle.loads(pickle.dumps(context)) == context
+
+
+# ----------------------------------------------------------------------
+# Resolution + isolation
+# ----------------------------------------------------------------------
+class TestResolution:
+    def test_nested_use_context_restores(self):
+        base = current_context()
+        with use_context(engine=ENGINE_INTERPRET) as outer:
+            assert current_context() is outer
+            with use_context(max_stmts=99) as inner:
+                assert current_context() is inner
+                assert inner.engine == ENGINE_INTERPRET  # inherited
+                assert inner.max_stmts == 99
+            assert current_context() is outer
+        assert current_context() == base
+
+    def test_use_context_restores_on_exception(self):
+        base = current_context()
+        with pytest.raises(RuntimeError):
+            with use_context(engine=ENGINE_INTERPRET):
+                raise RuntimeError("boom")
+        assert current_context() == base
+
+    def test_explicit_argument_beats_context(self):
+        with use_context(max_stmts=50):
+            # Explicit limit wins over the active context's tiny cap.
+            result = simulate(LOOPY_TB, "tb", max_stmts=10_000_000)
+            assert result.stdout == ["done"]
+
+    def test_context_limits_apply(self):
+        from repro.hdl.errors import SimulationLimit
+        with use_context(max_stmts=50):
+            with pytest.raises(SimulationLimit):
+                simulate(LOOPY_TB, "tb")
+
+    def test_threads_do_not_inherit_activation(self):
+        seen = {}
+
+        def probe():
+            seen["engine"] = current_context().engine
+
+        with use_context(engine=ENGINE_INTERPRET):
+            thread = threading.Thread(target=probe)
+            thread.start()
+            thread.join()
+        # A fresh thread starts without an activation: it resolves to
+        # the root, not to another thread's request context.
+        assert seen["engine"] == root_context().engine
+
+    def test_shims_steer_root_context(self):
+        original = root_context()
+        try:
+            with pytest.deprecated_call():
+                set_default_engine(ENGINE_INTERPRET)
+            assert root_context().engine == ENGINE_INTERPRET
+            assert current_context().engine == ENGINE_INTERPRET
+            # An activation still beats the steered root.
+            with use_context(engine=ENGINE_COMPILED):
+                assert current_context().engine == ENGINE_COMPILED
+        finally:
+            set_root_context(original)
+
+    def test_set_root_context_type_checked(self):
+        with pytest.raises(TypeError):
+            set_root_context("compiled")
+
+
+# ----------------------------------------------------------------------
+# Environment seeding (the root context)
+# ----------------------------------------------------------------------
+class TestEnvSeeding:
+    def test_full_seed(self):
+        context, seeded = _context_from_env({
+            "REPRO_SIM_ENGINE": "interpret",
+            "REPRO_LEXER": "reference",
+            "REPRO_JOBS": "3",
+            "REPRO_FUZZ_PROGRAMS": "17",
+            "REPRO_FUZZ_SEED": "42",
+        })
+        assert context == SimContext(
+            engine=ENGINE_INTERPRET, lexer=LEXER_REFERENCE, jobs=3,
+            fuzz_programs=17, fuzz_seed=42)
+        assert seeded == {"engine", "lexer", "jobs", "fuzz_programs",
+                          "fuzz_seed"}
+
+    def test_invalid_lexer_warns_and_falls_back(self, capsys):
+        context, seeded = _context_from_env({"REPRO_LEXER": "treebank"})
+        assert context.lexer == "master"
+        assert "lexer" not in seeded
+        assert "REPRO_LEXER" in capsys.readouterr().err
+
+    def test_malformed_jobs_warns_and_falls_back(self, capsys):
+        # Satellite fix: a malformed REPRO_JOBS used to raise ValueError
+        # out of campaign_jobs_from_env; now it degrades like
+        # REPRO_SIM_ENGINE does.
+        context, seeded = _context_from_env({"REPRO_JOBS": "four"})
+        assert context.jobs == 1
+        assert "jobs" not in seeded
+        err = capsys.readouterr().err
+        assert "REPRO_JOBS" in err and "four" in err
+
+    def test_jobs_zero_means_all_cores(self):
+        import os
+        context, seeded = _context_from_env({"REPRO_JOBS": "0"})
+        assert context.jobs == (os.cpu_count() or 1)
+        assert "jobs" in seeded
+
+    def test_malformed_fuzz_budget_warns(self, capsys):
+        context, seeded = _context_from_env(
+            {"REPRO_FUZZ_PROGRAMS": "lots"})
+        assert context.fuzz_programs == SimContext().fuzz_programs
+        assert not seeded
+        assert "REPRO_FUZZ_PROGRAMS" in capsys.readouterr().err
+
+    def test_campaign_jobs_prefers_active_context(self):
+        with use_context(jobs=5):
+            assert campaign_jobs_from_env(default=1) == 5
+        # Without an activation (and REPRO_JOBS unset in the test env)
+        # the caller's default applies.
+        assert campaign_jobs_from_env(default=7) == 7
+
+    def test_campaign_jobs_honours_steered_root(self):
+        original = root_context()
+        try:
+            set_root_context(original.evolve(jobs=6))
+            assert campaign_jobs_from_env(default=4) == 6
+        finally:
+            set_root_context(original)
+        assert campaign_jobs_from_env(default=4) == 4
+
+
+# ----------------------------------------------------------------------
+# Contexts travel to pool workers / don't leak between items
+# ----------------------------------------------------------------------
+class TestWorkerIsolation:
+    def _driver_and_dut(self):
+        task = get_task("cmb_and2")
+        return (render_driver(task, task.canonical_scenarios()),
+                task.golden_rtl())
+
+    def test_batch_ships_context_to_workers(self):
+        driver, dut = self._driver_and_dut()
+        # A starved time budget must reach the worker processes: if
+        # they fell back to their own root context the runs would
+        # succeed.  (max_time starves reliably on both engines; the
+        # compiled engine only charges max_stmts at loop back-edges.)
+        with use_context(max_time=1):
+            runs = run_driver_batch(driver, [dut, dut + " // v2"], jobs=2)
+        assert all(run.status == RUNTIME for run in runs)
+        # Outside the activation the same batch is healthy again, on
+        # the same (persistent) workers.
+        runs = run_driver_batch(driver, [dut, dut + " // v2"], jobs=2)
+        assert all(run.ok for run in runs)
+
+    def test_serial_runs_do_not_leak_limits(self):
+        driver, dut = self._driver_and_dut()
+        with use_context(max_time=1):
+            starved = run_driver(driver, dut)
+        assert starved.status == RUNTIME
+        assert run_driver(driver, dut).ok
+
+
+# ----------------------------------------------------------------------
+# CacheRegistry facade
+# ----------------------------------------------------------------------
+class TestCacheRegistry:
+    def test_registered_layers(self):
+        assert caches.names() == ("tokenize", "parse", "design", "pair",
+                                  "failure", "programs")
+
+    def test_stats_shape_matches_legacy_helper(self):
+        assert simulation_cache_stats() == caches.stats()
+        assert set(caches.stats()) == set(caches.names())
+
+    def test_selective_clear(self):
+        registry = CacheRegistry()
+        calls = []
+        registry.register("a", clear=lambda: calls.append("a"),
+                          stats=lambda: {"n": 1})
+        registry.register("b", clear=lambda: calls.append("b"))
+        registry.clear("a")
+        registry.clear()
+        assert calls == ["a", "a", "b"]
+        # Entries without a stats fn are skipped by stats().
+        assert registry.stats() == {"a": {"n": 1}}
+
+    def test_unknown_names_rejected(self):
+        registry = CacheRegistry()
+        registry.register("a", clear=lambda: None)
+        with pytest.raises(ValueError):
+            registry.register("a", clear=lambda: None)
+        with pytest.raises(KeyError):
+            registry.clear("zz")
+        with pytest.raises(KeyError):
+            registry.stats("zz")

@@ -12,9 +12,9 @@ import pytest
 import repro.core.simulation as sim
 from repro.core.simulation import RUNTIME, run_driver, run_monolithic
 from repro.hdl import simulate
+from repro.hdl.context import _context_from_env
 from repro.hdl.simulator import (ENGINE_COMPILED, ENGINE_INTERPRET,
-                                 _engine_from_env, get_default_engine,
-                                 set_default_engine)
+                                 get_default_engine, set_default_engine)
 
 FINISH_IN_COMB = """
 module tb;
@@ -82,23 +82,27 @@ class TestRecursionErrorHandling:
 
 
 class TestEngineSelectionFallback:
-    def test_invalid_env_value_falls_back_with_warning(self, monkeypatch,
-                                                       capsys):
-        monkeypatch.setenv("REPRO_SIM_ENGINE", "warp-drive")
-        assert _engine_from_env() == ENGINE_COMPILED
+    def test_invalid_env_value_falls_back_with_warning(self, capsys):
+        context, seeded = _context_from_env(
+            {"REPRO_SIM_ENGINE": "warp-drive"})
+        assert context.engine == ENGINE_COMPILED
+        assert "engine" not in seeded
         err = capsys.readouterr().err
         assert "REPRO_SIM_ENGINE" in err
         assert "warp-drive" in err
 
-    def test_valid_env_values_accepted(self, monkeypatch, capsys):
+    def test_valid_env_values_accepted(self, capsys):
         for engine in (ENGINE_COMPILED, ENGINE_INTERPRET):
-            monkeypatch.setenv("REPRO_SIM_ENGINE", engine)
-            assert _engine_from_env() == engine
+            context, seeded = _context_from_env(
+                {"REPRO_SIM_ENGINE": engine})
+            assert context.engine == engine
+            assert "engine" in seeded
         assert capsys.readouterr().err == ""
 
-    def test_unset_env_defaults_to_compiled(self, monkeypatch):
-        monkeypatch.delenv("REPRO_SIM_ENGINE", raising=False)
-        assert _engine_from_env() == ENGINE_COMPILED
+    def test_unset_env_defaults_to_compiled(self):
+        context, seeded = _context_from_env({})
+        assert context.engine == ENGINE_COMPILED
+        assert not seeded
 
     def test_simulator_rejects_unknown_engine(self):
         with pytest.raises(ValueError):
@@ -107,13 +111,16 @@ class TestEngineSelectionFallback:
             set_default_engine("quantum")
 
     def test_default_engine_roundtrip_after_fallback(self):
+        # The legacy shim pair still works, warning on the setter.
         original = get_default_engine()
         try:
-            set_default_engine(ENGINE_INTERPRET)
+            with pytest.deprecated_call():
+                set_default_engine(ENGINE_INTERPRET)
             result = simulate(self_checking_src(), "tb")
             assert result.finished
         finally:
-            set_default_engine(original)
+            with pytest.deprecated_call():
+                set_default_engine(original)
 
 
 def self_checking_src() -> str:

@@ -1,12 +1,18 @@
-"""Campaign runner: per-method work items, determinism, reporting."""
+"""Campaign runner: per-method work items, determinism, reporting,
+the pluggable method registry and attempt-aware progress."""
+
+from concurrent.futures.process import BrokenProcessPool
 
 import pytest
 
-from repro.eval import (EvalLevel, default_config, render_table1,
-                        render_table2, render_table3,
-                        render_usage_summary, run_campaign, run_one)
+import repro.eval.campaign as campaign_mod
+from repro.eval import (EvalLevel, default_config, register_method,
+                        registered_methods, render_table1, render_table2,
+                        render_table3, render_usage_summary, run_campaign,
+                        run_one, unregister_method)
 from repro.eval.campaign import (METHOD_AUTOBENCH, METHOD_BASELINE,
-                                 METHOD_CORRECTBENCH)
+                                 METHOD_CORRECTBENCH, campaign_method)
+from repro.hdl.context import current_context, use_context
 
 EASY_TASK = "cmb_and2"
 
@@ -68,3 +74,143 @@ class TestCampaign:
         run_campaign(config, progress=lambda i, n, run: seen.append(
             (i, n, run.task_id)))
         assert seen == [(1, 1, EASY_TASK)]
+
+    def test_context_travels_with_items(self):
+        # The campaign's resolved context governs its items: a starved
+        # time budget downgrades every produced testbench's grade path
+        # without leaking into the caller's context.
+        config = default_config(task_ids=(EASY_TASK,), seeds=(0,),
+                                methods=(METHOD_BASELINE,), n_jobs=1)
+        with use_context(max_time=1):
+            starved = run_campaign(config).runs[0]
+        healthy = run_campaign(config).runs[0]
+        assert starved.level < healthy.level
+        assert current_context().max_time != 1
+
+
+# ----------------------------------------------------------------------
+# Pluggable method registry
+# ----------------------------------------------------------------------
+class TestMethodRegistry:
+    def test_builtins_registered(self):
+        for method in (METHOD_CORRECTBENCH, METHOD_AUTOBENCH,
+                       METHOD_BASELINE):
+            assert method in registered_methods()
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ValueError):
+            register_method(METHOD_BASELINE, lambda call: None)
+
+    def test_config_validates_methods_against_registry(self):
+        with pytest.raises(ValueError, match="registered"):
+            default_config(task_ids=(EASY_TASK,),
+                           methods=("baseline", "magic"))
+
+    def test_out_of_tree_method_end_to_end(self):
+        # The acceptance scenario: a method this repo has never heard
+        # of, registered at runtime, runs through run_one, run_campaign
+        # and the CLI without touching the campaign runner.
+        from repro.core.baseline import DirectBaseline
+
+        @campaign_method("second-attempt-baseline")
+        def _second_attempt(call):
+            testbench = DirectBaseline(call.client,
+                                       call.task).generate(attempt=1)
+            return call.result(call.grade(testbench))
+
+        try:
+            run = run_one("second-attempt-baseline", EASY_TASK, seed=0)
+            assert run.method == "second-attempt-baseline"
+            assert isinstance(run.level, EvalLevel)
+
+            config = default_config(
+                task_ids=(EASY_TASK,), seeds=(0,),
+                methods=("second-attempt-baseline", METHOD_BASELINE),
+                n_jobs=1)
+            result = run_campaign(config)
+            assert [r.method for r in result.runs] == [
+                "second-attempt-baseline", METHOD_BASELINE]
+
+            from repro.cli import main
+            assert main(["run", EASY_TASK,
+                         "--method", "second-attempt-baseline"]) == 0
+        finally:
+            unregister_method("second-attempt-baseline")
+        with pytest.raises(ValueError):
+            run_one("second-attempt-baseline", EASY_TASK, seed=0)
+
+
+# ----------------------------------------------------------------------
+# Attempt-aware progress across healed-pool retries
+# ----------------------------------------------------------------------
+class _FlakyPool:
+    """Yields ``runs`` from map(); breaks after ``fail_after`` items on
+    the first attempt only."""
+
+    def __init__(self, runs, fail_after):
+        self.runs = runs
+        self.fail_after = fail_after
+        self.attempts = 0
+
+    def map(self, fn, items, chunksize=1):
+        self.attempts += 1
+        first = self.attempts == 1
+
+        def generate():
+            for index, run in enumerate(self.runs):
+                if first and index == self.fail_after:
+                    raise BrokenProcessPool("worker died")
+                yield run
+        return generate()
+
+
+class TestRetryProgress:
+    TASKS = ("cmb_and2", "cmb_eq4", "seq_dff")
+
+    def _run_flaky(self, monkeypatch, progress):
+        config = default_config(task_ids=self.TASKS, seeds=(0,),
+                                methods=(METHOD_BASELINE,), n_jobs=2)
+        runs = [run_one(METHOD_BASELINE, task_id, seed=0)
+                for task_id in self.TASKS]
+        pool = _FlakyPool(runs, fail_after=2)
+        monkeypatch.setattr(campaign_mod, "get_sim_pool",
+                            lambda jobs: pool)
+        monkeypatch.setattr(campaign_mod, "shutdown_sim_pool",
+                            lambda wait=True: None)
+        result = run_campaign(config, progress=progress)
+        assert [r.task_id for r in result.runs] == list(self.TASKS)
+        return result
+
+    def test_legacy_callback_stays_monotonic(self, monkeypatch):
+        # The first attempt reports items 1..2 and breaks; the healed
+        # retry replays all three.  A three-argument callback must see
+        # each index exactly once, in order — no replay from 1.
+        seen = []
+        self._run_flaky(monkeypatch,
+                        lambda i, n, run: seen.append((i, n)))
+        assert seen == [(1, 3), (2, 3), (3, 3)]
+
+    def test_attempt_aware_callback_sees_replay(self, monkeypatch):
+        seen = []
+
+        def progress(index, total, run, attempt):
+            seen.append((attempt, index, total))
+
+        self._run_flaky(monkeypatch, progress)
+        assert seen == [(0, 1, 3), (0, 2, 3),
+                        (1, 1, 3), (1, 2, 3), (1, 3, 3)]
+
+    def test_exhausted_retries_reraise(self, monkeypatch):
+        config = default_config(task_ids=(EASY_TASK,), seeds=(0,),
+                                methods=(METHOD_BASELINE,), n_jobs=2)
+
+        class DeadPool:
+            def map(self, fn, items, chunksize=1):
+                raise BrokenProcessPool("still dead")
+
+        monkeypatch.setattr(campaign_mod, "get_sim_pool",
+                            lambda jobs: DeadPool())
+        monkeypatch.setattr(campaign_mod, "shutdown_sim_pool",
+                            lambda wait=True: None)
+        with pytest.raises(BrokenProcessPool):
+            run_campaign(config)

@@ -27,17 +27,18 @@ The corpus is deterministic under a fixed seed.  Budget knobs:
 - ``REPRO_FUZZ_SEED`` — base seed.
 """
 
-import os
 import random
 
 import pytest
 
-from repro.hdl import simulate
+from repro.hdl import current_context, simulate
 from repro.hdl.compile import clear_program_cache, program_cache_stats
 from repro.hdl.errors import HdlError
 
-N_PROGRAMS = int(os.environ.get("REPRO_FUZZ_PROGRAMS", "200"))
-BASE_SEED = int(os.environ.get("REPRO_FUZZ_SEED", "1729"))
+# Budget knobs ride on the root SimContext (seeded from
+# REPRO_FUZZ_PROGRAMS / REPRO_FUZZ_SEED at import).
+N_PROGRAMS = current_context().fuzz_programs
+BASE_SEED = current_context().fuzz_seed
 MAX_TIME = 100_000
 MAX_STMTS = 400_000
 

@@ -22,11 +22,11 @@ sizes the soup corpus (default 200; the nightly long-fuzz job raises
 it), ``REPRO_FUZZ_SEED`` fixes the base seed so failures reproduce.
 """
 
-import os
 import random
 
 import pytest
 
+from repro.hdl.context import current_context, use_context
 from repro.hdl.errors import VerilogSyntaxError
 from repro.hdl.lexer import (LEXER_MASTER, LEXER_REFERENCE, LEXERS,
                              clear_tokenize_cache, get_default_lexer,
@@ -35,8 +35,10 @@ from repro.hdl.lexer import (LEXER_MASTER, LEXER_REFERENCE, LEXERS,
 from repro.hdl.tokens import KEYWORDS, PUNCTUATIONS, TokenKind
 from repro.problems import load_dataset
 
-N_SOUPS = int(os.environ.get("REPRO_FUZZ_PROGRAMS", "200"))
-BASE_SEED = int(os.environ.get("REPRO_FUZZ_SEED", "1729"))
+# Budget knobs ride on the root SimContext (seeded from
+# REPRO_FUZZ_PROGRAMS / REPRO_FUZZ_SEED at import).
+N_SOUPS = current_context().fuzz_programs
+BASE_SEED = current_context().fuzz_seed
 
 
 def lex_outcome(source: str, lexer: str):
@@ -268,15 +270,29 @@ def test_based_literal_giveback(lexer):
 # Knob + cache behaviour
 # ----------------------------------------------------------------------
 def test_default_lexer_knob_roundtrip():
+    # Legacy shim: the setter warns and steers the root context; the
+    # getter resolves through the active context.
     previous = get_default_lexer()
     try:
-        set_default_lexer(LEXER_REFERENCE)
+        with pytest.deprecated_call():
+            set_default_lexer(LEXER_REFERENCE)
         assert get_default_lexer() == LEXER_REFERENCE
         assert tokenize("a b")[0].text == "a"
-        set_default_lexer(LEXER_MASTER)
+        with pytest.deprecated_call():
+            set_default_lexer(LEXER_MASTER)
         assert get_default_lexer() == LEXER_MASTER
     finally:
-        set_default_lexer(previous)
+        with pytest.deprecated_call():
+            set_default_lexer(previous)
+
+
+def test_use_context_selects_lexer():
+    # The context-native path: no global mutation, no warning.
+    assert get_default_lexer() == current_context().lexer
+    with use_context(lexer=LEXER_REFERENCE):
+        assert get_default_lexer() == LEXER_REFERENCE
+        assert tokenize("a b")[0].text == "a"
+    assert get_default_lexer() == current_context().lexer
 
 
 def test_set_default_lexer_rejects_unknown():
@@ -291,24 +307,22 @@ def test_tokenize_rejects_unknown_explicit_lexer():
 
 
 def test_tokenize_cache_shares_streams_per_lexer():
-    previous = get_default_lexer()
     clear_tokenize_cache()
     try:
-        set_default_lexer(LEXER_MASTER)
-        first = tokenize_cached("assign y = a + b;")
-        again = tokenize_cached("assign y = a + b;")
-        assert first is again  # same stream object on a hit
-        stats = tokenize_cache_stats()
-        assert stats["hits"] >= 1 and stats["misses"] >= 1
+        with use_context(lexer=LEXER_MASTER):
+            first = tokenize_cached("assign y = a + b;")
+            again = tokenize_cached("assign y = a + b;")
+            assert first is again  # same stream object on a hit
+            stats = tokenize_cache_stats()
+            assert stats["hits"] >= 1 and stats["misses"] >= 1
 
         # Flipping the lexer must not serve the other lexer's stream.
-        set_default_lexer(LEXER_REFERENCE)
-        reference = tokenize_cached("assign y = a + b;")
+        with use_context(lexer=LEXER_REFERENCE):
+            reference = tokenize_cached("assign y = a + b;")
         assert reference is not first
         assert [(t.kind, t.text) for t in reference] == \
             [(t.kind, t.text) for t in first]
     finally:
-        set_default_lexer(previous)
         clear_tokenize_cache()
 
 

@@ -1,0 +1,98 @@
+#!/usr/bin/env python3
+"""Markdown link checker for README.md and docs/.
+
+Dependency-free by design (the CI image and the sandbox both lack a
+link-check package): validates that every relative markdown link points
+at an existing file or directory, and that ``#anchor`` fragments match
+a heading in the target document (GitHub slug rules, simplified).
+External ``http(s)`` links are listed but not fetched — CI must not
+fail on somebody else's outage.
+
+Usage::
+
+    python scripts/check_links.py [FILE_OR_DIR ...]
+
+Defaults to ``README.md`` and ``docs/`` relative to the repo root.
+Exits non-zero listing every broken link.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+# [text](target) — excluding images' leading "!" is unnecessary: image
+# targets must exist too.
+_LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+_HEADING_RE = re.compile(r"^#{1,6}\s+(.*)$", re.MULTILINE)
+_CODE_FENCE_RE = re.compile(r"```.*?```", re.DOTALL)
+
+
+def github_slug(heading: str) -> str:
+    """GitHub's anchor slug for a heading (simplified: lowercase, drop
+    punctuation, spaces to dashes)."""
+    text = re.sub(r"[`*_]", "", heading.strip().lower())
+    text = re.sub(r"[^\w\- ]", "", text)
+    return text.replace(" ", "-")
+
+
+def anchors_of(path: Path) -> set[str]:
+    text = _CODE_FENCE_RE.sub("", path.read_text(encoding="utf-8"))
+    return {github_slug(match.group(1))
+            for match in _HEADING_RE.finditer(text)}
+
+
+def check_file(path: Path) -> list[str]:
+    errors = []
+    text = _CODE_FENCE_RE.sub("", path.read_text(encoding="utf-8"))
+    for match in _LINK_RE.finditer(text):
+        target = match.group(1)
+        if target.startswith(("http://", "https://", "mailto:")):
+            continue
+        target, _, fragment = target.partition("#")
+        if target:
+            resolved = (path.parent / target).resolve()
+            if not resolved.exists():
+                errors.append(f"{path}: broken link -> {target}")
+                continue
+        else:
+            resolved = path
+        if fragment:
+            if resolved.is_dir() or resolved.suffix.lower() != ".md":
+                continue  # anchors into non-markdown: not checkable
+            if fragment not in anchors_of(resolved):
+                errors.append(f"{path}: missing anchor "
+                              f"#{fragment} in {resolved.name}")
+    return errors
+
+
+def collect(paths: list[str]) -> list[Path]:
+    if not paths:
+        paths = [str(REPO_ROOT / "README.md"), str(REPO_ROOT / "docs")]
+    files = []
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            files.extend(sorted(path.rglob("*.md")))
+        else:
+            files.append(path)
+    return files
+
+
+def main(argv: list[str]) -> int:
+    errors = []
+    files = collect(argv)
+    for path in files:
+        errors.extend(check_file(path))
+    for error in errors:
+        print(error, file=sys.stderr)
+    print(f"checked {len(files)} file(s): "
+          f"{'FAIL' if errors else 'ok'} ({len(errors)} broken)")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

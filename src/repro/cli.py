@@ -7,14 +7,16 @@ Subcommands:
 - ``validate`` — generate a testbench and show its RS matrix + verdict;
 - ``campaign`` — run a methods x tasks x seeds campaign, print Table I/III.
 
-``run``/``validate``/``campaign`` accept ``--engine`` and ``--lexer``;
-the selections feed a :class:`~repro.hdl.context.SimContext` activated
-around the command (and shipped inside campaign work items), so no
-environment variable is needed to pick an execution engine.  ``run``
-and ``campaign`` dispatch through the campaign-method registry: a
-method registered with :func:`repro.eval.register_method` before
-:func:`build_parser` is called appears in ``--method`` choices
-automatically.
+``run``/``validate``/``campaign`` accept ``--engine`` and ``--lexer``,
+and ``campaign`` additionally ``--start-method`` and
+``--warm-start/--no-warm-start`` (worker-pool start method and
+cache-snapshot warm-up); the selections feed a
+:class:`~repro.hdl.context.SimContext` activated around the command
+(and shipped inside campaign work items), so no environment variable
+is needed to pick an execution engine.  ``run`` and ``campaign``
+dispatch through the campaign-method registry: a method registered
+with :func:`repro.eval.register_method` before :func:`build_parser` is
+called appears in ``--method`` choices automatically.
 """
 
 from __future__ import annotations
@@ -27,7 +29,8 @@ from .core import (CRITERIA, AutoBenchGenerator, DEFAULT_CRITERION,
 from .eval import (default_config, evaluate, registered_methods,
                    render_table1, render_table3, render_usage_summary,
                    run_campaign, run_one)
-from .hdl.context import ENGINES, LEXERS, current_context, use_context
+from .hdl.context import (ENGINES, LEXERS, START_METHODS, current_context,
+                          use_context)
 from .llm import MeteredClient, UsageMeter, get_profile
 from .llm.synthetic import SyntheticLLM
 from .problems import load_dataset, get_task
@@ -40,12 +43,17 @@ def _client(model: str, seed: int) -> MeteredClient:
 
 def _context(args):
     """The SimContext for this invocation: the ambient context evolved
-    with whatever ``--engine`` / ``--lexer`` selected."""
+    with whatever ``--engine`` / ``--lexer`` / ``--start-method`` /
+    ``--warm-start`` selected."""
     overrides = {}
     if getattr(args, "engine", None):
         overrides["engine"] = args.engine
     if getattr(args, "lexer", None):
         overrides["lexer"] = args.lexer
+    if getattr(args, "start_method", None):
+        overrides["start_method"] = args.start_method
+    if getattr(args, "warm_start", None) is not None:
+        overrides["warm_start"] = args.warm_start
     return current_context().evolve(**overrides)
 
 
@@ -176,6 +184,15 @@ def build_parser() -> argparse.ArgumentParser:
                         help="balanced slice size (0 = full dataset)")
     p_camp.add_argument("--seeds", type=int, default=1)
     p_camp.add_argument("--jobs", type=int, default=1)
+    p_camp.add_argument("--start-method", choices=START_METHODS,
+                        default=None, dest="start_method",
+                        help="worker-pool start method "
+                             "(default: active context / platform)")
+    p_camp.add_argument("--warm-start", action=argparse.BooleanOptionalAction,
+                        default=None, dest="warm_start",
+                        help="pre-warm pool workers with a cache snapshot "
+                             "built from the task list "
+                             "(default: active context, on)")
     p_camp.set_defaults(func=cmd_campaign)
     return parser
 

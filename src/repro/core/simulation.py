@@ -39,28 +39,44 @@ of each work item, so a worker never falls back to its own process
 defaults.  All cache layers register with
 :data:`repro.core.caches.caches`; the ``clear_*`` / ``*_stats``
 helpers below delegate to that facade.
+
+Pool workers start *warm*: forked workers inherit the parent's caches
+through memory, and spawn/forkserver workers (where compiled closures
+cannot be pickled across) import a
+:class:`~repro.core.caches.CacheSnapshot` — token streams, ASTs,
+template signatures, cached failures — shipped through the executor
+initializer, re-deriving the closure layers locally before their first
+work item.  ``SimContext.start_method`` / ``warm_start`` select the
+behaviour; :func:`sim_pool_info` reports the live pool's state, and the
+``pool_warm_start`` bench gates the win.
 """
 
 from __future__ import annotations
 
 import atexit
+import multiprocessing
+import pickle
 import re
+import sys
 import threading
 from collections import OrderedDict
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
-from functools import lru_cache
-from typing import Callable
 
 from ..hdl import ast as hdl_ast
-from ..hdl.compile import clear_program_cache, program_cache_stats
-from ..hdl.context import SimContext, current_context, use_context
+from ..hdl.compile import (begin_warm_start, clear_program_cache,
+                           end_warm_start, program_cache_stats)
+from ..hdl.context import (START_METHOD_DEFAULT, SimContext,
+                           current_context, use_context)
 from ..hdl.elaborate import Design, elaborate
 from ..hdl.errors import (ElaborationError, HdlError, SimulationError,
                           SimulationLimit, VerilogSyntaxError)
-from ..hdl.lexer import clear_tokenize_cache, tokenize_cache_stats
-from ..hdl.parser import parse_source_cached
+from ..hdl.lexer import (clear_tokenize_cache, export_tokenize_cache,
+                         import_tokenize_cache, tokenize_cache_stats)
+from ..hdl.parser import (clear_parse_cache, export_parse_cache,
+                          import_parse_cache, parse_cache_stats,
+                          parse_source_cached)
 from ..hdl.simulator import SimulationResult, Simulator
 # Engine selection lives in repro.hdl.context (the single source of
 # truth); these are re-exported (redundant-alias form) for callers that
@@ -71,7 +87,7 @@ from ..hdl.context import ENGINES as ENGINES
 from ..hdl.simulator import get_default_engine as get_default_engine
 from ..hdl.simulator import set_default_engine as set_default_engine
 from ..codegen.driver import DUMP_FILE
-from .caches import caches
+from .caches import CacheSnapshot, ScopedLruCache, caches, use_task_scope
 
 # Failure taxonomy used throughout evaluation:
 SYNTAX = "syntax"          # does not parse (Eval0 fails)
@@ -89,6 +105,13 @@ def parse_cached(source: str) -> hdl_ast.SourceFile:
 
 
 def syntax_ok(source: str) -> bool:
+    """Does ``source`` parse?  (Eval0's syntax half.)
+
+    >>> syntax_ok("module m; endmodule")
+    True
+    >>> syntax_ok("module m(; endmodule")
+    False
+    """
     try:
         parse_cached(source)
     except VerilogSyntaxError:
@@ -211,9 +234,18 @@ def _record_failure(key: tuple, exc: Exception) -> None:
             _failure_cache[key] = (type(exc), exc.args, attrs)
 
 
-@lru_cache(maxsize=256)
-def _design_template_cached(source_text: str, top: str) -> DesignTemplate:
-    return DesignTemplate(elaborate(parse_cached(source_text), top))
+# Template caches: per-task scoped LRUs (see repro.core.caches).  Under
+# campaign churn — 156 tasks x mutants x judges — a single shared LRU
+# let one task's mutant flood evict another task's warm goldens;
+# campaign items now run under ``use_task_scope(task_id)``, giving each
+# task its own eviction domain.  Capacity follows the active context's
+# ``template_cache_size`` knob (read at insertion time).
+def _template_capacity() -> int:
+    return current_context().template_cache_size
+
+
+_design_templates = ScopedLruCache(_template_capacity)
+_pair_templates = ScopedLruCache(_template_capacity)
 
 
 def design_template(source_text: str, top: str) -> DesignTemplate:
@@ -221,19 +253,27 @@ def design_template(source_text: str, top: str) -> DesignTemplate:
 
     Failures are cached too: a pair that failed to parse or elaborate
     re-raises the recorded error without re-running the front end.
+
+    >>> src = "module m(output o);\\nassign o = 1'b1;\\nendmodule"
+    >>> template = design_template(src, "m")
+    >>> design_template(src, "m") is template   # cached: same object
+    True
+    >>> template.run().design.signal("o").value.to_uint()
+    1
     """
     key = (source_text, top)
     _raise_cached_failure(key)
     try:
-        return _design_template_cached(source_text, top)
+        return _design_templates.get_or_create(
+            key, lambda: DesignTemplate(
+                elaborate(parse_cached(source_text), top)))
     except (VerilogSyntaxError, ElaborationError) as exc:
         _record_failure(key, exc)
         raise
 
 
-@lru_cache(maxsize=256)
-def _pair_template_cached(dut_src: str, tb_src: str,
-                          top: str) -> DesignTemplate:
+def _build_pair_template(dut_src: str, tb_src: str,
+                         top: str) -> DesignTemplate:
     dut_ast = parse_cached(dut_src)
     tb_ast = parse_cached(tb_src)
     merged = hdl_ast.SourceFile(tuple(dut_ast.modules)
@@ -252,7 +292,8 @@ def _pair_template(dut_src: str, tb_src: str, top: str) -> DesignTemplate:
     key = (dut_src, tb_src, top)
     _raise_cached_failure(key)
     try:
-        return _pair_template_cached(dut_src, tb_src, top)
+        return _pair_templates.get_or_create(
+            key, lambda: _build_pair_template(dut_src, tb_src, top))
     except (VerilogSyntaxError, ElaborationError) as exc:
         _record_failure(key, exc)
         raise
@@ -270,28 +311,100 @@ def _failure_cache_stats() -> dict:
                 "size": len(_failure_cache)}
 
 
-def _lru_stats(cached_fn) -> Callable[[], dict]:
-    def stats() -> dict:
-        info = cached_fn.cache_info()
-        return {"hits": info.hits, "misses": info.misses,
-                "size": info.currsize}
-    return stats
+def _export_failure_cache() -> dict:
+    """Snapshot payload: ``{key: (exc_type, args, attrs)}`` — already
+    shape-only (no live exception instances), so directly picklable."""
+    with _failure_lock:
+        return dict(_failure_cache)
+
+
+def _import_failure_cache(entries: dict) -> int:
+    added = 0
+    with _failure_lock:
+        for key, info in entries.items():
+            if key not in _failure_cache:
+                while len(_failure_cache) >= _FAILURE_CACHE_SIZE:
+                    _failure_cache.popitem(last=False)
+                _failure_cache[key] = info
+                added += 1
+    return added
+
+
+# ----------------------------------------------------------------------
+# Template warm-start (snapshot export/import)
+# ----------------------------------------------------------------------
+# A DesignTemplate owns compiled closures, which cannot pickle — so the
+# template layers export only their *keys* (scope + source signature)
+# and the importer re-elaborates each one locally, against the (already
+# imported, hence warm) token and AST caches.  That front-loads the
+# parse/elaborate/compile cost into pool-worker initialization, which
+# is exactly the point: a spawn-started worker's first batch then runs
+# at fork-path steady state.
+def _import_design_keys(keys) -> int:
+    return _rebuild_templates(keys, lambda key: design_template(*key))
+
+
+def _import_pair_keys(keys) -> int:
+    return _rebuild_templates(keys, lambda key: _pair_template(*key))
+
+
+def _rebuild_templates(keys, build) -> int:
+    from ..hdl.compile import compile_spec
+
+    rebuilt = 0
+    begin_warm_start()
+    try:
+        for scope, key in keys:
+            with use_task_scope(scope):
+                try:
+                    template = build(key)
+                    # Programs normally compile lazily on first run;
+                    # force them now so the warm-up, not the worker's
+                    # first batch, pays the lowering cost.
+                    for spec in template.design.processes:
+                        compile_spec(spec)
+                except (VerilogSyntaxError, ElaborationError):
+                    # The failure is (re-)recorded; the entry still
+                    # warms the failure path.
+                    pass
+                except HdlError:  # pragma: no cover - defensive
+                    # Late (run-time-class) lowering errors surface on
+                    # the executed path instead; never kill a warm-up.
+                    pass
+                else:
+                    rebuilt += 1
+    finally:
+        end_warm_start()
+    return rebuilt
 
 
 # Every caching layer registers with the shared facade; registration
 # order fixes the key order of ``caches.stats()`` (and therefore of
 # ``simulation_cache_stats()``, whose recorded shape predates the
-# registry).
+# registry).  Layers whose contents are picklable plain data register
+# export/import hooks and so participate in warm-start snapshots; the
+# program cache holds closures and is deliberately snapshot-blind (its
+# contents are re-derived by the template import above).
 caches.register("tokenize", clear=clear_tokenize_cache,
-                stats=tokenize_cache_stats)
-caches.register("parse", clear=parse_source_cached.cache_clear,
-                stats=_lru_stats(parse_source_cached))
-caches.register("design", clear=_design_template_cached.cache_clear,
-                stats=_lru_stats(_design_template_cached))
-caches.register("pair", clear=_pair_template_cached.cache_clear,
-                stats=_lru_stats(_pair_template_cached))
+                stats=tokenize_cache_stats,
+                export=export_tokenize_cache,
+                import_=import_tokenize_cache)
+caches.register("parse", clear=clear_parse_cache,
+                stats=parse_cache_stats,
+                export=export_parse_cache,
+                import_=import_parse_cache)
+caches.register("design", clear=_design_templates.clear,
+                stats=_design_templates.stats,
+                export=_design_templates.export_keys,
+                import_=_import_design_keys)
+caches.register("pair", clear=_pair_templates.clear,
+                stats=_pair_templates.stats,
+                export=_pair_templates.export_keys,
+                import_=_import_pair_keys)
 caches.register("failure", clear=_clear_failure_cache,
-                stats=_failure_cache_stats)
+                stats=_failure_cache_stats,
+                export=_export_failure_cache,
+                import_=_import_failure_cache)
 caches.register("programs", clear=clear_program_cache,
                 stats=program_cache_stats)
 
@@ -341,7 +454,11 @@ _FIELD_RE = re.compile(r"(\w+)\s*=\s*(x|-?\d+)")
 
 
 def parse_dump(lines: list[str]) -> list[Record]:
-    """Parse ``scenario: k, a = 1, ...`` dump lines into records."""
+    """Parse ``scenario: k, a = 1, ...`` dump lines into records.
+
+    >>> parse_dump(["scenario: 2, q = 7, valid = x", "noise"])
+    [Record(scenario=2, values={'q': '7', 'valid': 'x'})]
+    """
     records = []
     for line in lines:
         match = _RECORD_RE.search(line)
@@ -434,7 +551,12 @@ def run_monolithic(tb_src: str, dut_src: str,
 
 
 def dut_compiles(dut_src: str) -> tuple[bool, str]:
-    """Check a bare DUT for syntax + elaboration errors (Eval0-style)."""
+    """Check a bare DUT for syntax + elaboration errors (Eval0-style).
+
+    >>> dut_compiles(
+    ...     "module top_module(output o); assign o = 1'b0; endmodule")
+    (True, '')
+    """
     try:
         source = parse_cached(dut_src)
     except VerilogSyntaxError as exc:
@@ -449,55 +571,182 @@ def dut_compiles(dut_src: str) -> tuple[bool, str]:
 
 
 # ----------------------------------------------------------------------
-# Persistent worker pool
+# Persistent worker pool (with warm-start)
 # ----------------------------------------------------------------------
-# Batch callers (validator prefetch, AutoEval mutant sweeps, campaign
-# shards) used to spin up a ProcessPoolExecutor per call, so `jobs > 1`
-# only paid off for large one-shot batches.  The pool below is created
-# lazily on first use, grows monotonically to the largest worker count
-# requested, is shared by every batch/campaign call in the process, and
-# is torn down atexit.  Forked workers inherit the parent's warm parse /
-# template / shared-program caches for free.
+# One ProcessPoolExecutor is shared by every batch and campaign call in
+# the process: created lazily on first use, grown monotonically to the
+# largest worker count requested, recreated with the same configuration
+# if a worker dies (see _pool_map), and torn down atexit.
+#
+# How workers get warm depends on the start method, resolved through
+# ``SimContext.start_method``:
+#
+# - **fork** (the Linux default): workers inherit the parent's token /
+#   AST / template / program caches through copy-on-write memory — no
+#   transfer needed, so no snapshot is shipped.
+# - **spawn / forkserver**: workers begin as blank interpreters, and
+#   compiled-closure programs cannot be pickled across.  When the
+#   active context's ``warm_start`` flag is set (the default), pool
+#   creation exports a CacheSnapshot (token streams, ASTs, template
+#   signatures, cached failures) from this process and ships it to each
+#   worker through the executor's ``initializer``; the worker imports
+#   it — re-elaborating and re-compiling the template signatures
+#   locally — before it sees its first work item.  A freshly *healed*
+#   pool re-snapshots the by-then-warm parent, so recovery from a
+#   killed worker also starts warm.
 _pool_lock = threading.Lock()
 _pool: ProcessPoolExecutor | None = None
 _pool_workers = 0
+_pool_start_method = ""
+_pool_warm_layers: dict = {}
+_pool_created_warm = False
+
+#: The layers a snapshot can carry (and fork can meaningfully inherit);
+#: used to decide whether this process has any warmth to give workers.
+_SNAPSHOT_LAYERS = ("tokenize", "parse", "design", "pair", "failure")
 
 
-def get_sim_pool(jobs: int) -> ProcessPoolExecutor:
-    """Return the shared persistent process pool, growing it if ``jobs``
-    exceeds its current worker count (the pool never shrinks)."""
-    global _pool, _pool_workers
+def _caches_have_content() -> bool:
+    stats = caches.stats(*_SNAPSHOT_LAYERS)
+    return any(layer.get("size", 0) > 0 for layer in stats.values())
+
+
+def _resolve_start_method(name: str | None) -> str:
+    """Map a context ``start_method`` to a concrete multiprocessing
+    start method, validating platform availability."""
+    if name in (None, "", START_METHOD_DEFAULT):
+        return multiprocessing.get_start_method()
+    if name not in multiprocessing.get_all_start_methods():
+        raise ValueError(
+            f"start method {name!r} is not available on this platform; "
+            f"available: {multiprocessing.get_all_start_methods()}")
+    return name
+
+
+def _warm_start_initializer(payload: bytes) -> None:
+    """Run once in each fresh worker: import the shipped snapshot.
+
+    Any failure degrades the worker to a cold start instead of raising:
+    an initializer exception would break the entire pool, and a warm
+    start is an optimization, never a correctness requirement.
+    """
+    try:
+        caches.import_snapshot(pickle.loads(payload))
+    except Exception as exc:  # pragma: no cover - defensive
+        print(f"warning: pool warm-start import failed ({exc}); "
+              f"worker starts cold", file=sys.stderr)
+
+
+def export_warm_start_snapshot() -> CacheSnapshot:
+    """Snapshot this process's picklable cache layers (the warm-start
+    artifact shipped to pool workers; also usable standalone — pickle
+    it to disk and import it in a later process via
+    :meth:`~repro.core.caches.CacheRegistry.import_snapshot`)."""
+    return caches.export_snapshot()
+
+
+def get_sim_pool(jobs: int, start_method: str | None = None,
+                 warm_start: bool | None = None) -> ProcessPoolExecutor:
+    """Return the shared persistent process pool.
+
+    The pool grows if ``jobs`` exceeds its current worker count (it
+    never shrinks) and is recreated if ``start_method`` (explicit
+    argument, else the active context's) differs from the live pool's.
+    ``warm_start=None`` resolves through the active context; snapshots
+    are only shipped to non-fork pools (forked workers inherit warm
+    caches through process memory).
+
+    A pool created while this process was still *cold* (nothing cached
+    — e.g. a batch ran before any warm-up) is recreated once, the first
+    time warmth is requested and the parent actually has cached state:
+    worker warm-up only happens at creation (snapshot initializer /
+    fork memory image), so without the recreate such a pool would stay
+    cold forever — campaigns that pre-warm after an early batch would
+    silently get cold workers.  A pool created warm is never churned:
+    later cache growth does not trigger recreation.
+    """
+    global _pool, _pool_workers, _pool_start_method, _pool_warm_layers
+    global _pool_created_warm
     jobs = max(1, int(jobs))
+    context = current_context()
+    method = _resolve_start_method(start_method or context.start_method)
+    warm = context.warm_start if warm_start is None else warm_start
     with _pool_lock:
-        if _pool is not None and _pool_workers < jobs:
-            _pool.shutdown(wait=False)
-            _pool = None
+        if _pool is not None:
+            stale_cold = (warm and not _pool_created_warm
+                          and _caches_have_content())
+            if (_pool_workers < jobs or _pool_start_method != method
+                    or stale_cold):
+                _pool.shutdown(wait=False)
+                _pool = None
         if _pool is None:
-            _pool = ProcessPoolExecutor(max_workers=jobs)
+            initializer = None
+            initargs = ()
+            warm_layers: dict = {}
+            content = _caches_have_content()
+            if warm and content and method != "fork":
+                snapshot = caches.export_snapshot()
+                if snapshot:
+                    initializer = _warm_start_initializer
+                    initargs = (pickle.dumps(
+                        snapshot, protocol=pickle.HIGHEST_PROTOCOL),)
+                    warm_layers = snapshot.counts()
+            _pool = ProcessPoolExecutor(
+                max_workers=jobs,
+                mp_context=multiprocessing.get_context(method),
+                initializer=initializer, initargs=initargs)
             _pool_workers = jobs
+            _pool_start_method = method
+            _pool_warm_layers = warm_layers
+            _pool_created_warm = warm and content
         return _pool
 
 
 def sim_pool_info() -> dict:
     """Telemetry: whether the shared pool is alive, its configured
-    worker count, and the PIDs of spawned workers."""
+    worker count, worker PIDs, the start method it was created with,
+    and its warm/cold state.
+
+    ``warm`` reports how workers acquired caches *at pool creation*:
+    ``"inherited"`` for fork pools forked from a warm parent
+    (copy-on-write memory), ``"snapshot"`` when a warm-start artifact
+    was shipped through the initializer (``warm_layers`` then counts
+    the entries per layer), and ``"cold"`` when neither applies
+    (warm-start disabled, or nothing was cached at creation time —
+    though such a pool is recreated warm on the next warm-requesting
+    call once the parent has cached state; see :func:`get_sim_pool`).
+    """
     with _pool_lock:
         if _pool is None:
-            return {"alive": False, "workers": 0, "pids": ()}
+            return {"alive": False, "workers": 0, "pids": (),
+                    "start_method": "", "warm": "cold",
+                    "warm_layers": {}}
         processes = getattr(_pool, "_processes", None) or {}
+        if _pool_start_method == "fork":
+            warm = "inherited" if _pool_created_warm else "cold"
+        elif _pool_warm_layers:
+            warm = "snapshot"
+        else:
+            warm = "cold"
         return {"alive": True, "workers": _pool_workers,
-                "pids": tuple(sorted(processes.keys()))}
+                "pids": tuple(sorted(processes.keys())),
+                "start_method": _pool_start_method, "warm": warm,
+                "warm_layers": dict(_pool_warm_layers)}
 
 
 def shutdown_sim_pool(wait: bool = True) -> None:
     """Tear down the shared pool.  Registered atexit so worker processes
     never outlive the interpreter; safe to call repeatedly."""
-    global _pool, _pool_workers
+    global _pool, _pool_workers, _pool_start_method, _pool_warm_layers
+    global _pool_created_warm
     with _pool_lock:
         if _pool is not None:
             _pool.shutdown(wait=wait)
             _pool = None
             _pool_workers = 0
+            _pool_start_method = ""
+            _pool_warm_layers = {}
+            _pool_created_warm = False
 
 
 atexit.register(shutdown_sim_pool)

@@ -25,10 +25,13 @@ from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from typing import Iterable, Sequence
 
-from ..core.simulation import get_sim_pool, shutdown_sim_pool
+from ..core.caches import use_task_scope
+from ..core.simulation import (design_template, get_sim_pool,
+                               shutdown_sim_pool, _pair_template)
 from ..core.validator import CRITERIA, DEFAULT_CRITERION
 from ..hdl.context import (SimContext, current_context, resolve_jobs,
                            use_context)
+from ..hdl.errors import HdlError
 from ..llm.base import MeteredClient, UsageMeter
 from ..llm.profiles import get_profile
 from ..llm.synthetic import SyntheticLLM
@@ -117,7 +120,10 @@ def run_one(method: str, task_id: str, seed: int,
         context = current_context()
     if engine:  # legacy per-call string; folded into the context
         context = context.evolve(engine=engine)
-    with use_context(context):
+    # The task scope gives this item its own template-cache bucket, so
+    # one task's mutant churn cannot evict another's warm templates
+    # (see repro.core.caches.ScopedLruCache).
+    with use_context(context), use_task_scope(task_id):
         task = get_task(task_id)
         profile = get_profile(profile_name)
         criterion = CRITERIA[criterion_name]
@@ -134,6 +140,39 @@ def _worker(item: tuple) -> TaskRun:
     method, task_id, seed, profile, criterion, group_size, context = item
     return run_one(method, task_id, seed, profile, criterion, group_size,
                    context=context)
+
+
+def prewarm_campaign_caches(task_ids: Iterable[str]) -> int:
+    """Warm this process's caches with each task's golden artifacts.
+
+    For every task id the golden RTL is parsed and elaborated into a
+    design template, and the canonical (golden driver, golden RTL)
+    pairing is elaborated too — the sources every validator matrix and
+    AutoEval sweep of that task re-simulates.  Each task warms its own
+    cache scope.  Returns the number of tasks warmed.
+
+    Campaigns call this before creating a parallel pool (when the
+    resolved context's ``warm_start`` flag is set), so pool creation
+    snapshots a warm parent and spawn-started workers import the
+    templates instead of rebuilding them per item; fork-started workers
+    simply inherit them.  A task whose golden artifacts fail to build
+    is skipped — the campaign item itself will surface the error.
+    """
+    from ..codegen import render_driver
+
+    warmed = 0
+    for task_id in task_ids:
+        with use_task_scope(task_id):
+            try:
+                task = get_task(task_id)
+                golden = task.golden_rtl()
+                driver = render_driver(task, task.canonical_scenarios())
+                design_template(golden, "top_module")
+                _pair_template(golden, driver, "tb")
+            except (KeyError, HdlError):  # pragma: no cover - defensive
+                continue
+            warmed += 1
+    return warmed
 
 
 # ----------------------------------------------------------------------
@@ -190,7 +229,9 @@ def run_campaign(config: CampaignConfig, progress=None) -> CampaignResult:
     campaigns — and interleaved batch simulation calls — reuse the same
     worker processes and their warm caches instead of paying a pool
     spin-up per run.  Every work item carries the campaign's resolved
-    :class:`SimContext`.
+    :class:`SimContext`; its ``start_method`` / ``warm_start`` knobs
+    select how the pool spawns workers and whether the campaign
+    pre-warms them (see :func:`prewarm_campaign_caches`).
 
     ``progress`` is called as ``progress(index, total, run)`` after each
     completed item; pass a callback accepting an ``attempt`` keyword to
@@ -207,6 +248,13 @@ def run_campaign(config: CampaignConfig, progress=None) -> CampaignResult:
     reporter = _ProgressReporter(progress, len(items))
     n_jobs = config.n_jobs or 1
     if n_jobs > 1:
+        # Pre-warm the parent's caches from the task list, so the pool
+        # created below ships (spawn) or forks (fork) warm state to its
+        # workers instead of every worker rebuilding the same golden
+        # templates per item.
+        if context.warm_start:
+            with use_context(context):
+                prewarm_campaign_caches(config.task_ids)
         # A killed worker breaks the shared executor, and a concurrent
         # get_sim_pool grow request can shut it down mid-map (surfacing
         # as RuntimeError) — the same pair _pool_map recovers from.
@@ -215,7 +263,9 @@ def run_campaign(config: CampaignConfig, progress=None) -> CampaignResult:
         for attempt in (0, 1):
             del result.runs[:]
             try:
-                pool = get_sim_pool(n_jobs)
+                pool = get_sim_pool(n_jobs,
+                                    start_method=context.start_method,
+                                    warm_start=context.warm_start)
                 for index, run in enumerate(pool.map(_worker, items,
                                                      chunksize=4)):
                     result.runs.append(run)

@@ -99,6 +99,15 @@ def register_method(name: str, runner: MethodRunner, *,
 
     ``replace=True`` allows overriding an existing entry (ablations
     that shadow a built-in).  Returns the runner for chaining.
+
+    >>> _ = register_method("docs-demo", lambda call: None)
+    >>> "docs-demo" in registered_methods()
+    True
+    >>> register_method("docs-demo", lambda call: None)
+    Traceback (most recent call last):
+        ...
+    ValueError: method 'docs-demo' is already registered (pass replace=True to override)
+    >>> unregister_method("docs-demo")
     """
     if not name or not isinstance(name, str):
         raise ValueError(f"method name must be a non-empty string, "
@@ -127,13 +136,25 @@ def unregister_method(name: str) -> None:
 
 
 def registered_methods() -> tuple[str, ...]:
-    """Registered method names, in registration order."""
+    """Registered method names, in registration order.
+
+    >>> set(ALL_METHODS) <= set(registered_methods())
+    True
+    """
     return tuple(_registry)
 
 
 def get_method(name: str) -> MethodRunner:
     """Look up a runner; unknown names raise ``ValueError`` listing the
-    registered choices."""
+    registered choices.
+
+    >>> callable(get_method("baseline"))
+    True
+    >>> get_method("magic")  # doctest: +ELLIPSIS
+    Traceback (most recent call last):
+        ...
+    ValueError: unknown method 'magic'; registered methods: (...)
+    """
     try:
         return _registry[name]
     except KeyError:

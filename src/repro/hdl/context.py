@@ -13,9 +13,10 @@ This module replaces the globals with one immutable value object:
 :class:`SimContext`
     a frozen dataclass carrying the engine, the lexer, the simulation
     limits (``max_time`` / ``max_stmts``), the differential-fuzz budget
-    knobs and the worker-pool job count.  Being immutable and made of
-    primitives it is hashable, comparable and picklable — campaign work
-    items ship the context to pool workers as plain data.
+    knobs and the worker-pool configuration (job count, start method,
+    warm-start flag, template-cache capacity).  Being immutable and
+    made of primitives it is hashable, comparable and picklable —
+    campaign work items ship the context to pool workers as plain data.
 
 :func:`current_context`
     the single resolution point.  Selection follows a strict order:
@@ -56,11 +57,18 @@ LEXER_MASTER = "master"
 LEXER_REFERENCE = "reference"
 LEXERS = (LEXER_MASTER, LEXER_REFERENCE)
 
+#: Worker-pool start methods.  ``"default"`` defers to the platform
+#: (fork on Linux); the explicit names select a multiprocessing start
+#: method, whose availability is checked at pool creation time.
+START_METHOD_DEFAULT = "default"
+START_METHODS = (START_METHOD_DEFAULT, "fork", "spawn", "forkserver")
+
 DEFAULT_MAX_TIME = 2_000_000
 DEFAULT_MAX_STMTS = 4_000_000
 DEFAULT_JOBS = 1
 DEFAULT_FUZZ_PROGRAMS = 200
 DEFAULT_FUZZ_SEED = 1729
+DEFAULT_TEMPLATE_CACHE_SIZE = 256
 
 
 @dataclass(frozen=True, slots=True)
@@ -69,6 +77,20 @@ class SimContext:
 
     Fields are validated on construction, so an invalid context fails
     at the call site that built it — not deep inside a pool worker.
+
+    >>> SimContext().engine
+    'compiled'
+    >>> SimContext(engine="quantum")
+    Traceback (most recent call last):
+        ...
+    ValueError: unknown engine 'quantum'; expected one of ('compiled', 'interpret')
+
+    Contexts are plain immutable values: hashable, comparable and
+    picklable, so batch and campaign APIs ship them to pool workers
+    inside each work item.
+
+    >>> SimContext() == SimContext()
+    True
     """
 
     engine: str = ENGINE_COMPILED
@@ -78,6 +100,9 @@ class SimContext:
     jobs: int = DEFAULT_JOBS
     fuzz_programs: int = DEFAULT_FUZZ_PROGRAMS
     fuzz_seed: int = DEFAULT_FUZZ_SEED
+    start_method: str = START_METHOD_DEFAULT
+    warm_start: bool = True
+    template_cache_size: int = DEFAULT_TEMPLATE_CACHE_SIZE
 
     def __post_init__(self):
         if self.engine not in ENGINES:
@@ -86,7 +111,12 @@ class SimContext:
         if self.lexer not in LEXERS:
             raise ValueError(f"unknown lexer {self.lexer!r}; "
                              f"expected one of {LEXERS}")
-        for name in ("max_time", "max_stmts", "jobs", "fuzz_programs"):
+        if self.start_method not in START_METHODS:
+            raise ValueError(f"unknown start_method "
+                             f"{self.start_method!r}; "
+                             f"expected one of {START_METHODS}")
+        for name in ("max_time", "max_stmts", "jobs", "fuzz_programs",
+                     "template_cache_size"):
             value = getattr(self, name)
             if not isinstance(value, int) or value < 1:
                 raise ValueError(f"{name} must be a positive integer, "
@@ -94,9 +124,16 @@ class SimContext:
         if not isinstance(self.fuzz_seed, int):
             raise ValueError(f"fuzz_seed must be an integer, "
                              f"got {self.fuzz_seed!r}")
+        if not isinstance(self.warm_start, bool):
+            raise ValueError(f"warm_start must be a bool, "
+                             f"got {self.warm_start!r}")
 
     def evolve(self, **overrides) -> "SimContext":
-        """Return a copy with ``overrides`` applied (and re-validated)."""
+        """Return a copy with ``overrides`` applied (and re-validated).
+
+        >>> SimContext().evolve(max_stmts=10_000).max_stmts
+        10000
+        """
         return replace(self, **overrides)
 
 
@@ -152,8 +189,33 @@ def _context_from_env(environ=None) -> tuple[SimContext, frozenset]:
             overrides["jobs"] = max(1, value)
             seeded.add("jobs")
 
-    for env_name, field_name in (("REPRO_FUZZ_PROGRAMS", "fuzz_programs"),
-                                 ("REPRO_FUZZ_SEED", "fuzz_seed")):
+    start_method = environ.get("REPRO_START_METHOD")
+    if start_method is not None:
+        if start_method in START_METHODS:
+            overrides["start_method"] = start_method
+            seeded.add("start_method")
+        else:
+            _warn_env(f"REPRO_START_METHOD={start_method!r} is not one "
+                      f"of {START_METHODS}; using "
+                      f"{START_METHOD_DEFAULT!r}")
+
+    warm = environ.get("REPRO_WARM_START")
+    if warm is not None:
+        lowered = warm.strip().lower()
+        if lowered in ("1", "true", "yes", "on"):
+            overrides["warm_start"] = True
+            seeded.add("warm_start")
+        elif lowered in ("0", "false", "no", "off"):
+            overrides["warm_start"] = False
+            seeded.add("warm_start")
+        else:
+            _warn_env(f"REPRO_WARM_START={warm!r} is not a boolean "
+                      f"(1/0/true/false); using the default")
+
+    for env_name, field_name in (
+            ("REPRO_FUZZ_PROGRAMS", "fuzz_programs"),
+            ("REPRO_FUZZ_SEED", "fuzz_seed"),
+            ("REPRO_TEMPLATE_CACHE_SIZE", "template_cache_size")):
         raw = environ.get(env_name)
         if raw is None:
             continue
@@ -163,7 +225,7 @@ def _context_from_env(environ=None) -> tuple[SimContext, frozenset]:
             _warn_env(f"{env_name}={raw!r} is not an integer; "
                       f"using the default")
             continue
-        if field_name == "fuzz_programs" and value < 1:
+        if field_name != "fuzz_seed" and value < 1:
             _warn_env(f"{env_name}={raw!r} must be >= 1; "
                       f"using the default")
             continue
@@ -183,7 +245,11 @@ _active: ContextVar[SimContext | None] = ContextVar(
 
 
 def current_context() -> SimContext:
-    """Resolve the context in effect: active if any, else the root."""
+    """Resolve the context in effect: active if any, else the root.
+
+    >>> current_context().engine in ENGINES
+    True
+    """
     context = _active.get()
     return context if context is not None else _root
 
@@ -220,6 +286,12 @@ def use_context(context: SimContext | None = None, **overrides):
 
     Activations nest: leaving the block restores whatever was active
     before, even under exceptions.
+
+    >>> with use_context(max_stmts=123):
+    ...     current_context().max_stmts
+    123
+    >>> current_context().max_stmts == 123   # restored on exit
+    False
     """
     base = context if context is not None else current_context()
     if overrides:

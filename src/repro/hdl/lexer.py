@@ -36,8 +36,9 @@ from __future__ import annotations
 
 import re
 import warnings
-from functools import lru_cache
 from sys import intern
+
+from ..util import LruCache
 
 # The canonical lexer names live in repro.hdl.context (alongside
 # SimContext); re-exported here (redundant-alias form) for the many
@@ -597,9 +598,9 @@ def tokenize(source: str, lexer: str | None = None) -> list[Token]:
     return _master_tokenize(source)
 
 
-@lru_cache(maxsize=512)
-def _tokenize_cached(source: str, lexer: str) -> tuple[Token, ...]:
-    return tuple(tokenize(source, lexer))
+#: Token streams are picklable plain data, so this cache participates
+#: in warm-start snapshots (see :mod:`repro.core.caches`).
+_tokenize_cache = LruCache(capacity=512)
 
 
 def tokenize_cached(source: str,
@@ -618,14 +619,24 @@ def tokenize_cached(source: str,
     lexer so flipping the context's lexer never serves a stream
     produced by the other implementation.
     """
-    return _tokenize_cached(source, lexer or current_context().lexer)
+    key = (source, lexer or current_context().lexer)
+    return _tokenize_cache.get_or_create(
+        key, lambda: tuple(tokenize(key[0], key[1])))
 
 
 def clear_tokenize_cache() -> None:
-    _tokenize_cached.cache_clear()
+    _tokenize_cache.clear()
 
 
 def tokenize_cache_stats() -> dict:
-    info = _tokenize_cached.cache_info()
-    return {"hits": info.hits, "misses": info.misses,
-            "size": info.currsize}
+    return _tokenize_cache.stats()
+
+
+def export_tokenize_cache() -> dict:
+    """Snapshot payload: ``{(source, lexer): token_stream}``."""
+    return _tokenize_cache.export()
+
+
+def import_tokenize_cache(entries: dict) -> int:
+    """Absorb a snapshot payload; returns the number of streams added."""
+    return _tokenize_cache.import_entries(entries)

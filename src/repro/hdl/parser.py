@@ -2,9 +2,9 @@
 
 from __future__ import annotations
 
-from functools import lru_cache
 from typing import Sequence
 
+from ..util import LruCache
 from . import ast
 from .errors import VerilogSyntaxError
 from .lexer import tokenize, tokenize_cached
@@ -636,7 +636,11 @@ def parse_source(source: str) -> ast.SourceFile:
     return parser.parse_source()
 
 
-@lru_cache(maxsize=4096)
+#: ASTs are immutable picklable dataclass trees, so this cache
+#: participates in warm-start snapshots (see :mod:`repro.core.caches`).
+_parse_cache = LruCache(capacity=4096)
+
+
 def parse_source_cached(source: str) -> ast.SourceFile:
     """Text-keyed parse cache.
 
@@ -649,7 +653,26 @@ def parse_source_cached(source: str) -> ast.SourceFile:
     still absorbs the lexing half of those retries, so a source that
     *lexes* but does not parse skips the tokenizer on re-entry.
     """
-    return Parser(tokenize_cached(source)).parse_source()
+    return _parse_cache.get_or_create(
+        source, lambda: Parser(tokenize_cached(source)).parse_source())
+
+
+def clear_parse_cache() -> None:
+    _parse_cache.clear()
+
+
+def parse_cache_stats() -> dict:
+    return _parse_cache.stats()
+
+
+def export_parse_cache() -> dict:
+    """Snapshot payload: ``{source_text: SourceFile}``."""
+    return _parse_cache.export()
+
+
+def import_parse_cache(entries: dict) -> int:
+    """Absorb a snapshot payload; returns the number of ASTs added."""
+    return _parse_cache.import_entries(entries)
 
 
 def parse_module(source: str) -> ast.Module:

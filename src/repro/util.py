@@ -1,4 +1,5 @@
-"""Shared utilities: stable hashing, seeded RNG derivation, text helpers.
+"""Shared utilities: stable hashing, seeded RNG derivation, text helpers,
+and the thread-safe LRU cache the caching layers are built on.
 
 Determinism is a core requirement of this reproduction: every stochastic
 decision made by the synthetic LLM and the mutation engine must be a pure
@@ -11,7 +12,9 @@ from __future__ import annotations
 import hashlib
 import random
 import re
-from typing import Iterable
+import threading
+from collections import OrderedDict
+from typing import Callable, Iterable
 
 
 def stable_hash(*parts: object) -> int:
@@ -83,5 +86,120 @@ def mean(values: Iterable[float]) -> float:
 
 
 def format_ratio(value: float) -> str:
-    """Format a ratio in the paper's style, e.g. ``70.13%``."""
+    """Format a ratio in the paper's style, e.g. ``70.13%``.
+
+    >>> format_ratio(0.70130)
+    '70.13%'
+    """
     return f"{value * 100:.2f}%"
+
+
+class LruCache:
+    """A thread-safe LRU mapping with hit/miss telemetry and a
+    snapshot-friendly export/import pair.
+
+    :func:`functools.lru_cache` served the caching layers well until the
+    warm-start work needed two things it cannot do: *insert* entries
+    computed elsewhere (importing a :class:`~repro.core.caches.CacheSnapshot`
+    into a fresh worker process) and vary capacity per call site.  This
+    class keeps ``lru_cache``'s observable policy — move-to-front on
+    hit, evict the least recently used entry on overflow — behind an
+    explicit mapping the snapshot machinery can walk.
+
+    ``capacity`` may be an ``int`` or a zero-argument callable returning
+    one, so a cache can follow a live configuration knob (the template
+    caches read ``SimContext.template_cache_size``).  A capacity change
+    only takes effect at the next insertion.
+
+    >>> cache = LruCache(capacity=2)
+    >>> cache.get_or_create("a", lambda: 1)
+    1
+    >>> cache.get_or_create("a", lambda: 99)   # hit: factory not called
+    1
+    >>> cache.get_or_create("b", lambda: 2)
+    2
+    >>> cache.get_or_create("c", lambda: 3)    # evicts "a" (LRU)
+    3
+    >>> sorted(cache.export())
+    ['b', 'c']
+    >>> cache.stats() == {"hits": 1, "misses": 3, "size": 2}
+    True
+    """
+
+    def __init__(self, capacity: int | Callable[[], int]):
+        self._capacity = capacity
+        self._lock = threading.Lock()
+        self._data: OrderedDict = OrderedDict()
+        self._hits = 0
+        self._misses = 0
+
+    def capacity(self) -> int:
+        value = self._capacity() if callable(self._capacity) \
+            else self._capacity
+        return max(1, int(value))
+
+    def get_or_create(self, key, factory: Callable[[], object]):
+        """Return the cached value for ``key``, computing it on a miss.
+
+        The factory runs *outside* the lock (factories here parse or
+        elaborate — far too slow to serialize); when two threads race on
+        the same missing key, the first insertion wins and both callers
+        observe that one object, mirroring the identity-stability the
+        template tests pin.
+        """
+        with self._lock:
+            value = self._data.get(key)
+            if value is not None:
+                self._hits += 1
+                self._data.move_to_end(key)
+                return value
+            self._misses += 1
+        value = factory()
+        return self.insert(key, value)
+
+    def insert(self, key, value):
+        """Insert ``value`` unless ``key`` arrived concurrently; returns
+        the winning (cached) value."""
+        with self._lock:
+            existing = self._data.get(key)
+            if existing is not None:
+                self._data.move_to_end(key)
+                return existing
+            capacity = self.capacity()
+            while len(self._data) >= capacity:
+                self._data.popitem(last=False)
+            self._data[key] = value
+            return value
+
+    def clear(self) -> None:
+        """Drop every entry and zero the counters (mirrors
+        ``functools.lru_cache.cache_clear``, which the caching layers
+        were built on — tests assert post-clear counters start fresh)."""
+        with self._lock:
+            self._data.clear()
+            self._hits = 0
+            self._misses = 0
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._data)
+
+    def stats(self) -> dict:
+        with self._lock:
+            return {"hits": self._hits, "misses": self._misses,
+                    "size": len(self._data)}
+
+    def export(self) -> dict:
+        """The current entries, least recently used first (insertion
+        into a fresh cache in this order reproduces the LRU order)."""
+        with self._lock:
+            return dict(self._data)
+
+    def import_entries(self, entries: dict) -> int:
+        """Insert ``entries`` (skipping keys already present); returns
+        the number actually added."""
+        added = 0
+        for key, value in entries.items():
+            if self.insert(key, value) is value:
+                added += 1
+        return added

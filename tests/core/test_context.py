@@ -76,6 +76,19 @@ class TestSimContext:
         context = SimContext(engine=ENGINE_INTERPRET, max_stmts=7)
         assert pickle.loads(pickle.dumps(context)) == context
 
+    def test_warm_start_knobs(self):
+        context = SimContext()
+        assert context.start_method == "default"
+        assert context.warm_start is True
+        assert context.template_cache_size == 256
+        assert context.evolve(start_method="spawn").start_method == "spawn"
+        with pytest.raises(ValueError):
+            SimContext(start_method="teleport")
+        with pytest.raises(ValueError):
+            SimContext(warm_start="yes")
+        with pytest.raises(ValueError):
+            SimContext(template_cache_size=0)
+
 
 # ----------------------------------------------------------------------
 # Resolution + isolation
@@ -189,6 +202,31 @@ class TestEnvSeeding:
         assert context.fuzz_programs == SimContext().fuzz_programs
         assert not seeded
         assert "REPRO_FUZZ_PROGRAMS" in capsys.readouterr().err
+
+    def test_warm_start_knobs_seed(self):
+        context, seeded = _context_from_env({
+            "REPRO_START_METHOD": "spawn",
+            "REPRO_WARM_START": "0",
+            "REPRO_TEMPLATE_CACHE_SIZE": "64",
+        })
+        assert context.start_method == "spawn"
+        assert context.warm_start is False
+        assert context.template_cache_size == 64
+        assert {"start_method", "warm_start",
+                "template_cache_size"} <= seeded
+
+    def test_malformed_warm_start_knobs_warn(self, capsys):
+        context, seeded = _context_from_env({
+            "REPRO_START_METHOD": "teleport",
+            "REPRO_WARM_START": "maybe",
+            "REPRO_TEMPLATE_CACHE_SIZE": "0",
+        })
+        assert context == SimContext()
+        assert not seeded
+        err = capsys.readouterr().err
+        assert "REPRO_START_METHOD" in err
+        assert "REPRO_WARM_START" in err
+        assert "REPRO_TEMPLATE_CACHE_SIZE" in err
 
     def test_campaign_jobs_prefers_active_context(self):
         with use_context(jobs=5):

@@ -1,13 +1,19 @@
-"""Persistent simulation worker pool: reuse, growth, clean shutdown."""
+"""Persistent simulation worker pool: reuse, growth, clean shutdown,
+explicit start methods and warm-started workers."""
 
+import multiprocessing
 import os
 import subprocess
 import sys
 from pathlib import Path
 
+import pytest
+
 from repro.codegen import render_driver
-from repro.core.simulation import (get_sim_pool, run_driver_batch,
-                                   shutdown_sim_pool, sim_pool_info)
+from repro.core.simulation import (clear_simulation_caches, get_sim_pool,
+                                   run_driver_batch, shutdown_sim_pool,
+                                   sim_pool_info)
+from repro.hdl import use_context
 from repro.problems import get_task
 
 REPO_ROOT = Path(__file__).resolve().parents[2]
@@ -78,6 +84,109 @@ class TestPoolLifecycle:
         assert [r.status for r in serial] == [r.status for r in pooled]
         assert [[rec.values for rec in r.records] for r in serial] \
             == [[rec.values for rec in r.records] for r in pooled]
+
+
+class TestStartMethodAndWarmStart:
+    def test_default_pool_reports_platform_method(self):
+        shutdown_sim_pool()
+        driver, duts = _driver_and_duts()
+        run_driver_batch(driver, duts, jobs=1)  # warm the parent
+        get_sim_pool(1)
+        info = sim_pool_info()
+        assert info["start_method"] == multiprocessing.get_start_method()
+        # On fork platforms workers inherit warm caches through memory.
+        if info["start_method"] == "fork":
+            assert info["warm"] == "inherited"
+        shutdown_sim_pool()
+
+    def test_cold_created_pool_rewarmed_once_parent_warms(self):
+        """A pool created before anything was cached must be recreated
+        (warm) the first time warmth is requested on a warm parent —
+        otherwise campaigns that pre-warm after an early batch would
+        keep cold workers forever."""
+        driver, duts = _driver_and_duts()
+        clear_simulation_caches()
+        shutdown_sim_pool()
+        with use_context(start_method="spawn"):
+            cold_pool = get_sim_pool(2)
+            assert sim_pool_info()["warm"] == "cold"
+            # Parent warms up after the pool exists (e.g. a serial run
+            # or a campaign pre-warm)...
+            run_driver_batch(driver, duts, jobs=1)
+            # ...so the next warm-requesting lookup recreates the pool
+            # with the snapshot on board — exactly once.
+            warm_pool = get_sim_pool(2)
+            assert warm_pool is not cold_pool
+            info = sim_pool_info()
+            assert info["warm"] == "snapshot"
+            assert info["warm_layers"]["pair"] >= 2
+            assert get_sim_pool(2) is warm_pool  # no churn afterwards
+        shutdown_sim_pool()
+
+    def test_unavailable_start_method_raises(self, monkeypatch):
+        from repro.core.simulation import _resolve_start_method
+
+        monkeypatch.setattr(multiprocessing, "get_all_start_methods",
+                            lambda: ["fork", "spawn"])
+        with pytest.raises(ValueError):
+            _resolve_start_method("forkserver")
+
+    def test_start_method_change_recreates_pool(self):
+        shutdown_sim_pool()
+        pool_default = get_sim_pool(2)
+        with use_context(start_method="spawn", warm_start=False):
+            pool_spawn = get_sim_pool(2)
+            assert pool_spawn is not pool_default
+            assert sim_pool_info()["start_method"] == "spawn"
+        shutdown_sim_pool()
+
+    def test_spawn_pool_matches_fork_results(self):
+        """The acceptance equivalence: one batch through a spawn-started
+        pool returns exactly what the (default) fork path returns."""
+        driver, duts = _driver_and_duts()
+        serial = run_driver_batch(driver, duts, jobs=1)
+        shutdown_sim_pool()
+        with use_context(start_method="spawn"):
+            spawned = run_driver_batch(driver, duts, jobs=2)
+            info = sim_pool_info()
+        assert info["start_method"] == "spawn"
+        assert [r.status for r in spawned] == [r.status for r in serial]
+        assert [[rec.values for rec in r.records] for r in spawned] \
+            == [[rec.values for rec in r.records] for r in serial]
+        shutdown_sim_pool()
+
+    def test_spawn_pool_ships_snapshot_when_parent_is_warm(self):
+        driver, duts = _driver_and_duts()
+        shutdown_sim_pool()
+        # Warm the parent first so there is something to snapshot.
+        run_driver_batch(driver, duts, jobs=1)
+        with use_context(start_method="spawn"):
+            get_sim_pool(2)
+            info = sim_pool_info()
+        assert info["warm"] == "snapshot"
+        assert info["warm_layers"]["pair"] >= 2
+        assert info["warm_layers"]["parse"] >= 3
+        shutdown_sim_pool()
+
+    def test_warm_start_off_means_cold_spawn_pool(self):
+        driver, duts = _driver_and_duts()
+        shutdown_sim_pool()
+        run_driver_batch(driver, duts, jobs=1)
+        with use_context(start_method="spawn", warm_start=False):
+            runs = run_driver_batch(driver, duts, jobs=2)
+            info = sim_pool_info()
+        assert all(run.ok for run in runs)
+        assert info["warm"] == "cold" and info["warm_layers"] == {}
+        shutdown_sim_pool()
+
+    def test_cold_parent_spawn_pool_reports_cold(self):
+        clear_simulation_caches()
+        shutdown_sim_pool()
+        with use_context(start_method="spawn"):
+            get_sim_pool(1)
+            info = sim_pool_info()
+        assert info["warm"] == "cold"
+        shutdown_sim_pool()
 
 
 def test_atexit_shutdown_is_clean():

@@ -1,6 +1,6 @@
 """DesignTemplate caching layers: failure caching, LRU behavior under
-campaign-scale churn, and stamped-state isolation between concurrent
-checkouts."""
+campaign-scale churn, per-task scoping, the capacity knob, and
+stamped-state isolation between concurrent checkouts."""
 
 import threading
 from collections import OrderedDict
@@ -9,10 +9,12 @@ import pytest
 from hypothesis import given, settings, strategies as st
 
 import repro.core.simulation as sim
+from repro.core.caches import use_task_scope
 from repro.core.simulation import (ELABORATION, clear_simulation_caches,
                                    design_template, run_driver,
                                    simulation_cache_stats)
 from repro.codegen import render_driver
+from repro.hdl import use_context
 from repro.hdl.errors import ElaborationError, VerilogSyntaxError
 from repro.problems import get_task
 
@@ -161,6 +163,110 @@ def test_lru_agrees_with_model(accesses):
             if len(model) > LRU_SIZE:
                 model.popitem(last=False)
     assert simulation_cache_stats()["design"]["size"] <= LRU_SIZE
+
+
+# ----------------------------------------------------------------------
+# Capacity knob + per-task scoping
+# ----------------------------------------------------------------------
+class TestCapacityKnob:
+    def test_template_cache_size_applies(self):
+        """``SimContext.template_cache_size`` bounds the active scope's
+        bucket: a tiny capacity evicts at the knob, not at 256."""
+        clear_simulation_caches()
+        with use_context(template_cache_size=2):
+            first = design_template(_tiny_src(0), "m")
+            design_template(_tiny_src(1), "m")
+            design_template(_tiny_src(2), "m")  # evicts index 0 (LRU)
+            survivor = design_template(_tiny_src(2), "m")
+            assert design_template(_tiny_src(2), "m") is survivor
+            assert design_template(_tiny_src(0), "m") is not first
+
+    def test_capacity_validated_on_context(self):
+        with pytest.raises(ValueError):
+            use_context(template_cache_size=0).__enter__()
+
+
+class TestTaskScoping:
+    def test_scopes_isolate_eviction(self):
+        """A mutant flood in one task's scope must not evict another
+        task's warm templates — the open-item scenario (156 tasks x
+        mutants x judges interleaved by a campaign)."""
+        clear_simulation_caches()
+        with use_context(template_cache_size=2):
+            with use_task_scope("task-a"):
+                kept0 = design_template(_tiny_src(0), "m")
+                kept1 = design_template(_tiny_src(1), "m")
+            with use_task_scope("task-b"):  # churn far past capacity
+                for index in range(2, 10):
+                    design_template(_tiny_src(index), "m")
+            with use_task_scope("task-a"):
+                assert design_template(_tiny_src(0), "m") is kept0
+                assert design_template(_tiny_src(1), "m") is kept1
+
+    def test_same_key_distinct_per_scope(self):
+        clear_simulation_caches()
+        with use_task_scope("task-a"):
+            in_a = design_template(_tiny_src(0), "m")
+        with use_task_scope("task-b"):
+            in_b = design_template(_tiny_src(0), "m")
+        assert in_a is not in_b
+        assert simulation_cache_stats()["design"]["scopes"] == 2
+
+    def test_scope_bound_covers_full_dataset(self):
+        """The outer scope LRU must hold at least the 156-task benchmark
+        population, or a full-dataset campaign prewarm would evict its
+        own earliest tasks before the pool ever snapshots them."""
+        from repro.core.caches import DEFAULT_MAX_SCOPES
+        clear_simulation_caches()
+        assert DEFAULT_MAX_SCOPES >= 156
+        for index in range(200):
+            with use_task_scope(f"task-{index}"):
+                design_template(_tiny_src(index % 4), "m")
+        stats = simulation_cache_stats()["design"]
+        assert stats["scopes"] == min(200, DEFAULT_MAX_SCOPES)
+        # Churn past the bound retires whole scopes, oldest first.
+        with use_task_scope("task-0"):
+            fresh = design_template(_tiny_src(0), "m")
+        with use_task_scope("task-199"):
+            survivor = design_template(_tiny_src(199 % 4), "m")
+            assert design_template(_tiny_src(199 % 4), "m") is survivor
+        assert fresh is not None
+
+    def test_default_scope_is_shared(self):
+        clear_simulation_caches()
+        template = design_template(_tiny_src(0), "m")
+        with use_task_scope(None):
+            assert design_template(_tiny_src(0), "m") is template
+
+
+@settings(max_examples=5, deadline=None)
+@given(st.lists(st.tuples(st.sampled_from(["task-a", "task-b", None]),
+                          st.integers(min_value=0, max_value=9)),
+                min_size=1, max_size=120))
+def test_scoped_lru_agrees_with_model(accesses):
+    """The per-task scoping extension of ``test_lru_agrees_with_model``:
+    each scope behaves as its own move-to-front LRU at the context's
+    capacity, and accesses in one scope never disturb another's."""
+    capacity = 4
+    clear_simulation_caches()
+    model: dict = {}
+    with use_context(template_cache_size=capacity):
+        for scope, index in accesses:
+            bucket = model.setdefault(scope, OrderedDict())
+            expected = bucket.get(index)
+            with use_task_scope(scope):
+                template = design_template(_tiny_src(index), "m")
+            if expected is not None:
+                assert template is expected, \
+                    "cache dropped or replaced a live entry"
+                bucket.move_to_end(index)
+            else:
+                bucket[index] = template
+                if len(bucket) > capacity:
+                    bucket.popitem(last=False)
+    stats = simulation_cache_stats()["design"]
+    assert stats["size"] == sum(len(b) for b in model.values())
+    assert stats["scopes"] == len(model)
 
 
 # ----------------------------------------------------------------------

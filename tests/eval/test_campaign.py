@@ -174,7 +174,7 @@ class TestRetryProgress:
                 for task_id in self.TASKS]
         pool = _FlakyPool(runs, fail_after=2)
         monkeypatch.setattr(campaign_mod, "get_sim_pool",
-                            lambda jobs: pool)
+                            lambda jobs, **kwargs: pool)
         monkeypatch.setattr(campaign_mod, "shutdown_sim_pool",
                             lambda wait=True: None)
         result = run_campaign(config, progress=progress)
@@ -209,7 +209,7 @@ class TestRetryProgress:
                 raise BrokenProcessPool("still dead")
 
         monkeypatch.setattr(campaign_mod, "get_sim_pool",
-                            lambda jobs: DeadPool())
+                            lambda jobs, **kwargs: DeadPool())
         monkeypatch.setattr(campaign_mod, "shutdown_sim_pool",
                             lambda wait=True: None)
         with pytest.raises(BrokenProcessPool):

@@ -5,7 +5,9 @@ Subcommands:
 - ``dataset``  — list the benchmark tasks or show one task's artifacts;
 - ``run``      — run one method on one task and grade it with AutoEval;
 - ``validate`` — generate a testbench and show its RS matrix + verdict;
-- ``campaign`` — run a methods x tasks x seeds campaign, print Table I/III.
+- ``campaign`` — run a methods x tasks x seeds campaign, print Table I/III;
+- ``trace``    — record, replay, or summarise correction traces
+  (``trace record``, ``trace replay``, ``trace report``).
 
 ``run``/``validate``/``campaign`` accept ``--engine`` and ``--lexer``,
 and ``campaign`` additionally ``--start-method`` and
@@ -27,8 +29,8 @@ import sys
 from .core import (CRITERIA, AutoBenchGenerator, DEFAULT_CRITERION,
                    ScenarioValidator)
 from .eval import (default_config, evaluate, registered_methods,
-                   render_table1, render_table3, render_usage_summary,
-                   run_campaign, run_one)
+                   render_recovery_report, render_table1, render_table3,
+                   render_usage_summary, run_campaign, run_one)
 from .hdl.context import (ENGINES, LEXERS, START_METHODS, current_context,
                           use_context)
 from .llm import MeteredClient, UsageMeter, get_profile
@@ -54,6 +56,8 @@ def _context(args):
         overrides["start_method"] = args.start_method
     if getattr(args, "warm_start", None) is not None:
         overrides["warm_start"] = args.warm_start
+    if getattr(args, "trace_dir", None):
+        overrides["trace_dir"] = args.trace_dir
     return current_context().evolve(**overrides)
 
 
@@ -131,10 +135,84 @@ def cmd_campaign(args) -> int:
         profile_name=args.model, criterion_name=args.criterion,
         n_jobs=args.jobs, context=_context(args), **overrides)
     result = run_campaign(config)
+    if any(run.fault_class for run in result.runs):
+        print(render_recovery_report(result))
+        print()
     print(render_table1(result))
     print(render_table3(result))
     print()
     print(render_usage_summary(result))
+    return 0
+
+
+# ----------------------------------------------------------------------
+def cmd_trace_record(args) -> int:
+    from .core.agent import CorrectBenchWorkflow
+    from .core.trace import JsonlTraceSink
+
+    context = _context(args)
+    if not args.out and not context.trace_dir:
+        print("error: pass --out FILE or --trace-dir DIR", file=sys.stderr)
+        return 2
+    with use_context(context):
+        task = get_task(args.task)
+        client = _client(args.model, args.seed)
+        sink = JsonlTraceSink(args.out) if args.out else None
+        workflow = CorrectBenchWorkflow(
+            client, task, CRITERIA[args.criterion], trace_sink=sink)
+        result = workflow.run()
+    print(f"recorded {task.task_id}: validated={result.validated} "
+          f"corrections={result.corrections} reboots={result.reboots}")
+    print(f"trace written under {args.out or context.trace_dir}")
+    return 0
+
+
+def cmd_trace_replay(args) -> int:
+    from .core.trace import load_trace, replay_workflow
+
+    trace = load_trace(args.trace)
+    handoff = None
+    if args.rounds is not None:
+        handoff = _client(args.model, args.seed)
+    with use_context(_context(args)):
+        outcome = replay_workflow(trace, strict=not args.lenient,
+                                  rounds=args.rounds, handoff=handoff)
+    result = outcome.result
+    print(f"replayed {trace.header['task_id']}: "
+          f"validated={result.validated} "
+          f"corrections={result.corrections} reboots={result.reboots}")
+    if outcome.matches:
+        print("round verdicts match the recording")
+        return 0
+    print(f"DIVERGED at round {outcome.diverged_round()}",
+          file=sys.stderr)
+    return 1
+
+
+def cmd_trace_report(args) -> int:
+    from .core.trace import load_trace
+
+    trace = load_trace(args.trace)
+    header = trace.header
+    print(f"task={header['task_id']} model={header.get('model')} "
+          f"seed={header.get('seed')} criterion={header.get('criterion')}")
+    print(f"exchanges={len(trace.exchanges())} "
+          f"rounds={len(trace.validations())}")
+    for event in trace.validations():
+        status = "PASS" if event["verdict"] else "fail"
+        print(f"  round {event['round']}: {status} "
+              f"wrong={event['wrong']} origin={event['origin']} "
+              f"gen={event['generation_index']} "
+              f"corr={event['correction_index']} "
+              f"[{event['elapsed_ms']:.0f} ms, "
+              f"{event['exchanges_so_far']} exchanges]"
+              + (f" note={event['note']}" if event["note"] else ""))
+    result = trace.result()
+    if result is not None:
+        print(f"result: validated={result['validated']} "
+              f"gave_up={result['gave_up']} "
+              f"corrections={result['corrections']} "
+              f"reboots={result['reboots']} usage={result['usage']}")
     return 0
 
 
@@ -161,6 +239,9 @@ def build_parser() -> argparse.ArgumentParser:
     common.add_argument("--lexer", choices=LEXERS, default=None,
                         help="tokenizer implementation "
                              "(default: active context)")
+    common.add_argument("--trace-dir", default=None, dest="trace_dir",
+                        help="record correction traces (JSONL) into this "
+                             "directory (default: REPRO_TRACE_DIR / off)")
 
     p_run = sub.add_parser("run", parents=[common],
                            help="run one method on one task")
@@ -194,6 +275,36 @@ def build_parser() -> argparse.ArgumentParser:
                              "built from the task list "
                              "(default: active context, on)")
     p_camp.set_defaults(func=cmd_campaign)
+
+    p_trace = sub.add_parser(
+        "trace", help="record / replay / summarise correction traces")
+    trace_sub = p_trace.add_subparsers(dest="trace_command", required=True)
+
+    p_record = trace_sub.add_parser(
+        "record", parents=[common],
+        help="run the CorrectBench workflow on a task, recording a trace")
+    p_record.add_argument("task")
+    p_record.add_argument("--out", default=None,
+                          help="trace file path (overrides --trace-dir)")
+    p_record.set_defaults(func=cmd_trace_record)
+
+    p_replay = trace_sub.add_parser(
+        "replay", parents=[common],
+        help="re-run a recorded trace and compare round verdicts")
+    p_replay.add_argument("trace", help="path to a .trace.jsonl file")
+    p_replay.add_argument("--lenient", action="store_true",
+                          help="match exchanges by intent kind only "
+                               "(default: strict prompt-hash matching)")
+    p_replay.add_argument("--rounds", type=int, default=None,
+                          help="replay only the first N validation rounds, "
+                               "then hand off to a live client "
+                               "(mid-trace resume)")
+    p_replay.set_defaults(func=cmd_trace_replay)
+
+    p_report = trace_sub.add_parser(
+        "report", help="summarise a recorded trace")
+    p_report.add_argument("trace", help="path to a .trace.jsonl file")
+    p_report.set_defaults(func=cmd_trace_report)
     return parser
 
 

@@ -16,12 +16,15 @@ Paper constants: ``I_C^max = 3``, ``I_R^max = 10``.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Callable
 
 from ..llm.base import LLMClient, MeteredClient, UsageMeter
 from ..problems.model import TaskSpec
 from .artifacts import HybridTestbench
 from .corrector import Corrector
 from .generator import AutoBenchGenerator
+from .trace import (TraceSession, fault_fingerprint, resolve_trace_sink,
+                    use_trace_session)
 from .validator import (DEFAULT_CRITERION, Criterion, ScenarioValidator,
                         ValidationReport)
 
@@ -66,7 +69,19 @@ class WorkflowResult:
 
 @dataclass
 class CorrectBenchWorkflow:
-    """CorrectBench end-to-end for one task (Fig. 1 / Algorithm 1)."""
+    """CorrectBench end-to-end for one task (Fig. 1 / Algorithm 1).
+
+    ``trace_sink`` overrides the context-resolved sink (see
+    :func:`repro.core.trace.resolve_trace_sink`); ``trace_label``
+    distinguishes trace files when several sessions run the same task.
+    ``report_filter`` sits between the validator and Algorithm 1: it
+    receives ``(report, round_index)`` and returns the report the agent
+    acts on.  Recovery scenario packs use it to feed the agent
+    misleading verdicts for a bounded window of rounds
+    (:mod:`repro.eval.scenarios`); once the window ends the real
+    reports flow again, so acceptance is ultimately decided on honest
+    feedback.
+    """
 
     client: LLMClient | MeteredClient
     task: TaskSpec
@@ -75,8 +90,34 @@ class CorrectBenchWorkflow:
     ir_max: int = I_R_MAX
     group_size: int = 20
     history: list[ActionEvent] = field(default_factory=list)
+    trace_sink: object | None = None
+    trace_label: str = ""
+    report_filter: Callable[[ValidationReport, int],
+                            ValidationReport] | None = None
 
     def run(self) -> WorkflowResult:
+        sink = self.trace_sink
+        if sink is None:
+            sink = resolve_trace_sink(self.task.task_id,
+                                      self.trace_label)
+        if sink is None:
+            return self._run(None)
+        session = TraceSession(sink)
+        session.record_header(
+            task_id=self.task.task_id, model=self.client.name,
+            seed=getattr(getattr(self.client, "inner", self.client),
+                         "seed", None),
+            criterion=self.criterion.name, ic_max=self.ic_max,
+            ir_max=self.ir_max, group_size=self.group_size)
+        try:
+            with use_trace_session(session):
+                result = self._run(session)
+            session.record_result(result)
+            return result
+        finally:
+            session.close()
+
+    def _run(self, session) -> WorkflowResult:
         generator = AutoBenchGenerator(self.client, self.task)
         validator = ScenarioValidator(self.client, self.task,
                                       self.criterion, self.group_size)
@@ -85,10 +126,19 @@ class CorrectBenchWorkflow:
         i_c = 0
         i_r = 0
         corrections = 0
+        rounds = 0
         testbench = generator.generate(attempt=0)
 
         while True:
             report = validator.validate(testbench)
+            rounds += 1
+            if self.report_filter is not None:
+                report = self.report_filter(report, rounds)
+            if session is not None:
+                session.record_validation(
+                    testbench, report,
+                    fault_fingerprint(self.client,
+                                      testbench.checker_src))
             if not report.verdict and i_c < self.ic_max:
                 action = "Correcting"
                 i_c += 1
@@ -99,6 +149,8 @@ class CorrectBenchWorkflow:
                     action, testbench.generation_index,
                     testbench.correction_index, report.verdict,
                     report.wrong))
+                if session is not None:
+                    session.record_action(action, testbench, report)
                 testbench = outcome.testbench
                 continue
             if not report.verdict and i_r < self.ir_max:
@@ -109,11 +161,15 @@ class CorrectBenchWorkflow:
                     action, testbench.generation_index,
                     testbench.correction_index, report.verdict,
                     report.wrong))
+                if session is not None:
+                    session.record_action(action, testbench, report)
                 testbench = generator.generate(attempt=i_r)
                 continue
             self.history.append(ActionEvent(
                 "Pass", testbench.generation_index,
                 testbench.correction_index, report.verdict, report.wrong))
+            if session is not None:
+                session.record_action("Pass", testbench, report)
             meter = (self.client.meter
                      if isinstance(self.client, MeteredClient) else None)
             return WorkflowResult(

@@ -6,8 +6,8 @@ testbench — no scenario decomposition, no self-enhancement, no checking.
 
 from __future__ import annotations
 
-from ..llm.base import (ChatMessage, ChatRequest, GenerationIntent,
-                        LLMClient, MeteredClient)
+from ..llm.base import GenerationIntent, LLMClient, MeteredClient
+from ..llm.conversation import single_turn
 from ..problems.model import TaskSpec
 from ..util import extract_first_code_block
 from . import prompts
@@ -22,15 +22,11 @@ class DirectBaseline:
         self.task = task
 
     def generate(self, attempt: int = 0) -> MonolithicTestbench:
-        request = ChatRequest(
-            messages=(ChatMessage("system", prompts.SYSTEM_TESTBENCH),
-                      ChatMessage("user",
-                                  prompts.baseline_prompt(
-                                      self.task.spec_text))),
-            intent=GenerationIntent("baseline_tb", self.task.task_id,
-                                    {"task": self.task,
-                                     "attempt": attempt}))
-        reply = self.client.complete(request).text
+        reply = single_turn(
+            self.client, prompts.SYSTEM_TESTBENCH,
+            prompts.baseline_prompt(self.task.spec_text),
+            GenerationIntent("baseline_tb", self.task.task_id,
+                             {"task": self.task, "attempt": attempt}))
         source = extract_first_code_block(reply, "verilog")
         return MonolithicTestbench(task_id=self.task.task_id,
                                    source=source)

@@ -264,22 +264,29 @@ class ScopedLruCache:
     ``capacity`` may be a callable so the bucket size can follow a live
     knob (``SimContext.template_cache_size``); it is read at insertion
     time, and a shrunk capacity trims a bucket on its next insertion.
-    Note the knob is *per scope*: the worst-case entry count is
-    ``capacity * max_scopes``, but in practice each task scope only
-    holds its own working set (goldens + judges + mutants), so resident
-    size tracks tasks-touched, not the product.
+    The knob is *per scope*, so the worst-case entry count is
+    ``capacity * max_scopes``; ``total_budget`` bounds that product with
+    a *global* entry budget (``SimContext.template_cache_budget`` for
+    the template caches).  When the total live-entry count crosses the
+    budget, whole least-recently-used scope *buckets* are shed — never
+    the scope that just inserted — so the cost lands on tasks that have
+    gone cold, and a revisited task pays a re-elaboration, not a
+    crash.  ``None`` disables the budget.
     """
 
     def __init__(self, capacity: int | Callable[[], int],
-                 max_scopes: int = DEFAULT_MAX_SCOPES):
+                 max_scopes: int = DEFAULT_MAX_SCOPES,
+                 total_budget: int | Callable[[], int] | None = None):
         self._capacity = capacity
         self._max_scopes = max(1, int(max_scopes))
+        self._total_budget = total_budget
         self._lock = threading.Lock()
         self._scopes: "OrderedDict[str | None, LruCache]" = OrderedDict()
         # Counters of buckets evicted by scope churn, so stats() stays
         # monotonic even after a scope (and its counts) retires.
         self._retired_hits = 0
         self._retired_misses = 0
+        self._shed_scopes = 0
 
     def _bucket(self, scope) -> LruCache:
         with self._lock:
@@ -287,20 +294,51 @@ class ScopedLruCache:
             if bucket is None:
                 while len(self._scopes) >= self._max_scopes:
                     _, retired = self._scopes.popitem(last=False)
-                    stats = retired.stats()
-                    self._retired_hits += stats["hits"]
-                    self._retired_misses += stats["misses"]
+                    self._retire(retired)
                 bucket = self._scopes[scope] = LruCache(self._capacity)
             else:
                 self._scopes.move_to_end(scope)
             return bucket
+
+    def _budget(self) -> int | None:
+        budget = self._total_budget
+        if budget is None:
+            return None
+        value = budget() if callable(budget) else budget
+        return max(1, int(value))
+
+    def _retire(self, bucket: LruCache) -> None:
+        stats = bucket.stats()
+        self._retired_hits += stats["hits"]
+        self._retired_misses += stats["misses"]
+
+    def _enforce_budget(self, scope) -> None:
+        budget = self._budget()
+        if budget is None:
+            return
+        with self._lock:
+            while len(self._scopes) > 1 and sum(
+                    len(bucket)
+                    for bucket in self._scopes.values()) > budget:
+                retired_scope, retired = next(iter(self._scopes.items()))
+                if retired_scope == scope:
+                    # The inserting scope is the outer-LRU head only
+                    # when every other bucket was already shed; keep it
+                    # and let its per-scope capacity bound it.
+                    break
+                del self._scopes[retired_scope]
+                self._retire(retired)
+                self._shed_scopes += 1
 
     def get_or_create(self, key, factory: Callable[[], object]):
         """Return the cached value for ``key`` in the *active* scope,
         computing it (outside the locks) on a miss; racing computations
         keep the first inserted object (see
         :meth:`repro.util.LruCache.get_or_create`)."""
-        return self._bucket(_task_scope.get()).get_or_create(key, factory)
+        scope = _task_scope.get()
+        value = self._bucket(scope).get_or_create(key, factory)
+        self._enforce_budget(scope)
+        return value
 
     def clear(self) -> None:
         """Drop every scope's entries and zero the counters (mirrors
@@ -309,6 +347,7 @@ class ScopedLruCache:
             self._scopes.clear()
             self._retired_hits = 0
             self._retired_misses = 0
+            self._shed_scopes = 0
 
     def stats(self) -> dict:
         with self._lock:
@@ -321,6 +360,7 @@ class ScopedLruCache:
                           + sum(s["misses"] for s in per_bucket),
                 "size": sum(s["size"] for s in per_bucket),
                 "scopes": len(self._scopes),
+                "shed_scopes": self._shed_scopes,
             }
 
     def export_keys(self) -> tuple:

@@ -17,7 +17,7 @@ from dataclasses import dataclass, replace
 from ..llm.base import GenerationIntent, LLMClient, MeteredClient
 from ..llm.conversation import Conversation
 from ..problems.model import TaskSpec
-from ..util import extract_first_code_block
+from ..util import ExtractionError, extract_code_block_checked
 from . import prompts
 from .artifacts import HybridTestbench
 from .validator import ValidationReport
@@ -28,6 +28,7 @@ class CorrectionOutcome:
     testbench: HybridTestbench
     reasoning: str
     changed: bool
+    extraction_retries: int = 0  # stage-2 replies without a usable block
 
 
 class Corrector:
@@ -63,9 +64,29 @@ class Corrector:
                 "attempt": tb.generation_index,
                 "correction_round": correction_round}))
 
-        new_checker = extract_first_code_block(stage2, "python")
+        # A malformed stage-2 reply (no usable python block) is re-asked
+        # once under the formatting rules; a second failure keeps the old
+        # checker instead of shipping prose or an empty string.
+        retries = 0
+        try:
+            new_checker = extract_code_block_checked(stage2, "python")
+        except ExtractionError:
+            retries = 1
+            stage2 = conversation.ask(
+                prompts.corrector_stage2_retry_prompt(),
+                GenerationIntent("correct_rewrite", task.task_id, {
+                    "task": task, "checker_src": tb.checker_src,
+                    "wrong_scenarios": report.wrong,
+                    "attempt": tb.generation_index,
+                    "correction_round": correction_round, "retry": 1}))
+            try:
+                new_checker = extract_code_block_checked(stage2, "python")
+            except ExtractionError:
+                new_checker = tb.checker_src
+
         changed = new_checker.strip() != tb.checker_src.strip()
         corrected = replace(tb, checker_src=new_checker,
                             origin="corrector",
                             correction_index=correction_round)
-        return CorrectionOutcome(corrected, stage1, changed)
+        return CorrectionOutcome(corrected, stage1, changed,
+                                 extraction_retries=retries)

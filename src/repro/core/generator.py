@@ -19,8 +19,8 @@ from __future__ import annotations
 
 from ..codegen import parse_driver_scenarios, parse_scenario_listing
 from ..hdl.errors import VerilogSyntaxError
-from ..llm.base import (ChatMessage, ChatRequest, GenerationIntent,
-                        LLMClient, MeteredClient)
+from ..llm.base import GenerationIntent, LLMClient, MeteredClient
+from ..llm.conversation import single_turn
 from ..problems.model import TaskSpec
 from ..util import extract_first_code_block
 from . import prompts
@@ -40,11 +40,11 @@ class AutoBenchGenerator:
     # ------------------------------------------------------------------
     def _ask(self, kind: str, prompt: str, **payload) -> str:
         payload.setdefault("task", self.task)
-        request = ChatRequest(
-            messages=(ChatMessage("system", prompts.SYSTEM_TESTBENCH),
-                      ChatMessage("user", prompt)),
-            intent=GenerationIntent(kind, self.task.task_id, payload))
-        return self.client.complete(request).text
+        # Routed through the conversation layer so the exchange lands in
+        # the active trace session (see repro.core.trace).
+        return single_turn(
+            self.client, prompts.SYSTEM_TESTBENCH, prompt,
+            GenerationIntent(kind, self.task.task_id, payload))
 
     # ------------------------------------------------------------------
     def generate(self, attempt: int = 0) -> HybridTestbench:

@@ -135,3 +135,13 @@ def corrector_stage2_prompt() -> str:
         "RefModel` with `step`). Only the core code is needed — the "
         "fixed interface is completed by the framework.\n"
     )
+
+
+def corrector_stage2_retry_prompt() -> str:
+    """Re-ask after a stage-2 reply without a usable code block."""
+    return (
+        "Your previous reply did not contain a usable python code "
+        "block. Reply again, following the formatting rules exactly: "
+        "one python code block with the complete corrected checker "
+        "core (`class RefModel` with `step`), and nothing else.\n"
+    )

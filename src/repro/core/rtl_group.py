@@ -11,8 +11,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from ..llm.base import (ChatMessage, ChatRequest, GenerationIntent,
-                        LLMClient, MeteredClient)
+from ..llm.base import GenerationIntent, LLMClient, MeteredClient
+from ..llm.conversation import single_turn
 from ..problems.model import TaskSpec
 from ..util import extract_first_code_block
 from . import prompts
@@ -38,15 +38,12 @@ def build_rtl_group(client: LLMClient | MeteredClient, task: TaskSpec,
     samples: list[JudgeRtl] = []
 
     def request_one(index: int, nonce: int) -> JudgeRtl:
-        request = ChatRequest(
-            messages=(ChatMessage("system", prompts.SYSTEM_RTL),
-                      ChatMessage("user",
-                                  prompts.rtl_prompt(task.spec_text,
-                                                     index))),
-            intent=GenerationIntent("rtl", task.task_id,
-                                    {"task": task, "sample_index": index,
-                                     "group_nonce": nonce}))
-        reply = client.complete(request).text
+        reply = single_turn(
+            client, prompts.SYSTEM_RTL,
+            prompts.rtl_prompt(task.spec_text, index),
+            GenerationIntent("rtl", task.task_id,
+                             {"task": task, "sample_index": index,
+                              "group_nonce": nonce}))
         source = extract_first_code_block(reply, "verilog")
         return JudgeRtl(source, index, syntax_ok(source))
 

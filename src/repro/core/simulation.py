@@ -239,13 +239,21 @@ def _record_failure(key: tuple, exc: Exception) -> None:
 # let one task's mutant flood evict another task's warm goldens;
 # campaign items now run under ``use_task_scope(task_id)``, giving each
 # task its own eviction domain.  Capacity follows the active context's
-# ``template_cache_size`` knob (read at insertion time).
+# ``template_cache_size`` knob (read at insertion time); the global
+# ``template_cache_budget`` knob bounds total resident entries across
+# all scopes by shedding least-recently-used scope buckets.
 def _template_capacity() -> int:
     return current_context().template_cache_size
 
 
-_design_templates = ScopedLruCache(_template_capacity)
-_pair_templates = ScopedLruCache(_template_capacity)
+def _template_budget() -> int:
+    return current_context().template_cache_budget
+
+
+_design_templates = ScopedLruCache(_template_capacity,
+                                   total_budget=_template_budget)
+_pair_templates = ScopedLruCache(_template_capacity,
+                                 total_budget=_template_budget)
 
 
 def design_template(source_text: str, top: str) -> DesignTemplate:

@@ -63,6 +63,11 @@ class TaskRun:
     reboots: int = 0
     final_from_corrector: bool = False
     took_any_action: bool = False
+    # Recovery scenario packs (repro.eval.scenarios) only:
+    fault_class: str = ""             # "" = no fault injected
+    recovered: bool | None = None     # validated AND graded >= Eval2
+    recovery_round: int | None = None  # validation round of recovery
+    rounds: int = 0                   # total validation rounds run
 
 
 @dataclass(frozen=True)

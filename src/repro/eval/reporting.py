@@ -148,3 +148,44 @@ def render_usage_summary(result: CampaignResult) -> str:
         lines.append(f"  {_METHOD_LABELS[method]:<13} "
                      f"in={input_tokens:>9.0f}  out={output_tokens:>8.0f}")
     return "\n".join(lines)
+
+
+def render_recovery_report(result: CampaignResult) -> str:
+    """Recovery rate per fault class, with recovered-by-round-k curves.
+
+    Covers every run carrying a ``fault_class`` (produced by the
+    scenario packs in :mod:`repro.eval.scenarios`).  The curve gives the
+    cumulative fraction of runs recovered within k validation rounds —
+    how much budget each fault class costs, not only whether the agent
+    got there eventually.
+    """
+    runs = [run for run in result.runs if run.fault_class]
+    lines = ["RECOVERY SCENARIO PACKS — RECOVERY RATE PER FAULT CLASS",
+             ""]
+    if not runs:
+        lines.append("(no fault-injected runs in this campaign)")
+        return "\n".join(lines)
+    header = (f"{'Fault class':<22}{'Runs':>6}{'Recovered':>11}"
+              f"{'Rate':>9}   recovered-by-round-k")
+    lines.append(header)
+    lines.append("-" * len(header))
+    fault_classes = []
+    for run in runs:
+        if run.fault_class not in fault_classes:
+            fault_classes.append(run.fault_class)
+    for fault_class in fault_classes:
+        of_class = [run for run in runs
+                    if run.fault_class == fault_class]
+        recovered = [run for run in of_class if run.recovered]
+        rate = len(recovered) / len(of_class)
+        max_round = max((run.rounds for run in of_class), default=0)
+        curve = []
+        for k in range(1, max_round + 1):
+            within = sum(1 for run in recovered
+                         if run.recovery_round is not None
+                         and run.recovery_round <= k)
+            curve.append(f"k<={k}:{format_ratio(within / len(of_class))}")
+        lines.append(
+            f"{fault_class:<22}{len(of_class):>6}{len(recovered):>11}"
+            f"{format_ratio(rate):>9}   " + "  ".join(curve))
+    return "\n".join(lines)

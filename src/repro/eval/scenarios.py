@@ -1,0 +1,243 @@
+"""Fault-injected recovery scenario packs, graded on recovery rate.
+
+The paper evaluates CorrectBench on a *cooperative* substrate: the model
+is unreliable, but the machinery around it — code-block extraction, the
+validator's reports, the budget loop — behaves.  These packs stress the
+robustness claim directly by injecting faults into that machinery and
+grading whether Algorithm 1 still converges:
+
+``corrupted-candidate``
+    a client wrapper corrupts the corrector's stage-2 rewrites (the
+    python block is syntax-poisoned) for the first correction round(s).
+    Recovery requires the agent to survive shipping — or refusing — a
+    broken candidate and converge once the corruption window closes.
+``misleading-feedback``
+    a :attr:`~repro.core.agent.CorrectBenchWorkflow.report_filter`
+    rewrites failing validator reports for the first rounds: the wrong
+    list is emptied (the failing scenarios are reported as passing) while
+    the verdict stays negative.  The corrector works blind — no bug
+    information — until honest reports resume.
+``budget-exhausted``
+    the workflow runs with starvation budgets (``ic_max=1, ir_max=2``)
+    and is cold-restarted when it gives up, with generation attempts
+    offset so a restart explores fresh candidates instead of replaying
+    the identical deterministic failure.  Recovery means converging
+    within the restart allowance despite never having the full budget.
+
+Each pack is a registered :func:`~repro.eval.methods.campaign_method`,
+so it runs through the standard campaign machinery and CLI
+(``repro campaign --methods recovery-corrupted ...``).  A run is
+**recovered** when the final testbench is both validator-accepted and
+graded ``Eval2`` by AutoEval — self-reported success alone does not
+count.  ``TaskRun.recovery_round`` carries the validation round the
+accepting verdict landed on, feeding the recovered-by-round-k curves in
+:func:`repro.eval.reporting.render_recovery_report`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from ..core.agent import CorrectBenchWorkflow, WorkflowResult
+from ..core.validator import ValidationReport
+from ..llm.base import ChatRequest, ChatResponse, GenerationIntent
+from .autoeval import EvalLevel
+from .methods import MethodCall, TaskRun, campaign_method
+
+FAULT_CORRUPTED = "corrupted-candidate"
+FAULT_MISLEADING = "misleading-feedback"
+FAULT_BUDGET = "budget-exhausted"
+
+METHOD_RECOVERY_CORRUPTED = "recovery-corrupted"
+METHOD_RECOVERY_MISLEADING = "recovery-misleading"
+METHOD_RECOVERY_BUDGET = "recovery-budget"
+
+#: The scenario packs in reporting order (``--methods`` accepts these).
+RECOVERY_METHODS = (METHOD_RECOVERY_CORRUPTED,
+                    METHOD_RECOVERY_MISLEADING,
+                    METHOD_RECOVERY_BUDGET)
+
+#: Method name -> fault class it injects.
+FAULT_CLASSES = {
+    METHOD_RECOVERY_CORRUPTED: FAULT_CORRUPTED,
+    METHOD_RECOVERY_MISLEADING: FAULT_MISLEADING,
+    METHOD_RECOVERY_BUDGET: FAULT_BUDGET,
+}
+
+#: Correction rounds whose stage-2 rewrites are corrupted.
+CORRUPTED_FAULT_ROUNDS = 1
+#: Validation rounds fed misleading (bug-info-free) reports.
+MISLEADING_FAULT_ROUNDS = 2
+#: Cold restarts granted after a starvation-budget give-up.
+BUDGET_MAX_RESTARTS = 2
+#: Attempt offset per restart: far past any in-run attempt index, so a
+#: restart's deterministic fault draws differ from the failed run's.
+BUDGET_ATTEMPT_STRIDE = 1000
+
+_CORRUPTION_MARK = "!!! corrupted candidate (fault injection) !!!"
+
+
+# ----------------------------------------------------------------------
+# Fault-injecting client wrappers
+# ----------------------------------------------------------------------
+class _ClientWrapper:
+    """Shared plumbing: forwards ``name`` and exposes the wrapped
+    client's innermost backend as ``inner`` so ledger introspection
+    (:func:`repro.core.trace.fault_fingerprint`) still reaches it."""
+
+    def __init__(self, wrapped):
+        self._wrapped = wrapped
+
+    @property
+    def name(self) -> str:
+        return self._wrapped.name
+
+    @property
+    def inner(self):
+        return getattr(self._wrapped, "inner", self._wrapped)
+
+
+class CorruptingClient(_ClientWrapper):
+    """Syntax-poisons stage-2 rewrite replies during the fault window.
+
+    The corruption is inserted *inside* the python code block, so the
+    hardened extraction still finds a block — the candidate parses as a
+    reply but not as python, exactly the failure a flaky transport or a
+    truncated completion produces.
+    """
+
+    def __init__(self, wrapped, fault_rounds: int = CORRUPTED_FAULT_ROUNDS):
+        super().__init__(wrapped)
+        self.fault_rounds = fault_rounds
+        self.corrupted = 0
+
+    def complete(self, request: ChatRequest) -> ChatResponse:
+        response = self._wrapped.complete(request)
+        intent = request.intent
+        if (intent.kind == "correct_rewrite"
+                and intent.payload.get("correction_round", 0)
+                <= self.fault_rounds):
+            marker = "```python\n"
+            position = response.text.find(marker)
+            if position >= 0:
+                cut = position + len(marker)
+                self.corrupted += 1
+                return replace(response, text=(
+                    response.text[:cut] + _CORRUPTION_MARK + "\n"
+                    + response.text[cut:]))
+        return response
+
+
+class AttemptOffsetClient(_ClientWrapper):
+    """Shifts generation ``attempt`` indexes by a fixed offset.
+
+    The synthetic model's fault draws are a pure function of
+    ``(task, attempt)``, so a cold restart replaying attempt 0 would
+    fail identically forever.  Offsetting attempts gives each restart a
+    fresh deterministic slice of the model's behaviour — the offline
+    analogue of re-sampling a live model.
+    """
+
+    def __init__(self, wrapped, offset: int):
+        super().__init__(wrapped)
+        self.offset = offset
+
+    def complete(self, request: ChatRequest) -> ChatResponse:
+        if self.offset and "attempt" in request.intent.payload:
+            payload = dict(request.intent.payload)
+            payload["attempt"] += self.offset
+            request = replace(request, intent=GenerationIntent(
+                request.intent.kind, request.intent.task_id, payload))
+        return self._wrapped.complete(request)
+
+
+def misleading_report_filter(fault_rounds: int = MISLEADING_FAULT_ROUNDS):
+    """A workflow ``report_filter`` hiding bug information early on.
+
+    For the first ``fault_rounds`` failing reports, the wrong scenarios
+    are reported as correct (the verdict stays negative, so the agent
+    still acts — but blind).  Honest reports flow after the window.
+    """
+    def filter_report(report: ValidationReport,
+                      round_index: int) -> ValidationReport:
+        if round_index > fault_rounds or report.verdict:
+            return report
+        return ValidationReport(
+            verdict=False, wrong=(),
+            correct=tuple(sorted(set(report.correct) | set(report.wrong))),
+            uncertain=report.uncertain, matrix=report.matrix,
+            note="misleading feedback injected")
+    return filter_report
+
+
+# ----------------------------------------------------------------------
+# Grading
+# ----------------------------------------------------------------------
+def graded_recovery(call: MethodCall, result: WorkflowResult,
+                    fault_class: str, rounds: int,
+                    corrections: int | None = None,
+                    reboots: int | None = None) -> TaskRun:
+    """Grade a fault-injected run.  Recovery requires *both* the
+    validator's acceptance and an Eval2 grade against the golden
+    artifacts — a fooled validator does not count as recovered."""
+    level = call.grade(result.final_tb)
+    recovered = bool(result.validated) and level >= EvalLevel.EVAL2
+    return call.result(
+        level,
+        validated=result.validated, gave_up=result.gave_up,
+        corrections=(result.corrections if corrections is None
+                     else corrections),
+        reboots=result.reboots if reboots is None else reboots,
+        final_from_corrector=result.final_from_corrector,
+        took_any_action=result.took_any_action,
+        fault_class=fault_class, recovered=recovered,
+        recovery_round=rounds if recovered else None,
+        rounds=rounds)
+
+
+# ----------------------------------------------------------------------
+# The packs
+# ----------------------------------------------------------------------
+@campaign_method(METHOD_RECOVERY_CORRUPTED)
+def _run_recovery_corrupted(call: MethodCall) -> TaskRun:
+    client = CorruptingClient(call.client)
+    workflow = CorrectBenchWorkflow(client, call.task, call.criterion,
+                                    group_size=call.group_size,
+                                    trace_label=call.method)
+    result = workflow.run()
+    return graded_recovery(call, result, FAULT_CORRUPTED,
+                           rounds=len(result.history))
+
+
+@campaign_method(METHOD_RECOVERY_MISLEADING)
+def _run_recovery_misleading(call: MethodCall) -> TaskRun:
+    workflow = CorrectBenchWorkflow(
+        call.client, call.task, call.criterion,
+        group_size=call.group_size, trace_label=call.method,
+        report_filter=misleading_report_filter())
+    result = workflow.run()
+    return graded_recovery(call, result, FAULT_MISLEADING,
+                           rounds=len(result.history))
+
+
+@campaign_method(METHOD_RECOVERY_BUDGET)
+def _run_recovery_budget(call: MethodCall) -> TaskRun:
+    rounds = 0
+    corrections = 0
+    reboots = 0
+    result: WorkflowResult | None = None
+    for restart in range(BUDGET_MAX_RESTARTS + 1):
+        client = AttemptOffsetClient(call.client,
+                                     restart * BUDGET_ATTEMPT_STRIDE)
+        workflow = CorrectBenchWorkflow(
+            client, call.task, call.criterion, ic_max=1, ir_max=2,
+            group_size=call.group_size,
+            trace_label=f"{call.method}.restart{restart}")
+        result = workflow.run()
+        rounds += len(result.history)
+        corrections += result.corrections
+        reboots += result.reboots
+        if result.validated:
+            break
+    return graded_recovery(call, result, FAULT_BUDGET, rounds=rounds,
+                           corrections=corrections, reboots=reboots)

@@ -69,6 +69,13 @@ DEFAULT_JOBS = 1
 DEFAULT_FUZZ_PROGRAMS = 200
 DEFAULT_FUZZ_SEED = 1729
 DEFAULT_TEMPLATE_CACHE_SIZE = 256
+#: Global template-entry budget across all task scopes.  Per-scope LRUs
+#: are bounded by ``template_cache_size``, but a worst-case workload
+#: could hold ``capacity × max_scopes`` entries; the budget sheds whole
+#: least-recently-used scopes once the total crosses it.  Sized so a
+#: full-dataset campaign prewarm (156 tasks × a handful of templates)
+#: never triggers shedding.
+DEFAULT_TEMPLATE_CACHE_BUDGET = 4096
 
 
 @dataclass(frozen=True, slots=True)
@@ -103,6 +110,11 @@ class SimContext:
     start_method: str = START_METHOD_DEFAULT
     warm_start: bool = True
     template_cache_size: int = DEFAULT_TEMPLATE_CACHE_SIZE
+    template_cache_budget: int = DEFAULT_TEMPLATE_CACHE_BUDGET
+    #: Directory correction-session traces are recorded into ("" = trace
+    #: recording off).  A plain string so the context stays picklable and
+    #: pool workers resolve the same sink their parent configured.
+    trace_dir: str = ""
 
     def __post_init__(self):
         if self.engine not in ENGINES:
@@ -116,7 +128,7 @@ class SimContext:
                              f"{self.start_method!r}; "
                              f"expected one of {START_METHODS}")
         for name in ("max_time", "max_stmts", "jobs", "fuzz_programs",
-                     "template_cache_size"):
+                     "template_cache_size", "template_cache_budget"):
             value = getattr(self, name)
             if not isinstance(value, int) or value < 1:
                 raise ValueError(f"{name} must be a positive integer, "
@@ -127,6 +139,10 @@ class SimContext:
         if not isinstance(self.warm_start, bool):
             raise ValueError(f"warm_start must be a bool, "
                              f"got {self.warm_start!r}")
+        if not isinstance(self.trace_dir, str):
+            raise ValueError(f"trace_dir must be a string path "
+                             f"('' disables tracing), "
+                             f"got {self.trace_dir!r}")
 
     def evolve(self, **overrides) -> "SimContext":
         """Return a copy with ``overrides`` applied (and re-validated).
@@ -212,10 +228,16 @@ def _context_from_env(environ=None) -> tuple[SimContext, frozenset]:
             _warn_env(f"REPRO_WARM_START={warm!r} is not a boolean "
                       f"(1/0/true/false); using the default")
 
+    trace_dir = environ.get("REPRO_TRACE_DIR")
+    if trace_dir is not None:
+        overrides["trace_dir"] = trace_dir
+        seeded.add("trace_dir")
+
     for env_name, field_name in (
             ("REPRO_FUZZ_PROGRAMS", "fuzz_programs"),
             ("REPRO_FUZZ_SEED", "fuzz_seed"),
-            ("REPRO_TEMPLATE_CACHE_SIZE", "template_cache_size")):
+            ("REPRO_TEMPLATE_CACHE_SIZE", "template_cache_size"),
+            ("REPRO_TEMPLATE_CACHE_BUDGET", "template_cache_budget")):
         raw = environ.get(env_name)
         if raw is None:
             continue

@@ -8,12 +8,27 @@ stages too.
 
 from __future__ import annotations
 
+import time
+
 from .base import (ChatMessage, ChatRequest, ChatResponse, GenerationIntent,
                    LLMClient, MeteredClient)
 
 
+def _trace_session():
+    # Imported lazily: repro.core imports this module at package init,
+    # so a top-level import of repro.core.trace would be circular.
+    from ..core.trace import current_trace_session
+    return current_trace_session()
+
+
 class Conversation:
-    """A growing chat transcript bound to one client."""
+    """A growing chat transcript bound to one client.
+
+    Every exchange is also recorded into the active
+    :class:`~repro.core.trace.TraceSession` (when one is activated), so
+    routing a pipeline stage through a conversation is what makes it
+    replayable.
+    """
 
     def __init__(self, client: LLMClient | MeteredClient,
                  system_prompt: str | None = None):
@@ -26,7 +41,12 @@ class Conversation:
         """Send ``content`` as the user, append the reply, return its text."""
         self.messages.append(ChatMessage("user", content))
         request = ChatRequest(messages=tuple(self.messages), intent=intent)
+        started = time.perf_counter()
         response: ChatResponse = self.client.complete(request)
+        session = _trace_session()
+        if session is not None:
+            session.record_exchange(request, response,
+                                    time.perf_counter() - started)
         self.messages.append(ChatMessage("assistant", response.text))
         return response.text
 

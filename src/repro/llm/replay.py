@@ -1,0 +1,126 @@
+"""Replay a recorded correction trace as an :class:`LLMClient`.
+
+A trace (see :mod:`repro.core.trace`) records every LLM exchange of a
+correction session.  :class:`ReplayClient` plays those exchanges back in
+order, so the whole pipeline — prompt construction, code-block parsing,
+simulation, validation — re-runs for real while the "model" answers from
+the file.  Two matching modes:
+
+- **strict** (default): each request's prompt text must hash to the
+  recorded ``prompt_sha``.  Any drift — a changed prompt template, a
+  different conversation prefix — raises :class:`ReplayMismatch` at the
+  exact exchange that diverged, which is what a regression harness
+  wants.
+- **lenient**: only the intent *kind* must match.  This keeps a trace
+  usable across cosmetic prompt rewording, at the cost of not noticing
+  a semantically different prompt.
+
+``limit`` + ``handoff`` implement mid-trace resume: the first ``limit``
+exchanges replay from the file, then the client hands every further
+request to a live client (or raises :class:`ReplayExhausted` when no
+handoff was given).  The trace's per-round exchange counters
+(:meth:`repro.core.trace.Trace.exchanges_through_round`) translate
+"replay N validation rounds" into the right limit.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Mapping, Sequence
+
+from .base import ChatRequest, ChatResponse, LLMClient, Usage
+
+
+def prompt_sha(text: str) -> str:
+    """The trace format's prompt fingerprint (full SHA-256 hex)."""
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+class ReplayError(RuntimeError):
+    """Base class for replay failures."""
+
+
+class ReplayExhausted(ReplayError):
+    """The pipeline asked for more exchanges than the trace holds (and
+    no handoff client was provided)."""
+
+
+class ReplayMismatch(ReplayError):
+    """The live request does not match the recorded exchange."""
+
+
+class ReplayClient:
+    """An :class:`~repro.llm.base.LLMClient` that answers from a trace.
+
+    ``exchanges`` are the trace's exchange events in recorded order
+    (plain dicts with ``kind`` / ``prompt_sha`` / ``response`` /
+    ``usage`` / ``model`` keys).  Usage is replayed from the record, so
+    a metered replay reproduces the original token accounting exactly.
+    """
+
+    def __init__(self, exchanges: Sequence[Mapping], *,
+                 strict: bool = True, limit: int | None = None,
+                 handoff: LLMClient | None = None,
+                 name: str | None = None):
+        self._exchanges = list(exchanges)
+        self._strict = strict
+        self._limit = len(self._exchanges) if limit is None \
+            else min(int(limit), len(self._exchanges))
+        self._handoff = handoff
+        self._cursor = 0
+        if name is not None:
+            self._name = name
+        elif self._exchanges:
+            self._name = self._exchanges[0].get("model") or "replay"
+        else:
+            self._name = "replay"
+
+    @classmethod
+    def from_trace(cls, trace, **kwargs) -> "ReplayClient":
+        """Build a client from a :class:`repro.core.trace.Trace`."""
+        return cls(trace.exchanges(), **kwargs)
+
+    @property
+    def name(self) -> str:
+        return self._name
+
+    @property
+    def replayed(self) -> int:
+        """Exchanges answered from the trace so far."""
+        return self._cursor
+
+    @property
+    def exhausted(self) -> bool:
+        """True once every replayable exchange has been consumed."""
+        return self._cursor >= self._limit
+
+    def complete(self, request: ChatRequest) -> ChatResponse:
+        if self._cursor >= self._limit:
+            if self._handoff is not None:
+                return self._handoff.complete(request)
+            raise ReplayExhausted(
+                f"trace exhausted after {self._cursor} exchanges "
+                f"(limit {self._limit}); pass a handoff client to "
+                f"continue live")
+        entry = self._exchanges[self._cursor]
+        kind = request.intent.kind
+        if entry.get("kind") != kind:
+            raise ReplayMismatch(
+                f"exchange {self._cursor}: recorded intent "
+                f"{entry.get('kind')!r}, live request asks for {kind!r}")
+        if self._strict:
+            live_sha = prompt_sha(request.prompt_text)
+            if entry.get("prompt_sha") != live_sha:
+                raise ReplayMismatch(
+                    f"exchange {self._cursor} ({kind}): prompt diverged "
+                    f"from the recording (recorded "
+                    f"{str(entry.get('prompt_sha'))[:12]}…, live "
+                    f"{live_sha[:12]}…); re-record the trace or replay "
+                    f"with strict=False")
+        self._cursor += 1
+        usage = entry.get("usage") or {}
+        return ChatResponse(
+            text=entry["response"],
+            usage=Usage(int(usage.get("input_tokens", 0)),
+                        int(usage.get("output_tokens", 0))),
+            model_name=entry.get("model", ""))

@@ -31,10 +31,38 @@ def derive_rng(*parts: object) -> random.Random:
     return random.Random(stable_hash(*parts))
 
 
-_FENCE_RE = re.compile(
-    r"```(?P<lang>[A-Za-z0-9_+-]*)[ \t]*\n(?P<body>.*?)```",
-    re.DOTALL,
-)
+class ExtractionError(ValueError):
+    """No usable code block could be recovered from a model reply.
+
+    Raised by :func:`extract_code_block_checked` so pipeline stages can
+    route a malformed reply to a retry instead of shipping prose (or an
+    empty string) as source code.  ``text`` carries the offending reply
+    for diagnostics.
+    """
+
+    def __init__(self, message: str, text: str = ""):
+        super().__init__(message)
+        self.text = text
+
+
+#: Info-string aliases models actually emit.  Both the requested language
+#: and a fence's tag are normalised through this table before comparison.
+_LANG_ALIASES = {
+    "py": "python",
+    "python3": "python",
+    "v": "verilog",
+    "sv": "verilog",
+    "systemverilog": "verilog",
+}
+
+_FENCE_OPEN_RE = re.compile(r"^\s*```(?P<info>[^`\n]*)$")
+_FENCE_CLOSE_RE = re.compile(r"^\s*```\s*$")
+_FENCE_GLUED_CLOSE_RE = re.compile(r"^(?P<rest>[^`]*[^`\s])```\s*$")
+
+
+def _normalize_lang(tag: str) -> str:
+    tag = tag.strip().split()[0].lower() if tag.strip() else ""
+    return _LANG_ALIASES.get(tag, tag)
 
 
 def extract_code_blocks(text: str, language: str | None = None) -> list[str]:
@@ -42,14 +70,54 @@ def extract_code_blocks(text: str, language: str | None = None) -> list[str]:
 
     ``language`` filters on the fence info string (``verilog``, ``python``);
     ``None`` returns every block.  This mirrors how the original pipeline
-    parses LLM chat responses.
+    parses LLM chat responses, hardened for the malformed output real
+    models produce:
+
+    - an *unclosed* fence yields everything to the end of the reply;
+    - a fence "closed" by a second opening fence (```` ```python ````
+      twice) ends the first block and starts a new one;
+    - language tags are matched through common aliases (``py``,
+      ``python3``, ``sv``, ``systemverilog``, …), case-insensitively.
     """
-    blocks = []
-    for match in _FENCE_RE.finditer(text):
-        lang = match.group("lang").lower()
-        if language is None or lang == language.lower():
-            blocks.append(match.group("body"))
-    return blocks
+    want = None if language is None else _normalize_lang(language)
+    blocks: list[tuple[str, str]] = []
+    body: list[str] | None = None
+    lang = ""
+
+    def flush() -> None:
+        nonlocal body
+        if body is not None:
+            blocks.append((lang, "\n".join(body) + "\n" if body else ""))
+        body = None
+
+    for line in text.split("\n"):
+        if body is None:
+            match = _FENCE_OPEN_RE.match(line)
+            if match is not None:
+                lang = _normalize_lang(match.group("info"))
+                body = []
+            continue
+        if _FENCE_CLOSE_RE.match(line):
+            flush()
+            continue
+        match = _FENCE_OPEN_RE.match(line)
+        if match is not None:  # nested / re-opened fence: split here
+            flush()
+            lang = _normalize_lang(match.group("info"))
+            body = []
+            continue
+        glued = _FENCE_GLUED_CLOSE_RE.match(line)
+        if glued is not None:  # code line with the closing fence glued on
+            body.append(glued.group("rest"))
+            flush()
+            continue
+        body.append(line)
+    if body and body[-1] == "":
+        body.pop()  # trailing-newline artifact of splitting at EOF
+    flush()  # unclosed fence: keep what was collected
+
+    return [block for block_lang, block in blocks
+            if want is None or block_lang == want]
 
 
 def extract_first_code_block(text: str, language: str | None = None) -> str:
@@ -61,6 +129,41 @@ def extract_first_code_block(text: str, language: str | None = None) -> str:
     blocks = extract_code_blocks(text, language)
     if blocks:
         return blocks[0]
+    return text
+
+
+def extract_code_block_checked(text: str,
+                               language: str | None = None) -> str:
+    """Like :func:`extract_first_code_block`, but *checked*.
+
+    Raises :class:`ExtractionError` instead of silently degrading when
+
+    - the reply contains fences but none carries the requested language
+      (prose around a block of the wrong kind), or
+    - the recovered block (or the bare reply) is blank.
+
+    A fence-free, non-blank reply is still returned whole — bare code is
+    legitimate model output; prose-only replies with stray fences are
+    not.
+
+    >>> extract_code_block_checked("```python\\nx = 1\\n```", "python")
+    'x = 1\\n'
+    >>> extract_code_block_checked("Sorry, no code.\\n```\\n```", "python")
+    Traceback (most recent call last):
+        ...
+    repro.util.ExtractionError: no python code block in reply
+    """
+    blocks = extract_code_blocks(text, language)
+    if blocks:
+        if not blocks[0].strip():
+            raise ExtractionError(
+                f"first {language or 'code'} block is empty", text)
+        return blocks[0]
+    if "```" in text:
+        raise ExtractionError(
+            f"no {language or 'code'} code block in reply", text)
+    if not text.strip():
+        raise ExtractionError("reply is empty", text)
     return text
 
 

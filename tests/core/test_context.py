@@ -208,18 +208,35 @@ class TestEnvSeeding:
             "REPRO_START_METHOD": "spawn",
             "REPRO_WARM_START": "0",
             "REPRO_TEMPLATE_CACHE_SIZE": "64",
+            "REPRO_TEMPLATE_CACHE_BUDGET": "512",
         })
         assert context.start_method == "spawn"
         assert context.warm_start is False
         assert context.template_cache_size == 64
-        assert {"start_method", "warm_start",
-                "template_cache_size"} <= seeded
+        assert context.template_cache_budget == 512
+        assert {"start_method", "warm_start", "template_cache_size",
+                "template_cache_budget"} <= seeded
+
+    def test_trace_dir_seeds(self, tmp_path):
+        context, seeded = _context_from_env(
+            {"REPRO_TRACE_DIR": str(tmp_path)})
+        assert context.trace_dir == str(tmp_path)
+        assert seeded == {"trace_dir"}
+        # Unset means tracing stays off.
+        assert _context_from_env({})[0].trace_dir == ""
+
+    def test_trace_and_budget_validated(self):
+        with pytest.raises(ValueError):
+            SimContext(trace_dir=123)
+        with pytest.raises(ValueError):
+            SimContext(template_cache_budget=0)
 
     def test_malformed_warm_start_knobs_warn(self, capsys):
         context, seeded = _context_from_env({
             "REPRO_START_METHOD": "teleport",
             "REPRO_WARM_START": "maybe",
             "REPRO_TEMPLATE_CACHE_SIZE": "0",
+            "REPRO_TEMPLATE_CACHE_BUDGET": "none",
         })
         assert context == SimContext()
         assert not seeded
@@ -227,6 +244,7 @@ class TestEnvSeeding:
         assert "REPRO_START_METHOD" in err
         assert "REPRO_WARM_START" in err
         assert "REPRO_TEMPLATE_CACHE_SIZE" in err
+        assert "REPRO_TEMPLATE_CACHE_BUDGET" in err
 
     def test_campaign_jobs_prefers_active_context(self):
         with use_context(jobs=5):

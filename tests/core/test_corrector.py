@@ -1,0 +1,156 @@
+"""Unit tests for the two-stage corrector (paper Section III-C, Fig. 5).
+
+A scripted client replaces the LLM, so the suite pins the *conversation
+protocol*: what each stage's prompt must contain, how malformed stage-2
+replies are retried, and how the corrected testbench's provenance
+fields are filled in.
+"""
+
+import pytest
+
+from repro.core.artifacts import HybridTestbench
+from repro.core.corrector import Corrector
+from repro.core.validator import ValidationReport
+from repro.llm.base import ChatResponse, Usage
+from repro.problems import get_task
+
+GOOD_CHECKER = "class RefModel:\n    def step(self, x):\n        return x\n"
+GOOD_REPLY = f"The corrected core:\n```python\n{GOOD_CHECKER}```\n"
+
+
+class ScriptedClient:
+    """Returns queued reply texts, recording every request."""
+
+    def __init__(self, replies):
+        self.replies = list(replies)
+        self.requests = []
+
+    @property
+    def name(self):
+        return "scripted"
+
+    def complete(self, request):
+        self.requests.append(request)
+        return ChatResponse(self.replies.pop(0), Usage(1, 1))
+
+
+@pytest.fixture()
+def task():
+    return get_task("cmb_and2")
+
+
+def _tb(task, checker_src="class RefModel:\n    def step(self):\n"
+                          "        return 0\n"):
+    return HybridTestbench(
+        task_id=task.task_id, driver_src="initial begin end\n",
+        checker_src=checker_src,
+        scenarios=((1, "zero inputs"), (2, "all ones")),
+        origin="autobench", generation_index=4, correction_index=0)
+
+
+def _report():
+    return ValidationReport(False, wrong=(2,), correct=(1,),
+                            uncertain=(3,))
+
+
+def _correct(task, replies, tb=None, correction_round=2):
+    client = ScriptedClient(replies)
+    outcome = Corrector(client).correct(
+        task, tb or _tb(task), _report(), correction_round)
+    return client, outcome
+
+
+class TestPromptContents:
+    def test_stage1_carries_spec_report_and_sources(self, task):
+        tb = _tb(task)
+        client, _ = _correct(task, ["reasoning.", GOOD_REPLY], tb=tb)
+        stage1 = client.requests[0].messages[-1].content
+        assert task.spec_text in stage1
+        assert "1. zero inputs" in stage1
+        assert "2. all ones" in stage1
+        assert "wrong: [2]" in stage1
+        assert "correct: [1]" in stage1
+        assert "uncertain: [3]" in stage1
+        assert tb.driver_src in stage1
+        assert tb.checker_src in stage1
+
+    def test_stage1_intent(self, task):
+        client, _ = _correct(task, ["reasoning.", GOOD_REPLY])
+        intent = client.requests[0].intent
+        assert intent.kind == "correct_reason"
+        assert intent.task_id == task.task_id
+        assert intent.payload["wrong_scenarios"] == (2,)
+        assert intent.payload["correction_round"] == 2
+
+    def test_stage2_is_same_conversation(self, task):
+        client, _ = _correct(task, ["reasoning text.", GOOD_REPLY])
+        stage2 = client.requests[1]
+        # system + stage-1 user + stage-1 reply + stage-2 user
+        roles = [m.role for m in stage2.messages]
+        assert roles == ["system", "user", "assistant", "user"]
+        assert stage2.messages[2].content == "reasoning text."
+        assert "formatting rules" in stage2.messages[3].content
+        assert stage2.intent.kind == "correct_rewrite"
+        assert stage2.intent.payload["attempt"] == 4
+
+    def test_reasoning_is_stage1_reply(self, task):
+        _, outcome = _correct(task, ["why/where/how.", GOOD_REPLY])
+        assert outcome.reasoning == "why/where/how."
+
+
+class TestRewriteOutcome:
+    def test_correction_index_and_origin_propagate(self, task):
+        _, outcome = _correct(task, ["r.", GOOD_REPLY],
+                              correction_round=3)
+        corrected = outcome.testbench
+        assert corrected.correction_index == 3
+        assert corrected.origin == "corrector"
+        assert corrected.generation_index == 4
+        assert corrected.checker_src == GOOD_CHECKER
+        assert outcome.changed
+        assert outcome.extraction_retries == 0
+
+    def test_driver_and_scenarios_preserved(self, task):
+        tb = _tb(task)
+        _, outcome = _correct(task, ["r.", GOOD_REPLY], tb=tb)
+        assert outcome.testbench.driver_src == tb.driver_src
+        assert outcome.testbench.scenarios == tb.scenarios
+
+    def test_whitespace_only_rewrite_is_not_a_change(self, task):
+        tb = _tb(task, checker_src=GOOD_CHECKER)
+        padded = f"```python\n\n{GOOD_CHECKER}\n\n```\n"
+        _, outcome = _correct(task, ["r.", padded], tb=tb)
+        assert not outcome.changed
+
+    def test_identical_rewrite_is_not_a_change(self, task):
+        tb = _tb(task, checker_src=GOOD_CHECKER)
+        _, outcome = _correct(task, ["r.", GOOD_REPLY], tb=tb)
+        assert not outcome.changed
+
+
+#: Stage-2 reply that *fails* extraction: it has fences, but none
+#: carries a python block (a bare fence-free reply would be accepted
+#: as code — that leniency is pinned in tests/test_util.py).
+BAD_REPLY = "Here is verilog instead:\n```verilog\nmodule m; endmodule\n```\n"
+
+
+class TestExtractionRetry:
+    def test_malformed_stage2_is_retried_once(self, task):
+        client, outcome = _correct(
+            task, ["r.", BAD_REPLY, GOOD_REPLY])
+        assert outcome.extraction_retries == 1
+        assert outcome.testbench.checker_src == GOOD_CHECKER
+        retry = client.requests[2]
+        assert "did not contain a usable python code block" \
+            in retry.messages[-1].content
+        assert retry.intent.kind == "correct_rewrite"
+        assert retry.intent.payload["retry"] == 1
+
+    def test_second_failure_keeps_the_old_checker(self, task):
+        tb = _tb(task)
+        client, outcome = _correct(
+            task, ["r.", BAD_REPLY, BAD_REPLY], tb=tb)
+        assert len(client.requests) == 3
+        assert outcome.extraction_retries == 1
+        assert outcome.testbench.checker_src == tb.checker_src
+        assert not outcome.changed

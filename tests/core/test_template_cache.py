@@ -239,6 +239,60 @@ class TestTaskScoping:
             assert design_template(_tiny_src(0), "m") is template
 
 
+class TestGlobalBudget:
+    """``SimContext.template_cache_budget`` bounds total resident
+    entries across all scopes (the ROADMAP open item: per-scope LRUs
+    alone admit ``capacity * max_scopes`` entries)."""
+
+    def test_budget_sheds_cold_scopes(self):
+        clear_simulation_caches()
+        with use_context(template_cache_size=4,
+                         template_cache_budget=5):
+            with use_task_scope("cold"):
+                cold = design_template(_tiny_src(0), "m")
+                design_template(_tiny_src(1), "m")
+            with use_task_scope("warm"):
+                for index in range(2, 7):  # 4 resident + 2 cold > 5
+                    design_template(_tiny_src(index), "m")
+            stats = simulation_cache_stats()["design"]
+            assert stats["size"] <= 5
+            assert stats["shed_scopes"] >= 1
+            # The cold scope paid the cost; revisiting re-elaborates.
+            with use_task_scope("cold"):
+                assert design_template(_tiny_src(0), "m") is not cold
+
+    def test_inserting_scope_survives_shedding(self):
+        clear_simulation_caches()
+        with use_context(template_cache_size=8,
+                         template_cache_budget=4):
+            with use_task_scope("other"):
+                design_template(_tiny_src(0), "m")
+            with use_task_scope("active"):
+                kept = [design_template(_tiny_src(index), "m")
+                        for index in range(1, 7)]
+                # Over budget with a single remaining scope: the active
+                # bucket is never shed out from under its own insertion.
+                for index, template in enumerate(kept, start=1):
+                    assert design_template(_tiny_src(index), "m") \
+                        is template
+        stats = simulation_cache_stats()["design"]
+        assert stats["scopes"] == 1
+        assert stats["shed_scopes"] == 1
+
+    def test_default_budget_covers_campaign_working_set(self):
+        from repro.hdl.context import (DEFAULT_TEMPLATE_CACHE_BUDGET,
+                                       SimContext)
+        # A full-dataset prewarm (156 tasks, a handful of templates
+        # each) must fit without shedding.
+        assert DEFAULT_TEMPLATE_CACHE_BUDGET >= 156 * 8
+        assert SimContext().template_cache_budget \
+            == DEFAULT_TEMPLATE_CACHE_BUDGET
+
+    def test_clear_resets_shed_counter(self):
+        clear_simulation_caches()
+        assert simulation_cache_stats()["design"]["shed_scopes"] == 0
+
+
 @settings(max_examples=5, deadline=None)
 @given(st.lists(st.tuples(st.sampled_from(["task-a", "task-b", None]),
                           st.integers(min_value=0, max_value=9)),

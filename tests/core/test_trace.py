@@ -1,0 +1,287 @@
+"""Trace recording, parsing, and replay (repro.core.trace / llm.replay).
+
+The integration tests record a real workflow run against the synthetic
+model, then re-run the *whole pipeline* from the file: a faithful build
+reproduces the recorded round verdicts bit for bit, and a mid-trace
+resume replays a prefix before handing the session to a live client.
+"""
+
+import json
+
+import pytest
+
+from repro.core.agent import CorrectBenchWorkflow
+from repro.core.trace import (JsonlTraceSink, MemoryTraceSink, Trace,
+                              TraceFormatError, TraceSession,
+                              TRACE_VERSION, current_trace_session,
+                              fault_fingerprint, load_trace, parse_trace,
+                              replay_workflow, resolve_trace_sink,
+                              use_trace_session)
+from repro.core.validator import DEFAULT_CRITERION
+from repro.hdl.context import current_context, use_context
+from repro.llm import MeteredClient, UsageMeter, get_profile
+from repro.llm.base import (ChatMessage, ChatRequest, ChatResponse,
+                            GenerationIntent, Usage)
+from repro.llm.replay import (ReplayClient, ReplayExhausted,
+                              ReplayMismatch, prompt_sha)
+from repro.llm.synthetic import SyntheticLLM
+from repro.problems import get_task
+
+#: (task, seed) pairs: one quick single-round session and one that
+#: takes several correction rounds (needed for mid-trace resume).
+QUICK = ("cmb_eq4", 3)
+MULTI_ROUND = ("cmb_add16", 0)
+
+
+def _record(task_id, seed, sink=None):
+    sink = sink if sink is not None else MemoryTraceSink()
+    client = MeteredClient(
+        SyntheticLLM(get_profile("gpt-4o-mini"), seed=seed), UsageMeter())
+    workflow = CorrectBenchWorkflow(client, get_task(task_id),
+                                    DEFAULT_CRITERION, trace_sink=sink)
+    result = workflow.run()
+    return result, sink
+
+
+def _request(kind="demo", content="hello"):
+    return ChatRequest(messages=(ChatMessage("user", content),),
+                       intent=GenerationIntent(kind, "t", {}))
+
+
+def _exchange(kind="demo", content="hello", response="world",
+              usage=(3, 5)):
+    return {"kind": kind, "prompt_sha": prompt_sha(content),
+            "response": response,
+            "usage": {"input_tokens": usage[0], "output_tokens": usage[1]},
+            "model": "recorded-model"}
+
+
+# ----------------------------------------------------------------------
+class TestParsing:
+    def test_rejects_invalid_json(self):
+        with pytest.raises(TraceFormatError, match="not valid JSON"):
+            parse_trace(["{broken"])
+
+    def test_rejects_unknown_event_type(self):
+        with pytest.raises(TraceFormatError, match="not a trace event"):
+            parse_trace([json.dumps({"type": "mystery"})])
+
+    def test_rejects_version_mismatch(self):
+        line = json.dumps({"type": "session", "version": TRACE_VERSION + 1})
+        with pytest.raises(TraceFormatError, match="version"):
+            parse_trace([line])
+
+    def test_rejects_headerless_stream(self):
+        line = json.dumps({"type": "result", "validated": True})
+        with pytest.raises(TraceFormatError, match="session header"):
+            parse_trace([line])
+
+    def test_blank_lines_skipped(self):
+        line = json.dumps({"type": "session", "version": TRACE_VERSION})
+        trace = parse_trace(["", line, "   "])
+        assert trace.header["version"] == TRACE_VERSION
+
+    def test_exchanges_through_round_bounds(self):
+        trace = Trace((
+            {"type": "session", "version": TRACE_VERSION},
+            {"type": "validation", "round": 1, "exchanges_so_far": 7,
+             "verdict": False, "wrong": [1], "checker_sha": "x"},
+        ))
+        assert trace.exchanges_through_round(1) == 7
+        with pytest.raises(ValueError):
+            trace.exchanges_through_round(0)
+        with pytest.raises(ValueError):
+            trace.exchanges_through_round(2)
+
+
+class TestSinks:
+    def test_jsonl_sink_is_lazy_and_flushes_lines(self, tmp_path):
+        path = tmp_path / "nested" / "t.trace.jsonl"
+        sink = JsonlTraceSink(str(path))
+        assert not path.exists()  # no event, no file
+        sink.emit({"type": "session", "version": TRACE_VERSION})
+        assert path.exists()
+        sink.emit({"type": "result", "validated": True, "gave_up": False,
+                   "corrections": 0, "reboots": 0, "rounds": 1,
+                   "usage": None})
+        sink.close()
+        trace = load_trace(str(path))
+        assert trace.header["version"] == TRACE_VERSION
+        assert trace.result()["validated"] is True
+
+    def test_resolve_sink_off_by_default(self):
+        assert current_context().trace_dir == ""
+        assert resolve_trace_sink("cmb_and2") is None
+
+    def test_resolve_sink_builds_labelled_path(self, tmp_path):
+        with use_context(current_context().evolve(
+                trace_dir=str(tmp_path))):
+            plain = resolve_trace_sink("cmb_and2")
+            labelled = resolve_trace_sink("cmb_and2", "recovery")
+        assert plain.path == str(tmp_path / "cmb_and2.trace.jsonl")
+        assert labelled.path == str(
+            tmp_path / "cmb_and2.recovery.trace.jsonl")
+
+
+class TestSession:
+    def test_exchange_counter_and_round_anchor(self):
+        sink = MemoryTraceSink()
+        session = TraceSession(sink)
+        response = ChatResponse("ok", Usage(1, 2), "m")
+        session.record_exchange(_request(content="a"), response)
+        session.record_exchange(_request(content="b"), response)
+        events = sink.events
+        assert [e["index"] for e in events] == [0, 1]
+        assert events[0]["prompt_sha"] == prompt_sha("a")
+        assert events[0]["usage"] == {"input_tokens": 1,
+                                      "output_tokens": 2}
+
+    def test_context_var_activation_nests(self):
+        assert current_trace_session() is None
+        outer = TraceSession(MemoryTraceSink())
+        inner = TraceSession(MemoryTraceSink())
+        with use_trace_session(outer):
+            assert current_trace_session() is outer
+            with use_trace_session(inner):
+                assert current_trace_session() is inner
+            assert current_trace_session() is outer
+        assert current_trace_session() is None
+
+
+class TestFaultFingerprint:
+    def test_ledgerless_client_yields_empty(self):
+        class Plain:
+            name = "plain"
+        assert fault_fingerprint(Plain(), "whatever") == ""
+
+    def test_synthetic_artifacts_are_fingerprinted(self):
+        result, sink = _record(*QUICK)
+        validations = Trace(tuple(sink.events)).validations()
+        assert validations
+        fingerprint = validations[0]["fault_fingerprint"]
+        assert fingerprint.startswith("checker:")
+
+
+# ----------------------------------------------------------------------
+class TestReplayClient:
+    def test_answers_in_order_with_recorded_usage(self):
+        client = ReplayClient([_exchange(content="hello")])
+        response = client.complete(_request(content="hello"))
+        assert response.text == "world"
+        assert response.usage == Usage(3, 5)
+        assert response.model_name == "recorded-model"
+        assert client.replayed == 1 and client.exhausted
+
+    def test_kind_mismatch_raises_even_lenient(self):
+        client = ReplayClient([_exchange(kind="recorded")], strict=False)
+        with pytest.raises(ReplayMismatch, match="intent"):
+            client.complete(_request(kind="live"))
+
+    def test_strict_prompt_drift_raises(self):
+        client = ReplayClient([_exchange(content="hello")])
+        with pytest.raises(ReplayMismatch, match="prompt diverged"):
+            client.complete(_request(content="reworded"))
+
+    def test_lenient_ignores_prompt_drift(self):
+        client = ReplayClient([_exchange(content="hello")], strict=False)
+        assert client.complete(_request(content="reworded")).text == "world"
+
+    def test_exhaustion_without_handoff(self):
+        client = ReplayClient([])
+        with pytest.raises(ReplayExhausted):
+            client.complete(_request())
+
+    def test_limit_hands_off_to_live_client(self):
+        class Live:
+            name = "live"
+
+            def complete(self, request):
+                return ChatResponse("live-answer", Usage())
+
+        client = ReplayClient(
+            [_exchange(content="hello"), _exchange(content="later")],
+            limit=1, handoff=Live())
+        assert client.complete(_request(content="hello")).text == "world"
+        assert client.exhausted
+        assert client.complete(_request(content="x")).text == "live-answer"
+        assert client.replayed == 1
+
+
+# ----------------------------------------------------------------------
+class TestRoundTrip:
+    @pytest.fixture(scope="class")
+    def recorded(self):
+        result, sink = _record(*QUICK)
+        return result, Trace(tuple(sink.events))
+
+    def test_recording_is_complete(self, recorded):
+        result, trace = recorded
+        header = trace.header
+        assert header["task_id"] == QUICK[0]
+        assert header["seed"] == QUICK[1]
+        assert header["criterion"] == DEFAULT_CRITERION.name
+        assert trace.exchanges()
+        assert trace.validations()
+        assert trace.result()["validated"] == result.validated
+        usage = trace.result()["usage"]
+        assert usage["requests"] == len(trace.exchanges())
+
+    def test_strict_replay_reproduces_round_verdicts(self, recorded):
+        result, trace = recorded
+        outcome = replay_workflow(trace)
+        assert outcome.matches
+        assert outcome.diverged_round() is None
+        assert outcome.result.validated == result.validated
+        assert outcome.result.corrections == result.corrections
+
+    def test_replay_reproduces_token_accounting(self, recorded):
+        result, trace = recorded
+        outcome = replay_workflow(trace)
+        recorded_usage = trace.result()["usage"]
+        replayed_usage = Trace(
+            tuple(outcome.replayed.events)).result()["usage"]
+        assert replayed_usage == recorded_usage
+
+    def test_jsonl_file_round_trip(self, tmp_path):
+        path = tmp_path / "t.trace.jsonl"
+        _record(*QUICK, sink=JsonlTraceSink(str(path)))
+        outcome = replay_workflow(load_trace(str(path)))
+        assert outcome.matches
+
+    def test_tampered_response_diverges_or_mismatches(self, recorded):
+        _, trace = recorded
+        events = [dict(e) for e in trace.events]
+        for event in events:
+            if event["type"] == "exchange":
+                event["prompt_sha"] = "0" * 64
+                break
+        with pytest.raises(ReplayMismatch):
+            replay_workflow(Trace(tuple(events)))
+
+
+class TestMidTraceResume:
+    @pytest.fixture(scope="class")
+    def recorded(self):
+        result, sink = _record(*MULTI_ROUND)
+        trace = Trace(tuple(sink.events))
+        assert len(trace.validations()) >= 3, \
+            "resume test needs a multi-round recording"
+        return result, trace
+
+    def test_prefix_replays_then_live_client_finishes(self, recorded):
+        _, trace = recorded
+        live = MeteredClient(
+            SyntheticLLM(get_profile("gpt-4o-mini"), seed=MULTI_ROUND[1]),
+            UsageMeter())
+        outcome = replay_workflow(trace, rounds=2, handoff=live)
+        assert outcome.handed_off_at == trace.exchanges_through_round(2)
+        assert outcome.matches  # the replayed prefix agrees
+        # The resumed session still runs to a decision.
+        assert outcome.result.validated in (True, False)
+
+    def test_full_replay_still_matches(self, recorded):
+        _, trace = recorded
+        outcome = replay_workflow(trace)
+        assert outcome.matches
+        assert len(outcome.replayed.validations()) == \
+            len(trace.validations())

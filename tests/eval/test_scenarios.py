@@ -1,0 +1,181 @@
+"""Fault-injected recovery scenario packs (repro.eval.scenarios)."""
+
+import pytest
+
+from repro.core.validator import ValidationReport
+from repro.eval import (EvalLevel, FAULT_CLASSES, RECOVERY_METHODS,
+                        misleading_report_filter, registered_methods,
+                        run_one)
+from repro.eval.reporting import render_recovery_report
+from repro.eval.campaign import CampaignResult, default_config
+from repro.eval.methods import TaskRun
+from repro.eval.scenarios import (AttemptOffsetClient, CorruptingClient,
+                                  FAULT_BUDGET, FAULT_CORRUPTED,
+                                  FAULT_MISLEADING, _CORRUPTION_MARK)
+from repro.llm.base import (ChatMessage, ChatRequest, ChatResponse,
+                            GenerationIntent, Usage)
+
+EASY_TASK = "cmb_and2"
+
+
+class ScriptedClient:
+    def __init__(self, text):
+        self.text = text
+        self.requests = []
+
+    @property
+    def name(self):
+        return "scripted"
+
+    def complete(self, request):
+        self.requests.append(request)
+        return ChatResponse(self.text, Usage(1, 1))
+
+
+def _request(kind, payload):
+    return ChatRequest(messages=(ChatMessage("user", "hi"),),
+                       intent=GenerationIntent(kind, "t", payload))
+
+
+# ----------------------------------------------------------------------
+class TestCorruptingClient:
+    REWRITE = "ok:\n```python\nclass RefModel:\n    pass\n```\n"
+
+    def test_poisons_rewrites_inside_the_window(self):
+        client = CorruptingClient(ScriptedClient(self.REWRITE))
+        response = client.complete(
+            _request("correct_rewrite", {"correction_round": 1}))
+        assert _CORRUPTION_MARK in response.text
+        # inside the python block, so extraction still "succeeds"
+        assert response.text.index("```python") \
+            < response.text.index(_CORRUPTION_MARK)
+        assert client.corrupted == 1
+
+    def test_leaves_rewrites_after_the_window(self):
+        client = CorruptingClient(ScriptedClient(self.REWRITE))
+        response = client.complete(
+            _request("correct_rewrite", {"correction_round": 2}))
+        assert _CORRUPTION_MARK not in response.text
+        assert client.corrupted == 0
+
+    def test_leaves_other_intents_alone(self):
+        client = CorruptingClient(ScriptedClient(self.REWRITE))
+        response = client.complete(
+            _request("gen_checker", {"correction_round": 0}))
+        assert _CORRUPTION_MARK not in response.text
+
+
+class TestAttemptOffsetClient:
+    def test_shifts_attempt_payloads(self):
+        scripted = ScriptedClient("x")
+        client = AttemptOffsetClient(scripted, 1000)
+        client.complete(_request("gen_checker", {"attempt": 2}))
+        assert scripted.requests[0].intent.payload["attempt"] == 1002
+
+    def test_zero_offset_is_a_passthrough(self):
+        scripted = ScriptedClient("x")
+        request = _request("gen_checker", {"attempt": 2})
+        AttemptOffsetClient(scripted, 0).complete(request)
+        assert scripted.requests[0] is request
+
+    def test_attemptless_intents_untouched(self):
+        scripted = ScriptedClient("x")
+        request = _request("correct_reason", {"correction_round": 1})
+        AttemptOffsetClient(scripted, 1000).complete(request)
+        assert scripted.requests[0] is request
+
+
+class TestMisleadingFilter:
+    def _failing(self):
+        return ValidationReport(False, wrong=(2, 4), correct=(1,),
+                                uncertain=(3,))
+
+    def test_hides_bug_information_in_the_window(self):
+        report = misleading_report_filter(2)(self._failing(), 1)
+        assert report.verdict is False          # the agent still acts
+        assert report.wrong == ()               # ...but blind
+        assert report.correct == (1, 2, 4)
+        assert report.uncertain == (3,)
+        assert "misleading" in report.note
+
+    def test_honest_after_the_window(self):
+        report = self._failing()
+        assert misleading_report_filter(2)(report, 3) is report
+
+    def test_passing_reports_never_rewritten(self):
+        report = ValidationReport(True, wrong=())
+        assert misleading_report_filter(2)(report, 1) is report
+
+
+# ----------------------------------------------------------------------
+class TestPacks:
+    def test_packs_are_registered_campaign_methods(self):
+        assert set(RECOVERY_METHODS) <= set(registered_methods())
+        assert set(RECOVERY_METHODS) == set(FAULT_CLASSES)
+
+    @pytest.mark.parametrize("method", RECOVERY_METHODS)
+    def test_pack_produces_a_graded_run(self, method):
+        run = run_one(method, EASY_TASK, seed=0,
+                      profile_name="gpt-4o-mini")
+        assert run.fault_class == FAULT_CLASSES[method]
+        assert run.rounds >= 1
+        assert run.recovered in (True, False)
+        if run.recovered:
+            assert run.level >= EvalLevel.EVAL2
+            assert run.validated
+            assert 1 <= run.recovery_round <= run.rounds
+        else:
+            assert run.recovery_round is None
+
+    @pytest.mark.parametrize("method", RECOVERY_METHODS)
+    def test_packs_are_deterministic(self, method):
+        a = run_one(method, EASY_TASK, seed=1, profile_name="gpt-4o-mini")
+        b = run_one(method, EASY_TASK, seed=1, profile_name="gpt-4o-mini")
+        assert a == b
+
+    def test_recovery_requires_eval2_not_just_validation(self):
+        # Every recovered run in a small sweep must carry an Eval2
+        # grade — validator acceptance alone is not recovery.
+        for method in RECOVERY_METHODS:
+            for seed in (0, 1):
+                run = run_one(method, "cmb_eq4", seed=seed,
+                              profile_name="gpt-4o-mini")
+                if run.recovered:
+                    assert run.level >= EvalLevel.EVAL2
+
+
+# ----------------------------------------------------------------------
+class TestRecoveryReport:
+    def _result(self, runs):
+        return CampaignResult(default_config(task_ids=(EASY_TASK,)),
+                              runs=runs)
+
+    def _run(self, fault_class, recovered, round_=None, rounds=3):
+        return TaskRun(
+            "m", EASY_TASK, "CMB", 0,
+            EvalLevel.EVAL2 if recovered else EvalLevel.EVAL0,
+            fault_class=fault_class, recovered=recovered,
+            recovery_round=round_, rounds=rounds)
+
+    def test_no_fault_runs_degrades_gracefully(self):
+        text = render_recovery_report(self._result(
+            [TaskRun("baseline", EASY_TASK, "CMB", 0, EvalLevel.EVAL2)]))
+        assert "no fault-injected runs" in text
+
+    def test_rates_and_curves_per_class(self):
+        text = render_recovery_report(self._result([
+            self._run(FAULT_CORRUPTED, True, round_=1),
+            self._run(FAULT_CORRUPTED, False),
+            self._run(FAULT_MISLEADING, True, round_=3),
+            self._run(FAULT_BUDGET, True, round_=2, rounds=2),
+        ]))
+        lines = {line.split()[0]: line for line in text.splitlines()
+                 if line.startswith(("corrupted", "misleading",
+                                     "budget"))}
+        assert "50.00%" in lines[FAULT_CORRUPTED]
+        assert "k<=1:50.00%" in lines[FAULT_CORRUPTED]
+        assert "k<=2:50.00%" in lines[FAULT_CORRUPTED]
+        assert "100.00%" in lines[FAULT_MISLEADING]
+        assert "k<=1:0.00%" in lines[FAULT_MISLEADING]
+        assert "k<=3:100.00%" in lines[FAULT_MISLEADING]
+        assert "k<=2:100.00%" in lines[FAULT_BUDGET]

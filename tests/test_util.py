@@ -1,8 +1,10 @@
 """Shared utilities: stable hashing, RNG derivation, code-block parsing."""
 
+import pytest
 from hypothesis import given, strategies as st
 
-from repro.util import (clamp, derive_rng, extract_code_blocks,
+from repro.util import (ExtractionError, clamp, derive_rng,
+                        extract_code_block_checked, extract_code_blocks,
                         extract_first_code_block, format_ratio, mean,
                         stable_hash)
 
@@ -56,6 +58,70 @@ class TestCodeBlocks:
         text = f"```python\n{body}\n```"
         blocks = extract_code_blocks(text, "python")
         assert blocks == [body + "\n"]
+
+
+class TestHardenedExtraction:
+    """Malformed-model-output cases the corrector must survive."""
+
+    def test_unclosed_fence_recovers_to_end(self):
+        text = "Sure, here it is:\n```python\nx = 1\ny = 2\n"
+        assert extract_code_blocks(text, "python") == ["x = 1\ny = 2\n"]
+
+    def test_nested_reopened_fence_splits_blocks(self):
+        text = "```python\na = 1\n```python\nb = 2\n```\n"
+        assert extract_code_blocks(text, "python") == ["a = 1\n", "b = 2\n"]
+
+    @pytest.mark.parametrize("tag", ["py", "python3", "Python"])
+    def test_python_language_tag_variants(self, tag):
+        assert extract_code_blocks(f"```{tag}\nx = 1\n```",
+                                   "python") == ["x = 1\n"]
+
+    @pytest.mark.parametrize("tag", ["v", "sv", "systemverilog", "Verilog"])
+    def test_verilog_language_tag_variants(self, tag):
+        text = f"```{tag}\nmodule m; endmodule\n```"
+        assert extract_code_blocks(text, "verilog") == [
+            "module m; endmodule\n"]
+
+    def test_glued_closing_fence(self):
+        assert extract_code_blocks("```python\nx = 1```",
+                                   "python") == ["x = 1\n"]
+
+    def test_leading_prose_with_indented_fence(self):
+        text = "I would suggest:\n  ```python\n  x = 1\n```\n"
+        assert extract_code_blocks(text, "python") == ["  x = 1\n"]
+
+    def test_empty_block(self):
+        assert extract_code_blocks("```python\n```", "python") == [""]
+
+
+class TestCheckedExtraction:
+    def test_returns_matching_block(self):
+        text = "prose\n```python\nx = 1\n```"
+        assert extract_code_block_checked(text, "python") == "x = 1\n"
+
+    def test_bare_code_fallback(self):
+        assert extract_code_block_checked("x = 1") == "x = 1"
+
+    def test_prose_with_wrong_language_raises(self):
+        text = "Use this:\n```verilog\nmodule m; endmodule\n```"
+        with pytest.raises(ExtractionError):
+            extract_code_block_checked(text, "python")
+
+    def test_empty_block_raises(self):
+        with pytest.raises(ExtractionError):
+            extract_code_block_checked("```python\n```", "python")
+
+    def test_blank_reply_raises(self):
+        with pytest.raises(ExtractionError):
+            extract_code_block_checked("   \n", "python")
+
+    def test_error_carries_reply_text(self):
+        with pytest.raises(ExtractionError) as excinfo:
+            extract_code_block_checked("", "python")
+        assert excinfo.value.text == ""
+
+    def test_is_a_value_error(self):
+        assert issubclass(ExtractionError, ValueError)
 
 
 class TestSmallHelpers:

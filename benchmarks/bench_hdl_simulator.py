@@ -24,7 +24,7 @@ from repro.codegen import render_checker_core, render_driver
 from repro.core.checker_runtime import run_checker
 from repro.core.simulation import (clear_simulation_caches,
                                    clear_template_caches, run_driver,
-                                   run_driver_batch)
+                                   run_driver_batch, run_mutant_sweep)
 from repro.hdl.compile import clear_program_cache
 from repro.core.validator import ScenarioValidator
 from repro.hdl import current_context, parse_source, simulate, use_context
@@ -121,6 +121,20 @@ def test_run_driver_batch_mutants(benchmark):
     # pool fan-out, regardless of any REPRO_JOBS in the environment.
     runs = benchmark(run_driver_batch, driver, mutants, jobs=1)
     assert len(runs) == 10
+
+
+def test_mutant_sweep_lockstep(benchmark):
+    """Steady-state lockstep sweep: 20 mutants + golden lane, one run."""
+    task = get_task("seq_count8_en")
+    driver = render_driver(task, task.canonical_scenarios())
+    golden = task.golden_rtl()
+    mutants = [m.source for m in generate_mutants(
+        golden, 20, task.task_id)]
+
+    sweep = benchmark(run_mutant_sweep, driver, mutants,
+                      golden_src=golden, mutant_engine="lockstep")
+    assert sweep.engine == "lockstep", sweep.fallback_reason
+    assert len(sweep.runs) == 20
 
 
 def test_parse_throughput_reference_lexer(benchmark):
@@ -345,6 +359,55 @@ def bench_driver_reuse(seconds: float, task_id: str = "seq_count8_en",
     return out
 
 
+def bench_mutant_sweep(seconds: float, task_id: str = "seq_count8_en",
+                       n_mutants: int = 20) -> dict:
+    """Lockstep union vs per-mutant sweeps at AutoEval scale.
+
+    One driver, 20 mutants plus the golden lane — the shape Eval2
+    batches and validator matrix builds take.  ``lockstep_speedup`` is
+    the steady-state ratio (union template warm, what correction loops
+    pay on every sweep) and gates CI; the fresh numbers clear the
+    design/pair/union template caches per round (first sweep of a new
+    driver, shared slot programs warm) and are informational.
+    """
+    task = get_task(task_id)
+    driver = render_driver(task, task.canonical_scenarios())
+    golden = task.golden_rtl()
+    mutants = [m.source for m in generate_mutants(
+        golden, n_mutants, task.task_id)]
+
+    def sweep(engine):
+        result = run_mutant_sweep(driver, mutants, golden_src=golden,
+                                  mutant_engine=engine)
+        assert result.engine == engine, result.fallback_reason
+        assert result.golden.ok
+
+    # Warm templates and shared programs for both paths.
+    sweep("lockstep")
+    sweep("per-mutant")
+    out = {
+        "n_mutants": n_mutants,
+        "lockstep_steady_ms": _time_repeated(
+            lambda: sweep("lockstep"), seconds) * 1000,
+        "per_mutant_steady_ms": _time_repeated(
+            lambda: sweep("per-mutant"), seconds) * 1000,
+    }
+    out["lockstep_speedup"] = (out["per_mutant_steady_ms"]
+                               / out["lockstep_steady_ms"])
+
+    def fresh(engine):
+        clear_template_caches()
+        sweep(engine)
+
+    out["lockstep_fresh_ms"] = _time_repeated(
+        lambda: fresh("lockstep"), seconds) * 1000
+    out["per_mutant_fresh_ms"] = _time_repeated(
+        lambda: fresh("per-mutant"), seconds) * 1000
+    out["lockstep_fresh_speedup"] = (out["per_mutant_fresh_ms"]
+                                     / out["lockstep_fresh_ms"])
+    return out
+
+
 def _pid_after_hold(delay: float = 0.05) -> int:
     """Pool-worker probe for the warm-start bench's boot barrier: hold
     the worker briefly (so a sibling gets scheduled too), then report
@@ -495,6 +558,7 @@ def main(argv) -> int:
     batch = bench_batch_vs_serial(seconds)
     reuse = bench_driver_reuse(seconds)
     context = bench_context_overhead(seconds)
+    sweep = bench_mutant_sweep(seconds)
     warm = bench_pool_warm_start(seconds)
 
     report = {
@@ -505,6 +569,7 @@ def main(argv) -> int:
         "driver_batch_10_mutants": batch,
         "driver_reuse_10_variants": reuse,
         "context_overhead": context,
+        "mutant_sweep_20": sweep,
         "pool_warm_start": warm,
     }
     print(json.dumps(report, indent=2))
@@ -553,6 +618,15 @@ def main(argv) -> int:
     if context["resolve_us"] > 10.0:
         print("WARNING: current_context() resolve costs "
               f"{context['resolve_us']:.2f}us (> 10us)", file=sys.stderr)
+        ok = False
+    # Lockstep mutant sweeps are the tentpole win: one union simulation
+    # vs 21 separate runs.  The quick (CI) floor carries noise headroom
+    # below the measured ~3x; full runs gate at the 2x acceptance bar.
+    lockstep_floor = 1.5 if quick else 2.0
+    if sweep["lockstep_speedup"] < lockstep_floor:
+        print("WARNING: lockstep mutant sweep only "
+              f"{sweep['lockstep_speedup']:.2f}x the per-mutant path "
+              f"(< {lockstep_floor}x)", file=sys.stderr)
         ok = False
     # Warm-started spawn pools must beat unwarmed ones on the first
     # batch (the whole point of shipping the snapshot), and the fork

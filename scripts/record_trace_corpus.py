@@ -1,0 +1,194 @@
+#!/usr/bin/env python3
+"""Regenerate the checked-in trace regression corpus (tests/traces/).
+
+Each entry records one full CorrectBench session against the synthetic
+model and writes it as ``tests/traces/<task>.<label>.trace.jsonl``.
+The corpus pins the correction loop end to end: strict replay
+(:func:`repro.core.trace.replay_workflow`) must reproduce every round
+verdict and the final result bit for bit, so any behavioural drift in
+the generator / validator / corrector pipeline shows up as a replay
+mismatch in ``tests/core/test_trace_corpus.py``.
+
+Scenario coverage (seeds chosen by probing the synthetic model):
+
+- quick single-round acceptance,
+- multi-round correction recoveries (with and without reboots),
+- budget-capped give-ups (correction-only and reboot budgets),
+- a stage-2 ``ExtractionError`` retry: one ``correct_rewrite`` reply is
+  recorded with its python fence mislabelled, so every replay walks the
+  corrector's retry path deterministically.
+
+Usage::
+
+    PYTHONPATH=src python scripts/record_trace_corpus.py [OUT_DIR]
+
+Deterministic: re-running writes byte-identical files (modulo the
+per-exchange ``elapsed_ms`` timing field, which replay ignores).
+Exits non-zero if a recording misses its expected shape or fails
+strict replay.
+"""
+
+from __future__ import annotations
+
+import sys
+from dataclasses import dataclass, field
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.core.agent import CorrectBenchWorkflow          # noqa: E402
+from repro.core.trace import (JsonlTraceSink, Trace,       # noqa: E402
+                              load_trace, replay_workflow)
+from repro.core.validator import DEFAULT_CRITERION         # noqa: E402
+from repro.llm import (MeteredClient, UsageMeter,          # noqa: E402
+                       get_profile)
+from repro.llm.base import ChatResponse                    # noqa: E402
+from repro.llm.synthetic import SyntheticLLM               # noqa: E402
+from repro.problems import get_task                        # noqa: E402
+
+PROFILE = "gpt-4o-mini"
+DEFAULT_OUT_DIR = REPO_ROOT / "tests" / "traces"
+
+
+class FenceMangler:
+    """Mislabel the python fence on one stage-2 corrector reply.
+
+    ``extract_code_block_checked(text, "python")`` treats a reply whose
+    fences all carry the wrong language as unusable, so the corrector
+    re-asks once under the formatting rules.  The mangled text is what
+    the trace records, which makes the retry replay deterministically.
+    Delegates ``name`` / ``seed`` / ``introspect`` so trace headers and
+    fault fingerprints see the real synthetic model underneath.
+    """
+
+    def __init__(self, inner):
+        self.inner = inner
+        self.mangled = 0
+
+    @property
+    def name(self):
+        return self.inner.name
+
+    @property
+    def seed(self):
+        return self.inner.seed
+
+    def introspect(self, artifact_text):
+        return self.inner.introspect(artifact_text)
+
+    def complete(self, request):
+        response = self.inner.complete(request)
+        if (self.mangled == 0
+                and request.intent.kind == "correct_rewrite"
+                and not request.intent.payload.get("retry")
+                and "```python" in response.text):
+            self.mangled += 1
+            return ChatResponse(
+                response.text.replace("```python", "```text", 1),
+                response.usage, response.model_name)
+        return response
+
+
+@dataclass(frozen=True)
+class CorpusEntry:
+    task_id: str
+    label: str
+    seed: int
+    workflow_kwargs: dict = field(default_factory=dict)
+    mangle_rewrite: bool = False
+    #: shape checks against the finished recording
+    expect_validated: bool = True
+    min_rounds: int = 1
+    expect_retry: bool = False
+
+    @property
+    def filename(self) -> str:
+        return f"{self.task_id}.{self.label}.trace.jsonl"
+
+
+#: The corpus.  Seeds were probed so each entry lands in its scenario;
+#: see tests/core/test_trace_corpus.py for the replay assertions.
+CORPUS = (
+    # Single-round acceptance: the smallest faithful session.
+    CorpusEntry("cmb_eq4", "quick", seed=3),
+    # Multi-round recovery: three corrections, no reboot.
+    CorpusEntry("cmb_add16", "recovery", seed=0, min_rounds=3),
+    # Recovery that needs a reboot (fresh generation) to converge.
+    CorpusEntry("cmb_alu4", "reboot_recovery", seed=2, min_rounds=4),
+    CorpusEntry("seq_count4_up", "reboot_recovery", seed=3,
+                min_rounds=4),
+    # Give-up with the correction budget alone (no reboots allowed).
+    CorpusEntry("seq_detect_101_ov", "giveup_corrections", seed=0,
+                workflow_kwargs={"ic_max": 1, "ir_max": 0},
+                expect_validated=False, min_rounds=2),
+    # Give-up after exhausting a small reboot budget too.
+    CorpusEntry("seq_detect_101_ov", "giveup_reboots", seed=2,
+                workflow_kwargs={"ic_max": 2, "ir_max": 1},
+                expect_validated=False, min_rounds=4),
+    # Stage-2 ExtractionError retry (see FenceMangler).
+    CorpusEntry("cmb_alu4", "extraction_retry", seed=0,
+                mangle_rewrite=True, min_rounds=2, expect_retry=True),
+)
+
+
+def has_rewrite_retry(trace: Trace) -> bool:
+    """True when some correction needed two stage-2 replies in a row."""
+    kinds = [event["kind"] for event in trace.exchanges()]
+    return any(a == b == "correct_rewrite"
+               for a, b in zip(kinds, kinds[1:]))
+
+
+def record_entry(entry: CorpusEntry, out_dir: Path) -> list[str]:
+    path = out_dir / entry.filename
+    if path.exists():
+        path.unlink()
+    inner = SyntheticLLM(get_profile(PROFILE), seed=entry.seed)
+    if entry.mangle_rewrite:
+        inner = FenceMangler(inner)
+    client = MeteredClient(inner, UsageMeter())
+    workflow = CorrectBenchWorkflow(
+        client, get_task(entry.task_id), DEFAULT_CRITERION,
+        trace_sink=JsonlTraceSink(str(path)), **entry.workflow_kwargs)
+    result = workflow.run()
+
+    trace = load_trace(str(path))
+    problems = []
+    if result.validated != entry.expect_validated:
+        problems.append(f"validated={result.validated}, expected "
+                        f"{entry.expect_validated}")
+    rounds = len(trace.validations())
+    if rounds < entry.min_rounds:
+        problems.append(f"{rounds} rounds < {entry.min_rounds}")
+    if entry.expect_retry and not has_rewrite_retry(trace):
+        problems.append("no stage-2 retry exchange recorded")
+    outcome = replay_workflow(trace)
+    if not outcome.matches:
+        problems.append(f"strict replay diverged at round "
+                        f"{outcome.diverged_round()}")
+    print(f"  {entry.filename}: rounds={rounds} "
+          f"corrections={result.corrections} reboots={result.reboots} "
+          f"validated={result.validated} "
+          f"exchanges={len(trace.exchanges())}"
+          + (" retry" if entry.expect_retry else ""))
+    return [f"{entry.filename}: {p}" for p in problems]
+
+
+def main(argv: list[str]) -> int:
+    out_dir = Path(argv[1]) if len(argv) > 1 else DEFAULT_OUT_DIR
+    out_dir.mkdir(parents=True, exist_ok=True)
+    print(f"Recording {len(CORPUS)} traces into {out_dir}")
+    problems = []
+    for entry in CORPUS:
+        problems.extend(record_entry(entry, out_dir))
+    if problems:
+        print("\nCorpus problems:")
+        for problem in problems:
+            print(f"  - {problem}")
+        return 1
+    print("All recordings verified by strict replay.")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

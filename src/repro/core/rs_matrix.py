@@ -18,6 +18,11 @@ class RSRow:
     sample_index: int
     cells: Optional[dict]  # scenario index -> bool; None = discarded row
     note: str = ""
+    # Dump-record index where this judge RTL first diverged from the
+    # golden lane in the mutant sweep (None = never diverged, or the
+    # row's run produced no comparable records).  Diagnostic metadata;
+    # the validation criteria do not read it.
+    retire_round: Optional[int] = None
 
     @property
     def valid(self) -> bool:

@@ -84,6 +84,12 @@ from ..hdl.simulator import SimulationResult, Simulator
 from ..hdl.context import ENGINE_COMPILED as ENGINE_COMPILED
 from ..hdl.context import ENGINE_INTERPRET as ENGINE_INTERPRET
 from ..hdl.context import ENGINES as ENGINES
+from ..hdl.context import MUTANT_ENGINES as MUTANT_ENGINES
+from ..hdl.context import MUTANT_LOCKSTEP as MUTANT_LOCKSTEP
+from ..hdl.context import MUTANT_PER_MUTANT as MUTANT_PER_MUTANT
+from ..hdl import lockstep as lockstep_mod
+from ..hdl.lockstep import (LockstepUnsupported, build_union,
+                            clear_lockstep_caches, lockstep_cache_stats)
 from ..hdl.simulator import get_default_engine as get_default_engine
 from ..hdl.simulator import set_default_engine as set_default_engine
 from ..codegen.driver import DUMP_FILE
@@ -254,6 +260,12 @@ _design_templates = ScopedLruCache(_template_capacity,
                                    total_budget=_template_budget)
 _pair_templates = ScopedLruCache(_template_capacity,
                                  total_budget=_template_budget)
+# Lockstep union templates: (driver, lane sources) -> compiled union
+# design.  Keys are large (they embed every lane's text) but few — one
+# per (driver, mutant-set) pairing — and repeated sweeps of the same
+# pairing (R/S matrix reruns, benches) hit it.
+_union_templates = ScopedLruCache(_template_capacity,
+                                  total_budget=_template_budget)
 
 
 def design_template(source_text: str, top: str) -> DesignTemplate:
@@ -417,10 +429,27 @@ caches.register("programs", clear=clear_program_cache,
                 stats=program_cache_stats)
 
 
+def _clear_union_layer() -> None:
+    _union_templates.clear()
+    clear_lockstep_caches()
+
+
+def _union_layer_stats() -> dict:
+    stats = dict(_union_templates.stats())
+    stats["renamed_lanes"] = lockstep_cache_stats()["size"]
+    return stats
+
+
+# Union templates hold compiled closures (snapshot-blind, like the
+# program cache); the lockstep rename cache rides on the same layer.
+caches.register("union", clear=_clear_union_layer,
+                stats=_union_layer_stats)
+
+
 def clear_template_caches() -> None:
     """Drop elaboration templates and cached failures, keeping the parse
     cache and the shared slot-program cache warm."""
-    caches.clear("design", "pair", "failure")
+    caches.clear("design", "pair", "failure", "union")
 
 
 def clear_simulation_caches() -> None:
@@ -461,6 +490,14 @@ _RECORD_RE = re.compile(r"scenario:\s*(\d+)")
 _FIELD_RE = re.compile(r"(\w+)\s*=\s*(x|-?\d+)")
 
 
+def _parse_dump_line(line: str) -> Record | None:
+    match = _RECORD_RE.search(line)
+    if not match:
+        return None
+    values = {name: value for name, value in _FIELD_RE.findall(line)}
+    return Record(scenario=int(match.group(1)), values=values)
+
+
 def parse_dump(lines: list[str]) -> list[Record]:
     """Parse ``scenario: k, a = 1, ...`` dump lines into records.
 
@@ -469,12 +506,93 @@ def parse_dump(lines: list[str]) -> list[Record]:
     """
     records = []
     for line in lines:
-        match = _RECORD_RE.search(line)
-        if not match:
-            continue
-        values = {name: value for name, value in _FIELD_RE.findall(line)}
-        records.append(Record(scenario=int(match.group(1)), values=values))
+        record = _parse_dump_line(line)
+        if record is not None:
+            records.append(record)
     return records
+
+
+# A widened dump line's value group parses directly when it sits in a
+# plain ``name = <group>`` position: the literal before it ends with the
+# field-name prefix, the literal after it cannot extend the value token,
+# and every lane's token is exactly one field value.  Anything else
+# (exotic formats) takes the slow path — reconstruct each lane's line
+# and parse it like the per-mutant run would have.
+_GROUP_NAME_RE = re.compile(r"([A-Za-z_]\w*)\s*=\s*$")
+_GROUP_VALUE_RE = re.compile(r"\s*(x|-?\d+)")
+
+
+def _demux_records(lines: list[str],
+                   n_lanes: int) -> list[list[Record]]:
+    """Per-lane records from a lockstep union run's widened dump.
+
+    Equivalent to :func:`repro.hdl.lockstep.demux_lines` followed by
+    :func:`parse_dump` per lane (the slow path does exactly that, line
+    by line), but the common ``name = value`` shape parses the shared
+    line skeleton once and patches only the per-lane group fields.
+    """
+    lanes: list[list[Record]] = [[] for _ in range(n_lanes)]
+    for line in lines:
+        parts = line.split(lockstep_mod.GROUP_DELIM)
+        if len(parts) == 1:
+            record = _parse_dump_line(line)
+            if record is not None:
+                for lane in lanes:
+                    lane.append(record)
+            continue
+        groups = [part.split(lockstep_mod.LANE_DELIM) if i % 2 else part
+                  for i, part in enumerate(parts)]
+
+        patches: list[tuple[str, list[str]]] = []
+        base_line_parts: list[str] = []
+        simple = True
+        for i, part in enumerate(groups):
+            if not i % 2:
+                base_line_parts.append(part)
+                continue
+            base_line_parts.append(part[0])
+            name_match = _GROUP_NAME_RE.search(groups[i - 1])
+            following = groups[i + 1] if i + 1 < len(groups) else ""
+            if (name_match is None
+                    or (following[:1].isalnum() or following[:1] == "_")):
+                simple = False
+                break
+            tokens = []
+            for token in part:
+                value = _GROUP_VALUE_RE.fullmatch(token)
+                if value is None:
+                    simple = False
+                    break
+                tokens.append(value.group(1))
+            if not simple:
+                break
+            patches.append((name_match.group(1), tokens))
+
+        base = _parse_dump_line("".join(base_line_parts)) if simple \
+            else None
+        if base is not None:
+            # parse_dump is last-occurrence-wins per field name; the
+            # patch is only faithful if the group is the winning
+            # occurrence, which lane 0's parse tells us directly.
+            for name, tokens in patches:
+                if base.values.get(name) != tokens[0]:
+                    base = None
+                    break
+        if base is None:
+            # Slow path: byte-faithful per-lane reconstruction.
+            for k in range(n_lanes):
+                record = _parse_dump_line("".join(
+                    groups[i][k] if i % 2 else groups[i]
+                    for i in range(len(groups))))
+                if record is not None:
+                    lanes[k].append(record)
+            continue
+        for k in range(n_lanes):
+            values = dict(base.values)
+            for name, tokens in patches:
+                values[name] = tokens[k]
+            lanes[k].append(Record(scenario=base.scenario, values=values))
+    return lanes
 
 
 def run_driver(driver_src: str, dut_src: str,
@@ -854,3 +972,192 @@ def run_monolithic_batch(tb_src: str, dut_srcs, jobs: int | None = None,
     """Run one self-checking testbench against many DUT variants."""
     return _run_batch(_monolithic_batch_worker, tb_src, dut_srcs, jobs,
                       engine, context)
+
+
+# ----------------------------------------------------------------------
+# Mutant sweeps (lockstep union engine with per-mutant fallback)
+# ----------------------------------------------------------------------
+@dataclass
+class MutantSweep:
+    """Outcome of one driver swept across N same-interface DUT variants.
+
+    ``runs`` aligns with the ``dut_srcs`` argument
+    (:class:`DriverRun` for hybrid sweeps, :class:`MonolithicRun` for
+    monolithic ones).  ``engine`` reports the strategy that actually
+    executed — ``"lockstep"`` or ``"per-mutant"`` — and
+    ``fallback_reason`` is non-empty when lockstep was requested but the
+    sweep fell back (unsupported driver shape, union build/run failure,
+    monolithic stdout verdicts).
+
+    When a ``golden_src`` was supplied, ``golden`` carries its run and
+    ``retire_rounds[i]`` is the dump-record index at which variant ``i``
+    first diverged from the golden lane (``None`` = never diverged, or
+    no comparable records).  Both engines compute it from the same
+    per-lane records, so the differential fuzz battery asserts equality.
+    """
+
+    runs: list
+    golden: DriverRun | None = None
+    retire_rounds: list = field(default_factory=list)
+    engine: str = MUTANT_PER_MUTANT
+    fallback_reason: str = ""
+
+
+def _retire_round(golden_run: DriverRun | None,
+                  run) -> int | None:
+    """First record index where ``run`` diverges from the golden lane."""
+    if golden_run is None or not golden_run.ok:
+        return None
+    if not getattr(run, "ok", False):
+        return None
+    records = getattr(run, "records", None)
+    if records is None:
+        return None
+    for index, (golden_record, record) in enumerate(
+            zip(golden_run.records, records)):
+        if golden_record != record:
+            return index
+    if len(records) != len(golden_run.records):
+        return min(len(records), len(golden_run.records))
+    return None
+
+
+def _per_mutant_sweep(driver_src: str, dut_list: list[str],
+                      golden_src: str | None, jobs: int | None,
+                      context: SimContext,
+                      fallback_reason: str = "") -> MutantSweep:
+    lanes = ([golden_src] if golden_src is not None else []) + dut_list
+    runs = run_driver_batch(driver_src, lanes, jobs=jobs, context=context)
+    golden_run = runs[0] if golden_src is not None else None
+    dut_runs = runs[1:] if golden_src is not None else runs
+    return MutantSweep(
+        runs=dut_runs, golden=golden_run,
+        retire_rounds=[_retire_round(golden_run, run)
+                       for run in dut_runs],
+        engine=MUTANT_PER_MUTANT, fallback_reason=fallback_reason)
+
+
+def _lockstep_sweep(driver_src: str, dut_list: list[str],
+                    golden_src: str | None,
+                    context: SimContext) -> MutantSweep:
+    """Run the sweep as one union design.
+
+    Raises :exc:`LockstepUnsupported` (or a front-end/runtime
+    :exc:`~repro.hdl.errors.HdlError`) when the union cannot be built or
+    run faithfully; the caller falls back to the per-mutant path.
+    """
+    lanes = ([golden_src] if golden_src is not None else []) + dut_list
+    order: list[str] = []
+    seen = set()
+    for lane in lanes:
+        if lane not in seen:
+            seen.add(lane)
+            order.append(lane)
+    n_lanes = len(order)
+
+    key = ("union", driver_src, tuple(order))
+    _raise_cached_failure(key)
+    try:
+        template = _union_templates.get_or_create(
+            key, lambda: DesignTemplate(
+                elaborate(build_union(driver_src, order), "tb")))
+    except (VerilogSyntaxError, ElaborationError,
+            LockstepUnsupported) as exc:
+        _record_failure(key, exc)
+        raise
+
+    with use_context(context):
+        # One run carries every lane's statements: scale the statement
+        # budget so an N-lane union is budgeted like N single runs.
+        result = template.run(max_stmts=context.max_stmts * n_lanes)
+    if not result.finished:
+        raise LockstepUnsupported("union run ended without $finish")
+
+    lane_records = _demux_records(result.files.get(DUMP_FILE, []), n_lanes)
+    runs_by_src: dict[str, DriverRun] = {}
+    for lane_src, records in zip(order, lane_records):
+        if records:
+            runs_by_src[lane_src] = DriverRun(
+                OK, records=records, stdout=list(result.stdout))
+        else:
+            runs_by_src[lane_src] = DriverRun(
+                RUNTIME, detail="no check-points in dump",
+                stdout=list(result.stdout))
+
+    golden_run = (runs_by_src[golden_src]
+                  if golden_src is not None else None)
+    dut_runs = [runs_by_src[dut] for dut in dut_list]
+    return MutantSweep(
+        runs=dut_runs, golden=golden_run,
+        retire_rounds=[_retire_round(golden_run, run)
+                       for run in dut_runs],
+        engine=MUTANT_LOCKSTEP)
+
+
+def run_mutant_sweep(driver_src: str, dut_srcs,
+                     golden_src: str | None = None,
+                     kind: str = "hybrid",
+                     jobs: int | None = None,
+                     engine: str | None = None,
+                     mutant_engine: str | None = None,
+                     context: SimContext | None = None) -> MutantSweep:
+    """Sweep one shared testbench across many DUT variants of one
+    design (AutoEval Eval2 mutant batches, validator R/S matrices).
+
+    With the default ``lockstep`` strategy the driver and every variant
+    merge into one union design executed in a single simulation — the
+    driver's stimulus, clocking and scheduler costs are paid once per
+    sweep instead of once per variant — and shapes the union cannot
+    express fall back to the ``per-mutant`` path transparently
+    (``MutantSweep.fallback_reason`` says why).  ``per-mutant`` is the
+    behavioural oracle: it simulates each variant separately and is
+    pinned against lockstep by a differential fuzz battery.
+
+    ``kind="monolithic"`` sweeps a self-checking testbench
+    (:class:`MonolithicRun` results); its verdicts travel on stdout,
+    which a union run shares across lanes, so it always executes
+    per-mutant.
+
+    ``golden_src`` adds a golden reference lane: the sweep reports its
+    run separately plus each variant's *retire round* — the dump-record
+    index of first divergence from the golden lane.
+
+    ``mutant_engine`` / ``jobs`` / ``engine`` / ``context`` left unset
+    resolve through the active :class:`SimContext`
+    (``SimContext.mutant_engine``, env ``REPRO_MUTANT_ENGINE``).
+    """
+    context = context if context is not None else current_context()
+    if engine:
+        context = context.evolve(engine=engine)
+    strategy = (mutant_engine if mutant_engine is not None
+                else context.mutant_engine)
+    if strategy not in MUTANT_ENGINES:
+        raise ValueError(f"unknown mutant_engine {strategy!r}; "
+                         f"expected one of {MUTANT_ENGINES}")
+    dut_list = list(dut_srcs)
+
+    if kind == "monolithic":
+        lanes = ([golden_src] if golden_src is not None else []) + dut_list
+        runs = run_monolithic_batch(driver_src, lanes, jobs=jobs,
+                                    context=context)
+        golden_run = runs[0] if golden_src is not None else None
+        return MutantSweep(
+            runs=runs[1:] if golden_src is not None else runs,
+            golden=golden_run,
+            retire_rounds=[None] * len(dut_list),
+            engine=MUTANT_PER_MUTANT,
+            fallback_reason=("monolithic verdicts travel on stdout"
+                             if strategy == MUTANT_LOCKSTEP else ""))
+    if kind != "hybrid":
+        raise ValueError(f"unknown sweep kind {kind!r}; "
+                         f"expected 'hybrid' or 'monolithic'")
+
+    if strategy == MUTANT_PER_MUTANT or not dut_list:
+        return _per_mutant_sweep(driver_src, dut_list, golden_src, jobs,
+                                 context)
+    try:
+        return _lockstep_sweep(driver_src, dut_list, golden_src, context)
+    except (LockstepUnsupported, HdlError, RecursionError) as exc:
+        reason = f"{type(exc).__name__}: {exc}"
+        return _per_mutant_sweep(driver_src, dut_list, golden_src, jobs,
+                                 context, fallback_reason=reason)

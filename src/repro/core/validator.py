@@ -22,7 +22,7 @@ from .artifacts import HybridTestbench
 from .checker_runtime import run_checker
 from .rs_matrix import RSMatrix, RSRow, build_matrix
 from .rtl_group import DEFAULT_GROUP_SIZE, JudgeRtl, build_rtl_group
-from .simulation import run_driver_batch
+from .simulation import run_mutant_sweep
 
 
 @dataclass(frozen=True)
@@ -109,7 +109,7 @@ class ScenarioValidator:
     def __init__(self, client: LLMClient | MeteredClient, task: TaskSpec,
                  criterion: Criterion = DEFAULT_CRITERION,
                  group_size: int = DEFAULT_GROUP_SIZE,
-                 sim_jobs: int = 1):
+                 sim_jobs: int | None = None):
         self.client = client
         self.task = task
         self.criterion = criterion
@@ -117,6 +117,7 @@ class ScenarioValidator:
         self.sim_jobs = sim_jobs
         self._group: tuple[JudgeRtl, ...] | None = None
         self._sim_cache: dict = {}
+        self._retire_cache: dict = {}
 
     # ------------------------------------------------------------------
     @property
@@ -135,30 +136,40 @@ class ScenarioValidator:
         return (stable_hash(driver_src), judge.sample_index,
                 stable_hash(judge.source))
 
+    def _sweep_judges(self, driver_src: str, judges) -> None:
+        """Sweep the driver across ``judges`` and cache runs + retire
+        rounds (first divergence from the golden-RTL lane)."""
+        sweep = run_mutant_sweep(driver_src,
+                                 [judge.source for judge in judges],
+                                 golden_src=self.task.golden_rtl(),
+                                 jobs=self.sim_jobs)
+        for judge, run, retire in zip(judges, sweep.runs,
+                                      sweep.retire_rounds):
+            key = self._judge_key(driver_src, judge)
+            self._sim_cache[key] = run
+            self._retire_cache[key] = retire
+
     def _judge_records(self, driver_src: str, judge: JudgeRtl):
         key = self._judge_key(driver_src, judge)
         if key not in self._sim_cache:
-            self._sim_cache[key] = run_driver_batch(
-                driver_src, [judge.source])[0]
+            self._sweep_judges(driver_src, [judge])
         return self._sim_cache[key]
 
     def _prefetch_judges(self, driver_src: str) -> None:
         """Batch all uncached driver-vs-judge simulations.
 
-        The batch API compiles the shared driver design once per unique
-        judge RTL and can fan out across a process pool (``sim_jobs``).
+        Routed through :func:`run_mutant_sweep`: under the default
+        lockstep strategy the whole judge group simulates as one union
+        design; the per-mutant fallback compiles the shared driver once
+        per unique judge RTL and can fan out across a process pool
+        (``sim_jobs``).
         """
         pending = [judge for judge in self.rtl_group
                    if judge.syntax_ok
                    and self._judge_key(driver_src, judge)
                    not in self._sim_cache]
-        if not pending:
-            return
-        runs = run_driver_batch(driver_src,
-                                [judge.source for judge in pending],
-                                jobs=self.sim_jobs)
-        for judge, run in zip(pending, runs):
-            self._sim_cache[self._judge_key(driver_src, judge)] = run
+        if pending:
+            self._sweep_judges(driver_src, pending)
 
     def validate(self, tb: HybridTestbench) -> ValidationReport:
         scenario_indexes = tuple(index for index, _ in tb.scenarios)
@@ -170,6 +181,8 @@ class ScenarioValidator:
                                   "syntax error"))
                 continue
             run = self._judge_records(tb.driver_src, judge)
+            retire = self._retire_cache.get(
+                self._judge_key(tb.driver_src, judge))
             if not run.ok:
                 rows.append(RSRow(judge.sample_index, None,
                                   f"{run.status}: {run.detail[:50]}"))
@@ -183,12 +196,13 @@ class ScenarioValidator:
                 # A crashing checker is wrong about everything.
                 rows.append(RSRow(judge.sample_index,
                                   {s: False for s in scenario_indexes},
-                                  report.status))
+                                  report.status, retire_round=retire))
                 continue
             cells = {s: True for s in scenario_indexes}
             for scenario, verdict in report.verdicts.items():
                 cells[scenario] = verdict.passed
-            rows.append(RSRow(judge.sample_index, cells))
+            rows.append(RSRow(judge.sample_index, cells,
+                              retire_round=retire))
 
         if not scenario_indexes:
             # The driver produced no records against any judge RTL.

@@ -16,7 +16,7 @@ from enum import IntEnum
 
 from ..core.artifacts import HybridTestbench, MonolithicTestbench
 from ..core.checker_runtime import checker_compiles
-from ..core.simulation import run_monolithic, run_monolithic_batch, syntax_ok
+from ..core.simulation import run_monolithic, run_mutant_sweep, syntax_ok
 from ..problems.dataset import get_task
 from .golden import (GoldenArtifacts, golden_artifacts, hybrid_verdict,
                      hybrid_verdicts_batch)
@@ -47,9 +47,14 @@ class EvalResult:
 
 def evaluate_hybrid(tb: HybridTestbench,
                     golden: GoldenArtifacts | None = None,
-                    sim_jobs: int = 1) -> EvalResult:
-    """Grade a hybrid testbench.  ``sim_jobs > 1`` fans the mutant sweep
-    across the persistent simulation worker pool."""
+                    sim_jobs: int | None = None) -> EvalResult:
+    """Grade a hybrid testbench.
+
+    The mutant sweep runs through :func:`run_mutant_sweep` (lockstep by
+    default).  ``sim_jobs`` applies to the per-mutant path only and
+    defaults to the active :class:`~repro.hdl.SimContext`'s ``jobs``;
+    values above 1 fan the sweep across the persistent worker pool.
+    """
     task = get_task(tb.task_id)
     golden = golden or golden_artifacts(tb.task_id)
 
@@ -82,7 +87,7 @@ def evaluate_hybrid(tb: HybridTestbench,
 
 def evaluate_monolithic(tb: MonolithicTestbench,
                         golden: GoldenArtifacts | None = None,
-                        sim_jobs: int = 1) -> EvalResult:
+                        sim_jobs: int | None = None) -> EvalResult:
     task = get_task(tb.task_id)
     golden = golden or golden_artifacts(tb.task_id)
 
@@ -95,11 +100,11 @@ def evaluate_monolithic(tb: MonolithicTestbench,
                           run.detail or "golden DUT reported Failed")
 
     if golden.mutants:
-        results = run_monolithic_batch(
+        sweep = run_mutant_sweep(
             tb.source, [mutant.source for mutant in golden.mutants],
-            jobs=sim_jobs)
+            kind="monolithic", jobs=sim_jobs)
         verdicts = [result.verdict if result.status == "ok" else None
-                    for result in results]
+                    for result in sweep.runs]
     else:
         verdicts = []
     agreement = _mutant_agreement(verdicts, golden)
@@ -111,7 +116,7 @@ def evaluate_monolithic(tb: MonolithicTestbench,
 
 
 def evaluate(tb, golden: GoldenArtifacts | None = None,
-             sim_jobs: int = 1) -> EvalResult:
+             sim_jobs: int | None = None) -> EvalResult:
     """Evaluate either artifact type."""
     if isinstance(tb, HybridTestbench):
         return evaluate_hybrid(tb, golden, sim_jobs=sim_jobs)

@@ -14,7 +14,7 @@ from functools import lru_cache
 from ..codegen import render_checker_core, render_driver
 from ..core.artifacts import HybridTestbench
 from ..core.checker_runtime import run_checker
-from ..core.simulation import dut_compiles, run_driver, run_driver_batch
+from ..core.simulation import dut_compiles, run_driver, run_mutant_sweep
 from ..mutation import Mutant, generate_mutants
 from ..problems.dataset import get_task
 from ..problems.model import TaskSpec
@@ -40,16 +40,18 @@ def hybrid_verdict(tb: HybridTestbench, dut_src: str,
 
 def hybrid_verdicts_batch(tb: HybridTestbench, dut_srcs,
                           task: TaskSpec,
-                          jobs: int = 1) -> list[bool | None]:
+                          jobs: int | None = None) -> list[bool | None]:
     """Batched :func:`hybrid_verdict`: one driver, many DUT variants.
 
-    The shared driver is parsed/compiled once and identical DUTs are
-    simulated once (AutoEval's mutant sweep runs the same testbench
-    against 10 mutants of one golden RTL).
+    Routed through :func:`run_mutant_sweep`, so under the default
+    lockstep strategy the whole batch executes as one union simulation
+    (AutoEval's mutant sweep runs the same testbench against 10 mutants
+    of one golden RTL); ``jobs=None`` resolves through the active
+    :class:`~repro.hdl.SimContext` on the per-mutant path.
     """
-    runs = run_driver_batch(tb.driver_src, list(dut_srcs), jobs=jobs)
+    sweep = run_mutant_sweep(tb.driver_src, list(dut_srcs), jobs=jobs)
     verdicts: list[bool | None] = []
-    for run in runs:
+    for run in sweep.runs:
         if not run.ok:
             verdicts.append(None)
             continue

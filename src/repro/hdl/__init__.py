@@ -67,7 +67,8 @@ Public surface:
   engine).
 """
 
-from .context import (SimContext, current_context, resolve_jobs,
+from .context import (MUTANT_ENGINES, MUTANT_LOCKSTEP, MUTANT_PER_MUTANT,
+                      SimContext, current_context, resolve_jobs,
                       root_context, set_root_context, use_context)
 from .errors import (ElaborationError, HdlError, SimulationError,
                      SimulationLimit, VerilogSyntaxError)
@@ -88,6 +89,9 @@ __all__ = [
     "LEXER_MASTER",
     "LEXER_REFERENCE",
     "LEXERS",
+    "MUTANT_ENGINES",
+    "MUTANT_LOCKSTEP",
+    "MUTANT_PER_MUTANT",
     "ElaborationError",
     "HdlError",
     "Logic",

@@ -57,6 +57,14 @@ LEXER_MASTER = "master"
 LEXER_REFERENCE = "reference"
 LEXERS = (LEXER_MASTER, LEXER_REFERENCE)
 
+#: Mutant-sweep execution strategies (see ``run_mutant_sweep``):
+#: ``lockstep`` merges all same-interface DUT variants into one union
+#: design and runs the shared driver once; ``per-mutant`` simulates each
+#: variant separately and stays the behavioural oracle.
+MUTANT_LOCKSTEP = "lockstep"
+MUTANT_PER_MUTANT = "per-mutant"
+MUTANT_ENGINES = (MUTANT_LOCKSTEP, MUTANT_PER_MUTANT)
+
 #: Worker-pool start methods.  ``"default"`` defers to the platform
 #: (fork on Linux); the explicit names select a multiprocessing start
 #: method, whose availability is checked at pool creation time.
@@ -102,6 +110,10 @@ class SimContext:
 
     engine: str = ENGINE_COMPILED
     lexer: str = LEXER_MASTER
+    #: How batched same-driver mutant sweeps execute: ``"lockstep"``
+    #: (union design, one run) with automatic per-shape fallback, or
+    #: ``"per-mutant"`` (one run per variant, the oracle path).
+    mutant_engine: str = MUTANT_LOCKSTEP
     max_time: int = DEFAULT_MAX_TIME
     max_stmts: int = DEFAULT_MAX_STMTS
     jobs: int = DEFAULT_JOBS
@@ -123,6 +135,10 @@ class SimContext:
         if self.lexer not in LEXERS:
             raise ValueError(f"unknown lexer {self.lexer!r}; "
                              f"expected one of {LEXERS}")
+        if self.mutant_engine not in MUTANT_ENGINES:
+            raise ValueError(f"unknown mutant_engine "
+                             f"{self.mutant_engine!r}; "
+                             f"expected one of {MUTANT_ENGINES}")
         if self.start_method not in START_METHODS:
             raise ValueError(f"unknown start_method "
                              f"{self.start_method!r}; "
@@ -191,6 +207,16 @@ def _context_from_env(environ=None) -> tuple[SimContext, frozenset]:
         else:
             _warn_env(f"REPRO_LEXER={lexer!r} is not one of "
                       f"{LEXERS}; using {LEXER_MASTER!r}")
+
+    mutant_engine = environ.get("REPRO_MUTANT_ENGINE")
+    if mutant_engine is not None:
+        if mutant_engine in MUTANT_ENGINES:
+            overrides["mutant_engine"] = mutant_engine
+            seeded.add("mutant_engine")
+        else:
+            _warn_env(f"REPRO_MUTANT_ENGINE={mutant_engine!r} is not "
+                      f"one of {MUTANT_ENGINES}; using "
+                      f"{MUTANT_LOCKSTEP!r}")
 
     jobs = environ.get("REPRO_JOBS")
     if jobs:

@@ -17,7 +17,8 @@ from repro.core.simulation import (RUNTIME, run_driver, run_driver_batch,
 from repro.eval.campaign import campaign_jobs_from_env
 from repro.hdl import simulate
 from repro.hdl.context import (ENGINE_COMPILED, ENGINE_INTERPRET,
-                               LEXER_REFERENCE, SimContext,
+                               LEXER_REFERENCE, MUTANT_LOCKSTEP,
+                               MUTANT_PER_MUTANT, SimContext,
                                _context_from_env, current_context,
                                root_context, set_root_context, use_context)
 from repro.hdl.simulator import set_default_engine
@@ -225,6 +226,26 @@ class TestEnvSeeding:
         # Unset means tracing stays off.
         assert _context_from_env({})[0].trace_dir == ""
 
+    def test_mutant_engine_seeds(self):
+        context, seeded = _context_from_env(
+            {"REPRO_MUTANT_ENGINE": "per-mutant"})
+        assert context.mutant_engine == MUTANT_PER_MUTANT
+        assert seeded == {"mutant_engine"}
+        # Unset means lockstep.
+        assert _context_from_env({})[0].mutant_engine == MUTANT_LOCKSTEP
+
+    def test_malformed_mutant_engine_warns_and_falls_back(self, capsys):
+        context, seeded = _context_from_env(
+            {"REPRO_MUTANT_ENGINE": "icarus"})
+        assert context.mutant_engine == MUTANT_LOCKSTEP
+        assert "mutant_engine" not in seeded
+        err = capsys.readouterr().err
+        assert "REPRO_MUTANT_ENGINE" in err and "icarus" in err
+
+    def test_mutant_engine_validated(self):
+        with pytest.raises(ValueError):
+            SimContext(mutant_engine="schemata")
+
     def test_trace_and_budget_validated(self):
         with pytest.raises(ValueError):
             SimContext(trace_dir=123)
@@ -300,7 +321,7 @@ class TestWorkerIsolation:
 class TestCacheRegistry:
     def test_registered_layers(self):
         assert caches.names() == ("tokenize", "parse", "design", "pair",
-                                  "failure", "programs")
+                                  "failure", "programs", "union")
 
     def test_stats_shape_matches_legacy_helper(self):
         assert simulation_cache_stats() == caches.stats()

@@ -1,0 +1,85 @@
+"""Strict replay of the checked-in trace corpus (tests/traces/).
+
+Each ``*.trace.jsonl`` file is a full recorded CorrectBench session
+(multi-round recoveries, give-ups, a stage-2 ExtractionError retry —
+see scripts/record_trace_corpus.py).  Replaying one re-runs the whole
+pipeline with the model's answers coming from the file, so these tests
+fail on any behavioural drift in the generator / validator / corrector
+loop.  Regenerate the corpus with::
+
+    PYTHONPATH=src python scripts/record_trace_corpus.py
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.core.trace import (TRACE_VERSION, Trace, load_trace,
+                              replay_workflow)
+
+TRACES_DIR = Path(__file__).resolve().parents[1] / "traces"
+TRACE_PATHS = sorted(TRACES_DIR.glob("*.trace.jsonl"))
+
+
+def trace_id(path):
+    return path.name.removesuffix(".trace.jsonl")
+
+
+@pytest.fixture(scope="module", params=TRACE_PATHS, ids=trace_id)
+def replayed(request):
+    trace = load_trace(str(request.param))
+    return trace, replay_workflow(trace)
+
+
+class TestCorpusReplay:
+    def test_corpus_present(self):
+        assert len(TRACE_PATHS) >= 6, \
+            "trace corpus missing — run scripts/record_trace_corpus.py"
+
+    def test_header_is_current_version(self, replayed):
+        trace, _ = replayed
+        assert trace.header["version"] == TRACE_VERSION
+
+    def test_strict_replay_matches(self, replayed):
+        trace, outcome = replayed
+        assert outcome.matches, (
+            f"replay diverged at round {outcome.diverged_round()}")
+
+    def test_result_fields_reproduced(self, replayed):
+        trace, outcome = replayed
+        recorded = trace.result()
+        assert outcome.result.validated == recorded["validated"]
+        assert outcome.result.gave_up == recorded["gave_up"]
+        assert outcome.result.corrections == recorded["corrections"]
+        assert outcome.result.reboots == recorded["reboots"]
+        replayed_rounds = Trace(
+            tuple(outcome.replayed.events)).result()["rounds"]
+        assert replayed_rounds == recorded["rounds"]
+
+    def test_token_accounting_reproduced(self, replayed):
+        trace, outcome = replayed
+        assert Trace(tuple(outcome.replayed.events)).result()["usage"] \
+            == trace.result()["usage"]
+
+
+class TestCorpusShape:
+    """The corpus keeps covering the scenarios it was recorded for."""
+
+    def traces(self):
+        return [load_trace(str(path)) for path in TRACE_PATHS]
+
+    def test_has_multi_round_recovery(self):
+        assert any(len(t.validations()) >= 3
+                   and t.result()["validated"] for t in self.traces())
+
+    def test_has_give_up(self):
+        assert any(t.result()["gave_up"] for t in self.traces())
+
+    def test_has_extraction_retry(self):
+        # A stage-2 retry shows as two consecutive correct_rewrite
+        # exchanges (one correct_reason, two rewrites).
+        def retried(trace):
+            kinds = [e["kind"] for e in trace.exchanges()]
+            return any(a == b == "correct_rewrite"
+                       for a, b in zip(kinds, kinds[1:]))
+        assert any(retried(t) for t in self.traces())

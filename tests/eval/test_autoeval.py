@@ -1,12 +1,19 @@
 """AutoEval grading: golden artifacts, levels, agreement computation."""
 
+import dataclasses
+import inspect
+
 import pytest
 
 from repro.codegen import render_checker_core, render_driver
 from repro.core import HybridTestbench, MonolithicTestbench
 from repro.eval import (EvalLevel, N_MUTANTS, evaluate, golden_artifacts,
                         hybrid_verdict)
-from repro.mutation import inject_verilog_syntax_fault
+from repro.eval.autoeval import evaluate_hybrid, evaluate_monolithic
+from repro.eval.golden import hybrid_verdicts_batch
+from repro.hdl import (MUTANT_ENGINES, MUTANT_LOCKSTEP, MUTANT_PER_MUTANT,
+                       use_context)
+from repro.mutation import Mutant, inject_verilog_syntax_fault
 from repro.problems import get_task
 
 
@@ -113,3 +120,81 @@ class TestEvalLevels:
     def test_unknown_artifact_type_rejected(self):
         with pytest.raises(TypeError):
             evaluate(object())
+
+
+# ----------------------------------------------------------------------
+# Edge cases, pinned under both mutant-sweep engines
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("engine", MUTANT_ENGINES)
+class TestEvalEdgeCases:
+    def test_zero_mutant_task_reaches_eval2(self, engine):
+        task = get_task("cmb_eq4")
+        golden = dataclasses.replace(golden_artifacts(task.task_id),
+                                     mutants=(), mutant_verdicts=())
+        with use_context(mutant_engine=engine):
+            result = evaluate_hybrid(golden_tb(task), golden=golden)
+        # No mutants to disagree with: vacuous 100% agreement.
+        assert result.level == EvalLevel.EVAL2
+        assert result.agreement == 1.0
+
+    def test_crashed_mutant_counts_as_disagreement(self, engine):
+        # An oscillating mutant starves the statement budget, so the
+        # candidate TB's run produces a None verdict; `None` never
+        # agrees with the reference, whatever it recorded.
+        task = get_task("cmb_eq4")
+        oscillating = task.golden_rtl().replace(
+            "endmodule", "wire osc;\nassign osc = ~osc;\nendmodule")
+        golden = dataclasses.replace(
+            golden_artifacts(task.task_id),
+            mutants=(Mutant(oscillating, "oscillator", 0),),
+            mutant_verdicts=(False,))
+        with use_context(mutant_engine=engine):
+            result = evaluate_hybrid(golden_tb(task), golden=golden)
+        assert result.level == EvalLevel.EVAL1
+        assert result.agreement == 0.0
+
+    def test_exactly_at_80_percent_boundary(self, engine):
+        # Eval2 requires agreement >= 0.80: with ten mutants, eight
+        # matching verdicts is Eval2 and seven is Eval1.
+        task = get_task("cmb_alu4")
+        golden = golden_artifacts(task.task_id)
+        tb = golden_tb(task)
+        candidate = hybrid_verdicts_batch(
+            tb, [mutant.source for mutant in golden.mutants], task)
+        assert len(candidate) == N_MUTANTS
+        assert all(verdict is not None for verdict in candidate)
+
+        def reference_with_flips(n_flips):
+            flipped = list(candidate)
+            for index in range(n_flips):
+                flipped[index] = not flipped[index]
+            return dataclasses.replace(
+                golden, mutant_verdicts=tuple(flipped))
+
+        with use_context(mutant_engine=engine):
+            at_boundary = evaluate_hybrid(
+                tb, golden=reference_with_flips(2))
+            below = evaluate_hybrid(tb, golden=reference_with_flips(3))
+        assert at_boundary.level == EvalLevel.EVAL2
+        assert at_boundary.agreement == pytest.approx(0.8)
+        assert below.level == EvalLevel.EVAL1
+        assert below.agreement == pytest.approx(0.7)
+
+    def test_sim_jobs_serial_vs_pool_parity(self, engine):
+        task = get_task("cmb_kmap3_a")
+        tb = golden_tb(task)
+        with use_context(mutant_engine=engine):
+            default = evaluate_hybrid(tb)
+            serial = evaluate_hybrid(tb, sim_jobs=1)
+            pooled = evaluate_hybrid(tb, sim_jobs=2)
+        assert default == serial == pooled
+
+
+def test_sim_jobs_defaults_resolve_through_context():
+    # Satellite fix: `sim_jobs=1` hard-coded serial execution; None now
+    # defers to SimContext.jobs resolution inside the batch APIs.
+    for fn in (evaluate, evaluate_hybrid, evaluate_monolithic,
+               hybrid_verdicts_batch):
+        parameters = inspect.signature(fn).parameters
+        name = "sim_jobs" if "sim_jobs" in parameters else "jobs"
+        assert parameters[name].default is None, fn.__name__

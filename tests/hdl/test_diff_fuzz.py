@@ -305,3 +305,139 @@ def test_corpus_not_vacuous():
     assert finished >= 0.9 * N_PROGRAMS, \
         f"only {finished}/{N_PROGRAMS} fuzz programs ran cleanly"
     assert printed >= 0.9 * N_PROGRAMS
+
+
+# ----------------------------------------------------------------------
+# Lockstep-vs-per-mutant sweep battery
+# ----------------------------------------------------------------------
+# The lockstep union engine must be observationally identical to N
+# separate per-mutant runs: per-lane statuses, dump records and retire
+# rounds.  A seeded generator produces codegen-style drivers (dump
+# ``$fdisplay`` check-points) paired with small DUTs; mutants come from
+# the real mutation operators, so every sweep compares the engines on
+# the shapes production sweeps actually take.  The budget scales with
+# REPRO_FUZZ_PROGRAMS (each sweep simulates ~7 lanes twice).
+_N_SWEEPS = max(8, N_PROGRAMS // 10)
+_SWEEP_SEED_SPACE = 1 << 16
+_N_MUTANTS = 5
+
+_sweep_engines: dict[int, str] = {}
+
+
+def generate_sweep_case(seed: int) -> tuple[str, str]:
+    """A (driver, DUT) pair in the codegen dump style."""
+    rng = random.Random(seed)
+    g = ProgramGen(rng)
+    width = rng.choice((2, 4, 8))
+    sequential = rng.random() < 0.5
+    two_outputs = rng.random() < 0.4
+
+    # DUT: comb function of (a, b), optionally registered on clk.
+    nets = [("a", width), ("b", width)]
+    body = []
+    if sequential:
+        nets.append(("acc", width))
+        body += [
+            f"    reg [{width - 1}:0] acc;",
+            "    always @(posedge clk)"
+            f" acc <= {g.expr(nets, 2)};",
+            "    assign y = acc;",
+        ]
+    else:
+        body.append(f"    assign y = {g.expr(nets, 2)};")
+    out_decls = f"output [{width - 1}:0] y"
+    if two_outputs:
+        out_decls += ", output z"
+        body.append(f"    assign z = {g.expr(nets, 1)};")
+    dut = "\n".join([
+        f"module top_module(input clk, input [{width - 1}:0] a,"
+        f" input [{width - 1}:0] b, {out_decls});",
+        *body,
+        "endmodule",
+    ])
+
+    # Driver: codegen-style stimulus + dump $fdisplay check-points.
+    spec = rng.choice(("%d", "%d", "%d", "%b", "%h"))
+    fields = [("a", "%d"), ("b", "%d"), ("y", spec)]
+    conns = [".clk(clk)", ".a(a)", ".b(b)", ".y(y)"]
+    extra_decl = ""
+    if two_outputs:
+        fields.append(("z", "%d"))
+        conns.append(".z(z)")
+        extra_decl = "    wire z;\n"
+    fmt = "scenario: %d, " + ", ".join(
+        f"{name} = {fs}" for name, fs in fields)
+    args = ", ".join(name for name, _ in fields)
+    lines = [
+        "module tb();",
+        "    reg clk;",
+        f"    reg [{width - 1}:0] a;",
+        f"    reg [{width - 1}:0] b;",
+        f"    wire [{width - 1}:0] y;",
+        extra_decl + "    integer file;",
+        "    integer scenario;",
+        f"    top_module dut({', '.join(conns)});",
+        "    always #5 clk = ~clk;",
+        "    initial begin",
+        '        file = $fopen("results.txt");',
+        "        clk = 0;",
+        "        scenario = 0;",
+    ]
+    for _ in range(rng.randrange(3, 7)):
+        lines.append(f"        a = {g.literal(width)};"
+                     f" b = {g.literal(width)};")
+        lines.append("        @(posedge clk); #1;")
+        lines.append("        scenario = scenario + 1;")
+        lines.append(f'        $fdisplay(file, "{fmt}",'
+                     f" scenario, {args});")
+    lines += ["        $finish;", "    end", "endmodule"]
+    return "\n".join(lines), dut
+
+
+def sweep_seed_for(index: int) -> int:
+    return (BASE_SEED << 20) + _SWEEP_SEED_SPACE + index
+
+
+@pytest.mark.parametrize("index", range(_N_SWEEPS))
+def test_lockstep_sweep_matches_per_mutant(index):
+    from repro.core.simulation import run_mutant_sweep
+    from repro.mutation import generate_mutants
+
+    seed = sweep_seed_for(index)
+    driver, dut = generate_sweep_case(seed)
+    mutants = [mutant.source
+               for mutant in generate_mutants(dut, _N_MUTANTS, seed)]
+
+    lockstep = run_mutant_sweep(driver, mutants, golden_src=dut,
+                                mutant_engine="lockstep")
+    per_mutant = run_mutant_sweep(driver, mutants, golden_src=dut,
+                                  mutant_engine="per-mutant")
+
+    assert per_mutant.engine == "per-mutant"
+    for k, (ls_run, pm_run) in enumerate(zip(lockstep.runs,
+                                             per_mutant.runs)):
+        assert ls_run.status == pm_run.status, f"lane {k} status"
+        assert ls_run.records == pm_run.records, f"lane {k} records"
+    if per_mutant.golden.ok:
+        assert lockstep.golden.records == per_mutant.golden.records
+    else:
+        assert lockstep.golden.status == per_mutant.golden.status
+    assert lockstep.retire_rounds == per_mutant.retire_rounds
+    _sweep_engines[index] = lockstep.engine
+
+
+def test_sweep_generator_is_deterministic():
+    seed = sweep_seed_for(0)
+    assert generate_sweep_case(seed) == generate_sweep_case(seed)
+    assert generate_sweep_case(seed) != generate_sweep_case(seed + 1)
+
+
+def test_sweep_corpus_not_vacuous():
+    """Most sweeps must genuinely exercise the lockstep engine — a
+    battery that always falls back to per-mutant proves nothing."""
+    if len(_sweep_engines) < _N_SWEEPS:
+        pytest.skip("sweep corpus did not run in full")
+    locksteps = sum(1 for engine in _sweep_engines.values()
+                    if engine == "lockstep")
+    assert locksteps >= 0.7 * _N_SWEEPS, \
+        f"only {locksteps}/{_N_SWEEPS} sweeps ran lockstep"

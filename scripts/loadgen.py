@@ -1,0 +1,248 @@
+#!/usr/bin/env python3
+"""Closed-loop load generator for the testbench service.
+
+Each of ``--concurrency`` workers keeps one HTTP connection open and
+runs a closed loop — send a request, wait for the response, repeat —
+until the duration elapses.  Closed-loop load means the offered rate
+adapts to the service rate, so the numbers measure sustained capacity,
+not queue explosion.
+
+Every worker posts the same driver against its *own* DUT variant: the
+exact shape the cross-request micro-batcher coalesces (one compatible
+batch, many unique DUTs), so batched and unbatched server configs are
+directly comparable.
+
+Usage (the CI smoke job; see docs/service.md for the knobs)::
+
+    PYTHONPATH=src python scripts/loadgen.py \\
+        --url http://127.0.0.1:8322 --concurrency 8 --duration 30 \\
+        --out loadgen.json --histogram histogram.json
+
+Importable too: :func:`run_load` drives an already-running server and
+returns the stats dict; ``benchmarks/bench_hdl_simulator.py`` uses it
+for the ``service_throughput`` gate.
+"""
+
+import argparse
+import http.client
+import json
+import sys
+import threading
+import time
+from urllib.parse import urlsplit
+
+#: Log-scale latency histogram bucket upper bounds (milliseconds).
+HISTOGRAM_BUCKETS_MS = (1, 2, 5, 10, 20, 50, 100, 200, 500, 1000,
+                        2000, 5000)
+
+
+def default_payload_factory(scenario_mult: int = 10):
+    """Payload factory: shared driver, DUT variants keyed by iteration.
+
+    All workers at closed-loop iteration *k* submit the same epoch-*k*
+    DUT variant — the thundering-herd shape that motivates request
+    coalescing everywhere (parallel AutoEval clients scoring the same
+    candidate, retry storms, shared mutant sets).  Every epoch is a
+    *new* design, so nothing is pre-warmed; a coalescing server
+    simulates each epoch once per window and fans the result back,
+    while an unbatched server re-simulates per request.
+
+    ``scenario_mult`` replicates the canonical scenario plan so one
+    simulation costs what real testbench sweeps cost (a few ms),
+    keeping the measurement about the simulation path rather than HTTP
+    framing.
+    """
+    from repro.codegen import render_driver
+    from repro.problems import get_task
+
+    task = get_task("cmb_eq4")
+    driver = render_driver(task,
+                           task.canonical_scenarios() * scenario_mult)
+    golden = task.golden_rtl()
+
+    def build(worker: int, iteration: int) -> bytes:
+        dut = golden.replace(
+            "endmodule",
+            f"\n// loadgen epoch {iteration}\nendmodule")
+        return json.dumps({"driver": driver, "dut": dut}).encode()
+
+    return build
+
+
+def unique_payload_factory(scenario_mult: int = 10):
+    """A distinct DUT per (worker, iteration): zero-dedup traffic.
+
+    The adversarial counterpart to :func:`default_payload_factory` —
+    no two requests ever coalesce into one simulation, so this bounds
+    the window-latency cost batching adds when there is nothing to
+    share.
+    """
+    build = default_payload_factory(scenario_mult)
+
+    def unique(worker: int, iteration: int) -> bytes:
+        payload = json.loads(build(worker, iteration))
+        payload["dut"] = payload["dut"].replace(
+            "// loadgen epoch", f"// loadgen worker {worker} epoch")
+        return json.dumps(payload).encode()
+
+    return unique
+
+
+def _percentile(sorted_values: list[float], fraction: float) -> float:
+    if not sorted_values:
+        return 0.0
+    index = min(len(sorted_values) - 1,
+                int(fraction * (len(sorted_values) - 1) + 0.5))
+    return sorted_values[index]
+
+
+def _histogram(latencies_ms: list[float]) -> dict:
+    counts = [0] * (len(HISTOGRAM_BUCKETS_MS) + 1)
+    for latency in latencies_ms:
+        for slot, bound in enumerate(HISTOGRAM_BUCKETS_MS):
+            if latency <= bound:
+                counts[slot] += 1
+                break
+        else:
+            counts[-1] += 1
+    return {"buckets_ms": list(HISTOGRAM_BUCKETS_MS) + ["+Inf"],
+            "counts": counts}
+
+
+class _Worker(threading.Thread):
+    def __init__(self, host: str, port: int, path: str, index: int,
+                 payload_factory, deadline: float, timeout: float):
+        super().__init__(daemon=True)
+        self.host, self.port, self.path = host, port, path
+        self.index = index
+        self.payload_factory = payload_factory
+        self.deadline = deadline
+        self.timeout = timeout
+        self.latencies_ms: list[float] = []
+        self.statuses: dict[int, int] = {}
+        self.errors = 0
+
+    def run(self) -> None:
+        connection = http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout)
+        iteration = 0
+        try:
+            while time.monotonic() < self.deadline:
+                payload = self.payload_factory(self.index, iteration)
+                iteration += 1
+                started = time.monotonic()
+                try:
+                    connection.request("POST", self.path, body=payload)
+                    response = connection.getresponse()
+                    response.read()
+                    status = response.status
+                except (OSError, http.client.HTTPException):
+                    self.errors += 1
+                    connection.close()
+                    connection = http.client.HTTPConnection(
+                        self.host, self.port, timeout=self.timeout)
+                    continue
+                elapsed_ms = (time.monotonic() - started) * 1000.0
+                self.latencies_ms.append(elapsed_ms)
+                self.statuses[status] = self.statuses.get(status, 0) + 1
+                if status == 429:
+                    # Honour backpressure: brief closed-loop backoff.
+                    time.sleep(min(0.05, self.timeout))
+        finally:
+            connection.close()
+
+
+def run_load(url: str, *, concurrency: int = 8, duration_s: float = 10.0,
+             path: str = "/v1/simulate", payload_factory=None,
+             timeout: float = 60.0) -> dict:
+    """Drive ``url`` closed-loop and return the stats dict."""
+    parts = urlsplit(url)
+    host = parts.hostname or "127.0.0.1"
+    port = parts.port or 80
+    if payload_factory is None:
+        payload_factory = default_payload_factory()
+    deadline = time.monotonic() + duration_s
+    workers = [
+        _Worker(host, port, path, index, payload_factory,
+                deadline, timeout)
+        for index in range(concurrency)]
+    started = time.monotonic()
+    for worker in workers:
+        worker.start()
+    for worker in workers:
+        worker.join(timeout=duration_s + timeout)
+    elapsed = time.monotonic() - started
+
+    latencies = sorted(latency for worker in workers
+                       for latency in worker.latencies_ms)
+    statuses: dict[str, int] = {}
+    for worker in workers:
+        for status, count in worker.statuses.items():
+            key = str(status)
+            statuses[key] = statuses.get(key, 0) + count
+    completed = statuses.get("200", 0)
+    return {
+        "concurrency": concurrency,
+        "duration_s": round(elapsed, 3),
+        "requests": len(latencies),
+        "completed_200": completed,
+        "errors": sum(worker.errors for worker in workers),
+        "statuses": statuses,
+        "throughput_rps": round(completed / elapsed, 3) if elapsed else 0,
+        "latency_ms": {
+            "p50": round(_percentile(latencies, 0.50), 3),
+            "p90": round(_percentile(latencies, 0.90), 3),
+            "p99": round(_percentile(latencies, 0.99), 3),
+            "max": round(latencies[-1], 3) if latencies else 0.0,
+        },
+        "histogram": _histogram(latencies),
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--url", default="http://127.0.0.1:8322",
+                        help="service base URL")
+    parser.add_argument("--concurrency", type=int, default=8)
+    parser.add_argument("--duration", type=float, default=10.0,
+                        help="seconds of closed-loop load")
+    parser.add_argument("--path", default="/v1/simulate")
+    parser.add_argument("--unique-payloads", action="store_true",
+                        help="distinct DUT per request (zero-dedup "
+                             "adversarial load) instead of the "
+                             "thundering-herd default")
+    parser.add_argument("--scenario-mult", type=int, default=10,
+                        help="scenario-plan replication factor "
+                             "(per-request simulation weight)")
+    parser.add_argument("--timeout", type=float, default=60.0)
+    parser.add_argument("--out", help="write full stats JSON here")
+    parser.add_argument("--histogram",
+                        help="write just the latency histogram here")
+    parser.add_argument("--min-rps", type=float, default=None,
+                        help="exit 1 if sustained 200-rps falls below")
+    args = parser.parse_args(argv)
+
+    factory = (unique_payload_factory(args.scenario_mult)
+               if args.unique_payloads
+               else default_payload_factory(args.scenario_mult))
+    stats = run_load(args.url, concurrency=args.concurrency,
+                     duration_s=args.duration, path=args.path,
+                     payload_factory=factory, timeout=args.timeout)
+    print(json.dumps(stats, indent=2))
+    if args.out:
+        with open(args.out, "w") as handle:
+            json.dump(stats, handle, indent=2)
+            handle.write("\n")
+    if args.histogram:
+        with open(args.histogram, "w") as handle:
+            json.dump(stats["histogram"], handle, indent=2)
+            handle.write("\n")
+    if args.min_rps is not None and stats["throughput_rps"] < args.min_rps:
+        print(f"FAIL: {stats['throughput_rps']} rps < "
+              f"{args.min_rps} rps floor", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -7,7 +7,9 @@ Subcommands:
 - ``validate`` — generate a testbench and show its RS matrix + verdict;
 - ``campaign`` — run a methods x tasks x seeds campaign, print Table I/III;
 - ``trace``    — record, replay, or summarise correction traces
-  (``trace record``, ``trace replay``, ``trace report``).
+  (``trace record``, ``trace replay``, ``trace report``);
+- ``serve``    — run the asyncio testbench-generation service
+  (``serve --status`` queries a running server's telemetry endpoint).
 
 ``run``/``validate``/``campaign`` accept ``--engine`` and ``--lexer``,
 and ``campaign`` additionally ``--start-method`` and
@@ -217,6 +219,78 @@ def cmd_trace_report(args) -> int:
 
 
 # ----------------------------------------------------------------------
+def cmd_serve(args) -> int:
+    import asyncio
+    import json
+
+    from .service import TestbenchService, service_config_from_env
+
+    config = service_config_from_env()
+    overrides = {name: getattr(args, name)
+                 for name in ("host", "port", "queue_limit",
+                              "batch_window_ms", "batch_max", "workers",
+                              "drain_timeout")
+                 if getattr(args, name) is not None}
+    config = config.evolve(**overrides)
+
+    if args.status:
+        import urllib.error
+        import urllib.request
+
+        url = f"http://{config.host}:{config.port}/v1/status"
+        try:
+            with urllib.request.urlopen(url, timeout=5) as response:
+                payload = json.loads(response.read().decode("utf-8"))
+        except (urllib.error.URLError, OSError) as exc:
+            print(f"error: cannot reach {url}: {exc}", file=sys.stderr)
+            return 1
+        print(json.dumps(payload, indent=2))
+        return 0
+
+    context = _context(args)
+    if args.jobs is not None:
+        context = context.evolve(jobs=max(1, args.jobs))
+
+    async def _serve() -> None:
+        import contextlib
+        import signal
+
+        service = TestbenchService(config, context)
+        await service.start()
+        print(f"serving on http://{config.host}:{service.port} "
+              f"(queue_limit={config.queue_limit} "
+              f"batch_window_ms={config.batch_window_ms} "
+              f"batch_max={config.batch_max} workers={config.workers} "
+              f"sim_jobs={context.jobs}); Ctrl-C/SIGTERM drains and exits")
+        loop = asyncio.get_running_loop()
+        stop = asyncio.Event()
+        # SIGTERM must drain too: background shells (and CI steps) set
+        # SIGINT to ignore for async children, so plain `kill` is the
+        # operational stop signal.
+        with contextlib.suppress(NotImplementedError, ValueError):
+            loop.add_signal_handler(signal.SIGTERM, stop.set)
+        serve_task = asyncio.ensure_future(service.serve_forever())
+        stop_task = asyncio.ensure_future(stop.wait())
+        try:
+            await asyncio.wait({serve_task, stop_task},
+                               return_when=asyncio.FIRST_COMPLETED)
+        except asyncio.CancelledError:
+            pass
+        finally:
+            for task in (serve_task, stop_task):
+                task.cancel()
+            await asyncio.gather(serve_task, stop_task,
+                                 return_exceptions=True)
+            await service.shutdown(drain=True)
+
+    try:
+        asyncio.run(_serve())
+    except KeyboardInterrupt:
+        print("interrupted; drained in-flight work", file=sys.stderr)
+    return 0
+
+
+# ----------------------------------------------------------------------
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="correctbench",
@@ -275,6 +349,47 @@ def build_parser() -> argparse.ArgumentParser:
                              "built from the task list "
                              "(default: active context, on)")
     p_camp.set_defaults(func=cmd_campaign)
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="run the asyncio testbench-generation service")
+    p_serve.add_argument("--host", default=None,
+                         help="bind address (default: REPRO_SERVICE_HOST "
+                              "/ 127.0.0.1)")
+    p_serve.add_argument("--port", type=int, default=None,
+                         help="bind port, 0 = ephemeral "
+                              "(default: REPRO_SERVICE_PORT / 8322)")
+    p_serve.add_argument("--queue-limit", type=int, default=None,
+                         dest="queue_limit",
+                         help="admitted-but-unfinished request cap; "
+                              "past it the server answers 429")
+    p_serve.add_argument("--batch-window-ms", type=float, default=None,
+                         dest="batch_window_ms",
+                         help="micro-batch coalescing window "
+                              "(0 disables windowing)")
+    p_serve.add_argument("--batch-max", type=int, default=None,
+                         dest="batch_max",
+                         help="flush a batch window early at this many "
+                              "jobs (1 disables coalescing)")
+    p_serve.add_argument("--workers", type=int, default=None,
+                         help="executor threads running simulate batches")
+    p_serve.add_argument("--drain-timeout", type=float, default=None,
+                         dest="drain_timeout",
+                         help="max seconds shutdown waits for in-flight "
+                              "work")
+    p_serve.add_argument("--jobs", type=int, default=None,
+                         help="sim process-pool fan-out per batch "
+                              "(default: active context)")
+    p_serve.add_argument("--engine", choices=ENGINES, default=None,
+                         help="base simulation engine for requests that "
+                              "don't override it")
+    p_serve.add_argument("--lexer", choices=LEXERS, default=None,
+                         help="base tokenizer for requests that don't "
+                              "override it")
+    p_serve.add_argument("--status", action="store_true",
+                         help="query a running server's /v1/status "
+                              "(uses --host/--port) and exit")
+    p_serve.set_defaults(func=cmd_serve)
 
     p_trace = sub.add_parser(
         "trace", help="record / replay / summarise correction traces")

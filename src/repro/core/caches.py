@@ -244,6 +244,34 @@ def use_task_scope(scope: str | None):
         _task_scope.reset(token)
 
 
+def tenant_scope(tenant: str | None,
+                 label: str | None = None) -> str | None:
+    """Cache-scope name for one tenant (the service front end).
+
+    Tenants get their own template-cache buckets, so one tenant's
+    mutant flood evicts its *own* warm templates, never a neighbour's —
+    the same isolation campaigns get per task, applied per caller.
+    ``label`` subdivides a tenant (the service uses the task id for
+    generation jobs).  An empty / ``None`` tenant falls through to the
+    plain label (or the shared scope), so anonymous requests behave
+    like pre-service callers.
+
+    >>> tenant_scope("acme")
+    'tenant/acme'
+    >>> tenant_scope("acme", "cmb_and2")
+    'tenant/acme/cmb_and2'
+    >>> tenant_scope("", "cmb_and2")
+    'cmb_and2'
+    >>> tenant_scope(None) is None
+    True
+    """
+    if not tenant:
+        return label
+    if label:
+        return f"tenant/{tenant}/{label}"
+    return f"tenant/{tenant}"
+
+
 #: Default outer bound on live scope buckets.  Sized above the 156-task
 #: benchmark population so a full-dataset campaign prewarm keeps every
 #: task's bucket; the cap only exists so a pathological scope churn

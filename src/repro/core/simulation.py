@@ -828,10 +828,31 @@ def get_sim_pool(jobs: int, start_method: str | None = None,
         return _pool
 
 
+def _pool_load(pool) -> tuple[int, int]:
+    """(queue_depth, in_flight) for a live executor.
+
+    ``in_flight`` counts submitted-but-unfinished work items;
+    ``queue_depth`` is the subset still parked in the inter-process
+    call queue (not yet picked up by a worker).  Read from executor
+    internals defensively — a private-attribute rename in a future
+    stdlib degrades the counters to zero, never breaks telemetry.
+    """
+    pending = getattr(pool, "_pending_work_items", None)
+    in_flight = len(pending) if pending is not None else 0
+    call_queue = getattr(pool, "_call_queue", None)
+    try:
+        queue_depth = call_queue.qsize() if call_queue is not None else 0
+    except (NotImplementedError, OSError):  # pragma: no cover - macOS
+        queue_depth = 0
+    return queue_depth, in_flight
+
+
 def sim_pool_info() -> dict:
     """Telemetry: whether the shared pool is alive, its configured
     worker count, worker PIDs, the start method it was created with,
-    and its warm/cold state.
+    its warm/cold state, and its current load (``queue_depth`` /
+    ``in_flight``) — the counters the service telemetry endpoint and
+    ``repro serve --status`` report.
 
     ``warm`` reports how workers acquired caches *at pool creation*:
     ``"inherited"`` for fork pools forked from a warm parent
@@ -846,7 +867,7 @@ def sim_pool_info() -> dict:
         if _pool is None:
             return {"alive": False, "workers": 0, "pids": (),
                     "start_method": "", "warm": "cold",
-                    "warm_layers": {}}
+                    "warm_layers": {}, "queue_depth": 0, "in_flight": 0}
         processes = getattr(_pool, "_processes", None) or {}
         if _pool_start_method == "fork":
             warm = "inherited" if _pool_created_warm else "cold"
@@ -854,10 +875,12 @@ def sim_pool_info() -> dict:
             warm = "snapshot"
         else:
             warm = "cold"
+        queue_depth, in_flight = _pool_load(_pool)
         return {"alive": True, "workers": _pool_workers,
                 "pids": tuple(sorted(processes.keys())),
                 "start_method": _pool_start_method, "warm": warm,
-                "warm_layers": dict(_pool_warm_layers)}
+                "warm_layers": dict(_pool_warm_layers),
+                "queue_depth": queue_depth, "in_flight": in_flight}
 
 
 def shutdown_sim_pool(wait: bool = True) -> None:

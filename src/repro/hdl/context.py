@@ -351,6 +351,60 @@ def use_context(context: SimContext | None = None, **overrides):
         _active.reset(token)
 
 
+# ----------------------------------------------------------------------
+# Per-request resolution (the service front end)
+# ----------------------------------------------------------------------
+#: SimContext fields a *request* may override (service ``X-Repro-*``
+#: headers / body ``"context"`` objects).  Deliberately excludes the
+#: operator-owned knobs — ``jobs``, ``start_method``, ``warm_start``,
+#: cache capacities, ``trace_dir`` — which shape shared process state a
+#: single request must not reconfigure.
+REQUEST_CONTEXT_FIELDS = ("engine", "lexer", "mutant_engine",
+                          "max_time", "max_stmts")
+
+_REQUEST_INT_FIELDS = ("max_time", "max_stmts")
+
+
+def context_from_request(overrides, base: SimContext | None = None,
+                         ) -> SimContext:
+    """Resolve a per-request :class:`SimContext` from untrusted input.
+
+    ``overrides`` is a mapping of field name to value, typically decoded
+    from request headers or a JSON body.  Only
+    :data:`REQUEST_CONTEXT_FIELDS` are accepted; integer fields coerce
+    from strings (header values arrive as text).  Anything else —
+    unknown fields, malformed integers, values
+    :class:`SimContext.__post_init__` rejects — raises ``ValueError``
+    with a message fit for a ``400`` response body.
+
+    >>> context_from_request({"engine": "interpret",
+    ...                       "max_stmts": "50000"}).engine
+    'interpret'
+    >>> context_from_request({"jobs": 64})
+    Traceback (most recent call last):
+        ...
+    ValueError: unknown context field(s) ['jobs']; requests may set ('engine', 'lexer', 'mutant_engine', 'max_time', 'max_stmts')
+    """
+    base = base if base is not None else current_context()
+    unknown = sorted(name for name in overrides
+                     if name not in REQUEST_CONTEXT_FIELDS)
+    if unknown:
+        raise ValueError(f"unknown context field(s) {unknown}; "
+                         f"requests may set {REQUEST_CONTEXT_FIELDS}")
+    clean: dict = {}
+    for name, value in dict(overrides).items():
+        if name in _REQUEST_INT_FIELDS and isinstance(value, str):
+            try:
+                value = int(value)
+            except ValueError:
+                raise ValueError(f"{name} must be an integer, "
+                                 f"got {value!r}") from None
+        clean[name] = value
+    if not clean:
+        return base
+    return base.evolve(**clean)
+
+
 def resolve_jobs(default: int = 1) -> int:
     """Worker count for campaign sharding.
 

@@ -1,0 +1,167 @@
+"""Service configuration: one frozen knob bundle, env-seedable.
+
+Mirrors the :class:`~repro.hdl.context.SimContext` design: an immutable
+validated dataclass, seeded once from ``REPRO_SERVICE_*`` environment
+variables (malformed values warn on stderr and fall back to the
+defaults — a misspelt knob must degrade a deployment, never kill it),
+overridable per invocation through ``repro serve`` flags.
+
+The knobs cover the three operational surfaces the runbook
+(``docs/service.md``) documents:
+
+- **admission** — ``queue_limit`` bounds admitted-but-unfinished
+  requests; past it the server answers ``429`` with a ``Retry-After``
+  hint instead of queueing without bound.
+- **micro-batching** — ``batch_window_ms`` is how long the first job of
+  a batch window waits for compatible companions; ``batch_max`` flushes
+  a window early once that many jobs coalesced.  ``batch_max=1``
+  disables coalescing (every request simulates alone), which is the
+  "unbatched serial" leg of the ``service_throughput`` bench.
+- **execution** — ``workers`` sizes the thread pool that runs simulate
+  batches (each batch may additionally fan out across the sim *process*
+  pool via the active context's ``jobs``); ``max_body`` caps request
+  bodies (``413`` past it); ``drain_timeout`` bounds how long shutdown
+  waits for in-flight work.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+from dataclasses import dataclass, replace
+
+DEFAULT_HOST = "127.0.0.1"
+DEFAULT_PORT = 8322
+DEFAULT_QUEUE_LIMIT = 64
+DEFAULT_BATCH_WINDOW_MS = 2.0
+DEFAULT_BATCH_MAX = 16
+DEFAULT_WORKERS = 4
+DEFAULT_MAX_BODY = 1_048_576
+DEFAULT_DRAIN_TIMEOUT = 10.0
+
+
+@dataclass(frozen=True, slots=True)
+class ServiceConfig:
+    """One immutable bundle of service knobs.
+
+    Validated on construction, so a bad deployment config fails at the
+    call site that built it, not mid-request.
+
+    >>> ServiceConfig().queue_limit
+    64
+    >>> ServiceConfig(batch_max=0)
+    Traceback (most recent call last):
+        ...
+    ValueError: batch_max must be a positive integer, got 0
+    >>> ServiceConfig().evolve(batch_window_ms=0).batch_window_ms
+    0.0
+    """
+
+    host: str = DEFAULT_HOST
+    port: int = DEFAULT_PORT
+    queue_limit: int = DEFAULT_QUEUE_LIMIT
+    batch_window_ms: float = DEFAULT_BATCH_WINDOW_MS
+    batch_max: int = DEFAULT_BATCH_MAX
+    workers: int = DEFAULT_WORKERS
+    max_body: int = DEFAULT_MAX_BODY
+    drain_timeout: float = DEFAULT_DRAIN_TIMEOUT
+
+    def __post_init__(self):
+        if not isinstance(self.host, str) or not self.host:
+            raise ValueError(f"host must be a non-empty string, "
+                             f"got {self.host!r}")
+        if not isinstance(self.port, int) or not 0 <= self.port <= 65535:
+            raise ValueError(f"port must be an integer in [0, 65535] "
+                             f"(0 = ephemeral), got {self.port!r}")
+        for name in ("queue_limit", "batch_max", "workers", "max_body"):
+            value = getattr(self, name)
+            if not isinstance(value, int) or value < 1:
+                raise ValueError(f"{name} must be a positive integer, "
+                                 f"got {value!r}")
+        for name in ("batch_window_ms", "drain_timeout"):
+            value = getattr(self, name)
+            if isinstance(value, int):
+                object.__setattr__(self, name, float(value))
+                value = float(value)
+            if not isinstance(value, float) or value < 0:
+                raise ValueError(f"{name} must be a non-negative number, "
+                                 f"got {value!r}")
+
+    def evolve(self, **overrides) -> "ServiceConfig":
+        """A copy with ``overrides`` applied (and re-validated)."""
+        return replace(self, **overrides)
+
+
+def _warn_env(message: str) -> None:
+    print(f"warning: {message}", file=sys.stderr)
+
+
+_ENV_INT_FIELDS = (
+    ("REPRO_SERVICE_PORT", "port", 0),
+    ("REPRO_SERVICE_QUEUE_LIMIT", "queue_limit", 1),
+    ("REPRO_SERVICE_BATCH_MAX", "batch_max", 1),
+    ("REPRO_SERVICE_WORKERS", "workers", 1),
+    ("REPRO_SERVICE_MAX_BODY", "max_body", 1),
+)
+_ENV_FLOAT_FIELDS = (
+    ("REPRO_SERVICE_BATCH_WINDOW_MS", "batch_window_ms"),
+    ("REPRO_SERVICE_DRAIN_TIMEOUT", "drain_timeout"),
+)
+
+
+def service_config_from_env(environ=None) -> ServiceConfig:
+    """Build a :class:`ServiceConfig` from ``REPRO_SERVICE_*`` knobs.
+
+    Invalid values warn on stderr and keep the field's default,
+    mirroring the ``SimContext`` env-seeding contract.
+
+    >>> service_config_from_env({"REPRO_SERVICE_PORT": "9000"}).port
+    9000
+    >>> service_config_from_env({}).batch_max == DEFAULT_BATCH_MAX
+    True
+    """
+    if environ is None:
+        environ = os.environ
+    overrides: dict = {}
+
+    host = environ.get("REPRO_SERVICE_HOST")
+    if host is not None:
+        if host.strip():
+            overrides["host"] = host.strip()
+        else:
+            _warn_env("REPRO_SERVICE_HOST is empty; using "
+                      f"{DEFAULT_HOST!r}")
+
+    for env_name, field_name, floor in _ENV_INT_FIELDS:
+        raw = environ.get(env_name)
+        if raw is None:
+            continue
+        try:
+            value = int(raw)
+        except ValueError:
+            _warn_env(f"{env_name}={raw!r} is not an integer; "
+                      f"using the default")
+            continue
+        if value < floor or (field_name == "port" and value > 65535):
+            _warn_env(f"{env_name}={raw!r} is out of range; "
+                      f"using the default")
+            continue
+        overrides[field_name] = value
+
+    for env_name, field_name in _ENV_FLOAT_FIELDS:
+        raw = environ.get(env_name)
+        if raw is None:
+            continue
+        try:
+            value = float(raw)
+        except ValueError:
+            _warn_env(f"{env_name}={raw!r} is not a number; "
+                      f"using the default")
+            continue
+        if value < 0:
+            _warn_env(f"{env_name}={raw!r} must be >= 0; "
+                      f"using the default")
+            continue
+        overrides[field_name] = value
+
+    return ServiceConfig(**overrides)

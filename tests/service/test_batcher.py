@@ -1,0 +1,167 @@
+"""Micro-batcher: coalescing windows, early flush, error fan-out."""
+
+import asyncio
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+from repro.service.batcher import MicroBatcher
+
+
+def _run(coro):
+    return asyncio.run(coro)
+
+
+class _Recorder:
+    """A batch runner that records every (key, jobs) call it serves."""
+
+    def __init__(self, fail=False, short=False):
+        self.calls = []
+        self.fail = fail
+        self.short = short
+
+    def __call__(self, key, jobs):
+        self.calls.append((key, list(jobs)))
+        if self.fail:
+            raise RuntimeError("batch blew up")
+        results = [f"{key}:{job}" for job in jobs]
+        return results[:-1] if self.short and len(results) > 1 else results
+
+
+def _batcher(runner, executor, **kwargs):
+    kwargs.setdefault("window_s", 0.01)
+    kwargs.setdefault("max_batch", 16)
+    return MicroBatcher(runner, executor, **kwargs)
+
+
+class TestCoalescing:
+    def test_same_key_jobs_share_one_batch(self):
+        runner = _Recorder()
+
+        async def go():
+            with ThreadPoolExecutor(2) as executor:
+                batcher = _batcher(runner, executor)
+                results = await asyncio.gather(
+                    batcher.submit("k", "a"),
+                    batcher.submit("k", "b"),
+                    batcher.submit("k", "c"))
+                await batcher.join()
+                return results
+
+        assert _run(go()) == ["k:a", "k:b", "k:c"]
+        assert len(runner.calls) == 1
+        assert runner.calls[0] == ("k", ["a", "b", "c"])
+
+    def test_distinct_keys_do_not_coalesce(self):
+        runner = _Recorder()
+
+        async def go():
+            with ThreadPoolExecutor(2) as executor:
+                batcher = _batcher(runner, executor)
+                results = await asyncio.gather(
+                    batcher.submit("k1", "a"), batcher.submit("k2", "b"))
+                await batcher.join()
+                return results
+
+        assert sorted(_run(go())) == ["k1:a", "k2:b"]
+        assert len(runner.calls) == 2
+
+    def test_full_window_flushes_early(self):
+        runner = _Recorder()
+
+        async def go():
+            with ThreadPoolExecutor(2) as executor:
+                # Window is far longer than the test: only the
+                # max_batch early-flush can release these jobs in time.
+                batcher = _batcher(runner, executor, window_s=30.0,
+                                   max_batch=2)
+                results = await asyncio.wait_for(asyncio.gather(
+                    batcher.submit("k", "a"),
+                    batcher.submit("k", "b")), timeout=5)
+                await batcher.join()
+                return results, batcher.stats.snapshot()
+
+        results, stats = _run(go())
+        assert results == ["k:a", "k:b"]
+        assert stats["full_flushes"] >= 1
+        assert stats["max_batch"] == 2
+
+    def test_bypass_when_batching_disabled(self):
+        runner = _Recorder()
+
+        async def go():
+            with ThreadPoolExecutor(2) as executor:
+                batcher = _batcher(runner, executor, max_batch=1)
+                return [await batcher.submit("k", "a"),
+                        await batcher.submit("k", "b")]
+
+        assert _run(go()) == ["k:a", "k:b"]
+        assert len(runner.calls) == 2  # one call per job, no window
+
+    def test_flush_all_releases_open_windows(self):
+        runner = _Recorder()
+
+        async def go():
+            with ThreadPoolExecutor(2) as executor:
+                batcher = _batcher(runner, executor, window_s=30.0)
+                future = asyncio.ensure_future(batcher.submit("k", "a"))
+                await asyncio.sleep(0)  # let the window arm
+                batcher.flush_all()
+                return await asyncio.wait_for(future, timeout=5)
+
+        assert _run(go()) == "k:a"
+
+
+class TestErrorFanOut:
+    def test_runner_exception_reaches_every_waiter(self):
+        runner = _Recorder(fail=True)
+
+        async def go():
+            with ThreadPoolExecutor(2) as executor:
+                batcher = _batcher(runner, executor)
+                results = await asyncio.gather(
+                    batcher.submit("k", "a"), batcher.submit("k", "b"),
+                    return_exceptions=True)
+                await batcher.join()
+                return results
+
+        results = _run(go())
+        assert all(isinstance(result, RuntimeError) for result in results)
+        assert len(runner.calls) == 1  # one failed batch, not two
+
+    def test_short_result_list_is_an_error(self):
+        runner = _Recorder(short=True)
+
+        async def go():
+            with ThreadPoolExecutor(2) as executor:
+                batcher = _batcher(runner, executor)
+                results = await asyncio.gather(
+                    batcher.submit("k", "a"), batcher.submit("k", "b"),
+                    return_exceptions=True)
+                await batcher.join()
+                return results
+
+        assert all(isinstance(result, RuntimeError)
+                   for result in _run(go()))
+
+
+class TestTelemetry:
+    def test_stats_accumulate(self):
+        runner = _Recorder()
+
+        async def go():
+            with ThreadPoolExecutor(2) as executor:
+                batcher = _batcher(runner, executor)
+                await asyncio.gather(batcher.submit("k", "a"),
+                                     batcher.submit("k", "b"))
+                await batcher.submit("k2", "c")
+                await batcher.join()
+                assert batcher.pending == 0
+                assert batcher.in_flight == 0
+                return batcher.stats.snapshot()
+
+        stats = _run(go())
+        assert stats["batches"] == 2
+        assert stats["jobs"] == 3
+        assert stats["max_batch"] == 2
+        assert stats["sizes"]["1"] == 1 and stats["sizes"]["2"] == 1

@@ -1,0 +1,146 @@
+"""HTTP protocol layer: request parsing, framing limits, responses."""
+
+import asyncio
+import json
+
+import pytest
+
+from repro.service.config import ServiceConfig, service_config_from_env
+from repro.service.protocol import (MAX_HEAD_BYTES, ProtocolError,
+                                    parse_request_head, read_request,
+                                    render_response)
+
+
+def _read(data: bytes, *, limit: int | None = None, **kwargs):
+    """Feed raw bytes through read_request on a detached StreamReader."""
+    async def go():
+        reader = (asyncio.StreamReader(limit=limit) if limit
+                  else asyncio.StreamReader())
+        reader.feed_data(data)
+        reader.feed_eof()
+        return await read_request(reader, **kwargs)
+    return asyncio.run(go())
+
+
+class TestParseHead:
+    def test_request_line_and_headers(self):
+        request = parse_request_head(
+            b"POST /v1/simulate HTTP/1.1\r\n"
+            b"Content-Type: application/json\r\n"
+            b"X-Repro-Tenant: acme\r\n")
+        assert request.method == "POST"
+        assert request.path == "/v1/simulate"
+        # Header names are case-insensitive (stored lowercased).
+        assert request.header("content-type") == "application/json"
+        assert request.header("X-REPRO-TENANT".lower()) == "acme"
+
+    def test_malformed_request_line(self):
+        with pytest.raises(ProtocolError) as exc:
+            parse_request_head(b"BROKEN\r\n")
+        assert exc.value.status == 400
+
+    def test_wrong_protocol_version(self):
+        with pytest.raises(ProtocolError) as exc:
+            parse_request_head(b"GET / SPDY/3\r\n")
+        assert exc.value.status == 400
+
+    def test_malformed_header_line(self):
+        with pytest.raises(ProtocolError) as exc:
+            parse_request_head(b"GET / HTTP/1.1\r\nno-colon-here\r\n")
+        assert exc.value.status == 400
+
+
+class TestReadRequest:
+    def test_clean_eof_is_none(self):
+        # A keep-alive peer closing between requests is not an error.
+        assert _read(b"") is None
+
+    def test_body_framed_by_content_length(self):
+        body = json.dumps({"driver": "module tb; endmodule"}).encode()
+        request = _read(
+            b"POST /v1/simulate HTTP/1.1\r\n"
+            b"Content-Length: %d\r\n\r\n%s" % (len(body), body))
+        assert request.body == body
+        assert request.json()["driver"].startswith("module")
+
+    def test_eof_mid_request_is_400(self):
+        with pytest.raises(ProtocolError) as exc:
+            _read(b"POST /v1/simulate HTTP/1.1\r\nContent-")
+        assert exc.value.status == 400
+
+    def test_eof_mid_body_is_400(self):
+        with pytest.raises(ProtocolError) as exc:
+            _read(b"POST /x HTTP/1.1\r\nContent-Length: 100\r\n\r\nshort")
+        assert exc.value.status == 400
+
+    def test_transfer_encoding_rejected(self):
+        with pytest.raises(ProtocolError) as exc:
+            _read(b"POST /x HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n")
+        assert exc.value.status == 400
+
+    def test_oversized_body_is_413(self):
+        with pytest.raises(ProtocolError) as exc:
+            _read(b"POST /x HTTP/1.1\r\nContent-Length: 64\r\n\r\n"
+                  + b"x" * 64, max_body=16)
+        assert exc.value.status == 413
+
+    def test_oversized_head_is_400(self):
+        head = b"GET /" + b"a" * 4096 + b" HTTP/1.1\r\n\r\n"
+        with pytest.raises(ProtocolError) as exc:
+            _read(head, limit=1024)
+        assert exc.value.status == 400
+        assert MAX_HEAD_BYTES >= 1024  # the advertised framing bound
+
+    def test_bad_json_body_is_400(self):
+        request = _read(b"POST /x HTTP/1.1\r\nContent-Length: 9\r\n\r\n"
+                        b"{not json")
+        with pytest.raises(ProtocolError) as exc:
+            request.json()
+        assert exc.value.status == 400
+
+    def test_non_object_json_body_is_400(self):
+        request = _read(b"POST /x HTTP/1.1\r\nContent-Length: 6\r\n\r\n"
+                        b"[1, 2]")
+        with pytest.raises(ProtocolError) as exc:
+            request.json()
+        assert exc.value.status == 400
+
+
+class TestRenderResponse:
+    def test_status_line_headers_and_body(self):
+        raw = render_response(200, b'{"ok":true}')
+        head, _, body = raw.partition(b"\r\n\r\n")
+        assert head.startswith(b"HTTP/1.1 200 OK\r\n")
+        assert b"Content-Length: 11" in head
+        assert b"Content-Type: application/json" in head
+        assert b"Connection: keep-alive" in head
+        assert body == b'{"ok":true}'
+
+    def test_close_and_extra_headers(self):
+        raw = render_response(429, b"{}", close=True,
+                              extra_headers={"Retry-After": "3"})
+        assert b"HTTP/1.1 429 Too Many Requests\r\n" in raw
+        assert b"Connection: close" in raw
+        assert b"Retry-After: 3" in raw
+
+
+class TestServiceConfig:
+    def test_env_overrides_and_fallback(self):
+        config = service_config_from_env({
+            "REPRO_SERVICE_PORT": "9001",
+            "REPRO_SERVICE_QUEUE_LIMIT": "not-a-number",  # warn + default
+            "REPRO_SERVICE_BATCH_WINDOW_MS": "7.5",
+        })
+        assert config.port == 9001
+        assert config.queue_limit == ServiceConfig().queue_limit
+        assert config.batch_window_ms == 7.5
+
+    def test_evolve_and_validation(self):
+        config = ServiceConfig().evolve(workers=2)
+        assert config.workers == 2
+        with pytest.raises(ValueError):
+            ServiceConfig(port=70000)
+        with pytest.raises(ValueError):
+            ServiceConfig(queue_limit=0)
+        with pytest.raises(ValueError):
+            ServiceConfig(batch_window_ms=-1)

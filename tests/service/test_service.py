@@ -1,0 +1,388 @@
+"""End-to-end service tests over real sockets.
+
+Every documented endpoint, error code and operational behaviour from
+docs/service.md is exercised here: the happy paths, the 4xx surface,
+queue-full backpressure (429 + Retry-After), pool break-and-heal
+without request loss, drain-on-shutdown, and per-tenant cache
+isolation.
+"""
+
+import http.client
+import json
+import os
+import signal
+import threading
+import time
+from contextlib import contextmanager
+
+import pytest
+
+from repro.codegen import render_driver
+from repro.core.simulation import (_pair_templates,
+                                   clear_simulation_caches, get_sim_pool,
+                                   run_driver_batch, shutdown_sim_pool,
+                                   sim_pool_info)
+from repro.hdl import current_context
+from repro.problems import get_task
+from repro.service import ServiceConfig, ServiceThread
+
+PASSING_TB = """
+module tb;
+    initial begin
+        $display("ALL_TESTS_PASSED");
+        $finish;
+    end
+endmodule
+"""
+
+
+def _fixture():
+    task = get_task("cmb_eq4")
+    driver = render_driver(task, task.canonical_scenarios())
+    return driver, task.golden_rtl()
+
+
+@contextmanager
+def running_service(context=None, **config_kwargs):
+    config_kwargs.setdefault("port", 0)
+    service = ServiceThread(ServiceConfig(**config_kwargs), context)
+    service.start()
+    try:
+        yield service
+    finally:
+        service.stop()
+
+
+def _request(service, method, path, body=None, headers=None):
+    connection = http.client.HTTPConnection("127.0.0.1", service.port,
+                                            timeout=60)
+    try:
+        payload = json.dumps(body) if isinstance(body, dict) else body
+        connection.request(method, path, body=payload,
+                           headers=headers or {})
+        response = connection.getresponse()
+        raw = response.read()
+        data = json.loads(raw) if raw else None
+        return response.status, data, dict(response.getheaders())
+    finally:
+        connection.close()
+
+
+class TestEndpoints:
+    def test_healthz(self):
+        with running_service() as service:
+            status, data, _ = _request(service, "GET", "/v1/healthz")
+        assert (status, data) == (200, {"status": "ok"})
+
+    def test_simulate_hybrid_round_trip(self):
+        driver, dut = _fixture()
+        with running_service() as service:
+            status, data, _ = _request(
+                service, "POST", "/v1/simulate",
+                {"driver": driver, "dut": dut})
+        assert status == 200
+        assert data["status"] == "ok"
+        assert data["records"], "hybrid sweep must return check-points"
+        assert {"scenario", "values"} <= set(data["records"][0])
+
+    def test_simulate_monolithic_round_trip(self):
+        _, dut = _fixture()
+        with running_service() as service:
+            status, data, _ = _request(
+                service, "POST", "/v1/simulate",
+                {"driver": PASSING_TB, "dut": dut, "kind": "monolithic"})
+        assert status == 200
+        assert data["status"] == "ok"
+        assert data["verdict"] is True
+
+    def test_generate_round_trip(self):
+        with running_service() as service:
+            status, data, _ = _request(
+                service, "POST", "/v1/generate",
+                {"task": "cmb_and2", "method": "baseline"})
+        assert status == 200
+        assert data["task"] == "cmb_and2"
+        assert data["method"] == "baseline"
+        assert {"validated", "corrections", "usage"} <= set(data)
+
+    def test_status_telemetry_shape(self):
+        driver, dut = _fixture()
+        with running_service() as service:
+            _request(service, "POST", "/v1/simulate",
+                     {"driver": driver, "dut": dut})
+            status, data, _ = _request(service, "GET", "/v1/status")
+        assert status == 200
+        assert data["service"]["requests_total"] >= 1
+        assert data["service"]["queue"]["limit"] \
+            == ServiceConfig().queue_limit
+        assert {"batches", "jobs", "sizes"} <= set(data["batcher"])
+        # The sim_pool block carries the PR-8 load fields.
+        assert {"queue_depth", "in_flight"} <= set(data["sim_pool"])
+        assert "pair" in data["caches"]
+
+    def test_context_headers_reach_the_simulation(self):
+        driver, dut = _fixture()
+        with running_service() as service:
+            status, data, _ = _request(
+                service, "POST", "/v1/simulate",
+                {"driver": driver, "dut": dut},
+                headers={"X-Repro-Engine": "interpret",
+                         "X-Repro-Max-Time": "200000"})
+            body_override = _request(
+                service, "POST", "/v1/simulate",
+                {"driver": driver, "dut": dut,
+                 "context": {"engine": "compiled"}})
+        assert status == 200 and data["status"] == "ok"
+        assert body_override[0] == 200
+        # Identical sweeps agree across engines.
+        assert [record["values"] for record in data["records"]] \
+            == [record["values"] for record in body_override[1]["records"]]
+
+
+class TestErrorSurface:
+    def test_unknown_endpoint_404(self):
+        with running_service() as service:
+            status, data, _ = _request(service, "GET", "/v1/nope")
+        assert status == 404
+        assert data["error"]["code"] == "not-found"
+
+    def test_wrong_method_405_with_allow(self):
+        with running_service() as service:
+            status, data, headers = _request(service, "DELETE",
+                                             "/v1/simulate")
+        assert status == 405
+        assert headers["Allow"] == "POST"
+
+    def test_bad_json_400(self):
+        with running_service() as service:
+            status, data, _ = _request(service, "POST", "/v1/simulate",
+                                       "{not json")
+        assert status == 400
+        assert data["error"]["code"] == "protocol-error"
+
+    def test_missing_driver_400(self):
+        with running_service() as service:
+            status, data, _ = _request(service, "POST", "/v1/simulate",
+                                       {"dut": "module m; endmodule"})
+        assert status == 400
+        assert data["error"]["code"] == "bad-request"
+        assert "driver" in data["error"]["detail"]
+
+    def test_unknown_context_field_400(self):
+        driver, dut = _fixture()
+        with running_service() as service:
+            status, data, _ = _request(
+                service, "POST", "/v1/simulate",
+                {"driver": driver, "dut": dut, "context": {"jobs": 4}})
+        assert status == 400
+        assert data["error"]["code"] == "bad-context"
+        assert "jobs" in data["error"]["detail"]
+
+    def test_bad_engine_value_400(self):
+        driver, dut = _fixture()
+        with running_service() as service:
+            status, data, _ = _request(
+                service, "POST", "/v1/simulate",
+                {"driver": driver, "dut": dut,
+                 "context": {"engine": "quantum"}})
+        assert status == 400
+        assert data["error"]["code"] == "bad-context"
+
+    def test_bad_kind_400(self):
+        driver, dut = _fixture()
+        with running_service() as service:
+            status, data, _ = _request(
+                service, "POST", "/v1/simulate",
+                {"driver": driver, "dut": dut, "kind": "sideways"})
+        assert status == 400
+
+    def test_generate_validation_400s(self):
+        with running_service() as service:
+            for body in ({"task": "no_such_task"},
+                         {"task": "cmb_and2", "method": "no_such"},
+                         {"task": "cmb_and2", "seed": "zero"},
+                         {"task": "cmb_and2", "model": "no_such_model"},
+                         {"task": "cmb_and2", "criterion": "no_such"}):
+                status, data, _ = _request(service, "POST",
+                                           "/v1/generate", body)
+                assert status == 400, body
+                assert data["error"]["code"] == "bad-request"
+
+    def test_oversized_body_413(self):
+        with running_service(max_body=512) as service:
+            status, data, _ = _request(
+                service, "POST", "/v1/simulate",
+                {"driver": "x" * 2048, "dut": "m"})
+        assert status == 413
+
+
+class TestBackpressure:
+    def test_queue_full_429_with_retry_after(self):
+        """With queue_limit=1 and a long batch window, the first
+        request parks admitted; the second must be rejected with 429 +
+        Retry-After — and the first must still complete."""
+        driver, dut = _fixture()
+        results = {}
+
+        with running_service(queue_limit=1, batch_window_ms=60_000,
+                             drain_timeout=60) as service:
+            def first():
+                results["first"] = _request(
+                    service, "POST", "/v1/simulate",
+                    {"driver": driver, "dut": dut})
+
+            worker = threading.Thread(target=first)
+            worker.start()
+            deadline = time.monotonic() + 10
+            while time.monotonic() < deadline:
+                status, data, _ = _request(service, "GET", "/v1/status")
+                if data["service"]["queue"]["admitted"] == 1:
+                    break
+                time.sleep(0.01)
+            else:  # pragma: no cover - diagnostic
+                pytest.fail("first request never parked in the window")
+
+            status, data, headers = _request(
+                service, "POST", "/v1/simulate",
+                {"driver": driver, "dut": dut})
+            assert status == 429
+            assert data["error"]["code"] == "queue-full"
+            assert int(headers["Retry-After"]) >= 1
+            # Drain (service.stop in the context exit) flushes the
+            # parked window; the admitted request is never dropped.
+        worker.join(timeout=60)
+        assert results["first"][0] == 200
+        assert results["first"][1]["status"] == "ok"
+
+    def test_shutdown_drains_in_flight_work(self):
+        driver, dut = _fixture()
+        results = {}
+        with running_service(batch_window_ms=500) as service:
+            def park():
+                results["parked"] = _request(
+                    service, "POST", "/v1/simulate",
+                    {"driver": driver, "dut": dut})
+
+            worker = threading.Thread(target=park)
+            worker.start()
+            time.sleep(0.1)  # request sits in the open batch window
+            # Context exit -> stop(drain=True): flush + wait.
+        worker.join(timeout=60)
+        assert results["parked"][0] == 200
+        assert results["parked"][1]["status"] == "ok"
+
+
+class TestPoolHealing:
+    def test_worker_crash_heals_without_request_loss(self):
+        """Kill a sim-pool worker, then serve a coalesced batch that
+        fans out to the pool: the batch API heals the pool and every
+        request is answered."""
+        driver, dut = _fixture()
+        variant = dut.replace("endmodule", "\n// variant\nendmodule")
+        shutdown_sim_pool()
+        get_sim_pool(2)
+        # Workers spawn lazily; run one warm-up batch so there is a
+        # live worker to kill.
+        run_driver_batch(driver, [dut, variant], jobs=2)
+        victim = sim_pool_info()["pids"][0]
+        os.kill(victim, signal.SIGKILL)
+
+        context = current_context().evolve(jobs=2)
+        results = []
+        with running_service(context=context,
+                             batch_window_ms=500) as service:
+            def post(body):
+                results.append(_request(service, "POST", "/v1/simulate",
+                                        body))
+
+            workers = [
+                threading.Thread(target=post, args=(
+                    {"driver": driver, "dut": target},))
+                for target in (dut, variant)]
+            for worker in workers:
+                worker.start()
+            for worker in workers:
+                worker.join(timeout=120)
+
+        assert len(results) == 2
+        for status, data, _ in results:
+            assert status == 200
+            assert data["status"] == "ok"
+        assert sim_pool_info()["alive"]
+        shutdown_sim_pool()
+
+
+class TestTenantIsolation:
+    def test_tenants_get_disjoint_cache_scopes(self):
+        driver, dut = _fixture()
+        clear_simulation_caches()
+        with running_service() as service:
+            for tenant in ("alpha", "beta"):
+                status, data, _ = _request(
+                    service, "POST", "/v1/simulate",
+                    {"driver": driver, "dut": dut, "tenant": tenant})
+                assert status == 200 and data["status"] == "ok"
+            anonymous = _request(service, "POST", "/v1/simulate",
+                                 {"driver": driver, "dut": dut})
+            header_tenant = _request(
+                service, "POST", "/v1/simulate",
+                {"driver": driver, "dut": dut},
+                headers={"X-Repro-Tenant": "gamma"})
+        assert anonymous[0] == 200 and header_tenant[0] == 200
+
+        scopes = {scope for scope, _ in _pair_templates.export_keys()}
+        assert {"tenant/alpha", "tenant/beta", "tenant/gamma"} <= scopes
+        assert None in scopes  # anonymous requests share the base scope
+        clear_simulation_caches()
+
+
+class TestBatchingCorrectness:
+    def test_coalesced_results_match_serial(self):
+        driver, dut = _fixture()
+        variants = [dut] + [
+            dut.replace("endmodule", f"\n// v{index}\nendmodule")
+            for index in range(3)]
+
+        with running_service(batch_max=1) as service:  # serial
+            serial = [
+                _request(service, "POST", "/v1/simulate",
+                         {"driver": driver, "dut": variant})
+                for variant in variants]
+
+        batched = [None] * len(variants)
+        with running_service(batch_window_ms=200) as service:
+            def post(index):
+                batched[index] = _request(
+                    service, "POST", "/v1/simulate",
+                    {"driver": driver, "dut": variants[index]})
+
+            workers = [threading.Thread(target=post, args=(index,))
+                       for index in range(len(variants))]
+            for worker in workers:
+                worker.start()
+            for worker in workers:
+                worker.join(timeout=120)
+            _, telemetry, _ = _request(service, "GET", "/v1/status")
+
+        for serial_result, batched_result in zip(serial, batched):
+            assert serial_result[0] == batched_result[0] == 200
+            assert serial_result[1]["records"] \
+                == batched_result[1]["records"]
+        # At least one multi-job batch actually formed.
+        assert telemetry["batcher"]["max_batch"] >= 2
+
+
+class TestCliStatus:
+    def test_serve_status_prints_telemetry(self, capsys):
+        from repro.cli import main
+        with running_service() as service:
+            code = main(["serve", "--status", "--port",
+                         str(service.port)])
+        assert code == 0
+        printed = json.loads(capsys.readouterr().out)
+        assert "service" in printed and "sim_pool" in printed
+
+    def test_serve_status_unreachable_fails(self, capsys):
+        from repro.cli import main
+        code = main(["serve", "--status", "--port", "1"])
+        assert code == 1

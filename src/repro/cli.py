@@ -34,21 +34,34 @@ from .eval import (default_config, evaluate, registered_methods,
                    render_recovery_report, render_table1, render_table3,
                    render_usage_summary, run_campaign, run_one)
 from .hdl.context import (ENGINES, LEXERS, START_METHODS, current_context,
-                          use_context)
-from .llm import MeteredClient, UsageMeter, get_profile
-from .llm.synthetic import SyntheticLLM
+                          use_context, valid_llm_backend)
+from .llm import MeteredClient, UsageMeter
 from .problems import load_dataset, get_task
 
 
-def _client(model: str, seed: int) -> MeteredClient:
-    return MeteredClient(SyntheticLLM(get_profile(model), seed=seed),
-                         UsageMeter())
+def _client(model: str, seed: int, context=None,
+            task_id: str = "") -> MeteredClient:
+    """A metered client honoring the context's ``llm_backend`` (the
+    synthetic tier when none is selected)."""
+    from .llm.backends import resolve_llm_client
+
+    inner = resolve_llm_client(model, seed, context=context,
+                               task_id=task_id)
+    return MeteredClient(inner, UsageMeter())
+
+
+def _backend_spec(value: str) -> str:
+    if not valid_llm_backend(value):
+        raise argparse.ArgumentTypeError(
+            f"{value!r} is not a backend spec (synthetic, ollama, "
+            f"openai, hf, fixture, or fixture+<name>)")
+    return value
 
 
 def _context(args):
     """The SimContext for this invocation: the ambient context evolved
     with whatever ``--engine`` / ``--lexer`` / ``--start-method`` /
-    ``--warm-start`` selected."""
+    ``--warm-start`` / ``--backend`` selected."""
     overrides = {}
     if getattr(args, "engine", None):
         overrides["engine"] = args.engine
@@ -60,6 +73,15 @@ def _context(args):
         overrides["warm_start"] = args.warm_start
     if getattr(args, "trace_dir", None):
         overrides["trace_dir"] = args.trace_dir
+    if getattr(args, "backend", None):
+        overrides["llm_backend"] = args.backend
+        # With a live backend, --model is the model id sent on the wire
+        # (for the synthetic tier it stays the profile name).
+        overrides["llm_model"] = args.model
+    if getattr(args, "base_url", None):
+        overrides["llm_base_url"] = args.base_url
+    if getattr(args, "fixture_dir", None):
+        overrides["llm_fixture_dir"] = args.fixture_dir
     return current_context().evolve(**overrides)
 
 
@@ -103,7 +125,7 @@ def cmd_run(args) -> int:
 def cmd_validate(args) -> int:
     with use_context(_context(args)):
         task = get_task(args.task)
-        client = _client(args.model, args.seed)
+        client = _client(args.model, args.seed, task_id=args.task)
         testbench = AutoBenchGenerator(client, task).generate()
         validator = ScenarioValidator(client, task,
                                       CRITERIA[args.criterion])
@@ -158,11 +180,16 @@ def cmd_trace_record(args) -> int:
         return 2
     with use_context(context):
         task = get_task(args.task)
-        client = _client(args.model, args.seed)
+        client = _client(args.model, args.seed, task_id=args.task)
         sink = JsonlTraceSink(args.out) if args.out else None
         workflow = CorrectBenchWorkflow(
             client, task, CRITERIA[args.criterion], trace_sink=sink)
-        result = workflow.run()
+        try:
+            result = workflow.run()
+        finally:
+            close = getattr(client.inner, "close", None)
+            if close is not None:  # flush a fixture recording's sink
+                close()
     print(f"recorded {task.task_id}: validated={result.validated} "
           f"corrections={result.corrections} reboots={result.reboots}")
     print(f"trace written under {args.out or context.trace_dir}")
@@ -175,7 +202,8 @@ def cmd_trace_replay(args) -> int:
     trace = load_trace(args.trace)
     handoff = None
     if args.rounds is not None:
-        handoff = _client(args.model, args.seed)
+        handoff = _client(args.model, args.seed,
+                          context=_context(args))
     with use_context(_context(args)):
         outcome = replay_workflow(trace, strict=not args.lenient,
                                   rounds=args.rounds, handoff=handoff)
@@ -316,6 +344,21 @@ def build_parser() -> argparse.ArgumentParser:
     common.add_argument("--trace-dir", default=None, dest="trace_dir",
                         help="record correction traces (JSONL) into this "
                              "directory (default: REPRO_TRACE_DIR / off)")
+    common.add_argument("--backend", type=_backend_spec, default=None,
+                        help="LLM backend spec: synthetic (default), "
+                             "ollama, openai, hf, fixture, or "
+                             "fixture+<name> to record through a backend "
+                             "(default: REPRO_LLM_BACKEND / synthetic); "
+                             "with a live backend --model is the model "
+                             "id sent on the wire")
+    common.add_argument("--base-url", default=None, dest="base_url",
+                        help="live backend endpoint override "
+                             "(default: REPRO_LLM_BASE_URL / the "
+                             "adapter's default)")
+    common.add_argument("--fixture-dir", default=None, dest="fixture_dir",
+                        help="directory fixture backends record to / "
+                             "replay from "
+                             "(default: REPRO_LLM_FIXTURE_DIR)")
 
     p_run = sub.add_parser("run", parents=[common],
                            help="run one method on one task")

@@ -32,9 +32,8 @@ from ..core.validator import CRITERIA, DEFAULT_CRITERION
 from ..hdl.context import (SimContext, current_context, resolve_jobs,
                            use_context)
 from ..hdl.errors import HdlError
+from ..llm.backends import is_live_backend, iter_fan_out, resolve_llm_client
 from ..llm.base import MeteredClient, UsageMeter
-from ..llm.profiles import get_profile
-from ..llm.synthetic import SyntheticLLM
 from ..problems.dataset import get_task, load_dataset
 from .golden import golden_artifacts
 # The method registry (and TaskRun, which runners return) lives in
@@ -114,6 +113,12 @@ def run_one(method: str, task_id: str, seed: int,
     context) via :func:`use_context`, so the configuration applies in
     whichever process runs it and is restored afterwards — serial
     campaigns cannot leak an engine choice into later work.
+
+    The model client resolves through
+    :func:`repro.llm.backends.resolve_llm_client`: the context's
+    ``llm_backend`` selects the synthetic tier (the default), a live
+    adapter stack, or fixture record/replay — campaigns, the CLI, and
+    the service all inherit the choice through this one point.
     """
     runner = get_method(method)
     if context is None:
@@ -125,15 +130,21 @@ def run_one(method: str, task_id: str, seed: int,
     # (see repro.core.caches.ScopedLruCache).
     with use_context(context), use_task_scope(task_id):
         task = get_task(task_id)
-        profile = get_profile(profile_name)
         criterion = CRITERIA[criterion_name]
         meter = UsageMeter()
-        client = MeteredClient(SyntheticLLM(profile, seed=seed), meter)
+        inner = resolve_llm_client(profile_name, seed, context=context,
+                                   task_id=task_id, method=method)
+        client = MeteredClient(inner, meter)
         call = MethodCall(method=method, task=task, seed=seed,
                           client=client, meter=meter,
                           golden=golden_artifacts(task_id),
                           criterion=criterion, group_size=group_size)
-        return runner(call)
+        try:
+            return runner(call)
+        finally:
+            close = getattr(inner, "close", None)
+            if close is not None:  # flush a fixture recording's sink
+                close()
 
 
 def _worker(item: tuple) -> TaskRun:
@@ -247,7 +258,18 @@ def run_campaign(config: CampaignConfig, progress=None) -> CampaignResult:
     result = CampaignResult(config)
     reporter = _ProgressReporter(progress, len(items))
     n_jobs = config.n_jobs or 1
-    if n_jobs > 1:
+    if n_jobs > 1 and is_live_backend(context.llm_backend):
+        # Live-backend items are I/O-bound (the process waits on
+        # sockets, not simulations) and their clients hold locks and
+        # connections that cannot cross a process boundary: fan out on
+        # threads instead of the sim pool.  Wire concurrency stays
+        # bounded by the backends' global in-flight cap regardless of
+        # n_jobs.
+        for index, run in enumerate(
+                iter_fan_out(_worker, items, max_workers=n_jobs)):
+            result.runs.append(run)
+            reporter.report(index + 1, run, attempt=0)
+    elif n_jobs > 1:
         # Pre-warm the parent's caches from the task list, so the pool
         # created below ships (spawn) or forks (fork) warm state to its
         # workers instead of every worker rebuilding the same golden

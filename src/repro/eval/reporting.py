@@ -117,11 +117,37 @@ def render_fig6b(rows: Mapping[str, Mapping[str, float]]) -> str:
     return "\n".join(lines)
 
 
+def campaign_provenance(result: CampaignResult) -> str:
+    """Where a campaign's model responses came from.
+
+    Derived from the resolved context's ``llm_backend``: the synthetic
+    profiles (the deterministic default), recorded fixtures, or a live
+    backend — so recorded and simulated numbers are never conflated in
+    a report.
+    """
+    spec = result.config.resolved_context().llm_backend
+    if spec in ("", "synthetic"):
+        return "synthetic profiles"
+    if spec == "fixture":
+        return "recorded fixtures"
+    if spec.startswith("fixture+"):
+        inner = spec.partition("+")[2]
+        if inner == "synthetic":
+            return "recorded fixtures (recording synthetic)"
+        return f"recorded fixtures (recording via {inner})"
+    return f"live backend: {spec}"
+
+
 def render_fig7(results_by_model: Mapping[str, CampaignResult]) -> str:
-    """Fig. 7: stacked Eval2/Eval1/Eval0/Failed bands per model/method."""
+    """Fig. 7: stacked Eval2/Eval1/Eval0/Failed bands per model/method.
+
+    Each model row is labelled with its provenance
+    (:func:`campaign_provenance`), so a figure mixing synthetic,
+    fixture-replayed, and live campaigns reads unambiguously.
+    """
     lines = ["FIG. 7 — PERFORMANCE OF CORRECTBENCH ON DIFFERENT LLMS", ""]
     for model_name, result in results_by_model.items():
-        lines.append(model_name)
+        lines.append(f"{model_name}  [{campaign_provenance(result)}]")
         for method in ALL_METHODS:
             bands = level_breakdown(result, method)
             bar = _stacked_bar(bands)

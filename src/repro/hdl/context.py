@@ -71,6 +71,32 @@ MUTANT_ENGINES = (MUTANT_LOCKSTEP, MUTANT_PER_MUTANT)
 START_METHOD_DEFAULT = "default"
 START_METHODS = (START_METHOD_DEFAULT, "fork", "spawn", "forkserver")
 
+#: LLM backend specs (see :mod:`repro.llm.backends.registry`).  The
+#: grammar is validated here — where contexts are built — so the llm
+#: package never imports back into this module: a plain name, or the
+#: compound record-through form ``fixture+<adapter-or-synthetic>``.
+LLM_SYNTHETIC = "synthetic"
+LLM_ADAPTERS = ("ollama", "openai", "hf")
+LLM_FIXTURE = "fixture"
+LLM_BACKENDS = (LLM_SYNTHETIC,) + LLM_ADAPTERS + (LLM_FIXTURE,)
+
+
+def valid_llm_backend(spec: str) -> bool:
+    """Is ``spec`` a well-formed ``llm_backend`` value?
+
+    >>> [valid_llm_backend(s) for s in
+    ...  ("", "synthetic", "ollama", "fixture+hf", "fixture+fixture")]
+    [True, True, True, True, False]
+    """
+    if spec == "":
+        return True
+    head, sep, tail = spec.partition("+")
+    if not sep:
+        return head in LLM_BACKENDS
+    return head == LLM_FIXTURE and \
+        tail in (LLM_SYNTHETIC,) + LLM_ADAPTERS
+
+
 DEFAULT_MAX_TIME = 2_000_000
 DEFAULT_MAX_STMTS = 4_000_000
 DEFAULT_JOBS = 1
@@ -127,6 +153,18 @@ class SimContext:
     #: recording off).  A plain string so the context stays picklable and
     #: pool workers resolve the same sink their parent configured.
     trace_dir: str = ""
+    #: Which model tier answers LLM requests ("" = the synthetic
+    #: profiles, the deterministic default).  A spec string — see
+    #: :func:`valid_llm_backend` — resolved by
+    #: :func:`repro.llm.backends.registry.resolve_llm_client`.
+    llm_backend: str = ""
+    #: Live model identifier sent to the backend ("" = the campaign's
+    #: profile name doubles as the model id).
+    llm_model: str = ""
+    #: Endpoint base URL override ("" = the adapter's default).
+    llm_base_url: str = ""
+    #: Directory the fixture modes record to / replay from.
+    llm_fixture_dir: str = ""
 
     def __post_init__(self):
         if self.engine not in ENGINES:
@@ -159,6 +197,17 @@ class SimContext:
             raise ValueError(f"trace_dir must be a string path "
                              f"('' disables tracing), "
                              f"got {self.trace_dir!r}")
+        if not isinstance(self.llm_backend, str) or \
+                not valid_llm_backend(self.llm_backend):
+            raise ValueError(
+                f"unknown llm_backend {self.llm_backend!r}; expected "
+                f"one of {LLM_BACKENDS}, or fixture+<name> to record "
+                f"through a backend ('' = synthetic)")
+        for name in ("llm_model", "llm_base_url", "llm_fixture_dir"):
+            value = getattr(self, name)
+            if not isinstance(value, str):
+                raise ValueError(f"{name} must be a string, "
+                                 f"got {value!r}")
 
     def evolve(self, **overrides) -> "SimContext":
         """Return a copy with ``overrides`` applied (and re-validated).
@@ -258,6 +307,25 @@ def _context_from_env(environ=None) -> tuple[SimContext, frozenset]:
     if trace_dir is not None:
         overrides["trace_dir"] = trace_dir
         seeded.add("trace_dir")
+
+    llm_backend = environ.get("REPRO_LLM_BACKEND")
+    if llm_backend is not None:
+        if valid_llm_backend(llm_backend):
+            overrides["llm_backend"] = llm_backend
+            seeded.add("llm_backend")
+        else:
+            _warn_env(f"REPRO_LLM_BACKEND={llm_backend!r} is not one of "
+                      f"{LLM_BACKENDS} (or fixture+<name>); using the "
+                      f"synthetic tier")
+
+    for env_name, field_name in (
+            ("REPRO_LLM_MODEL", "llm_model"),
+            ("REPRO_LLM_BASE_URL", "llm_base_url"),
+            ("REPRO_LLM_FIXTURE_DIR", "llm_fixture_dir")):
+        raw = environ.get(env_name)
+        if raw is not None:
+            overrides[field_name] = raw
+            seeded.add(field_name)
 
     for env_name, field_name in (
             ("REPRO_FUZZ_PROGRAMS", "fuzz_programs"),

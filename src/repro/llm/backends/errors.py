@@ -1,0 +1,82 @@
+"""Typed error taxonomy for live LLM backends.
+
+Every failure mode a wire-attached backend can hit maps to one subclass
+of :class:`BackendError`, so callers dispatch on *types* instead of
+parsing exception strings.  The split that matters operationally is
+``retryable``: the resilience wrapper
+(:class:`repro.llm.backends.resilience.ResilientBackend`) retries
+transient classes (timeouts, rate limits, 5xx, connection drops, and —
+because flaky proxies truncate bodies — malformed responses) under an
+exponential-backoff budget, and converts a spent budget into
+:class:`BudgetExhausted`, which is terminal by construction.
+"""
+
+from __future__ import annotations
+
+
+class BackendError(RuntimeError):
+    """Base class for live-backend failures.
+
+    ``backend`` names the adapter that raised (telemetry / messages);
+    ``status`` carries the HTTP status when one was received.
+    """
+
+    retryable = False
+
+    def __init__(self, message: str, *, backend: str = "",
+                 status: int | None = None):
+        super().__init__(message)
+        self.backend = backend
+        self.status = status
+
+
+class BackendTimeout(BackendError):
+    """The request (or the propagated deadline) ran out of time."""
+
+    retryable = True
+
+
+class BackendConnectionError(BackendError):
+    """The endpoint could not be reached (DNS, refused, reset)."""
+
+    retryable = True
+
+
+class BackendRateLimited(BackendError):
+    """The endpoint answered 429.  ``retry_after`` carries the server's
+    requested delay in seconds when the response named one."""
+
+    retryable = True
+
+    def __init__(self, message: str, *, retry_after: float | None = None,
+                 **kwargs):
+        super().__init__(message, **kwargs)
+        self.retry_after = retry_after
+
+
+class BackendServerError(BackendError):
+    """The endpoint answered 5xx."""
+
+    retryable = True
+
+
+class BackendRequestError(BackendError):
+    """The endpoint rejected the request (4xx other than 429) — a bad
+    model name or API key; retrying the same request cannot help."""
+
+    retryable = False
+
+
+class MalformedResponseError(BackendError):
+    """The endpoint answered 200 with a body this adapter cannot parse
+    (truncated JSON, missing fields).  Retryable: real proxies truncate
+    transiently, and one garbage completion must not kill a campaign."""
+
+    retryable = True
+
+
+class BudgetExhausted(BackendError):
+    """A retry or rate-limit budget was spent without a success.  The
+    ``__cause__`` chain preserves the last underlying failure."""
+
+    retryable = False

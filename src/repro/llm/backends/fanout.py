@@ -1,0 +1,79 @@
+"""Thread-based concurrent fan-out for live-backend work items.
+
+Campaign items against a live endpoint are I/O-bound — the process
+spends its time waiting on sockets, not simulating — so threads (which
+share the parent's caches and need no pickling) are the right executor,
+where the synthetic tier uses the process pool.  Actual wire
+concurrency stays bounded by the global in-flight cap
+(:data:`repro.llm.backends.resilience.GLOBAL_IN_FLIGHT`), which every
+:class:`~repro.llm.backends.resilience.ResilientBackend` holds during a
+request: ``fan_out`` may run 32 items, but only the cap's worth of
+requests are ever on the wire.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+from typing import Callable, Iterator, Sequence, TypeVar
+
+Item = TypeVar("Item")
+Result = TypeVar("Result")
+
+
+def fan_out(fn: Callable[[Item], Result], items: Sequence[Item], *,
+            max_workers: int | None = None,
+            return_exceptions: bool = False) -> list:
+    """Apply ``fn`` to every item on a thread pool; results in order.
+
+    With ``return_exceptions`` an item's exception becomes its result
+    slot (mirroring ``asyncio.gather``); otherwise the first failure
+    propagates after all submitted work finishes.
+    """
+    items = list(items)
+    if not items:
+        return []
+    workers = max_workers if max_workers is not None else len(items)
+    workers = max(1, min(workers, len(items)))
+    if workers == 1:
+        results = []
+        for item in items:
+            try:
+                results.append(fn(item))
+            except Exception as exc:
+                if not return_exceptions:
+                    raise
+                results.append(exc)
+        return results
+    with ThreadPoolExecutor(max_workers=workers,
+                            thread_name_prefix="repro-llm") as pool:
+        futures = [pool.submit(fn, item) for item in items]
+        results = []
+        for future in futures:
+            try:
+                results.append(future.result())
+            except Exception as exc:
+                if not return_exceptions:
+                    raise
+                results.append(exc)
+    return results
+
+
+def iter_fan_out(fn: Callable[[Item], Result], items: Sequence[Item], *,
+                 max_workers: int | None = None) -> Iterator[Result]:
+    """Like :func:`fan_out` but yields results as an in-order stream
+    (progress callbacks observe completions without waiting for the
+    whole batch)."""
+    items = list(items)
+    if not items:
+        return
+    workers = max_workers if max_workers is not None else len(items)
+    workers = max(1, min(workers, len(items)))
+    if workers == 1:
+        for item in items:
+            yield fn(item)
+        return
+    with ThreadPoolExecutor(max_workers=workers,
+                            thread_name_prefix="repro-llm") as pool:
+        futures = [pool.submit(fn, item) for item in items]
+        for future in futures:
+            yield future.result()

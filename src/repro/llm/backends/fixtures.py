@@ -1,0 +1,184 @@
+"""Recorded-fixture mode: capture live exchanges, replay them offline.
+
+``FixtureBackend.record(inner, path)`` wraps any client and writes each
+exchange to the PR-6 JSONL trace format (:mod:`repro.core.trace`) as it
+happens — a minimal ``session`` header plus one ``exchange`` event per
+request, in the exact field shape
+:meth:`~repro.core.trace.TraceSession.record_exchange` emits, extended
+with a ``response_sha`` integrity fingerprint.  Because the shape is
+the trace shape, the whole trace toolchain applies: ``trace report``
+summarises a fixture, :func:`~repro.core.trace.load_trace` parses it,
+and :class:`~repro.llm.replay.ReplayClient` replays it.
+
+``FixtureBackend.replay(path)`` answers from such a file with no
+network at all: prompts are strict-matched by SHA-256 (drift raises
+:class:`~repro.llm.replay.ReplayMismatch`), responses and usage come
+back byte-identical to the recording, and every ``response_sha`` is
+verified at load time so a tampered fixture fails loudly
+(:class:`FixtureError`) instead of replaying corrupted artifacts.
+
+This is what keeps the live adapter code paths exercised in CI while
+CI stays deterministic: record once against a real endpoint (or a stub
+server), commit the fixture, and the replay drives the identical
+pipeline offline.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import time
+
+from ...core.trace import TRACE_VERSION, JsonlTraceSink, load_trace
+from ..base import ChatRequest, ChatResponse, LLMClient
+from ..replay import ReplayClient, prompt_sha
+from .errors import BackendError
+
+
+class FixtureError(BackendError):
+    """A fixture file is missing, unparsable, or failed its integrity
+    check."""
+
+    retryable = False
+
+
+def _sanitize(part: str) -> str:
+    """Path-safe form of a model / task identifier (``qwen2.5:7b`` ->
+    ``qwen2.5-7b``).  Edge dots are stripped too, so no stem ever
+    starts with ``.`` (hidden files, ``..`` components)."""
+    return re.sub(r"[^A-Za-z0-9._-]+", "-", part).strip("-.") or "_"
+
+
+class FixtureStore:
+    """Names fixture files under one directory.
+
+    The layout mirrors campaign identity: one file per
+    (task, method, model, seed) item, so a recorded campaign replays
+    item by item.
+    """
+
+    def __init__(self, directory: str):
+        if not directory:
+            raise ValueError("FixtureStore needs a directory")
+        self.directory = str(directory)
+
+    def path_for(self, task_id: str, model: str, seed: int,
+                 method: str = "") -> str:
+        stem = ".".join(
+            _sanitize(part) for part in
+            ([task_id, method] if method else [task_id])
+            + [model, str(seed)])
+        return os.path.join(self.directory, f"{stem}.fixture.jsonl")
+
+
+class FixtureBackend:
+    """Record live exchanges to a trace file, or replay one offline.
+
+    Conforms to :class:`~repro.llm.base.LLMClient`.  Build with the
+    :meth:`record` / :meth:`replay` classmethods, not the constructor.
+    """
+
+    def __init__(self, *, inner: LLMClient | None = None,
+                 sink: JsonlTraceSink | None = None,
+                 replayer: ReplayClient | None = None):
+        self._inner = inner
+        self._sink = sink
+        self._replayer = replayer
+        self._index = 0
+        self._header_written = False
+
+    # -- construction --------------------------------------------------
+    @classmethod
+    def record(cls, inner: LLMClient, path: str) -> "FixtureBackend":
+        """Wrap ``inner``, recording every exchange to ``path``."""
+        return cls(inner=inner, sink=JsonlTraceSink(path))
+
+    @classmethod
+    def replay(cls, path: str, *, strict: bool = True) -> "FixtureBackend":
+        """Answer from the fixture at ``path`` (no network)."""
+        try:
+            trace = load_trace(path)
+        except OSError as exc:
+            raise FixtureError(
+                f"fixture {path!r} cannot be read: {exc}",
+                backend="fixture") from None
+        except ValueError as exc:  # TraceFormatError is a ValueError
+            raise FixtureError(
+                f"fixture {path!r} does not parse as a trace: {exc}",
+                backend="fixture") from None
+        exchanges = trace.exchanges()
+        for entry in exchanges:
+            recorded_sha = entry.get("response_sha")
+            if recorded_sha is None:
+                continue  # plain PR-6 traces predate the fingerprint
+            actual = prompt_sha(entry.get("response", ""))
+            if actual != recorded_sha:
+                raise FixtureError(
+                    f"fixture {path!r} exchange {entry.get('index')}: "
+                    f"response does not match its recorded sha "
+                    f"(recorded {str(recorded_sha)[:12]}…, actual "
+                    f"{actual[:12]}…) — the fixture was modified; "
+                    f"re-record it", backend="fixture")
+        return cls(replayer=ReplayClient(exchanges, strict=strict))
+
+    # -- LLMClient surface ---------------------------------------------
+    @property
+    def name(self) -> str:
+        if self._replayer is not None:
+            return self._replayer.name
+        return self._inner.name
+
+    @property
+    def inner(self) -> LLMClient:
+        """The wrapped live client (record) or replayer (replay)."""
+        return self._inner if self._inner is not None else self._replayer
+
+    def introspect(self, artifact_text: str):
+        """Delegate fault-ledger lookups to the wrapped client (the
+        synthetic model exposes one; replays and live APIs do not)."""
+        hook = getattr(self._inner, "introspect", None)
+        if hook is None:
+            return None
+        return hook(artifact_text)
+
+    def complete(self, request: ChatRequest) -> ChatResponse:
+        if self._replayer is not None:
+            return self._replayer.complete(request)
+        started = time.perf_counter()
+        response = self._inner.complete(request)
+        self._record_exchange(request, response,
+                              time.perf_counter() - started)
+        return response
+
+    def close(self) -> None:
+        if self._sink is not None:
+            self._sink.close()
+
+    # -- recording -----------------------------------------------------
+    def _record_exchange(self, request: ChatRequest,
+                         response: ChatResponse, elapsed: float) -> None:
+        intent = request.intent
+        if not self._header_written:
+            self._sink.emit({
+                "type": "session",
+                "version": TRACE_VERSION,
+                "fixture": True,
+                "task_id": intent.task_id,
+                "model": self._inner.name,
+            })
+            self._header_written = True
+        self._sink.emit({
+            "type": "exchange",
+            "index": self._index,
+            "kind": intent.kind,
+            "task_id": intent.task_id,
+            "prompt_sha": prompt_sha(request.prompt_text),
+            "messages": [[m.role, m.content] for m in request.messages],
+            "response": response.text,
+            "response_sha": prompt_sha(response.text),
+            "usage": {"input_tokens": response.usage.input_tokens,
+                      "output_tokens": response.usage.output_tokens},
+            "model": response.model_name,
+            "elapsed_ms": round(elapsed * 1000.0, 3),
+        })
+        self._index += 1

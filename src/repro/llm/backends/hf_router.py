@@ -1,0 +1,22 @@
+"""Adapter for the Hugging Face inference router.
+
+The router speaks the OpenAI chat-completions dialect at
+``https://router.huggingface.co/v1/chat/completions`` with a Hugging
+Face token as the bearer key, so the adapter is the OpenAI-compatible
+one with a different default endpoint (and its own ``backend_id``, so
+cached responses from the two services never alias).
+"""
+
+from __future__ import annotations
+
+from .openai_compat import OpenAICompatBackend
+
+
+class HFRouterBackend(OpenAICompatBackend):
+    """Talk to router.huggingface.co (OpenAI-compatible dialect)."""
+
+    backend_id = "hf"
+
+    @classmethod
+    def default_base_url(cls) -> str:
+        return "https://router.huggingface.co"

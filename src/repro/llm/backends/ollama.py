@@ -1,0 +1,61 @@
+"""Adapter for a local Ollama server (``POST /api/chat``)."""
+
+from __future__ import annotations
+
+from ..base import ChatRequest, ChatResponse, Usage
+from ..tokens import approx_token_count
+from .base import LLMBackend
+from .errors import MalformedResponseError
+from .http import post_json
+
+
+class OllamaBackend(LLMBackend):
+    """Talk to an Ollama daemon's non-streaming chat endpoint.
+
+    The wire shape (request ``model`` / ``messages`` / ``stream:false``
+    / ``options``, reply ``message.content`` plus ``prompt_eval_count``
+    / ``eval_count`` token tallies) is the one Ollama has kept stable
+    across releases.  Token counts missing from a reply (some templates
+    omit ``prompt_eval_count`` on a cache hit) degrade to the
+    approximate tokenizer rather than zeros, so usage metering stays
+    meaningful.
+    """
+
+    backend_id = "ollama"
+
+    @classmethod
+    def default_base_url(cls) -> str:
+        return "http://127.0.0.1:11434"
+
+    def complete(self, request: ChatRequest) -> ChatResponse:
+        payload = {
+            "model": self.model,
+            "messages": self.wire_messages(request),
+            "stream": False,
+            "options": {
+                "temperature": self.params.temperature,
+                "top_p": self.params.top_p,
+                "num_predict": self.params.max_tokens,
+            },
+        }
+        reply = post_json(f"{self.base_url}/api/chat", payload,
+                          timeout=self.timeout, backend=self.backend_id)
+        message = reply.get("message")
+        if not isinstance(message, dict) or \
+                not isinstance(message.get("content"), str):
+            raise MalformedResponseError(
+                f"{self.backend_id}: reply has no message.content "
+                f"(keys: {sorted(reply)})", backend=self.backend_id)
+        text = message["content"]
+        usage = Usage(
+            input_tokens=_count(reply.get("prompt_eval_count"),
+                                request.prompt_text),
+            output_tokens=_count(reply.get("eval_count"), text))
+        return ChatResponse(text=text, usage=usage,
+                            model_name=str(reply.get("model", self.model)))
+
+
+def _count(value, fallback_text: str) -> int:
+    if isinstance(value, int) and value >= 0:
+        return value
+    return approx_token_count(fallback_text)

@@ -22,6 +22,7 @@ the pipeline still runs for real.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 from typing import Any, Mapping, Protocol, Sequence, runtime_checkable
 
@@ -117,31 +118,57 @@ class UsageMeter:
     One meter is attached per workflow run so Fig. 6b's per-task token cost
     can be reproduced exactly as the paper reports it (input and output
     tokens per task).
+
+    Thread-safe: live-backend fan-out issues requests for independent
+    pipeline stages concurrently, and several
+    :class:`MeteredClient`\\ s may share one meter — every update and
+    snapshot holds an internal lock (dropped for pickling, rebuilt on
+    unpickle, so meters still travel inside work results).
     """
 
     def __init__(self) -> None:
+        self._lock = threading.Lock()
         self._total = Usage()
         self._by_kind: dict[str, Usage] = {}
         self.request_count = 0
 
     def record(self, intent_kind: str, usage: Usage) -> None:
-        self._total = self._total + usage
-        self._by_kind[intent_kind] = (
-            self._by_kind.get(intent_kind, Usage()) + usage)
-        self.request_count += 1
+        with self._lock:
+            self._total = self._total + usage
+            self._by_kind[intent_kind] = (
+                self._by_kind.get(intent_kind, Usage()) + usage)
+            self.request_count += 1
 
     @property
     def total(self) -> Usage:
-        return self._total
+        with self._lock:
+            return self._total
 
     def by_kind(self) -> Mapping[str, Usage]:
-        return dict(self._by_kind)
+        with self._lock:
+            return dict(self._by_kind)
 
     def merge(self, other: "UsageMeter") -> None:
-        for kind, usage in other.by_kind().items():
-            self.record(kind, usage)
-            self.request_count -= 1  # record() bumps it; merges keep counts
-        self.request_count += other.request_count
+        # Snapshot the source first (its own lock), then fold in under
+        # ours — never hold both, so two meters merging into each other
+        # cannot deadlock.
+        merged = other.by_kind()
+        count = other.request_count
+        with self._lock:
+            for kind, usage in merged.items():
+                self._total = self._total + usage
+                self._by_kind[kind] = (
+                    self._by_kind.get(kind, Usage()) + usage)
+            self.request_count += count
+
+    def __getstate__(self) -> dict:
+        state = dict(self.__dict__)
+        del state["_lock"]  # locks do not pickle
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._lock = threading.Lock()
 
 
 class MeteredClient:

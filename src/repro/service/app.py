@@ -340,6 +340,31 @@ class TestbenchService:
                                f'"{name}" must be a non-empty string')
         return value
 
+    def _select_backend(self, body: dict,
+                        context: SimContext) -> SimContext:
+        """Apply the request's ``"backend"`` selector, whitelisted.
+
+        ``llm_backend`` is an operator knob (deliberately outside
+        ``REQUEST_CONTEXT_FIELDS``): a request may only pick
+        ``"synthetic"`` or whatever backend the server was *started*
+        with — it can never point a shared server at a new endpoint.
+        """
+        backend = body.get("backend", "")
+        if not isinstance(backend, str):
+            raise RequestError(400, "bad-backend",
+                               '"backend" must be a string')
+        if not backend:
+            return context
+        allowed = {"synthetic", self.base_context.llm_backend}
+        allowed.discard("")
+        if backend not in allowed:
+            raise RequestError(
+                400, "bad-backend",
+                f"backend {backend!r} is not enabled on this server; "
+                f"allowed: {sorted(allowed)}")
+        return context.evolve(
+            llm_backend="" if backend == "synthetic" else backend)
+
     # -- handlers ------------------------------------------------------
     async def _handle_healthz(self, request: Request) -> tuple[int, dict]:
         return 200, {"status": "draining" if self._draining else "ok"}
@@ -416,17 +441,27 @@ class TestbenchService:
             raise RequestError(400, "bad-request",
                                '"seed" must be an integer')
         model = body.get("model", "gpt-4o")
-        try:
-            get_profile(model)
-        except (KeyError, AttributeError):
+        if not isinstance(model, str) or not model:
             raise RequestError(400, "bad-request",
-                               f"unknown model {model!r}") from None
+                               '"model" must be a non-empty string')
         criterion = body.get("criterion", DEFAULT_CRITERION.name)
         if criterion not in CRITERIA:
             raise RequestError(400, "bad-request",
                                f"unknown criterion {criterion!r}; known: "
                                f"{tuple(sorted(CRITERIA))}")
         context = self._request_context(request, body)
+        context = self._select_backend(body, context)
+        spec = context.llm_backend or "synthetic"
+        if spec == "synthetic" or spec.endswith("+synthetic"):
+            # Any spec bottoming out in the synthetic tier resolves the
+            # model as a reliability profile; live adapters and fixture
+            # replay take provider model ids the profile table cannot
+            # know about.
+            try:
+                get_profile(model)
+            except (KeyError, AttributeError):
+                raise RequestError(400, "bad-request",
+                                   f"unknown model {model!r}") from None
         scope = tenant_scope(self._tenant(request, body), task_id)
         self._admit()
         started = time.monotonic()

@@ -49,15 +49,25 @@ class ExtractionError(ValueError):
 #: and a fence's tag are normalised through this table before comparison.
 _LANG_ALIASES = {
     "py": "python",
+    "py3": "python",
     "python3": "python",
     "v": "verilog",
     "sv": "verilog",
+    "vlog": "verilog",
+    "sverilog": "verilog",
     "systemverilog": "verilog",
+    "verilog2001": "verilog",
 }
 
 _FENCE_OPEN_RE = re.compile(r"^\s*```(?P<info>[^`\n]*)$")
 _FENCE_CLOSE_RE = re.compile(r"^\s*```\s*$")
 _FENCE_GLUED_CLOSE_RE = re.compile(r"^(?P<rest>[^`]*[^`\s])```\s*$")
+# Chatty models open a fence on the same line as their lead-in prose
+# ("Here is the fixed module: ```verilog").  Only recognised *outside*
+# a block; the info string is one tag-shaped token, so prose that
+# merely mentions ``` does not open a phantom block.
+_FENCE_PROSE_OPEN_RE = re.compile(
+    r"^(?P<pre>[^`]*\S)\s*```(?P<info>[\w.+-]*)\s*$")
 
 
 def _normalize_lang(tag: str) -> str:
@@ -76,8 +86,14 @@ def extract_code_blocks(text: str, language: str | None = None) -> list[str]:
     - an *unclosed* fence yields everything to the end of the reply;
     - a fence "closed" by a second opening fence (```` ```python ````
       twice) ends the first block and starts a new one;
+    - a fence opened on the same line as lead-in prose ("Here is the
+      code: ```verilog") still opens a block;
+    - a closing fence with trailing commentary ("``` Hope this
+      helps!") still closes the block (a single tag-shaped token after
+      the backticks is a re-opened fence instead);
     - language tags are matched through common aliases (``py``,
-      ``python3``, ``sv``, ``systemverilog``, …), case-insensitively.
+      ``python3``, ``sv``, ``systemverilog``, ``vlog``, …),
+      case-insensitively.
     """
     want = None if language is None else _normalize_lang(language)
     blocks: list[tuple[str, str]] = []
@@ -92,7 +108,8 @@ def extract_code_blocks(text: str, language: str | None = None) -> list[str]:
 
     for line in text.split("\n"):
         if body is None:
-            match = _FENCE_OPEN_RE.match(line)
+            match = _FENCE_OPEN_RE.match(line) or \
+                _FENCE_PROSE_OPEN_RE.match(line)
             if match is not None:
                 lang = _normalize_lang(match.group("info"))
                 body = []
@@ -101,9 +118,15 @@ def extract_code_blocks(text: str, language: str | None = None) -> list[str]:
             flush()
             continue
         match = _FENCE_OPEN_RE.match(line)
-        if match is not None:  # nested / re-opened fence: split here
-            flush()
-            lang = _normalize_lang(match.group("info"))
+        if match is not None:
+            info = match.group("info").strip()
+            if len(info.split()) > 1:
+                # a closing fence with trailing commentary, not a
+                # re-opened fence (language tags are one token)
+                flush()
+                continue
+            flush()  # nested / re-opened fence: split here
+            lang = _normalize_lang(info)
             body = []
             continue
         glued = _FENCE_GLUED_CLOSE_RE.match(line)
@@ -259,6 +282,23 @@ class LruCache:
             self._misses += 1
         value = factory()
         return self.insert(key, value)
+
+    def get(self, key, default=None):
+        """Return the cached value for ``key`` without computing one.
+
+        Counts as a hit or miss and refreshes recency like
+        :meth:`get_or_create`, for layers whose values are produced by
+        fallible external calls — the caller probes, performs the call,
+        then :meth:`insert`\\ s, so a raised error never caches.
+        """
+        with self._lock:
+            value = self._data.get(key)
+            if value is None:
+                self._misses += 1
+                return default
+            self._hits += 1
+            self._data.move_to_end(key)
+            return value
 
     def insert(self, key, value):
         """Insert ``value`` unless ``key`` arrived concurrently; returns

@@ -252,6 +252,45 @@ class TestEnvSeeding:
         with pytest.raises(ValueError):
             SimContext(template_cache_budget=0)
 
+    def test_llm_backend_validated(self):
+        for spec in ("", "synthetic", "ollama", "openai", "hf",
+                     "fixture", "fixture+synthetic", "fixture+hf"):
+            assert SimContext(llm_backend=spec).llm_backend == spec
+        for spec in ("bard", "fixture+fixture", "fixture+bard",
+                     "ollama+fixture", 7):
+            with pytest.raises(ValueError, match="llm_backend"):
+                SimContext(llm_backend=spec)
+
+    def test_llm_strings_validated(self):
+        with pytest.raises(ValueError, match="llm_model"):
+            SimContext(llm_model=3)
+        with pytest.raises(ValueError, match="llm_base_url"):
+            SimContext(llm_base_url=None)
+
+    def test_llm_knobs_seed(self, tmp_path):
+        context, seeded = _context_from_env({
+            "REPRO_LLM_BACKEND": "fixture+ollama",
+            "REPRO_LLM_MODEL": "qwen2.5:7b",
+            "REPRO_LLM_BASE_URL": "http://gpu-box:11434",
+            "REPRO_LLM_FIXTURE_DIR": str(tmp_path),
+        })
+        assert context.llm_backend == "fixture+ollama"
+        assert context.llm_model == "qwen2.5:7b"
+        assert context.llm_base_url == "http://gpu-box:11434"
+        assert context.llm_fixture_dir == str(tmp_path)
+        assert {"llm_backend", "llm_model", "llm_base_url",
+                "llm_fixture_dir"} <= seeded
+        # Unset means the synthetic tier.
+        assert _context_from_env({})[0].llm_backend == ""
+
+    def test_malformed_llm_backend_warns_and_falls_back(self, capsys):
+        context, seeded = _context_from_env(
+            {"REPRO_LLM_BACKEND": "bard"})
+        assert context.llm_backend == ""
+        assert "llm_backend" not in seeded
+        err = capsys.readouterr().err
+        assert "REPRO_LLM_BACKEND" in err and "bard" in err
+
     def test_malformed_warm_start_knobs_warn(self, capsys):
         context, seeded = _context_from_env({
             "REPRO_START_METHOD": "teleport",
@@ -320,8 +359,11 @@ class TestWorkerIsolation:
 # ----------------------------------------------------------------------
 class TestCacheRegistry:
     def test_registered_layers(self):
+        # "llm_responses" registers when repro.llm.backends loads (the
+        # campaign module pulls it in), after the simulation layers.
         assert caches.names() == ("tokenize", "parse", "design", "pair",
-                                  "failure", "programs", "union")
+                                  "failure", "programs", "union",
+                                  "llm_responses")
 
     def test_stats_shape_matches_legacy_helper(self):
         assert simulation_cache_stats() == caches.stats()

@@ -1,0 +1,28 @@
+"""Shared fixtures for the live-backend suites.
+
+``stub`` starts a fresh :class:`tests.llm.stub_server.StubLLMServer`
+per test; ``clean_response_cache`` keeps the process-wide
+``llm_responses`` store from leaking hits between tests (it is a
+registered cache layer, shared like every other one).
+"""
+
+import pytest
+
+from repro.llm.backends import response_cache
+from stub_server import StubLLMServer
+
+
+@pytest.fixture
+def stub():
+    server = StubLLMServer()
+    try:
+        yield server
+    finally:
+        server.close()
+
+
+@pytest.fixture
+def clean_response_cache():
+    response_cache().clear()
+    yield response_cache()
+    response_cache().clear()

@@ -1,0 +1,151 @@
+"""A scripted in-process HTTP server speaking the live-adapter dialects.
+
+:class:`StubLLMServer` binds an ephemeral localhost port and answers
+``POST`` requests on both wire shapes the adapters speak — Ollama's
+``/api/chat`` and the OpenAI-compatible ``/v1/chat/completions`` — from
+a reply script the test supplies.  Script entries are plain dicts built
+with the helpers below:
+
+- :func:`ok` — a successful completion (text plus optional exact token
+  counts, so replayed usage can match a recording byte for byte);
+- :func:`error` — an HTTP failure (429 with ``Retry-After``, 5xx, …);
+- :func:`stall` — sleep before answering, to trip client timeouts;
+- :func:`raw` — a verbatim body, for undecodable-reply tests;
+- ``{"body": {...}}`` — an arbitrary JSON object, for replies that are
+  valid JSON but the wrong shape.
+
+Every request is appended to ``server.requests`` as a dict with the
+path, the decoded payload, and the ``Authorization`` header, so tests
+can assert the exact wire shape an adapter produced.  An unscripted
+request answers 500 — a test that under-scripts fails loudly instead
+of hanging.
+"""
+
+import json
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+
+def ok(text, input_tokens=None, output_tokens=None, model="stub-model"):
+    return {"text": text, "input_tokens": input_tokens,
+            "output_tokens": output_tokens, "model": model}
+
+
+def error(status, retry_after=None):
+    return {"status": status, "retry_after": retry_after}
+
+
+def stall(seconds):
+    return {"delay": seconds}
+
+
+def raw(body, status=200):
+    return {"raw": body, "status": status}
+
+
+class StubLLMServer:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._script = []
+        self.requests = []
+        self.httpd = ThreadingHTTPServer(("127.0.0.1", 0),
+                                         self._make_handler())
+        self.httpd.daemon_threads = True
+        self._thread = threading.Thread(target=self.httpd.serve_forever,
+                                        daemon=True)
+        self._thread.start()
+
+    @property
+    def base_url(self) -> str:
+        return f"http://127.0.0.1:{self.httpd.server_address[1]}"
+
+    def script(self, replies) -> None:
+        """Append ``replies`` to the queue (consumed one per request)."""
+        with self._lock:
+            self._script.extend(replies)
+
+    @property
+    def unserved(self) -> int:
+        with self._lock:
+            return len(self._script)
+
+    def close(self) -> None:
+        self.httpd.shutdown()
+        self.httpd.server_close()
+        self._thread.join(timeout=5)
+
+    def _next(self, record: dict) -> dict:
+        with self._lock:
+            self.requests.append(record)
+            if self._script:
+                return self._script.pop(0)
+        return {"status": 500, "retry_after": None}  # unscripted request
+
+    def _make_handler(self):
+        server = self
+
+        class Handler(BaseHTTPRequestHandler):
+            def log_message(self, *args):  # silence request logging
+                pass
+
+            def do_POST(self):
+                length = int(self.headers.get("Content-Length", 0))
+                payload = json.loads(self.rfile.read(length) or b"{}")
+                reply = server._next({
+                    "path": self.path,
+                    "payload": payload,
+                    "authorization":
+                        self.headers.get("Authorization", ""),
+                })
+                try:
+                    self._answer(reply, payload)
+                except (BrokenPipeError, ConnectionResetError):
+                    pass  # the client timed out and hung up; expected
+
+            def _answer(self, reply, payload):
+                if reply.get("delay"):
+                    time.sleep(reply["delay"])
+                status = reply.get("status", 200)
+                if "raw" in reply:
+                    body = reply["raw"].encode("utf-8")
+                elif "body" in reply:
+                    body = json.dumps(reply["body"]).encode("utf-8")
+                elif status != 200:
+                    body = b'{"error": "scripted failure"}'
+                else:
+                    body = json.dumps(
+                        self._completion(reply, payload)).encode("utf-8")
+                self.send_response(status)
+                if reply.get("retry_after") is not None:
+                    self.send_header("Retry-After",
+                                     str(reply["retry_after"]))
+                self.send_header("Content-Type", "application/json")
+                self.send_header("Content-Length", str(len(body)))
+                self.end_headers()
+                self.wfile.write(body)
+
+            def _completion(self, reply, payload):
+                text = reply.get("text", "")
+                model = reply.get("model") or payload.get("model", "stub")
+                if self.path.endswith("/api/chat"):  # Ollama dialect
+                    body = {"model": model, "done": True,
+                            "message": {"role": "assistant",
+                                        "content": text}}
+                    if reply.get("input_tokens") is not None:
+                        body["prompt_eval_count"] = reply["input_tokens"]
+                    if reply.get("output_tokens") is not None:
+                        body["eval_count"] = reply["output_tokens"]
+                    return body
+                usage = {}  # OpenAI-compatible dialect
+                if reply.get("input_tokens") is not None:
+                    usage["prompt_tokens"] = reply["input_tokens"]
+                if reply.get("output_tokens") is not None:
+                    usage["completion_tokens"] = reply["output_tokens"]
+                return {"model": model,
+                        "choices": [{"index": 0, "finish_reason": "stop",
+                                     "message": {"role": "assistant",
+                                                 "content": text}}],
+                        "usage": usage}
+
+        return Handler

@@ -97,3 +97,65 @@ class TestMeteredClient:
         assert meter.total.input_tokens > 0
         assert meter.by_kind()["driver"].output_tokens > 0
         assert client.name == "echo-model"
+
+class TestUsageMeterConcurrency:
+    """Live-backend fan-out hits one meter from many threads; totals
+    must stay exact and meters must survive pickling (they travel
+    inside campaign work results)."""
+
+    def test_concurrent_records_are_exact(self):
+        import threading
+
+        meter = UsageMeter()
+        threads_n, per_thread = 8, 250
+
+        def hammer(kind):
+            for _ in range(per_thread):
+                meter.record(kind, Usage(1, 2))
+
+        threads = [threading.Thread(target=hammer, args=(f"k{i % 4}",))
+                   for i in range(threads_n)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+        expected = threads_n * per_thread
+        assert meter.request_count == expected
+        assert meter.total == Usage(expected, 2 * expected)
+        by_kind = meter.by_kind()
+        assert sum(u.input_tokens for u in by_kind.values()) == expected
+
+    def test_concurrent_merge_into_shared_meter(self):
+        import threading
+
+        target = UsageMeter()
+
+        def contribute():
+            local = UsageMeter()
+            for _ in range(100):
+                local.record("driver", Usage(1, 1))
+            target.merge(local)
+
+        threads = [threading.Thread(target=contribute) for _ in range(6)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert target.total == Usage(600, 600)
+        assert target.request_count == 600
+
+    def test_pickle_round_trip_rebuilds_the_lock(self):
+        import pickle
+
+        meter = UsageMeter()
+        meter.record("driver", Usage(5, 7))
+        meter.record("correct", Usage(1, 1))
+
+        clone = pickle.loads(pickle.dumps(meter))
+        assert clone.total == meter.total
+        assert clone.by_kind() == meter.by_kind()
+        assert clone.request_count == 2
+        # The rebuilt lock must actually work.
+        clone.record("driver", Usage(1, 0))
+        assert clone.total == Usage(7, 8)

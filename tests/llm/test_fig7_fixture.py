@@ -1,0 +1,89 @@
+"""A miniature Fig. 7 through the fixture tier: record a campaign with
+``fixture+synthetic``, replay it with ``fixture``, and get identical
+levels and usage — plus the provenance labels that keep recorded,
+synthetic, and live numbers from being conflated in reports."""
+
+import pytest
+
+from repro.eval import (METHOD_CORRECTBENCH, campaign_provenance,
+                        default_config, render_fig7, run_campaign)
+from repro.hdl.context import current_context
+
+TASKS = ("cmb_add16", "cmb_eq4")
+
+
+def _mini_config(context):
+    return default_config(task_ids=TASKS, seeds=(0,),
+                          profile_name="gpt-4o-mini", n_jobs=1,
+                          context=context)
+
+
+class TestRecordedCampaign:
+    @pytest.fixture(scope="class")
+    def recorded_and_replayed(self, tmp_path_factory):
+        fixture_dir = str(tmp_path_factory.mktemp("fig7_fixtures"))
+        recorded = run_campaign(_mini_config(
+            current_context().evolve(llm_backend="fixture+synthetic",
+                                     llm_fixture_dir=fixture_dir)))
+        replayed = run_campaign(_mini_config(
+            current_context().evolve(llm_backend="fixture",
+                                     llm_fixture_dir=fixture_dir)))
+        return recorded, replayed
+
+    def test_replay_reproduces_every_run(self, recorded_and_replayed):
+        recorded, replayed = recorded_and_replayed
+        assert len(replayed.runs) == len(recorded.runs) == \
+            3 * len(TASKS)  # methods x tasks
+        for before, after in zip(recorded.runs, replayed.runs):
+            assert after.method == before.method
+            assert after.task_id == before.task_id
+            assert after.level == before.level
+            assert after.usage == before.usage
+
+    def test_recording_matches_the_plain_synthetic_tier(
+            self, recorded_and_replayed):
+        recorded, _ = recorded_and_replayed
+        plain = run_campaign(_mini_config(current_context()))
+        for synthetic, taped in zip(plain.runs, recorded.runs):
+            assert taped.level == synthetic.level
+            assert taped.usage == synthetic.usage
+
+    def test_correctbench_runs_exercise_correction(
+            self, recorded_and_replayed):
+        recorded, _ = recorded_and_replayed
+        correct = recorded.of_method(METHOD_CORRECTBENCH)
+        assert any(run.corrections for run in correct)
+
+    def test_fig7_provenance_labels(self, recorded_and_replayed):
+        recorded, replayed = recorded_and_replayed
+        plain = run_campaign(_mini_config(current_context()))
+        assert campaign_provenance(plain) == "synthetic profiles"
+        assert campaign_provenance(recorded) == \
+            "recorded fixtures (recording synthetic)"
+        assert campaign_provenance(replayed) == "recorded fixtures"
+
+        figure = render_fig7({"gpt-4o-mini (replayed)": replayed,
+                              "gpt-4o-mini (synthetic)": plain})
+        assert "[recorded fixtures]" in figure
+        assert "[synthetic profiles]" in figure
+
+
+class TestProvenanceLabels:
+    def test_live_and_recording_specs(self):
+        def labelled(spec):
+            config = _mini_config(
+                current_context().evolve(
+                    llm_backend=spec, llm_fixture_dir="/tmp/x"))
+
+            class _Result:  # campaign_provenance only reads config
+                pass
+
+            result = _Result()
+            result.config = config
+            return campaign_provenance(result)
+
+        assert labelled("") == "synthetic profiles"
+        assert labelled("synthetic") == "synthetic profiles"
+        assert labelled("ollama") == "live backend: ollama"
+        assert labelled("fixture+hf") == \
+            "recorded fixtures (recording via hf)"

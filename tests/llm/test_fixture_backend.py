@@ -1,0 +1,195 @@
+"""Recorded-fixture mode: record -> replay byte-identical, tamper
+detection, trace-format compatibility, and resolver wiring."""
+
+import json
+
+import pytest
+
+from repro.core.agent import CorrectBenchWorkflow
+from repro.core.trace import TRACE_VERSION, load_trace
+from repro.core.validator import DEFAULT_CRITERION
+from repro.hdl.context import current_context
+from repro.llm import (ChatMessage, ChatRequest, GenerationIntent,
+                       MeteredClient, UsageMeter, get_profile)
+from repro.llm.backends import (FixtureBackend, FixtureError,
+                                FixtureStore, resolve_llm_client)
+from repro.llm.replay import ReplayMismatch
+from repro.llm.synthetic import SyntheticLLM
+from repro.problems import get_task
+
+TASK, SEED = "cmb_add16", 0  # a session with real correction rounds
+
+
+def _run_workflow(client):
+    meter = UsageMeter()
+    workflow = CorrectBenchWorkflow(MeteredClient(client, meter),
+                                    get_task(TASK), DEFAULT_CRITERION)
+    return workflow.run(), meter
+
+
+def _record_fixture(path):
+    recorder = FixtureBackend.record(
+        SyntheticLLM(get_profile("gpt-4o-mini"), seed=SEED), str(path))
+    result, meter = _run_workflow(recorder)
+    recorder.close()
+    return result, meter
+
+
+class TestRecording:
+    @pytest.fixture(scope="class")
+    def recorded(self, tmp_path_factory):
+        path = tmp_path_factory.mktemp("fixtures") / "s.fixture.jsonl"
+        result, meter = _record_fixture(path)
+        return path, result, meter
+
+    def test_fixture_is_a_parsable_trace(self, recorded):
+        path, _, _ = recorded
+        trace = load_trace(str(path))
+        assert trace.header["version"] == TRACE_VERSION
+        assert trace.header["fixture"] is True
+        assert trace.header["task_id"] == TASK
+        assert trace.exchanges()
+
+    def test_exchanges_carry_integrity_shas_and_dense_indexes(
+            self, recorded):
+        path, _, _ = recorded
+        exchanges = load_trace(str(path)).exchanges()
+        assert [e["index"] for e in exchanges] == \
+            list(range(len(exchanges)))
+        for entry in exchanges:
+            assert len(entry["response_sha"]) == 64
+            assert entry["usage"]["input_tokens"] >= 0
+
+    def test_replay_is_byte_identical(self, recorded):
+        path, result, meter = recorded
+        replayed_result, replayed_meter = _run_workflow(
+            FixtureBackend.replay(str(path)))
+        assert replayed_result.validated == result.validated
+        assert replayed_result.corrections == result.corrections
+        assert replayed_result.corrections > 0  # a real session
+        assert replayed_meter.total == meter.total
+        assert replayed_meter.by_kind() == meter.by_kind()
+        assert replayed_meter.request_count == meter.request_count
+
+    def test_replay_strict_matches_prompts(self, recorded):
+        path, _, _ = recorded
+        replay = FixtureBackend.replay(str(path))
+        drifted = ChatRequest(
+            messages=(ChatMessage("user", "something else"),),
+            intent=GenerationIntent("scenarios", TASK, {}))
+        with pytest.raises(ReplayMismatch):
+            replay.complete(drifted)
+
+    def test_introspect_delegates_while_recording(self, tmp_path):
+        inner = SyntheticLLM(get_profile("gpt-4o-mini"), seed=SEED)
+        recorder = FixtureBackend.record(
+            inner, str(tmp_path / "f.fixture.jsonl"))
+        assert recorder.name == inner.name
+        assert recorder.inner is inner
+        assert recorder.introspect("not a recorded artifact") is None
+
+
+class TestTamperDetection:
+    def _tamper(self, path, out_path, mutate):
+        events = [json.loads(line)
+                  for line in path.read_text().splitlines()]
+        mutate(events)
+        out_path.write_text(
+            "\n".join(json.dumps(e) for e in events) + "\n")
+        return out_path
+
+    @pytest.fixture(scope="class")
+    def recorded_path(self, tmp_path_factory):
+        path = tmp_path_factory.mktemp("tamper") / "s.fixture.jsonl"
+        _record_fixture(path)
+        return path
+
+    def test_edited_response_fails_the_integrity_check(
+            self, recorded_path, tmp_path):
+        def mutate(events):
+            exchange = next(e for e in events if e["type"] == "exchange")
+            exchange["response"] = exchange["response"] + "\n// edited"
+
+        tampered = self._tamper(recorded_path,
+                                tmp_path / "t.fixture.jsonl", mutate)
+        with pytest.raises(FixtureError, match="modified"):
+            FixtureBackend.replay(str(tampered))
+
+    def test_plain_trace_without_shas_still_replays(
+            self, recorded_path, tmp_path):
+        # PR-6 traces predate response_sha; they must stay replayable.
+        def mutate(events):
+            for event in events:
+                event.pop("response_sha", None)
+
+        plain = self._tamper(recorded_path,
+                             tmp_path / "p.fixture.jsonl", mutate)
+        replay = FixtureBackend.replay(str(plain))
+        result, _ = _run_workflow(replay)
+        assert result.validated
+
+    def test_missing_file_is_a_fixture_error(self, tmp_path):
+        with pytest.raises(FixtureError, match="cannot be read"):
+            FixtureBackend.replay(str(tmp_path / "absent.jsonl"))
+
+    def test_garbage_file_is_a_fixture_error(self, tmp_path):
+        path = tmp_path / "garbage.jsonl"
+        path.write_text("{not json\n")
+        with pytest.raises(FixtureError, match="does not parse"):
+            FixtureBackend.replay(str(path))
+
+
+class TestFixtureStore:
+    def test_paths_key_on_task_method_model_seed(self, tmp_path):
+        store = FixtureStore(str(tmp_path))
+        path = store.path_for("cmb_add16", "qwen2.5:7b", 3,
+                              method="correctbench")
+        assert path.endswith(
+            "cmb_add16.correctbench.qwen2.5-7b.3.fixture.jsonl")
+        assert store.path_for("cmb_add16", "qwen2.5:7b", 3) != path
+
+    def test_hostile_identifiers_are_sanitised(self, tmp_path):
+        store = FixtureStore(str(tmp_path))
+        path = store.path_for("../../etc", "a/b c", 0)
+        stem = path[len(str(tmp_path)) + 1:]
+        assert "/" not in stem and " " not in stem
+        assert not stem.startswith(".")
+        assert path.startswith(str(tmp_path))
+
+    def test_directory_required(self):
+        with pytest.raises(ValueError):
+            FixtureStore("")
+
+
+class TestResolverWiring:
+    def test_fixture_mode_requires_a_directory(self):
+        context = current_context().evolve(llm_backend="fixture")
+        with pytest.raises(ValueError, match="fixture directory"):
+            resolve_llm_client("gpt-4o-mini", 0, context=context,
+                               task_id=TASK)
+
+    def test_record_then_replay_round_trip(self, tmp_path):
+        record_context = current_context().evolve(
+            llm_backend="fixture+synthetic",
+            llm_fixture_dir=str(tmp_path))
+        recorder = resolve_llm_client(
+            "gpt-4o-mini", SEED, context=record_context, task_id=TASK,
+            method="correctbench")
+        result, meter = _run_workflow(recorder)
+        recorder.close()
+        expected = FixtureStore(str(tmp_path)).path_for(
+            TASK, "gpt-4o-mini", SEED, method="correctbench")
+        assert load_trace(expected).exchanges()
+
+        replay_context = current_context().evolve(
+            llm_backend="fixture", llm_fixture_dir=str(tmp_path))
+        replayer = resolve_llm_client(
+            "gpt-4o-mini", SEED, context=replay_context, task_id=TASK,
+            method="correctbench")
+        replayed, replayed_meter = _run_workflow(replayer)
+        assert replayed.validated == result.validated
+        assert replayed_meter.total == meter.total
+
+    def test_default_resolution_stays_synthetic(self):
+        client = resolve_llm_client("gpt-4o-mini", 0)
+        assert isinstance(client, SyntheticLLM)

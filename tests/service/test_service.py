@@ -216,6 +216,79 @@ class TestErrorSurface:
         assert status == 413
 
 
+class TestBackendSelector:
+    """The /v1/generate ``"backend"`` whitelist: a request may pick
+    synthetic or the backend the server was *started* with — never
+    point a shared server at a new endpoint."""
+
+    def test_default_server_only_allows_synthetic(self):
+        with running_service() as service:
+            ok_status, ok_data, _ = _request(
+                service, "POST", "/v1/generate",
+                {"task": "cmb_and2", "method": "baseline",
+                 "backend": "synthetic"})
+            bad_status, bad_data, _ = _request(
+                service, "POST", "/v1/generate",
+                {"task": "cmb_and2", "method": "baseline",
+                 "backend": "ollama"})
+            type_status, type_data, _ = _request(
+                service, "POST", "/v1/generate",
+                {"task": "cmb_and2", "method": "baseline",
+                 "backend": 7})
+        assert ok_status == 200 and ok_data["method"] == "baseline"
+        assert bad_status == 400
+        assert bad_data["error"]["code"] == "bad-backend"
+        assert "synthetic" in bad_data["error"]["detail"]
+        assert type_status == 400
+        assert type_data["error"]["code"] == "bad-backend"
+
+    def test_enabled_backend_is_selectable_and_records(self, tmp_path):
+        context = current_context().evolve(
+            llm_backend="fixture+synthetic",
+            llm_fixture_dir=str(tmp_path))
+        with running_service(context) as service:
+            status, data, _ = _request(
+                service, "POST", "/v1/generate",
+                {"task": "cmb_and2", "method": "baseline",
+                 "backend": "fixture+synthetic", "model": "gpt-4o-mini"})
+            synth_status, _, _ = _request(
+                service, "POST", "/v1/generate",
+                {"task": "cmb_and2", "method": "baseline",
+                 "backend": "synthetic", "model": "gpt-4o-mini"})
+            denied_status, denied_data, _ = _request(
+                service, "POST", "/v1/generate",
+                {"task": "cmb_and2", "method": "baseline",
+                 "backend": "hf"})
+        assert status == 200
+        fixtures = list(tmp_path.glob("*.fixture.jsonl"))
+        assert fixtures, "the selected fixture backend must record"
+        assert synth_status == 200
+        assert denied_status == 400
+        assert denied_data["error"]["code"] == "bad-backend"
+
+    def test_live_model_ids_skip_the_profile_check(self, tmp_path):
+        # On a fixture-replay (or live) tier the model is a provider
+        # id, not a synthetic profile name — it must not be rejected by
+        # the profile table.  (On any tier bottoming out in synthetic
+        # it still is: see test_generate_validation_400s.)
+        from repro.eval.campaign import run_one
+
+        record_context = current_context().evolve(
+            llm_backend="fixture+synthetic", llm_model="qwen2.5:7b",
+            llm_fixture_dir=str(tmp_path))
+        run_one("baseline", "cmb_and2", 0, profile_name="gpt-4o-mini",
+                context=record_context)
+        replay_context = current_context().evolve(
+            llm_backend="fixture", llm_fixture_dir=str(tmp_path))
+        with running_service(replay_context) as service:
+            status, data, _ = _request(
+                service, "POST", "/v1/generate",
+                {"task": "cmb_and2", "method": "baseline",
+                 "model": "qwen2.5:7b", "seed": 0})
+        assert status == 200
+        assert {"level", "usage"} <= set(data)
+
+
 class TestBackpressure:
     def test_queue_full_429_with_retry_after(self):
         """With queue_limit=1 and a long batch window, the first

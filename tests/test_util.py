@@ -3,7 +3,7 @@
 import pytest
 from hypothesis import given, strategies as st
 
-from repro.util import (ExtractionError, clamp, derive_rng,
+from repro.util import (ExtractionError, LruCache, clamp, derive_rng,
                         extract_code_block_checked, extract_code_blocks,
                         extract_first_code_block, format_ratio, mean,
                         stable_hash)
@@ -93,6 +93,39 @@ class TestHardenedExtraction:
     def test_empty_block(self):
         assert extract_code_blocks("```python\n```", "python") == [""]
 
+    def test_prose_before_fence_on_the_same_line(self):
+        text = "Here is the fixed module: ```verilog\n" \
+               "module m; endmodule\n```\n"
+        assert extract_code_blocks(text, "verilog") == [
+            "module m; endmodule\n"]
+
+    def test_prose_mentioning_backticks_does_not_open_a_block(self):
+        text = "Wrap your code in ``` fences please.\nNo code here.\n"
+        assert extract_code_blocks(text) == []
+
+    def test_closing_fence_with_trailing_commentary(self):
+        text = "```verilog\nmodule m; endmodule\n" \
+               "``` Hope this helps!\nLet me know.\n"
+        assert extract_code_blocks(text, "verilog") == [
+            "module m; endmodule\n"]
+
+    def test_single_tag_after_fence_still_reopens(self):
+        # One tag-shaped token is a new fence, not commentary.
+        text = "```python\na = 1\n```sv\nmodule m; endmodule\n```\n"
+        assert extract_code_blocks(text, "verilog") == [
+            "module m; endmodule\n"]
+
+    @pytest.mark.parametrize("tag", ["vlog", "sverilog", "verilog2001",
+                                     "SVerilog"])
+    def test_extra_verilog_aliases(self, tag):
+        text = f"```{tag}\nmodule m; endmodule\n```"
+        assert extract_code_blocks(text, "verilog") == [
+            "module m; endmodule\n"]
+
+    def test_py3_alias(self):
+        assert extract_code_blocks("```py3\nx = 1\n```",
+                                   "python") == ["x = 1\n"]
+
 
 class TestCheckedExtraction:
     def test_returns_matching_block(self):
@@ -137,3 +170,24 @@ class TestSmallHelpers:
 
     def test_format_ratio(self):
         assert format_ratio(0.7013) == "70.13%"
+
+
+class TestLruCacheGet:
+    """The probe-without-compute accessor the response cache's
+    probe-then-insert pattern rests on."""
+
+    def test_miss_returns_default_and_counts(self):
+        cache = LruCache(capacity=2)
+        assert cache.get("absent") is None
+        assert cache.get("absent", "fallback") == "fallback"
+        assert cache.stats()["misses"] == 2
+        assert len(cache) == 0  # a probe never populates
+
+    def test_hit_counts_and_refreshes_recency(self):
+        cache = LruCache(capacity=2)
+        cache.insert("a", 1)
+        cache.insert("b", 2)
+        assert cache.get("a") == 1  # "a" is now most recent
+        cache.insert("c", 3)        # evicts "b", the LRU entry
+        assert sorted(cache.export()) == ["a", "c"]
+        assert cache.stats()["hits"] == 1

@@ -14,7 +14,9 @@ Subcommands:
 ``run``/``validate``/``campaign`` accept ``--engine`` and ``--lexer``,
 and ``campaign`` additionally ``--start-method`` and
 ``--warm-start/--no-warm-start`` (worker-pool start method and
-cache-snapshot warm-up); the selections feed a
+cache-snapshot warm-up) plus ``--store DIR`` / ``--resume`` /
+``--shards N`` (persistent artifact store, kill-resume, and the shard
+coordinator); the selections feed a
 :class:`~repro.hdl.context.SimContext` activated around the command
 (and shipped inside campaign work items), so no environment variable
 is needed to pick an execution engine.  ``run`` and ``campaign``
@@ -31,8 +33,9 @@ import sys
 from .core import (CRITERIA, AutoBenchGenerator, DEFAULT_CRITERION,
                    ScenarioValidator)
 from .eval import (default_config, evaluate, registered_methods,
-                   render_recovery_report, render_table1, render_table3,
-                   render_usage_summary, run_campaign, run_one)
+                   render_recovery_report, render_store_summary,
+                   render_table1, render_table3, render_usage_summary,
+                   run_campaign, run_one, run_sharded_campaign)
 from .hdl.context import (ENGINES, LEXERS, START_METHODS, current_context,
                           use_context, valid_llm_backend)
 from .llm import MeteredClient, UsageMeter
@@ -73,6 +76,8 @@ def _context(args):
         overrides["warm_start"] = args.warm_start
     if getattr(args, "trace_dir", None):
         overrides["trace_dir"] = args.trace_dir
+    if getattr(args, "store", None):
+        overrides["store_dir"] = args.store
     if getattr(args, "backend", None):
         overrides["llm_backend"] = args.backend
         # With a live backend, --model is the model id sent on the wire
@@ -154,11 +159,24 @@ def cmd_campaign(args) -> int:
     if args.methods:
         overrides["methods"] = tuple(
             m.strip() for m in args.methods.split(","))
+    context = _context(args)
     config = default_config(
         task_ids=task_ids, seeds=tuple(range(args.seeds)),
         profile_name=args.model, criterion_name=args.criterion,
-        n_jobs=args.jobs, context=_context(args), **overrides)
-    result = run_campaign(config)
+        n_jobs=args.jobs, context=context, **overrides)
+    if (args.resume or args.shards > 1) and not context.store_dir:
+        print("error: --resume/--shards need a store; pass --store DIR "
+              "or set REPRO_STORE_DIR", file=sys.stderr)
+        return 2
+    if args.shards > 1:
+        result = run_sharded_campaign(config, args.shards)
+    else:
+        result = run_campaign(config, resume=args.resume)
+    if context.store_dir:
+        # Store accounting goes to stderr so a resumed run's stdout
+        # report stays byte-identical to an uninterrupted one (the CI
+        # crash-fault job diffs them).
+        print(render_store_summary(result), file=sys.stderr)
     if any(run.fault_class for run in result.runs):
         print(render_recovery_report(result))
         print()
@@ -391,6 +409,18 @@ def build_parser() -> argparse.ArgumentParser:
                         help="pre-warm pool workers with a cache snapshot "
                              "built from the task list "
                              "(default: active context, on)")
+    p_camp.add_argument("--store", default=None,
+                        help="persist every completed item into this "
+                             "campaign artifact store directory "
+                             "(default: REPRO_STORE_DIR / off)")
+    p_camp.add_argument("--resume", action="store_true",
+                        help="answer already-stored items from --store "
+                             "without resimulating, booting caches from "
+                             "its snapshot")
+    p_camp.add_argument("--shards", type=int, default=1,
+                        help="fan task slices out to this many worker "
+                             "processes sharing the --store (1 = in-"
+                             "process)")
     p_camp.set_defaults(func=cmd_campaign)
 
     p_serve = sub.add_parser(

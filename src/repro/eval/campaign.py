@@ -21,13 +21,16 @@ workers' own defaults nor leak between serial items.
 from __future__ import annotations
 
 import inspect
+import multiprocessing
+from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Iterable, Sequence
 
-from ..core.caches import use_task_scope
+from ..core.caches import caches, use_task_scope
 from ..core.simulation import (design_template, get_sim_pool,
-                               shutdown_sim_pool, _pair_template)
+                               shutdown_sim_pool, _pair_template,
+                               _resolve_start_method)
 from ..core.validator import CRITERIA, DEFAULT_CRITERION
 from ..hdl.context import (SimContext, current_context, resolve_jobs,
                            use_context)
@@ -36,6 +39,7 @@ from ..llm.backends import is_live_backend, iter_fan_out, resolve_llm_client
 from ..llm.base import MeteredClient, UsageMeter
 from ..problems.dataset import get_task, load_dataset
 from .golden import golden_artifacts
+from .store import CampaignStore, StoreError, store_key
 # The method registry (and TaskRun, which runners return) lives in
 # repro.eval.methods; re-exported here (redundant-alias form) because
 # this module is the historical import point for campaign types.
@@ -81,6 +85,11 @@ class CampaignConfig:
 class CampaignResult:
     config: CampaignConfig
     runs: list[TaskRun] = field(default_factory=list)
+    #: Items answered from the persistent artifact store (a resumed
+    #: campaign's skipped work) vs items computed this run.  Zero/zero
+    #: when the campaign ran without a store.
+    store_hits: int = 0
+    store_misses: int = 0
 
     def of_method(self, method: str) -> list[TaskRun]:
         return [run for run in self.runs if run.method == method]
@@ -189,8 +198,8 @@ def prewarm_campaign_caches(task_ids: Iterable[str]) -> int:
 # ----------------------------------------------------------------------
 # Progress reporting
 # ----------------------------------------------------------------------
-def _wants_attempt(progress) -> bool:
-    """Does ``progress`` accept an ``attempt`` keyword?"""
+def _accepts_keyword(progress, name: str) -> bool:
+    """Does ``progress`` accept keyword ``name``?"""
     try:
         signature = inspect.signature(progress)
     except (TypeError, ValueError):  # builtins, odd callables
@@ -198,41 +207,85 @@ def _wants_attempt(progress) -> bool:
     for parameter in signature.parameters.values():
         if parameter.kind is inspect.Parameter.VAR_KEYWORD:
             return True
-        if (parameter.name == "attempt"
+        if (parameter.name == name
                 and parameter.kind is not inspect.Parameter.VAR_POSITIONAL):
             return True
     return False
 
 
 class _ProgressReporter:
-    """Attempt-aware progress fan-out.
+    """Attempt- and skip-aware progress fan-out.
 
-    A healed-pool retry reruns every item, which used to replay indices
-    from 1 into the caller's callback — a monotonicity break across
-    attempts.  Callbacks that accept an ``attempt`` keyword now get the
-    full replay labelled with the attempt number; legacy three-argument
-    callbacks see each index at most once (a high-water mark across
-    attempts), keeping their view strictly monotonic.
+    A healed-pool retry reruns outstanding items, which used to replay
+    indices from 1 into the caller's callback — a monotonicity break
+    across attempts.  Callbacks that accept an ``attempt`` keyword get
+    every replay labelled with the attempt number; legacy
+    three-argument callbacks see each index at most once (a high-water
+    mark across attempts), keeping their view strictly monotonic.
+
+    Store-satisfied items (a resumed campaign's skipped work) count as
+    completed work: they are reported through the same callback, in
+    item order, before any computation starts, so ``index``/``total``
+    always measure real campaign progress.  Callbacks additionally
+    accepting a ``skipped`` keyword can tell a store hit from a
+    computed result.
     """
 
     def __init__(self, progress, total: int):
         self._progress = progress
         self._total = total
         self._attempt_aware = (progress is not None
-                               and _wants_attempt(progress))
+                               and _accepts_keyword(progress, "attempt"))
+        self._skip_aware = (progress is not None
+                            and _accepts_keyword(progress, "skipped"))
         self._high_water = 0
 
-    def report(self, index: int, run: TaskRun, attempt: int) -> None:
+    def report(self, index: int, run: TaskRun, attempt: int,
+               skipped: bool = False) -> None:
         if self._progress is None:
             return
         if self._attempt_aware:
-            self._progress(index, self._total, run, attempt=attempt)
+            kwargs = {"attempt": attempt}
+            if self._skip_aware:
+                kwargs["skipped"] = skipped
+            self._progress(index, self._total, run, **kwargs)
         elif index > self._high_water:
             self._high_water = index
             self._progress(index, self._total, run)
 
 
-def run_campaign(config: CampaignConfig, progress=None) -> CampaignResult:
+def campaign_items(config: CampaignConfig,
+                   context: SimContext | None = None) -> list[tuple]:
+    """The campaign's work items, in canonical (reporting) order.
+
+    Each item tuple is positionally compatible with
+    :func:`repro.eval.store.store_key`, so ``store_key(*item)`` is the
+    item's persistent identity.
+    """
+    if context is None:
+        context = config.resolved_context()
+    return [(method, task_id, seed, config.profile_name,
+             config.criterion_name, config.group_size, context)
+            for method in config.methods
+            for seed in config.seeds
+            for task_id in config.task_ids]
+
+
+def _resolve_store(context: SimContext,
+                   store: CampaignStore | None) -> CampaignStore | None:
+    """An explicit ``store`` argument wins; otherwise the context's
+    ``store_dir`` knob (seeded from ``REPRO_STORE_DIR``) opens one;
+    otherwise the campaign runs store-less."""
+    if store is not None:
+        return store
+    if context.store_dir:
+        return CampaignStore(context.store_dir)
+    return None
+
+
+def run_campaign(config: CampaignConfig, progress=None, *,
+                 store: CampaignStore | None = None,
+                 resume: bool = False) -> CampaignResult:
     """Run the full campaign, optionally over the shared process pool.
 
     Parallel campaigns draw workers from the persistent simulation pool
@@ -246,29 +299,78 @@ def run_campaign(config: CampaignConfig, progress=None) -> CampaignResult:
 
     ``progress`` is called as ``progress(index, total, run)`` after each
     completed item; pass a callback accepting an ``attempt`` keyword to
-    also observe healed-pool retries (see :class:`_ProgressReporter`).
+    also observe healed-pool retries, and a ``skipped`` keyword to tell
+    store hits from computed results (see :class:`_ProgressReporter`).
+
+    With a ``store`` (explicit argument, or opened from the resolved
+    context's ``store_dir`` / ``REPRO_STORE_DIR``), every completed item
+    is persisted immediately — a killed campaign loses at most the item
+    in flight.  ``resume=True`` additionally boots the caches from the
+    store's co-located snapshot (if one was saved) and answers
+    already-stored items without resimulating them; hits are reported
+    through ``progress`` first (with ``skipped=True``) and counted in
+    ``CampaignResult.store_hits``.  A healed-pool retry with a store
+    keeps completed items instead of replaying the whole campaign.
     """
     context = config.resolved_context()
-    items = [(method, task_id, seed, config.profile_name,
-              config.criterion_name, config.group_size, context)
-             for method in config.methods
-             for seed in config.seeds
-             for task_id in config.task_ids]
+    items = campaign_items(config, context)
+    store = _resolve_store(context, store)
 
     result = CampaignResult(config)
     reporter = _ProgressReporter(progress, len(items))
+    runs: list[TaskRun | None] = [None] * len(items)
+    completed = 0
+
+    if store is not None and resume:
+        for index, item in enumerate(items):
+            hit = store.get(store_key(*item))
+            if hit is not None:
+                runs[index] = hit
+                completed += 1
+                reporter.report(completed, hit, attempt=0, skipped=True)
+        if completed < len(items):
+            # Boot warm for the outstanding work; a fully
+            # store-satisfied resume skips the import entirely.
+            snapshot = store.load_snapshot()
+            if snapshot is not None:
+                with use_context(context):
+                    caches.import_snapshot(snapshot)
+    if store is not None:
+        result.store_hits = completed
+        result.store_misses = len(items) - completed
+
+    def record(index: int, run: TaskRun, attempt: int = 0) -> None:
+        nonlocal completed
+        runs[index] = run
+        if store is not None:
+            store.put(store_key(*items[index]), run)
+        completed += 1
+        reporter.report(completed, run, attempt)
+
+    pending = [index for index in range(len(items)) if runs[index] is None]
     n_jobs = config.n_jobs or 1
-    if n_jobs > 1 and is_live_backend(context.llm_backend):
+    if store is not None and pending and context.warm_start:
+        # Leave the co-located warm-boot artifact *before* computing:
+        # a campaign killed mid-flight resumes from golden templates,
+        # not from nothing.  Saved post-prewarm, the snapshot carries
+        # only the goldens — small to load, everything a resumed run
+        # can actually reuse.
+        with use_context(context):
+            prewarm_campaign_caches(config.task_ids)
+            store.save_snapshot(caches.export_snapshot())
+    if not pending:
+        pass  # fully store-satisfied: nothing to simulate
+    elif n_jobs > 1 and is_live_backend(context.llm_backend):
         # Live-backend items are I/O-bound (the process waits on
         # sockets, not simulations) and their clients hold locks and
         # connections that cannot cross a process boundary: fan out on
         # threads instead of the sim pool.  Wire concurrency stays
         # bounded by the backends' global in-flight cap regardless of
         # n_jobs.
-        for index, run in enumerate(
-                iter_fan_out(_worker, items, max_workers=n_jobs)):
-            result.runs.append(run)
-            reporter.report(index + 1, run, attempt=0)
+        for offset, run in enumerate(
+                iter_fan_out(_worker, [items[index] for index in pending],
+                             max_workers=n_jobs)):
+            record(pending[offset], run)
     elif n_jobs > 1:
         # Pre-warm the parent's caches from the task list, so the pool
         # created below ships (spawn) or forks (fork) warm state to its
@@ -283,25 +385,122 @@ def run_campaign(config: CampaignConfig, progress=None) -> CampaignResult:
         # Heal the pool and rerun once; a genuine worker error simply
         # re-raises from the retry.
         for attempt in (0, 1):
-            del result.runs[:]
             try:
                 pool = get_sim_pool(n_jobs,
                                     start_method=context.start_method,
                                     warm_start=context.warm_start)
-                for index, run in enumerate(pool.map(_worker, items,
-                                                     chunksize=4)):
-                    result.runs.append(run)
-                    reporter.report(index + 1, run, attempt)
+                if store is None:
+                    # Store-less semantics (unchanged): a healed pool
+                    # replays the whole campaign, each attempt
+                    # reporting indices from 1.
+                    for index, run in enumerate(pool.map(_worker, items,
+                                                         chunksize=4)):
+                        runs[index] = run
+                        reporter.report(index + 1, run, attempt)
+                else:
+                    # With a store, completed items survived the break
+                    # (they were persisted as they finished): only
+                    # outstanding items replay, and the completed count
+                    # stays monotonic across the heal.
+                    todo = [index for index in pending
+                            if runs[index] is None]
+                    for offset, run in enumerate(
+                            pool.map(_worker,
+                                     [items[index] for index in todo],
+                                     chunksize=4)):
+                        record(todo[offset], run, attempt)
                 break
             except (BrokenProcessPool, RuntimeError):
                 shutdown_sim_pool(wait=False)
                 if attempt:
                     raise
     else:
-        for index, item in enumerate(items):
-            run = _worker(item)
-            result.runs.append(run)
-            reporter.report(index + 1, run, attempt=0)
+        for index in pending:
+            record(index, _worker(items[index]))
+
+    result.runs = [run for run in runs if run is not None]
+    return result
+
+
+# ----------------------------------------------------------------------
+# Shard coordinator
+# ----------------------------------------------------------------------
+def _shard_worker(payload: tuple) -> tuple[int, int]:
+    """One shard: open the shared store, boot warm from its snapshot
+    (``resume=True`` imports it before the first item), run the task
+    slice serially, persist every completed item.  Returns the shard's
+    (store_hits, store_misses) pair for the coordinator's totals."""
+    config, store_dir = payload
+    store = CampaignStore(store_dir)
+    result = run_campaign(config, store=store, resume=True)
+    return result.store_hits, result.store_misses
+
+
+def run_sharded_campaign(config: CampaignConfig, shards: int,
+                         store: CampaignStore | None = None,
+                         progress=None) -> CampaignResult:
+    """Fan the campaign's task list out over ``shards`` worker
+    processes sharing one persistent store.
+
+    The coordinator pre-warms its caches (when the resolved context's
+    ``warm_start`` flag is set), saves a
+    :class:`~repro.core.caches.CacheSnapshot` into the store, and
+    round-robins task slices to fresh worker processes; each worker
+    imports the snapshot before its first item (via
+    ``run_campaign(..., resume=True)``), runs its slice serially, and
+    persists every completed item.  The final
+    :class:`CampaignResult` is assembled from the store in canonical
+    item order, so reports are identical to an unsharded run.
+    ``store_hits`` / ``store_misses`` aggregate the workers' counters —
+    a resumed sharded campaign skips already-stored items exactly like
+    an unsharded resume.
+
+    A store is required (explicit argument, the context's
+    ``store_dir``, or ``REPRO_STORE_DIR``): it is the only channel
+    results travel back through.  Raises :class:`StoreError` without
+    one, or if a worker exits leaving its slice incomplete.
+    """
+    if shards < 1:
+        raise ValueError(f"shards must be >= 1, got {shards}")
+    context = config.resolved_context()
+    store = _resolve_store(context, store)
+    if store is None:
+        raise StoreError(
+            "sharded campaigns need a persistent store: pass store=, "
+            "set the context's store_dir, or export REPRO_STORE_DIR")
+    if shards == 1:
+        return run_campaign(config, progress, store=store, resume=True)
+
+    with use_context(context):
+        if context.warm_start:
+            prewarm_campaign_caches(config.task_ids)
+        store.save_snapshot(caches.export_snapshot())
+
+    slices = [config.task_ids[shard::shards] for shard in range(shards)]
+    payloads = [(replace(config, task_ids=chunk, n_jobs=1, engine="",
+                         context=context), str(store.root))
+                for chunk in slices if chunk]
+    mp_context = multiprocessing.get_context(
+        _resolve_start_method(context.start_method))
+    hits = misses = 0
+    with ProcessPoolExecutor(max_workers=len(payloads),
+                             mp_context=mp_context) as executor:
+        for shard_hits, shard_misses in executor.map(_shard_worker,
+                                                     payloads):
+            hits += shard_hits
+            misses += shard_misses
+
+    items = campaign_items(config, context)
+    result = CampaignResult(config, store_hits=hits, store_misses=misses)
+    reporter = _ProgressReporter(progress, len(items))
+    for index, item in enumerate(items):
+        run = store.get(store_key(*item))
+        if run is None:
+            raise StoreError(
+                f"shard workers left item unwritten: method={item[0]!r} "
+                f"task={item[1]!r} seed={item[2]!r}")
+        result.runs.append(run)
+        reporter.report(index + 1, run, attempt=0)
     return result
 
 

@@ -69,6 +69,45 @@ class TaskRun:
     recovery_round: int | None = None  # validation round of recovery
     rounds: int = 0                   # total validation rounds run
 
+    def to_payload(self) -> dict:
+        """Plain-JSON form for the campaign artifact store.
+
+        Enum and usage fields flatten to primitives;
+        :meth:`from_payload` round-trips to an equal ``TaskRun``.
+        """
+        return {
+            "method": self.method, "task_id": self.task_id,
+            "kind": self.kind, "seed": self.seed,
+            "level": int(self.level),
+            "usage": {"input_tokens": self.usage.input_tokens,
+                      "output_tokens": self.usage.output_tokens},
+            "validated": self.validated, "gave_up": self.gave_up,
+            "corrections": self.corrections, "reboots": self.reboots,
+            "final_from_corrector": self.final_from_corrector,
+            "took_any_action": self.took_any_action,
+            "fault_class": self.fault_class, "recovered": self.recovered,
+            "recovery_round": self.recovery_round, "rounds": self.rounds,
+        }
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "TaskRun":
+        """Rebuild a ``TaskRun`` from :meth:`to_payload` output.
+
+        Strict: unknown or missing fields raise ``ValueError`` so a
+        schema drift surfaces as a typed store error, never as a
+        silently mis-shaped result.
+        """
+        data = dict(payload)
+        try:
+            level = EvalLevel(data.pop("level"))
+            usage = Usage(**data.pop("usage"))
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ValueError(f"bad TaskRun payload: {exc}") from exc
+        try:
+            return cls(level=level, usage=usage, **data)
+        except TypeError as exc:
+            raise ValueError(f"bad TaskRun payload: {exc}") from exc
+
 
 @dataclass(frozen=True)
 class MethodCall:

@@ -176,6 +176,25 @@ def render_usage_summary(result: CampaignResult) -> str:
     return "\n".join(lines)
 
 
+def render_store_summary(result: CampaignResult) -> str:
+    """How much of a campaign the persistent store answered.
+
+    One line per counter: items skipped (store hits), items computed
+    this run (store misses), and the total.  A campaign run without a
+    store reports zero skipped and everything computed.
+    """
+    hits, misses = result.store_hits, result.store_misses
+    if hits + misses == 0:  # store-less campaign: everything computed
+        misses = len(result.runs)
+    return "\n".join([
+        "CAMPAIGN STORE",
+        "",
+        f"  skipped (store hits) {hits:>6}",
+        f"  computed this run    {misses:>6}",
+        f"  total items          {hits + misses:>6}",
+    ])
+
+
 def render_recovery_report(result: CampaignResult) -> str:
     """Recovery rate per fault class, with recovered-by-round-k curves.
 

@@ -153,6 +153,12 @@ class SimContext:
     #: recording off).  A plain string so the context stays picklable and
     #: pool workers resolve the same sink their parent configured.
     trace_dir: str = ""
+    #: Directory of the persistent campaign artifact store ("" = no
+    #: store).  Campaigns write completed results (and a warm-start
+    #: cache snapshot) here, and ``--resume`` / shard workers read them
+    #: back instead of resimulating (see :mod:`repro.eval.store`).
+    #: A plain string, like ``trace_dir``, so contexts stay picklable.
+    store_dir: str = ""
     #: Which model tier answers LLM requests ("" = the synthetic
     #: profiles, the deterministic default).  A spec string — see
     #: :func:`valid_llm_backend` — resolved by
@@ -197,6 +203,10 @@ class SimContext:
             raise ValueError(f"trace_dir must be a string path "
                              f"('' disables tracing), "
                              f"got {self.trace_dir!r}")
+        if not isinstance(self.store_dir, str):
+            raise ValueError(f"store_dir must be a string path "
+                             f"('' disables the campaign store), "
+                             f"got {self.store_dir!r}")
         if not isinstance(self.llm_backend, str) or \
                 not valid_llm_backend(self.llm_backend):
             raise ValueError(
@@ -307,6 +317,11 @@ def _context_from_env(environ=None) -> tuple[SimContext, frozenset]:
     if trace_dir is not None:
         overrides["trace_dir"] = trace_dir
         seeded.add("trace_dir")
+
+    store_dir = environ.get("REPRO_STORE_DIR")
+    if store_dir is not None:
+        overrides["store_dir"] = store_dir
+        seeded.add("store_dir")
 
     llm_backend = environ.get("REPRO_LLM_BACKEND")
     if llm_backend is not None:

@@ -226,6 +226,14 @@ class TestEnvSeeding:
         # Unset means tracing stays off.
         assert _context_from_env({})[0].trace_dir == ""
 
+    def test_store_dir_seeds(self, tmp_path):
+        context, seeded = _context_from_env(
+            {"REPRO_STORE_DIR": str(tmp_path)})
+        assert context.store_dir == str(tmp_path)
+        assert seeded == {"store_dir"}
+        # Unset means campaigns run store-less.
+        assert _context_from_env({})[0].store_dir == ""
+
     def test_mutant_engine_seeds(self):
         context, seeded = _context_from_env(
             {"REPRO_MUTANT_ENGINE": "per-mutant"})
@@ -249,6 +257,8 @@ class TestEnvSeeding:
     def test_trace_and_budget_validated(self):
         with pytest.raises(ValueError):
             SimContext(trace_dir=123)
+        with pytest.raises(ValueError):
+            SimContext(store_dir=123)
         with pytest.raises(ValueError):
             SimContext(template_cache_budget=0)
 

@@ -1,15 +1,19 @@
 """Campaign runner: per-method work items, determinism, reporting,
-the pluggable method registry and attempt-aware progress."""
+the pluggable method registry, attempt-aware progress and store-backed
+resume/shard semantics."""
 
 from concurrent.futures.process import BrokenProcessPool
 
 import pytest
 
 import repro.eval.campaign as campaign_mod
-from repro.eval import (EvalLevel, default_config, register_method,
-                        registered_methods, render_table1, render_table2,
-                        render_table3, render_usage_summary, run_campaign,
-                        run_one, unregister_method)
+from repro.eval import (CampaignStore, EvalLevel, StoreError,
+                        campaign_items, default_config, register_method,
+                        registered_methods, render_store_summary,
+                        render_table1, render_table2, render_table3,
+                        render_usage_summary, run_campaign, run_one,
+                        run_sharded_campaign, store_key,
+                        unregister_method)
 from repro.eval.campaign import (METHOD_AUTOBENCH, METHOD_BASELINE,
                                  METHOD_CORRECTBENCH, campaign_method)
 from repro.hdl.context import current_context, use_context
@@ -214,3 +218,218 @@ class TestRetryProgress:
                             lambda wait=True: None)
         with pytest.raises(BrokenProcessPool):
             run_campaign(config)
+
+
+# ----------------------------------------------------------------------
+# Persistent store: resume, skip-aware progress, heal, shards
+# ----------------------------------------------------------------------
+def _never_compute(item):  # pragma: no cover - sentinel
+    raise AssertionError(f"resume recomputed a stored item: {item!r}")
+
+
+class TestStoreResume:
+    TASKS = ("cmb_and2", "seq_dff")
+
+    def _config(self, **overrides):
+        overrides.setdefault("methods",
+                             (METHOD_BASELINE, METHOD_AUTOBENCH))
+        return default_config(task_ids=self.TASKS, seeds=(0,),
+                              n_jobs=1, **overrides)
+
+    def test_campaign_persists_every_item(self, tmp_path):
+        store = CampaignStore(tmp_path)
+        result = run_campaign(self._config(), store=store)
+        assert result.store_hits == 0
+        assert result.store_misses == 4
+        assert len(store) == 4
+        for item, run in zip(campaign_items(self._config()), result.runs):
+            assert store.get(store_key(*item)) == run
+
+    def test_resume_answers_from_store_without_recompute(
+            self, tmp_path, monkeypatch):
+        store = CampaignStore(tmp_path)
+        cold = run_campaign(self._config(), store=store)
+        monkeypatch.setattr(campaign_mod, "_worker", _never_compute)
+        resumed = run_campaign(self._config(), store=store, resume=True)
+        assert resumed.store_hits == 4
+        assert resumed.store_misses == 0
+        assert resumed.runs == cold.runs
+
+    def test_partial_resume_computes_only_the_rest(self, tmp_path):
+        store = CampaignStore(tmp_path)
+        # Seed the store with the baseline half only.
+        run_campaign(self._config(methods=(METHOD_BASELINE,)),
+                     store=store)
+        resumed = run_campaign(self._config(), store=store, resume=True)
+        assert resumed.store_hits == 2
+        assert resumed.store_misses == 2
+        assert resumed.runs == run_campaign(self._config()).runs
+        assert store.stats()["entries"] == 4
+
+    def test_without_resume_store_is_write_only(self, tmp_path):
+        store = CampaignStore(tmp_path)
+        run_campaign(self._config(), store=store)
+        again = run_campaign(self._config(), store=store)
+        assert again.store_hits == 0
+        assert again.store_misses == 4
+
+    def test_context_fingerprint_separates_entries(self, tmp_path):
+        store = CampaignStore(tmp_path)
+        config = self._config(methods=(METHOD_BASELINE,))
+        run_campaign(config, store=store)
+        with use_context(max_time=1):
+            starved = run_campaign(config, store=store, resume=True)
+        assert starved.store_hits == 0  # different result coordinates
+        assert len(store) == 4
+
+    def test_skip_aware_progress_reports_hits_first(self, tmp_path):
+        store = CampaignStore(tmp_path)
+        run_campaign(self._config(methods=(METHOD_BASELINE,)),
+                     store=store)
+        seen = []
+
+        def progress(index, total, run, attempt, skipped=False):
+            seen.append((index, total, skipped))
+
+        run_campaign(self._config(), store=store, resume=True,
+                     progress=progress)
+        assert seen == [(1, 4, True), (2, 4, True),
+                        (3, 4, False), (4, 4, False)]
+
+    def test_legacy_progress_counts_hits_as_completed_work(self,
+                                                           tmp_path):
+        store = CampaignStore(tmp_path)
+        run_campaign(self._config(methods=(METHOD_BASELINE,)),
+                     store=store)
+        seen = []
+        run_campaign(self._config(), store=store, resume=True,
+                     progress=lambda i, n, run: seen.append((i, n)))
+        assert seen == [(1, 4), (2, 4), (3, 4), (4, 4)]
+
+    def test_store_summary_renders_counters(self, tmp_path):
+        store = CampaignStore(tmp_path)
+        run_campaign(self._config(), store=store)
+        resumed = run_campaign(self._config(), store=store, resume=True)
+        summary = render_store_summary(resumed)
+        assert "skipped (store hits)      4" in summary
+        assert "computed this run         0" in summary
+        storeless = render_store_summary(run_campaign(self._config()))
+        assert "computed this run         4" in storeless
+
+    def test_store_dir_context_knob_opens_store(self, tmp_path):
+        with use_context(store_dir=str(tmp_path)):
+            run_campaign(self._config())
+            resumed = run_campaign(self._config(), resume=True)
+        assert resumed.store_hits == 4
+        assert len(CampaignStore(tmp_path)) == 4
+
+    def test_resume_leaves_warm_boot_snapshot(self, tmp_path):
+        run_campaign(self._config(), store=CampaignStore(tmp_path))
+        snapshot = CampaignStore(tmp_path).load_snapshot()
+        assert snapshot is not None and snapshot
+        assert {"design", "pair"} <= set(snapshot.layers())
+
+
+class _ItemAwareFlakyPool:
+    """Like :class:`_FlakyPool`, but honours the ``items`` it is mapped
+    over (the store path remaps only *outstanding* items after a heal,
+    so the replayed slice is shorter than the campaign)."""
+
+    def __init__(self, runs_by_task, fail_after):
+        self.runs_by_task = runs_by_task
+        self.fail_after = fail_after
+        self.attempts = 0
+
+    def map(self, fn, items, chunksize=1):
+        self.attempts += 1
+        first = self.attempts == 1
+        items = list(items)
+
+        def generate():
+            for index, item in enumerate(items):
+                if first and index == self.fail_after:
+                    raise BrokenProcessPool("worker died")
+                yield self.runs_by_task[item[1]]  # item[1] == task_id
+        return generate()
+
+
+class TestStoreHeal:
+    """A healed pool with a store keeps completed items: only
+    outstanding work replays, and progress stays monotonic."""
+
+    TASKS = TestRetryProgress.TASKS
+
+    def _run_flaky_with_store(self, monkeypatch, tmp_path, progress):
+        config = default_config(task_ids=self.TASKS, seeds=(0,),
+                                methods=(METHOD_BASELINE,), n_jobs=2)
+        runs_by_task = {task_id: run_one(METHOD_BASELINE, task_id, seed=0)
+                        for task_id in self.TASKS}
+        pool = _ItemAwareFlakyPool(runs_by_task, fail_after=2)
+        monkeypatch.setattr(campaign_mod, "get_sim_pool",
+                            lambda jobs, **kwargs: pool)
+        monkeypatch.setattr(campaign_mod, "shutdown_sim_pool",
+                            lambda wait=True: None)
+        store = CampaignStore(tmp_path)
+        result = run_campaign(config, progress=progress, store=store)
+        assert [r.task_id for r in result.runs] == list(self.TASKS)
+        return result, store, pool
+
+    def test_completed_items_survive_the_heal(self, monkeypatch,
+                                              tmp_path):
+        seen = []
+
+        def progress(index, total, run, attempt):
+            seen.append((attempt, index, total))
+
+        result, store, pool = self._run_flaky_with_store(
+            monkeypatch, tmp_path, progress)
+        # Attempt 0 lands items 1..2 and persists them; the healed
+        # retry computes only the third — completed count is monotonic
+        # across the heal, unlike the store-less full replay.
+        assert seen == [(0, 1, 3), (0, 2, 3), (1, 3, 3)]
+        assert pool.attempts == 2
+        assert len(store) == 3
+        assert result.store_misses == 3
+
+
+class TestShardedCampaign:
+    TASKS = ("cmb_and2", "cmb_eq4", "seq_dff")
+
+    def _config(self):
+        return default_config(task_ids=self.TASKS, seeds=(0,),
+                              methods=(METHOD_BASELINE, METHOD_AUTOBENCH),
+                              n_jobs=1)
+
+    def test_sharded_matches_unsharded(self, tmp_path):
+        unsharded = run_campaign(self._config())
+        sharded = run_sharded_campaign(self._config(), shards=2,
+                                       store=CampaignStore(tmp_path))
+        assert sharded.runs == unsharded.runs
+        assert sharded.store_hits == 0
+        assert sharded.store_misses == 6
+        assert len(CampaignStore(tmp_path)) == 6
+
+    def test_sharded_resume_skips_stored_items(self, tmp_path):
+        store = CampaignStore(tmp_path)
+        run_sharded_campaign(self._config(), shards=2, store=store)
+        seen = []
+        again = run_sharded_campaign(
+            self._config(), shards=2, store=store,
+            progress=lambda i, n, run: seen.append((i, n)))
+        assert again.store_hits == 6
+        assert again.store_misses == 0
+        assert seen == [(i, 6) for i in range(1, 7)]
+
+    def test_store_required(self):
+        with pytest.raises(StoreError, match="REPRO_STORE_DIR"):
+            run_sharded_campaign(self._config(), shards=2)
+        with pytest.raises(ValueError, match="shards"):
+            run_sharded_campaign(self._config(), shards=0)
+
+    def test_single_shard_degenerates_to_resume(self, tmp_path):
+        store = CampaignStore(tmp_path)
+        run_campaign(self._config(), store=store)
+        result = run_sharded_campaign(self._config(), shards=1,
+                                      store=store)
+        assert result.store_hits == 6
+        assert result.runs == run_campaign(self._config()).runs

@@ -1,0 +1,127 @@
+"""Crash-fault battery: SIGKILL a campaign mid-flight, resume it, and
+require the resumed report to be byte-identical to an uninterrupted
+run with zero resimulated items.
+
+The campaign runs as a real CLI subprocess (the unit a crash actually
+kills); the parent polls the store's entry files and sends SIGKILL at
+a randomized completion point.  Because every completed item is
+persisted atomically as it finishes, the kill loses at most the item
+in flight — the resume answers everything on disk from the store and
+computes only the rest.
+"""
+
+import os
+import random
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.eval import (CampaignStore, default_config, run_campaign,
+                        render_table1, render_table3)
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+TASKS = ("cmb_and2", "cmb_eq4", "seq_dff", "seq_tff")
+N_ITEMS = 3 * len(TASKS)  # three methods per task
+
+
+def _campaign_argv(store: Path) -> list:
+    return [sys.executable, "-m", "repro.cli", "campaign",
+            "--tasks", ",".join(TASKS), "--jobs", "1",
+            "--store", str(store)]
+
+
+def _env() -> dict:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src")
+    return env
+
+
+def _entry_count(store: Path) -> int:
+    return len(list((store / "entries").glob("*.json")))
+
+
+def _kill_campaign_mid_flight(store: Path, kill_after: int,
+                              timeout: float = 180.0):
+    """Start a CLI campaign and SIGKILL it once ``kill_after`` entries
+    hit the store.  Returns (exited_cleanly, stdout)."""
+    proc = subprocess.Popen(_campaign_argv(store), env=_env(),
+                            stdout=subprocess.PIPE,
+                            stderr=subprocess.DEVNULL, text=True)
+    deadline = time.monotonic() + timeout
+    try:
+        while proc.poll() is None and time.monotonic() < deadline:
+            if _entry_count(store) >= kill_after:
+                proc.kill()  # SIGKILL: no atexit, no cleanup
+                proc.wait(timeout=30)
+                return False, ""
+            time.sleep(0.002)
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+    stdout, _ = proc.communicate(timeout=30)
+    return proc.returncode == 0, stdout
+
+
+@pytest.mark.parametrize("round_index", range(2))
+def test_sigkill_resume_is_byte_identical(tmp_path, round_index):
+    store_root = tmp_path / "store"
+    kill_after = random.randrange(1, N_ITEMS)  # chaos: any mid-point
+    cleanly, _ = _kill_campaign_mid_flight(store_root, kill_after)
+
+    entries_before = _entry_count(store_root)
+    if cleanly:  # campaign outran the poller — degenerate full resume
+        assert entries_before == N_ITEMS
+    assert kill_after <= entries_before <= N_ITEMS
+
+    # The killed process may have died inside a manifest or snapshot
+    # write; opening the store must recover (entry files are the
+    # truth), never lose completed work.
+    store = CampaignStore(store_root)
+    assert len(store) == entries_before
+
+    config = default_config(task_ids=TASKS, seeds=(0,), n_jobs=1)
+    resumed = run_campaign(config, store=store, resume=True)
+    # Zero resimulated: everything the killed run persisted is skipped.
+    assert resumed.store_hits == entries_before
+    assert resumed.store_misses == N_ITEMS - entries_before
+
+    # Byte-identical report to an uninterrupted (store-less) campaign.
+    cold = run_campaign(config)
+    assert render_table1(resumed) == render_table1(cold)
+    assert render_table3(resumed) == render_table3(cold)
+    assert resumed.runs == cold.runs
+
+
+def test_sigkill_then_cli_resume_stdout_identical(tmp_path):
+    """The CI acceptance path end to end through the CLI: cold stdout
+    (uninterrupted subprocess) vs killed-then-resumed stdout."""
+    cold_store = tmp_path / "cold"
+    cleanly, cold_stdout = _kill_campaign_mid_flight(
+        cold_store, kill_after=N_ITEMS + 1)  # never killed
+    assert cleanly
+    assert _entry_count(cold_store) == N_ITEMS
+
+    chaos_store = tmp_path / "chaos"
+    kill_after = random.randrange(1, N_ITEMS)
+    cleanly, _ = _kill_campaign_mid_flight(chaos_store, kill_after)
+    survivors = {path.name: path.stat().st_mtime_ns
+                 for path in (chaos_store / "entries").glob("*.json")}
+
+    proc = subprocess.run(_campaign_argv(chaos_store) + ["--resume"],
+                          env=_env(), capture_output=True, text=True,
+                          timeout=300)
+    assert proc.returncode == 0, proc.stderr
+    assert proc.stdout == cold_stdout
+    # The store summary goes to stderr (keeping stdout diffable) and
+    # reports exactly the surviving entries as skipped.
+    assert (f"skipped (store hits) {len(survivors):>6}"
+            in proc.stderr), proc.stderr
+    # Zero resimulated: no surviving entry file was rewritten.
+    for path in (chaos_store / "entries").glob("*.json"):
+        if path.name in survivors:
+            assert path.stat().st_mtime_ns == survivors[path.name]
+    assert _entry_count(chaos_store) == N_ITEMS
